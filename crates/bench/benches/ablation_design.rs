@@ -1,0 +1,82 @@
+//! Ablation benches for the design decisions called out in DESIGN.md (these
+//! go beyond the paper's figures):
+//!
+//! * keyword-signature width `B` — wider signatures reduce hash-collision
+//!   false positives in keyword pruning at the cost of index size,
+//! * index fan-out `γ` — shallower trees mean fewer heap operations but
+//!   looser per-entry bounds,
+//! * offline pre-computation cost — sequential vs parallel (crossbeam).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icde_bench::params::ExperimentParams;
+use icde_bench::workload::sample_topl_query;
+use icde_core::index::IndexBuilder;
+use icde_core::precompute::{PrecomputeConfig, PrecomputedData};
+use icde_core::topl::TopLProcessor;
+use icde_graph::generators::{DatasetKind, DatasetSpec};
+
+const BENCH_SCALE: usize = 800;
+
+fn graph() -> icde_graph::SocialNetwork {
+    let params = ExperimentParams::at_scale(BENCH_SCALE);
+    DatasetSpec::new(DatasetKind::Uniform, params.graph_size, params.seed)
+        .with_keyword_domain(params.keyword_domain)
+        .with_keywords_per_vertex(params.keywords_per_vertex)
+        .generate()
+}
+
+fn bench_signature_width(c: &mut Criterion) {
+    let g = graph();
+    let params = ExperimentParams::at_scale(BENCH_SCALE);
+    let query = sample_topl_query(&params);
+    let mut group = c.benchmark_group("ablation_bitvector_width");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &bits in &[32usize, 128, 512] {
+        let config = PrecomputeConfig { signature_bits: bits, ..Default::default() };
+        let index = IndexBuilder::new(config).build(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &index, |b, idx| {
+            b.iter(|| TopLProcessor::new(&g, idx).run(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_fanout(c: &mut Criterion) {
+    let g = graph();
+    let params = ExperimentParams::at_scale(BENCH_SCALE);
+    let query = sample_topl_query(&params);
+    let data = PrecomputedData::compute(&g, PrecomputeConfig::default());
+    let mut group = c.benchmark_group("ablation_index_fanout");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &fanout in &[2usize, 8, 32] {
+        let index = IndexBuilder::new(PrecomputeConfig::default())
+            .with_fanout(fanout)
+            .build_from_precomputed(&g, data.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(fanout), &index, |b, idx| {
+            b.iter(|| TopLProcessor::new(&g, idx).run(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_parallelism(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_offline_precompute");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        let config = PrecomputeConfig { parallel, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| PrecomputedData::compute(&g, cfg.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signature_width, bench_index_fanout, bench_offline_parallelism);
+criterion_main!(benches);

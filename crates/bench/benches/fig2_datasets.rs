@@ -1,0 +1,43 @@
+//! Criterion counterpart of Figure 2: online TopL-ICDE query time vs the
+//! ATindex competitor on every dataset family.
+//!
+//! The graphs are scaled down (Criterion repeats each measurement many
+//! times); the `experiments` binary regenerates the figure at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icde_bench::params::ExperimentParams;
+use icde_bench::workload::Workload;
+use icde_core::baseline::atindex::ATIndex;
+use icde_core::topl::TopLProcessor;
+use icde_graph::generators::DatasetKind;
+
+const BENCH_SCALE: usize = 600;
+
+fn bench_fig2(c: &mut Criterion) {
+    let params = ExperimentParams::at_scale(BENCH_SCALE);
+    let mut group = c.benchmark_group("fig2_topl_vs_atindex");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for kind in DatasetKind::ALL {
+        let workload = Workload::build(kind, &params);
+        let query = workload.topl_query();
+        let atindex = ATIndex::build(&workload.graph);
+
+        group.bench_with_input(BenchmarkId::new("TopL-ICDE", kind.label()), &workload, |b, w| {
+            b.iter(|| {
+                TopLProcessor::new(&w.graph, &w.index)
+                    .run(&query)
+                    .expect("valid query")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ATindex", kind.label()), &workload, |b, w| {
+            b.iter(|| atindex.run(&w.graph, &query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

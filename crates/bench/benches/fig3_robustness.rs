@@ -1,0 +1,106 @@
+//! Criterion counterpart of Figure 3: robustness of the online TopL-ICDE
+//! query time under each Table III parameter, on the Uniform synthetic graph.
+//!
+//! Each group sweeps one parameter; the other parameters stay at their
+//! defaults, exactly as in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icde_bench::params::{
+    ExperimentParams, QUERY_KEYWORDS_VALUES, RADIUS_VALUES, RESULT_SIZE_VALUES, SUPPORT_VALUES,
+    THETA_VALUES,
+};
+use icde_bench::workload::{sample_topl_query, Workload};
+use icde_core::topl::TopLProcessor;
+use icde_graph::generators::DatasetKind;
+
+const BENCH_SCALE: usize = 1_000;
+
+fn bench_online_parameter_sweeps(c: &mut Criterion) {
+    let base = ExperimentParams::at_scale(BENCH_SCALE);
+    let workload = Workload::build(DatasetKind::Uniform, &base);
+
+    // Figure 3(a): theta
+    let mut group = c.benchmark_group("fig3a_theta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &theta in &THETA_VALUES {
+        let query = sample_topl_query(&base.clone().with_theta(theta));
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &query, |b, q| {
+            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+        });
+    }
+    group.finish();
+
+    // Figure 3(b): |Q|
+    let mut group = c.benchmark_group("fig3b_query_keywords");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &q_size in &QUERY_KEYWORDS_VALUES {
+        let query = sample_topl_query(&base.clone().with_query_keywords(q_size));
+        group.bench_with_input(BenchmarkId::from_parameter(q_size), &query, |b, q| {
+            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+        });
+    }
+    group.finish();
+
+    // Figure 3(c): k
+    let mut group = c.benchmark_group("fig3c_support");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &SUPPORT_VALUES {
+        let query = sample_topl_query(&base.clone().with_support(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &query, |b, q| {
+            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+        });
+    }
+    group.finish();
+
+    // Figure 3(d): r
+    let mut group = c.benchmark_group("fig3d_radius");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &r in &RADIUS_VALUES {
+        let query = sample_topl_query(&base.clone().with_radius(r));
+        group.bench_with_input(BenchmarkId::from_parameter(r), &query, |b, q| {
+            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+        });
+    }
+    group.finish();
+
+    // Figure 3(e): L
+    let mut group = c.benchmark_group("fig3e_result_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &l in &RESULT_SIZE_VALUES {
+        let query = sample_topl_query(&base.clone().with_result_size(l));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &query, |b, q| {
+            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_scalability(c: &mut Criterion) {
+    // Figure 3(h) (scaled down): online time vs graph size.
+    let mut group = c.benchmark_group("fig3h_graph_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[500usize, 1_000, 2_000] {
+        let params = ExperimentParams::at_scale(n);
+        let workload = Workload::build(DatasetKind::Uniform, &params);
+        let query = workload.topl_query();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            b.iter(|| TopLProcessor::new(&w.graph, &w.index).run(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_parameter_sweeps, bench_graph_scalability);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion counterpart of Figure 4: pruning-rule ablation.
+//!
+//! Measures the online query time under the three pruning configurations the
+//! paper compares (keyword only, keyword + support, keyword + support +
+//! score), plus a no-pruning configuration as an extra reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icde_bench::params::ExperimentParams;
+use icde_bench::workload::Workload;
+use icde_core::topl::{PruningToggles, TopLProcessor};
+use icde_graph::generators::DatasetKind;
+
+const BENCH_SCALE: usize = 1_000;
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = ExperimentParams::at_scale(BENCH_SCALE);
+    let combos: [(&str, PruningToggles); 4] = [
+        ("none", PruningToggles::none()),
+        ("keyword", PruningToggles::keyword_only()),
+        ("keyword+support", PruningToggles::keyword_support()),
+        ("keyword+support+score", PruningToggles::all()),
+    ];
+
+    let mut group = c.benchmark_group("fig4_pruning_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [DatasetKind::Uniform, DatasetKind::AmazonLike] {
+        let workload = Workload::build(kind, &params);
+        let query = workload.topl_query();
+        for (label, toggles) in combos {
+            let id = BenchmarkId::new(label, kind.label());
+            group.bench_with_input(id, &workload, |b, w| {
+                b.iter(|| {
+                    TopLProcessor::new(&w.graph, &w.index)
+                        .run_with_toggles(&query, toggles)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

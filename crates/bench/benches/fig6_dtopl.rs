@@ -1,0 +1,79 @@
+//! Criterion counterpart of Figure 6: DTopL-ICDE processing.
+//!
+//! * strategies per dataset (Greedy_WP vs Greedy_WoP vs Optimal) — Fig. 6(a),
+//! * sweep over the result size L — Fig. 6(b),
+//! * sweep over the candidate multiplier n — Fig. 6(c).
+//!
+//! The Optimal strategy only runs with a tiny `n·L` (it enumerates all
+//! subsets), mirroring the paper's use of Optimal on small settings only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icde_bench::params::ExperimentParams;
+use icde_bench::workload::{sample_dtopl_query, Workload};
+use icde_core::dtopl::{DTopLProcessor, DTopLStrategy};
+use icde_graph::generators::DatasetKind;
+
+const BENCH_SCALE: usize = 1_000;
+
+fn bench_strategies(c: &mut Criterion) {
+    let params = ExperimentParams::at_scale(BENCH_SCALE).with_result_size(3);
+    let mut group = c.benchmark_group("fig6a_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [DatasetKind::Uniform, DatasetKind::Zipf] {
+        let workload = Workload::build(kind, &params);
+        let query = workload.dtopl_query();
+        for (label, strategy) in [
+            ("Greedy_WP", DTopLStrategy::GreedyWithPruning),
+            ("Greedy_WoP", DTopLStrategy::GreedyWithoutPruning),
+            ("Optimal", DTopLStrategy::Optimal),
+        ] {
+            let id = BenchmarkId::new(label, kind.label());
+            group.bench_with_input(id, &workload, |b, w| {
+                b.iter(|| DTopLProcessor::new(&w.graph, &w.index).run(&query, strategy).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_parameter_sweeps(c: &mut Criterion) {
+    let base = ExperimentParams::at_scale(BENCH_SCALE);
+    let workload = Workload::build(DatasetKind::Uniform, &base);
+
+    let mut group = c.benchmark_group("fig6b_result_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &l in &[2usize, 5, 10] {
+        let query = sample_dtopl_query(&base.clone().with_result_size(l));
+        group.bench_with_input(BenchmarkId::from_parameter(l), &query, |b, q| {
+            b.iter(|| {
+                DTopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q, DTopLStrategy::GreedyWithPruning)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig6c_multiplier");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[2usize, 5, 10] {
+        let query = sample_dtopl_query(&base.clone().with_multiplier(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| {
+                DTopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q, DTopLStrategy::GreedyWithPruning)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_parameter_sweeps);
+criterion_main!(benches);

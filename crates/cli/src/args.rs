@@ -1,0 +1,299 @@
+//! Argument parsing for the `topl-icde` binary (no external CLI crate; the
+//! option surface is small and stable).
+
+use icde_graph::generators::DatasetKind;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  topl-icde generate --kind <uniform|gaussian|zipf|dblp|amazon> --vertices N [--seed N]
+                     [--keyword-domain N] [--keywords-per-vertex N] --out FILE
+  topl-icde stats    --graph FILE
+  topl-icde index    --graph FILE --out FILE [--rmax N] [--fanout N] [--thresholds a,b,c]
+  topl-icde query    --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
+                     [--theta X] [--l N] [--json]
+  topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
+                     [--theta X] [--l N] [--n N] [--json]";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic graph and write it to a file.
+    Generate {
+        /// Dataset family to generate.
+        kind: DatasetKind,
+        /// Number of vertices.
+        vertices: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Keyword domain size |Σ|.
+        keyword_domain: u32,
+        /// Keywords per vertex |v.W|.
+        keywords_per_vertex: usize,
+        /// Output path (attributed edge-list format).
+        out: String,
+    },
+    /// Print summary statistics of a graph file.
+    Stats {
+        /// Path to the graph file.
+        graph: String,
+    },
+    /// Build the offline index for a graph and write it to a file.
+    Index {
+        /// Path to the graph file.
+        graph: String,
+        /// Output path for the JSON index.
+        out: String,
+        /// Maximum pre-computed radius.
+        r_max: u32,
+        /// Tree fan-out.
+        fanout: usize,
+        /// Pre-selected influence thresholds.
+        thresholds: Vec<f64>,
+    },
+    /// Run a TopL-ICDE query.
+    Query {
+        /// Path to the graph file.
+        graph: String,
+        /// Path to the index file.
+        index: String,
+        /// Query keyword ids.
+        keywords: Vec<u32>,
+        /// Truss support k.
+        k: u32,
+        /// Radius r.
+        r: u32,
+        /// Influence threshold θ.
+        theta: f64,
+        /// Result size L.
+        l: usize,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Run a DTopL-ICDE query.
+    DQuery {
+        /// Path to the graph file.
+        graph: String,
+        /// Path to the index file.
+        index: String,
+        /// Query keyword ids.
+        keywords: Vec<u32>,
+        /// Truss support k.
+        k: u32,
+        /// Radius r.
+        r: u32,
+        /// Influence threshold θ.
+        theta: f64,
+        /// Result size L.
+        l: usize,
+        /// Candidate multiplier n.
+        n: usize,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+}
+
+/// Simple key-value flag map over the argument list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn required(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag {name}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+        }
+    }
+}
+
+fn parse_kind(value: &str) -> Result<DatasetKind, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "uniform" | "uni" => Ok(DatasetKind::Uniform),
+        "gaussian" | "gau" => Ok(DatasetKind::Gaussian),
+        "zipf" => Ok(DatasetKind::Zipf),
+        "dblp" => Ok(DatasetKind::DblpLike),
+        "amazon" => Ok(DatasetKind::AmazonLike),
+        other => Err(format!("unknown dataset kind '{other}'")),
+    }
+}
+
+fn parse_u32_list(value: &str) -> Result<Vec<u32>, String> {
+    value
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.parse().map_err(|_| format!("invalid keyword id '{p}'")))
+        .collect()
+}
+
+fn parse_f64_list(value: &str) -> Result<Vec<f64>, String> {
+    value
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.parse().map_err(|_| format!("invalid threshold '{p}'")))
+        .collect()
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".to_string());
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err("help requested".to_string());
+    }
+    let flags = Flags { args: &args[1..] };
+    match command.as_str() {
+        "generate" => Ok(Command::Generate {
+            kind: parse_kind(flags.required("--kind")?)?,
+            vertices: flags
+                .required("--vertices")?
+                .parse()
+                .map_err(|_| "invalid --vertices".to_string())?,
+            seed: flags.parse_or("--seed", 42u64)?,
+            keyword_domain: flags.parse_or("--keyword-domain", 50u32)?,
+            keywords_per_vertex: flags.parse_or("--keywords-per-vertex", 3usize)?,
+            out: flags.required("--out")?.to_string(),
+        }),
+        "stats" => Ok(Command::Stats { graph: flags.required("--graph")?.to_string() }),
+        "index" => Ok(Command::Index {
+            graph: flags.required("--graph")?.to_string(),
+            out: flags.required("--out")?.to_string(),
+            r_max: flags.parse_or("--rmax", 3u32)?,
+            fanout: flags.parse_or("--fanout", 8usize)?,
+            thresholds: match flags.get("--thresholds") {
+                None => vec![0.1, 0.2, 0.3],
+                Some(v) => parse_f64_list(v)?,
+            },
+        }),
+        "query" | "dquery" => {
+            let keywords = parse_u32_list(flags.required("--keywords")?)?;
+            let k = flags.parse_or("--k", 4u32)?;
+            let r = flags.parse_or("--r", 2u32)?;
+            let theta = flags.parse_or("--theta", 0.2f64)?;
+            let l = flags.parse_or("--l", 5usize)?;
+            let graph = flags.required("--graph")?.to_string();
+            let index = flags.required("--index")?.to_string();
+            let json = flags.has("--json");
+            if command == "query" {
+                Ok(Command::Query { graph, index, keywords, k, r, theta, l, json })
+            } else {
+                Ok(Command::DQuery {
+                    graph,
+                    index,
+                    keywords,
+                    k,
+                    r,
+                    theta,
+                    l,
+                    n: flags.parse_or("--n", 3usize)?,
+                    json,
+                })
+            }
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv(&[
+            "generate", "--kind", "amazon", "--vertices", "1000", "--out", "g.txt", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                kind: DatasetKind::AmazonLike,
+                vertices: 1000,
+                seed: 7,
+                keyword_domain: 50,
+                keywords_per_vertex: 3,
+                out: "g.txt".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_defaults() {
+        let cmd = parse(&argv(&[
+            "query", "--graph", "g.txt", "--index", "i.json", "--keywords", "1,2,3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { keywords, k, r, theta, l, json, .. } => {
+                assert_eq!(keywords, vec![1, 2, 3]);
+                assert_eq!(k, 4);
+                assert_eq!(r, 2);
+                assert_eq!(theta, 0.2);
+                assert_eq!(l, 5);
+                assert!(!json);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dquery_multiplier_and_json() {
+        let cmd = parse(&argv(&[
+            "dquery", "--graph", "g", "--index", "i", "--keywords", "4", "--n", "5", "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::DQuery { n, json, .. } => {
+                assert_eq!(n, 5);
+                assert!(json);
+            }
+            other => panic!("expected dquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_thresholds() {
+        let cmd = parse(&argv(&[
+            "index", "--graph", "g", "--out", "i", "--thresholds", "0.05,0.15", "--fanout", "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Index { thresholds, fanout, r_max, .. } => {
+                assert_eq!(thresholds, vec![0.05, 0.15]);
+                assert_eq!(fanout, 4);
+                assert_eq!(r_max, 3);
+            }
+            other => panic!("expected index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&["generate", "--kind", "nope", "--vertices", "10", "--out", "x"])).is_err());
+        assert!(parse(&argv(&["query", "--graph", "g", "--index", "i", "--keywords", "a,b"])).is_err());
+        assert!(parse(&argv(&["generate", "--vertices", "10", "--out", "x"])).is_err());
+    }
+}

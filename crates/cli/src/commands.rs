@@ -1,0 +1,204 @@
+//! Command implementations for the `topl-icde` binary.
+
+use crate::args::Command;
+use icde_core::dtopl::{DTopLProcessor, DTopLQuery, DTopLStrategy};
+use icde_core::index::IndexBuilder;
+use icde_core::persist;
+use icde_core::precompute::PrecomputeConfig;
+use icde_core::query::TopLQuery;
+use icde_core::seed::SeedCommunity;
+use icde_core::topl::TopLProcessor;
+use icde_graph::generators::DatasetSpec;
+use icde_graph::statistics::graph_statistics;
+use icde_graph::{io, KeywordSet, SocialNetwork};
+
+/// Runs one parsed command; error strings are printed by `main`.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Generate { kind, vertices, seed, keyword_domain, keywords_per_vertex, out } => {
+            let spec = DatasetSpec::new(kind, vertices, seed)
+                .with_keyword_domain(keyword_domain)
+                .with_keywords_per_vertex(keywords_per_vertex);
+            let graph = spec.generate();
+            io::write_edge_list_file(&graph, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} vertices, {} edges, kind {:?})",
+                out,
+                graph.num_vertices(),
+                graph.num_edges(),
+                kind
+            );
+            Ok(())
+        }
+        Command::Stats { graph } => {
+            let g = load_graph(&graph)?;
+            let stats = graph_statistics(&g);
+            println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        Command::Index { graph, out, r_max, fanout, thresholds } => {
+            let g = load_graph(&graph)?;
+            let config = PrecomputeConfig::new(r_max, thresholds);
+            let start = std::time::Instant::now();
+            let index = IndexBuilder::new(config).with_fanout(fanout).build(&g);
+            persist::save_index(&index, &out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} nodes, height {}, built in {:.2?})",
+                out,
+                index.node_count(),
+                index.height(),
+                start.elapsed()
+            );
+            Ok(())
+        }
+        Command::Query { graph, index, keywords, k, r, theta, l, json } => {
+            let g = load_graph(&graph)?;
+            let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
+            let query = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
+            let answer = TopLProcessor::new(&g, &idx).run(&query).map_err(|e| e.to_string())?;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&answer.communities).map_err(|e| e.to_string())?
+                );
+            } else {
+                print_communities(&answer.communities);
+                println!(
+                    "{} answers in {:.2?} ({} candidates pruned)",
+                    answer.communities.len(),
+                    answer.elapsed,
+                    answer.stats.total_pruned_candidates()
+                );
+            }
+            Ok(())
+        }
+        Command::DQuery { graph, index, keywords, k, r, theta, l, n, json } => {
+            let g = load_graph(&graph)?;
+            let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
+            let base = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
+            let query = DTopLQuery::new(base, n);
+            let answer = DTopLProcessor::new(&g, &idx)
+                .run(&query, DTopLStrategy::GreedyWithPruning)
+                .map_err(|e| e.to_string())?;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&answer.communities).map_err(|e| e.to_string())?
+                );
+            } else {
+                print_communities(&answer.communities);
+                println!(
+                    "diversity score {:.2}, {} answers in {:.2?}",
+                    answer.diversity_score,
+                    answer.communities.len(),
+                    answer.elapsed
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<SocialNetwork, String> {
+    if path.ends_with(".json") {
+        io::read_json_file(path).map_err(|e| e.to_string())
+    } else {
+        io::read_edge_list_file(path).map_err(|e| e.to_string())
+    }
+}
+
+fn print_communities(communities: &[SeedCommunity]) {
+    for (rank, c) in communities.iter().enumerate() {
+        let members: Vec<String> = c.vertices.iter().map(|v| v.0.to_string()).collect();
+        println!(
+            "#{rank}: center {} | score {:.3} | {} members [{}] | {} influenced users",
+            c.center,
+            c.influential_score,
+            c.len(),
+            members.join(","),
+            c.influenced_only()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+    use icde_graph::generators::DatasetKind;
+
+    fn temp_path(name: &str) -> String {
+        std::env::temp_dir().join(name).to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn generate_index_query_pipeline() {
+        let graph_path = temp_path("topl_cli_test_graph.txt");
+        let index_path = temp_path("topl_cli_test_index.json");
+
+        run(Command::Generate {
+            kind: DatasetKind::Uniform,
+            vertices: 200,
+            seed: 3,
+            keyword_domain: 10,
+            keywords_per_vertex: 3,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+
+        run(Command::Stats { graph: graph_path.clone() }).unwrap();
+
+        run(Command::Index {
+            graph: graph_path.clone(),
+            out: index_path.clone(),
+            r_max: 3,
+            fanout: 8,
+            thresholds: vec![0.1, 0.2, 0.3],
+        })
+        .unwrap();
+
+        run(Command::Query {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            keywords: vec![0, 1, 2, 3],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: true,
+        })
+        .unwrap();
+
+        run(Command::DQuery {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            keywords: vec![0, 1, 2, 3],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 2,
+            n: 2,
+            json: false,
+        })
+        .unwrap();
+
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(index_path);
+    }
+
+    #[test]
+    fn missing_files_produce_errors() {
+        assert!(run(Command::Stats { graph: "/no/such/file.txt".into() }).is_err());
+        assert!(run(Command::Query {
+            graph: "/no/such/file.txt".into(),
+            index: "/no/such/index.json".into(),
+            keywords: vec![1],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 2,
+            json: false,
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Competitor methods used in the paper's evaluation (Section VIII-A).
+//!
+//! * [`bruteforce`] — index-free, pruning-free TopL-ICDE: refine every vertex
+//!   as a candidate centre. Slow but exact; the ground truth the tests
+//!   compare the indexed processor against.
+//! * [`atindex`] — the ATindex competitor: offline truss decomposition
+//!   (trussness of vertices/edges), online trussness filtering followed by
+//!   r-hop extraction, k-truss computation and scoring.
+//! * [`kcore`] — the k-core community used by the Figure 5 case study.
+
+pub mod atindex;
+pub mod bruteforce;
+pub mod kcore;
+
+pub use atindex::ATIndex;
+pub use bruteforce::brute_force_topl;
+pub use kcore::kcore_community;

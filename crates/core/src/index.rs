@@ -1,0 +1,418 @@
+//! The hierarchical tree index `I` (Section V-B).
+//!
+//! The index is built over the per-vertex pre-computed aggregates of
+//! [`crate::precompute`]. Leaf nodes hold batches of vertices; non-leaf nodes
+//! hold child entries, each annotated with aggregated bounds per radius:
+//!
+//! * an OR-folded keyword signature `N_i.BV_r`,
+//! * the maximum support upper bound `N_i.ub_sup_r`,
+//! * the maximum influential-score upper bound `N_i.σ_z` per pre-selected
+//!   threshold.
+//!
+//! Construction follows the paper: vertices are sorted by the average of
+//! their support and score bounds (so that similar vertices share subtrees
+//! and the aggregated bounds stay tight), then recursively partitioned into
+//! equally-sized children until batches fit into leaves.
+
+use crate::precompute::{PrecomputeConfig, PrecomputedData, RadiusAggregate};
+use icde_graph::{SocialNetwork, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Default number of children per non-leaf node (the fan-out `γ`).
+pub const DEFAULT_FANOUT: usize = 8;
+/// Default number of vertices per leaf node.
+pub const DEFAULT_LEAF_CAPACITY: usize = 16;
+
+/// Aggregated bounds of one index node, one entry per radius `r ∈ [1, r_max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeAggregate {
+    /// `per_radius[r - 1]` — aggregate for radius `r`.
+    pub per_radius: Vec<RadiusAggregate>,
+}
+
+impl NodeAggregate {
+    fn empty(config: &PrecomputeConfig) -> Self {
+        NodeAggregate {
+            per_radius: (0..config.r_max)
+                .map(|_| RadiusAggregate::empty(config.signature_bits, config.thresholds.len()))
+                .collect(),
+        }
+    }
+
+    fn merge_vertex(&mut self, data: &PrecomputedData, v: VertexId) {
+        for (r, agg) in self.per_radius.iter_mut().enumerate() {
+            agg.merge_max(&data.vertices[v.index()].per_radius[r]);
+        }
+    }
+
+    fn merge_node(&mut self, other: &NodeAggregate) {
+        for (mine, theirs) in self.per_radius.iter_mut().zip(&other.per_radius) {
+            mine.merge_max(theirs);
+        }
+    }
+
+    /// The aggregate for radius `r` (1-based).
+    pub fn for_radius(&self, r: u32) -> &RadiusAggregate {
+        &self.per_radius[(r - 1) as usize]
+    }
+}
+
+/// One node of the tree index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IndexNode {
+    /// Leaf node holding a batch of vertices (candidate centres).
+    Leaf {
+        /// Vertices stored in this leaf.
+        vertices: Vec<VertexId>,
+    },
+    /// Internal node holding child node ids.
+    Internal {
+        /// Ids of the children in [`CommunityIndex::nodes`].
+        children: Vec<usize>,
+    },
+}
+
+/// The tree index `I` over one social network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommunityIndex {
+    /// The pre-computed data the index aggregates.
+    pub precomputed: PrecomputedData,
+    nodes: Vec<IndexNode>,
+    aggregates: Vec<NodeAggregate>,
+    root: usize,
+    num_graph_vertices: usize,
+    fanout: usize,
+    leaf_capacity: usize,
+}
+
+impl CommunityIndex {
+    /// Id of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total number of index nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of graph vertices the index covers.
+    pub fn num_graph_vertices(&self) -> usize {
+        self.num_graph_vertices
+    }
+
+    /// Maximum radius supported by the underlying pre-computation.
+    pub fn r_max(&self) -> u32 {
+        self.precomputed.config.r_max
+    }
+
+    /// Signature width used by the underlying pre-computation.
+    pub fn signature_bits(&self) -> usize {
+        self.precomputed.config.signature_bits
+    }
+
+    /// The fan-out the index was built with.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The leaf capacity the index was built with.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: usize) -> &IndexNode {
+        &self.nodes[id]
+    }
+
+    /// The aggregated bounds of the node with the given id.
+    pub fn aggregate(&self, id: usize) -> &NodeAggregate {
+        &self.aggregates[id]
+    }
+
+    /// Influential-score upper bound of a node for radius `r` and online
+    /// threshold `theta` (`+∞` when no pre-selected threshold applies).
+    pub fn node_score_bound(&self, id: usize, r: u32, theta: f64) -> f64 {
+        match self.precomputed.config.threshold_index(theta) {
+            Some(z) => self.aggregate(id).for_radius(r).score_upper_bounds[z],
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Height of the tree (a single leaf-root has height 1).
+    pub fn height(&self) -> usize {
+        fn depth(index: &CommunityIndex, node: usize) -> usize {
+            match &index.nodes[node] {
+                IndexNode::Leaf { .. } => 1,
+                IndexNode::Internal { children } => {
+                    1 + children.iter().map(|c| depth(index, *c)).max().unwrap_or(0)
+                }
+            }
+        }
+        depth(self, self.root)
+    }
+
+    /// Iterates over every leaf vertex (in index order) — used by tests to
+    /// check the index covers the whole graph.
+    pub fn all_leaf_vertices(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.num_graph_vertices);
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                IndexNode::Leaf { vertices } => out.extend(vertices.iter().copied()),
+                IndexNode::Internal { children } => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+}
+
+/// Builder for [`CommunityIndex`].
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    config: PrecomputeConfig,
+    fanout: usize,
+    leaf_capacity: usize,
+}
+
+impl IndexBuilder {
+    /// Creates a builder with the given offline configuration and default
+    /// fan-out / leaf capacity.
+    pub fn new(config: PrecomputeConfig) -> Self {
+        IndexBuilder { config, fanout: DEFAULT_FANOUT, leaf_capacity: DEFAULT_LEAF_CAPACITY }
+    }
+
+    /// Overrides the fan-out `γ` of non-leaf nodes.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2`.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Overrides the number of vertices per leaf.
+    ///
+    /// # Panics
+    /// Panics if `leaf_capacity` is zero.
+    pub fn with_leaf_capacity(mut self, leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        self.leaf_capacity = leaf_capacity;
+        self
+    }
+
+    /// Runs the offline pre-computation for `g` and builds the index over it.
+    pub fn build(&self, g: &SocialNetwork) -> CommunityIndex {
+        let data = PrecomputedData::compute(g, self.config.clone());
+        self.build_from_precomputed(g, data)
+    }
+
+    /// Builds the index over already pre-computed data (useful when the same
+    /// data backs several index configurations, e.g. the fan-out ablation).
+    pub fn build_from_precomputed(&self, g: &SocialNetwork, data: PrecomputedData) -> CommunityIndex {
+        let n = g.num_vertices();
+        // Sort vertices by the average of their support bound and largest
+        // score bound at r_max, so vertices with similar bounds share leaves
+        // and aggregated bounds stay discriminative (Section V-B).
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        if data.config.r_max >= 1 && !data.config.thresholds.is_empty() {
+            let key = |v: &VertexId| {
+                let agg = data.aggregate(*v, data.config.r_max);
+                let score = agg.score_upper_bounds.first().copied().unwrap_or(0.0);
+                agg.support_upper_bound as f64 / 2.0 + score / 2.0
+            };
+            order.sort_by(|a, b| key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal));
+        }
+
+        let mut nodes = Vec::new();
+        let mut aggregates: Vec<NodeAggregate> = Vec::new();
+
+        // Leaf level.
+        let mut level: Vec<usize> = Vec::new();
+        if n == 0 {
+            nodes.push(IndexNode::Leaf { vertices: Vec::new() });
+            aggregates.push(NodeAggregate::empty(&data.config));
+            level.push(0);
+        } else {
+            for chunk in order.chunks(self.leaf_capacity) {
+                let mut agg = NodeAggregate::empty(&data.config);
+                for &v in chunk {
+                    agg.merge_vertex(&data, v);
+                }
+                nodes.push(IndexNode::Leaf { vertices: chunk.to_vec() });
+                aggregates.push(agg);
+                level.push(nodes.len() - 1);
+            }
+        }
+
+        // Internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            for group in level.chunks(self.fanout) {
+                let mut agg = NodeAggregate::empty(&data.config);
+                for &child in group {
+                    agg.merge_node(&aggregates[child]);
+                }
+                nodes.push(IndexNode::Internal { children: group.to_vec() });
+                aggregates.push(agg);
+                next_level.push(nodes.len() - 1);
+            }
+            level = next_level;
+        }
+
+        let root = level[0];
+        CommunityIndex {
+            precomputed: data,
+            nodes,
+            aggregates,
+            root,
+            num_graph_vertices: n,
+            fanout: self.fanout,
+            leaf_capacity: self.leaf_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::BitVector;
+    use icde_graph::KeywordSet;
+
+    fn graph() -> SocialNetwork {
+        DatasetSpec::new(DatasetKind::Uniform, 200, 11)
+            .with_keyword_domain(20)
+            .generate()
+    }
+
+    fn build(g: &SocialNetwork) -> CommunityIndex {
+        IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
+            .with_fanout(4)
+            .with_leaf_capacity(8)
+            .build(g)
+    }
+
+    #[test]
+    fn index_covers_every_vertex_exactly_once() {
+        let g = graph();
+        let index = build(&g);
+        let mut leaves = index.all_leaf_vertices();
+        leaves.sort_unstable();
+        let expected: Vec<VertexId> = g.vertices().collect();
+        assert_eq!(leaves, expected);
+        assert_eq!(index.num_graph_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn tree_shape_respects_fanout_and_capacity() {
+        let g = graph();
+        let index = build(&g);
+        assert!(index.height() >= 2);
+        for id in 0..index.node_count() {
+            match index.node(id) {
+                IndexNode::Leaf { vertices } => assert!(vertices.len() <= 8),
+                IndexNode::Internal { children } => {
+                    assert!(children.len() <= 4);
+                    assert!(!children.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_dominate_children() {
+        let g = graph();
+        let index = build(&g);
+        for id in 0..index.node_count() {
+            if let IndexNode::Internal { children } = index.node(id) {
+                for &child in children {
+                    for r in 1..=index.r_max() {
+                        let parent = index.aggregate(id).for_radius(r);
+                        let child_agg = index.aggregate(child).for_radius(r);
+                        assert!(parent.support_upper_bound >= child_agg.support_upper_bound);
+                        for z in 0..parent.score_upper_bounds.len() {
+                            assert!(parent.score_upper_bounds[z] >= child_agg.score_upper_bounds[z]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_aggregates_dominate_member_vertices() {
+        let g = graph();
+        let index = build(&g);
+        for id in 0..index.node_count() {
+            if let IndexNode::Leaf { vertices } = index.node(id) {
+                for &v in vertices {
+                    for r in 1..=index.r_max() {
+                        let node_agg = index.aggregate(id).for_radius(r);
+                        let vert_agg = index.precomputed.aggregate(v, r);
+                        assert!(node_agg.support_upper_bound >= vert_agg.support_upper_bound);
+                        for z in 0..node_agg.score_upper_bounds.len() {
+                            assert!(
+                                node_agg.score_upper_bounds[z] >= vert_agg.score_upper_bounds[z]
+                            );
+                        }
+                        // every keyword visible at the vertex is visible at the node
+                        for u in [v] {
+                            for kw in g.keyword_set(u).iter() {
+                                if vert_agg.keyword_signature.maybe_contains(kw) {
+                                    assert!(node_agg.keyword_signature.maybe_contains(kw));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_bound_uses_threshold_brackets() {
+        let g = graph();
+        let index = build(&g);
+        let root = index.root();
+        let low = index.node_score_bound(root, 2, 0.1);
+        let high = index.node_score_bound(root, 2, 0.3);
+        assert!(low >= high, "lower thresholds give larger bounds");
+        assert!(index.node_score_bound(root, 2, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn empty_graph_builds_a_single_leaf() {
+        let g = SocialNetwork::new();
+        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        assert_eq!(index.node_count(), 1);
+        assert_eq!(index.height(), 1);
+        assert!(index.all_leaf_vertices().is_empty());
+    }
+
+    #[test]
+    fn builder_validation() {
+        let b = IndexBuilder::new(PrecomputeConfig::default()).with_fanout(2).with_leaf_capacity(1);
+        assert_eq!(b.fanout, 2);
+        assert_eq!(b.leaf_capacity, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn tiny_fanout_panics() {
+        let _ = IndexBuilder::new(PrecomputeConfig::default()).with_fanout(1);
+    }
+
+    #[test]
+    fn single_vertex_graph_index() {
+        let mut g = SocialNetwork::new();
+        g.add_vertex(KeywordSet::from_ids([1]));
+        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        assert_eq!(index.all_leaf_vertices().len(), 1);
+        let agg = index.aggregate(index.root()).for_radius(1);
+        let q = BitVector::from_keywords(&KeywordSet::from_ids([1]), index.signature_bits());
+        assert!(agg.keyword_signature.intersects(&q));
+    }
+}

@@ -1,0 +1,44 @@
+//! # icde-core — TopL-ICDE and DTopL-ICDE query processing
+//!
+//! The paper's contribution, layered over the `icde-graph`, `icde-truss` and
+//! `icde-influence` substrates:
+//!
+//! * [`query`] — online query parameters (`L`, `θ`, `k`, `r`, `Q`) with
+//!   validation,
+//! * [`seed`] — seed-community extraction and validation (Definition 2),
+//! * [`pruning`] — the keyword / support / radius / influential-score pruning
+//!   rules (Lemmas 1–7) and the diversity-score pruning rule (Lemma 9),
+//! * [`precompute`] — offline pre-computation of per-vertex, per-radius
+//!   aggregates (Algorithm 2),
+//! * [`index`] — the hierarchical tree index `I` over the pre-computed data
+//!   (Section V-B),
+//! * [`topl`] — online TopL-ICDE processing by best-first index traversal
+//!   (Algorithm 3),
+//! * [`dtopl`] — DTopL-ICDE processing: the lazy greedy with diversity
+//!   pruning (Algorithm 4), the unpruned greedy and the exact optimal
+//!   baseline,
+//! * [`baseline`] — competitor methods used in the evaluation (brute force,
+//!   ATindex, k-core),
+//! * [`stats`] — pruning-power instrumentation backing the ablation study.
+
+pub mod baseline;
+pub mod dtopl;
+pub mod error;
+pub mod index;
+pub mod maintenance;
+pub mod persist;
+pub mod precompute;
+pub mod pruning;
+pub mod query;
+pub mod seed;
+pub mod stats;
+pub mod topl;
+
+pub use dtopl::{DTopLAnswer, DTopLProcessor, DTopLQuery, DTopLStrategy};
+pub use error::CoreError;
+pub use index::{CommunityIndex, IndexBuilder};
+pub use precompute::{PrecomputeConfig, PrecomputedData};
+pub use query::TopLQuery;
+pub use seed::SeedCommunity;
+pub use stats::PruningStats;
+pub use topl::{TopLAnswer, TopLProcessor};

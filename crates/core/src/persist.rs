@@ -1,0 +1,113 @@
+//! Index persistence: save the offline phase to disk and reload it later.
+//!
+//! The offline pre-computation (Algorithm 2) is the expensive part of the
+//! pipeline — minutes for large graphs — while the online phase is
+//! milliseconds to seconds. Production deployments therefore build the index
+//! once, persist it next to the graph snapshot, and reload it on start-up.
+//! The format is a versioned JSON envelope around the serde representation of
+//! [`CommunityIndex`].
+
+use crate::error::{CoreError, CoreResult};
+use crate::index::CommunityIndex;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Current on-disk format version. Bump when the index layout changes.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+
+/// Versioned envelope around a serialised index.
+#[derive(Debug, Serialize, Deserialize)]
+struct IndexEnvelope {
+    format_version: u32,
+    index: CommunityIndex,
+}
+
+/// Serialises an index (including its pre-computed data) to a JSON string.
+pub fn index_to_json(index: &CommunityIndex) -> CoreResult<String> {
+    let envelope = IndexEnvelope { format_version: INDEX_FORMAT_VERSION, index: index.clone() };
+    serde_json::to_string(&envelope).map_err(|e| CoreError::Serialization(e.to_string()))
+}
+
+/// Reconstructs an index from a JSON string produced by [`index_to_json`].
+pub fn index_from_json(json: &str) -> CoreResult<CommunityIndex> {
+    let envelope: IndexEnvelope =
+        serde_json::from_str(json).map_err(|e| CoreError::Serialization(e.to_string()))?;
+    if envelope.format_version != INDEX_FORMAT_VERSION {
+        return Err(CoreError::Serialization(format!(
+            "unsupported index format version {} (expected {})",
+            envelope.format_version, INDEX_FORMAT_VERSION
+        )));
+    }
+    Ok(envelope.index)
+}
+
+/// Writes an index to a file.
+pub fn save_index<P: AsRef<Path>>(index: &CommunityIndex, path: P) -> CoreResult<()> {
+    let json = index_to_json(index)?;
+    fs::write(path, json).map_err(|e| CoreError::Serialization(e.to_string()))
+}
+
+/// Loads an index from a file written by [`save_index`].
+pub fn load_index<P: AsRef<Path>>(path: P) -> CoreResult<CommunityIndex> {
+    let json = fs::read_to_string(path).map_err(|e| CoreError::Serialization(e.to_string()))?;
+    index_from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::precompute::PrecomputeConfig;
+    use crate::query::TopLQuery;
+    use crate::topl::TopLProcessor;
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::KeywordSet;
+
+    fn build() -> (icde_graph::SocialNetwork, CommunityIndex) {
+        let g = DatasetSpec::new(DatasetKind::Uniform, 150, 8).with_keyword_domain(10).generate();
+        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        (g, index)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_query_answers() {
+        let (g, index) = build();
+        let json = index_to_json(&index).unwrap();
+        let reloaded = index_from_json(&json).unwrap();
+        assert_eq!(reloaded.num_graph_vertices(), index.num_graph_vertices());
+        assert_eq!(reloaded.node_count(), index.node_count());
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2]), 3, 2, 0.2, 3);
+        let a = TopLProcessor::new(&g, &index).run(&query).unwrap();
+        let b = TopLProcessor::new(&g, &reloaded).run(&query).unwrap();
+        assert_eq!(a.communities.len(), b.communities.len());
+        for (x, y) in a.communities.iter().zip(b.communities.iter()) {
+            assert_eq!(x.vertices, y.vertices);
+            assert!((x.influential_score - y.influential_score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_g, index) = build();
+        let path = std::env::temp_dir().join("topl_icde_index_test.json");
+        save_index(&index, &path).unwrap();
+        let reloaded = load_index(&path).unwrap();
+        assert_eq!(reloaded.node_count(), index.node_count());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (_g, index) = build();
+        let json = index_to_json(&index).unwrap();
+        let tampered = json.replacen("\"format_version\":1", "\"format_version\":999", 1);
+        assert!(matches!(index_from_json(&tampered), Err(CoreError::Serialization(_))));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(index_from_json("not json").is_err());
+        assert!(load_index("/definitely/not/here.json").is_err());
+    }
+}

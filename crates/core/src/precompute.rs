@@ -1,0 +1,466 @@
+//! Offline pre-computation (Algorithm 2).
+//!
+//! For every vertex `v_i` and every radius `r ∈ [1, r_max]`, the offline
+//! phase computes three aggregates over the r-hop region `hop(v_i, r)`:
+//!
+//! * the OR-folded keyword signature `v_i.BV_r` (used by keyword pruning),
+//! * the support upper bound `v_i.ub_sup_r` — the maximum *data-graph* edge
+//!   support over the region's edges (used by support pruning),
+//! * `m` influential-score upper bounds `σ_z(hop(v_i, r))`, one per
+//!   pre-selected threshold `θ_z` (used by influential-score pruning): the
+//!   score of the whole region over-estimates the score of any seed community
+//!   extracted from it.
+//!
+//! The per-vertex work items are independent, so the computation is spread
+//! over `available_parallelism()` worker threads with `crossbeam`'s scoped
+//! threads.
+
+use icde_graph::traversal::bfs_within;
+use icde_graph::{BitVector, SocialNetwork, VertexId, VertexSubset};
+use icde_influence::{InfluenceConfig, InfluenceEvaluator};
+use icde_truss::support::edge_supports_global;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the offline pre-computation phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecomputeConfig {
+    /// Maximum radius `r_max` to pre-compute aggregates for (queries may use
+    /// any `r ≤ r_max`).
+    pub r_max: u32,
+    /// Pre-selected influence thresholds `θ_1 < θ_2 < ... < θ_m`; an online
+    /// threshold `θ ∈ [θ_z, θ_{z+1})` uses `σ_z` as its score upper bound.
+    pub thresholds: Vec<f64>,
+    /// Width (in bits) of the keyword signatures.
+    pub signature_bits: usize,
+    /// Whether to spread the per-vertex work across worker threads.
+    pub parallel: bool,
+}
+
+impl Default for PrecomputeConfig {
+    /// The paper's defaults: `r_max = 3`, thresholds `{0.1, 0.2, 0.3}`
+    /// (Table III), 128-bit signatures.
+    fn default() -> Self {
+        PrecomputeConfig {
+            r_max: 3,
+            thresholds: vec![0.1, 0.2, 0.3],
+            signature_bits: 128,
+            parallel: true,
+        }
+    }
+}
+
+impl PrecomputeConfig {
+    /// Creates a config with explicit `r_max` and thresholds (sorted and
+    /// validated).
+    ///
+    /// # Panics
+    /// Panics if `r_max == 0`, thresholds is empty, or any threshold is
+    /// outside `[0, 1)`.
+    pub fn new(r_max: u32, mut thresholds: Vec<f64>) -> Self {
+        assert!(r_max >= 1, "r_max must be at least 1");
+        assert!(!thresholds.is_empty(), "at least one threshold is required");
+        assert!(
+            thresholds.iter().all(|t| (0.0..1.0).contains(t)),
+            "thresholds must lie in [0, 1)"
+        );
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+        PrecomputeConfig { r_max, thresholds, ..Default::default() }
+    }
+
+    /// Overrides the signature width.
+    pub fn with_signature_bits(mut self, bits: usize) -> Self {
+        self.signature_bits = bits;
+        self
+    }
+
+    /// Enables or disables parallel pre-computation.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Index of the largest pre-selected threshold `θ_z ≤ θ`, or `None` if
+    /// `θ` is below every pre-selected threshold (in which case no valid
+    /// pre-computed upper bound exists and score pruning is disabled).
+    pub fn threshold_index(&self, theta: f64) -> Option<usize> {
+        let mut best = None;
+        for (i, t) in self.thresholds.iter().enumerate() {
+            if *t <= theta {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+/// Aggregates of one `(vertex, radius)` pair, i.e. one r-hop region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiusAggregate {
+    /// OR of the keyword signatures of every vertex in the region (`BV_r`).
+    pub keyword_signature: BitVector,
+    /// Maximum data-graph edge support over the region's edges (`ub_sup_r`).
+    pub support_upper_bound: u32,
+    /// `σ_z(hop(v_i, r))` for each pre-selected threshold, aligned with
+    /// [`PrecomputeConfig::thresholds`].
+    pub score_upper_bounds: Vec<f64>,
+    /// Number of vertices in the region (useful diagnostics; not used for
+    /// pruning).
+    pub region_size: u32,
+}
+
+impl RadiusAggregate {
+    /// An "empty region" aggregate (used as the identity when folding).
+    pub fn empty(signature_bits: usize, num_thresholds: usize) -> Self {
+        RadiusAggregate {
+            keyword_signature: BitVector::zeros(signature_bits),
+            support_upper_bound: 0,
+            score_upper_bounds: vec![0.0; num_thresholds],
+            region_size: 0,
+        }
+    }
+
+    /// Folds another aggregate into this one (bit-OR signatures, max support,
+    /// element-wise max scores) — the aggregation used by index entries.
+    pub fn merge_max(&mut self, other: &RadiusAggregate) {
+        self.keyword_signature.or_assign(&other.keyword_signature);
+        self.support_upper_bound = self.support_upper_bound.max(other.support_upper_bound);
+        for (mine, theirs) in self.score_upper_bounds.iter_mut().zip(&other.score_upper_bounds) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+        self.region_size = self.region_size.max(other.region_size);
+    }
+}
+
+/// All pre-computed data of one vertex: one aggregate per radius
+/// `r ∈ [1, r_max]` (index 0 holds `r = 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexPrecompute {
+    /// Aggregates per radius; `per_radius[r - 1]` belongs to radius `r`.
+    pub per_radius: Vec<RadiusAggregate>,
+}
+
+/// The output of the offline phase for a whole graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecomputedData {
+    /// The configuration the data was computed with.
+    pub config: PrecomputeConfig,
+    /// Per-vertex aggregates, indexed by vertex id.
+    pub vertices: Vec<VertexPrecompute>,
+    /// Per-edge data-graph supports (`ub_sup(e_{u,v})`), indexed by edge id.
+    pub edge_supports: Vec<u32>,
+}
+
+impl PrecomputedData {
+    /// Runs the offline pre-computation (Algorithm 2) over `g`.
+    pub fn compute(g: &SocialNetwork, config: PrecomputeConfig) -> Self {
+        let edge_supports = edge_supports_global(g);
+        let n = g.num_vertices();
+        let mut vertices: Vec<Option<VertexPrecompute>> = vec![None; n];
+
+        let workers = if config.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1))
+        } else {
+            1
+        };
+
+        if workers <= 1 || n == 0 {
+            for (i, slot) in vertices.iter_mut().enumerate() {
+                *slot = Some(precompute_vertex(g, &config, &edge_supports, VertexId::from_index(i)));
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            let results = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..workers {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(n);
+                    if start >= end {
+                        break;
+                    }
+                    let config = &config;
+                    let edge_supports = &edge_supports;
+                    handles.push(scope.spawn(move |_| {
+                        (start..end)
+                            .map(|i| precompute_vertex(g, config, edge_supports, VertexId::from_index(i)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pre-computation worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scoped pre-computation threads");
+            let mut idx = 0usize;
+            for chunk_result in results {
+                for item in chunk_result {
+                    vertices[idx] = Some(item);
+                    idx += 1;
+                }
+            }
+        }
+
+        PrecomputedData {
+            config,
+            vertices: vertices.into_iter().map(|v| v.expect("every vertex pre-computed")).collect(),
+            edge_supports,
+        }
+    }
+
+    /// The aggregate of `hop(v, r)`.
+    ///
+    /// # Panics
+    /// Panics if `r` is 0 or exceeds `r_max`.
+    pub fn aggregate(&self, v: VertexId, r: u32) -> &RadiusAggregate {
+        assert!(r >= 1 && r <= self.config.r_max, "radius {r} outside [1, {}]", self.config.r_max);
+        &self.vertices[v.index()].per_radius[(r - 1) as usize]
+    }
+
+    /// Influential-score upper bound for `hop(v, r)` under online threshold
+    /// `theta`; `+∞` when no pre-selected threshold is ≤ `theta` (no usable
+    /// bound ⇒ never prune).
+    pub fn score_bound(&self, v: VertexId, r: u32, theta: f64) -> f64 {
+        match self.config.threshold_index(theta) {
+            Some(z) => self.aggregate(v, r).score_upper_bounds[z],
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Number of vertices the data was computed over.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Recomputes the aggregates of a single vertex against the current state
+    /// of `g` (used by incremental maintenance after graph updates).
+    ///
+    /// `edge_supports` must already reflect the updated graph; use
+    /// [`PrecomputedData::refresh_edge_supports`] first.
+    pub fn recompute_vertex(&mut self, g: &SocialNetwork, v: VertexId) {
+        self.vertices[v.index()] = precompute_vertex(g, &self.config, &self.edge_supports, v);
+    }
+
+    /// Recomputes the global per-edge supports from scratch against the
+    /// current state of `g` (edge ids may have shifted after insertions).
+    pub fn refresh_edge_supports(&mut self, g: &SocialNetwork) {
+        self.edge_supports = edge_supports_global(g);
+    }
+}
+
+/// Computes the aggregates of a single vertex for every radius.
+fn precompute_vertex(
+    g: &SocialNetwork,
+    config: &PrecomputeConfig,
+    edge_supports: &[u32],
+    v: VertexId,
+) -> VertexPrecompute {
+    // One bounded BFS to r_max gives every radius at once.
+    let distances = bfs_within(g, v, config.r_max);
+    let evaluator = InfluenceEvaluator::new(g, InfluenceConfig { theta: 0.0 });
+
+    let mut per_radius = Vec::with_capacity(config.r_max as usize);
+    for r in 1..=config.r_max {
+        let members: Vec<VertexId> = distances
+            .distances
+            .iter()
+            .filter(|(_, d)| *d <= r)
+            .map(|(u, _)| *u)
+            .collect();
+        let region = VertexSubset::from_iter(members.iter().copied());
+
+        // keyword signature: OR of member signatures
+        let mut signature = BitVector::zeros(config.signature_bits);
+        for &u in &members {
+            signature.or_assign(&BitVector::from_keywords(g.keyword_set(u), config.signature_bits));
+        }
+
+        // support bound: max data-graph support over region edges
+        let mut support_upper_bound = 0u32;
+        for (e, _, _) in region.induced_edges(g) {
+            support_upper_bound = support_upper_bound.max(edge_supports[e.index()]);
+        }
+
+        // score bounds: sigma_z(hop(v, r)) for every pre-selected threshold
+        let score_upper_bounds: Vec<f64> = config
+            .thresholds
+            .iter()
+            .map(|&theta_z| {
+                evaluator
+                    .influenced_community_with_theta(&region, theta_z)
+                    .influential_score()
+            })
+            .collect();
+
+        per_radius.push(RadiusAggregate {
+            keyword_signature: signature,
+            support_upper_bound,
+            score_upper_bounds,
+            region_size: region.len() as u32,
+        });
+    }
+    VertexPrecompute { per_radius }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::{KeywordSet, VertexId};
+    use icde_influence::{InfluenceConfig, InfluenceEvaluator};
+    use icde_graph::traversal::hop_subgraph;
+
+    fn small_graph() -> SocialNetwork {
+        DatasetSpec::new(DatasetKind::Uniform, 120, 3)
+            .with_keyword_domain(20)
+            .generate()
+    }
+
+    #[test]
+    fn config_defaults_and_threshold_lookup() {
+        let c = PrecomputeConfig::default();
+        assert_eq!(c.r_max, 3);
+        assert_eq!(c.thresholds, vec![0.1, 0.2, 0.3]);
+        assert_eq!(c.threshold_index(0.2), Some(1));
+        assert_eq!(c.threshold_index(0.25), Some(1));
+        assert_eq!(c.threshold_index(0.35), Some(2));
+        assert_eq!(c.threshold_index(0.05), None);
+        assert_eq!(c.threshold_index(0.1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "r_max")]
+    fn zero_radius_config_panics() {
+        let _ = PrecomputeConfig::new(0, vec![0.1]);
+    }
+
+    #[test]
+    fn new_sorts_thresholds() {
+        let c = PrecomputeConfig::new(2, vec![0.3, 0.1, 0.2]);
+        assert_eq!(c.thresholds, vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn precompute_produces_per_radius_aggregates() {
+        let g = small_graph();
+        let config = PrecomputeConfig { parallel: false, ..Default::default() };
+        let data = PrecomputedData::compute(&g, config);
+        assert_eq!(data.num_vertices(), g.num_vertices());
+        assert_eq!(data.edge_supports.len(), g.num_edges());
+        for v in g.vertices() {
+            let pre = &data.vertices[v.index()];
+            assert_eq!(pre.per_radius.len(), 3);
+            // larger radius => larger (or equal) region, signature, bounds
+            for r in 1..3usize {
+                let smaller = &pre.per_radius[r - 1];
+                let larger = &pre.per_radius[r];
+                assert!(larger.region_size >= smaller.region_size);
+                assert!(larger.support_upper_bound >= smaller.support_upper_bound);
+                for z in 0..3 {
+                    assert!(larger.score_upper_bounds[z] >= smaller.score_upper_bounds[z] - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let g = small_graph();
+        let seq = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let par = PrecomputedData::compute(&g, PrecomputeConfig { parallel: true, ..Default::default() });
+        // configs differ in the `parallel` flag only; the computed data must
+        // agree (scores up to floating-point summation order, which depends
+        // on hash-map iteration order inside the influence evaluator)
+        assert_eq!(seq.edge_supports, par.edge_supports);
+        assert_eq!(seq.vertices.len(), par.vertices.len());
+        for (a, b) in seq.vertices.iter().zip(par.vertices.iter()) {
+            for (ra, rb) in a.per_radius.iter().zip(b.per_radius.iter()) {
+                assert_eq!(ra.keyword_signature, rb.keyword_signature);
+                assert_eq!(ra.support_upper_bound, rb.support_upper_bound);
+                assert_eq!(ra.region_size, rb.region_size);
+                for (sa, sb) in ra.score_upper_bounds.iter().zip(rb.score_upper_bounds.iter()) {
+                    assert!((sa - sb).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_covers_region_keywords() {
+        let g = small_graph();
+        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        for v in g.vertices().take(20) {
+            let region = hop_subgraph(&g, v, 2);
+            let agg = data.aggregate(v, 2);
+            for u in region.iter() {
+                for kw in g.keyword_set(u).iter() {
+                    assert!(agg.keyword_signature.maybe_contains(kw));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_bound_dominates_region_supports() {
+        let g = small_graph();
+        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        for v in g.vertices().take(20) {
+            let region = hop_subgraph(&g, v, 2);
+            let agg = data.aggregate(v, 2);
+            let exact = icde_truss::support::max_edge_support(&g, &region);
+            assert!(agg.support_upper_bound >= exact, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn score_bound_dominates_any_subcommunity_score() {
+        // sigma_z(hop(v, r)) with theta_z <= theta is an upper bound of the
+        // score of any seed subgraph of hop(v, r) at theta.
+        let g = small_graph();
+        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let theta = 0.25; // falls in [0.2, 0.3)
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(theta));
+        for v in g.vertices().take(15) {
+            let bound = data.score_bound(v, 2, theta);
+            let region = hop_subgraph(&g, v, 2);
+            // the region itself
+            assert!(bound + 1e-9 >= eval.influential_score(&region), "vertex {v}");
+            // and an arbitrary subset of it (here: the 1-hop ball)
+            let sub = hop_subgraph(&g, v, 1);
+            assert!(bound + 1e-9 >= eval.influential_score(&sub), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn score_bound_without_valid_threshold_is_infinite() {
+        let g = small_graph();
+        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        assert!(data.score_bound(VertexId(0), 1, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn merge_max_folds_aggregates() {
+        let mut a = RadiusAggregate::empty(64, 2);
+        let mut b = RadiusAggregate::empty(64, 2);
+        a.support_upper_bound = 3;
+        a.score_upper_bounds = vec![5.0, 2.0];
+        a.keyword_signature = BitVector::from_keywords(&KeywordSet::from_ids([1]), 64);
+        b.support_upper_bound = 7;
+        b.score_upper_bounds = vec![4.0, 6.0];
+        b.keyword_signature = BitVector::from_keywords(&KeywordSet::from_ids([2]), 64);
+        a.merge_max(&b);
+        assert_eq!(a.support_upper_bound, 7);
+        assert_eq!(a.score_upper_bounds, vec![5.0, 6.0]);
+        assert!(a.keyword_signature.maybe_contains(icde_graph::Keyword(1)));
+        assert!(a.keyword_signature.maybe_contains(icde_graph::Keyword(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn aggregate_out_of_range_radius_panics() {
+        let g = small_graph();
+        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let _ = data.aggregate(VertexId(0), 9);
+    }
+}

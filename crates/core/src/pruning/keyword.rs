@@ -1,0 +1,119 @@
+//! Keyword pruning (Lemma 1, community level; Lemma 5, index level).
+//!
+//! *Lemma 1*: a candidate subgraph can be pruned if it contains a vertex
+//! whose keyword set does not intersect the query keyword set `Q` — that
+//! vertex could never be a member of a seed community, so the subgraph as a
+//! whole is not a valid answer. In this implementation the vertex-level
+//! filter is applied during seed extraction (see [`crate::seed`]); the
+//! predicate here is used when deciding whether an entire candidate *region*
+//! can produce any answer at all.
+//!
+//! *Lemma 5*: an index entry `N_i` can be pruned if its aggregated keyword
+//! signature shares no bit with the query signature,
+//! `N_i.BV_r ∧ Q.BV = 0` — then no vertex below the entry carries any query
+//! keyword, so no seed community can be formed under it. Because the
+//! signature is an OR-fold of hashed keyword sets, a zero intersection proves
+//! emptiness (no false dismissals); a non-zero intersection may still be a
+//! hash collision, which is resolved later by exact refinement.
+
+use icde_graph::{BitVector, KeywordSet, SocialNetwork, VertexSubset};
+
+/// Index-level keyword pruning (Lemma 5): returns `true` (prune) when the
+/// aggregated signature of the entry cannot intersect the query signature.
+#[inline]
+pub fn can_prune_by_keyword_signature(entry_signature: &BitVector, query_signature: &BitVector) -> bool {
+    !entry_signature.intersects(query_signature)
+}
+
+/// Community-level keyword check (Lemma 1): returns `true` when `subgraph`
+/// contains at least one vertex without any query keyword. Such a subgraph
+/// cannot itself be a seed community (though a *subset* of it still can — the
+/// caller decides whether it wants the strict Lemma 1 test or the weaker
+/// "no qualified vertex at all" region test).
+pub fn subgraph_violates_keyword_constraint(
+    g: &SocialNetwork,
+    subgraph: &VertexSubset,
+    query: &KeywordSet,
+) -> bool {
+    subgraph.iter().any(|v| !g.keyword_set(v).intersects(query))
+}
+
+/// Region-level keyword check: returns `true` when *no* vertex of the region
+/// carries a query keyword, i.e. the region cannot contain any member of any
+/// seed community. This is the exact counterpart of the signature test of
+/// Lemma 5 and is what the leaf level of Algorithm 3 uses.
+pub fn region_has_no_query_keyword(
+    g: &SocialNetwork,
+    region: &VertexSubset,
+    query: &KeywordSet,
+) -> bool {
+    region.iter().all(|v| !g.keyword_set(v).intersects(query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::{Keyword, VertexId};
+
+    fn graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        g.add_vertex(KeywordSet::from_ids([1, 2]));
+        g.add_vertex(KeywordSet::from_ids([3]));
+        g.add_vertex(KeywordSet::from_ids([9]));
+        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn signature_pruning_requires_empty_intersection() {
+        let entry = BitVector::from_keywords(&KeywordSet::from_ids([1, 2, 3]), 128);
+        let query_hit = BitVector::from_keywords(&KeywordSet::from_ids([3, 7]), 128);
+        let query_miss = BitVector::from_keywords(&KeywordSet::from_ids([40, 41]), 128);
+        assert!(!can_prune_by_keyword_signature(&entry, &query_hit));
+        assert!(can_prune_by_keyword_signature(&entry, &query_miss));
+    }
+
+    #[test]
+    fn signature_pruning_never_false_dismisses() {
+        // If any vertex under the entry shares a keyword with the query, the
+        // OR-fold signature must intersect the query signature.
+        let sets = [
+            KeywordSet::from_ids([1, 5]),
+            KeywordSet::from_ids([8]),
+            KeywordSet::from_ids([12, 13]),
+        ];
+        let mut agg = BitVector::zeros(64);
+        for s in &sets {
+            agg.or_assign(&BitVector::from_keywords(s, 64));
+        }
+        for s in &sets {
+            for kw in s.iter() {
+                let q = KeywordSet::from_iter([kw, Keyword(500)]);
+                let qbv = BitVector::from_keywords(&q, 64);
+                assert!(!can_prune_by_keyword_signature(&agg, &qbv));
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_violation_detects_unqualified_member() {
+        let g = graph();
+        let q = KeywordSet::from_ids([1, 3]);
+        let all = VertexSubset::from_iter([0, 1, 2].map(VertexId));
+        assert!(subgraph_violates_keyword_constraint(&g, &all, &q));
+        let qualified = VertexSubset::from_iter([0, 1].map(VertexId));
+        assert!(!subgraph_violates_keyword_constraint(&g, &qualified, &q));
+        assert!(!subgraph_violates_keyword_constraint(&g, &VertexSubset::new(), &q));
+    }
+
+    #[test]
+    fn region_level_check_requires_every_vertex_to_miss() {
+        let g = graph();
+        let q = KeywordSet::from_ids([9]);
+        let first_two = VertexSubset::from_iter([0, 1].map(VertexId));
+        assert!(region_has_no_query_keyword(&g, &first_two, &q));
+        let all = VertexSubset::from_iter([0, 1, 2].map(VertexId));
+        assert!(!region_has_no_query_keyword(&g, &all, &q));
+    }
+}

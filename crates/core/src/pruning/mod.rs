@@ -1,0 +1,27 @@
+//! Pruning rules (Sections IV, VI-A and VII-B).
+//!
+//! Every rule is a *safe* filter: it may keep a candidate that will later be
+//! rejected by exact refinement (false positives are allowed), but it never
+//! discards a candidate that could belong to the answer set (no false
+//! dismissals). The module is split by rule so each lemma's statement, proof
+//! sketch and tests live together:
+//!
+//! | Module | Community level | Index level |
+//! |--------|-----------------|-------------|
+//! | [`keyword`]   | Lemma 1 | Lemma 5 |
+//! | [`support`]   | Lemma 2 | Lemma 6 |
+//! | [`radius`]    | Lemma 3 | (enables the per-radius pre-computation) |
+//! | [`score`]     | Lemma 4 | Lemma 7 |
+//! | [`diversity`] | Lemma 9 (DTopL-ICDE greedy refinement) | — |
+
+pub mod diversity;
+pub mod keyword;
+pub mod radius;
+pub mod score;
+pub mod support;
+
+pub use diversity::can_prune_by_diversity_gain;
+pub use keyword::{can_prune_by_keyword_signature, subgraph_violates_keyword_constraint};
+pub use radius::can_prune_by_radius;
+pub use score::can_prune_by_score;
+pub use support::can_prune_by_support;

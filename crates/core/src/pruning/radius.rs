@@ -1,0 +1,87 @@
+//! Radius pruning (Lemma 3).
+//!
+//! Every member of a seed community centred at `v_i` must lie within `r` hops
+//! of the centre (measured inside the community). Therefore any vertex whose
+//! hop distance from the centre already exceeds `r` in the *data graph* can
+//! never belong to the community — distances inside a subgraph are never
+//! shorter than in the full graph.
+//!
+//! The rule has two uses:
+//!
+//! * online, a candidate subgraph containing a vertex farther than `r` hops
+//!   from its centre can be discarded (the form stated in Lemma 3);
+//! * offline, it justifies pre-computing aggregates only over the r-hop
+//!   regions `hop(v_i, r)` for `r ∈ [1, r_max]` (Algorithm 2): anything
+//!   outside the ball is irrelevant for a query with that radius.
+
+use icde_graph::traversal::hop_distances_within_subset;
+use icde_graph::{SocialNetwork, VertexId, VertexSubset};
+
+/// Community-level radius pruning (Lemma 3): returns `true` (prune) when some
+/// member of `subgraph` is farther than `radius` hops from `center`, with
+/// distances measured inside the subgraph (unreachable members count as
+/// infinitely far).
+pub fn can_prune_by_radius(
+    g: &SocialNetwork,
+    subgraph: &VertexSubset,
+    center: VertexId,
+    radius: u32,
+) -> bool {
+    if subgraph.is_empty() {
+        return false;
+    }
+    if !subgraph.contains(center) {
+        return true;
+    }
+    let distances = hop_distances_within_subset(g, subgraph, center);
+    distances.distances.len() != subgraph.len() || distances.max_distance() > radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// Path 0-1-2-3-4.
+    fn path() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..5 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..4u32 {
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn prunes_subgraphs_with_far_members() {
+        let g = path();
+        let all = VertexSubset::from_iter(g.vertices());
+        assert!(can_prune_by_radius(&g, &all, VertexId(0), 3));
+        assert!(!can_prune_by_radius(&g, &all, VertexId(0), 4));
+        assert!(!can_prune_by_radius(&g, &all, VertexId(2), 2));
+    }
+
+    #[test]
+    fn distances_are_measured_inside_the_subgraph() {
+        let g = path();
+        // {0, 1, 3, 4}: vertex 3 unreachable from 0 without vertex 2
+        let gapped = VertexSubset::from_iter([0, 1, 3, 4].map(VertexId));
+        assert!(can_prune_by_radius(&g, &gapped, VertexId(0), 10));
+    }
+
+    #[test]
+    fn center_must_belong_to_the_subgraph() {
+        let g = path();
+        let tail = VertexSubset::from_iter([3, 4].map(VertexId));
+        assert!(can_prune_by_radius(&g, &tail, VertexId(0), 5));
+        assert!(!can_prune_by_radius(&g, &tail, VertexId(3), 1));
+    }
+
+    #[test]
+    fn empty_subgraph_is_never_pruned() {
+        let g = path();
+        assert!(!can_prune_by_radius(&g, &VertexSubset::new(), VertexId(0), 1));
+    }
+}

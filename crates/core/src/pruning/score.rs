@@ -1,0 +1,51 @@
+//! Influential-score pruning (Lemma 4, community level; Lemma 7, index
+//! level).
+//!
+//! Once `L` candidate seed communities have been collected, let `σ_L` be the
+//! smallest influential score among them. Any candidate whose score *upper
+//! bound* does not exceed `σ_L` can never displace a current answer, so it
+//! can be pruned without refinement (Lemma 4). The same argument applies to a
+//! whole index entry whose aggregated upper bound `N_i.σ_z` does not exceed
+//! `σ_L` (Lemma 7), and to the early-termination test of Algorithm 3: the
+//! traversal heap is ordered by upper bound, so once the best remaining bound
+//! fails the test every remaining entry fails it too.
+//!
+//! Upper bounds come from the offline pre-computation: `σ_z(hop(v_i, r))`,
+//! the score of the *whole* r-hop region evaluated at a pre-selected
+//! threshold `θ_z ≤ θ`, over-estimates the score of every seed community
+//! inside the region at the online threshold `θ` (larger seed ⇒ larger score;
+//! smaller threshold ⇒ larger score).
+
+/// Returns `true` (prune) when a candidate's score upper bound cannot beat
+/// the current `L`-th best score.
+///
+/// `sigma_l` is `-∞` until `L` candidates have been found, in which case
+/// nothing is pruned — matching the initialisation of Algorithm 3 (line 4).
+#[inline]
+pub fn can_prune_by_score(score_upper_bound: f64, sigma_l: f64) -> bool {
+    score_upper_bound <= sigma_l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_bounds_at_or_below_sigma_l() {
+        assert!(can_prune_by_score(3.0, 3.0));
+        assert!(can_prune_by_score(2.9, 3.0));
+        assert!(!can_prune_by_score(3.1, 3.0));
+    }
+
+    #[test]
+    fn nothing_pruned_before_l_answers_exist() {
+        let sigma_l = f64::NEG_INFINITY;
+        assert!(!can_prune_by_score(0.0, sigma_l));
+        assert!(!can_prune_by_score(-5.0, sigma_l));
+    }
+
+    #[test]
+    fn infinity_bound_is_never_pruned() {
+        assert!(!can_prune_by_score(f64::INFINITY, 1e12));
+    }
+}

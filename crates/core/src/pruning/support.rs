@@ -1,0 +1,80 @@
+//! Support pruning (Lemma 2, community level; Lemma 6, index level).
+//!
+//! A seed community must be a k-truss, i.e. every edge must lie in at least
+//! `k − 2` triangles of the community. Since a community is always a subgraph
+//! of the r-hop region it is extracted from (and of the data graph), the edge
+//! support inside any supergraph is an **upper bound** `ub_sup(e)` of the
+//! support inside the community.
+//!
+//! *Lemma 2*: a candidate region can be pruned if the *maximum* support upper
+//! bound over its edges is below `k − 2` — then no edge of any subgraph can
+//! reach the required support, so no k-truss with at least one edge exists.
+//!
+//! *Lemma 6*: an index entry can be pruned if the maximum of those per-region
+//! bounds over every vertex below the entry is still below the requirement.
+//!
+//! Note on constants: the paper states Lemma 6 with `N_i.ub_sup_r < k`; we
+//! use the tight form `< k − 2` consistently with the k-truss definition used
+//! everywhere else (`sup(e) ≥ k − 2`). The tight form prunes strictly less
+//! aggressively than a `< k` test would only for regions whose best support
+//! equals `k − 2` or `k − 1`, and those regions genuinely can contain valid
+//! communities, so the `< k` form would not be safe.
+
+/// Returns `true` (prune) when the best available support upper bound cannot
+/// satisfy the k-truss requirement `sup(e) ≥ k − 2`.
+///
+/// Works for both community-level bounds (`ub_sup_r` of a single r-hop
+/// region, Lemma 2) and index-level bounds (the maximum over an entry's
+/// children, Lemma 6).
+#[inline]
+pub fn can_prune_by_support(max_support_upper_bound: u32, k: u32) -> bool {
+    max_support_upper_bound < k.saturating_sub(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
+    use icde_truss::support::max_edge_support;
+
+    #[test]
+    fn prunes_only_below_requirement() {
+        // k = 4 requires support >= 2
+        assert!(can_prune_by_support(0, 4));
+        assert!(can_prune_by_support(1, 4));
+        assert!(!can_prune_by_support(2, 4));
+        assert!(!can_prune_by_support(5, 4));
+        // k = 2 and k = 3 with bound 0/1
+        assert!(!can_prune_by_support(0, 2));
+        assert!(can_prune_by_support(0, 3));
+        assert!(!can_prune_by_support(1, 3));
+    }
+
+    #[test]
+    fn never_false_dismisses_a_real_truss() {
+        // Build a K5; its max edge support inside any region containing it is
+        // 3, so the rule must keep every k <= 5.
+        let mut g = SocialNetwork::new();
+        for _ in 0..5 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+            }
+        }
+        let region = VertexSubset::from_iter(g.vertices());
+        let ub = max_edge_support(&g, &region);
+        assert_eq!(ub, 3);
+        for k in 2..=5 {
+            assert!(!can_prune_by_support(ub, k), "k={k}");
+        }
+        assert!(can_prune_by_support(ub, 6));
+    }
+
+    #[test]
+    fn saturating_behaviour_for_tiny_k() {
+        assert!(!can_prune_by_support(0, 0));
+        assert!(!can_prune_by_support(0, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Online query parameters.
+//!
+//! A TopL-ICDE query (Definition 4) is specified by the query keyword set
+//! `Q`, the truss support `k`, the maximum radius `r` of seed communities,
+//! the influence threshold `θ` and the number of answers `L`. All of them are
+//! "online" parameters: they arrive with each query, while the index is built
+//! once offline.
+
+use crate::error::{CoreError, CoreResult};
+use icde_graph::{BitVector, KeywordSet};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one TopL-ICDE query (Definition 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopLQuery {
+    /// Query keyword set `Q`; every seed-community member must contain at
+    /// least one of these keywords.
+    pub keywords: KeywordSet,
+    /// Truss support parameter `k`: every edge of a seed community must be in
+    /// at least `k − 2` triangles of the community.
+    pub support: u32,
+    /// Maximum radius `r`: every member must be within `r` hops of the centre
+    /// inside the community.
+    pub radius: u32,
+    /// Influence threshold `θ ∈ [0, 1)` for membership in the influenced
+    /// community.
+    pub theta: f64,
+    /// Number of seed communities to return (`L`).
+    pub l: usize,
+}
+
+impl TopLQuery {
+    /// Creates a query; use [`TopLQuery::validate`] (or the processors, which
+    /// validate on entry) to check the parameters.
+    pub fn new(keywords: KeywordSet, support: u32, radius: u32, theta: f64, l: usize) -> Self {
+        TopLQuery { keywords, support, radius, theta, l }
+    }
+
+    /// The paper's default parameters (Table III, bold values): `k = 4`,
+    /// `r = 2`, `θ = 0.2`, `L = 5`.
+    pub fn with_defaults(keywords: KeywordSet) -> Self {
+        TopLQuery { keywords, support: 4, radius: 2, theta: 0.2, l: 5 }
+    }
+
+    /// Validates every parameter range from Definition 4.
+    pub fn validate(&self) -> CoreResult<()> {
+        if self.keywords.is_empty() {
+            return Err(CoreError::EmptyQueryKeywords);
+        }
+        if self.l == 0 {
+            return Err(CoreError::InvalidResultSize(self.l));
+        }
+        if self.support < 2 {
+            return Err(CoreError::InvalidSupport(self.support));
+        }
+        if self.radius == 0 {
+            return Err(CoreError::InvalidRadius(self.radius));
+        }
+        if !(0.0..1.0).contains(&self.theta) {
+            return Err(CoreError::InvalidTheta(self.theta));
+        }
+        Ok(())
+    }
+
+    /// Hashes the query keyword set into a signature of `bits` bits
+    /// (`Q.BV`, Algorithm 3 line 1).
+    pub fn keyword_signature(&self, bits: usize) -> BitVector {
+        BitVector::from_keywords(&self.keywords, bits)
+    }
+
+    /// Returns a copy with a different result size `L` (used by DTopL-ICDE,
+    /// which first fetches `n·L` candidates).
+    pub fn with_result_size(&self, l: usize) -> Self {
+        let mut q = self.clone();
+        q.l = l;
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keywords() -> KeywordSet {
+        KeywordSet::from_ids([1, 2, 3])
+    }
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let q = TopLQuery::with_defaults(keywords());
+        assert_eq!(q.support, 4);
+        assert_eq!(q.radius, 2);
+        assert_eq!(q.theta, 0.2);
+        assert_eq!(q.l, 5);
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let q = TopLQuery::new(KeywordSet::new(), 4, 2, 0.2, 5);
+        assert_eq!(q.validate(), Err(CoreError::EmptyQueryKeywords));
+        let q = TopLQuery::new(keywords(), 4, 2, 0.2, 0);
+        assert_eq!(q.validate(), Err(CoreError::InvalidResultSize(0)));
+        let q = TopLQuery::new(keywords(), 1, 2, 0.2, 5);
+        assert_eq!(q.validate(), Err(CoreError::InvalidSupport(1)));
+        let q = TopLQuery::new(keywords(), 4, 0, 0.2, 5);
+        assert_eq!(q.validate(), Err(CoreError::InvalidRadius(0)));
+        let q = TopLQuery::new(keywords(), 4, 2, 1.0, 5);
+        assert_eq!(q.validate(), Err(CoreError::InvalidTheta(1.0)));
+        let q = TopLQuery::new(keywords(), 4, 2, -0.1, 5);
+        assert!(matches!(q.validate(), Err(CoreError::InvalidTheta(_))));
+    }
+
+    #[test]
+    fn keyword_signature_covers_query_keywords() {
+        let q = TopLQuery::with_defaults(keywords());
+        let bv = q.keyword_signature(128);
+        for kw in q.keywords.iter() {
+            assert!(bv.maybe_contains(kw));
+        }
+    }
+
+    #[test]
+    fn with_result_size_changes_only_l() {
+        let q = TopLQuery::with_defaults(keywords());
+        let q3 = q.with_result_size(15);
+        assert_eq!(q3.l, 15);
+        assert_eq!(q3.support, q.support);
+        assert_eq!(q3.keywords, q.keywords);
+    }
+}

@@ -1,0 +1,292 @@
+//! Seed communities (Definition 2): extraction and validation.
+//!
+//! A seed community `g` centred at `v_q` with parameters `(k, r, Q)` is a
+//! connected subgraph such that
+//!
+//! 1. `v_q ∈ V(g)`,
+//! 2. every member is within `r` hops of `v_q` *inside* `g`,
+//! 3. `g` is a k-truss (every edge of `g` lies in ≥ `k − 2` triangles of `g`),
+//! 4. every member's keyword set intersects the query keyword set `Q`.
+//!
+//! [`extract_seed_community`] computes the (unique) maximal such subgraph for
+//! one centre by alternating three monotone reductions until a fixpoint:
+//! keyword filtering, k-truss peeling, and radius trimming. Each step only
+//! removes vertices/edges that can never belong to any valid seed community
+//! around this centre, so the fixpoint is the maximal valid community (or
+//! nothing if the centre itself is eliminated).
+
+use icde_graph::traversal::{hop_distances_within_subset, hop_subgraph};
+use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
+use icde_truss::ktruss::maximal_ktruss;
+use serde::{Deserialize, Serialize};
+
+/// A fully-refined seed community together with its influential score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedCommunity {
+    /// The centre vertex `v_q`.
+    pub center: VertexId,
+    /// Members of the community (centre included).
+    pub vertices: VertexSubset,
+    /// Exact influential score `σ(g)` under the query threshold.
+    pub influential_score: f64,
+    /// Size of the influenced community `g^Inf` (members + influenced users).
+    pub influenced_size: usize,
+}
+
+impl SeedCommunity {
+    /// Number of members of the seed community.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if the community has no members (never produced by the
+    /// processors; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Number of influenced users outside the seed community.
+    pub fn influenced_only(&self) -> usize {
+        self.influenced_size.saturating_sub(self.vertices.len())
+    }
+}
+
+/// Extracts the maximal seed community centred at `center` for parameters
+/// `(k, r, Q)`, or `None` if no valid community containing the centre exists.
+pub fn extract_seed_community(
+    g: &SocialNetwork,
+    center: VertexId,
+    support: u32,
+    radius: u32,
+    query_keywords: &KeywordSet,
+) -> Option<VertexSubset> {
+    // The centre itself must satisfy the keyword constraint.
+    if !g.keyword_set(center).intersects(query_keywords) {
+        return None;
+    }
+
+    // Start from the r-hop ball and keep only keyword-qualified vertices.
+    let ball = hop_subgraph(g, center, radius);
+    let mut candidate = VertexSubset::from_iter(
+        ball.iter().filter(|v| g.keyword_set(*v).intersects(query_keywords)),
+    );
+
+    loop {
+        if candidate.len() <= 1 {
+            return None;
+        }
+        // k-truss peel restricted to the candidate set; keep the connected
+        // component containing the centre.
+        let peel = maximal_ktruss(g, &candidate, support);
+        let component = peel.component_containing(center)?;
+
+        // Radius constraint *inside* the community: trim vertices farther
+        // than r hops from the centre (or unreachable within the component).
+        let distances = hop_distances_within_subset(g, &component, center);
+        let within: VertexSubset = distances
+            .distances
+            .iter()
+            .filter(|(_, d)| *d <= radius)
+            .map(|(v, _)| *v)
+            .collect();
+
+        if within.len() == component.len() && within == candidate {
+            return Some(within);
+        }
+        if within.len() <= 1 {
+            return None;
+        }
+        // Some vertices were trimmed; re-run the peel on the smaller set.
+        candidate = within;
+    }
+}
+
+/// Checks whether `subset` is a valid seed community for `(center, k, r, Q)`
+/// per Definition 2 (connectivity, centre membership, radius, truss and
+/// keyword constraints).
+///
+/// The k-truss constraint uses the edge-subgraph semantics standard in truss
+/// community search: the maximal k-truss of the subgraph induced by `subset`
+/// must span every member and connect them all to the centre through truss
+/// edges. (Stray induced edges that do not reach the required support are not
+/// part of the community's edge set; they do not invalidate it.)
+pub fn is_valid_seed_community(
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+    center: VertexId,
+    support: u32,
+    radius: u32,
+    query_keywords: &KeywordSet,
+) -> bool {
+    if subset.is_empty() || !subset.contains(center) {
+        return false;
+    }
+    if !subset.iter().all(|v| g.keyword_set(v).intersects(query_keywords)) {
+        return false;
+    }
+    if !subset.is_connected(g) {
+        return false;
+    }
+    // radius constraint measured inside the subgraph
+    let distances = hop_distances_within_subset(g, subset, center);
+    if distances.distances.len() != subset.len() || distances.max_distance() > radius {
+        return false;
+    }
+    // truss constraint: the k-truss of the induced subgraph must cover the
+    // whole subset and keep it connected around the centre
+    match maximal_ktruss(g, subset, support).component_containing(center) {
+        Some(component) => component == *subset,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// Graph used across the seed tests:
+    /// * K4 on {0,1,2,3} — all tagged with keyword 1,
+    /// * vertex 4 attached to 0,1,2 (forming a K5 minus edge 3-4) — keyword 2,
+    /// * a far triangle {5,6,7} tagged keyword 1, connected to 3 by one edge.
+    fn test_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for kw in [1u32, 1, 1, 1, 2, 1, 1, 1] {
+            g.add_vertex(KeywordSet::from_ids([kw]));
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.6).unwrap();
+            }
+        }
+        for n in [0u32, 1, 2] {
+            g.add_symmetric_edge(VertexId(4), VertexId(n), 0.6).unwrap();
+        }
+        g.add_symmetric_edge(VertexId(3), VertexId(5), 0.6).unwrap();
+        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.6).unwrap();
+        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.6).unwrap();
+        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.6).unwrap();
+        g
+    }
+
+    #[test]
+    fn extracts_clique_community() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1]);
+        let c = extract_seed_community(&g, VertexId(0), 4, 2, &q).unwrap();
+        // vertex 4 fails the keyword constraint, so the community is the K4
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3].map(VertexId));
+        assert!(is_valid_seed_community(&g, &c, VertexId(0), 4, 2, &q));
+    }
+
+    #[test]
+    fn keyword_2_admits_vertex_4() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1, 2]);
+        let c = extract_seed_community(&g, VertexId(0), 4, 2, &q).unwrap();
+        // with both keywords allowed, vertex 4 joins and the 4-truss covers
+        // {0,1,2,3,4}
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3, 4].map(VertexId));
+        assert!(is_valid_seed_community(&g, &c, VertexId(0), 4, 2, &q));
+    }
+
+    #[test]
+    fn center_without_query_keyword_yields_none() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1]);
+        assert!(extract_seed_community(&g, VertexId(4), 3, 2, &q).is_none());
+    }
+
+    #[test]
+    fn triangle_center_with_k3() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1]);
+        let c = extract_seed_community(&g, VertexId(6), 3, 1, &q).unwrap();
+        assert_eq!(c.as_slice(), &[5, 6, 7].map(VertexId));
+        // k = 4 is too demanding for the triangle
+        assert!(extract_seed_community(&g, VertexId(6), 4, 2, &q).is_none());
+    }
+
+    #[test]
+    fn radius_constraint_trims_far_vertices() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1]);
+        // radius 1 around vertex 5: the triangle is within one hop, the K4 is
+        // not (vertex 3 is adjacent but its clique-mates are 2 hops away)
+        let c = extract_seed_community(&g, VertexId(5), 3, 1, &q).unwrap();
+        assert_eq!(c.as_slice(), &[5, 6, 7].map(VertexId));
+    }
+
+    #[test]
+    fn unreachable_or_low_support_centers_yield_none() {
+        let mut g = test_graph();
+        let isolated = g.add_vertex(KeywordSet::from_ids([1]));
+        let q = KeywordSet::from_ids([1]);
+        assert!(extract_seed_community(&g, isolated, 3, 2, &q).is_none());
+        // support 5 exceeds anything in the graph (K4 edges only have 2
+        // triangles each inside {0,1,2,3})
+        assert!(extract_seed_community(&g, VertexId(0), 6, 2, &q).is_none());
+    }
+
+    #[test]
+    fn validation_rejects_constraint_violations() {
+        let g = test_graph();
+        let q = KeywordSet::from_ids([1]);
+        let k4 = VertexSubset::from_iter([0, 1, 2, 3].map(VertexId));
+        assert!(is_valid_seed_community(&g, &k4, VertexId(0), 4, 2, &q));
+        // centre outside
+        assert!(!is_valid_seed_community(&g, &k4, VertexId(5), 4, 2, &q));
+        // keyword violation: vertex 4 has keyword 2 only
+        let with4 = VertexSubset::from_iter([0, 1, 2, 3, 4].map(VertexId));
+        assert!(!is_valid_seed_community(&g, &with4, VertexId(0), 4, 2, &q));
+        // disconnected set
+        let disconnected = VertexSubset::from_iter([0, 1, 6].map(VertexId));
+        assert!(!is_valid_seed_community(&g, &disconnected, VertexId(0), 2, 3, &q));
+        // truss violation: {3,5,6} forms a path (edge 3-5 in no triangle)
+        let path = VertexSubset::from_iter([3, 5, 6].map(VertexId));
+        assert!(!is_valid_seed_community(&g, &path, VertexId(3), 3, 2, &q));
+        // radius violation: K4 plus the triangle around centre 0 at radius 1
+        let all = VertexSubset::from_iter([0, 1, 2, 3, 5, 6, 7].map(VertexId));
+        assert!(!is_valid_seed_community(&g, &all, VertexId(0), 3, 1, &q));
+        // empty set
+        assert!(!is_valid_seed_community(&g, &VertexSubset::new(), VertexId(0), 3, 1, &q));
+    }
+
+    #[test]
+    fn extracted_community_is_always_valid() {
+        // For every centre and a few parameter combinations, whatever the
+        // extractor returns must pass the validator.
+        let g = test_graph();
+        for center in g.vertices() {
+            for (k, r, kws) in [
+                (3u32, 1u32, vec![1u32]),
+                (3, 2, vec![1, 2]),
+                (4, 2, vec![1]),
+                (4, 3, vec![1, 2]),
+                (5, 2, vec![1, 2]),
+            ] {
+                let q = KeywordSet::from_ids(kws.clone());
+                if let Some(c) = extract_seed_community(&g, center, k, r, &q) {
+                    assert!(
+                        is_valid_seed_community(&g, &c, center, k, r, &q),
+                        "center {center} k {k} r {r} {kws:?} -> {:?}",
+                        c.as_slice()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_community_accessors() {
+        let sc = SeedCommunity {
+            center: VertexId(3),
+            vertices: VertexSubset::from_iter([1, 2, 3].map(VertexId)),
+            influential_score: 4.5,
+            influenced_size: 7,
+        };
+        assert_eq!(sc.len(), 3);
+        assert!(!sc.is_empty());
+        assert_eq!(sc.influenced_only(), 4);
+    }
+}

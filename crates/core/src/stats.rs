@@ -1,0 +1,133 @@
+//! Pruning-power instrumentation.
+//!
+//! The ablation study (Figure 4) reports how many candidate communities each
+//! pruning rule eliminates and how that affects wall-clock time. Every query
+//! processor therefore carries a [`PruningStats`] record that counts, per
+//! rule, the index entries and candidate centres that were discarded without
+//! refinement.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters describing how much work one query avoided (or performed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruningStats {
+    /// Index entries (non-leaf) pruned by the keyword rule (Lemma 5).
+    pub index_keyword_pruned: usize,
+    /// Index entries pruned by the support rule (Lemma 6).
+    pub index_support_pruned: usize,
+    /// Index entries pruned by the influential-score rule (Lemma 7).
+    pub index_score_pruned: usize,
+    /// Candidate centres (leaf entries) pruned by the keyword rule (Lemma 1).
+    pub candidate_keyword_pruned: usize,
+    /// Candidate centres pruned by the support rule (Lemma 2).
+    pub candidate_support_pruned: usize,
+    /// Candidate centres pruned by the influential-score rule (Lemma 4).
+    pub candidate_score_pruned: usize,
+    /// Candidate centres whose r-hop region produced no valid seed community
+    /// (radius / truss / keyword constraints failed during refinement).
+    pub candidates_without_community: usize,
+    /// Candidate centres fully refined (seed community extracted and its
+    /// exact influential score computed).
+    pub candidates_refined: usize,
+    /// Remaining heap entries skipped by the early-termination test
+    /// (Algorithm 3 lines 7–8).
+    pub early_terminated_entries: usize,
+    /// Diversity-score re-computations avoided by the lazy-greedy pruning
+    /// rule (Lemma 9) during DTopL-ICDE refinement.
+    pub diversity_pruned: usize,
+}
+
+impl PruningStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of candidate communities pruned before refinement (the
+    /// quantity plotted in Figure 4(a)).
+    pub fn total_pruned_candidates(&self) -> usize {
+        self.candidate_keyword_pruned
+            + self.candidate_support_pruned
+            + self.candidate_score_pruned
+            + self.early_terminated_entries
+    }
+
+    /// Total number of index entries pruned at non-leaf level.
+    pub fn total_pruned_index_entries(&self) -> usize {
+        self.index_keyword_pruned + self.index_support_pruned + self.index_score_pruned
+    }
+
+    /// Entries pruned by the keyword rule at any level.
+    pub fn keyword_pruned(&self) -> usize {
+        self.index_keyword_pruned + self.candidate_keyword_pruned
+    }
+
+    /// Entries pruned by the support rule at any level.
+    pub fn support_pruned(&self) -> usize {
+        self.index_support_pruned + self.candidate_support_pruned
+    }
+
+    /// Entries pruned by the influential-score rule at any level (including
+    /// early termination, which is score-based).
+    pub fn score_pruned(&self) -> usize {
+        self.index_score_pruned + self.candidate_score_pruned + self.early_terminated_entries
+    }
+}
+
+impl AddAssign for PruningStats {
+    fn add_assign(&mut self, other: Self) {
+        self.index_keyword_pruned += other.index_keyword_pruned;
+        self.index_support_pruned += other.index_support_pruned;
+        self.index_score_pruned += other.index_score_pruned;
+        self.candidate_keyword_pruned += other.candidate_keyword_pruned;
+        self.candidate_support_pruned += other.candidate_support_pruned;
+        self.candidate_score_pruned += other.candidate_score_pruned;
+        self.candidates_without_community += other.candidates_without_community;
+        self.candidates_refined += other.candidates_refined;
+        self.early_terminated_entries += other.early_terminated_entries;
+        self.diversity_pruned += other.diversity_pruned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_rules() {
+        let stats = PruningStats {
+            index_keyword_pruned: 1,
+            index_support_pruned: 2,
+            index_score_pruned: 3,
+            candidate_keyword_pruned: 10,
+            candidate_support_pruned: 20,
+            candidate_score_pruned: 30,
+            candidates_without_community: 4,
+            candidates_refined: 5,
+            early_terminated_entries: 7,
+            diversity_pruned: 6,
+        };
+        assert_eq!(stats.total_pruned_candidates(), 67);
+        assert_eq!(stats.total_pruned_index_entries(), 6);
+        assert_eq!(stats.keyword_pruned(), 11);
+        assert_eq!(stats.support_pruned(), 22);
+        assert_eq!(stats.score_pruned(), 40);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = PruningStats { candidates_refined: 2, ..Default::default() };
+        let b = PruningStats { candidates_refined: 3, candidate_keyword_pruned: 1, ..Default::default() };
+        a += b;
+        assert_eq!(a.candidates_refined, 5);
+        assert_eq!(a.candidate_keyword_pruned, 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let stats = PruningStats::new();
+        assert_eq!(stats.total_pruned_candidates(), 0);
+        assert_eq!(stats.total_pruned_index_entries(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! B-bit keyword signatures (`v_i.BV`, `Q.BV`) used by the keyword pruning
+//! rule (Lemma 1 / Lemma 5).
+//!
+//! Section V-A of the paper hashes every keyword `w` of a vertex keyword set
+//! into a bit vector of size `B` via a hash function `f(w) ∈ [0, B-1]` and
+//! sets that bit. Aggregated signatures for r-hop subgraphs and index entries
+//! are bit-ORs of member signatures. The query keyword set is hashed the same
+//! way, and an index entry can be pruned when `N_i.BV_r ∧ Q.BV = 0`.
+//!
+//! The signature is a *filter*: hash collisions can cause false positives
+//! (an entry survives pruning although no real keyword matches) but never
+//! false dismissals — the property tests in this module and in the core crate
+//! assert exactly that invariant.
+
+use crate::keywords::{Keyword, KeywordSet};
+use serde::{Deserialize, Serialize};
+
+/// Default signature width in bits; matches a 2-word signature which is wide
+/// enough for the keyword domains used in the paper (|Σ| ≤ 80).
+pub const DEFAULT_SIGNATURE_BITS: usize = 128;
+
+/// A fixed-width bit vector storing hashed keyword signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVector {
+    /// Number of usable bits (`B` in the paper).
+    bits: u32,
+    /// Backing words, `ceil(bits / 64)` entries.
+    words: Vec<u64>,
+}
+
+impl BitVector {
+    /// Creates an all-zero signature of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero.
+    pub fn zeros(bits: usize) -> Self {
+        assert!(bits > 0, "bit vector width must be positive");
+        BitVector { bits: bits as u32, words: vec![0u64; bits.div_ceil(64)] }
+    }
+
+    /// Creates a signature of the default width.
+    pub fn default_width() -> Self {
+        Self::zeros(DEFAULT_SIGNATURE_BITS)
+    }
+
+    /// Hashes a full keyword set into a fresh signature of `bits` bits.
+    pub fn from_keywords(set: &KeywordSet, bits: usize) -> Self {
+        let mut bv = Self::zeros(bits);
+        for kw in set.iter() {
+            bv.set_keyword(kw);
+        }
+        bv
+    }
+
+    /// Number of usable bits.
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// The hash function `f(w)` mapping a keyword to a bit position.
+    ///
+    /// Uses a 64-bit splitmix finaliser so that nearby keyword ids scatter
+    /// across the signature instead of clustering in the low bits.
+    #[inline]
+    pub fn hash_position(&self, kw: Keyword) -> usize {
+        let mut x = kw.0 as u64;
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.bits as u64) as usize
+    }
+
+    /// Sets the bit corresponding to keyword `kw`.
+    #[inline]
+    pub fn set_keyword(&mut self, kw: Keyword) {
+        let pos = self.hash_position(kw);
+        self.set_bit(pos);
+    }
+
+    /// Sets bit `pos`.
+    #[inline]
+    pub fn set_bit(&mut self, pos: usize) {
+        debug_assert!(pos < self.bits as usize);
+        self.words[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    /// Returns bit `pos`.
+    #[inline]
+    pub fn get_bit(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.bits as usize);
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Returns `true` if the keyword's bit is set (i.e. the keyword *may* be
+    /// present).
+    #[inline]
+    pub fn maybe_contains(&self, kw: Keyword) -> bool {
+        self.get_bit(self.hash_position(kw))
+    }
+
+    /// In-place bit-OR with another signature of the same width (the
+    /// aggregation `BV_r = ⋁ v_l.BV` from Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics if widths differ.
+    pub fn or_assign(&mut self, other: &BitVector) {
+        assert_eq!(self.bits, other.bits, "bit vector width mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+        }
+    }
+
+    /// Returns the bit-OR of two signatures.
+    pub fn or(&self, other: &BitVector) -> BitVector {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Returns `true` if the bitwise AND of the two signatures is non-zero
+    /// (i.e. the sets *may* intersect). `intersects == false` is a safe
+    /// pruning condition: the underlying keyword sets definitely do not
+    /// intersect.
+    pub fn intersects(&self, other: &BitVector) -> bool {
+        assert_eq!(self.bits, other.bits, "bit vector width mismatch");
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_is_empty() {
+        let bv = BitVector::zeros(64);
+        assert!(bv.is_zero());
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.num_bits(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = BitVector::zeros(0);
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut bv = BitVector::zeros(130);
+        bv.set_bit(0);
+        bv.set_bit(64);
+        bv.set_bit(129);
+        assert!(bv.get_bit(0) && bv.get_bit(64) && bv.get_bit(129));
+        assert!(!bv.get_bit(1));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn keyword_membership_never_false_negative() {
+        let set = KeywordSet::from_ids([3, 17, 99, 1000]);
+        let bv = BitVector::from_keywords(&set, 128);
+        for kw in set.iter() {
+            assert!(bv.maybe_contains(kw));
+        }
+    }
+
+    #[test]
+    fn or_aggregates_signatures() {
+        let a = BitVector::from_keywords(&KeywordSet::from_ids([1, 2]), 128);
+        let b = BitVector::from_keywords(&KeywordSet::from_ids([3]), 128);
+        let u = a.or(&b);
+        for kw in [1u32, 2, 3] {
+            assert!(u.maybe_contains(Keyword(kw)));
+        }
+        assert!(u.count_ones() >= a.count_ones());
+        assert!(u.count_ones() >= b.count_ones());
+    }
+
+    #[test]
+    fn disjoint_small_sets_usually_do_not_intersect() {
+        // With 128 bits and 2+2 keywords, these particular ids do not collide.
+        let a = BitVector::from_keywords(&KeywordSet::from_ids([1, 2]), 128);
+        let b = BitVector::from_keywords(&KeywordSet::from_ids([40, 41]), 128);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = BitVector::zeros(64);
+        let b = BitVector::zeros(128);
+        let _ = a.intersects(&b);
+    }
+
+    proptest! {
+        /// Keyword-pruning soundness: if the real keyword sets intersect then
+        /// the signatures must intersect (no false dismissals).
+        #[test]
+        fn prop_no_false_dismissal(
+            a in proptest::collection::vec(0u32..500, 0..10),
+            b in proptest::collection::vec(0u32..500, 0..10),
+            bits in prop_oneof![Just(32usize), Just(64), Just(128), Just(256)],
+        ) {
+            let sa = KeywordSet::from_ids(a);
+            let sb = KeywordSet::from_ids(b);
+            let bva = BitVector::from_keywords(&sa, bits);
+            let bvb = BitVector::from_keywords(&sb, bits);
+            if sa.intersects(&sb) {
+                prop_assert!(bva.intersects(&bvb));
+            }
+        }
+
+        /// OR-aggregation soundness: a member's keyword is always visible in
+        /// the aggregated signature.
+        #[test]
+        fn prop_or_preserves_membership(
+            sets in proptest::collection::vec(proptest::collection::vec(0u32..200, 1..6), 1..8),
+        ) {
+            let mut agg = BitVector::zeros(128);
+            let keyword_sets: Vec<KeywordSet> =
+                sets.into_iter().map(KeywordSet::from_ids).collect();
+            for s in &keyword_sets {
+                agg.or_assign(&BitVector::from_keywords(s, 128));
+            }
+            for s in &keyword_sets {
+                for kw in s.iter() {
+                    prop_assert!(agg.maybe_contains(kw));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Fluent construction of [`SocialNetwork`] instances.
+//!
+//! [`GraphBuilder`] buffers vertices and edges and performs validation only
+//! once at [`GraphBuilder::build`], which makes it convenient for tests,
+//! examples and file loaders that discover vertices lazily (an edge list can
+//! mention vertex 10 before vertices 0..9 were explicitly declared).
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::SocialNetwork;
+use crate::keywords::KeywordSet;
+use crate::types::{VertexId, Weight};
+
+/// Incremental builder for [`SocialNetwork`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    keywords: Vec<KeywordSet>,
+    edges: Vec<(VertexId, VertexId, Weight, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` keyword-less vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder { keywords: vec![KeywordSet::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of vertices declared so far.
+    pub fn num_vertices(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Number of edges buffered so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex with the given keyword set and returns its id.
+    pub fn add_vertex(&mut self, keywords: KeywordSet) -> VertexId {
+        self.keywords.push(keywords);
+        VertexId::from_index(self.keywords.len() - 1)
+    }
+
+    /// Ensures vertices `0..=v` exist (creating keyword-less vertices as
+    /// needed). Used by edge-list loaders.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v.index() >= self.keywords.len() {
+            self.keywords.resize(v.index() + 1, KeywordSet::new());
+        }
+    }
+
+    /// Sets (replaces) the keyword set of an already-declared vertex.
+    pub fn set_keywords(&mut self, v: VertexId, keywords: KeywordSet) -> GraphResult<()> {
+        if v.index() >= self.keywords.len() {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        self.keywords[v.index()] = keywords;
+        Ok(())
+    }
+
+    /// Buffers an undirected edge with distinct directed probabilities.
+    /// Unknown endpoints are created on the fly.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, p_uv: Weight, p_vu: Weight) -> &mut Self {
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        self.edges.push((u, v, p_uv, p_vu));
+        self
+    }
+
+    /// Buffers an undirected edge with a single symmetric probability.
+    pub fn add_symmetric_edge(&mut self, u: VertexId, v: VertexId, p: Weight) -> &mut Self {
+        self.add_edge(u, v, p, p)
+    }
+
+    /// Validates the buffered structure and produces the final graph.
+    ///
+    /// Duplicate edges (in either orientation) and self-loops are rejected
+    /// here so that callers get one error for the whole batch.
+    pub fn build(self) -> GraphResult<SocialNetwork> {
+        let mut g = SocialNetwork::with_capacity(self.keywords.len(), self.edges.len());
+        for kw in self.keywords {
+            g.add_vertex(kw);
+        }
+        for (u, v, p_uv, p_vu) in self.edges {
+            g.add_edge(u, v, p_uv, p_vu)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(KeywordSet::from_ids([1]));
+        let c = b.add_vertex(KeywordSet::from_ids([2]));
+        b.add_symmetric_edge(a, c, 0.5);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.activation_probability(a, c).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn ensure_vertex_creates_gaps() {
+        let mut b = GraphBuilder::new();
+        b.add_symmetric_edge(VertexId(0), VertexId(5), 0.6);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(VertexId(3)), 0);
+        assert!(g.contains_edge(VertexId(0), VertexId(5)));
+    }
+
+    #[test]
+    fn with_vertices_prepopulates() {
+        let b = GraphBuilder::with_vertices(4);
+        assert_eq!(b.num_vertices(), 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edge_detected_at_build() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        b.add_symmetric_edge(VertexId(1), VertexId(0), 0.6);
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge(..))));
+    }
+
+    #[test]
+    fn self_loop_detected_at_build() {
+        let mut b = GraphBuilder::with_vertices(1);
+        b.add_symmetric_edge(VertexId(0), VertexId(0), 0.5);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn set_keywords_requires_existing_vertex() {
+        let mut b = GraphBuilder::with_vertices(1);
+        assert!(b.set_keywords(VertexId(0), KeywordSet::from_ids([3])).is_ok());
+        assert!(b.set_keywords(VertexId(7), KeywordSet::new()).is_err());
+        let g = b.build().unwrap();
+        assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(3)));
+    }
+}

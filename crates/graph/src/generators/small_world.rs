@@ -1,0 +1,147 @@
+//! Newman–Watts–Strogatz small-world generator (Section VIII-A).
+//!
+//! The paper's synthetic graphs are produced by: (1) arranging `|V(G)|`
+//! vertices on a ring, (2) connecting each vertex to its `m` nearest ring
+//! neighbours, and (3) for each resulting edge `e_{u,v}`, adding — with
+//! probability `µ` — a new shortcut edge `e_{u,w}` to a uniformly random
+//! vertex `w`. The paper uses `m = 6` and `µ = 0.167`.
+//!
+//! Edge weights are assigned separately (see [`super::weights`]).
+
+use crate::graph::SocialNetwork;
+use crate::keywords::KeywordSet;
+use crate::types::VertexId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Newman–Watts–Strogatz generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmallWorldConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Each vertex connects to its `m` nearest ring neighbours (`m/2` on each
+    /// side; the paper uses `m = 6`).
+    pub ring_neighbors: usize,
+    /// Shortcut probability `µ` per ring edge (the paper uses 0.167).
+    pub shortcut_probability: f64,
+}
+
+impl SmallWorldConfig {
+    /// The paper's parameters: `m = 6`, `µ = 0.167`.
+    pub fn paper_default(num_vertices: usize) -> Self {
+        SmallWorldConfig { num_vertices, ring_neighbors: 6, shortcut_probability: 0.167 }
+    }
+}
+
+/// Generates a Newman–Watts–Strogatz small-world graph. All edges carry a
+/// placeholder weight of 0.5 until [`super::assign_uniform_weights`] is run.
+///
+/// # Panics
+/// Panics if `ring_neighbors` is odd or zero, or if the graph is too small to
+/// host the requested ring (fewer than `ring_neighbors + 1` vertices).
+pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetwork {
+    let n = config.num_vertices;
+    let m = config.ring_neighbors;
+    assert!(m >= 2 && m % 2 == 0, "ring_neighbors must be a positive even number");
+    assert!(n > m, "need more than ring_neighbors vertices");
+
+    let mut g = SocialNetwork::with_capacity(n, n * m / 2);
+    for _ in 0..n {
+        g.add_vertex(KeywordSet::new());
+    }
+
+    // Ring lattice: connect each vertex to the next m/2 vertices around the
+    // ring (covering m neighbours in total once both directions are counted).
+    let half = m / 2;
+    let mut ring_edges = Vec::with_capacity(n * half);
+    for i in 0..n {
+        for offset in 1..=half {
+            let j = (i + offset) % n;
+            let u = VertexId::from_index(i);
+            let v = VertexId::from_index(j);
+            if g.add_symmetric_edge(u, v, 0.5).is_ok() {
+                ring_edges.push((u, v));
+            }
+        }
+    }
+
+    // Newman–Watts shortcuts: for each ring edge, with probability µ add a
+    // brand-new edge from u to a random vertex w (no rewiring, no removals).
+    for &(u, _v) in &ring_edges {
+        if rng.gen_bool(config.shortcut_probability) {
+            // A handful of retries keeps the expected shortcut count close to
+            // µ·|ring edges| even when collisions occur.
+            for _ in 0..8 {
+                let w = VertexId::from_index(rng.gen_range(0..n));
+                if w != u && !g.contains_edge(u, w) {
+                    g.add_symmetric_edge(u, w, 0.5).expect("validated before insertion");
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = small_world(&SmallWorldConfig::paper_default(500), &mut rng);
+        assert_eq!(g.num_vertices(), 500);
+        // ring alone contributes n*m/2 = 1500 edges; shortcuts add ~µ more
+        assert!(g.num_edges() >= 1500);
+        assert!(g.num_edges() <= (1500.0 * (1.0 + 0.167) * 1.1) as usize);
+    }
+
+    #[test]
+    fn ring_makes_graph_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = small_world(&SmallWorldConfig::paper_default(200), &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn every_vertex_has_at_least_ring_degree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SmallWorldConfig { num_vertices: 100, ring_neighbors: 4, shortcut_probability: 0.1 };
+        let g = small_world(&cfg, &mut rng);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 4, "vertex {v} has degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SmallWorldConfig::paper_default(300);
+        let a = small_world(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = small_world(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.num_edges(), b.num_edges());
+        let edges_a: Vec<_> = a.edges().map(|(_, u, v)| (u, v)).collect();
+        let edges_b: Vec<_> = b.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn zero_shortcut_probability_gives_pure_ring() {
+        let cfg = SmallWorldConfig { num_vertices: 50, ring_neighbors: 6, shortcut_probability: 0.0 };
+        let g = small_world(&cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(g.num_edges(), 50 * 3);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_ring_neighbors_panics() {
+        let cfg = SmallWorldConfig { num_vertices: 50, ring_neighbors: 5, shortcut_probability: 0.0 };
+        let _ = small_world(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,435 @@
+//! The social network graph store (Definition 1).
+//!
+//! A [`SocialNetwork`] is an attributed, undirected, weighted graph
+//! `G = (V(G), E(G), Φ(G))`: the *structure* (who is connected to whom) is
+//! undirected, while each structural edge carries two directed activation
+//! probabilities `p_{u,v}` (u activates v) and `p_{v,u}` (v activates u) used
+//! by the MIA propagation model. Each vertex carries a keyword set `v_i.W`.
+//!
+//! Internally the graph is stored as sorted adjacency lists over dense vertex
+//! ids plus a canonical edge table (each undirected edge appears once with
+//! `u < v`), which gives `O(log deg)` edge lookups and lets edge-indexed data
+//! (supports, trussness) live in flat vectors.
+
+use crate::error::{GraphError, GraphResult};
+use crate::keywords::KeywordSet;
+use crate::types::{is_valid_probability, EdgeId, VertexId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// An attributed, undirected, weighted social network (Definition 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SocialNetwork {
+    /// `adjacency[v]` — sorted list of `(neighbour, edge id)` pairs.
+    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Canonical edge table: `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Directed activation probability `p_{u,v}` for the canonical direction
+    /// (`u < v`).
+    weight_forward: Vec<Weight>,
+    /// Directed activation probability `p_{v,u}` for the reverse direction.
+    weight_backward: Vec<Weight>,
+    /// Per-vertex keyword sets `v_i.W`.
+    keywords: Vec<KeywordSet>,
+}
+
+impl SocialNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty network with capacity hints.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        SocialNetwork {
+            adjacency: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            weight_forward: Vec::with_capacity(edges),
+            weight_backward: Vec::with_capacity(edges),
+            keywords: Vec::with_capacity(vertices),
+        }
+    }
+
+    /// Number of vertices `|V(G)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `|E(G)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Returns `true` if `v` is a valid vertex id of this graph.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.adjacency.len()
+    }
+
+    /// Iterates over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.adjacency.len()).map(VertexId::from_index)
+    }
+
+    /// Iterates over the canonical edge table as `(edge id, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::from_index(i), u, v))
+    }
+
+    /// Adds an isolated vertex with the given keyword set and returns its id.
+    pub fn add_vertex(&mut self, keywords: KeywordSet) -> VertexId {
+        let id = VertexId::from_index(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        self.keywords.push(keywords);
+        id
+    }
+
+    /// Adds an undirected edge `{u, v}` with directed activation
+    /// probabilities `p_uv` (u activates v) and `p_vu` (v activates u).
+    ///
+    /// Returns the new edge id or an error if the edge is invalid
+    /// (unknown endpoint, self-loop, duplicate, or out-of-range weight).
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        p_uv: Weight,
+        p_vu: Weight,
+    ) -> GraphResult<EdgeId> {
+        if !self.contains_vertex(u) {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !is_valid_probability(p_uv) {
+            return Err(GraphError::InvalidWeight { u, v, weight: p_uv });
+        }
+        if !is_valid_probability(p_vu) {
+            return Err(GraphError::InvalidWeight { u: v, v: u, weight: p_vu });
+        }
+        if self.edge_between(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let (p_lo_hi, p_hi_lo) = if u < v { (p_uv, p_vu) } else { (p_vu, p_uv) };
+        let eid = EdgeId::from_index(self.edges.len());
+        self.edges.push((lo, hi));
+        self.weight_forward.push(p_lo_hi);
+        self.weight_backward.push(p_hi_lo);
+        Self::insert_sorted(&mut self.adjacency[u.index()], (v, eid));
+        Self::insert_sorted(&mut self.adjacency[v.index()], (u, eid));
+        Ok(eid)
+    }
+
+    /// Adds an undirected edge with the same activation probability in both
+    /// directions (the synthetic generators in the paper draw a single weight
+    /// per edge).
+    pub fn add_symmetric_edge(&mut self, u: VertexId, v: VertexId, p: Weight) -> GraphResult<EdgeId> {
+        self.add_edge(u, v, p, p)
+    }
+
+    fn insert_sorted(list: &mut Vec<(VertexId, EdgeId)>, entry: (VertexId, EdgeId)) {
+        match list.binary_search_by_key(&entry.0, |&(n, _)| n) {
+            Ok(_) => unreachable!("duplicate edges are rejected before insertion"),
+            Err(pos) => list.insert(pos, entry),
+        }
+    }
+
+    /// Returns the edge id between `u` and `v`, if any.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let list = self.adjacency.get(u.index())?;
+        list.binary_search_by_key(&v, |&(n, _)| n).ok().map(|pos| list[pos].1)
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Returns the canonical endpoints `(u, v)` with `u < v` of an edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()]
+    }
+
+    /// Directed activation probability `p_{u→v}` along an existing edge.
+    ///
+    /// Returns an error if `{u, v}` is not an edge.
+    pub fn activation_probability(&self, u: VertexId, v: VertexId) -> GraphResult<Weight> {
+        let eid = self.edge_between(u, v).ok_or(GraphError::MissingEdge(u, v))?;
+        Ok(self.directed_weight(eid, u))
+    }
+
+    /// Directed activation probability along edge `e` when leaving from
+    /// `from` (which must be one of the endpoints).
+    #[inline]
+    pub fn directed_weight(&self, e: EdgeId, from: VertexId) -> Weight {
+        let (lo, _hi) = self.edges[e.index()];
+        if from == lo {
+            self.weight_forward[e.index()]
+        } else {
+            self.weight_backward[e.index()]
+        }
+    }
+
+    /// Degree of a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Average degree over all vertices (`avg_deg` in the complexity
+    /// analyses), 0.0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over the neighbours of `v` as `(neighbour, edge id)` in
+    /// ascending neighbour order.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.adjacency[v.index()].iter().copied()
+    }
+
+    /// Iterates over the neighbours of `v` together with the *outgoing*
+    /// activation probability `p_{v→n}`.
+    pub fn outgoing(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.adjacency[v.index()]
+            .iter()
+            .map(move |&(n, e)| (n, self.directed_weight(e, v)))
+    }
+
+    /// Returns the sorted neighbour list of `v` as a slice of
+    /// `(neighbour, edge id)` pairs.
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Keyword set `v.W` of a vertex.
+    #[inline]
+    pub fn keyword_set(&self, v: VertexId) -> &KeywordSet {
+        &self.keywords[v.index()]
+    }
+
+    /// Replaces the keyword set of a vertex (used by the generators when
+    /// keywords are assigned after the topology is built).
+    pub fn set_keyword_set(&mut self, v: VertexId, keywords: KeywordSet) {
+        self.keywords[v.index()] = keywords;
+    }
+
+    /// Overwrites both directed weights of an existing edge.
+    pub fn set_edge_weights(&mut self, e: EdgeId, p_forward: Weight, p_backward: Weight) -> GraphResult<()> {
+        let (lo, hi) = self.edges[e.index()];
+        if !is_valid_probability(p_forward) {
+            return Err(GraphError::InvalidWeight { u: lo, v: hi, weight: p_forward });
+        }
+        if !is_valid_probability(p_backward) {
+            return Err(GraphError::InvalidWeight { u: hi, v: lo, weight: p_backward });
+        }
+        self.weight_forward[e.index()] = p_forward;
+        self.weight_backward[e.index()] = p_backward;
+        Ok(())
+    }
+
+    /// Counts the number of common neighbours of `u` and `v` (the number of
+    /// triangles through the edge `{u, v}` when they are adjacent).
+    ///
+    /// Linear merge over the two sorted adjacency lists.
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        let a = &self.adjacency[u.index()];
+        let b = &self.adjacency[v.index()];
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Collects the common neighbours of `u` and `v`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let a = &self.adjacency[u.index()];
+        let b = &self.adjacency[v.index()];
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i].0);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywords::KeywordSet;
+
+    fn triangle() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        let a = g.add_vertex(KeywordSet::from_ids([1]));
+        let b = g.add_vertex(KeywordSet::from_ids([1, 2]));
+        let c = g.add_vertex(KeywordSet::from_ids([2]));
+        g.add_edge(a, b, 0.8, 0.7).unwrap();
+        g.add_edge(b, c, 0.6, 0.5).unwrap();
+        g.add_edge(a, c, 0.9, 0.9).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialNetwork::new();
+        assert!(g.is_empty());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_vertices_and_edges() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.average_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.contains_edge(VertexId(0), VertexId(1)));
+        assert!(g.contains_edge(VertexId(1), VertexId(0)));
+        assert!(!g.contains_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn directed_weights_are_kept_per_direction() {
+        let g = triangle();
+        let (a, b) = (VertexId(0), VertexId(1));
+        assert_eq!(g.activation_probability(a, b).unwrap(), 0.8);
+        assert_eq!(g.activation_probability(b, a).unwrap(), 0.7);
+        // edge added as (b, c) with p_bc = 0.6, p_cb = 0.5
+        assert_eq!(g.activation_probability(VertexId(1), VertexId(2)).unwrap(), 0.6);
+        assert_eq!(g.activation_probability(VertexId(2), VertexId(1)).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn outgoing_iterates_with_weights() {
+        let g = triangle();
+        let out: Vec<(VertexId, f64)> = g.outgoing(VertexId(0)).collect();
+        assert_eq!(out, vec![(VertexId(1), 0.8), (VertexId(2), 0.9)]);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = SocialNetwork::new();
+        let a = g.add_vertex(KeywordSet::new());
+        let b = g.add_vertex(KeywordSet::new());
+        assert!(matches!(
+            g.add_edge(a, VertexId(9), 0.5, 0.5),
+            Err(GraphError::UnknownVertex(_))
+        ));
+        assert!(matches!(g.add_edge(a, a, 0.5, 0.5), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(
+            g.add_edge(a, b, 1.5, 0.5),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        g.add_edge(a, b, 0.5, 0.5).unwrap();
+        assert!(matches!(
+            g.add_edge(b, a, 0.5, 0.5),
+            Err(GraphError::DuplicateEdge(..))
+        ));
+    }
+
+    #[test]
+    fn missing_edge_weight_lookup_errors() {
+        let g = triangle();
+        let mut g2 = g.clone();
+        let d = g2.add_vertex(KeywordSet::new());
+        assert!(matches!(
+            g2.activation_probability(VertexId(0), d),
+            Err(GraphError::MissingEdge(..))
+        ));
+    }
+
+    #[test]
+    fn common_neighbors_of_triangle_edge() {
+        let g = triangle();
+        assert_eq!(g.common_neighbor_count(VertexId(0), VertexId(1)), 1);
+        assert_eq!(g.common_neighbors(VertexId(0), VertexId(1)), vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn keyword_sets_accessible_and_mutable() {
+        let mut g = triangle();
+        assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(1)));
+        g.set_keyword_set(VertexId(0), KeywordSet::from_ids([7]));
+        assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(7)));
+    }
+
+    #[test]
+    fn set_edge_weights_validates() {
+        let mut g = triangle();
+        let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
+        g.set_edge_weights(e, 0.2, 0.3).unwrap();
+        assert_eq!(g.activation_probability(VertexId(0), VertexId(1)).unwrap(), 0.2);
+        assert_eq!(g.activation_probability(VertexId(1), VertexId(0)).unwrap(), 0.3);
+        assert!(g.set_edge_weights(e, -1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn edge_iteration_is_canonical() {
+        let g = triangle();
+        for (e, u, v) in g.edges() {
+            assert!(u < v);
+            assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: SocialNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(
+            back.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            0.8
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # icde-graph — social network substrate for TopL-ICDE
+//!
+//! This crate provides the data model from Definition 1 of the TopL-ICDE
+//! paper: an attributed, undirected, weighted **social network** where each
+//! vertex carries a keyword set and each edge carries an activation
+//! probability, plus everything the upper layers need to work with it:
+//!
+//! * [`SocialNetwork`] — adjacency-list graph store with per-vertex keyword
+//!   sets and per-edge propagation probabilities,
+//! * [`keywords`] — keyword sets and the B-bit hashed [`bitvec::BitVector`]
+//!   signatures used by the keyword pruning rule,
+//! * [`traversal`] — BFS, r-hop subgraph extraction `hop(v, r)`, hop
+//!   distances and connected components,
+//! * [`subgraph`] — light-weight vertex-subset views over a network,
+//! * [`generators`] — synthetic workload generators (Newman–Watts–Strogatz
+//!   small-world, DBLP-like, Amazon-like, keyword distributions, edge
+//!   weights),
+//! * [`io`] — edge-list / JSON snapshot readers and writers.
+//!
+//! The representation is bespoke (rather than reusing a generic graph crate)
+//! so that keyword bit vectors, edge supports and per-radius aggregates can
+//! be stored next to the topology and accessed without hashing.
+
+pub mod bitvec;
+pub mod builder;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod keywords;
+pub mod statistics;
+pub mod subgraph;
+pub mod traversal;
+pub mod types;
+
+pub use bitvec::BitVector;
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::SocialNetwork;
+pub use keywords::{Keyword, KeywordSet};
+pub use subgraph::VertexSubset;
+pub use types::{EdgeId, VertexId, Weight};

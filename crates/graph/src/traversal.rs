@@ -1,0 +1,262 @@
+//! Breadth-first traversal utilities: r-hop subgraphs, hop distances and
+//! connected components.
+//!
+//! The radius constraint of Definition 2 and the offline pre-computation of
+//! Algorithm 2 both revolve around the *r-hop subgraph* `hop(v_i, r)` — the
+//! subgraph induced by every vertex within `r` hops of the centre `v_i`. This
+//! module provides that extraction plus the hop-distance primitives used by
+//! the radius pruning rule (Lemma 3).
+
+use crate::graph::SocialNetwork;
+use crate::subgraph::VertexSubset;
+use crate::types::VertexId;
+use std::collections::VecDeque;
+
+/// Result of a bounded BFS: every reached vertex together with its hop
+/// distance from the source.
+#[derive(Debug, Clone)]
+pub struct HopDistances {
+    /// Source of the BFS.
+    pub source: VertexId,
+    /// `(vertex, hops)` pairs in BFS order (source first with distance 0).
+    pub distances: Vec<(VertexId, u32)>,
+}
+
+impl HopDistances {
+    /// Looks up the hop distance of `v`, if it was reached.
+    pub fn distance(&self, v: VertexId) -> Option<u32> {
+        self.distances.iter().find(|(u, _)| *u == v).map(|(_, d)| *d)
+    }
+
+    /// The vertex set reached by the BFS.
+    pub fn reached(&self) -> VertexSubset {
+        VertexSubset::from_iter(self.distances.iter().map(|(v, _)| *v))
+    }
+
+    /// The maximum hop distance of any reached vertex (the eccentricity of
+    /// the source within the explored ball).
+    pub fn max_distance(&self) -> u32 {
+        self.distances.iter().map(|(_, d)| *d).max().unwrap_or(0)
+    }
+}
+
+/// Runs a BFS from `source` bounded to `max_hops` hops and returns every
+/// reached vertex with its hop distance.
+///
+/// `max_hops = u32::MAX` gives an unbounded BFS over the connected component.
+pub fn bfs_within(g: &SocialNetwork, source: VertexId, max_hops: u32) -> HopDistances {
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    order.push((source, 0));
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertices have distances");
+        if du == max_hops {
+            continue;
+        }
+        for (n, _) in g.neighbors(u) {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(du + 1);
+                order.push((n, du + 1));
+                queue.push_back(n);
+            }
+        }
+    }
+    HopDistances { source, distances: order }
+}
+
+/// Extracts the r-hop subgraph `hop(center, r)`: the set of vertices within
+/// `r` hops of `center` (including the centre itself).
+pub fn hop_subgraph(g: &SocialNetwork, center: VertexId, r: u32) -> VertexSubset {
+    bfs_within(g, center, r).reached()
+}
+
+/// Hop distance between `u` and `v` in the full graph, or `None` if they are
+/// disconnected.
+pub fn hop_distance(g: &SocialNetwork, u: VertexId, v: VertexId) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[u.index()] = Some(0);
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()].unwrap();
+        for (n, _) in g.neighbors(x) {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(dx + 1);
+                if n == v {
+                    return Some(dx + 1);
+                }
+                queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distances from `source` restricted to the subgraph induced by
+/// `subset`; vertices outside `subset` are never traversed.
+///
+/// Used to verify the radius constraint of Definition 2, where the shortest
+/// path distance `dist(v_q, v_l)` is measured *inside* the seed community.
+pub fn hop_distances_within_subset(
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+    source: VertexId,
+) -> HopDistances {
+    debug_assert!(subset.contains(source), "source must belong to the subset");
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    order.push((source, 0));
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].unwrap();
+        for (n, _) in g.neighbors(u) {
+            if subset.contains(n) && dist[n.index()].is_none() {
+                dist[n.index()] = Some(du + 1);
+                order.push((n, du + 1));
+                queue.push_back(n);
+            }
+        }
+    }
+    HopDistances { source, distances: order }
+}
+
+/// Returns `true` if every vertex of `subset` lies within `r` hops of
+/// `center` when paths are restricted to `subset` (the radius constraint of
+/// Definition 2).
+pub fn satisfies_radius(g: &SocialNetwork, subset: &VertexSubset, center: VertexId, r: u32) -> bool {
+    if subset.is_empty() {
+        return true;
+    }
+    if !subset.contains(center) {
+        return false;
+    }
+    let hd = hop_distances_within_subset(g, subset, center);
+    hd.distances.len() == subset.len() && hd.max_distance() <= r
+}
+
+/// Computes the connected components of the graph; returns one
+/// [`VertexSubset`] per component, largest first.
+pub fn connected_components(g: &SocialNetwork) -> Vec<VertexSubset> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut components = Vec::new();
+    for v in g.vertices() {
+        if seen[v.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![v];
+        seen[v.index()] = true;
+        while let Some(u) = stack.pop() {
+            component.push(u);
+            for (n, _) in g.neighbors(u) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        components.push(VertexSubset::from_iter(component));
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// Returns `true` if the whole graph is connected (the paper's Definition 1
+/// assumes a connected social network).
+pub fn is_connected(g: &SocialNetwork) -> bool {
+    g.num_vertices() <= 1 || connected_components(g).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywords::KeywordSet;
+
+    /// Path graph 0-1-2-3-4 plus an isolated vertex 5.
+    fn path_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..6 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..4u32 {
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph();
+        let hd = bfs_within(&g, VertexId(0), u32::MAX);
+        assert_eq!(hd.distance(VertexId(0)), Some(0));
+        assert_eq!(hd.distance(VertexId(3)), Some(3));
+        assert_eq!(hd.distance(VertexId(5)), None);
+        assert_eq!(hd.max_distance(), 4);
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_radius() {
+        let g = path_graph();
+        let hd = bfs_within(&g, VertexId(0), 2);
+        assert_eq!(hd.distances.len(), 3);
+        assert_eq!(hd.distance(VertexId(2)), Some(2));
+        assert_eq!(hd.distance(VertexId(3)), None);
+    }
+
+    #[test]
+    fn hop_subgraph_matches_radius() {
+        let g = path_graph();
+        let h1 = hop_subgraph(&g, VertexId(2), 1);
+        assert_eq!(h1.as_slice(), &[VertexId(1), VertexId(2), VertexId(3)]);
+        let h0 = hop_subgraph(&g, VertexId(2), 0);
+        assert_eq!(h0.as_slice(), &[VertexId(2)]);
+    }
+
+    #[test]
+    fn hop_distance_between_pairs() {
+        let g = path_graph();
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(4)), Some(4));
+        assert_eq!(hop_distance(&g, VertexId(1), VertexId(1)), Some(0));
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(5)), None);
+    }
+
+    #[test]
+    fn subset_restricted_distances() {
+        let g = path_graph();
+        // subset {0, 1, 3, 4}: 3 and 4 unreachable from 0 without vertex 2
+        let s = VertexSubset::from_iter([VertexId(0), VertexId(1), VertexId(3), VertexId(4)]);
+        let hd = hop_distances_within_subset(&g, &s, VertexId(0));
+        assert_eq!(hd.distances.len(), 2);
+        assert!(!satisfies_radius(&g, &s, VertexId(0), 5));
+        let t = VertexSubset::from_iter([VertexId(0), VertexId(1), VertexId(2)]);
+        assert!(satisfies_radius(&g, &t, VertexId(0), 2));
+        assert!(!satisfies_radius(&g, &t, VertexId(0), 1));
+        assert!(satisfies_radius(&g, &t, VertexId(1), 1));
+        // centre outside the subset never satisfies the constraint
+        assert!(!satisfies_radius(&g, &t, VertexId(4), 3));
+        assert!(satisfies_radius(&g, &VertexSubset::new(), VertexId(0), 1));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = path_graph();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 5);
+        assert_eq!(comps[1].len(), 1);
+        assert!(!is_connected(&g));
+
+        let mut g2 = g.clone();
+        g2.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
+        assert!(is_connected(&g2));
+        assert!(is_connected(&SocialNetwork::new()));
+    }
+}

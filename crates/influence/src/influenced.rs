@@ -1,0 +1,407 @@
+//! Influenced communities and influential scores.
+//!
+//! Given a seed community `g` and a threshold `θ`, the influenced community
+//! `g^Inf` (Definition 3) contains every vertex `v` with community-to-user
+//! propagation probability `cpp(g, v) ≥ θ` (Eq. (4); members of the seed have
+//! `cpp = 1`). The influential score `σ(g)` (Eq. (5)) sums those
+//! probabilities over `g^Inf`.
+//!
+//! The expansion mirrors the paper's `calculate_influence(g, θ)` discussion
+//! (Section VI-B): a multi-source, max-product Dijkstra seeded with every
+//! community member at probability 1, expanding frontier vertices through
+//! `cpp(g, v_new) = max_{u ∈ g^Inf} cpp(g, u) · p_{u, v_new}` and stopping as
+//! soon as a candidate's probability would drop below `θ`. Because edge
+//! probabilities are ≤ 1, probabilities only decrease along paths, so the
+//! cut-off is exact rather than heuristic.
+
+use icde_graph::{SocialNetwork, VertexId, VertexSubset, Weight};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Parameters of influence evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfluenceConfig {
+    /// Influence threshold `θ ∈ [0, 1)`: vertices with `cpp(g, v) < θ` are
+    /// outside the influenced community.
+    pub theta: Weight,
+}
+
+impl InfluenceConfig {
+    /// Creates a config after validating `0 ≤ θ < 1`.
+    ///
+    /// # Panics
+    /// Panics if θ is outside `[0, 1)`.
+    pub fn new(theta: Weight) -> Self {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        InfluenceConfig { theta }
+    }
+}
+
+impl Default for InfluenceConfig {
+    /// The paper's default threshold θ = 0.2 (Table III).
+    fn default() -> Self {
+        InfluenceConfig { theta: 0.2 }
+    }
+}
+
+/// The influenced community `g^Inf` of one seed community: every member's
+/// community-to-user propagation probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfluencedCommunity {
+    /// `cpp(g, v)` for every vertex of `g^Inf` (seed members map to 1.0).
+    cpp: HashMap<VertexId, Weight>,
+    /// Number of seed vertices.
+    seed_size: usize,
+    /// Threshold used during expansion.
+    theta: Weight,
+    /// Influential score accumulated in deterministic expansion order (see
+    /// [`InfluencedCommunity::influential_score`]).
+    score: Weight,
+}
+
+impl InfluencedCommunity {
+    /// Number of vertices in `g^Inf` (seed members included).
+    pub fn len(&self) -> usize {
+        self.cpp.len()
+    }
+
+    /// Returns `true` if the influenced community is empty (only possible for
+    /// an empty seed).
+    pub fn is_empty(&self) -> bool {
+        self.cpp.is_empty()
+    }
+
+    /// Number of seed vertices.
+    pub fn seed_size(&self) -> usize {
+        self.seed_size
+    }
+
+    /// Number of influenced vertices outside the seed.
+    pub fn influenced_only_count(&self) -> usize {
+        self.cpp.len() - self.seed_size
+    }
+
+    /// The threshold `θ` the community was expanded with.
+    pub fn theta(&self) -> Weight {
+        self.theta
+    }
+
+    /// `cpp(g, v)`, or 0.0 if `v` is outside the influenced community.
+    pub fn cpp(&self, v: VertexId) -> Weight {
+        self.cpp.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Returns `true` if `v` belongs to `g^Inf`.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.cpp.contains_key(&v)
+    }
+
+    /// Iterates over `(vertex, cpp)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.cpp.iter().map(|(v, p)| (*v, *p))
+    }
+
+    /// The influential score `σ(g)` (Eq. (5)): the sum of all `cpp` values.
+    ///
+    /// The value is accumulated during the expansion in deterministic
+    /// (heap-pop) order, so the same seed community always yields the exact
+    /// same floating-point score regardless of hash-map iteration order.
+    pub fn influential_score(&self) -> Weight {
+        self.score
+    }
+
+    /// The vertex set of `g^Inf`.
+    pub fn vertex_set(&self) -> VertexSubset {
+        VertexSubset::from_iter(self.cpp.keys().copied())
+    }
+
+    /// Number of vertices shared with another influenced community.
+    pub fn overlap(&self, other: &InfluencedCommunity) -> usize {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.cpp.keys().filter(|v| large.contains(**v)).count()
+    }
+}
+
+/// Evaluates influence propagation over one social network.
+///
+/// Borrowing the graph once lets callers evaluate many seed communities
+/// without re-validating the configuration each time.
+#[derive(Debug, Clone, Copy)]
+pub struct InfluenceEvaluator<'g> {
+    graph: &'g SocialNetwork,
+    config: InfluenceConfig,
+}
+
+/// Max-heap entry for the multi-source expansion.
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    probability: f64,
+    vertex: VertexId,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.probability
+            .partial_cmp(&other.probability)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'g> InfluenceEvaluator<'g> {
+    /// Creates an evaluator for `graph` with the given configuration.
+    pub fn new(graph: &'g SocialNetwork, config: InfluenceConfig) -> Self {
+        InfluenceEvaluator { graph, config }
+    }
+
+    /// The threshold θ this evaluator uses.
+    pub fn theta(&self) -> Weight {
+        self.config.theta
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g SocialNetwork {
+        self.graph
+    }
+
+    /// Expands the influenced community `g^Inf` of `seed` under the
+    /// evaluator's threshold (the paper's `calculate_influence(g, θ)`).
+    pub fn influenced_community(&self, seed: &VertexSubset) -> InfluencedCommunity {
+        self.influenced_community_with_theta(seed, self.config.theta)
+    }
+
+    /// Expands `g^Inf` with an explicit threshold, which is how the offline
+    /// pre-computation evaluates the same seed under several thresholds
+    /// `θ_1 < θ_2 < ... < θ_m` (Algorithm 2).
+    pub fn influenced_community_with_theta(
+        &self,
+        seed: &VertexSubset,
+        theta: Weight,
+    ) -> InfluencedCommunity {
+        let mut cpp: HashMap<VertexId, Weight> = HashMap::with_capacity(seed.len() * 2);
+        let mut heap = BinaryHeap::new();
+        let mut score = 0.0;
+        for v in seed.iter() {
+            cpp.insert(v, 1.0);
+            score += 1.0;
+            heap.push(Frontier { probability: 1.0, vertex: v });
+        }
+        // effective floor: members always qualify; influenced vertices need
+        // probability >= theta (a theta of 0 admits any positive probability)
+        while let Some(Frontier { probability, vertex }) = heap.pop() {
+            // Stale entry: a better probability was already recorded.
+            if probability < cpp.get(&vertex).copied().unwrap_or(0.0) {
+                continue;
+            }
+            for (n, p) in self.graph.outgoing(vertex) {
+                if seed.contains(n) {
+                    continue; // members already have cpp = 1
+                }
+                let candidate = probability * p;
+                if candidate < theta || candidate <= 0.0 {
+                    continue;
+                }
+                let current = cpp.get(&n).copied().unwrap_or(0.0);
+                if candidate > current {
+                    cpp.insert(n, candidate);
+                    score += candidate - current;
+                    heap.push(Frontier { probability: candidate, vertex: n });
+                }
+            }
+        }
+        InfluencedCommunity { cpp, seed_size: seed.len(), theta, score }
+    }
+
+    /// The influential score `σ(g)` of a seed community (Eq. (5)).
+    pub fn influential_score(&self, seed: &VertexSubset) -> Weight {
+        self.influenced_community(seed).influential_score()
+    }
+
+    /// Community-to-user propagation probability `cpp(g, v)` (Eq. (4)),
+    /// honouring the threshold truncation (vertices outside `g^Inf` report 0).
+    pub fn community_to_user(&self, seed: &VertexSubset, v: VertexId) -> Weight {
+        if seed.contains(v) {
+            1.0
+        } else {
+            self.influenced_community(seed).cpp(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mia::user_propagation_probability;
+    use icde_graph::KeywordSet;
+
+    /// Line 0-1-2-3-4 with strong probabilities plus a side vertex 5 attached
+    /// to 1.
+    fn line_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..6 {
+            g.add_vertex(KeywordSet::new());
+        }
+        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.8).unwrap();
+        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.8).unwrap();
+        g.add_symmetric_edge(VertexId(2), VertexId(3), 0.8).unwrap();
+        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.8).unwrap();
+        g.add_symmetric_edge(VertexId(1), VertexId(5), 0.3).unwrap();
+        g
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(InfluenceConfig::default().theta, 0.2);
+        assert_eq!(InfluenceConfig::new(0.0).theta, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn config_rejects_out_of_range() {
+        let _ = InfluenceConfig::new(1.0);
+    }
+
+    #[test]
+    fn seed_members_have_cpp_one() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.2));
+        let seed = VertexSubset::from_iter([VertexId(1), VertexId(2)]);
+        let inf = eval.influenced_community(&seed);
+        assert_eq!(inf.cpp(VertexId(1)), 1.0);
+        assert_eq!(inf.cpp(VertexId(2)), 1.0);
+        assert_eq!(inf.seed_size(), 2);
+        assert_eq!(eval.community_to_user(&seed, VertexId(1)), 1.0);
+    }
+
+    #[test]
+    fn expansion_respects_threshold() {
+        let g = line_graph();
+        let seed = VertexSubset::from_iter([VertexId(0)]);
+        // theta = 0.5: cpp along the line is 0.8, 0.64, 0.512, 0.4096, so the
+        // influenced community stops after vertex 3
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.5));
+        let inf = eval.influenced_community(&seed);
+        assert!(inf.contains(VertexId(1)));
+        assert!(inf.contains(VertexId(2)));
+        assert!(inf.contains(VertexId(3)));
+        assert!((inf.cpp(VertexId(3)) - 0.512).abs() < 1e-12);
+        assert!(!inf.contains(VertexId(4)));
+        assert_eq!(inf.cpp(VertexId(4)), 0.0);
+        assert!(!inf.contains(VertexId(5)));
+    }
+
+    #[test]
+    fn expansion_matches_pairwise_upp() {
+        // For a single-vertex seed, cpp(g, v) must equal upp(u, v) whenever
+        // it clears the threshold (Eq. (4)).
+        let g = line_graph();
+        let seed = VertexSubset::from_iter([VertexId(0)]);
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.1));
+        let inf = eval.influenced_community(&seed);
+        for v in g.vertices() {
+            let upp = user_propagation_probability(&g, VertexId(0), v);
+            if v == VertexId(0) {
+                assert_eq!(inf.cpp(v), 1.0);
+            } else if upp >= 0.1 {
+                assert!((inf.cpp(v) - upp).abs() < 1e-12, "vertex {v}: {} vs {upp}", inf.cpp(v));
+            } else {
+                assert_eq!(inf.cpp(v), 0.0, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_takes_maximum() {
+        let g = line_graph();
+        let seed = VertexSubset::from_iter([VertexId(0), VertexId(4)]);
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.1));
+        let inf = eval.influenced_community(&seed);
+        // vertex 2 is reachable from both ends at 0.64
+        let upp0 = user_propagation_probability(&g, VertexId(0), VertexId(2));
+        let upp4 = user_propagation_probability(&g, VertexId(4), VertexId(2));
+        assert!((inf.cpp(VertexId(2)) - upp0.max(upp4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn influential_score_sums_cpp() {
+        let g = line_graph();
+        let seed = VertexSubset::from_iter([VertexId(1)]);
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.3));
+        let inf = eval.influenced_community(&seed);
+        // members: 1 (1.0); influenced: 0 (0.8), 2 (0.8), 5 (0.3), 3 (0.64),
+        // 4 (0.512)
+        let expected = 1.0 + 0.8 + 0.8 + 0.3 + 0.64 + 0.512;
+        assert!((inf.influential_score() - expected).abs() < 1e-9, "{}", inf.influential_score());
+        assert_eq!(inf.len(), 6);
+        assert_eq!(inf.influenced_only_count(), 5);
+        assert!((eval.influential_score(&seed) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_is_monotone_in_theta() {
+        // Higher thresholds can only shrink the influenced community and its
+        // score — the property the influential-score pruning bound relies on.
+        let g = line_graph();
+        let seed = VertexSubset::from_iter([VertexId(2)]);
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::default());
+        let mut last = f64::INFINITY;
+        for theta in [0.0, 0.1, 0.2, 0.3, 0.5, 0.8] {
+            let score = eval.influenced_community_with_theta(&seed, theta).influential_score();
+            assert!(score <= last + 1e-12, "theta={theta}");
+            last = score;
+        }
+    }
+
+    #[test]
+    fn score_is_monotone_in_seed_growth() {
+        // Adding vertices to the seed can only increase the score (the basis
+        // of using sigma(hop(v, r)) as an upper bound in Algorithm 2).
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.2));
+        let small = VertexSubset::from_iter([VertexId(1)]);
+        let large = VertexSubset::from_iter([VertexId(1), VertexId(2), VertexId(3)]);
+        assert!(eval.influential_score(&large) >= eval.influential_score(&small));
+    }
+
+    #[test]
+    fn empty_seed_has_empty_influence() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.2));
+        let inf = eval.influenced_community(&VertexSubset::new());
+        assert!(inf.is_empty());
+        assert_eq!(inf.influential_score(), 0.0);
+        assert_eq!(inf.len(), 0);
+    }
+
+    #[test]
+    fn overlap_counts_shared_vertices() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.3));
+        let a = eval.influenced_community(&VertexSubset::from_iter([VertexId(0)]));
+        let b = eval.influenced_community(&VertexSubset::from_iter([VertexId(4)]));
+        let overlap = a.overlap(&b);
+        assert_eq!(overlap, b.overlap(&a));
+        assert!(overlap >= 1, "both reach the middle of the line");
+    }
+
+    #[test]
+    fn vertex_set_matches_membership() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.2));
+        let inf = eval.influenced_community(&VertexSubset::from_iter([VertexId(2)]));
+        let set = inf.vertex_set();
+        assert_eq!(set.len(), inf.len());
+        for v in set.iter() {
+            assert!(inf.contains(v));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # icde-influence — MIA propagation model for TopL-ICDE
+//!
+//! Implements the influence-propagation substrate of the paper
+//! (Section II-B and Eqs. (1)–(6)):
+//!
+//! * [`mia`] — the Maximum Influence Arborescence model: path propagation
+//!   probabilities, maximum influence paths and the user-to-user propagation
+//!   probability `upp(u, v)` computed by a max-product Dijkstra,
+//! * [`influenced`] — community-to-user propagation `cpp(g, v)`, the
+//!   influenced community `g^Inf` expansion used by
+//!   `calculate_influence(g, θ)` and the influential score `σ(g)`,
+//! * [`diversity`] — the diversity score `D(S)` of a set of communities, its
+//!   marginal gains `ΔD_g(S)` and the incremental state used by the
+//!   DTopL-ICDE greedy algorithm.
+
+pub mod diversity;
+pub mod influenced;
+pub mod mia;
+pub mod simulation;
+
+pub use diversity::{diversity_score, DiversityState};
+pub use influenced::{InfluenceConfig, InfluenceEvaluator, InfluencedCommunity};
+pub use mia::{max_influence_path, path_propagation_probability, user_propagation_probability};
+pub use simulation::{estimate_spread, SpreadEstimate};

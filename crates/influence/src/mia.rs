@@ -1,0 +1,244 @@
+//! The Maximum Influence Arborescence (MIA) model.
+//!
+//! * Eq. (1): the propagation probability of a concrete path is the product
+//!   of its edge activation probabilities.
+//! * Eq. (2): the maximum influence path `MIP_{u,v}` is the path with the
+//!   largest propagation probability.
+//! * Eq. (3): the user-to-user propagation probability `upp(u, v)` is the
+//!   probability of that path.
+//!
+//! Because edge probabilities lie in `(0, 1]`, maximising a product is the
+//! same as minimising the sum of `-ln p`, so `upp` is computed with a
+//! Dijkstra-style best-first search over products directly (no logarithm
+//! needed: the max-heap keys are the products themselves, which only shrink
+//! along a path).
+
+use icde_graph::{SocialNetwork, VertexId, Weight};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by probability (max-heap).
+#[derive(Debug, PartialEq)]
+struct Entry {
+    probability: f64,
+    vertex: VertexId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.probability
+            .partial_cmp(&other.probability)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Eq. (1): propagation probability of the concrete path `u_1, ..., u_m`.
+///
+/// Returns `None` if any consecutive pair is not an edge; a path with fewer
+/// than two vertices has probability 1 (the empty product).
+pub fn path_propagation_probability(g: &SocialNetwork, path: &[VertexId]) -> Option<Weight> {
+    let mut probability = 1.0;
+    for pair in path.windows(2) {
+        probability *= g.activation_probability(pair[0], pair[1]).ok()?;
+    }
+    Some(probability)
+}
+
+/// Eqs. (2)–(3): the maximum influence path from `source` to `target` and its
+/// propagation probability, or `None` if `target` is unreachable (or the best
+/// path probability is 0).
+pub fn max_influence_path(
+    g: &SocialNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Vec<VertexId>, Weight)> {
+    if source == target {
+        return Some((vec![source], 1.0));
+    }
+    let mut best = vec![0.0f64; g.num_vertices()];
+    let mut parent: Vec<Option<VertexId>> = vec![None; g.num_vertices()];
+    let mut settled = vec![false; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    best[source.index()] = 1.0;
+    heap.push(Entry { probability: 1.0, vertex: source });
+
+    while let Some(Entry { probability, vertex }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        if vertex == target {
+            break;
+        }
+        for (n, p) in g.outgoing(vertex) {
+            let candidate = probability * p;
+            if candidate > best[n.index()] {
+                best[n.index()] = candidate;
+                parent[n.index()] = Some(vertex);
+                heap.push(Entry { probability: candidate, vertex: n });
+            }
+        }
+    }
+
+    if best[target.index()] <= 0.0 {
+        return None;
+    }
+    // reconstruct the path
+    let mut path = vec![target];
+    let mut cursor = target;
+    while let Some(p) = parent[cursor.index()] {
+        path.push(p);
+        cursor = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path.first(), Some(&source));
+    Some((path, best[target.index()]))
+}
+
+/// Eq. (3): the user-to-user propagation probability `upp(u, v)`.
+///
+/// Returns 0.0 when `v` is unreachable from `u`; `upp(u, u) = 1`.
+pub fn user_propagation_probability(g: &SocialNetwork, source: VertexId, target: VertexId) -> Weight {
+    max_influence_path(g, source, target).map_or(0.0, |(_, p)| p)
+}
+
+/// Single-source `upp(source, ·)` to every vertex, truncated at `floor`: any
+/// vertex whose best path probability falls below `floor` is reported as 0.
+///
+/// The MIA model truncates propagation exactly this way (paths cheaper than
+/// the threshold cannot put a vertex into the influenced community), which
+/// bounds the explored region.
+pub fn single_source_upp(g: &SocialNetwork, source: VertexId, floor: Weight) -> Vec<Weight> {
+    let mut best = vec![0.0f64; g.num_vertices()];
+    let mut settled = vec![false; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    best[source.index()] = 1.0;
+    heap.push(Entry { probability: 1.0, vertex: source });
+    while let Some(Entry { probability, vertex }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        for (n, p) in g.outgoing(vertex) {
+            let candidate = probability * p;
+            if candidate >= floor && candidate > best[n.index()] {
+                best[n.index()] = candidate;
+                heap.push(Entry { probability: candidate, vertex: n });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// Graph:
+    /// 0 -0.9- 1 -0.9- 2      (path with strong links)
+    ///  \------0.5------/      (direct weak link 0-2)
+    /// 2 -0.6- 3
+    fn diamond() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..4 {
+            g.add_vertex(KeywordSet::new());
+        }
+        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.9).unwrap();
+        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.9).unwrap();
+        g.add_symmetric_edge(VertexId(0), VertexId(2), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(2), VertexId(3), 0.6).unwrap();
+        g
+    }
+
+    #[test]
+    fn path_probability_is_product() {
+        let g = diamond();
+        let p = path_propagation_probability(&g, &[VertexId(0), VertexId(1), VertexId(2)]).unwrap();
+        assert!((p - 0.81).abs() < 1e-12);
+        let direct = path_propagation_probability(&g, &[VertexId(0), VertexId(2)]).unwrap();
+        assert!((direct - 0.5).abs() < 1e-12);
+        // missing edge
+        assert!(path_propagation_probability(&g, &[VertexId(0), VertexId(3)]).is_none());
+        // trivial paths
+        assert_eq!(path_propagation_probability(&g, &[VertexId(0)]), Some(1.0));
+        assert_eq!(path_propagation_probability(&g, &[]), Some(1.0));
+    }
+
+    #[test]
+    fn mip_prefers_two_hop_strong_path() {
+        let g = diamond();
+        let (path, p) = max_influence_path(&g, VertexId(0), VertexId(2)).unwrap();
+        assert_eq!(path, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert!((p - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upp_values() {
+        let g = diamond();
+        assert!((user_propagation_probability(&g, VertexId(0), VertexId(2)) - 0.81).abs() < 1e-12);
+        assert!((user_propagation_probability(&g, VertexId(0), VertexId(3)) - 0.81 * 0.6).abs() < 1e-12);
+        assert_eq!(user_propagation_probability(&g, VertexId(1), VertexId(1)), 1.0);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_zero_upp() {
+        let mut g = diamond();
+        let isolated = g.add_vertex(KeywordSet::new());
+        assert_eq!(user_propagation_probability(&g, VertexId(0), isolated), 0.0);
+        assert!(max_influence_path(&g, VertexId(0), isolated).is_none());
+    }
+
+    #[test]
+    fn upp_is_directional_when_weights_differ() {
+        let mut g = SocialNetwork::new();
+        let a = g.add_vertex(KeywordSet::new());
+        let b = g.add_vertex(KeywordSet::new());
+        g.add_edge(a, b, 0.9, 0.2).unwrap();
+        assert!((user_propagation_probability(&g, a, b) - 0.9).abs() < 1e-12);
+        assert!((user_propagation_probability(&g, b, a) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_source_matches_pairwise() {
+        let g = diamond();
+        let all = single_source_upp(&g, VertexId(0), 0.0);
+        for v in g.vertices() {
+            let pairwise = user_propagation_probability(&g, VertexId(0), v);
+            assert!((all[v.index()] - pairwise).abs() < 1e-12, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn floor_truncates_weak_influence() {
+        let g = diamond();
+        let all = single_source_upp(&g, VertexId(0), 0.5);
+        // 0 -> 3 has probability 0.486 < 0.5, truncated to 0
+        assert_eq!(all[3], 0.0);
+        assert!(all[2] >= 0.5);
+    }
+
+    #[test]
+    fn upp_never_exceeds_one_and_never_increases_along_paths() {
+        let g = diamond();
+        for u in g.vertices() {
+            let from_u = single_source_upp(&g, u, 0.0);
+            for v in g.vertices() {
+                assert!(from_u[v.index()] <= 1.0 + 1e-12);
+                // extending a path by one edge cannot increase probability
+                for (w, p) in g.outgoing(v) {
+                    assert!(from_u[w.index()] >= from_u[v.index()] * p - 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! k-core decomposition.
+//!
+//! The paper's Figure 5 case study compares the influence of the Top1-ICDE
+//! seed community against the **4-core** community around the same centre
+//! vertex. A k-core is a maximal subgraph in which every vertex has degree at
+//! least `k`; the core number of a vertex is the largest `k` for which it
+//! belongs to a k-core.
+
+use icde_graph::{SocialNetwork, VertexId, VertexSubset};
+
+/// Computes the core number of every vertex with the classic linear-time
+/// bucket peeling (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &SocialNetwork) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(VertexId::from_index(v))).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // bucket sort vertices by degree
+    let mut bin = vec![0usize; max_degree + 1];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bin[degree[v]];
+        vert[pos[v]] = v;
+        bin[degree[v]] += 1;
+    }
+    // restore bin starts
+    for d in (1..=max_degree).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        for (u, _) in g.neighbors(VertexId::from_index(v)) {
+            let u = u.index();
+            if degree[u] > degree[v] {
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w;
+                    vert[pw] = u;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+        core[v] = degree[v];
+    }
+    core.into_iter().map(|c| c as u32).collect()
+}
+
+/// The maximal connected k-core containing `center`, or `None` if the
+/// centre's core number is below `k`.
+pub fn maximal_kcore_containing(g: &SocialNetwork, center: VertexId, k: u32) -> Option<VertexSubset> {
+    let cores = core_numbers(g);
+    if cores.get(center.index()).copied().unwrap_or(0) < k {
+        return None;
+    }
+    // BFS over vertices with core number >= k starting from the centre.
+    let mut seen = vec![false; g.num_vertices()];
+    let mut stack = vec![center];
+    seen[center.index()] = true;
+    let mut members = Vec::new();
+    while let Some(u) = stack.pop() {
+        members.push(u);
+        for (w, _) in g.neighbors(u) {
+            if !seen[w.index()] && cores[w.index()] >= k {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    Some(VertexSubset::from_iter(members))
+}
+
+/// The degeneracy of the graph (maximum core number).
+pub fn degeneracy(g: &SocialNetwork) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// K4 on {0..3}, bridge 3-4 and 4-5, triangle {5,6,7}, pendant 7-8.
+    fn mixed_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..9 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+            }
+        }
+        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(7), VertexId(8), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn core_numbers_of_mixed_graph() {
+        let g = mixed_graph();
+        let cores = core_numbers(&g);
+        for v in 0..4 {
+            assert_eq!(cores[v], 3, "clique vertex {v}");
+        }
+        // the bridge vertex keeps degree 2 after the pendant is peeled, so it
+        // stays in the 2-core
+        assert_eq!(cores[4], 2);
+        for v in 5..8 {
+            assert_eq!(cores[v], 2, "triangle vertex {v}");
+        }
+        assert_eq!(cores[8], 1, "pendant vertex");
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn kcore_containing_center() {
+        let g = mixed_graph();
+        let c3 = maximal_kcore_containing(&g, VertexId(0), 3).unwrap();
+        assert_eq!(c3.as_slice(), &[0, 1, 2, 3].map(VertexId));
+        // the connected 2-core spans everything except the pendant vertex
+        let c2 = maximal_kcore_containing(&g, VertexId(6), 2).unwrap();
+        assert_eq!(c2.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7].map(VertexId));
+        assert!(maximal_kcore_containing(&g, VertexId(8), 2).is_none());
+        assert!(maximal_kcore_containing(&g, VertexId(4), 3).is_none());
+        assert!(maximal_kcore_containing(&g, VertexId(0), 4).is_none());
+    }
+
+    #[test]
+    fn kcore_of_clique_is_whole_clique() {
+        let mut g = SocialNetwork::new();
+        for _ in 0..5 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+            }
+        }
+        let cores = core_numbers(&g);
+        assert!(cores.iter().all(|&c| c == 4));
+        let core = maximal_kcore_containing(&g, VertexId(2), 4).unwrap();
+        assert_eq!(core.len(), 5);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = SocialNetwork::new();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+        let mut g1 = SocialNetwork::new();
+        let v = g1.add_vertex(KeywordSet::new());
+        assert_eq!(core_numbers(&g1), vec![0]);
+        assert!(maximal_kcore_containing(&g1, v, 1).is_none());
+        let zero_core = maximal_kcore_containing(&g1, v, 0).unwrap();
+        assert_eq!(zero_core.len(), 1);
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degree() {
+        let g = mixed_graph();
+        let cores = core_numbers(&g);
+        for v in g.vertices() {
+            assert!(cores[v.index()] as usize <= g.degree(v));
+        }
+    }
+}

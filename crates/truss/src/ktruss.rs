@@ -1,0 +1,286 @@
+//! Maximal k-truss extraction by support peeling.
+//!
+//! A k-truss is a subgraph in which every edge is contained in at least
+//! `k − 2` triangles *of that subgraph*. The **maximal** k-truss of a region
+//! is obtained by repeatedly deleting any edge whose support drops below
+//! `k − 2` (deleting an edge can reduce the support of the other two edges of
+//! each triangle it participated in); whatever survives is the unique maximal
+//! k-truss. Seed communities (Definition 2) are connected components of the
+//! maximal k-truss of `hop(v_q, r)` that contain the centre `v_q`.
+
+use crate::local::LocalSubgraph;
+use icde_graph::{SocialNetwork, VertexId, VertexSubset};
+use std::collections::VecDeque;
+
+/// Result of a k-truss peel over one region: the surviving edges and the
+/// local view they refer to.
+#[derive(Debug)]
+pub struct KTrussPeel {
+    /// Local view of the peeled region.
+    pub local: LocalSubgraph,
+    /// `edge_alive[e]` — whether local edge `e` survived the peel.
+    pub edge_alive: Vec<bool>,
+}
+
+impl KTrussPeel {
+    /// Vertices with at least one surviving incident edge, as a global subset.
+    pub fn surviving_vertices(&self) -> VertexSubset {
+        let mut alive = vec![false; self.local.num_vertices()];
+        for e in 0..self.local.num_edges() {
+            if self.edge_alive[e] {
+                let (u, v) = self.local.edge(e);
+                alive[u] = true;
+                alive[v] = true;
+            }
+        }
+        self.local
+            .to_global_subset((0..self.local.num_vertices()).filter(|&v| alive[v]))
+    }
+
+    /// Number of surviving edges.
+    pub fn surviving_edge_count(&self) -> usize {
+        self.edge_alive.iter().filter(|a| **a).count()
+    }
+
+    /// Connected components of the surviving subgraph (vertices connected by
+    /// surviving edges), largest first.
+    pub fn components(&self) -> Vec<VertexSubset> {
+        let n = self.local.num_vertices();
+        let mut vertex_alive = vec![false; n];
+        for e in 0..self.local.num_edges() {
+            if self.edge_alive[e] {
+                let (u, v) = self.local.edge(e);
+                vertex_alive[u] = true;
+                vertex_alive[v] = true;
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if !vertex_alive[start] || seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(u) = stack.pop() {
+                component.push(u);
+                for &(w, e) in self.local.neighbors(u) {
+                    if self.edge_alive[e] && !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            components.push(self.local.to_global_subset(component));
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+
+    /// The component containing `center`, if the centre survived the peel.
+    pub fn component_containing(&self, center: VertexId) -> Option<VertexSubset> {
+        let start = self.local.local(center)?;
+        let incident_alive = self
+            .local
+            .neighbors(start)
+            .iter()
+            .any(|&(_, e)| self.edge_alive[e]);
+        if !incident_alive {
+            return None;
+        }
+        let mut seen = vec![false; self.local.num_vertices()];
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            component.push(u);
+            for &(w, e) in self.local.neighbors(u) {
+                if self.edge_alive[e] && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        Some(self.local.to_global_subset(component))
+    }
+}
+
+/// Peels the subgraph induced by `subset` down to its maximal k-truss.
+///
+/// `k < 2` is treated as `k = 2` (every edge trivially satisfies a support
+/// requirement of zero).
+pub fn maximal_ktruss(g: &SocialNetwork, subset: &VertexSubset, k: u32) -> KTrussPeel {
+    let local = LocalSubgraph::new(g, subset);
+    let required = k.saturating_sub(2);
+    let mut edge_alive = vec![true; local.num_edges()];
+    let mut supports = local.edge_supports(None, None);
+
+    let mut queue: VecDeque<usize> = (0..local.num_edges())
+        .filter(|&e| supports[e] < required)
+        .collect();
+    let mut queued: Vec<bool> = (0..local.num_edges()).map(|e| supports[e] < required).collect();
+
+    while let Some(e) = queue.pop_front() {
+        if !edge_alive[e] {
+            continue;
+        }
+        edge_alive[e] = false;
+        let (u, v) = local.edge(e);
+        // Every triangle (u, v, w) that used edge e loses one triangle on its
+        // other two edges; requeue them if they fall below the requirement.
+        let alive_edge = |x: usize| edge_alive[x];
+        let alive_vertex = |_: usize| true;
+        for (_w, e_uw, e_vw) in local.common_alive_neighbors(u, v, &alive_edge, &alive_vertex) {
+            for other in [e_uw, e_vw] {
+                if edge_alive[other] && supports[other] > 0 {
+                    supports[other] -= 1;
+                    if supports[other] < required && !queued[other] {
+                        queued[other] = true;
+                        queue.push_back(other);
+                    }
+                }
+            }
+        }
+    }
+
+    KTrussPeel { local, edge_alive }
+}
+
+/// Connected components of the maximal k-truss of the region, largest first.
+pub fn ktruss_components(g: &SocialNetwork, subset: &VertexSubset, k: u32) -> Vec<VertexSubset> {
+    maximal_ktruss(g, subset, k).components()
+}
+
+/// The connected k-truss containing `center` inside the region, or `None`
+/// if the centre does not survive the peel (it keeps no incident edge with
+/// sufficient support).
+pub fn connected_ktruss_containing(
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+    center: VertexId,
+    k: u32,
+) -> Option<VertexSubset> {
+    maximal_ktruss(g, subset, k).component_containing(center)
+}
+
+/// Checks whether the subgraph induced by `subset` is itself a k-truss
+/// (every induced edge has induced support ≥ k − 2). Does **not** check
+/// connectivity; combine with [`VertexSubset::is_connected`].
+pub fn is_ktruss(g: &SocialNetwork, subset: &VertexSubset, k: u32) -> bool {
+    let required = k.saturating_sub(2);
+    let local = LocalSubgraph::new(g, subset);
+    let supports = local.edge_supports(None, None);
+    supports.into_iter().all(|s| s >= required)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// K5 on {0..4}, a triangle {5,6,7} attached to the clique by edge 4-5,
+    /// and a pendant path 7-8.
+    fn layered_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..9 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+            }
+        }
+        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
+        g.add_symmetric_edge(VertexId(7), VertexId(8), 0.5).unwrap();
+        g
+    }
+
+    fn all_vertices(g: &SocialNetwork) -> VertexSubset {
+        VertexSubset::from_iter(g.vertices())
+    }
+
+    #[test]
+    fn k5_survives_5truss() {
+        let g = layered_graph();
+        let peel = maximal_ktruss(&g, &all_vertices(&g), 5);
+        let survivors = peel.surviving_vertices();
+        assert_eq!(survivors.as_slice(), &[0, 1, 2, 3, 4].map(VertexId));
+        assert_eq!(peel.surviving_edge_count(), 10);
+    }
+
+    #[test]
+    fn triangle_survives_3truss_but_not_4truss() {
+        let g = layered_graph();
+        let comps3 = ktruss_components(&g, &all_vertices(&g), 3);
+        // 3-truss: the K5 and the triangle are separate components (the
+        // bridge 4-5 and pendant 7-8 are peeled away)
+        assert_eq!(comps3.len(), 2);
+        assert_eq!(comps3[0].len(), 5);
+        assert_eq!(comps3[1].len(), 3);
+
+        let comps4 = ktruss_components(&g, &all_vertices(&g), 4);
+        assert_eq!(comps4.len(), 1);
+        assert_eq!(comps4[0].len(), 5);
+    }
+
+    #[test]
+    fn component_containing_center() {
+        let g = layered_graph();
+        let all = all_vertices(&g);
+        let c = connected_ktruss_containing(&g, &all, VertexId(6), 3).unwrap();
+        assert_eq!(c.as_slice(), &[5, 6, 7].map(VertexId));
+        // centre peeled away at k=4
+        assert!(connected_ktruss_containing(&g, &all, VertexId(6), 4).is_none());
+        // pendant vertex never forms a truss with k >= 3
+        assert!(connected_ktruss_containing(&g, &all, VertexId(8), 3).is_none());
+    }
+
+    #[test]
+    fn low_k_keeps_every_edge() {
+        let g = layered_graph();
+        let all = all_vertices(&g);
+        for k in [0, 1, 2] {
+            let peel = maximal_ktruss(&g, &all, k);
+            assert_eq!(peel.surviving_edge_count(), g.num_edges(), "k={k}");
+            assert_eq!(peel.components().len(), 1);
+        }
+    }
+
+    #[test]
+    fn peel_respects_subset_boundary() {
+        let g = layered_graph();
+        // restrict to the triangle plus the bridge vertex 4: the bridge edge
+        // 4-5 has no triangle inside the subset, so only the triangle remains
+        let subset = VertexSubset::from_iter([4, 5, 6, 7].map(VertexId));
+        let comps = ktruss_components(&g, &subset, 3);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].as_slice(), &[5, 6, 7].map(VertexId));
+    }
+
+    #[test]
+    fn is_ktruss_checks_induced_supports() {
+        let g = layered_graph();
+        let k5 = VertexSubset::from_iter([0, 1, 2, 3, 4].map(VertexId));
+        assert!(is_ktruss(&g, &k5, 5));
+        assert!(!is_ktruss(&g, &k5, 6));
+        let tri = VertexSubset::from_iter([5, 6, 7].map(VertexId));
+        assert!(is_ktruss(&g, &tri, 3));
+        assert!(!is_ktruss(&g, &tri, 4));
+        let with_pendant = VertexSubset::from_iter([5, 6, 7, 8].map(VertexId));
+        assert!(!is_ktruss(&g, &with_pendant, 3));
+        assert!(is_ktruss(&g, &VertexSubset::new(), 7));
+    }
+
+    #[test]
+    fn high_k_removes_everything() {
+        let g = layered_graph();
+        let peel = maximal_ktruss(&g, &all_vertices(&g), 7);
+        assert_eq!(peel.surviving_edge_count(), 0);
+        assert!(peel.components().is_empty());
+        assert!(peel.surviving_vertices().is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # icde-truss — structural cohesiveness machinery for TopL-ICDE
+//!
+//! Seed communities in the paper are **k-trusses** (Definition 2): connected
+//! subgraphs in which every edge participates in at least `k − 2` triangles.
+//! This crate provides everything the core layer needs around that notion:
+//!
+//! * [`local`] — a compact, index-translated view of a vertex-induced
+//!   subgraph, the workhorse of all peeling algorithms,
+//! * [`support`] — per-edge triangle counts (edge supports) over the whole
+//!   graph or inside an induced subgraph,
+//! * [`triangle`] — global triangle counting and enumeration,
+//! * [`ktruss`] — maximal k-truss extraction by support peeling and the
+//!   connected k-truss containing a centre vertex,
+//! * [`decomposition`] — full truss decomposition (edge trussness), used by
+//!   the ATindex baseline,
+//! * [`kcore`] — k-core decomposition, used by the Fig. 5 case-study
+//!   baseline.
+
+pub mod decomposition;
+pub mod kcore;
+pub mod ktruss;
+pub mod local;
+pub mod support;
+pub mod triangle;
+
+pub use decomposition::truss_decomposition;
+pub use kcore::{core_numbers, maximal_kcore_containing};
+pub use ktruss::{connected_ktruss_containing, ktruss_components, maximal_ktruss};
+pub use local::LocalSubgraph;
+pub use support::{edge_supports_global, edge_supports_in_subset, max_edge_support};
+pub use triangle::{count_triangles, triangles_through_edge};

@@ -1,0 +1,267 @@
+//! Compact local view of a vertex-induced subgraph.
+//!
+//! Peeling algorithms (k-truss extraction, k-core, truss decomposition over a
+//! candidate region) repeatedly look up degrees, neighbour lists and edge
+//! supports inside one induced subgraph. Doing this against the global
+//! [`SocialNetwork`] would pay a membership test on every adjacency scan, so
+//! [`LocalSubgraph`] translates the region once into dense local indices:
+//! vertices become `0..n_local`, edges become `0..m_local`, and the peeling
+//! loops run on plain vectors.
+
+use icde_graph::{SocialNetwork, VertexId, VertexSubset};
+use std::collections::HashMap;
+
+/// A dense, index-translated copy of the subgraph induced by a vertex subset.
+#[derive(Debug, Clone)]
+pub struct LocalSubgraph {
+    /// Global id of each local vertex (`local index → global id`).
+    globals: Vec<VertexId>,
+    /// Reverse mapping (`global id → local index`).
+    local_of: HashMap<VertexId, usize>,
+    /// Local adjacency: for each local vertex, sorted `(local neighbour, local edge)` pairs.
+    adjacency: Vec<Vec<(usize, usize)>>,
+    /// Local edge table: `(local u, local v)` with `u < v` (by local index).
+    edges: Vec<(usize, usize)>,
+}
+
+impl LocalSubgraph {
+    /// Builds the local view of the subgraph of `g` induced by `subset`.
+    pub fn new(g: &SocialNetwork, subset: &VertexSubset) -> Self {
+        let globals: Vec<VertexId> = subset.iter().collect();
+        let local_of: HashMap<VertexId, usize> =
+            globals.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        let mut adjacency = vec![Vec::new(); globals.len()];
+        let mut edges = Vec::new();
+        for (&global_u, &lu) in local_of.iter() {
+            for (global_v, _) in g.neighbors(global_u) {
+                if global_u < global_v {
+                    if let Some(&lv) = local_of.get(&global_v) {
+                        let (a, b) = if lu < lv { (lu, lv) } else { (lv, lu) };
+                        let eid = edges.len();
+                        edges.push((a, b));
+                        adjacency[a].push((b, eid));
+                        adjacency[b].push((a, eid));
+                    }
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        LocalSubgraph { globals, local_of, adjacency, edges }
+    }
+
+    /// Number of local vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of local edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Global id of local vertex `local`.
+    #[inline]
+    pub fn global(&self, local: usize) -> VertexId {
+        self.globals[local]
+    }
+
+    /// Local index of a global vertex (if it belongs to the subgraph).
+    #[inline]
+    pub fn local(&self, v: VertexId) -> Option<usize> {
+        self.local_of.get(&v).copied()
+    }
+
+    /// Local endpoints of local edge `e`.
+    #[inline]
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        self.edges[e]
+    }
+
+    /// Sorted local adjacency of vertex `local` as `(neighbour, edge)` pairs.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> &[(usize, usize)] {
+        &self.adjacency[local]
+    }
+
+    /// Local degree of a vertex.
+    #[inline]
+    pub fn degree(&self, local: usize) -> usize {
+        self.adjacency[local].len()
+    }
+
+    /// Computes the support (triangle count) of every local edge, considering
+    /// only alive edges/vertices. `None` masks mean everything is alive.
+    ///
+    /// `edge_alive` and `vertex_alive`, when provided, must have lengths
+    /// `num_edges()` / `num_vertices()`.
+    pub fn edge_supports(&self, edge_alive: Option<&[bool]>, vertex_alive: Option<&[bool]>) -> Vec<u32> {
+        let alive_edge = |e: usize| edge_alive.map_or(true, |m| m[e]);
+        let alive_vertex = |v: usize| vertex_alive.map_or(true, |m| m[v]);
+        let mut supports = vec![0u32; self.edges.len()];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            if !alive_edge(e) || !alive_vertex(u) || !alive_vertex(v) {
+                continue;
+            }
+            supports[e] = self.count_common_alive(u, v, &alive_edge, &alive_vertex);
+        }
+        supports
+    }
+
+    /// Counts common neighbours of `u` and `v` reachable through alive edges
+    /// and alive vertices (the support of edge `{u, v}` in the peeled graph).
+    pub fn count_common_alive(
+        &self,
+        u: usize,
+        v: usize,
+        alive_edge: &dyn Fn(usize) -> bool,
+        alive_vertex: &dyn Fn(usize) -> bool,
+    ) -> u32 {
+        let (a, b) = (&self.adjacency[u], &self.adjacency[v]);
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0u32);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = a[i].0;
+                    if alive_vertex(w) && alive_edge(a[i].1) && alive_edge(b[j].1) {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Lists the common alive neighbours of `u` and `v` together with the
+    /// connecting edge ids `(w, edge u-w, edge v-w)`.
+    pub fn common_alive_neighbors(
+        &self,
+        u: usize,
+        v: usize,
+        alive_edge: &dyn Fn(usize) -> bool,
+        alive_vertex: &dyn Fn(usize) -> bool,
+    ) -> Vec<(usize, usize, usize)> {
+        let (a, b) = (&self.adjacency[u], &self.adjacency[v]);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = a[i].0;
+                    if alive_vertex(w) && alive_edge(a[i].1) && alive_edge(b[j].1) {
+                        out.push((w, a[i].1, b[j].1));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts a set of local vertex indices back to a global
+    /// [`VertexSubset`].
+    pub fn to_global_subset<I: IntoIterator<Item = usize>>(&self, locals: I) -> VertexSubset {
+        VertexSubset::from_iter(locals.into_iter().map(|l| self.globals[l]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    /// Global graph: clique {1,2,3,4} plus pendant 0-1 and an outside vertex 5.
+    fn clique_graph() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..6 {
+            g.add_vertex(KeywordSet::new());
+        }
+        let ids = [1u32, 2, 3, 4];
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                g.add_symmetric_edge(VertexId(ids[i]), VertexId(ids[j]), 0.5).unwrap();
+            }
+        }
+        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn builds_local_view_of_subset() {
+        let g = clique_graph();
+        let subset = VertexSubset::from_iter([1, 2, 3, 4].map(VertexId));
+        let local = LocalSubgraph::new(&g, &subset);
+        assert_eq!(local.num_vertices(), 4);
+        assert_eq!(local.num_edges(), 6);
+        for l in 0..4 {
+            assert_eq!(local.degree(l), 3);
+            let v = local.global(l);
+            assert_eq!(local.local(v), Some(l));
+        }
+        assert_eq!(local.local(VertexId(0)), None);
+    }
+
+    #[test]
+    fn supports_in_clique() {
+        let g = clique_graph();
+        let subset = VertexSubset::from_iter([1, 2, 3, 4].map(VertexId));
+        let local = LocalSubgraph::new(&g, &subset);
+        let sup = local.edge_supports(None, None);
+        // every edge of K4 is in exactly 2 triangles
+        assert!(sup.iter().all(|&s| s == 2), "{sup:?}");
+    }
+
+    #[test]
+    fn supports_respect_masks() {
+        let g = clique_graph();
+        let subset = VertexSubset::from_iter([1, 2, 3, 4].map(VertexId));
+        let local = LocalSubgraph::new(&g, &subset);
+        // kill one vertex: remaining triangle has support 1 per edge
+        let mut vertex_alive = vec![true; local.num_vertices()];
+        let killed = local.local(VertexId(4)).unwrap();
+        vertex_alive[killed] = false;
+        let sup = local.edge_supports(None, Some(&vertex_alive));
+        for (e, &(u, v)) in local.edges.iter().enumerate() {
+            if u == killed || v == killed {
+                assert_eq!(sup[e], 0);
+            } else {
+                assert_eq!(sup[e], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pendant_edge_has_zero_support() {
+        let g = clique_graph();
+        let subset = VertexSubset::from_iter([0, 1, 2].map(VertexId));
+        let local = LocalSubgraph::new(&g, &subset);
+        let sup = local.edge_supports(None, None);
+        let pendant = local
+            .edges
+            .iter()
+            .position(|&(u, v)| {
+                let gu = local.global(u);
+                let gv = local.global(v);
+                (gu == VertexId(0)) || (gv == VertexId(0))
+            })
+            .unwrap();
+        assert_eq!(sup[pendant], 0);
+    }
+
+    #[test]
+    fn to_global_subset_roundtrips() {
+        let g = clique_graph();
+        let subset = VertexSubset::from_iter([1, 3, 5].map(VertexId));
+        let local = LocalSubgraph::new(&g, &subset);
+        let back = local.to_global_subset(0..local.num_vertices());
+        assert_eq!(back, subset);
+    }
+}

@@ -1,0 +1,135 @@
+//! Triangle counting and enumeration.
+//!
+//! Triangles are the building block of the k-truss definition: an edge's
+//! support is the number of triangles through it, and stable social ties are
+//! modelled as edges embedded in many triangles ("sharing common friends").
+
+use icde_graph::{EdgeId, SocialNetwork, VertexId, VertexSubset};
+
+/// Counts the triangles of the whole graph.
+///
+/// Uses the standard ordered-enumeration trick: each triangle `{a < b < c}`
+/// is counted exactly once by intersecting the adjacency lists of its two
+/// smallest endpoints.
+pub fn count_triangles(g: &SocialNetwork) -> u64 {
+    let mut total = 0u64;
+    for (_, u, v) in g.edges() {
+        // u < v by canonical orientation; count common neighbours above v to
+        // count each triangle once.
+        total += g
+            .common_neighbors(u, v)
+            .into_iter()
+            .filter(|w| *w > v)
+            .count() as u64;
+    }
+    total
+}
+
+/// Counts triangles restricted to a vertex subset.
+pub fn count_triangles_in_subset(g: &SocialNetwork, subset: &VertexSubset) -> u64 {
+    let mut total = 0u64;
+    for (_, u, v) in subset.induced_edges(g) {
+        total += g
+            .common_neighbors(u, v)
+            .into_iter()
+            .filter(|w| *w > v && subset.contains(*w))
+            .count() as u64;
+    }
+    total
+}
+
+/// Lists the third vertices of all triangles through edge `e`.
+pub fn triangles_through_edge(g: &SocialNetwork, e: EdgeId) -> Vec<VertexId> {
+    let (u, v) = g.edge_endpoints(e);
+    g.common_neighbors(u, v)
+}
+
+/// The global clustering coefficient: `3 · #triangles / #wedges`, where a
+/// wedge is a path of length two. Returns 0.0 when the graph has no wedges.
+///
+/// Used by tests and the dataset-statistics report to check that the
+/// DBLP-like and Amazon-like generators produce realistically clustered
+/// graphs.
+pub fn global_clustering_coefficient(g: &SocialNetwork) -> f64 {
+    let triangles = count_triangles(g) as f64;
+    let wedges: f64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as f64;
+            d * (d - 1.0) / 2.0
+        })
+        .sum();
+    if wedges == 0.0 {
+        0.0
+    } else {
+        3.0 * triangles / wedges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    fn k4() -> SocialNetwork {
+        let mut g = SocialNetwork::new();
+        for _ in 0..4 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = k4();
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let mut g = SocialNetwork::new();
+        for _ in 0..4 {
+            g.add_vertex(KeywordSet::new());
+        }
+        for i in 0..3u32 {
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+        }
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn subset_triangle_count() {
+        let g = k4();
+        let subset = VertexSubset::from_iter([0, 1, 2].map(VertexId));
+        assert_eq!(count_triangles_in_subset(&g, &subset), 1);
+        let all = VertexSubset::from_iter(g.vertices());
+        assert_eq!(count_triangles_in_subset(&g, &all), 4);
+    }
+
+    #[test]
+    fn triangles_through_each_k4_edge() {
+        let g = k4();
+        for (e, _, _) in g.edges() {
+            assert_eq!(triangles_through_edge(&g, e).len(), 2);
+        }
+    }
+
+    #[test]
+    fn clustering_coefficient_of_clique_is_one() {
+        let g = k4();
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = SocialNetwork::new();
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! DTopL-ICDE in action: pick a *set* of communities whose influenced
+//! audiences overlap as little as possible.
+//!
+//! A plain TopL-ICDE answer can return several communities that all influence
+//! the same users — wasted advertising budget, since a customer buys the
+//! product once. The diversified variant selects L communities maximising the
+//! collective (non-double-counted) influence. This example runs both and
+//! compares the effective reach.
+//!
+//! ```text
+//! cargo run --release --example diversified_advertising
+//! ```
+
+use topl_icde::core::dtopl::{DTopLProcessor, DTopLQuery, DTopLStrategy};
+use topl_icde::influence::{DiversityState, InfluenceConfig, InfluenceEvaluator};
+use topl_icde::prelude::*;
+
+fn main() {
+    let graph = DatasetSpec::new(DatasetKind::Gaussian, 2_500, 17).generate();
+    let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
+    println!(
+        "social network: {} users, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let base = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, 4);
+
+    // Plain TopL-ICDE: the L individually most influential communities.
+    let topl = TopLProcessor::new(&graph, &index).run(&base).expect("valid query");
+
+    // DTopL-ICDE: L communities with the highest *collective* influence.
+    let dquery = DTopLQuery::with_default_multiplier(base.clone());
+    let dtopl = DTopLProcessor::new(&graph, &index)
+        .run(&dquery, DTopLStrategy::GreedyWithPruning)
+        .expect("valid query");
+
+    // Compare the two selections by their diversity score (Eq. (6)).
+    let evaluator = InfluenceEvaluator::new(&graph, InfluenceConfig { theta: base.theta });
+    let mut topl_state = DiversityState::new();
+    for c in &topl.communities {
+        topl_state.add(&evaluator.influenced_community(&c.vertices));
+    }
+
+    println!("\nTopL-ICDE selection (individually best):");
+    for c in &topl.communities {
+        println!(
+            "  center {} | {} members | score {:.1}",
+            c.center,
+            c.len(),
+            c.influential_score
+        );
+    }
+    println!(
+        "  -> collective (de-duplicated) influence: {:.1} over {} users",
+        topl_state.score(),
+        topl_state.covered_vertices()
+    );
+
+    println!("\nDTopL-ICDE selection (collectively best):");
+    for c in &dtopl.communities {
+        println!(
+            "  center {} | {} members | score {:.1}",
+            c.center,
+            c.len(),
+            c.influential_score
+        );
+    }
+    println!("  -> collective influence (diversity score): {:.1}", dtopl.diversity_score);
+
+    let gain = dtopl.diversity_score - topl_state.score();
+    println!(
+        "\ndiversified selection gains {:.1} influence ({:+.1}%) over the plain top-L pick, \
+         using {} lazy-greedy gain evaluations avoided by Lemma 9",
+        gain,
+        100.0 * gain / topl_state.score().max(1e-9),
+        dtopl.stats.diversity_pruned
+    );
+}

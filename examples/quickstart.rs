@@ -1,0 +1,58 @@
+//! Quickstart: build a small synthetic social network, construct the offline
+//! index once, and answer a TopL-ICDE query online.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use topl_icde::prelude::*;
+
+fn main() {
+    // 1. A synthetic small-world social network with uniformly distributed
+    //    keywords (2 000 users, keyword domain of 50 topics).
+    let graph = DatasetSpec::new(DatasetKind::Uniform, 2_000, 42).generate();
+    println!(
+        "graph: {} users, {} relationships, avg degree {:.1}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree()
+    );
+
+    // 2. Offline phase (run once per graph): pre-compute per-vertex bounds
+    //    and build the tree index over them.
+    let offline_start = std::time::Instant::now();
+    let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
+    println!(
+        "offline phase: {} index nodes, height {}, built in {:.2?}",
+        index.node_count(),
+        index.height(),
+        offline_start.elapsed()
+    );
+
+    // 3. Online phase: find the top-5 most influential seed communities whose
+    //    members are interested in at least one of the query topics.
+    let query = TopLQuery::new(
+        KeywordSet::from_ids([0, 1, 2, 3, 4]), // query topics
+        4,                                     // k-truss support
+        2,                                     // radius r
+        0.2,                                   // influence threshold theta
+        5,                                     // L
+    );
+    let answer = TopLProcessor::new(&graph, &index).run(&query).expect("valid query");
+
+    println!("\ntop-{} most influential communities ({:.2?} online):", query.l, answer.elapsed);
+    for (rank, community) in answer.communities.iter().enumerate() {
+        println!(
+            "  #{rank}: center {} | {} members | influences {} further users | score {:.2}",
+            community.center,
+            community.len(),
+            community.influenced_only(),
+            community.influential_score,
+        );
+    }
+    println!(
+        "\npruning: {} candidates pruned, {} refined",
+        answer.stats.total_pruned_candidates(),
+        answer.stats.candidates_refined
+    );
+}

@@ -1,0 +1,51 @@
+//! # topl-icde — Top-L Most Influential Community Detection
+//!
+//! Facade crate re-exporting the whole TopL-ICDE workspace behind one
+//! dependency. It implements the ICDE 2024 paper *"Top-L Most Influential
+//! Community Detection Over Social Networks"*:
+//!
+//! * [`graph`] — attributed, weighted social-network store, generators, I/O,
+//! * [`truss`] — triangle/support computation, k-truss and k-core machinery,
+//! * [`influence`] — MIA propagation model, influenced communities,
+//!   influential and diversity scores,
+//! * [`core`] — the paper's contribution: pruning rules, offline
+//!   pre-computation, the tree index, online TopL-ICDE processing
+//!   (Algorithm 3), and the DTopL-ICDE greedy variant (Algorithm 4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use topl_icde::prelude::*;
+//!
+//! // Generate a small synthetic social network (Uniform keywords).
+//! let graph = DatasetSpec::new(DatasetKind::Uniform, 300, 42).generate();
+//!
+//! // Build the offline index once...
+//! let index = IndexBuilder::new(PrecomputeConfig::default())
+//!     .build(&graph);
+//!
+//! // ...then answer TopL-ICDE queries online.
+//! let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 4, 2, 0.2, 5);
+//! let answers = TopLProcessor::new(&graph, &index).run(&query).expect("valid query");
+//! for community in &answers.communities {
+//!     println!("center {} score {:.3}", community.center, community.influential_score);
+//! }
+//! ```
+
+pub use icde_core as core;
+pub use icde_graph as graph;
+pub use icde_influence as influence;
+pub use icde_truss as truss;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use icde_core::dtopl::{DTopLProcessor, DTopLStrategy};
+    pub use icde_core::index::{CommunityIndex, IndexBuilder};
+    pub use icde_core::precompute::PrecomputeConfig;
+    pub use icde_core::query::TopLQuery;
+    pub use icde_core::seed::SeedCommunity;
+    pub use icde_core::topl::{TopLAnswer, TopLProcessor};
+    pub use icde_graph::generators::{DatasetKind, DatasetSpec};
+    pub use icde_graph::{GraphBuilder, Keyword, KeywordSet, SocialNetwork, VertexId};
+    pub use icde_influence::{InfluenceConfig, InfluenceEvaluator};
+}

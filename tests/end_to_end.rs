@@ -1,0 +1,113 @@
+//! End-to-end integration tests spanning every crate: generate a graph,
+//! build the offline index, answer TopL-ICDE / DTopL-ICDE queries and check
+//! the answers against the exhaustive baselines.
+
+use topl_icde::core::baseline::atindex::ATIndex;
+use topl_icde::core::baseline::bruteforce::brute_force_topl;
+use topl_icde::core::dtopl::{DTopLProcessor, DTopLQuery, DTopLStrategy};
+use topl_icde::core::seed::is_valid_seed_community;
+use topl_icde::core::topl::PruningToggles;
+use topl_icde::prelude::*;
+
+fn build(kind: DatasetKind, n: usize, seed: u64) -> (SocialNetwork, CommunityIndex) {
+    let graph = DatasetSpec::new(kind, n, seed).with_keyword_domain(12).generate();
+    let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
+    (graph, index)
+}
+
+fn default_query(l: usize) -> TopLQuery {
+    TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, l)
+}
+
+#[test]
+fn indexed_answers_match_bruteforce_on_every_dataset_family() {
+    for kind in DatasetKind::ALL {
+        let (graph, index) = build(kind, 200, 31);
+        let query = default_query(5);
+        let ours = TopLProcessor::new(&graph, &index).run(&query).unwrap();
+        let exact = brute_force_topl(&graph, &query);
+        let round = |xs: &[topl_icde::core::seed::SeedCommunity]| -> Vec<i64> {
+            xs.iter().map(|c| (c.influential_score * 1e6).round() as i64).collect()
+        };
+        assert_eq!(round(&ours.communities), round(&exact.communities), "{kind:?}");
+        for c in &ours.communities {
+            assert!(
+                is_valid_seed_community(&graph, &c.vertices, c.center, query.support, query.radius, &query.keywords),
+                "{kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn atindex_and_ours_return_identical_scores() {
+    let (graph, index) = build(DatasetKind::AmazonLike, 250, 5);
+    let query = default_query(4);
+    let ours = TopLProcessor::new(&graph, &index).run(&query).unwrap();
+    let at = ATIndex::build(&graph).run(&graph, &query);
+    assert_eq!(ours.communities.len(), at.communities.len());
+    for (a, b) in ours.communities.iter().zip(at.communities.iter()) {
+        assert!((a.influential_score - b.influential_score).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn pruning_configurations_agree_end_to_end() {
+    let (graph, index) = build(DatasetKind::Gaussian, 220, 77);
+    let query = default_query(5);
+    let processor = TopLProcessor::new(&graph, &index);
+    let reference = processor.run_with_toggles(&query, PruningToggles::none()).unwrap();
+    for toggles in [
+        PruningToggles::keyword_only(),
+        PruningToggles::keyword_support(),
+        PruningToggles::all(),
+    ] {
+        let answer = processor.run_with_toggles(&query, toggles).unwrap();
+        assert_eq!(answer.communities.len(), reference.communities.len());
+        for (a, b) in answer.communities.iter().zip(reference.communities.iter()) {
+            assert!((a.influential_score - b.influential_score).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn dtopl_greedy_is_near_optimal_end_to_end() {
+    let (graph, index) = build(DatasetKind::Uniform, 180, 13);
+    let query = DTopLQuery::new(default_query(2), 3);
+    let processor = DTopLProcessor::new(&graph, &index);
+    let greedy = processor.run(&query, DTopLStrategy::GreedyWithPruning).unwrap();
+    let plain = processor.run(&query, DTopLStrategy::GreedyWithoutPruning).unwrap();
+    let optimal = processor.run(&query, DTopLStrategy::Optimal).unwrap();
+    assert!((greedy.diversity_score - plain.diversity_score).abs() < 1e-6);
+    assert!(optimal.diversity_score + 1e-9 >= greedy.diversity_score);
+    assert!(greedy.diversity_score >= (1.0 - 1.0 / std::f64::consts::E) * optimal.diversity_score);
+}
+
+#[test]
+fn diversity_never_below_best_single_community() {
+    let (graph, index) = build(DatasetKind::Zipf, 200, 3);
+    let base = default_query(3);
+    let topl = TopLProcessor::new(&graph, &index).run(&base).unwrap();
+    let dtopl = DTopLProcessor::new(&graph, &index)
+        .run(&DTopLQuery::new(base, 3), DTopLStrategy::GreedyWithPruning)
+        .unwrap();
+    if let Some(best) = topl.communities.first() {
+        assert!(dtopl.diversity_score + 1e-9 >= best.influential_score);
+    }
+}
+
+#[test]
+fn facade_prelude_exposes_the_whole_pipeline() {
+    // Compile-time + runtime check that the facade crate re-exports enough to
+    // run the full pipeline without naming the sub-crates.
+    let graph = DatasetSpec::new(DatasetKind::Uniform, 120, 1).generate();
+    let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
+    let query = TopLQuery::with_defaults(KeywordSet::from_ids([0, 1, 2]));
+    let answer = TopLProcessor::new(&graph, &index).run(&query).unwrap();
+    let _scores: Vec<f64> = answer.communities.iter().map(|c| c.influential_score).collect();
+    let eval = InfluenceEvaluator::new(&graph, InfluenceConfig::default());
+    if let Some(c) = answer.communities.first() {
+        let inf = eval.influenced_community(&c.vertices);
+        assert!((inf.influential_score() - c.influential_score).abs() < 1e-9);
+    }
+}

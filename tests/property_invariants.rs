@@ -1,0 +1,162 @@
+//! Property-based integration tests: random small graphs and queries,
+//! checking the paper's invariants end-to-end (no false dismissals by any
+//! pruning rule, validity of every returned community, agreement between the
+//! indexed processor and exhaustive search, monotonicity/submodularity of the
+//! diversity score).
+
+use proptest::prelude::*;
+use topl_icde::core::baseline::bruteforce::brute_force_topl;
+use topl_icde::core::seed::{extract_seed_community, is_valid_seed_community};
+use topl_icde::core::topl::PruningToggles;
+use topl_icde::influence::{DiversityState, InfluenceConfig, InfluenceEvaluator};
+use topl_icde::prelude::*;
+
+/// Strategy: a random small social network described by (vertices, edge
+/// probability seed material, keyword assignments).
+fn random_graph(max_vertices: usize) -> impl Strategy<Value = SocialNetwork> {
+    (4usize..max_vertices, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic pseudo-random construction from the seed: a ring for
+        // connectivity plus extra chords for triangles.
+        let mut graph = GraphBuilder::with_vertices(n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            let kw_count = 1 + (next() % 3) as usize;
+            let kws: Vec<u32> = (0..kw_count).map(|_| (next() % 8) as u32).collect();
+            graph
+                .set_keywords(VertexId(i as u32), KeywordSet::from_ids(kws))
+                .expect("vertex exists");
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut add_edge = |graph: &mut GraphBuilder, a: u32, b: u32, w: f64| {
+            let key = (a.min(b), a.max(b));
+            if a != b && seen.insert(key) {
+                graph.add_symmetric_edge(VertexId(a), VertexId(b), w);
+            }
+        };
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let w = 0.5 + (next() % 40) as f64 / 100.0;
+            add_edge(&mut graph, i as u32, j as u32, w.min(0.9));
+        }
+        let chords = n + (next() % (2 * n as u64)) as usize;
+        for _ in 0..chords {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            let w = 0.5 + (next() % 40) as f64 / 100.0;
+            add_edge(&mut graph, a, b, w.min(0.9));
+        }
+        graph.build().expect("deduplicated edges always build")
+    })
+}
+
+/// A random query over the small keyword domain used by `random_graph`.
+fn random_query() -> impl Strategy<Value = TopLQuery> {
+    (
+        proptest::collection::vec(0u32..8, 1..4),
+        2u32..5,
+        1u32..3,
+        0usize..2,
+        0.05f64..0.4,
+    )
+        .prop_map(|(kws, k, r, l_extra, theta)| {
+            TopLQuery::new(KeywordSet::from_ids(kws), k, r, theta, 2 + l_extra)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The indexed processor with all pruning rules returns exactly the
+    /// brute-force scores, and every community it returns is valid.
+    #[test]
+    fn indexed_matches_bruteforce(g in random_graph(40), q in random_query()) {
+        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        let ours = TopLProcessor::new(&g, &index).run(&q).unwrap();
+        let exact = brute_force_topl(&g, &q);
+        let round = |cs: &[topl_icde::core::seed::SeedCommunity]| -> Vec<i64> {
+            cs.iter().map(|c| (c.influential_score * 1e6).round() as i64).collect()
+        };
+        prop_assert_eq!(round(&ours.communities), round(&exact.communities));
+        for c in &ours.communities {
+            prop_assert!(is_valid_seed_community(&g, &c.vertices, c.center, q.support, q.radius, &q.keywords));
+        }
+    }
+
+    /// Disabling pruning rules never changes the returned scores (safety of
+    /// every rule).
+    #[test]
+    fn pruning_rules_are_safe(g in random_graph(36), q in random_query()) {
+        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        let processor = TopLProcessor::new(&g, &index);
+        let reference = processor.run_with_toggles(&q, PruningToggles::none()).unwrap();
+        let pruned = processor.run_with_toggles(&q, PruningToggles::all()).unwrap();
+        let round = |cs: &[topl_icde::core::seed::SeedCommunity]| -> Vec<i64> {
+            cs.iter().map(|c| (c.influential_score * 1e6).round() as i64).collect()
+        };
+        prop_assert_eq!(round(&reference.communities), round(&pruned.communities));
+    }
+
+    /// Every extracted seed community is valid, and the influential score is
+    /// at least the community size (members contribute cpp = 1 each).
+    #[test]
+    fn extracted_communities_are_valid(g in random_graph(40), q in random_query()) {
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig { theta: q.theta });
+        for center in g.vertices() {
+            if let Some(community) = extract_seed_community(&g, center, q.support, q.radius, &q.keywords) {
+                prop_assert!(is_valid_seed_community(&g, &community, center, q.support, q.radius, &q.keywords));
+                let score = eval.influential_score(&community);
+                prop_assert!(score + 1e-9 >= community.len() as f64);
+            }
+        }
+    }
+
+    /// Diversity score is monotone and submodular over random community sets.
+    #[test]
+    fn diversity_is_monotone_and_submodular(g in random_graph(30), seeds in proptest::collection::vec(any::<u32>(), 3)) {
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig { theta: 0.2 });
+        let n = g.num_vertices() as u32;
+        let communities: Vec<_> = seeds
+            .iter()
+            .map(|s| {
+                let center = VertexId(s % n);
+                let ball = topl_icde::graph::traversal::hop_subgraph(&g, center, 1);
+                eval.influenced_community(&ball)
+            })
+            .collect();
+        // monotone: adding a community never decreases the score
+        let mut state = DiversityState::new();
+        let mut last = 0.0;
+        for c in &communities {
+            state.add(c);
+            prop_assert!(state.score() + 1e-9 >= last);
+            last = state.score();
+        }
+        // submodular: gain of the third w.r.t. {first} >= w.r.t. {first, second}
+        let mut small = DiversityState::new();
+        small.add(&communities[0]);
+        let mut large = DiversityState::new();
+        large.add(&communities[0]);
+        large.add(&communities[1]);
+        prop_assert!(small.gain(&communities[2]) + 1e-9 >= large.gain(&communities[2]));
+    }
+
+    /// The influential score of a seed never exceeds the number of vertices
+    /// of the graph (every cpp is at most 1) and never drops below the seed
+    /// size.
+    #[test]
+    fn influential_score_bounds(g in random_graph(30), center in any::<u32>(), theta in 0.05f64..0.5) {
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig { theta });
+        let center = VertexId(center % g.num_vertices() as u32);
+        let seed = topl_icde::graph::traversal::hop_subgraph(&g, center, 1);
+        let inf = eval.influenced_community(&seed);
+        prop_assert!(inf.influential_score() + 1e-9 >= seed.len() as f64);
+        prop_assert!(inf.influential_score() <= g.num_vertices() as f64 + 1e-9);
+        prop_assert!(inf.len() <= g.num_vertices());
+    }
+}
