@@ -34,7 +34,10 @@ fn bench_signature_width(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &bits in &[32usize, 128, 512] {
-        let config = PrecomputeConfig { signature_bits: bits, ..Default::default() };
+        let config = PrecomputeConfig {
+            signature_bits: bits,
+            ..Default::default()
+        };
         let index = IndexBuilder::new(config).build(&g);
         group.bench_with_input(BenchmarkId::from_parameter(bits), &index, |b, idx| {
             b.iter(|| TopLProcessor::new(&g, idx).run(&query).unwrap())
@@ -70,7 +73,10 @@ fn bench_offline_parallelism(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
-        let config = PrecomputeConfig { parallel, ..Default::default() };
+        let config = PrecomputeConfig {
+            parallel,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
             b.iter(|| PrecomputedData::compute(&g, cfg.clone()))
         });
@@ -78,5 +84,10 @@ fn bench_offline_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_signature_width, bench_index_fanout, bench_offline_parallelism);
+criterion_group!(
+    benches,
+    bench_signature_width,
+    bench_index_fanout,
+    bench_offline_parallelism
+);
 criterion_main!(benches);

@@ -25,16 +25,22 @@ fn bench_fig2(c: &mut Criterion) {
         let query = workload.topl_query();
         let atindex = ATIndex::build(&workload.graph);
 
-        group.bench_with_input(BenchmarkId::new("TopL-ICDE", kind.label()), &workload, |b, w| {
-            b.iter(|| {
-                TopLProcessor::new(&w.graph, &w.index)
-                    .run(&query)
-                    .expect("valid query")
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("ATindex", kind.label()), &workload, |b, w| {
-            b.iter(|| atindex.run(&w.graph, &query))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("TopL-ICDE", kind.label()),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    TopLProcessor::new(&w.graph, &w.index)
+                        .run(&query)
+                        .expect("valid query")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ATindex", kind.label()),
+            &workload,
+            |b, w| b.iter(|| atindex.run(&w.graph, &query)),
+        );
     }
     group.finish();
 }

@@ -27,7 +27,11 @@ fn bench_online_parameter_sweeps(c: &mut Criterion) {
     for &theta in &THETA_VALUES {
         let query = sample_topl_query(&base.clone().with_theta(theta));
         group.bench_with_input(BenchmarkId::from_parameter(theta), &query, |b, q| {
-            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+            b.iter(|| {
+                TopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -40,7 +44,11 @@ fn bench_online_parameter_sweeps(c: &mut Criterion) {
     for &q_size in &QUERY_KEYWORDS_VALUES {
         let query = sample_topl_query(&base.clone().with_query_keywords(q_size));
         group.bench_with_input(BenchmarkId::from_parameter(q_size), &query, |b, q| {
-            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+            b.iter(|| {
+                TopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -53,7 +61,11 @@ fn bench_online_parameter_sweeps(c: &mut Criterion) {
     for &k in &SUPPORT_VALUES {
         let query = sample_topl_query(&base.clone().with_support(k));
         group.bench_with_input(BenchmarkId::from_parameter(k), &query, |b, q| {
-            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+            b.iter(|| {
+                TopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -66,7 +78,11 @@ fn bench_online_parameter_sweeps(c: &mut Criterion) {
     for &r in &RADIUS_VALUES {
         let query = sample_topl_query(&base.clone().with_radius(r));
         group.bench_with_input(BenchmarkId::from_parameter(r), &query, |b, q| {
-            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+            b.iter(|| {
+                TopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -79,7 +95,11 @@ fn bench_online_parameter_sweeps(c: &mut Criterion) {
     for &l in &RESULT_SIZE_VALUES {
         let query = sample_topl_query(&base.clone().with_result_size(l));
         group.bench_with_input(BenchmarkId::from_parameter(l), &query, |b, q| {
-            b.iter(|| TopLProcessor::new(&workload.graph, &workload.index).run(q).unwrap())
+            b.iter(|| {
+                TopLProcessor::new(&workload.graph, &workload.index)
+                    .run(q)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -102,5 +122,9 @@ fn bench_graph_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_online_parameter_sweeps, bench_graph_scalability);
+criterion_group!(
+    benches,
+    bench_online_parameter_sweeps,
+    bench_graph_scalability
+);
 criterion_main!(benches);

@@ -31,7 +31,11 @@ fn bench_strategies(c: &mut Criterion) {
         ] {
             let id = BenchmarkId::new(label, kind.label());
             group.bench_with_input(id, &workload, |b, w| {
-                b.iter(|| DTopLProcessor::new(&w.graph, &w.index).run(&query, strategy).unwrap())
+                b.iter(|| {
+                    DTopLProcessor::new(&w.graph, &w.index)
+                        .run(&query, strategy)
+                        .unwrap()
+                })
             });
         }
     }

@@ -109,7 +109,13 @@ fn emit(table: &Table, json: bool) {
 fn offline_report(params: &ExperimentParams) -> Table {
     let mut table = Table::new(
         "Offline phase: generation and index construction",
-        &["dataset", "generation (s)", "offline (s)", "index nodes", "height"],
+        &[
+            "dataset",
+            "generation (s)",
+            "offline (s)",
+            "index nodes",
+            "height",
+        ],
     );
     for kind in DatasetKind::ALL {
         let workload = Workload::build(kind, params);
@@ -125,7 +131,11 @@ fn offline_report(params: &ExperimentParams) -> Table {
 }
 
 fn scalability_sizes(max_scale: usize) -> Vec<usize> {
-    GRAPH_SIZE_VALUES.iter().copied().filter(|s| *s <= max_scale).collect()
+    GRAPH_SIZE_VALUES
+        .iter()
+        .copied()
+        .filter(|s| *s <= max_scale)
+        .collect()
 }
 
 fn main() {
@@ -182,7 +192,10 @@ fn main() {
         emit(&figures::fig5_case_study(&params), options.json);
     }
     if wants("fig6a") {
-        emit(&figures::fig6_datasets(&params, options.include_optimal), options.json);
+        emit(
+            &figures::fig6_datasets(&params, options.include_optimal),
+            options.json,
+        );
     }
     if wants("fig6b") {
         emit(&figures::fig6_result_size(&params), options.json);

@@ -24,15 +24,25 @@ use icde_truss::triangle::{count_triangles, global_clustering_coefficient};
 
 /// The synthetic graph families (Uni, Gau, Zipf) used by the robustness and
 /// DTopL sweeps.
-pub const SYNTHETIC_KINDS: [DatasetKind; 3] =
-    [DatasetKind::Uniform, DatasetKind::Gaussian, DatasetKind::Zipf];
+pub const SYNTHETIC_KINDS: [DatasetKind; 3] = [
+    DatasetKind::Uniform,
+    DatasetKind::Gaussian,
+    DatasetKind::Zipf,
+];
 
 /// Table II: statistics of the (stand-in) real graphs plus the synthetic
 /// families at the harness scale.
 pub fn table2_dataset_statistics(params: &ExperimentParams) -> Table {
     let mut table = Table::new(
         "Table II: dataset statistics (DBLP*/Amazon* are synthetic stand-ins, see DESIGN.md)",
-        &["dataset", "|V(G)|", "|E(G)|", "avg degree", "triangles", "clustering"],
+        &[
+            "dataset",
+            "|V(G)|",
+            "|E(G)|",
+            "avg degree",
+            "triangles",
+            "clustering",
+        ],
     );
     for kind in DatasetKind::ALL {
         let spec = icde_graph::generators::DatasetSpec::new(kind, params.graph_size, params.seed)
@@ -62,7 +72,11 @@ pub fn fig2_datasets(params: &ExperimentParams) -> Table {
         let workload = Workload::build(kind, params);
         let ours = run_topl_with_toggles(&workload, PruningToggles::all(), "TopL-ICDE");
         let at = run_atindex(&workload);
-        let speedup = if ours.seconds() > 0.0 { at.seconds() / ours.seconds() } else { f64::INFINITY };
+        let speedup = if ours.seconds() > 0.0 {
+            at.seconds() / ours.seconds()
+        } else {
+            f64::INFINITY
+        };
         table.push_row(vec![
             kind.label().to_string(),
             seconds(ours.wall_clock),
@@ -84,9 +98,14 @@ fn fig3_online_sweep<T: std::fmt::Display + Copy>(
 ) -> Table {
     let mut headers: Vec<String> = vec![axis.to_string()];
     headers.extend(SYNTHETIC_KINDS.iter().map(|k| format!("{} (s)", k.label())));
-    let mut table = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
-    let workloads: Vec<Workload> =
-        SYNTHETIC_KINDS.iter().map(|k| Workload::build(*k, base)).collect();
+    let mut table = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let workloads: Vec<Workload> = SYNTHETIC_KINDS
+        .iter()
+        .map(|k| Workload::build(*k, base))
+        .collect();
     for &value in values {
         let mut row = vec![value.to_string()];
         for workload in &workloads {
@@ -166,7 +185,10 @@ fn fig3_offline_sweep<T: std::fmt::Display + Copy>(
 ) -> Table {
     let mut headers: Vec<String> = vec![axis.to_string()];
     headers.extend(SYNTHETIC_KINDS.iter().map(|k| format!("{} (s)", k.label())));
-    let mut table = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut table = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for &value in values {
         let p = apply(base.clone(), value);
         let mut row = vec![value.to_string()];
@@ -224,11 +246,21 @@ pub fn fig4_ablation(params: &ExperimentParams) -> (Table, Table) {
     ];
     let mut pruned = Table::new(
         "Figure 4(a): number of pruned candidate communities",
-        &["dataset", "keyword", "keyword+support", "keyword+support+score"],
+        &[
+            "dataset",
+            "keyword",
+            "keyword+support",
+            "keyword+support+score",
+        ],
     );
     let mut time = Table::new(
         "Figure 4(b): wall clock time per pruning combination (seconds)",
-        &["dataset", "keyword", "keyword+support", "keyword+support+score"],
+        &[
+            "dataset",
+            "keyword",
+            "keyword+support",
+            "keyword+support+score",
+        ],
     );
     for kind in DatasetKind::ALL {
         let workload = Workload::build(kind, params);
@@ -256,7 +288,12 @@ pub fn fig4_ablation(params: &ExperimentParams) -> (Table, Table) {
 pub fn fig5_case_study(params: &ExperimentParams) -> Table {
     let mut table = Table::new(
         "Figure 5: Top1-ICDE community vs 4-core community (Amazon*)",
-        &["method", "seed size", "influential score", "influenced users"],
+        &[
+            "method",
+            "seed size",
+            "influential score",
+            "influenced users",
+        ],
     );
     // The case study needs at least one valid community to talk about. The
     // synthetic Amazon* stand-in assigns keywords independently (no category
@@ -321,13 +358,20 @@ pub fn fig6_datasets(params: &ExperimentParams, include_optimal: bool) -> Table 
     if include_optimal {
         headers.push("Optimal (s)");
     }
-    let mut table = Table::new("Figure 6(a): DTopL-ICDE wall clock time per dataset", &headers);
+    let mut table = Table::new(
+        "Figure 6(a): DTopL-ICDE wall clock time per dataset",
+        &headers,
+    );
     for kind in DatasetKind::ALL {
         let workload = Workload::build(kind, params);
         let query = sample_dtopl_query(params);
         let wp = run_dtopl_query(&workload, &query, DTopLStrategy::GreedyWithPruning);
         let wop = run_dtopl_query(&workload, &query, DTopLStrategy::GreedyWithoutPruning);
-        let mut row = vec![kind.label().to_string(), seconds(wp.wall_clock), seconds(wop.wall_clock)];
+        let mut row = vec![
+            kind.label().to_string(),
+            seconds(wp.wall_clock),
+            seconds(wop.wall_clock),
+        ];
         if include_optimal {
             let opt = run_dtopl_query(&workload, &query, DTopLStrategy::Optimal);
             row.push(seconds(opt.wall_clock));
@@ -348,9 +392,14 @@ fn fig6_online_sweep<T: std::fmt::Display + Copy>(
 ) -> Table {
     let mut headers: Vec<String> = vec![axis.to_string()];
     headers.extend(SYNTHETIC_KINDS.iter().map(|k| format!("{} (s)", k.label())));
-    let mut table = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
-    let workloads: Vec<Workload> =
-        SYNTHETIC_KINDS.iter().map(|k| Workload::build(*k, base)).collect();
+    let mut table = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let workloads: Vec<Workload> = SYNTHETIC_KINDS
+        .iter()
+        .map(|k| Workload::build(*k, base))
+        .collect();
     for &value in values {
         let mut row = vec![value.to_string()];
         for workload in &workloads {
@@ -436,7 +485,9 @@ mod tests {
 
     /// Tiny scale so the whole figure suite runs quickly under `cargo test`.
     fn tiny() -> ExperimentParams {
-        ExperimentParams::at_scale(220).with_keyword_domain(12).with_result_size(3)
+        ExperimentParams::at_scale(220)
+            .with_keyword_domain(12)
+            .with_result_size(3)
     }
 
     #[test]
@@ -484,7 +535,7 @@ mod tests {
     #[test]
     fn fig5_reports_both_methods() {
         let t = fig5_case_study(&tiny());
-        assert!(t.len() >= 1);
+        assert!(!t.is_empty());
         assert_eq!(t.rows[0][0], "Top1-ICDE");
     }
 
@@ -493,7 +544,11 @@ mod tests {
         let p = tiny();
         let a = fig6_datasets(&p, false);
         assert_eq!(a.len(), 5);
-        let acc = fig6_accuracy(&ExperimentParams::at_scale(200).with_keyword_domain(12).with_result_size(2));
+        let acc = fig6_accuracy(
+            &ExperimentParams::at_scale(200)
+                .with_keyword_domain(12)
+                .with_result_size(2),
+        );
         assert_eq!(acc.len(), 3);
         for row in &acc.rows {
             let v: f64 = row[1].parse().unwrap();

@@ -89,7 +89,10 @@ impl Default for ExperimentParams {
 impl ExperimentParams {
     /// Defaults with an explicit graph size.
     pub fn at_scale(graph_size: usize) -> Self {
-        ExperimentParams { graph_size, ..Default::default() }
+        ExperimentParams {
+            graph_size,
+            ..Default::default()
+        }
     }
 
     /// Returns a copy with a different θ.

@@ -192,7 +192,8 @@ mod tests {
         assert_eq!(kw.best_score, ks.best_score);
         assert_eq!(kw.best_score, all.best_score);
         // more rules => no more candidate regions need refinement
-        let attempted = |m: &Measurement| m.stats.candidates_refined + m.stats.candidates_without_community;
+        let attempted =
+            |m: &Measurement| m.stats.candidates_refined + m.stats.candidates_without_community;
         assert!(attempted(&all) <= attempted(&ks));
         assert!(attempted(&ks) <= attempted(&kw));
     }
@@ -204,6 +205,9 @@ mod tests {
         let wop = run_dtopl(&w, DTopLStrategy::GreedyWithoutPruning);
         assert!((wp.diversity_score - wop.diversity_score).abs() < 1e-6);
         let accuracy = dtopl_accuracy(&w);
-        assert!((0.63..=1.0 + 1e-9).contains(&accuracy), "accuracy {accuracy}");
+        assert!(
+            (0.63..=1.0 + 1e-9).contains(&accuracy),
+            "accuracy {accuracy}"
+        );
     }
 }

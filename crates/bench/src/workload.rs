@@ -43,7 +43,13 @@ pub fn sample_topl_query(params: &ExperimentParams) -> TopLQuery {
     let count = params.query_keywords.min(params.keyword_domain as usize);
     let chosen = sample(&mut rng, params.keyword_domain as usize, count);
     let keywords = KeywordSet::from_ids(chosen.iter().map(|i| i as u32));
-    TopLQuery::new(keywords, params.support, params.radius, params.theta, params.result_size)
+    TopLQuery::new(
+        keywords,
+        params.support,
+        params.radius,
+        params.theta,
+        params.result_size,
+    )
 }
 
 /// The DTopL-ICDE query for `params` (base query plus the multiplier `n`).
@@ -72,7 +78,14 @@ impl Workload {
         let index = IndexBuilder::new(config).build(&graph);
         let offline_time = offline_start.elapsed();
 
-        Workload { kind, graph, index, generation_time, offline_time, params: params.clone() }
+        Workload {
+            kind,
+            graph,
+            index,
+            generation_time,
+            offline_time,
+            params: params.clone(),
+        }
     }
 
     /// Samples the query keyword set `Q` (|Q| keywords drawn from Σ without

@@ -18,6 +18,8 @@ usage:
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
+    /// Print the usage text and exit successfully.
+    Help,
     /// Generate a synthetic graph and write it to a file.
     Generate {
         /// Dataset family to generate.
@@ -112,13 +114,16 @@ impl<'a> Flags<'a> {
     }
 
     fn required(&self, name: &str) -> Result<&'a str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag {name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag {name}"))
     }
 
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {v}")),
         }
     }
 }
@@ -156,7 +161,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Err("no command given".to_string());
     };
     if command == "--help" || command == "-h" || command == "help" {
-        return Err("help requested".to_string());
+        return Ok(Command::Help);
     }
     let flags = Flags { args: &args[1..] };
     match command.as_str() {
@@ -171,7 +176,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             keywords_per_vertex: flags.parse_or("--keywords-per-vertex", 3usize)?,
             out: flags.required("--out")?.to_string(),
         }),
-        "stats" => Ok(Command::Stats { graph: flags.required("--graph")?.to_string() }),
+        "stats" => Ok(Command::Stats {
+            graph: flags.required("--graph")?.to_string(),
+        }),
         "index" => Ok(Command::Index {
             graph: flags.required("--graph")?.to_string(),
             out: flags.required("--out")?.to_string(),
@@ -192,7 +199,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let index = flags.required("--index")?.to_string();
             let json = flags.has("--json");
             if command == "query" {
-                Ok(Command::Query { graph, index, keywords, k, r, theta, l, json })
+                Ok(Command::Query {
+                    graph,
+                    index,
+                    keywords,
+                    k,
+                    r,
+                    theta,
+                    l,
+                    json,
+                })
             } else {
                 Ok(Command::DQuery {
                     graph,
@@ -222,7 +238,15 @@ mod tests {
     #[test]
     fn parses_generate() {
         let cmd = parse(&argv(&[
-            "generate", "--kind", "amazon", "--vertices", "1000", "--out", "g.txt", "--seed", "7",
+            "generate",
+            "--kind",
+            "amazon",
+            "--vertices",
+            "1000",
+            "--out",
+            "g.txt",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(
@@ -241,11 +265,25 @@ mod tests {
     #[test]
     fn parses_query_with_defaults() {
         let cmd = parse(&argv(&[
-            "query", "--graph", "g.txt", "--index", "i.json", "--keywords", "1,2,3",
+            "query",
+            "--graph",
+            "g.txt",
+            "--index",
+            "i.json",
+            "--keywords",
+            "1,2,3",
         ]))
         .unwrap();
         match cmd {
-            Command::Query { keywords, k, r, theta, l, json, .. } => {
+            Command::Query {
+                keywords,
+                k,
+                r,
+                theta,
+                l,
+                json,
+                ..
+            } => {
                 assert_eq!(keywords, vec![1, 2, 3]);
                 assert_eq!(k, 4);
                 assert_eq!(r, 2);
@@ -260,7 +298,16 @@ mod tests {
     #[test]
     fn parses_dquery_multiplier_and_json() {
         let cmd = parse(&argv(&[
-            "dquery", "--graph", "g", "--index", "i", "--keywords", "4", "--n", "5", "--json",
+            "dquery",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--keywords",
+            "4",
+            "--n",
+            "5",
+            "--json",
         ]))
         .unwrap();
         match cmd {
@@ -275,11 +322,24 @@ mod tests {
     #[test]
     fn parses_index_thresholds() {
         let cmd = parse(&argv(&[
-            "index", "--graph", "g", "--out", "i", "--thresholds", "0.05,0.15", "--fanout", "4",
+            "index",
+            "--graph",
+            "g",
+            "--out",
+            "i",
+            "--thresholds",
+            "0.05,0.15",
+            "--fanout",
+            "4",
         ]))
         .unwrap();
         match cmd {
-            Command::Index { thresholds, fanout, r_max, .. } => {
+            Command::Index {
+                thresholds,
+                fanout,
+                r_max,
+                ..
+            } => {
                 assert_eq!(thresholds, vec![0.05, 0.15]);
                 assert_eq!(fanout, 4);
                 assert_eq!(r_max, 3);
@@ -292,8 +352,26 @@ mod tests {
     fn rejects_bad_input() {
         assert!(parse(&argv(&[])).is_err());
         assert!(parse(&argv(&["frobnicate"])).is_err());
-        assert!(parse(&argv(&["generate", "--kind", "nope", "--vertices", "10", "--out", "x"])).is_err());
-        assert!(parse(&argv(&["query", "--graph", "g", "--index", "i", "--keywords", "a,b"])).is_err());
+        assert!(parse(&argv(&[
+            "generate",
+            "--kind",
+            "nope",
+            "--vertices",
+            "10",
+            "--out",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "query",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--keywords",
+            "a,b"
+        ]))
+        .is_err());
         assert!(parse(&argv(&["generate", "--vertices", "10", "--out", "x"])).is_err());
     }
 }

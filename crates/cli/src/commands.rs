@@ -15,7 +15,18 @@ use icde_graph::{io, KeywordSet, SocialNetwork};
 /// Runs one parsed command; error strings are printed by `main`.
 pub fn run(command: Command) -> Result<(), String> {
     match command {
-        Command::Generate { kind, vertices, seed, keyword_domain, keywords_per_vertex, out } => {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            Ok(())
+        }
+        Command::Generate {
+            kind,
+            vertices,
+            seed,
+            keyword_domain,
+            keywords_per_vertex,
+            out,
+        } => {
             let spec = DatasetSpec::new(kind, vertices, seed)
                 .with_keyword_domain(keyword_domain)
                 .with_keywords_per_vertex(keywords_per_vertex);
@@ -33,10 +44,19 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Stats { graph } => {
             let g = load_graph(&graph)?;
             let stats = graph_statistics(&g);
-            println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+            );
             Ok(())
         }
-        Command::Index { graph, out, r_max, fanout, thresholds } => {
+        Command::Index {
+            graph,
+            out,
+            r_max,
+            fanout,
+            thresholds,
+        } => {
             let g = load_graph(&graph)?;
             let config = PrecomputeConfig::new(r_max, thresholds);
             let start = std::time::Instant::now();
@@ -51,11 +71,22 @@ pub fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Query { graph, index, keywords, k, r, theta, l, json } => {
+        Command::Query {
+            graph,
+            index,
+            keywords,
+            k,
+            r,
+            theta,
+            l,
+            json,
+        } => {
             let g = load_graph(&graph)?;
             let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
             let query = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
-            let answer = TopLProcessor::new(&g, &idx).run(&query).map_err(|e| e.to_string())?;
+            let answer = TopLProcessor::new(&g, &idx)
+                .run(&query)
+                .map_err(|e| e.to_string())?;
             if json {
                 println!(
                     "{}",
@@ -72,7 +103,17 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::DQuery { graph, index, keywords, k, r, theta, l, n, json } => {
+        Command::DQuery {
+            graph,
+            index,
+            keywords,
+            k,
+            r,
+            theta,
+            l,
+            n,
+            json,
+        } => {
             let g = load_graph(&graph)?;
             let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
             let base = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
@@ -128,7 +169,10 @@ mod tests {
     use icde_graph::generators::DatasetKind;
 
     fn temp_path(name: &str) -> String {
-        std::env::temp_dir().join(name).to_string_lossy().to_string()
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .to_string()
     }
 
     #[test]
@@ -146,7 +190,10 @@ mod tests {
         })
         .unwrap();
 
-        run(Command::Stats { graph: graph_path.clone() }).unwrap();
+        run(Command::Stats {
+            graph: graph_path.clone(),
+        })
+        .unwrap();
 
         run(Command::Index {
             graph: graph_path.clone(),
@@ -188,7 +235,10 @@ mod tests {
 
     #[test]
     fn missing_files_produce_errors() {
-        assert!(run(Command::Stats { graph: "/no/such/file.txt".into() }).is_err());
+        assert!(run(Command::Stats {
+            graph: "/no/such/file.txt".into()
+        })
+        .is_err());
         assert!(run(Command::Query {
             graph: "/no/such/file.txt".into(),
             index: "/no/such/index.json".into(),

@@ -31,7 +31,9 @@ pub struct ATIndex {
 impl ATIndex {
     /// Builds the ATindex offline structure (truss decomposition).
     pub fn build(g: &SocialNetwork) -> Self {
-        ATIndex { decomposition: truss_decomposition(g) }
+        ATIndex {
+            decomposition: truss_decomposition(g),
+        }
     }
 
     /// The trussness of a vertex (maximum trussness over incident edges).
@@ -77,7 +79,11 @@ impl ATIndex {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         communities.truncate(query.l);
-        TopLAnswer { communities, stats, elapsed: start.elapsed() }
+        TopLAnswer {
+            communities,
+            stats,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -102,7 +108,10 @@ mod tests {
         let exact = brute_force_topl(&g, &q);
         let answer = at.run(&g, &q);
         let round = |xs: &TopLAnswer| -> Vec<f64> {
-            xs.communities.iter().map(|c| (c.influential_score * 1e9).round()).collect()
+            xs.communities
+                .iter()
+                .map(|c| (c.influential_score * 1e9).round())
+                .collect()
         };
         assert_eq!(round(&exact), round(&answer));
     }

@@ -8,8 +8,8 @@
 
 use crate::query::TopLQuery;
 use crate::seed::{extract_seed_community, SeedCommunity};
-use crate::topl::TopLAnswer;
 use crate::stats::PruningStats;
+use crate::topl::TopLAnswer;
 use icde_graph::SocialNetwork;
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use std::time::Instant;
@@ -48,7 +48,11 @@ pub fn brute_force_topl(g: &SocialNetwork, query: &TopLQuery) -> TopLAnswer {
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     communities.truncate(query.l);
-    TopLAnswer { communities, stats, elapsed: start.elapsed() }
+    TopLAnswer {
+        communities,
+        stats,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +66,9 @@ mod tests {
     use icde_graph::KeywordSet;
 
     fn graph(kind: DatasetKind, n: usize, seed: u64) -> SocialNetwork {
-        DatasetSpec::new(kind, n, seed).with_keyword_domain(10).generate()
+        DatasetSpec::new(kind, n, seed)
+            .with_keyword_domain(10)
+            .generate()
     }
 
     #[test]
@@ -71,7 +77,14 @@ mod tests {
         let q = TopLQuery::new(KeywordSet::from_ids([0, 1, 2]), 3, 2, 0.2, 4);
         let answer = brute_force_topl(&g, &q);
         for c in &answer.communities {
-            assert!(is_valid_seed_community(&g, &c.vertices, c.center, q.support, q.radius, &q.keywords));
+            assert!(is_valid_seed_community(
+                &g,
+                &c.vertices,
+                c.center,
+                q.support,
+                q.radius,
+                &q.keywords
+            ));
         }
         // descending scores
         for w in answer.communities.windows(2) {
@@ -89,16 +102,25 @@ mod tests {
             (DatasetKind::Zipf, 9),
         ] {
             let g = graph(kind, 180, seed);
-            let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-                .with_leaf_capacity(8)
-                .build(&g);
+            let index = IndexBuilder::new(PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            })
+            .with_leaf_capacity(8)
+            .build(&g);
             let q = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
             let exact = brute_force_topl(&g, &q);
             let indexed = TopLProcessor::new(&g, &index).run(&q).unwrap();
-            let exact_scores: Vec<f64> =
-                exact.communities.iter().map(|c| (c.influential_score * 1e9).round()).collect();
-            let indexed_scores: Vec<f64> =
-                indexed.communities.iter().map(|c| (c.influential_score * 1e9).round()).collect();
+            let exact_scores: Vec<f64> = exact
+                .communities
+                .iter()
+                .map(|c| (c.influential_score * 1e9).round())
+                .collect();
+            let indexed_scores: Vec<f64> = indexed
+                .communities
+                .iter()
+                .map(|c| (c.influential_score * 1e9).round())
+                .collect();
             assert_eq!(exact_scores, indexed_scores, "{kind:?}");
         }
     }

@@ -44,12 +44,18 @@ pub struct DTopLQuery {
 impl DTopLQuery {
     /// Creates a DTopL-ICDE query.
     pub fn new(base: TopLQuery, candidate_multiplier: usize) -> Self {
-        DTopLQuery { base, candidate_multiplier }
+        DTopLQuery {
+            base,
+            candidate_multiplier,
+        }
     }
 
     /// The paper's default multiplier `n = 3`.
     pub fn with_default_multiplier(base: TopLQuery) -> Self {
-        DTopLQuery { base, candidate_multiplier: 3 }
+        DTopLQuery {
+            base,
+            candidate_multiplier: 3,
+        }
     }
 }
 
@@ -135,9 +141,16 @@ impl<'a> DTopLProcessor<'a> {
         let candidates = topl.communities;
 
         // Influenced communities of every candidate drive the diversity math.
-        let evaluator = InfluenceEvaluator::new(self.graph, InfluenceConfig { theta: query.base.theta });
-        let influenced: Vec<InfluencedCommunity> =
-            candidates.iter().map(|c| evaluator.influenced_community(&c.vertices)).collect();
+        let evaluator = InfluenceEvaluator::new(
+            self.graph,
+            InfluenceConfig {
+                theta: query.base.theta,
+            },
+        );
+        let influenced: Vec<InfluencedCommunity> = candidates
+            .iter()
+            .map(|c| evaluator.influenced_community(&c.vertices))
+            .collect();
 
         let selected_indices = match strategy {
             DTopLStrategy::GreedyWithPruning => self.lazy_greedy(&influenced, l, &mut stats),
@@ -149,9 +162,17 @@ impl<'a> DTopLProcessor<'a> {
         for &i in &selected_indices {
             state.add(&influenced[i]);
         }
-        let communities = selected_indices.iter().map(|&i| candidates[i].clone()).collect();
+        let communities = selected_indices
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect();
 
-        Ok(DTopLAnswer { communities, diversity_score: state.score(), stats, elapsed: start.elapsed() })
+        Ok(DTopLAnswer {
+            communities,
+            diversity_score: state.score(),
+            stats,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Algorithm 4: lazy greedy with stale-gain pruning.
@@ -164,7 +185,11 @@ impl<'a> DTopLProcessor<'a> {
         let mut heap: BinaryHeap<LazyEntry> = influenced
             .iter()
             .enumerate()
-            .map(|(i, c)| LazyEntry { gain: c.influential_score(), round: 0, candidate: i })
+            .map(|(i, c)| LazyEntry {
+                gain: c.influential_score(),
+                round: 0,
+                candidate: i,
+            })
             .collect();
         let mut state = DiversityState::new();
         let mut selected = Vec::with_capacity(l);
@@ -183,7 +208,11 @@ impl<'a> DTopLProcessor<'a> {
                 // Stale gain: recompute against the current answer set and
                 // push back.
                 let fresh = state.gain(&influenced[entry.candidate]);
-                heap.push(LazyEntry { gain: fresh, round, candidate: entry.candidate });
+                heap.push(LazyEntry {
+                    gain: fresh,
+                    round,
+                    candidate: entry.candidate,
+                });
             }
         }
         selected
@@ -224,7 +253,8 @@ impl<'a> DTopLProcessor<'a> {
         let mut best_score = f64::NEG_INFINITY;
         let mut combination: Vec<usize> = (0..l).collect();
         loop {
-            let refs: Vec<&InfluencedCommunity> = combination.iter().map(|&i| &influenced[i]).collect();
+            let refs: Vec<&InfluencedCommunity> =
+                combination.iter().map(|&i| &influenced[i]).collect();
             let score = icde_influence::diversity_score(&refs);
             if score > best_score {
                 best_score = score;
@@ -264,13 +294,19 @@ mod tests {
     }
 
     fn index(g: &SocialNetwork) -> CommunityIndex {
-        IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-            .with_leaf_capacity(8)
-            .build(g)
+        IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(g)
     }
 
     fn query(l: usize, n: usize) -> DTopLQuery {
-        DTopLQuery::new(TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, l), n)
+        DTopLQuery::new(
+            TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, l),
+            n,
+        )
     }
 
     #[test]
@@ -280,12 +316,17 @@ mod tests {
         let processor = DTopLProcessor::new(&g, &idx);
         let q = query(3, 3);
         let wp = processor.run(&q, DTopLStrategy::GreedyWithPruning).unwrap();
-        let wop = processor.run(&q, DTopLStrategy::GreedyWithoutPruning).unwrap();
+        let wop = processor
+            .run(&q, DTopLStrategy::GreedyWithoutPruning)
+            .unwrap();
         // Lazy greedy and plain greedy pick sets with identical diversity
         // (the lazy version only skips redundant recomputations).
         assert!((wp.diversity_score - wop.diversity_score).abs() < 1e-6);
         assert_eq!(wp.communities.len(), wop.communities.len());
-        assert!(wp.stats.diversity_pruned > 0, "lazy greedy should skip recomputations");
+        assert!(
+            wp.stats.diversity_pruned > 0,
+            "lazy greedy should skip recomputations"
+        );
     }
 
     #[test]
@@ -311,7 +352,9 @@ mod tests {
         let g = graph();
         let idx = index(&g);
         let q = query(3, 2);
-        let answer = DTopLProcessor::new(&g, &idx).run(&q, DTopLStrategy::GreedyWithPruning).unwrap();
+        let answer = DTopLProcessor::new(&g, &idx)
+            .run(&q, DTopLStrategy::GreedyWithPruning)
+            .unwrap();
         let sum: f64 = answer.communities.iter().map(|c| c.influential_score).sum();
         assert!(answer.diversity_score <= sum + 1e-9);
         assert!(answer.diversity_score > 0.0);
@@ -323,7 +366,9 @@ mod tests {
         let g = graph();
         let idx = index(&g);
         let q = query(4, 2);
-        let answer = DTopLProcessor::new(&g, &idx).run(&q, DTopLStrategy::GreedyWithPruning).unwrap();
+        let answer = DTopLProcessor::new(&g, &idx)
+            .run(&q, DTopLStrategy::GreedyWithPruning)
+            .unwrap();
         assert!(answer.communities.len() <= 4);
         // selection order: first pick is the highest influential score among
         // candidates (gain w.r.t. empty set equals the influential score)
@@ -340,7 +385,9 @@ mod tests {
         let g = graph();
         let idx = index(&g);
         let bad = DTopLQuery::new(TopLQuery::new(KeywordSet::new(), 3, 2, 0.2, 3), 2);
-        assert!(DTopLProcessor::new(&g, &idx).run(&bad, DTopLStrategy::GreedyWithPruning).is_err());
+        assert!(DTopLProcessor::new(&g, &idx)
+            .run(&bad, DTopLStrategy::GreedyWithPruning)
+            .is_err());
     }
 
     #[test]
@@ -362,7 +409,10 @@ mod tests {
 
     #[test]
     fn default_multiplier_is_three() {
-        let q = DTopLQuery::with_default_multiplier(TopLQuery::with_defaults(KeywordSet::from_ids([1])));
+        let q =
+            DTopLQuery::with_default_multiplier(TopLQuery::with_defaults(KeywordSet::from_ids([
+                1,
+            ])));
         assert_eq!(q.candidate_multiplier, 3);
     }
 }

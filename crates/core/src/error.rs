@@ -44,13 +44,18 @@ impl fmt::Display for CoreError {
             CoreError::InvalidResultSize(l) => write!(f, "result size must be >= 1, got {l}"),
             CoreError::InvalidSupport(k) => write!(f, "truss support k must be >= 2, got {k}"),
             CoreError::InvalidRadius(r) => write!(f, "radius must be >= 1, got {r}"),
-            CoreError::InvalidTheta(t) => write!(f, "influence threshold must be in [0, 1), got {t}"),
+            CoreError::InvalidTheta(t) => {
+                write!(f, "influence threshold must be in [0, 1), got {t}")
+            }
             CoreError::Serialization(msg) => write!(f, "index serialisation error: {msg}"),
             CoreError::RadiusExceedsIndex { requested, r_max } => write!(
                 f,
                 "query radius {requested} exceeds the index's maximum pre-computed radius {r_max}"
             ),
-            CoreError::IndexGraphMismatch { graph_vertices, index_vertices } => write!(
+            CoreError::IndexGraphMismatch {
+                graph_vertices,
+                index_vertices,
+            } => write!(
                 f,
                 "index was built over {index_vertices} vertices but the graph has {graph_vertices}"
             ),
@@ -69,15 +74,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::EmptyQueryKeywords.to_string().contains("keyword"));
+        assert!(CoreError::EmptyQueryKeywords
+            .to_string()
+            .contains("keyword"));
         assert!(CoreError::InvalidResultSize(0).to_string().contains('0'));
-        assert!(CoreError::InvalidSupport(1).to_string().contains("k must be >= 2"));
+        assert!(CoreError::InvalidSupport(1)
+            .to_string()
+            .contains("k must be >= 2"));
         assert!(CoreError::InvalidTheta(1.5).to_string().contains("1.5"));
-        assert!(CoreError::RadiusExceedsIndex { requested: 5, r_max: 3 }
-            .to_string()
-            .contains("5"));
-        assert!(CoreError::IndexGraphMismatch { graph_vertices: 10, index_vertices: 20 }
-            .to_string()
-            .contains("20"));
+        assert!(CoreError::RadiusExceedsIndex {
+            requested: 5,
+            r_max: 3
+        }
+        .to_string()
+        .contains("5"));
+        assert!(CoreError::IndexGraphMismatch {
+            graph_vertices: 10,
+            index_vertices: 20
+        }
+        .to_string()
+        .contains("20"));
     }
 }

@@ -180,7 +180,11 @@ impl IndexBuilder {
     /// Creates a builder with the given offline configuration and default
     /// fan-out / leaf capacity.
     pub fn new(config: PrecomputeConfig) -> Self {
-        IndexBuilder { config, fanout: DEFAULT_FANOUT, leaf_capacity: DEFAULT_LEAF_CAPACITY }
+        IndexBuilder {
+            config,
+            fanout: DEFAULT_FANOUT,
+            leaf_capacity: DEFAULT_LEAF_CAPACITY,
+        }
     }
 
     /// Overrides the fan-out `γ` of non-leaf nodes.
@@ -211,7 +215,11 @@ impl IndexBuilder {
 
     /// Builds the index over already pre-computed data (useful when the same
     /// data backs several index configurations, e.g. the fan-out ablation).
-    pub fn build_from_precomputed(&self, g: &SocialNetwork, data: PrecomputedData) -> CommunityIndex {
+    pub fn build_from_precomputed(
+        &self,
+        g: &SocialNetwork,
+        data: PrecomputedData,
+    ) -> CommunityIndex {
         let n = g.num_vertices();
         // Sort vertices by the average of their support bound and largest
         // score bound at r_max, so vertices with similar bounds share leaves
@@ -223,7 +231,11 @@ impl IndexBuilder {
                 let score = agg.score_upper_bounds.first().copied().unwrap_or(0.0);
                 agg.support_upper_bound as f64 / 2.0 + score / 2.0
             };
-            order.sort_by(|a, b| key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|a, b| {
+                key(b)
+                    .partial_cmp(&key(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
         }
 
         let mut nodes = Vec::new();
@@ -232,7 +244,9 @@ impl IndexBuilder {
         // Leaf level.
         let mut level: Vec<usize> = Vec::new();
         if n == 0 {
-            nodes.push(IndexNode::Leaf { vertices: Vec::new() });
+            nodes.push(IndexNode::Leaf {
+                vertices: Vec::new(),
+            });
             aggregates.push(NodeAggregate::empty(&data.config));
             level.push(0);
         } else {
@@ -241,7 +255,9 @@ impl IndexBuilder {
                 for &v in chunk {
                     agg.merge_vertex(&data, v);
                 }
-                nodes.push(IndexNode::Leaf { vertices: chunk.to_vec() });
+                nodes.push(IndexNode::Leaf {
+                    vertices: chunk.to_vec(),
+                });
                 aggregates.push(agg);
                 level.push(nodes.len() - 1);
             }
@@ -255,7 +271,9 @@ impl IndexBuilder {
                 for &child in group {
                     agg.merge_node(&aggregates[child]);
                 }
-                nodes.push(IndexNode::Internal { children: group.to_vec() });
+                nodes.push(IndexNode::Internal {
+                    children: group.to_vec(),
+                });
                 aggregates.push(agg);
                 next_level.push(nodes.len() - 1);
             }
@@ -289,10 +307,13 @@ mod tests {
     }
 
     fn build(g: &SocialNetwork) -> CommunityIndex {
-        IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-            .with_fanout(4)
-            .with_leaf_capacity(8)
-            .build(g)
+        IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_fanout(4)
+        .with_leaf_capacity(8)
+        .build(g)
     }
 
     #[test]
@@ -334,7 +355,9 @@ mod tests {
                         let child_agg = index.aggregate(child).for_radius(r);
                         assert!(parent.support_upper_bound >= child_agg.support_upper_bound);
                         for z in 0..parent.score_upper_bounds.len() {
-                            assert!(parent.score_upper_bounds[z] >= child_agg.score_upper_bounds[z]);
+                            assert!(
+                                parent.score_upper_bounds[z] >= child_agg.score_upper_bounds[z]
+                            );
                         }
                     }
                 }
@@ -386,7 +409,11 @@ mod tests {
     #[test]
     fn empty_graph_builds_a_single_leaf() {
         let g = SocialNetwork::new();
-        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .build(&g);
         assert_eq!(index.node_count(), 1);
         assert_eq!(index.height(), 1);
         assert!(index.all_leaf_vertices().is_empty());
@@ -394,7 +421,9 @@ mod tests {
 
     #[test]
     fn builder_validation() {
-        let b = IndexBuilder::new(PrecomputeConfig::default()).with_fanout(2).with_leaf_capacity(1);
+        let b = IndexBuilder::new(PrecomputeConfig::default())
+            .with_fanout(2)
+            .with_leaf_capacity(1);
         assert_eq!(b.fanout, 2);
         assert_eq!(b.leaf_capacity, 1);
     }
@@ -409,7 +438,11 @@ mod tests {
     fn single_vertex_graph_index() {
         let mut g = SocialNetwork::new();
         g.add_vertex(KeywordSet::from_ids([1]));
-        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .build(&g);
         assert_eq!(index.all_leaf_vertices().len(), 1);
         let agg = index.aggregate(index.root()).for_radius(1);
         let q = BitVector::from_keywords(&KeywordSet::from_ids([1]), index.signature_bits());

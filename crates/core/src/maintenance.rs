@@ -30,12 +30,18 @@ use std::collections::HashSet;
 /// or the smallest pre-selected threshold is 0) — callers should then refresh
 /// every vertex.
 pub fn required_influence_slack(g: &SocialNetwork, config: &PrecomputeConfig) -> Option<u32> {
-    let theta_min = config.thresholds.iter().copied().fold(f64::INFINITY, f64::min);
+    let theta_min = config
+        .thresholds
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let mut p_max = 0.0f64;
     for (e, u, v) in g.edges() {
-        p_max = p_max.max(g.directed_weight(e, u)).max(g.directed_weight(e, v));
+        p_max = p_max
+            .max(g.directed_weight(e, u))
+            .max(g.directed_weight(e, v));
     }
-    if !(theta_min > 0.0) || p_max >= 1.0 {
+    if theta_min <= 0.0 || theta_min.is_nan() || p_max >= 1.0 {
         return None;
     }
     if p_max <= 0.0 {
@@ -129,10 +135,15 @@ mod tests {
     use icde_graph::KeywordSet;
 
     fn setup() -> (SocialNetwork, CommunityIndex) {
-        let g = DatasetSpec::new(DatasetKind::Uniform, 180, 23).with_keyword_domain(10).generate();
-        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-            .with_leaf_capacity(8)
-            .build(&g);
+        let g = DatasetSpec::new(DatasetKind::Uniform, 180, 23)
+            .with_keyword_domain(10)
+            .generate();
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&g);
         (g, index)
     }
 
@@ -170,9 +181,12 @@ mod tests {
         let (incremental, refreshed) = update_index_after_edge_insertion(index, &g, u, v, None);
         assert!(refreshed > 0);
 
-        let from_scratch = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-            .with_leaf_capacity(8)
-            .build(&g);
+        let from_scratch = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&g);
 
         // identical query answers
         let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
@@ -190,10 +204,17 @@ mod tests {
             for r in 1..=incremental.r_max() {
                 let inc = incremental.precomputed.aggregate(w, r);
                 let full = from_scratch.precomputed.aggregate(w, r);
-                assert_eq!(inc.support_upper_bound, full.support_upper_bound, "{w} r={r}");
+                assert_eq!(
+                    inc.support_upper_bound, full.support_upper_bound,
+                    "{w} r={r}"
+                );
                 assert_eq!(inc.keyword_signature, full.keyword_signature, "{w} r={r}");
                 assert_eq!(inc.region_size, full.region_size, "{w} r={r}");
-                for (a, b) in inc.score_upper_bounds.iter().zip(full.score_upper_bounds.iter()) {
+                for (a, b) in inc
+                    .score_upper_bounds
+                    .iter()
+                    .zip(full.score_upper_bounds.iter())
+                {
                     assert!((a - b).abs() < 1e-6, "{w} r={r}");
                 }
             }
@@ -202,12 +223,24 @@ mod tests {
 
     #[test]
     fn refresh_touches_only_a_fraction_on_larger_graphs() {
-        let g0 = DatasetSpec::new(DatasetKind::Uniform, 600, 4).with_keyword_domain(10).generate();
+        let g0 = DatasetSpec::new(DatasetKind::Uniform, 600, 4)
+            .with_keyword_domain(10)
+            .generate();
         let mut g = g0.clone();
         let (u, v) = missing_edge(&g);
-        let mut data = PrecomputedData::compute(&g0, PrecomputeConfig { parallel: false, ..Default::default() });
+        let mut data = PrecomputedData::compute(
+            &g0,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         g.add_symmetric_edge(u, v, 0.55).unwrap();
         let refreshed = refresh_after_edge_insertion(&g, &mut data, u, v, Some(0));
-        assert!(refreshed < g.num_vertices() / 2, "refreshed {refreshed} of {}", g.num_vertices());
+        assert!(
+            refreshed < g.num_vertices() / 2,
+            "refreshed {refreshed} of {}",
+            g.num_vertices()
+        );
     }
 }

@@ -25,7 +25,10 @@ struct IndexEnvelope {
 
 /// Serialises an index (including its pre-computed data) to a JSON string.
 pub fn index_to_json(index: &CommunityIndex) -> CoreResult<String> {
-    let envelope = IndexEnvelope { format_version: INDEX_FORMAT_VERSION, index: index.clone() };
+    let envelope = IndexEnvelope {
+        format_version: INDEX_FORMAT_VERSION,
+        index: index.clone(),
+    };
     serde_json::to_string(&envelope).map_err(|e| CoreError::Serialization(e.to_string()))
 }
 
@@ -65,8 +68,14 @@ mod tests {
     use icde_graph::KeywordSet;
 
     fn build() -> (icde_graph::SocialNetwork, CommunityIndex) {
-        let g = DatasetSpec::new(DatasetKind::Uniform, 150, 8).with_keyword_domain(10).generate();
-        let index = IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() }).build(&g);
+        let g = DatasetSpec::new(DatasetKind::Uniform, 150, 8)
+            .with_keyword_domain(10)
+            .generate();
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .build(&g);
         (g, index)
     }
 
@@ -102,7 +111,10 @@ mod tests {
         let (_g, index) = build();
         let json = index_to_json(&index).unwrap();
         let tampered = json.replacen("\"format_version\":1", "\"format_version\":999", 1);
-        assert!(matches!(index_from_json(&tampered), Err(CoreError::Serialization(_))));
+        assert!(matches!(
+            index_from_json(&tampered),
+            Err(CoreError::Serialization(_))
+        ));
     }
 
     #[test]

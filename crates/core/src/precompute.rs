@@ -64,7 +64,11 @@ impl PrecomputeConfig {
             "thresholds must lie in [0, 1)"
         );
         thresholds.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
-        PrecomputeConfig { r_max, thresholds, ..Default::default() }
+        PrecomputeConfig {
+            r_max,
+            thresholds,
+            ..Default::default()
+        }
     }
 
     /// Overrides the signature width.
@@ -124,7 +128,11 @@ impl RadiusAggregate {
     pub fn merge_max(&mut self, other: &RadiusAggregate) {
         self.keyword_signature.or_assign(&other.keyword_signature);
         self.support_upper_bound = self.support_upper_bound.max(other.support_upper_bound);
-        for (mine, theirs) in self.score_upper_bounds.iter_mut().zip(&other.score_upper_bounds) {
+        for (mine, theirs) in self
+            .score_upper_bounds
+            .iter_mut()
+            .zip(&other.score_upper_bounds)
+        {
             if *theirs > *mine {
                 *mine = *theirs;
             }
@@ -160,18 +168,26 @@ impl PrecomputedData {
         let mut vertices: Vec<Option<VertexPrecompute>> = vec![None; n];
 
         let workers = if config.parallel {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1))
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n.max(1))
         } else {
             1
         };
 
         if workers <= 1 || n == 0 {
             for (i, slot) in vertices.iter_mut().enumerate() {
-                *slot = Some(precompute_vertex(g, &config, &edge_supports, VertexId::from_index(i)));
+                *slot = Some(precompute_vertex(
+                    g,
+                    &config,
+                    &edge_supports,
+                    VertexId::from_index(i),
+                ));
             }
         } else {
             let chunk = n.div_ceil(workers);
-            let results = crossbeam::thread::scope(|scope| {
+            let results = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for w in 0..workers {
                     let start = w * chunk;
@@ -181,9 +197,11 @@ impl PrecomputedData {
                     }
                     let config = &config;
                     let edge_supports = &edge_supports;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         (start..end)
-                            .map(|i| precompute_vertex(g, config, edge_supports, VertexId::from_index(i)))
+                            .map(|i| {
+                                precompute_vertex(g, config, edge_supports, VertexId::from_index(i))
+                            })
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -191,8 +209,7 @@ impl PrecomputedData {
                     .into_iter()
                     .map(|h| h.join().expect("pre-computation worker panicked"))
                     .collect::<Vec<_>>()
-            })
-            .expect("scoped pre-computation threads");
+            });
             let mut idx = 0usize;
             for chunk_result in results {
                 for item in chunk_result {
@@ -204,7 +221,10 @@ impl PrecomputedData {
 
         PrecomputedData {
             config,
-            vertices: vertices.into_iter().map(|v| v.expect("every vertex pre-computed")).collect(),
+            vertices: vertices
+                .into_iter()
+                .map(|v| v.expect("every vertex pre-computed"))
+                .collect(),
             edge_supports,
         }
     }
@@ -214,7 +234,11 @@ impl PrecomputedData {
     /// # Panics
     /// Panics if `r` is 0 or exceeds `r_max`.
     pub fn aggregate(&self, v: VertexId, r: u32) -> &RadiusAggregate {
-        assert!(r >= 1 && r <= self.config.r_max, "radius {r} outside [1, {}]", self.config.r_max);
+        assert!(
+            r >= 1 && r <= self.config.r_max,
+            "radius {r} outside [1, {}]",
+            self.config.r_max
+        );
         &self.vertices[v.index()].per_radius[(r - 1) as usize]
     }
 
@@ -273,7 +297,10 @@ fn precompute_vertex(
         // keyword signature: OR of member signatures
         let mut signature = BitVector::zeros(config.signature_bits);
         for &u in &members {
-            signature.or_assign(&BitVector::from_keywords(g.keyword_set(u), config.signature_bits));
+            signature.or_assign(&BitVector::from_keywords(
+                g.keyword_set(u),
+                config.signature_bits,
+            ));
         }
 
         // support bound: max data-graph support over region edges
@@ -307,9 +334,9 @@ fn precompute_vertex(
 mod tests {
     use super::*;
     use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::traversal::hop_subgraph;
     use icde_graph::{KeywordSet, VertexId};
     use icde_influence::{InfluenceConfig, InfluenceEvaluator};
-    use icde_graph::traversal::hop_subgraph;
 
     fn small_graph() -> SocialNetwork {
         DatasetSpec::new(DatasetKind::Uniform, 120, 3)
@@ -344,7 +371,10 @@ mod tests {
     #[test]
     fn precompute_produces_per_radius_aggregates() {
         let g = small_graph();
-        let config = PrecomputeConfig { parallel: false, ..Default::default() };
+        let config = PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        };
         let data = PrecomputedData::compute(&g, config);
         assert_eq!(data.num_vertices(), g.num_vertices());
         assert_eq!(data.edge_supports.len(), g.num_edges());
@@ -367,8 +397,20 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let g = small_graph();
-        let seq = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
-        let par = PrecomputedData::compute(&g, PrecomputeConfig { parallel: true, ..Default::default() });
+        let seq = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let par = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
         // configs differ in the `parallel` flag only; the computed data must
         // agree (scores up to floating-point summation order, which depends
         // on hash-map iteration order inside the influence evaluator)
@@ -379,7 +421,11 @@ mod tests {
                 assert_eq!(ra.keyword_signature, rb.keyword_signature);
                 assert_eq!(ra.support_upper_bound, rb.support_upper_bound);
                 assert_eq!(ra.region_size, rb.region_size);
-                for (sa, sb) in ra.score_upper_bounds.iter().zip(rb.score_upper_bounds.iter()) {
+                for (sa, sb) in ra
+                    .score_upper_bounds
+                    .iter()
+                    .zip(rb.score_upper_bounds.iter())
+                {
                     assert!((sa - sb).abs() < 1e-6);
                 }
             }
@@ -389,7 +435,13 @@ mod tests {
     #[test]
     fn signature_covers_region_keywords() {
         let g = small_graph();
-        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         for v in g.vertices().take(20) {
             let region = hop_subgraph(&g, v, 2);
             let agg = data.aggregate(v, 2);
@@ -404,7 +456,13 @@ mod tests {
     #[test]
     fn support_bound_dominates_region_supports() {
         let g = small_graph();
-        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         for v in g.vertices().take(20) {
             let region = hop_subgraph(&g, v, 2);
             let agg = data.aggregate(v, 2);
@@ -418,14 +476,23 @@ mod tests {
         // sigma_z(hop(v, r)) with theta_z <= theta is an upper bound of the
         // score of any seed subgraph of hop(v, r) at theta.
         let g = small_graph();
-        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let theta = 0.25; // falls in [0.2, 0.3)
         let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(theta));
         for v in g.vertices().take(15) {
             let bound = data.score_bound(v, 2, theta);
             let region = hop_subgraph(&g, v, 2);
             // the region itself
-            assert!(bound + 1e-9 >= eval.influential_score(&region), "vertex {v}");
+            assert!(
+                bound + 1e-9 >= eval.influential_score(&region),
+                "vertex {v}"
+            );
             // and an arbitrary subset of it (here: the 1-hop ball)
             let sub = hop_subgraph(&g, v, 1);
             assert!(bound + 1e-9 >= eval.influential_score(&sub), "vertex {v}");
@@ -435,7 +502,13 @@ mod tests {
     #[test]
     fn score_bound_without_valid_threshold_is_infinite() {
         let g = small_graph();
-        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert!(data.score_bound(VertexId(0), 1, 0.01).is_infinite());
     }
 
@@ -460,7 +533,13 @@ mod tests {
     #[should_panic(expected = "radius")]
     fn aggregate_out_of_range_radius_panics() {
         let g = small_graph();
-        let data = PrecomputedData::compute(&g, PrecomputeConfig { parallel: false, ..Default::default() });
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let _ = data.aggregate(VertexId(0), 9);
     }
 }

@@ -22,8 +22,8 @@ pub fn can_prune_by_diversity_gain(stale_gain_upper_bound: f64, best_confirmed_g
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_influence::{DiversityState, InfluenceConfig, InfluenceEvaluator};
     use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
+    use icde_influence::{DiversityState, InfluenceConfig, InfluenceEvaluator};
 
     #[test]
     fn basic_threshold_behaviour() {

@@ -21,7 +21,10 @@ use icde_graph::{BitVector, KeywordSet, SocialNetwork, VertexSubset};
 /// Index-level keyword pruning (Lemma 5): returns `true` (prune) when the
 /// aggregated signature of the entry cannot intersect the query signature.
 #[inline]
-pub fn can_prune_by_keyword_signature(entry_signature: &BitVector, query_signature: &BitVector) -> bool {
+pub fn can_prune_by_keyword_signature(
+    entry_signature: &BitVector,
+    query_signature: &BitVector,
+) -> bool {
     !entry_signature.intersects(query_signature)
 }
 
@@ -104,7 +107,11 @@ mod tests {
         assert!(subgraph_violates_keyword_constraint(&g, &all, &q));
         let qualified = VertexSubset::from_iter([0, 1].map(VertexId));
         assert!(!subgraph_violates_keyword_constraint(&g, &qualified, &q));
-        assert!(!subgraph_violates_keyword_constraint(&g, &VertexSubset::new(), &q));
+        assert!(!subgraph_violates_keyword_constraint(
+            &g,
+            &VertexSubset::new(),
+            &q
+        ));
     }
 
     #[test]

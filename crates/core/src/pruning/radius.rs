@@ -49,7 +49,8 @@ mod tests {
             g.add_vertex(KeywordSet::new());
         }
         for i in 0..4u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
+                .unwrap();
         }
         g
     }
@@ -82,6 +83,11 @@ mod tests {
     #[test]
     fn empty_subgraph_is_never_pruned() {
         let g = path();
-        assert!(!can_prune_by_radius(&g, &VertexSubset::new(), VertexId(0), 1));
+        assert!(!can_prune_by_radius(
+            &g,
+            &VertexSubset::new(),
+            VertexId(0),
+            1
+        ));
     }
 }

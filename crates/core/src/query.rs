@@ -33,13 +33,25 @@ impl TopLQuery {
     /// Creates a query; use [`TopLQuery::validate`] (or the processors, which
     /// validate on entry) to check the parameters.
     pub fn new(keywords: KeywordSet, support: u32, radius: u32, theta: f64, l: usize) -> Self {
-        TopLQuery { keywords, support, radius, theta, l }
+        TopLQuery {
+            keywords,
+            support,
+            radius,
+            theta,
+            l,
+        }
     }
 
     /// The paper's default parameters (Table III, bold values): `k = 4`,
     /// `r = 2`, `θ = 0.2`, `L = 5`.
     pub fn with_defaults(keywords: KeywordSet) -> Self {
-        TopLQuery { keywords, support: 4, radius: 2, theta: 0.2, l: 5 }
+        TopLQuery {
+            keywords,
+            support: 4,
+            radius: 2,
+            theta: 0.2,
+            l: 5,
+        }
     }
 
     /// Validates every parameter range from Definition 4.

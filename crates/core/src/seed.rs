@@ -68,7 +68,8 @@ pub fn extract_seed_community(
     // Start from the r-hop ball and keep only keyword-qualified vertices.
     let ball = hop_subgraph(g, center, radius);
     let mut candidate = VertexSubset::from_iter(
-        ball.iter().filter(|v| g.keyword_set(*v).intersects(query_keywords)),
+        ball.iter()
+            .filter(|v| g.keyword_set(*v).intersects(query_keywords)),
     );
 
     loop {
@@ -121,7 +122,10 @@ pub fn is_valid_seed_community(
     if subset.is_empty() || !subset.contains(center) {
         return false;
     }
-    if !subset.iter().all(|v| g.keyword_set(v).intersects(query_keywords)) {
+    if !subset
+        .iter()
+        .all(|v| g.keyword_set(v).intersects(query_keywords))
+    {
         return false;
     }
     if !subset.is_connected(g) {
@@ -241,7 +245,14 @@ mod tests {
         assert!(!is_valid_seed_community(&g, &with4, VertexId(0), 4, 2, &q));
         // disconnected set
         let disconnected = VertexSubset::from_iter([0, 1, 6].map(VertexId));
-        assert!(!is_valid_seed_community(&g, &disconnected, VertexId(0), 2, 3, &q));
+        assert!(!is_valid_seed_community(
+            &g,
+            &disconnected,
+            VertexId(0),
+            2,
+            3,
+            &q
+        ));
         // truss violation: {3,5,6} forms a path (edge 3-5 in no triangle)
         let path = VertexSubset::from_iter([3, 5, 6].map(VertexId));
         assert!(!is_valid_seed_community(&g, &path, VertexId(3), 3, 2, &q));
@@ -249,7 +260,14 @@ mod tests {
         let all = VertexSubset::from_iter([0, 1, 2, 3, 5, 6, 7].map(VertexId));
         assert!(!is_valid_seed_community(&g, &all, VertexId(0), 3, 1, &q));
         // empty set
-        assert!(!is_valid_seed_community(&g, &VertexSubset::new(), VertexId(0), 3, 1, &q));
+        assert!(!is_valid_seed_community(
+            &g,
+            &VertexSubset::new(),
+            VertexId(0),
+            3,
+            1,
+            &q
+        ));
     }
 
     #[test]

@@ -117,8 +117,15 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = PruningStats { candidates_refined: 2, ..Default::default() };
-        let b = PruningStats { candidates_refined: 3, candidate_keyword_pruned: 1, ..Default::default() };
+        let mut a = PruningStats {
+            candidates_refined: 2,
+            ..Default::default()
+        };
+        let b = PruningStats {
+            candidates_refined: 3,
+            candidate_keyword_pruned: 1,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.candidates_refined, 5);
         assert_eq!(a.candidate_keyword_pruned, 1);

@@ -37,19 +37,31 @@ pub struct PruningToggles {
 
 impl Default for PruningToggles {
     fn default() -> Self {
-        PruningToggles { keyword: true, support: true, score: true }
+        PruningToggles {
+            keyword: true,
+            support: true,
+            score: true,
+        }
     }
 }
 
 impl PruningToggles {
     /// Keyword pruning only (first ablation configuration of Fig. 4).
     pub fn keyword_only() -> Self {
-        PruningToggles { keyword: true, support: false, score: false }
+        PruningToggles {
+            keyword: true,
+            support: false,
+            score: false,
+        }
     }
 
     /// Keyword + support pruning (second ablation configuration).
     pub fn keyword_support() -> Self {
-        PruningToggles { keyword: true, support: true, score: false }
+        PruningToggles {
+            keyword: true,
+            support: true,
+            score: false,
+        }
     }
 
     /// All rules (third ablation configuration; same as `default`).
@@ -59,7 +71,11 @@ impl PruningToggles {
 
     /// No pruning at all (pure index scan; used as a baseline in tests).
     pub fn none() -> Self {
-        PruningToggles { keyword: false, support: false, score: false }
+        PruningToggles {
+            keyword: false,
+            support: false,
+            score: false,
+        }
     }
 }
 
@@ -80,12 +96,16 @@ impl TopLAnswer {
     /// The smallest influential score among the returned communities
     /// (`-∞` when empty).
     pub fn sigma_l(&self) -> f64 {
-        self.communities.last().map_or(f64::NEG_INFINITY, |c| c.influential_score)
+        self.communities
+            .last()
+            .map_or(f64::NEG_INFINITY, |c| c.influential_score)
     }
 
     /// The highest influential score among the returned communities.
     pub fn best_score(&self) -> f64 {
-        self.communities.first().map_or(f64::NEG_INFINITY, |c| c.influential_score)
+        self.communities
+            .first()
+            .map_or(f64::NEG_INFINITY, |c| c.influential_score)
     }
 }
 
@@ -129,7 +149,10 @@ struct TopLCollector {
 
 impl TopLCollector {
     fn new(capacity: usize) -> Self {
-        TopLCollector { capacity, entries: Vec::with_capacity(capacity + 1) }
+        TopLCollector {
+            capacity,
+            entries: Vec::with_capacity(capacity + 1),
+        }
     }
 
     /// `σ_L`: the score of the `L`-th best community so far, or `-∞` while
@@ -138,22 +161,34 @@ impl TopLCollector {
         if self.entries.len() < self.capacity {
             f64::NEG_INFINITY
         } else {
-            self.entries.last().map_or(f64::NEG_INFINITY, |c| c.influential_score)
+            self.entries
+                .last()
+                .map_or(f64::NEG_INFINITY, |c| c.influential_score)
         }
     }
 
     fn insert(&mut self, candidate: SeedCommunity) {
-        if let Some(existing) = self.entries.iter_mut().find(|c| c.vertices == candidate.vertices) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|c| c.vertices == candidate.vertices)
+        {
             if candidate.influential_score > existing.influential_score {
                 *existing = candidate;
-                self.entries
-                    .sort_by(|a, b| b.influential_score.partial_cmp(&a.influential_score).unwrap());
+                self.entries.sort_by(|a, b| {
+                    b.influential_score
+                        .partial_cmp(&a.influential_score)
+                        .unwrap()
+                });
             }
             return;
         }
         self.entries.push(candidate);
-        self.entries
-            .sort_by(|a, b| b.influential_score.partial_cmp(&a.influential_score).unwrap());
+        self.entries.sort_by(|a, b| {
+            b.influential_score
+                .partial_cmp(&a.influential_score)
+                .unwrap()
+        });
         if self.entries.len() > self.capacity {
             self.entries.pop();
         }
@@ -183,7 +218,11 @@ impl<'a> TopLProcessor<'a> {
     }
 
     /// Answers `query` with an explicit pruning configuration (ablation).
-    pub fn run_with_toggles(&self, query: &TopLQuery, toggles: PruningToggles) -> CoreResult<TopLAnswer> {
+    pub fn run_with_toggles(
+        &self,
+        query: &TopLQuery,
+        toggles: PruningToggles,
+    ) -> CoreResult<TopLAnswer> {
         query.validate()?;
         if query.radius > self.index.r_max() {
             return Err(CoreError::RadiusExceedsIndex {
@@ -208,7 +247,10 @@ impl<'a> TopLProcessor<'a> {
         // always expanded (Algorithm 3 line 3 uses key 0 before any answer
         // exists; +inf is equivalent because sigma_L starts at -inf).
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { key: f64::INFINITY, node: self.index.root() });
+        heap.push(HeapEntry {
+            key: f64::INFINITY,
+            node: self.index.root(),
+        });
 
         while let Some(HeapEntry { key, node }) = heap.pop() {
             // Early termination (lines 7-8): every remaining entry has a key
@@ -244,23 +286,36 @@ impl<'a> TopLProcessor<'a> {
                             continue;
                         }
                         if toggles.support
-                            && pruning::can_prune_by_support(aggregate.support_upper_bound, query.support)
+                            && pruning::can_prune_by_support(
+                                aggregate.support_upper_bound,
+                                query.support,
+                            )
                         {
                             stats.index_support_pruned += 1;
                             continue;
                         }
-                        let bound = self.index.node_score_bound(child, query.radius, query.theta);
-                        if toggles.score && pruning::can_prune_by_score(bound, collector.sigma_l()) {
+                        let bound = self
+                            .index
+                            .node_score_bound(child, query.radius, query.theta);
+                        if toggles.score && pruning::can_prune_by_score(bound, collector.sigma_l())
+                        {
                             stats.index_score_pruned += 1;
                             continue;
                         }
-                        heap.push(HeapEntry { key: bound, node: child });
+                        heap.push(HeapEntry {
+                            key: bound,
+                            node: child,
+                        });
                     }
                 }
             }
         }
 
-        Ok(TopLAnswer { communities: collector.into_sorted(), stats, elapsed: start.elapsed() })
+        Ok(TopLAnswer {
+            communities: collector.into_sorted(),
+            stats,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Applies the community-level pruning rules to one candidate centre and
@@ -278,16 +333,24 @@ impl<'a> TopLProcessor<'a> {
     ) {
         let aggregate = self.index.precomputed.aggregate(center, query.radius);
         if toggles.keyword
-            && pruning::can_prune_by_keyword_signature(&aggregate.keyword_signature, query_signature)
+            && pruning::can_prune_by_keyword_signature(
+                &aggregate.keyword_signature,
+                query_signature,
+            )
         {
             stats.candidate_keyword_pruned += 1;
             return;
         }
-        if toggles.support && pruning::can_prune_by_support(aggregate.support_upper_bound, query.support) {
+        if toggles.support
+            && pruning::can_prune_by_support(aggregate.support_upper_bound, query.support)
+        {
             stats.candidate_support_pruned += 1;
             return;
         }
-        let bound = self.index.precomputed.score_bound(center, query.radius, query.theta);
+        let bound = self
+            .index
+            .precomputed
+            .score_bound(center, query.radius, query.theta);
         if toggles.score && pruning::can_prune_by_score(bound, collector.sigma_l()) {
             stats.candidate_score_pruned += 1;
             return;
@@ -295,7 +358,13 @@ impl<'a> TopLProcessor<'a> {
 
         // Refinement: extract the maximal seed community and compute its
         // exact influential score.
-        match extract_seed_community(self.graph, center, query.support, query.radius, &query.keywords) {
+        match extract_seed_community(
+            self.graph,
+            center,
+            query.support,
+            query.radius,
+            &query.keywords,
+        ) {
             None => {
                 stats.candidates_without_community += 1;
             }
@@ -330,10 +399,13 @@ mod tests {
     }
 
     fn index(g: &SocialNetwork) -> CommunityIndex {
-        IndexBuilder::new(PrecomputeConfig { parallel: false, ..Default::default() })
-            .with_fanout(4)
-            .with_leaf_capacity(8)
-            .build(g)
+        IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_fanout(4)
+        .with_leaf_capacity(8)
+        .build(g)
     }
 
     fn query() -> TopLQuery {
@@ -352,13 +424,23 @@ mod tests {
         for c in &answer.communities {
             assert!(c.influential_score <= last + 1e-9);
             last = c.influential_score;
-            assert!(is_valid_seed_community(&g, &c.vertices, c.center, q.support, q.radius, &q.keywords));
+            assert!(is_valid_seed_community(
+                &g,
+                &c.vertices,
+                c.center,
+                q.support,
+                q.radius,
+                &q.keywords
+            ));
             assert!(c.influenced_size >= c.len());
         }
         // distinct communities
         for i in 0..answer.communities.len() {
             for j in (i + 1)..answer.communities.len() {
-                assert_ne!(answer.communities[i].vertices, answer.communities[j].vertices);
+                assert_ne!(
+                    answer.communities[i].vertices,
+                    answer.communities[j].vertices
+                );
             }
         }
     }
@@ -369,12 +451,23 @@ mod tests {
         let idx = index(&g);
         let q = query();
         let processor = TopLProcessor::new(&g, &idx);
-        let full = processor.run_with_toggles(&q, PruningToggles::all()).unwrap();
-        let none = processor.run_with_toggles(&q, PruningToggles::none()).unwrap();
-        let kw = processor.run_with_toggles(&q, PruningToggles::keyword_only()).unwrap();
-        let ks = processor.run_with_toggles(&q, PruningToggles::keyword_support()).unwrap();
+        let full = processor
+            .run_with_toggles(&q, PruningToggles::all())
+            .unwrap();
+        let none = processor
+            .run_with_toggles(&q, PruningToggles::none())
+            .unwrap();
+        let kw = processor
+            .run_with_toggles(&q, PruningToggles::keyword_only())
+            .unwrap();
+        let ks = processor
+            .run_with_toggles(&q, PruningToggles::keyword_support())
+            .unwrap();
         let scores = |a: &TopLAnswer| -> Vec<f64> {
-            a.communities.iter().map(|c| (c.influential_score * 1e9).round() / 1e9).collect()
+            a.communities
+                .iter()
+                .map(|c| (c.influential_score * 1e9).round() / 1e9)
+                .collect()
         };
         assert_eq!(scores(&full), scores(&none));
         assert_eq!(scores(&full), scores(&kw));
@@ -387,8 +480,12 @@ mod tests {
         let idx = index(&g);
         let q = query();
         let processor = TopLProcessor::new(&g, &idx);
-        let full = processor.run_with_toggles(&q, PruningToggles::all()).unwrap();
-        let none = processor.run_with_toggles(&q, PruningToggles::none()).unwrap();
+        let full = processor
+            .run_with_toggles(&q, PruningToggles::all())
+            .unwrap();
+        let none = processor
+            .run_with_toggles(&q, PruningToggles::none())
+            .unwrap();
         assert!(full.stats.candidates_refined <= none.stats.candidates_refined);
         assert!(full.stats.total_pruned_candidates() >= none.stats.total_pruned_candidates());
         // without pruning every vertex is refined or found communityless
@@ -405,10 +502,16 @@ mod tests {
         let processor = TopLProcessor::new(&g, &idx);
         let mut q = query();
         q.l = 0;
-        assert!(matches!(processor.run(&q), Err(CoreError::InvalidResultSize(0))));
+        assert!(matches!(
+            processor.run(&q),
+            Err(CoreError::InvalidResultSize(0))
+        ));
         let mut q = query();
         q.radius = 99;
-        assert!(matches!(processor.run(&q), Err(CoreError::RadiusExceedsIndex { .. })));
+        assert!(matches!(
+            processor.run(&q),
+            Err(CoreError::RadiusExceedsIndex { .. })
+        ));
     }
 
     #[test]
@@ -417,7 +520,10 @@ mod tests {
         let other = DatasetSpec::new(DatasetKind::Uniform, 40, 9).generate();
         let idx = index(&other);
         let processor = TopLProcessor::new(&g, &idx);
-        assert!(matches!(processor.run(&query()), Err(CoreError::IndexGraphMismatch { .. })));
+        assert!(matches!(
+            processor.run(&query()),
+            Err(CoreError::IndexGraphMismatch { .. })
+        ));
     }
 
     #[test]
@@ -440,7 +546,11 @@ mod tests {
         if !answer.communities.is_empty() {
             assert!(answer.best_score() >= answer.sigma_l());
         }
-        let empty = TopLAnswer { communities: vec![], stats: PruningStats::new(), elapsed: Duration::ZERO };
+        let empty = TopLAnswer {
+            communities: vec![],
+            stats: PruningStats::new(),
+            elapsed: Duration::ZERO,
+        };
         assert_eq!(empty.sigma_l(), f64::NEG_INFINITY);
         assert_eq!(empty.best_score(), f64::NEG_INFINITY);
     }

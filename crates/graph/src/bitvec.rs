@@ -35,7 +35,10 @@ impl BitVector {
     /// Panics if `bits` is zero.
     pub fn zeros(bits: usize) -> Self {
         assert!(bits > 0, "bit vector width must be positive");
-        BitVector { bits: bits as u32, words: vec![0u64; bits.div_ceil(64)] }
+        BitVector {
+            bits: bits as u32,
+            words: vec![0u64; bits.div_ceil(64)],
+        }
     }
 
     /// Creates a signature of the default width.
@@ -125,7 +128,10 @@ impl BitVector {
     /// intersect.
     pub fn intersects(&self, other: &BitVector) -> bool {
         assert_eq!(self.bits, other.bits, "bit vector width mismatch");
-        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Number of set bits.

@@ -25,7 +25,10 @@ impl GraphBuilder {
 
     /// Creates a builder pre-populated with `n` keyword-less vertices.
     pub fn with_vertices(n: usize) -> Self {
-        GraphBuilder { keywords: vec![KeywordSet::new(); n], edges: Vec::new() }
+        GraphBuilder {
+            keywords: vec![KeywordSet::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices declared so far.
@@ -144,7 +147,9 @@ mod tests {
     #[test]
     fn set_keywords_requires_existing_vertex() {
         let mut b = GraphBuilder::with_vertices(1);
-        assert!(b.set_keywords(VertexId(0), KeywordSet::from_ids([3])).is_ok());
+        assert!(b
+            .set_keywords(VertexId(0), KeywordSet::from_ids([3]))
+            .is_ok());
         assert!(b.set_keywords(VertexId(7), KeywordSet::new()).is_err());
         let g = b.build().unwrap();
         assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(3)));

@@ -14,7 +14,11 @@ pub enum GraphError {
     /// Self-loops are not allowed in the social-network model.
     SelfLoop(VertexId),
     /// An edge weight was outside the valid probability range `[0, 1]`.
-    InvalidWeight { u: VertexId, v: VertexId, weight: f64 },
+    InvalidWeight {
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+    },
     /// The edge `(u, v)` does not exist.
     MissingEdge(VertexId, VertexId),
     /// A text / JSON input could not be parsed.
@@ -30,10 +34,15 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
             GraphError::InvalidWeight { u, v, weight } => {
-                write!(f, "invalid weight {weight} on edge ({u}, {v}); must be in [0, 1]")
+                write!(
+                    f,
+                    "invalid weight {weight} on edge ({u}, {v}); must be in [0, 1]"
+                )
             }
             GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -60,9 +69,16 @@ mod tests {
         assert!(e.to_string().contains("v3"));
         let e = GraphError::DuplicateEdge(VertexId(1), VertexId(2));
         assert!(e.to_string().contains("v1") && e.to_string().contains("v2"));
-        let e = GraphError::InvalidWeight { u: VertexId(0), v: VertexId(1), weight: 1.5 };
+        let e = GraphError::InvalidWeight {
+            u: VertexId(0),
+            v: VertexId(1),
+            weight: 1.5,
+        };
         assert!(e.to_string().contains("1.5"));
-        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 

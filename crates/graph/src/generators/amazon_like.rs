@@ -35,7 +35,11 @@ impl AmazonLikeConfig {
     /// Default configuration producing ≈2.8 edges per vertex, close to the
     /// real Amazon edge/vertex ratio (926K / 335K ≈ 2.8).
     pub fn with_vertices(num_vertices: usize) -> Self {
-        AmazonLikeConfig { num_vertices, edges_per_vertex: 3, triadic_closure_probability: 0.4 }
+        AmazonLikeConfig {
+            num_vertices,
+            edges_per_vertex: 3,
+            triadic_closure_probability: 0.4,
+        }
     }
 }
 
@@ -43,12 +47,18 @@ impl AmazonLikeConfig {
 /// weight of 0.5 until [`super::assign_uniform_weights`] is run.
 ///
 /// # Panics
-/// Panics if `num_vertices <= edges_per_vertex + 1` or `edges_per_vertex == 0`.
+/// Panics if `num_vertices <= edges_per_vertex + 1`, `edges_per_vertex == 0`,
+/// or `triadic_closure_probability` is not a probability.
 pub fn amazon_like<R: Rng>(config: &AmazonLikeConfig, rng: &mut R) -> SocialNetwork {
     let n = config.num_vertices;
     let m = config.edges_per_vertex;
     assert!(m >= 1, "edges_per_vertex must be at least 1");
     assert!(n > m + 1, "need more than edges_per_vertex + 1 vertices");
+    assert!(
+        (0.0..=1.0).contains(&config.triadic_closure_probability),
+        "triadic_closure_probability must be in [0, 1], got {}",
+        config.triadic_closure_probability
+    );
 
     let mut g = SocialNetwork::with_capacity(n, n * m);
     for _ in 0..n {
@@ -90,8 +100,11 @@ pub fn amazon_like<R: Rng>(config: &AmazonLikeConfig, rng: &mut R) -> SocialNetw
             // Triadic closure: also co-purchase one of the target's existing
             // neighbours, creating a triangle v-target-w.
             if rng.gen_bool(config.triadic_closure_probability) {
-                let neighbors: Vec<VertexId> =
-                    g.neighbors(target).map(|(w, _)| w).filter(|w| *w != v).collect();
+                let neighbors: Vec<VertexId> = g
+                    .neighbors(target)
+                    .map(|(w, _)| w)
+                    .filter(|w| *w != v)
+                    .collect();
                 if !neighbors.is_empty() {
                     let w = neighbors[rng.gen_range(0..neighbors.len())];
                     if !g.contains_edge(v, w) {
@@ -167,7 +180,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "edges_per_vertex")]
     fn zero_attachment_panics() {
-        let cfg = AmazonLikeConfig { edges_per_vertex: 0, ..AmazonLikeConfig::with_vertices(100) };
+        let cfg = AmazonLikeConfig {
+            edges_per_vertex: 0,
+            ..AmazonLikeConfig::with_vertices(100)
+        };
         let _ = amazon_like(&cfg, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -57,12 +57,23 @@ impl DblpLikeConfig {
 /// weight of 0.5 until [`super::assign_uniform_weights`] is run.
 ///
 /// # Panics
-/// Panics if `num_vertices < max_authors` or the author bounds are invalid.
+/// Panics if `num_vertices < max_authors`, the author bounds are invalid, or
+/// `cross_community_probability` is not a probability.
 pub fn dblp_like<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> SocialNetwork {
     let n = config.num_vertices;
-    assert!(config.min_authors >= 2 && config.max_authors >= config.min_authors,
-        "author bounds must satisfy 2 <= min <= max");
-    assert!(n > config.max_authors, "need more vertices than the largest author list");
+    assert!(
+        config.min_authors >= 2 && config.max_authors >= config.min_authors,
+        "author bounds must satisfy 2 <= min <= max"
+    );
+    assert!(
+        n > config.max_authors,
+        "need more vertices than the largest author list"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.cross_community_probability),
+        "cross_community_probability must be in [0, 1], got {}",
+        config.cross_community_probability
+    );
 
     let mut g = SocialNetwork::with_capacity(n, (n as f64 * 3.5) as usize);
     for _ in 0..n {
@@ -81,7 +92,9 @@ pub fn dblp_like<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> SocialNetwork 
         authors.clear();
         authors.push(VertexId::from_index(lead));
         let window = config.community_window.max(paper_size + 1);
-        let window_start = lead.saturating_sub(window / 2).min(n.saturating_sub(window));
+        let window_start = lead
+            .saturating_sub(window / 2)
+            .min(n.saturating_sub(window));
         let mut attempts = 0;
         while authors.len() < paper_size && attempts < paper_size * 16 {
             attempts += 1;
@@ -183,7 +196,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "author bounds")]
     fn invalid_author_bounds_panic() {
-        let cfg = DblpLikeConfig { min_authors: 1, ..DblpLikeConfig::with_vertices(100) };
+        let cfg = DblpLikeConfig {
+            min_authors: 1,
+            ..DblpLikeConfig::with_vertices(100)
+        };
         let _ = dblp_like(&cfg, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -129,14 +129,20 @@ mod tests {
     fn gaussian_concentrates_in_middle() {
         let counts = histogram(KeywordDistribution::Gaussian, 20, 20_000);
         let middle: usize = counts[8..12].iter().sum();
-        let edges: usize = counts[0..2].iter().sum::<usize>() + counts[18..20].iter().sum::<usize>();
+        let edges: usize =
+            counts[0..2].iter().sum::<usize>() + counts[18..20].iter().sum::<usize>();
         assert!(middle > edges * 3, "middle={middle} edges={edges}");
     }
 
     #[test]
     fn zipf_is_head_heavy() {
         let counts = histogram(KeywordDistribution::Zipf { exponent: 1.0 }, 20, 20_000);
-        assert!(counts[0] > counts[10] * 3, "head={} mid={}", counts[0], counts[10]);
+        assert!(
+            counts[0] > counts[10] * 3,
+            "head={} mid={}",
+            counts[0],
+            counts[10]
+        );
         assert!(counts[0] > counts[19] * 5);
     }
 

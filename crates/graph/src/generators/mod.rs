@@ -89,7 +89,13 @@ impl DatasetSpec {
     /// Creates a spec with the paper's default keyword parameters
     /// (`|Σ| = 50`, `|v_i.W| = 3`, Table III).
     pub fn new(kind: DatasetKind, num_vertices: usize, seed: u64) -> Self {
-        DatasetSpec { kind, num_vertices, keyword_domain: 50, keywords_per_vertex: 3, seed }
+        DatasetSpec {
+            kind,
+            num_vertices,
+            keyword_domain: 50,
+            keywords_per_vertex: 3,
+            seed,
+        }
     }
 
     /// Overrides the keyword domain size `|Σ|`.
@@ -109,13 +115,17 @@ impl DatasetSpec {
     pub fn generate(&self) -> SocialNetwork {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut g = match self.kind {
-            DatasetKind::Uniform | DatasetKind::Gaussian | DatasetKind::Zipf => {
-                small_world(&SmallWorldConfig::paper_default(self.num_vertices), &mut rng)
+            DatasetKind::Uniform | DatasetKind::Gaussian | DatasetKind::Zipf => small_world(
+                &SmallWorldConfig::paper_default(self.num_vertices),
+                &mut rng,
+            ),
+            DatasetKind::DblpLike => {
+                dblp_like(&DblpLikeConfig::with_vertices(self.num_vertices), &mut rng)
             }
-            DatasetKind::DblpLike => dblp_like(&DblpLikeConfig::with_vertices(self.num_vertices), &mut rng),
-            DatasetKind::AmazonLike => {
-                amazon_like(&AmazonLikeConfig::with_vertices(self.num_vertices), &mut rng)
-            }
+            DatasetKind::AmazonLike => amazon_like(
+                &AmazonLikeConfig::with_vertices(self.num_vertices),
+                &mut rng,
+            ),
         };
         assign_uniform_weights(&mut g, WeightRange::paper_default(), &mut rng);
         let dist = match self.kind {
@@ -123,7 +133,13 @@ impl DatasetSpec {
             DatasetKind::Zipf => KeywordDistribution::Zipf { exponent: 1.0 },
             _ => KeywordDistribution::Uniform,
         };
-        assign_keywords(&mut g, self.keyword_domain, self.keywords_per_vertex, dist, &mut rng);
+        assign_keywords(
+            &mut g,
+            self.keyword_domain,
+            self.keywords_per_vertex,
+            dist,
+            &mut rng,
+        );
         g
     }
 }
@@ -152,7 +168,10 @@ mod tests {
             assert_eq!(g.num_vertices(), 150, "{kind:?}");
             assert!(g.num_edges() > 100, "{kind:?} produced too few edges");
             // every vertex has the requested number of keywords available
-            assert!(g.vertices().all(|v| !g.keyword_set(v).is_empty()), "{kind:?}");
+            assert!(
+                g.vertices().all(|v| !g.keyword_set(v).is_empty()),
+                "{kind:?}"
+            );
         }
     }
 

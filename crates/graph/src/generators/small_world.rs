@@ -29,7 +29,11 @@ pub struct SmallWorldConfig {
 impl SmallWorldConfig {
     /// The paper's parameters: `m = 6`, `µ = 0.167`.
     pub fn paper_default(num_vertices: usize) -> Self {
-        SmallWorldConfig { num_vertices, ring_neighbors: 6, shortcut_probability: 0.167 }
+        SmallWorldConfig {
+            num_vertices,
+            ring_neighbors: 6,
+            shortcut_probability: 0.167,
+        }
     }
 }
 
@@ -37,13 +41,22 @@ impl SmallWorldConfig {
 /// placeholder weight of 0.5 until [`super::assign_uniform_weights`] is run.
 ///
 /// # Panics
-/// Panics if `ring_neighbors` is odd or zero, or if the graph is too small to
-/// host the requested ring (fewer than `ring_neighbors + 1` vertices).
+/// Panics if `ring_neighbors` is odd or zero, if the graph is too small to
+/// host the requested ring (fewer than `ring_neighbors + 1` vertices), or if
+/// `shortcut_probability` is not a probability.
 pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetwork {
     let n = config.num_vertices;
     let m = config.ring_neighbors;
-    assert!(m >= 2 && m % 2 == 0, "ring_neighbors must be a positive even number");
+    assert!(
+        m >= 2 && m.is_multiple_of(2),
+        "ring_neighbors must be a positive even number"
+    );
     assert!(n > m, "need more than ring_neighbors vertices");
+    assert!(
+        (0.0..=1.0).contains(&config.shortcut_probability),
+        "shortcut_probability must be in [0, 1], got {}",
+        config.shortcut_probability
+    );
 
     let mut g = SocialNetwork::with_capacity(n, n * m / 2);
     for _ in 0..n {
@@ -74,7 +87,8 @@ pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetw
             for _ in 0..8 {
                 let w = VertexId::from_index(rng.gen_range(0..n));
                 if w != u && !g.contains_edge(u, w) {
-                    g.add_symmetric_edge(u, w, 0.5).expect("validated before insertion");
+                    g.add_symmetric_edge(u, w, 0.5)
+                        .expect("validated before insertion");
                     break;
                 }
             }
@@ -110,7 +124,11 @@ mod tests {
     #[test]
     fn every_vertex_has_at_least_ring_degree() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = SmallWorldConfig { num_vertices: 100, ring_neighbors: 4, shortcut_probability: 0.1 };
+        let cfg = SmallWorldConfig {
+            num_vertices: 100,
+            ring_neighbors: 4,
+            shortcut_probability: 0.1,
+        };
         let g = small_world(&cfg, &mut rng);
         for v in g.vertices() {
             assert!(g.degree(v) >= 4, "vertex {v} has degree {}", g.degree(v));
@@ -130,7 +148,11 @@ mod tests {
 
     #[test]
     fn zero_shortcut_probability_gives_pure_ring() {
-        let cfg = SmallWorldConfig { num_vertices: 50, ring_neighbors: 6, shortcut_probability: 0.0 };
+        let cfg = SmallWorldConfig {
+            num_vertices: 50,
+            ring_neighbors: 6,
+            shortcut_probability: 0.0,
+        };
         let g = small_world(&cfg, &mut StdRng::seed_from_u64(4));
         assert_eq!(g.num_edges(), 50 * 3);
         for v in g.vertices() {
@@ -141,7 +163,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_ring_neighbors_panics() {
-        let cfg = SmallWorldConfig { num_vertices: 50, ring_neighbors: 5, shortcut_probability: 0.0 };
+        let cfg = SmallWorldConfig {
+            num_vertices: 50,
+            ring_neighbors: 5,
+            shortcut_probability: 0.0,
+        };
         let _ = small_world(&cfg, &mut StdRng::seed_from_u64(0));
     }
 }

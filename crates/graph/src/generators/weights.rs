@@ -26,14 +26,19 @@ impl WeightRange {
     /// # Panics
     /// Panics if the bounds are not valid probabilities or `low >= high`.
     pub fn new(low: Weight, high: Weight) -> Self {
-        assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low < high,
-            "weight range must satisfy 0 <= low < high <= 1, got [{low}, {high})");
+        assert!(
+            (0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low < high,
+            "weight range must satisfy 0 <= low < high <= 1, got [{low}, {high})"
+        );
         WeightRange { low, high }
     }
 
     /// The paper's range `[0.5, 0.6)`.
     pub fn paper_default() -> Self {
-        WeightRange { low: 0.5, high: 0.6 }
+        WeightRange {
+            low: 0.5,
+            high: 0.6,
+        }
     }
 
     /// Draws a weight from the range.

@@ -118,7 +118,11 @@ impl SocialNetwork {
             return Err(GraphError::InvalidWeight { u, v, weight: p_uv });
         }
         if !is_valid_probability(p_vu) {
-            return Err(GraphError::InvalidWeight { u: v, v: u, weight: p_vu });
+            return Err(GraphError::InvalidWeight {
+                u: v,
+                v: u,
+                weight: p_vu,
+            });
         }
         if self.edge_between(u, v).is_some() {
             return Err(GraphError::DuplicateEdge(u, v));
@@ -137,7 +141,12 @@ impl SocialNetwork {
     /// Adds an undirected edge with the same activation probability in both
     /// directions (the synthetic generators in the paper draw a single weight
     /// per edge).
-    pub fn add_symmetric_edge(&mut self, u: VertexId, v: VertexId, p: Weight) -> GraphResult<EdgeId> {
+    pub fn add_symmetric_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        p: Weight,
+    ) -> GraphResult<EdgeId> {
         self.add_edge(u, v, p, p)
     }
 
@@ -151,7 +160,9 @@ impl SocialNetwork {
     /// Returns the edge id between `u` and `v`, if any.
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         let list = self.adjacency.get(u.index())?;
-        list.binary_search_by_key(&v, |&(n, _)| n).ok().map(|pos| list[pos].1)
+        list.binary_search_by_key(&v, |&(n, _)| n)
+            .ok()
+            .map(|pos| list[pos].1)
     }
 
     /// Returns `true` if `{u, v}` is an edge.
@@ -168,7 +179,9 @@ impl SocialNetwork {
     ///
     /// Returns an error if `{u, v}` is not an edge.
     pub fn activation_probability(&self, u: VertexId, v: VertexId) -> GraphResult<Weight> {
-        let eid = self.edge_between(u, v).ok_or(GraphError::MissingEdge(u, v))?;
+        let eid = self
+            .edge_between(u, v)
+            .ok_or(GraphError::MissingEdge(u, v))?;
         Ok(self.directed_weight(eid, u))
     }
 
@@ -240,13 +253,26 @@ impl SocialNetwork {
     }
 
     /// Overwrites both directed weights of an existing edge.
-    pub fn set_edge_weights(&mut self, e: EdgeId, p_forward: Weight, p_backward: Weight) -> GraphResult<()> {
+    pub fn set_edge_weights(
+        &mut self,
+        e: EdgeId,
+        p_forward: Weight,
+        p_backward: Weight,
+    ) -> GraphResult<()> {
         let (lo, hi) = self.edges[e.index()];
         if !is_valid_probability(p_forward) {
-            return Err(GraphError::InvalidWeight { u: lo, v: hi, weight: p_forward });
+            return Err(GraphError::InvalidWeight {
+                u: lo,
+                v: hi,
+                weight: p_forward,
+            });
         }
         if !is_valid_probability(p_backward) {
-            return Err(GraphError::InvalidWeight { u: hi, v: lo, weight: p_backward });
+            return Err(GraphError::InvalidWeight {
+                u: hi,
+                v: lo,
+                weight: p_backward,
+            });
         }
         self.weight_forward[e.index()] = p_forward;
         self.weight_backward[e.index()] = p_backward;
@@ -342,8 +368,14 @@ mod tests {
         assert_eq!(g.activation_probability(a, b).unwrap(), 0.8);
         assert_eq!(g.activation_probability(b, a).unwrap(), 0.7);
         // edge added as (b, c) with p_bc = 0.6, p_cb = 0.5
-        assert_eq!(g.activation_probability(VertexId(1), VertexId(2)).unwrap(), 0.6);
-        assert_eq!(g.activation_probability(VertexId(2), VertexId(1)).unwrap(), 0.5);
+        assert_eq!(
+            g.activation_probability(VertexId(1), VertexId(2)).unwrap(),
+            0.6
+        );
+        assert_eq!(
+            g.activation_probability(VertexId(2), VertexId(1)).unwrap(),
+            0.5
+        );
     }
 
     #[test]
@@ -362,7 +394,10 @@ mod tests {
             g.add_edge(a, VertexId(9), 0.5, 0.5),
             Err(GraphError::UnknownVertex(_))
         ));
-        assert!(matches!(g.add_edge(a, a, 0.5, 0.5), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(
+            g.add_edge(a, a, 0.5, 0.5),
+            Err(GraphError::SelfLoop(_))
+        ));
         assert!(matches!(
             g.add_edge(a, b, 1.5, 0.5),
             Err(GraphError::InvalidWeight { .. })
@@ -389,7 +424,10 @@ mod tests {
     fn common_neighbors_of_triangle_edge() {
         let g = triangle();
         assert_eq!(g.common_neighbor_count(VertexId(0), VertexId(1)), 1);
-        assert_eq!(g.common_neighbors(VertexId(0), VertexId(1)), vec![VertexId(2)]);
+        assert_eq!(
+            g.common_neighbors(VertexId(0), VertexId(1)),
+            vec![VertexId(2)]
+        );
     }
 
     #[test]
@@ -405,8 +443,14 @@ mod tests {
         let mut g = triangle();
         let e = g.edge_between(VertexId(0), VertexId(1)).unwrap();
         g.set_edge_weights(e, 0.2, 0.3).unwrap();
-        assert_eq!(g.activation_probability(VertexId(0), VertexId(1)).unwrap(), 0.2);
-        assert_eq!(g.activation_probability(VertexId(1), VertexId(0)).unwrap(), 0.3);
+        assert_eq!(
+            g.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            0.2
+        );
+        assert_eq!(
+            g.activation_probability(VertexId(1), VertexId(0)).unwrap(),
+            0.3
+        );
         assert!(g.set_edge_weights(e, -1.0, 0.5).is_err());
     }
 
@@ -428,7 +472,8 @@ mod tests {
         assert_eq!(back.num_vertices(), g.num_vertices());
         assert_eq!(back.num_edges(), g.num_edges());
         assert_eq!(
-            back.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            back.activation_probability(VertexId(0), VertexId(1))
+                .unwrap(),
             0.8
         );
     }

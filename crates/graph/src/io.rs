@@ -76,7 +76,10 @@ pub fn parse_edge_list(text: &str) -> GraphResult<SocialNetwork> {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::Parse { line, message: message.into() }
+    GraphError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_vertex(token: Option<&str>, line: usize) -> GraphResult<VertexId> {
@@ -112,14 +115,30 @@ fn parse_keyword_list(list: &str, line: usize) -> GraphResult<KeywordSet> {
 pub fn to_edge_list(g: &SocialNetwork) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# topl-icde attributed edge list");
-    let _ = writeln!(out, "# {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    let _ = writeln!(
+        out,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
     for v in g.vertices() {
         let kws: Vec<String> = g.keyword_set(v).iter().map(|k| k.0.to_string()).collect();
-        let kw_field = if kws.is_empty() { "-".to_string() } else { kws.join(",") };
+        let kw_field = if kws.is_empty() {
+            "-".to_string()
+        } else {
+            kws.join(",")
+        };
         let _ = writeln!(out, "v {} {}", v.0, kw_field);
     }
     for (e, u, v) in g.edges() {
-        let _ = writeln!(out, "e {} {} {} {}", u.0, v.0, g.directed_weight(e, u), g.directed_weight(e, v));
+        let _ = writeln!(
+            out,
+            "e {} {} {} {}",
+            u.0,
+            v.0,
+            g.directed_weight(e, u),
+            g.directed_weight(e, v)
+        );
     }
     out
 }
@@ -143,7 +162,10 @@ pub fn to_json(g: &SocialNetwork) -> GraphResult<String> {
 
 /// Loads a graph from a JSON snapshot string.
 pub fn from_json(json: &str) -> GraphResult<SocialNetwork> {
-    serde_json::from_str(json).map_err(|e| GraphError::Parse { line: 0, message: e.to_string() })
+    serde_json::from_str(json).map_err(|e| GraphError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })
 }
 
 /// Writes a JSON snapshot of the graph to a file.
@@ -178,10 +200,19 @@ e 0 2 0.9
         let g = parse_edge_list(SAMPLE).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(g.activation_probability(VertexId(0), VertexId(1)).unwrap(), 0.8);
-        assert_eq!(g.activation_probability(VertexId(1), VertexId(0)).unwrap(), 0.7);
+        assert_eq!(
+            g.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            0.8
+        );
+        assert_eq!(
+            g.activation_probability(VertexId(1), VertexId(0)).unwrap(),
+            0.7
+        );
         // single-weight edge is symmetric
-        assert_eq!(g.activation_probability(VertexId(2), VertexId(1)).unwrap(), 0.6);
+        assert_eq!(
+            g.activation_probability(VertexId(2), VertexId(1)).unwrap(),
+            0.6
+        );
         assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(2)));
     }
 
@@ -190,8 +221,14 @@ e 0 2 0.9
         let g = parse_edge_list("0 1\n1 2\n2 3 0.7\n").unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(g.activation_probability(VertexId(0), VertexId(1)).unwrap(), DEFAULT_EDGE_WEIGHT);
-        assert_eq!(g.activation_probability(VertexId(2), VertexId(3)).unwrap(), 0.7);
+        assert_eq!(
+            g.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            DEFAULT_EDGE_WEIGHT
+        );
+        assert_eq!(
+            g.activation_probability(VertexId(2), VertexId(3)).unwrap(),
+            0.7
+        );
     }
 
     #[test]

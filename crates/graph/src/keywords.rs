@@ -55,14 +55,9 @@ pub struct KeywordSet {
 impl KeywordSet {
     /// Creates an empty keyword set.
     pub fn new() -> Self {
-        KeywordSet { keywords: Vec::new() }
-    }
-
-    /// Creates a keyword set from any iterator of keywords, deduplicating and
-    /// sorting.
-    pub fn from_iter<I: IntoIterator<Item = Keyword>>(iter: I) -> Self {
-        let set: BTreeSet<Keyword> = iter.into_iter().collect();
-        KeywordSet { keywords: set.into_iter().collect() }
+        KeywordSet {
+            keywords: Vec::new(),
+        }
     }
 
     /// Creates a keyword set from raw `u32` keyword ids.
@@ -146,9 +141,13 @@ impl KeywordSet {
     }
 }
 
+/// Collects keywords into a set, deduplicating and sorting.
 impl FromIterator<Keyword> for KeywordSet {
     fn from_iter<T: IntoIterator<Item = Keyword>>(iter: T) -> Self {
-        KeywordSet::from_iter(iter)
+        let set: BTreeSet<Keyword> = iter.into_iter().collect();
+        KeywordSet {
+            keywords: set.into_iter().collect(),
+        }
     }
 }
 
@@ -193,7 +192,10 @@ impl KeywordInterner {
 
     /// Looks up an already-interned keyword by name.
     pub fn get(&self, name: &str) -> Option<Keyword> {
-        self.names.iter().position(|n| n == name).map(|p| Keyword(p as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| Keyword(p as u32))
     }
 
     /// Returns the name for a keyword id, if known.

@@ -41,7 +41,11 @@ pub fn graph_statistics(g: &SocialNetwork) -> GraphStatistics {
     let n = g.num_vertices();
     let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
     degrees.sort_unstable();
-    let median_degree = if degrees.is_empty() { 0 } else { degrees[degrees.len() / 2] };
+    let median_degree = if degrees.is_empty() {
+        0
+    } else {
+        degrees[degrees.len() / 2]
+    };
 
     let components = connected_components(g);
     let largest_component = components.first().map_or(0, |c| c.len());
@@ -64,7 +68,11 @@ pub fn graph_statistics(g: &SocialNetwork) -> GraphStatistics {
         median_degree,
         connected_components: components.len(),
         largest_component,
-        average_keywords_per_vertex: if n == 0 { 0.0 } else { keyword_total as f64 / n as f64 },
+        average_keywords_per_vertex: if n == 0 {
+            0.0
+        } else {
+            keyword_total as f64 / n as f64
+        },
         distinct_keywords: distinct.len(),
         diameter_lower_bound: diameter_lower_bound(g),
     }

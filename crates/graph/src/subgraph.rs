@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// An induced-subgraph vertex set with O(1) membership testing.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VertexSubset {
     /// Vertices in ascending id order.
     vertices: Vec<VertexId>,
@@ -21,18 +21,24 @@ pub struct VertexSubset {
     members: HashSet<VertexId>,
 }
 
+/// Serialises as the sorted vertex array alone: deterministic output, no
+/// redundant membership set, and `members` can never desync on reload.
+impl Serialize for VertexSubset {
+    fn to_value(&self) -> serde::Value {
+        self.vertices.to_value()
+    }
+}
+
+impl Deserialize for VertexSubset {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<VertexId>::from_value(v).map(|ids| ids.into_iter().collect())
+    }
+}
+
 impl VertexSubset {
     /// Creates an empty subset.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Builds a subset from an iterator of vertices (duplicates ignored).
-    pub fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
-        let members: HashSet<VertexId> = iter.into_iter().collect();
-        let mut vertices: Vec<VertexId> = members.iter().copied().collect();
-        vertices.sort_unstable();
-        VertexSubset { vertices, members }
     }
 
     /// Number of vertices in the subset.
@@ -93,8 +99,16 @@ impl VertexSubset {
 
     /// Number of vertices present in both subsets.
     pub fn intersection_size(&self, other: &VertexSubset) -> usize {
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
-        small.vertices.iter().filter(|v| large.contains(**v)).count()
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .vertices
+            .iter()
+            .filter(|v| large.contains(**v))
+            .count()
     }
 
     /// Iterates over the edges of the subgraph induced by this subset in the
@@ -132,7 +146,10 @@ impl VertexSubset {
     /// Number of common neighbours of `u` and `v` *inside* the subset (the
     /// edge support within the induced subgraph).
     pub fn induced_common_neighbors(&self, g: &SocialNetwork, u: VertexId, v: VertexId) -> usize {
-        g.common_neighbors(u, v).into_iter().filter(|w| self.contains(*w)).count()
+        g.common_neighbors(u, v)
+            .into_iter()
+            .filter(|w| self.contains(*w))
+            .count()
     }
 
     /// Returns `true` if the induced subgraph is connected (an empty subset
@@ -156,9 +173,13 @@ impl VertexSubset {
     }
 }
 
+/// Collects vertices into a subset (duplicates ignored, order normalised).
 impl FromIterator<VertexId> for VertexSubset {
     fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
-        VertexSubset::from_iter(iter)
+        let members: HashSet<VertexId> = iter.into_iter().collect();
+        let mut vertices: Vec<VertexId> = members.iter().copied().collect();
+        vertices.sort_unstable();
+        VertexSubset { vertices, members }
     }
 }
 
@@ -236,7 +257,8 @@ mod tests {
     #[test]
     fn connectivity_checks() {
         let g = sample();
-        let connected = VertexSubset::from_iter([VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        let connected =
+            VertexSubset::from_iter([VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
         assert!(connected.is_connected(&g));
         let disconnected = VertexSubset::from_iter([VertexId(0), VertexId(4)]);
         assert!(!disconnected.is_connected(&g));

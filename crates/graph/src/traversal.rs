@@ -25,7 +25,10 @@ pub struct HopDistances {
 impl HopDistances {
     /// Looks up the hop distance of `v`, if it was reached.
     pub fn distance(&self, v: VertexId) -> Option<u32> {
-        self.distances.iter().find(|(u, _)| *u == v).map(|(_, d)| *d)
+        self.distances
+            .iter()
+            .find(|(u, _)| *u == v)
+            .map(|(_, d)| *d)
     }
 
     /// The vertex set reached by the BFS.
@@ -64,7 +67,10 @@ pub fn bfs_within(g: &SocialNetwork, source: VertexId, max_hops: u32) -> HopDist
             }
         }
     }
-    HopDistances { source, distances: order }
+    HopDistances {
+        source,
+        distances: order,
+    }
 }
 
 /// Extracts the r-hop subgraph `hop(center, r)`: the set of vertices within
@@ -125,13 +131,21 @@ pub fn hop_distances_within_subset(
             }
         }
     }
-    HopDistances { source, distances: order }
+    HopDistances {
+        source,
+        distances: order,
+    }
 }
 
 /// Returns `true` if every vertex of `subset` lies within `r` hops of
 /// `center` when paths are restricted to `subset` (the radius constraint of
 /// Definition 2).
-pub fn satisfies_radius(g: &SocialNetwork, subset: &VertexSubset, center: VertexId, r: u32) -> bool {
+pub fn satisfies_radius(
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+    center: VertexId,
+    r: u32,
+) -> bool {
     if subset.is_empty() {
         return true;
     }
@@ -187,7 +201,8 @@ mod tests {
             g.add_vertex(KeywordSet::new());
         }
         for i in 0..4u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
+                .unwrap();
         }
         g
     }
@@ -255,7 +270,8 @@ mod tests {
         assert!(!is_connected(&g));
 
         let mut g2 = g.clone();
-        g2.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
+        g2.add_symmetric_edge(VertexId(4), VertexId(5), 0.5)
+            .unwrap();
         assert!(is_connected(&g2));
         assert!(is_connected(&SocialNetwork::new()));
     }

@@ -136,7 +136,10 @@ mod tests {
         let (a, b) = communities(&g);
         let combined = diversity_score(&[&a, &b]);
         let sum = a.influential_score() + b.influential_score();
-        assert!(combined < sum, "overlapping communities must not double-count");
+        assert!(
+            combined < sum,
+            "overlapping communities must not double-count"
+        );
         assert!(combined >= a.influential_score().max(b.influential_score()));
     }
 

@@ -33,7 +33,10 @@ impl InfluenceConfig {
     /// # Panics
     /// Panics if θ is outside `[0, 1)`.
     pub fn new(theta: Weight) -> Self {
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
         InfluenceConfig { theta }
     }
 }
@@ -118,7 +121,11 @@ impl InfluencedCommunity {
 
     /// Number of vertices shared with another influenced community.
     pub fn overlap(&self, other: &InfluencedCommunity) -> usize {
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         small.cpp.keys().filter(|v| large.contains(**v)).count()
     }
 }
@@ -193,11 +200,18 @@ impl<'g> InfluenceEvaluator<'g> {
         for v in seed.iter() {
             cpp.insert(v, 1.0);
             score += 1.0;
-            heap.push(Frontier { probability: 1.0, vertex: v });
+            heap.push(Frontier {
+                probability: 1.0,
+                vertex: v,
+            });
         }
         // effective floor: members always qualify; influenced vertices need
         // probability >= theta (a theta of 0 admits any positive probability)
-        while let Some(Frontier { probability, vertex }) = heap.pop() {
+        while let Some(Frontier {
+            probability,
+            vertex,
+        }) = heap.pop()
+        {
             // Stale entry: a better probability was already recorded.
             if probability < cpp.get(&vertex).copied().unwrap_or(0.0) {
                 continue;
@@ -214,11 +228,19 @@ impl<'g> InfluenceEvaluator<'g> {
                 if candidate > current {
                     cpp.insert(n, candidate);
                     score += candidate - current;
-                    heap.push(Frontier { probability: candidate, vertex: n });
+                    heap.push(Frontier {
+                        probability: candidate,
+                        vertex: n,
+                    });
                 }
             }
         }
-        InfluencedCommunity { cpp, seed_size: seed.len(), theta, score }
+        InfluencedCommunity {
+            cpp,
+            seed_size: seed.len(),
+            theta,
+            score,
+        }
     }
 
     /// The influential score `σ(g)` of a seed community (Eq. (5)).
@@ -312,7 +334,11 @@ mod tests {
             if v == VertexId(0) {
                 assert_eq!(inf.cpp(v), 1.0);
             } else if upp >= 0.1 {
-                assert!((inf.cpp(v) - upp).abs() < 1e-12, "vertex {v}: {} vs {upp}", inf.cpp(v));
+                assert!(
+                    (inf.cpp(v) - upp).abs() < 1e-12,
+                    "vertex {v}: {} vs {upp}",
+                    inf.cpp(v)
+                );
             } else {
                 assert_eq!(inf.cpp(v), 0.0, "vertex {v}");
             }
@@ -340,7 +366,11 @@ mod tests {
         // members: 1 (1.0); influenced: 0 (0.8), 2 (0.8), 5 (0.3), 3 (0.64),
         // 4 (0.512)
         let expected = 1.0 + 0.8 + 0.8 + 0.3 + 0.64 + 0.512;
-        assert!((inf.influential_score() - expected).abs() < 1e-9, "{}", inf.influential_score());
+        assert!(
+            (inf.influential_score() - expected).abs() < 1e-9,
+            "{}",
+            inf.influential_score()
+        );
         assert_eq!(inf.len(), 6);
         assert_eq!(inf.influenced_only_count(), 5);
         assert!((eval.influential_score(&seed) - expected).abs() < 1e-9);
@@ -355,7 +385,9 @@ mod tests {
         let eval = InfluenceEvaluator::new(&g, InfluenceConfig::default());
         let mut last = f64::INFINITY;
         for theta in [0.0, 0.1, 0.2, 0.3, 0.5, 0.8] {
-            let score = eval.influenced_community_with_theta(&seed, theta).influential_score();
+            let score = eval
+                .influenced_community_with_theta(&seed, theta)
+                .influential_score();
             assert!(score <= last + 1e-12, "theta={theta}");
             last = score;
         }

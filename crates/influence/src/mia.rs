@@ -69,9 +69,16 @@ pub fn max_influence_path(
     let mut settled = vec![false; g.num_vertices()];
     let mut heap = BinaryHeap::new();
     best[source.index()] = 1.0;
-    heap.push(Entry { probability: 1.0, vertex: source });
+    heap.push(Entry {
+        probability: 1.0,
+        vertex: source,
+    });
 
-    while let Some(Entry { probability, vertex }) = heap.pop() {
+    while let Some(Entry {
+        probability,
+        vertex,
+    }) = heap.pop()
+    {
         if settled[vertex.index()] {
             continue;
         }
@@ -84,7 +91,10 @@ pub fn max_influence_path(
             if candidate > best[n.index()] {
                 best[n.index()] = candidate;
                 parent[n.index()] = Some(vertex);
-                heap.push(Entry { probability: candidate, vertex: n });
+                heap.push(Entry {
+                    probability: candidate,
+                    vertex: n,
+                });
             }
         }
     }
@@ -107,7 +117,11 @@ pub fn max_influence_path(
 /// Eq. (3): the user-to-user propagation probability `upp(u, v)`.
 ///
 /// Returns 0.0 when `v` is unreachable from `u`; `upp(u, u) = 1`.
-pub fn user_propagation_probability(g: &SocialNetwork, source: VertexId, target: VertexId) -> Weight {
+pub fn user_propagation_probability(
+    g: &SocialNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> Weight {
     max_influence_path(g, source, target).map_or(0.0, |(_, p)| p)
 }
 
@@ -122,8 +136,15 @@ pub fn single_source_upp(g: &SocialNetwork, source: VertexId, floor: Weight) -> 
     let mut settled = vec![false; g.num_vertices()];
     let mut heap = BinaryHeap::new();
     best[source.index()] = 1.0;
-    heap.push(Entry { probability: 1.0, vertex: source });
-    while let Some(Entry { probability, vertex }) = heap.pop() {
+    heap.push(Entry {
+        probability: 1.0,
+        vertex: source,
+    });
+    while let Some(Entry {
+        probability,
+        vertex,
+    }) = heap.pop()
+    {
         if settled[vertex.index()] {
             continue;
         }
@@ -132,7 +153,10 @@ pub fn single_source_upp(g: &SocialNetwork, source: VertexId, floor: Weight) -> 
             let candidate = probability * p;
             if candidate >= floor && candidate > best[n.index()] {
                 best[n.index()] = candidate;
-                heap.push(Entry { probability: candidate, vertex: n });
+                heap.push(Entry {
+                    probability: candidate,
+                    vertex: n,
+                });
             }
         }
     }
@@ -186,8 +210,13 @@ mod tests {
     fn upp_values() {
         let g = diamond();
         assert!((user_propagation_probability(&g, VertexId(0), VertexId(2)) - 0.81).abs() < 1e-12);
-        assert!((user_propagation_probability(&g, VertexId(0), VertexId(3)) - 0.81 * 0.6).abs() < 1e-12);
-        assert_eq!(user_propagation_probability(&g, VertexId(1), VertexId(1)), 1.0);
+        assert!(
+            (user_propagation_probability(&g, VertexId(0), VertexId(3)) - 0.81 * 0.6).abs() < 1e-12
+        );
+        assert_eq!(
+            user_propagation_probability(&g, VertexId(1), VertexId(1)),
+            1.0
+        );
     }
 
     #[test]

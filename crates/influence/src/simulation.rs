@@ -72,7 +72,12 @@ pub fn simulate_cascade_once<R: Rng>(g: &SocialNetwork, seed: &VertexSubset, rng
 
 /// Estimates the expected IC spread of `seed` over `runs` Monte-Carlo rounds
 /// with a fixed RNG seed (reproducible).
-pub fn estimate_spread(g: &SocialNetwork, seed: &VertexSubset, runs: usize, rng_seed: u64) -> SpreadEstimate {
+pub fn estimate_spread(
+    g: &SocialNetwork,
+    seed: &VertexSubset,
+    runs: usize,
+    rng_seed: u64,
+) -> SpreadEstimate {
     assert!(runs > 0, "at least one simulation run is required");
     let mut rng = StdRng::seed_from_u64(rng_seed);
     let samples: Vec<f64> = (0..runs)
@@ -84,7 +89,11 @@ pub fn estimate_spread(g: &SocialNetwork, seed: &VertexSubset, runs: usize, rng_
     } else {
         0.0
     };
-    SpreadEstimate { mean_spread: mean, std_dev: variance.sqrt(), runs }
+    SpreadEstimate {
+        mean_spread: mean,
+        std_dev: variance.sqrt(),
+        runs,
+    }
 }
 
 #[cfg(test)]

@@ -111,7 +111,10 @@ pub fn truss_decomposition(g: &SocialNetwork) -> TrussDecomposition {
         vertex_trussness[v.index()] = vertex_trussness[v.index()].max(t);
     }
 
-    TrussDecomposition { edge_trussness: trussness, vertex_trussness }
+    TrussDecomposition {
+        edge_trussness: trussness,
+        vertex_trussness,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +200,11 @@ mod tests {
     /// Maps a global edge index to its local index in a peel over the full
     /// vertex set (vertex ids coincide, but edge ids may be ordered
     /// differently).
-    fn local_edge_for_global(peel: &crate::ktruss::KTrussPeel, g: &SocialNetwork, e: usize) -> usize {
+    fn local_edge_for_global(
+        peel: &crate::ktruss::KTrussPeel,
+        g: &SocialNetwork,
+        e: usize,
+    ) -> usize {
         let (u, v) = g.edge_endpoints(EdgeId::from_index(e));
         let lu = peel.local.local(u).unwrap();
         let lv = peel.local.local(v).unwrap();

@@ -69,7 +69,11 @@ pub fn core_numbers(g: &SocialNetwork) -> Vec<u32> {
 
 /// The maximal connected k-core containing `center`, or `None` if the
 /// centre's core number is below `k`.
-pub fn maximal_kcore_containing(g: &SocialNetwork, center: VertexId, k: u32) -> Option<VertexSubset> {
+pub fn maximal_kcore_containing(
+    g: &SocialNetwork,
+    center: VertexId,
+    k: u32,
+) -> Option<VertexSubset> {
     let cores = core_numbers(g);
     if cores.get(center.index()).copied().unwrap_or(0) < k {
         return None;
@@ -125,14 +129,14 @@ mod tests {
     fn core_numbers_of_mixed_graph() {
         let g = mixed_graph();
         let cores = core_numbers(&g);
-        for v in 0..4 {
-            assert_eq!(cores[v], 3, "clique vertex {v}");
+        for (v, &core) in cores.iter().enumerate().take(4) {
+            assert_eq!(core, 3, "clique vertex {v}");
         }
         // the bridge vertex keeps degree 2 after the pendant is peeled, so it
         // stays in the 2-core
         assert_eq!(cores[4], 2);
-        for v in 5..8 {
-            assert_eq!(cores[v], 2, "triangle vertex {v}");
+        for (v, &core) in cores.iter().enumerate().take(8).skip(5) {
+            assert_eq!(core, 2, "triangle vertex {v}");
         }
         assert_eq!(cores[8], 1, "pendant vertex");
         assert_eq!(degeneracy(&g), 3);

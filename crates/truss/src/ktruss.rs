@@ -119,7 +119,9 @@ pub fn maximal_ktruss(g: &SocialNetwork, subset: &VertexSubset, k: u32) -> KTrus
     let mut queue: VecDeque<usize> = (0..local.num_edges())
         .filter(|&e| supports[e] < required)
         .collect();
-    let mut queued: Vec<bool> = (0..local.num_edges()).map(|e| supports[e] < required).collect();
+    let mut queued: Vec<bool> = (0..local.num_edges())
+        .map(|e| supports[e] < required)
+        .collect();
 
     while let Some(e) = queue.pop_front() {
         if !edge_alive[e] {

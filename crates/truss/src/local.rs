@@ -48,7 +48,12 @@ impl LocalSubgraph {
         for list in &mut adjacency {
             list.sort_unstable();
         }
-        LocalSubgraph { globals, local_of, adjacency, edges }
+        LocalSubgraph {
+            globals,
+            local_of,
+            adjacency,
+            edges,
+        }
     }
 
     /// Number of local vertices.
@@ -96,9 +101,13 @@ impl LocalSubgraph {
     ///
     /// `edge_alive` and `vertex_alive`, when provided, must have lengths
     /// `num_edges()` / `num_vertices()`.
-    pub fn edge_supports(&self, edge_alive: Option<&[bool]>, vertex_alive: Option<&[bool]>) -> Vec<u32> {
-        let alive_edge = |e: usize| edge_alive.map_or(true, |m| m[e]);
-        let alive_vertex = |v: usize| vertex_alive.map_or(true, |m| m[v]);
+    pub fn edge_supports(
+        &self,
+        edge_alive: Option<&[bool]>,
+        vertex_alive: Option<&[bool]>,
+    ) -> Vec<u32> {
+        let alive_edge = |e: usize| edge_alive.is_none_or(|m| m[e]);
+        let alive_vertex = |v: usize| vertex_alive.is_none_or(|m| m[v]);
         let mut supports = vec![0u32; self.edges.len()];
         for (e, &(u, v)) in self.edges.iter().enumerate() {
             if !alive_edge(e) || !alive_vertex(u) || !alive_vertex(v) {
@@ -187,7 +196,8 @@ mod tests {
         let ids = [1u32, 2, 3, 4];
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
-                g.add_symmetric_edge(VertexId(ids[i]), VertexId(ids[j]), 0.5).unwrap();
+                g.add_symmetric_edge(VertexId(ids[i]), VertexId(ids[j]), 0.5)
+                    .unwrap();
             }
         }
         g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();

@@ -23,7 +23,10 @@ pub fn edge_supports_global(g: &SocialNetwork) -> Vec<u32> {
 ///
 /// Returns `(edge supports, local view)` so callers can keep using the local
 /// index translation.
-pub fn edge_supports_in_subset(g: &SocialNetwork, subset: &VertexSubset) -> (Vec<u32>, LocalSubgraph) {
+pub fn edge_supports_in_subset(
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+) -> (Vec<u32>, LocalSubgraph) {
     let local = LocalSubgraph::new(g, subset);
     let supports = local.edge_supports(None, None);
     (supports, local)

@@ -97,7 +97,8 @@ mod tests {
             g.add_vertex(KeywordSet::new());
         }
         for i in 0..3u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5).unwrap();
+            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
+                .unwrap();
         }
         assert_eq!(count_triangles(&g), 0);
         assert_eq!(global_clustering_coefficient(&g), 0.0);

@@ -24,10 +24,14 @@ fn main() {
         graph.num_edges()
     );
 
-    let base = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, 4);
+    // Gaussian keyword ids cluster around the middle of the domain (25 for
+    // the default |Σ| = 50), so query the popular mid-domain topics.
+    let base = TopLQuery::new(KeywordSet::from_ids([23, 24, 25, 26, 27]), 3, 2, 0.2, 4);
 
     // Plain TopL-ICDE: the L individually most influential communities.
-    let topl = TopLProcessor::new(&graph, &index).run(&base).expect("valid query");
+    let topl = TopLProcessor::new(&graph, &index)
+        .run(&base)
+        .expect("valid query");
 
     // DTopL-ICDE: L communities with the highest *collective* influence.
     let dquery = DTopLQuery::with_default_multiplier(base.clone());
@@ -66,7 +70,10 @@ fn main() {
             c.influential_score
         );
     }
-    println!("  -> collective influence (diversity score): {:.1}", dtopl.diversity_score);
+    println!(
+        "  -> collective influence (diversity score): {:.1}",
+        dtopl.diversity_score
+    );
 
     let gain = dtopl.diversity_score - topl_state.score();
     println!(

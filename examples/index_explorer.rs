@@ -24,7 +24,10 @@ fn main() {
         parallel: true,
     };
     let start = std::time::Instant::now();
-    let index = IndexBuilder::new(config).with_fanout(8).with_leaf_capacity(16).build(&graph);
+    let index = IndexBuilder::new(config)
+        .with_fanout(8)
+        .with_leaf_capacity(16)
+        .build(&graph);
     println!(
         "offline phase finished in {:.2?}: {} nodes, height {}, fan-out {}, leaf capacity {}",
         start.elapsed(),
@@ -59,7 +62,9 @@ fn main() {
         ("keyword+support      ", PruningToggles::keyword_support()),
         ("keyword+support+score", PruningToggles::all()),
     ] {
-        let answer = processor.run_with_toggles(&query, toggles).expect("valid query");
+        let answer = processor
+            .run_with_toggles(&query, toggles)
+            .expect("valid query");
         println!(
             "  {label} | {:>7} pruned | {:>5} refined | {:>8.2?} | best score {:.1}",
             answer.stats.total_pruned_candidates(),

@@ -19,8 +19,18 @@ use topl_icde::prelude::*;
 /// interest topics on every user.
 fn build_marketing_network(interner: &mut KeywordInterner) -> SocialNetwork {
     let topics = [
-        "movies", "books", "food", "jewelry", "crafts", "health", "wellness", "home-decor",
-        "cosmetics", "skincare", "sports", "travel",
+        "movies",
+        "books",
+        "food",
+        "jewelry",
+        "crafts",
+        "health",
+        "wellness",
+        "home-decor",
+        "cosmetics",
+        "skincare",
+        "sports",
+        "travel",
     ];
     let topic_ids: Vec<Keyword> = topics.iter().map(|t| interner.intern(t)).collect();
 
@@ -58,7 +68,9 @@ fn main() {
     // radius 2) so group-buying discounts make sense.
     let movie = interner.get("movies").expect("interned above");
     let query = TopLQuery::new(KeywordSet::from_iter([movie]), 4, 2, 0.2, 3);
-    let answer = TopLProcessor::new(&graph, &index).run(&query).expect("valid query");
+    let answer = TopLProcessor::new(&graph, &index)
+        .run(&query)
+        .expect("valid query");
 
     println!("\ncampaign plan: top-{} movie-fan communities", query.l);
     let mut total_coupons = 0usize;

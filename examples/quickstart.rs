@@ -38,9 +38,14 @@ fn main() {
         0.2,                                   // influence threshold theta
         5,                                     // L
     );
-    let answer = TopLProcessor::new(&graph, &index).run(&query).expect("valid query");
+    let answer = TopLProcessor::new(&graph, &index)
+        .run(&query)
+        .expect("valid query");
 
-    println!("\ntop-{} most influential communities ({:.2?} online):", query.l, answer.elapsed);
+    println!(
+        "\ntop-{} most influential communities ({:.2?} online):",
+        query.l, answer.elapsed
+    );
     for (rank, community) in answer.communities.iter().enumerate() {
         println!(
             "  #{rank}: center {} | {} members | influences {} further users | score {:.2}",

@@ -1,0 +1,425 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (`to_value` / `from_value` over `serde::Value`). Uses only the
+//! compiler-provided `proc_macro` API — no `syn`/`quote` — so it supports
+//! exactly the item shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * unit and tuple structs (newtype structs serialise transparently),
+//! * enums whose variants are unit, tuple, or struct-like (externally
+//!   tagged, like real serde),
+//! * no generics, no `#[serde(...)]` attributes.
+//!
+//! Anything outside that subset fails loudly at derive time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments etc.) and visibility.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // optional pub(crate) / pub(super) restriction
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde shim derive: unexpected token `{s}` before struct/enum keyword");
+            }
+            other => panic!("serde shim derive: unexpected input {other:?}"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let data = if keyword == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        }
+    };
+
+    Input { name, data }
+}
+
+/// Parses `name: Type, ...` pairs, returning field names. Tracks `<`/`>`
+/// depth so commas inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde shim derive: unexpected token in fields: {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => saw_tokens = true,
+            },
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde shim derive: unexpected token in variants: {other:?}"),
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant, then the trailing comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Data::NamedStruct(fields) => serialize_named_object(fields, "self.", "&"),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner = serialize_named_object(fields, "", "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// `Value::Object(vec![("f", to_value(<ref><prefix>f)), ...])`
+fn serialize_named_object(fields: &[String], prefix: &str, reference: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({reference}{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"array of {n} elements\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Data::NamedStruct(fields) => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                deserialize_named_fields(name, fields, "__v")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\
+                                     \"array of {arity} elements\", other)),\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let variant_path = format!("{name}::{vname}");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({variant_path} {{ {} }}),\n",
+                            deserialize_named_fields(&variant_path, fields, "__inner")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
+
+/// `f: __de_field(src, "Ty", "f")?, ...`
+fn deserialize_named_fields(type_label: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__de_field({source}, \"{type_label}\", \"{f}\")?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

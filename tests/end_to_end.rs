@@ -10,7 +10,9 @@ use topl_icde::core::topl::PruningToggles;
 use topl_icde::prelude::*;
 
 fn build(kind: DatasetKind, n: usize, seed: u64) -> (SocialNetwork, CommunityIndex) {
-    let graph = DatasetSpec::new(kind, n, seed).with_keyword_domain(12).generate();
+    let graph = DatasetSpec::new(kind, n, seed)
+        .with_keyword_domain(12)
+        .generate();
     let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
     (graph, index)
 }
@@ -27,12 +29,25 @@ fn indexed_answers_match_bruteforce_on_every_dataset_family() {
         let ours = TopLProcessor::new(&graph, &index).run(&query).unwrap();
         let exact = brute_force_topl(&graph, &query);
         let round = |xs: &[topl_icde::core::seed::SeedCommunity]| -> Vec<i64> {
-            xs.iter().map(|c| (c.influential_score * 1e6).round() as i64).collect()
+            xs.iter()
+                .map(|c| (c.influential_score * 1e6).round() as i64)
+                .collect()
         };
-        assert_eq!(round(&ours.communities), round(&exact.communities), "{kind:?}");
+        assert_eq!(
+            round(&ours.communities),
+            round(&exact.communities),
+            "{kind:?}"
+        );
         for c in &ours.communities {
             assert!(
-                is_valid_seed_community(&graph, &c.vertices, c.center, query.support, query.radius, &query.keywords),
+                is_valid_seed_community(
+                    &graph,
+                    &c.vertices,
+                    c.center,
+                    query.support,
+                    query.radius,
+                    &query.keywords
+                ),
                 "{kind:?}"
             );
         }
@@ -56,7 +71,9 @@ fn pruning_configurations_agree_end_to_end() {
     let (graph, index) = build(DatasetKind::Gaussian, 220, 77);
     let query = default_query(5);
     let processor = TopLProcessor::new(&graph, &index);
-    let reference = processor.run_with_toggles(&query, PruningToggles::none()).unwrap();
+    let reference = processor
+        .run_with_toggles(&query, PruningToggles::none())
+        .unwrap();
     for toggles in [
         PruningToggles::keyword_only(),
         PruningToggles::keyword_support(),
@@ -75,8 +92,12 @@ fn dtopl_greedy_is_near_optimal_end_to_end() {
     let (graph, index) = build(DatasetKind::Uniform, 180, 13);
     let query = DTopLQuery::new(default_query(2), 3);
     let processor = DTopLProcessor::new(&graph, &index);
-    let greedy = processor.run(&query, DTopLStrategy::GreedyWithPruning).unwrap();
-    let plain = processor.run(&query, DTopLStrategy::GreedyWithoutPruning).unwrap();
+    let greedy = processor
+        .run(&query, DTopLStrategy::GreedyWithPruning)
+        .unwrap();
+    let plain = processor
+        .run(&query, DTopLStrategy::GreedyWithoutPruning)
+        .unwrap();
     let optimal = processor.run(&query, DTopLStrategy::Optimal).unwrap();
     assert!((greedy.diversity_score - plain.diversity_score).abs() < 1e-6);
     assert!(optimal.diversity_score + 1e-9 >= greedy.diversity_score);
@@ -104,7 +125,11 @@ fn facade_prelude_exposes_the_whole_pipeline() {
     let index = IndexBuilder::new(PrecomputeConfig::default()).build(&graph);
     let query = TopLQuery::with_defaults(KeywordSet::from_ids([0, 1, 2]));
     let answer = TopLProcessor::new(&graph, &index).run(&query).unwrap();
-    let _scores: Vec<f64> = answer.communities.iter().map(|c| c.influential_score).collect();
+    let _scores: Vec<f64> = answer
+        .communities
+        .iter()
+        .map(|c| c.influential_score)
+        .collect();
     let eval = InfluenceEvaluator::new(&graph, InfluenceConfig::default());
     if let Some(c) = answer.communities.first() {
         let inf = eval.influenced_community(&c.vertices);

@@ -6,7 +6,9 @@ use topl_icde::graph::io;
 use topl_icde::prelude::*;
 
 fn graph() -> SocialNetwork {
-    DatasetSpec::new(DatasetKind::AmazonLike, 300, 9).with_keyword_domain(10).generate()
+    DatasetSpec::new(DatasetKind::AmazonLike, 300, 9)
+        .with_keyword_domain(10)
+        .generate()
 }
 
 #[test]
@@ -75,7 +77,12 @@ fn index_is_reusable_across_many_queries() {
     let g = graph();
     let index = IndexBuilder::new(PrecomputeConfig::default()).build(&g);
     let processor = TopLProcessor::new(&g, &index);
-    for (k, r, theta, l) in [(3u32, 1u32, 0.1, 2usize), (4, 2, 0.2, 5), (3, 3, 0.3, 3), (5, 2, 0.15, 4)] {
+    for (k, r, theta, l) in [
+        (3u32, 1u32, 0.1, 2usize),
+        (4, 2, 0.2, 5),
+        (3, 3, 0.3, 3),
+        (5, 2, 0.15, 4),
+    ] {
         let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), k, r, theta, l);
         let answer = processor.run(&query).unwrap();
         assert!(answer.communities.len() <= l);
@@ -90,4 +97,76 @@ fn index_is_reusable_across_many_queries() {
             ));
         }
     }
+}
+
+#[test]
+fn index_persist_roundtrip_across_dataset_kinds() {
+    // The persisted index must reproduce the in-memory index exactly — same
+    // serialised form, same query answers — for every synthetic family.
+    use topl_icde::core::persist;
+
+    for kind in [
+        DatasetKind::Uniform,
+        DatasetKind::DblpLike,
+        DatasetKind::AmazonLike,
+    ] {
+        let g = DatasetSpec::new(kind, 250, 33)
+            .with_keyword_domain(12)
+            .generate();
+        let index = IndexBuilder::new(PrecomputeConfig::default()).build(&g);
+
+        let json = persist::index_to_json(&index).expect("index serialises");
+        let reloaded = persist::index_from_json(&json).expect("index deserialises");
+
+        // Structural equality via the canonical serialised form.
+        let rejson = persist::index_to_json(&reloaded).expect("reloaded index serialises");
+        assert_eq!(json, rejson, "lossy index round-trip for {kind:?}");
+        assert_eq!(index.node_count(), reloaded.node_count());
+        assert_eq!(index.num_graph_vertices(), reloaded.num_graph_vertices());
+
+        // Behavioural equality: identical answers on a real query.
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 4);
+        let a = TopLProcessor::new(&g, &index).run(&query).unwrap();
+        let b = TopLProcessor::new(&g, &reloaded).run(&query).unwrap();
+        assert_eq!(
+            a.communities.len(),
+            b.communities.len(),
+            "answer count for {kind:?}"
+        );
+        for (x, y) in a.communities.iter().zip(b.communities.iter()) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.vertices, y.vertices);
+            assert!((x.influential_score - y.influential_score).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn invalid_queries_error_instead_of_panicking() {
+    let g = graph();
+    let index = IndexBuilder::new(PrecomputeConfig::default()).build(&g);
+    let processor = TopLProcessor::new(&g, &index);
+
+    // Empty keyword set.
+    let empty = TopLQuery::new(KeywordSet::new(), 3, 2, 0.2, 3);
+    assert!(processor.run(&empty).is_err());
+    // Zero answers requested.
+    let zero_l = TopLQuery::new(KeywordSet::from_ids([0, 1]), 3, 2, 0.2, 0);
+    assert!(processor.run(&zero_l).is_err());
+    // Influence threshold outside [0, 1).
+    let bad_theta = TopLQuery::new(KeywordSet::from_ids([0, 1]), 3, 2, 1.0, 3);
+    assert!(processor.run(&bad_theta).is_err());
+    // Support below the k-truss minimum.
+    let bad_k = TopLQuery::new(KeywordSet::from_ids([0, 1]), 1, 2, 0.2, 3);
+    assert!(processor.run(&bad_k).is_err());
+    // Zero radius.
+    let bad_r = TopLQuery::new(KeywordSet::from_ids([0, 1]), 3, 0, 0.2, 3);
+    assert!(processor.run(&bad_r).is_err());
+
+    // Keywords that no vertex carries: a valid query with an empty answer.
+    let unmatched = TopLQuery::new(KeywordSet::from_ids([9999]), 3, 2, 0.2, 3);
+    let answer = processor
+        .run(&unmatched)
+        .expect("valid query with no matches");
+    assert!(answer.communities.is_empty());
 }
