@@ -90,8 +90,12 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|all]... \
          [--scale N] [--max-scale N] [--optimal] [--json] [--seed N]"
+    );
+    eprintln!(
+        "  bench2: time the CSR graph primitives on the 50k small-world graph and \
+         write the BENCH_2.json perf snapshot (not part of `all`)"
     );
 }
 
@@ -148,6 +152,16 @@ fn main() {
 
     let run_all = options.experiments.iter().any(|e| e == "all");
     let wants = |name: &str| run_all || options.experiments.iter().any(|e| e == name);
+
+    // The perf snapshot runs a fixed-scale workload and writes a file, so it
+    // is opt-in only (not part of `all`).
+    if options.experiments.iter().any(|e| e == "bench2") {
+        println!("# bench2: timing graph primitives on the 50k small-world graph ...");
+        let json = icde_bench::perf::bench2_snapshot_json();
+        std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+        println!("{json}");
+        println!("\nwrote BENCH_2.json");
+    }
 
     if wants("table2") {
         emit(&figures::table2_dataset_statistics(&params), options.json);

@@ -20,6 +20,7 @@
 
 pub mod figures;
 pub mod params;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod workload;

@@ -1,0 +1,152 @@
+//! Graph-primitive perf snapshots (`BENCH_N.json` trajectory).
+//!
+//! The criterion benches under `benches/graph_primitives.rs` are for
+//! interactive profiling; this module produces the **archived** numbers: a
+//! JSON snapshot of the three adjacency-bound primitives every pipeline phase
+//! reduces to (bounded BFS, triangle counting, single-source `upp`), plus the
+//! builder freeze itself, on the paper-default 50k-vertex small-world graph.
+//! `experiments bench2` writes `BENCH_2.json` so the repository carries a
+//! perf trajectory across PRs, with the PR-1 adjacency-list baseline embedded
+//! for the primitives measured before the CSR refactor.
+
+use icde_graph::generators::{small_world, SmallWorldConfig};
+use icde_graph::traversal::bfs_within;
+use icde_graph::{SocialNetwork, VertexId};
+use icde_influence::mia::single_source_upp;
+use icde_truss::triangle::count_triangles;
+use serde::Value;
+use std::time::Instant;
+
+/// Scale and RNG seed of the snapshot workload (matches
+/// `benches/graph_primitives.rs`).
+pub const SNAPSHOT_SCALE: usize = 50_000;
+/// RNG seed for the snapshot graph.
+pub const SNAPSHOT_SEED: u64 = 20240614;
+
+/// PR-1 (adjacency-list `Vec<Vec<…>>` store) timings of the same workloads,
+/// captured on the reference build machine immediately before the CSR
+/// refactor. `None` means the workload was not measured pre-refactor.
+const PR1_BASELINE_MILLIS: [(&str, Option<f64>); 4] = [
+    ("build_50k_small_world", None),
+    ("triangle_count_50k", Some(8.32)),
+    ("rhop_bfs_r3_x2000", Some(20.35)),
+    ("single_source_upp_x200", Some(118.42)),
+];
+
+/// One timed workload: median of `runs` executions.
+fn time_median<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut checksum = 0u64;
+    for _ in 0..runs {
+        let t = Instant::now();
+        checksum = f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], checksum)
+}
+
+fn snapshot_graph() -> SocialNetwork {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SNAPSHOT_SEED);
+    small_world(&SmallWorldConfig::paper_default(SNAPSHOT_SCALE), &mut rng)
+}
+
+/// Runs the snapshot workloads and renders the `BENCH_2.json` document.
+/// Returns the pretty-printed JSON.
+pub fn bench2_snapshot_json() -> String {
+    let (build_ms, _) = time_median(5, || snapshot_graph().num_edges() as u64);
+    let g = snapshot_graph();
+
+    let (tri_ms, tri) = time_median(9, || count_triangles(&g));
+    let (bfs_ms, reached) = time_median(9, || {
+        let mut reached = 0u64;
+        for i in 0..2000 {
+            let v = VertexId::from_index(i * (SNAPSHOT_SCALE / 2000));
+            reached += bfs_within(&g, v, 3).distances.len() as u64;
+        }
+        reached
+    });
+    let (upp_ms, _) = time_median(5, || {
+        let mut acc = 0.0f64;
+        for i in 0..200 {
+            let v = VertexId::from_index(i * (SNAPSHOT_SCALE / 200));
+            acc += single_source_upp(&g, v, 0.01).iter().sum::<f64>();
+        }
+        acc.to_bits()
+    });
+
+    let measured = [
+        ("build_50k_small_world", build_ms),
+        ("triangle_count_50k", tri_ms),
+        ("rhop_bfs_r3_x2000", bfs_ms),
+        ("single_source_upp_x200", upp_ms),
+    ];
+    let mut results = Vec::new();
+    for ((name, millis), (bname, baseline)) in measured.iter().zip(PR1_BASELINE_MILLIS) {
+        debug_assert_eq!(*name, bname);
+        let mut entry = vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            (
+                "millis".to_string(),
+                Value::Float((millis * 1e3).round() / 1e3),
+            ),
+        ];
+        if let Some(base) = baseline {
+            entry.push(("baseline_pr1_millis".to_string(), Value::Float(base)));
+            entry.push((
+                "speedup_vs_pr1".to_string(),
+                Value::Float((base / millis * 1e2).round() / 1e2),
+            ));
+        }
+        results.push(Value::Object(entry));
+    }
+
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_2".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Graph-primitive timings on the frozen CSR store (PR 2). Baselines are the \
+                 PR-1 adjacency-list store on the same machine, same workloads."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                ("triangles".to_string(), Value::UInt(tri)),
+                ("bfs_reached".to_string(), Value::UInt(reached)),
+            ]),
+        ),
+        ("results".to_string(), Value::Array(results)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_table_matches_workload_names() {
+        // names in the baseline table must stay aligned with the measured
+        // workloads (zip order is load-bearing)
+        let names: Vec<&str> = PR1_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "build_50k_small_world",
+                "triangle_count_50k",
+                "rhop_bfs_r3_x2000",
+                "single_source_upp_x200"
+            ]
+        );
+    }
+}

@@ -436,8 +436,9 @@ mod tests {
 
     #[test]
     fn single_vertex_graph_index() {
-        let mut g = SocialNetwork::new();
-        g.add_vertex(KeywordSet::from_ids([1]));
+        let mut b = icde_graph::GraphBuilder::new();
+        b.add_vertex(KeywordSet::from_ids([1]));
+        let g = b.build().unwrap();
         let index = IndexBuilder::new(PrecomputeConfig {
             parallel: false,
             ..Default::default()

@@ -125,6 +125,46 @@ pub fn update_index_after_edge_insertion(
     (rebuilt, refreshed)
 }
 
+/// Rebuilds a [`CommunityIndex`] after an edge **deletion**: removes
+/// `{u, v}` from `g_before` (rebuilding the frozen CSR store via
+/// [`SocialNetwork::with_edge_removed`]), patches only the affected vertices'
+/// aggregates and re-aggregates the tree. Returns the updated graph, the
+/// refreshed index and the number of vertices recomputed.
+///
+/// The affected set is computed on the **pre-deletion** graph: a vertex whose
+/// old region reached the edge only *through* the edge is still within
+/// `r_max + slack` hops of an endpoint there, while in the updated graph it
+/// may no longer be (the removed edge can be a bridge). The slack derived
+/// from the pre-deletion `p_max` is conservative for the post-deletion graph,
+/// whose largest probability can only be ≤.
+pub fn update_index_after_edge_deletion(
+    index: CommunityIndex,
+    g_before: &SocialNetwork,
+    u: VertexId,
+    v: VertexId,
+    influence_slack: Option<u32>,
+) -> icde_graph::error::GraphResult<(SocialNetwork, CommunityIndex, usize)> {
+    let (g_after, _removed) = g_before.with_edge_removed(u, v)?;
+    let fanout = index.fanout();
+    let leaf_capacity = index.leaf_capacity();
+    let mut data = index.precomputed;
+    // Edge ids above the removed edge shifted down: rebuild the edge-indexed
+    // supports from scratch against the updated graph.
+    data.refresh_edge_supports(&g_after);
+    let slack = influence_slack
+        .or_else(|| required_influence_slack(g_before, &data.config))
+        .unwrap_or(u32::MAX / 2);
+    let affected = affected_vertices(g_before, u, v, data.config.r_max, slack.min(u32::MAX / 2));
+    for &w in &affected {
+        data.recompute_vertex(&g_after, w);
+    }
+    let rebuilt = IndexBuilder::new(data.config.clone())
+        .with_fanout(fanout)
+        .with_leaf_capacity(leaf_capacity)
+        .build_from_precomputed(&g_after, data);
+    Ok((g_after, rebuilt, affected.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,9 +201,9 @@ mod tests {
 
     #[test]
     fn affected_set_contains_both_endpoints_neighbourhoods() {
-        let (mut g, index) = setup();
+        let (g, index) = setup();
         let (u, v) = missing_edge(&g);
-        g.add_symmetric_edge(u, v, 0.55).unwrap();
+        let g = g.with_edge_inserted(u, v, 0.55, 0.55).unwrap();
         let affected = affected_vertices(&g, u, v, index.r_max(), 0);
         assert!(affected.contains(&u) && affected.contains(&v));
         for w in hop_subgraph(&g, u, index.r_max()).iter() {
@@ -174,9 +214,9 @@ mod tests {
 
     #[test]
     fn incremental_refresh_matches_full_rebuild() {
-        let (mut g, index) = setup();
+        let (g, index) = setup();
         let (u, v) = missing_edge(&g);
-        g.add_symmetric_edge(u, v, 0.55).unwrap();
+        let g = g.with_edge_inserted(u, v, 0.55, 0.55).unwrap();
 
         let (incremental, refreshed) = update_index_after_edge_insertion(index, &g, u, v, None);
         assert!(refreshed > 0);
@@ -222,12 +262,70 @@ mod tests {
     }
 
     #[test]
+    fn incremental_deletion_matches_full_rebuild() {
+        let (g_before, _) = setup();
+        // delete an edge that exists; rebuild the index incrementally
+        let (_, u, v) = g_before.edges().next().expect("graph has edges");
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&g_before);
+
+        let (g_after, incremental, refreshed) =
+            update_index_after_edge_deletion(index, &g_before, u, v, None).unwrap();
+        assert!(refreshed > 0);
+        assert_eq!(g_after.num_edges(), g_before.num_edges() - 1);
+        assert!(!g_after.contains_edge(u, v));
+
+        let from_scratch = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&g_after);
+
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        let a = TopLProcessor::new(&g_after, &incremental)
+            .run(&query)
+            .unwrap();
+        let b = TopLProcessor::new(&g_after, &from_scratch)
+            .run(&query)
+            .unwrap();
+        assert_eq!(a.communities.len(), b.communities.len());
+        for (x, y) in a.communities.iter().zip(b.communities.iter()) {
+            assert_eq!(x.vertices, y.vertices);
+            assert!((x.influential_score - y.influential_score).abs() < 1e-9);
+        }
+
+        for w in g_after.vertices() {
+            for r in 1..=incremental.r_max() {
+                let inc = incremental.precomputed.aggregate(w, r);
+                let full = from_scratch.precomputed.aggregate(w, r);
+                assert_eq!(
+                    inc.support_upper_bound, full.support_upper_bound,
+                    "{w} r={r}"
+                );
+                assert_eq!(inc.keyword_signature, full.keyword_signature, "{w} r={r}");
+                assert_eq!(inc.region_size, full.region_size, "{w} r={r}");
+                for (a, b) in inc
+                    .score_upper_bounds
+                    .iter()
+                    .zip(full.score_upper_bounds.iter())
+                {
+                    assert!((a - b).abs() < 1e-6, "{w} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn refresh_touches_only_a_fraction_on_larger_graphs() {
         let g0 = DatasetSpec::new(DatasetKind::Uniform, 600, 4)
             .with_keyword_domain(10)
             .generate();
-        let mut g = g0.clone();
-        let (u, v) = missing_edge(&g);
+        let (u, v) = missing_edge(&g0);
         let mut data = PrecomputedData::compute(
             &g0,
             PrecomputeConfig {
@@ -235,7 +333,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        g.add_symmetric_edge(u, v, 0.55).unwrap();
+        let g = g0.with_edge_inserted(u, v, 0.55, 0.55).unwrap();
         let refreshed = refresh_after_edge_insertion(&g, &mut data, u, v, Some(0));
         assert!(
             refreshed < g.num_vertices() / 2,

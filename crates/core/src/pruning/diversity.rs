@@ -22,7 +22,7 @@ pub fn can_prune_by_diversity_gain(stale_gain_upper_bound: f64, best_confirmed_g
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
+    use icde_graph::{VertexId, VertexSubset};
     use icde_influence::{DiversityState, InfluenceConfig, InfluenceEvaluator};
 
     #[test]
@@ -37,20 +37,18 @@ mod tests {
         // Submodularity check on real influenced communities: the gain of a
         // candidate w.r.t. a smaller answer set is >= its gain w.r.t. a
         // larger one, so treating stale gains as upper bounds is safe.
-        let mut g = SocialNetwork::new();
-        for _ in 0..10 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut builder = icde_graph::GraphBuilder::with_vertices(10);
         // three overlapping stars
         for n in [1u32, 2, 3, 4] {
-            g.add_symmetric_edge(VertexId(0), VertexId(n), 0.8).unwrap();
+            builder.add_symmetric_edge(VertexId(0), VertexId(n), 0.8);
         }
         for n in [3u32, 4, 5, 6] {
-            g.add_symmetric_edge(VertexId(9), VertexId(n), 0.8).unwrap();
+            builder.add_symmetric_edge(VertexId(9), VertexId(n), 0.8);
         }
         for n in [5u32, 6, 7].iter().copied() {
-            g.add_symmetric_edge(VertexId(8), VertexId(n), 0.8).unwrap();
+            builder.add_symmetric_edge(VertexId(8), VertexId(n), 0.8);
         }
+        let g = builder.build().unwrap();
         let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.5));
         let a = eval.influenced_community(&VertexSubset::from_iter([VertexId(0)]));
         let b = eval.influenced_community(&VertexSubset::from_iter([VertexId(9)]));

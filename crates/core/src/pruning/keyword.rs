@@ -59,13 +59,13 @@ mod tests {
     use icde_graph::{Keyword, VertexId};
 
     fn graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        g.add_vertex(KeywordSet::from_ids([1, 2]));
-        g.add_vertex(KeywordSet::from_ids([3]));
-        g.add_vertex(KeywordSet::from_ids([9]));
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.5).unwrap();
-        g
+        let mut b = icde_graph::GraphBuilder::new();
+        b.add_vertex(KeywordSet::from_ids([1, 2]));
+        b.add_vertex(KeywordSet::from_ids([3]));
+        b.add_vertex(KeywordSet::from_ids([9]));
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.5);
+        b.build().unwrap()
     }
 
     #[test]

@@ -40,19 +40,14 @@ pub fn can_prune_by_radius(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::KeywordSet;
 
     /// Path 0-1-2-3-4.
     fn path() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..5 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(5);
         for i in 0..4u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
-                .unwrap();
+            b.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5);
         }
-        g
+        b.build().unwrap()
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn can_prune_by_support(max_support_upper_bound: u32, k: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
+    use icde_graph::{VertexId, VertexSubset};
     use icde_truss::support::max_edge_support;
 
     #[test]
@@ -54,15 +54,13 @@ mod tests {
     fn never_false_dismisses_a_real_truss() {
         // Build a K5; its max edge support inside any region containing it is
         // 3, so the rule must keep every k <= 5.
-        let mut g = SocialNetwork::new();
-        for _ in 0..5 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(5);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
+        let g = b.build().unwrap();
         let region = VertexSubset::from_iter(g.vertices());
         let ub = max_edge_support(&g, &region);
         assert_eq!(ub, 3);

@@ -154,23 +154,23 @@ mod tests {
     /// * vertex 4 attached to 0,1,2 (forming a K5 minus edge 3-4) — keyword 2,
     /// * a far triangle {5,6,7} tagged keyword 1, connected to 3 by one edge.
     fn test_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
+        let mut b = icde_graph::GraphBuilder::new();
         for kw in [1u32, 1, 1, 1, 2, 1, 1, 1] {
-            g.add_vertex(KeywordSet::from_ids([kw]));
+            b.add_vertex(KeywordSet::from_ids([kw]));
         }
         for i in 0..4u32 {
             for j in (i + 1)..4 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.6).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.6);
             }
         }
         for n in [0u32, 1, 2] {
-            g.add_symmetric_edge(VertexId(4), VertexId(n), 0.6).unwrap();
+            b.add_symmetric_edge(VertexId(4), VertexId(n), 0.6);
         }
-        g.add_symmetric_edge(VertexId(3), VertexId(5), 0.6).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.6).unwrap();
-        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.6).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.6).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(3), VertexId(5), 0.6);
+        b.add_symmetric_edge(VertexId(5), VertexId(6), 0.6);
+        b.add_symmetric_edge(VertexId(6), VertexId(7), 0.6);
+        b.add_symmetric_edge(VertexId(5), VertexId(7), 0.6);
+        b.build().unwrap()
     }
 
     #[test]
@@ -223,8 +223,27 @@ mod tests {
 
     #[test]
     fn unreachable_or_low_support_centers_yield_none() {
-        let mut g = test_graph();
-        let isolated = g.add_vertex(KeywordSet::from_ids([1]));
+        // test_graph plus an isolated vertex 8
+        let g = {
+            let mut b = icde_graph::GraphBuilder::new();
+            for kw in [1u32, 1, 1, 1, 2, 1, 1, 1, 1] {
+                b.add_vertex(KeywordSet::from_ids([kw]));
+            }
+            for i in 0..4u32 {
+                for j in (i + 1)..4 {
+                    b.add_symmetric_edge(VertexId(i), VertexId(j), 0.6);
+                }
+            }
+            for n in [0u32, 1, 2] {
+                b.add_symmetric_edge(VertexId(4), VertexId(n), 0.6);
+            }
+            b.add_symmetric_edge(VertexId(3), VertexId(5), 0.6);
+            b.add_symmetric_edge(VertexId(5), VertexId(6), 0.6);
+            b.add_symmetric_edge(VertexId(6), VertexId(7), 0.6);
+            b.add_symmetric_edge(VertexId(5), VertexId(7), 0.6);
+            b.build().unwrap()
+        };
+        let isolated = VertexId(8);
         let q = KeywordSet::from_ids([1]);
         assert!(extract_seed_community(&g, isolated, 3, 2, &q).is_none());
         // support 5 exceeds anything in the graph (K4 edges only have 2

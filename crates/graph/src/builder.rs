@@ -1,20 +1,41 @@
-//! Fluent construction of [`SocialNetwork`] instances.
+//! Mutable accumulation side of the builder/frozen split.
 //!
-//! [`GraphBuilder`] buffers vertices and edges and performs validation only
-//! once at [`GraphBuilder::build`], which makes it convenient for tests,
-//! examples and file loaders that discover vertices lazily (an edge list can
-//! mention vertex 10 before vertices 0..9 were explicitly declared).
+//! [`GraphBuilder`] buffers vertices and edges in plain append-only vectors
+//! and freezes them into the CSR [`SocialNetwork`] in one
+//! [`GraphBuilder::build`] pass: validation, canonicalisation and a
+//! counting-sort CSR layout all happen **once**, instead of the seed store's
+//! per-edge sorted-insert memmoves (`O(deg)` per edge, quadratic per hub
+//! vertex at build time).
+//!
+//! The builder also answers the O(1) incremental queries the synthetic
+//! generators interleave with construction — [`degree`], [`contains_edge`],
+//! [`neighbor_ids`] — backed by a hash set of canonical endpoint pairs and an
+//! insertion-ordered adjacency mirror, so preferential attachment and
+//! triadic-closure loops never pay a sort until the final freeze.
+//!
+//! [`degree`]: GraphBuilder::degree
+//! [`contains_edge`]: GraphBuilder::contains_edge
+//! [`neighbor_ids`]: GraphBuilder::neighbor_ids
 
 use crate::error::{GraphError, GraphResult};
 use crate::graph::SocialNetwork;
 use crate::keywords::KeywordSet;
-use crate::types::{VertexId, Weight};
+use crate::types::{is_valid_probability, VertexId, Weight};
+use std::collections::HashSet;
 
 /// Incremental builder for [`SocialNetwork`].
 #[derive(Debug, Default, Clone)]
 pub struct GraphBuilder {
     keywords: Vec<KeywordSet>,
+    /// Buffered edges in insertion order (`EdgeId` = position after build).
     edges: Vec<(VertexId, VertexId, Weight, Weight)>,
+    /// Canonical `(lo, hi)` endpoint pairs of every buffered edge, for O(1)
+    /// duplicate checks during generation.
+    edge_set: HashSet<(u32, u32)>,
+    /// Unsorted adjacency mirror (neighbour ids only, insertion order); lets
+    /// generators query degrees and neighbourhoods mid-build without paying
+    /// sorted-insert costs.
+    adjacency: Vec<Vec<VertexId>>,
 }
 
 impl GraphBuilder {
@@ -27,7 +48,8 @@ impl GraphBuilder {
     pub fn with_vertices(n: usize) -> Self {
         GraphBuilder {
             keywords: vec![KeywordSet::new(); n],
-            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+            ..Default::default()
         }
     }
 
@@ -44,6 +66,7 @@ impl GraphBuilder {
     /// Adds a vertex with the given keyword set and returns its id.
     pub fn add_vertex(&mut self, keywords: KeywordSet) -> VertexId {
         self.keywords.push(keywords);
+        self.adjacency.push(Vec::new());
         VertexId::from_index(self.keywords.len() - 1)
     }
 
@@ -52,6 +75,7 @@ impl GraphBuilder {
     pub fn ensure_vertex(&mut self, v: VertexId) {
         if v.index() >= self.keywords.len() {
             self.keywords.resize(v.index() + 1, KeywordSet::new());
+            self.adjacency.resize(v.index() + 1, Vec::new());
         }
     }
 
@@ -65,11 +89,14 @@ impl GraphBuilder {
     }
 
     /// Buffers an undirected edge with distinct directed probabilities.
-    /// Unknown endpoints are created on the fly.
+    /// Unknown endpoints are created on the fly. Duplicates and self-loops
+    /// are *not* rejected here — [`GraphBuilder::build`] reports the first
+    /// offending edge for the whole batch (use
+    /// [`GraphBuilder::try_add_edge`] for duplicate-tolerant generation).
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, p_uv: Weight, p_vu: Weight) -> &mut Self {
         self.ensure_vertex(u);
         self.ensure_vertex(v);
-        self.edges.push((u, v, p_uv, p_vu));
+        self.record_edge(u, v, p_uv, p_vu);
         self
     }
 
@@ -78,19 +105,78 @@ impl GraphBuilder {
         self.add_edge(u, v, p, p)
     }
 
-    /// Validates the buffered structure and produces the final graph.
+    /// Adds an edge only if it is structurally admissible right now: both
+    /// endpoints distinct and not already connected. Returns whether the edge
+    /// was added. This is the generators' duplicate-tolerant insert (the seed
+    /// store's `add_edge(..).is_ok()` idiom) at O(1) instead of O(deg).
     ///
-    /// Duplicate edges (in either orientation) and self-loops are rejected
-    /// here so that callers get one error for the whole batch.
+    /// # Panics
+    /// Panics if a probability is invalid — generators draw from validated
+    /// ranges, so an invalid weight is a programming error, not data.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId, p_uv: Weight, p_vu: Weight) -> bool {
+        assert!(
+            is_valid_probability(p_uv) && is_valid_probability(p_vu),
+            "try_add_edge requires valid probabilities, got ({p_uv}, {p_vu})"
+        );
+        if u == v {
+            return false;
+        }
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        if self.contains_edge(u, v) {
+            return false;
+        }
+        self.record_edge(u, v, p_uv, p_vu);
+        true
+    }
+
+    /// Duplicate-tolerant symmetric insert; see [`GraphBuilder::try_add_edge`].
+    pub fn try_add_symmetric_edge(&mut self, u: VertexId, v: VertexId, p: Weight) -> bool {
+        self.try_add_edge(u, v, p, p)
+    }
+
+    fn record_edge(&mut self, u: VertexId, v: VertexId, p_uv: Weight, p_vu: Weight) {
+        self.edges.push((u, v, p_uv, p_vu));
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.edge_set.insert((lo.0, hi.0));
+        if u != v {
+            self.adjacency[u.index()].push(v);
+            self.adjacency[v.index()].push(u);
+        }
+    }
+
+    /// O(1) edge-membership test over the buffered structure.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.edge_set.contains(&(lo.0, hi.0))
+    }
+
+    /// Current degree of a buffered vertex (0 for unknown ids).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency.get(v.index()).map_or(0, Vec::len)
+    }
+
+    /// Neighbour ids of `v` in **insertion order** (unsorted — the CSR sort
+    /// happens once at [`GraphBuilder::build`]). Empty for unknown ids.
+    pub fn neighbor_ids(&self, v: VertexId) -> &[VertexId] {
+        self.adjacency.get(v.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over the buffered edges as canonical `(lo, hi)` endpoint
+    /// pairs in insertion order (the future edge-id order).
+    pub fn buffered_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .map(|&(u, v, _, _)| if u < v { (u, v) } else { (v, u) })
+    }
+
+    /// Validates the buffered structure and freezes it into the CSR store.
+    ///
+    /// Duplicate edges (in either orientation), self-loops and invalid
+    /// weights are rejected here, reporting the first offending edge in
+    /// insertion order, so callers get one error for the whole batch.
     pub fn build(self) -> GraphResult<SocialNetwork> {
-        let mut g = SocialNetwork::with_capacity(self.keywords.len(), self.edges.len());
-        for kw in self.keywords {
-            g.add_vertex(kw);
-        }
-        for (u, v, p_uv, p_vu) in self.edges {
-            g.add_edge(u, v, p_uv, p_vu)?;
-        }
-        Ok(g)
+        SocialNetwork::assemble(self.keywords, self.edges)
     }
 }
 
@@ -145,6 +231,13 @@ mod tests {
     }
 
     #[test]
+    fn invalid_weight_detected_at_build() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.add_edge(VertexId(0), VertexId(1), 1.5, 0.5);
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight { .. })));
+    }
+
+    #[test]
     fn set_keywords_requires_existing_vertex() {
         let mut b = GraphBuilder::with_vertices(1);
         assert!(b
@@ -153,5 +246,52 @@ mod tests {
         assert!(b.set_keywords(VertexId(7), KeywordSet::new()).is_err());
         let g = b.build().unwrap();
         assert!(g.keyword_set(VertexId(0)).contains(crate::Keyword(3)));
+    }
+
+    #[test]
+    fn try_add_skips_duplicates_and_self_loops() {
+        let mut b = GraphBuilder::with_vertices(3);
+        assert!(b.try_add_symmetric_edge(VertexId(0), VertexId(1), 0.5));
+        assert!(!b.try_add_symmetric_edge(VertexId(1), VertexId(0), 0.5));
+        assert!(!b.try_add_symmetric_edge(VertexId(2), VertexId(2), 0.5));
+        assert!(b.try_add_symmetric_edge(VertexId(1), VertexId(2), 0.5));
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn incremental_queries_track_buffered_structure() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_symmetric_edge(VertexId(2), VertexId(0), 0.5);
+        b.add_symmetric_edge(VertexId(2), VertexId(3), 0.5);
+        assert_eq!(b.degree(VertexId(2)), 2);
+        assert_eq!(b.degree(VertexId(1)), 0);
+        assert_eq!(b.degree(VertexId(9)), 0);
+        assert!(b.contains_edge(VertexId(0), VertexId(2)));
+        assert!(!b.contains_edge(VertexId(0), VertexId(3)));
+        // insertion order, not sorted
+        assert_eq!(b.neighbor_ids(VertexId(2)), &[VertexId(0), VertexId(3)]);
+        let canonical: Vec<_> = b.buffered_edges().collect();
+        assert_eq!(
+            canonical,
+            vec![(VertexId(0), VertexId(2)), (VertexId(2), VertexId(3))]
+        );
+    }
+
+    #[test]
+    fn frozen_edge_ids_follow_insertion_order() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_symmetric_edge(VertexId(3), VertexId(1), 0.5);
+        b.add_symmetric_edge(VertexId(0), VertexId(2), 0.6);
+        let g = b.build().unwrap();
+        assert_eq!(
+            g.edge_endpoints(crate::EdgeId(0)),
+            (VertexId(1), VertexId(3))
+        );
+        assert_eq!(
+            g.edge_endpoints(crate::EdgeId(1)),
+            (VertexId(0), VertexId(2))
+        );
     }
 }

@@ -14,8 +14,8 @@
 //! triangle, as category-mates tend to be co-purchased together).
 
 use super::dblp_like::connect_isolated_vertices;
+use crate::builder::GraphBuilder;
 use crate::graph::SocialNetwork;
-use crate::keywords::KeywordSet;
 use crate::types::VertexId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -60,24 +60,21 @@ pub fn amazon_like<R: Rng>(config: &AmazonLikeConfig, rng: &mut R) -> SocialNetw
         config.triadic_closure_probability
     );
 
-    let mut g = SocialNetwork::with_capacity(n, n * m);
-    for _ in 0..n {
-        g.add_vertex(KeywordSet::new());
-    }
+    let mut b = GraphBuilder::with_vertices(n);
 
     // Seed core: a small clique so early attachments have targets and the
     // graph contains triangles from the start.
     let core = (m + 1).min(n);
     for i in 0..core {
         for j in (i + 1)..core {
-            let _ = g.add_symmetric_edge(VertexId::from_index(i), VertexId::from_index(j), 0.5);
+            b.try_add_symmetric_edge(VertexId::from_index(i), VertexId::from_index(j), 0.5);
         }
     }
 
     // `attachment_pool` holds one entry per edge endpoint, so sampling from
     // it is degree-proportional (the classic Barabási–Albert trick).
     let mut attachment_pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
-    for (_, u, v) in g.edges() {
+    for (u, v) in b.buffered_edges() {
         attachment_pool.push(u);
         attachment_pool.push(v);
     }
@@ -89,26 +86,28 @@ pub fn amazon_like<R: Rng>(config: &AmazonLikeConfig, rng: &mut R) -> SocialNetw
         while added < m && guard < m * 20 {
             guard += 1;
             let target = attachment_pool[rng.gen_range(0..attachment_pool.len())];
-            if target == v || g.contains_edge(v, target) {
+            if target == v || !b.try_add_symmetric_edge(v, target, 0.5) {
                 continue;
             }
-            g.add_symmetric_edge(v, target, 0.5).expect("validated");
             attachment_pool.push(v);
             attachment_pool.push(target);
             added += 1;
 
             // Triadic closure: also co-purchase one of the target's existing
-            // neighbours, creating a triangle v-target-w.
+            // neighbours, creating a triangle v-target-w. The builder mirror
+            // is insertion-ordered, so sort to keep the RNG-indexed pick
+            // identical to the seed store's ascending neighbour lists.
             if rng.gen_bool(config.triadic_closure_probability) {
-                let neighbors: Vec<VertexId> = g
-                    .neighbors(target)
-                    .map(|(w, _)| w)
+                let mut neighbors: Vec<VertexId> = b
+                    .neighbor_ids(target)
+                    .iter()
+                    .copied()
                     .filter(|w| *w != v)
                     .collect();
+                neighbors.sort_unstable();
                 if !neighbors.is_empty() {
                     let w = neighbors[rng.gen_range(0..neighbors.len())];
-                    if !g.contains_edge(v, w) {
-                        g.add_symmetric_edge(v, w, 0.5).expect("validated");
+                    if b.try_add_symmetric_edge(v, w, 0.5) {
                         attachment_pool.push(v);
                         attachment_pool.push(w);
                     }
@@ -117,8 +116,8 @@ pub fn amazon_like<R: Rng>(config: &AmazonLikeConfig, rng: &mut R) -> SocialNetw
         }
     }
 
-    connect_isolated_vertices(&mut g, rng);
-    g
+    connect_isolated_vertices(&mut b, rng);
+    b.build().expect("generator buffers only admissible edges")
 }
 
 #[cfg(test)]

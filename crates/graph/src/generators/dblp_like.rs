@@ -12,8 +12,8 @@
 //! the id space (research communities) with occasional cross-community
 //! collaborations, and inserts a clique over each author list.
 
+use crate::builder::GraphBuilder;
 use crate::graph::SocialNetwork;
-use crate::keywords::KeywordSet;
 use crate::types::VertexId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -75,10 +75,7 @@ pub fn dblp_like<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> SocialNetwork 
         config.cross_community_probability
     );
 
-    let mut g = SocialNetwork::with_capacity(n, (n as f64 * 3.5) as usize);
-    for _ in 0..n {
-        g.add_vertex(KeywordSet::new());
-    }
+    let mut b = GraphBuilder::with_vertices(n);
 
     let avg_authors = (config.min_authors + config.max_authors) as f64 / 2.0;
     let num_papers = ((n as f64 * config.papers_per_author) / avg_authors).ceil() as usize;
@@ -111,29 +108,29 @@ pub fn dblp_like<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> SocialNetwork 
         // Clique over the author list: co-authorship connects every pair.
         for i in 0..authors.len() {
             for j in (i + 1)..authors.len() {
-                let _ = g.add_symmetric_edge(authors[i], authors[j], 0.5);
+                b.try_add_symmetric_edge(authors[i], authors[j], 0.5);
             }
         }
     }
 
-    connect_isolated_vertices(&mut g, rng);
-    g
+    connect_isolated_vertices(&mut b, rng);
+    b.build().expect("generator buffers only admissible edges")
 }
 
 /// Ensures no vertex is left isolated (the paper's social network is
 /// connected); every isolated vertex is attached to a random neighbour.
-pub(crate) fn connect_isolated_vertices<R: Rng>(g: &mut SocialNetwork, rng: &mut R) {
-    let n = g.num_vertices();
+pub(crate) fn connect_isolated_vertices<R: Rng>(b: &mut GraphBuilder, rng: &mut R) {
+    let n = b.num_vertices();
     if n < 2 {
         return;
     }
     for i in 0..n {
         let v = VertexId::from_index(i);
-        if g.degree(v) == 0 {
+        if b.degree(v) == 0 {
             loop {
                 let other = VertexId::from_index(rng.gen_range(0..n));
                 if other != v {
-                    let _ = g.add_symmetric_edge(v, other, 0.5);
+                    b.try_add_symmetric_edge(v, other, 0.5);
                     break;
                 }
             }

@@ -147,6 +147,74 @@ impl DatasetSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// FNV-1a structural fingerprint: vertex count, keyword sets, and the
+    /// edge table in id order with both directed weights.
+    fn fingerprint(g: &SocialNetwork) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&(g.num_vertices() as u64).to_le_bytes());
+        eat(&(g.num_edges() as u64).to_le_bytes());
+        for v in g.vertices() {
+            for kw in g.keyword_set(v).iter() {
+                eat(&kw.0.to_le_bytes());
+            }
+        }
+        for (e, u, v) in g.edges() {
+            eat(&u.0.to_le_bytes());
+            eat(&v.0.to_le_bytes());
+            eat(&g.directed_weight(e, u).to_bits().to_le_bytes());
+            eat(&g.directed_weight(e, v).to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    /// The batch-builder construction path must reproduce the seed
+    /// adjacency-list implementation bit for bit: same RNG stream, same edge
+    /// ids, same weights and keywords. Expected hashes were captured from the
+    /// pre-refactor (PR-1) implementation for these exact seeds.
+    #[test]
+    fn generators_match_seed_output_for_fixed_seed() {
+        let g = small_world(
+            &SmallWorldConfig::paper_default(2000),
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(fingerprint(&g), 0x9adf96b30aeb79dc, "small_world drifted");
+        let g = dblp_like(
+            &DblpLikeConfig::with_vertices(2000),
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(fingerprint(&g), 0xe59af7a5cb6ab189, "dblp_like drifted");
+        let g = amazon_like(
+            &AmazonLikeConfig::with_vertices(2000),
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(fingerprint(&g), 0xdebd1d30026d8595, "amazon_like drifted");
+    }
+
+    /// Full `DatasetSpec::generate` pipeline (topology + weights + keywords)
+    /// against pre-refactor hashes, one per dataset family.
+    #[test]
+    fn dataset_specs_match_seed_output_for_fixed_seed() {
+        let expected: [(DatasetKind, u64); 5] = [
+            (DatasetKind::DblpLike, 0x581e4f1bbf5d4504),
+            (DatasetKind::AmazonLike, 0xc14b77515e6994a8),
+            (DatasetKind::Uniform, 0x3ba0c98fded1bf71),
+            (DatasetKind::Gaussian, 0x78aeb99a81bc7bcf),
+            (DatasetKind::Zipf, 0x479783b531d1f46c),
+        ];
+        for (kind, hash) in expected {
+            let g = DatasetSpec::new(kind, 1500, 7).generate();
+            assert_eq!(fingerprint(&g), hash, "{kind:?} drifted from seed output");
+        }
+    }
 
     #[test]
     fn spec_generates_deterministically() {

@@ -8,8 +8,8 @@
 //!
 //! Edge weights are assigned separately (see [`super::weights`]).
 
+use crate::builder::GraphBuilder;
 use crate::graph::SocialNetwork;
-use crate::keywords::KeywordSet;
 use crate::types::VertexId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -58,10 +58,7 @@ pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetw
         config.shortcut_probability
     );
 
-    let mut g = SocialNetwork::with_capacity(n, n * m / 2);
-    for _ in 0..n {
-        g.add_vertex(KeywordSet::new());
-    }
+    let mut b = GraphBuilder::with_vertices(n);
 
     // Ring lattice: connect each vertex to the next m/2 vertices around the
     // ring (covering m neighbours in total once both directions are counted).
@@ -72,7 +69,7 @@ pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetw
             let j = (i + offset) % n;
             let u = VertexId::from_index(i);
             let v = VertexId::from_index(j);
-            if g.add_symmetric_edge(u, v, 0.5).is_ok() {
+            if b.try_add_symmetric_edge(u, v, 0.5) {
                 ring_edges.push((u, v));
             }
         }
@@ -86,15 +83,15 @@ pub fn small_world<R: Rng>(config: &SmallWorldConfig, rng: &mut R) -> SocialNetw
             // µ·|ring edges| even when collisions occur.
             for _ in 0..8 {
                 let w = VertexId::from_index(rng.gen_range(0..n));
-                if w != u && !g.contains_edge(u, w) {
-                    g.add_symmetric_edge(u, w, 0.5)
-                        .expect("validated before insertion");
+                if w != u && !b.contains_edge(u, w) {
+                    let added = b.try_add_symmetric_edge(u, w, 0.5);
+                    debug_assert!(added, "checked before insertion");
                     break;
                 }
             }
         }
     }
-    g
+    b.build().expect("generator buffers only admissible edges")
 }
 
 #[cfg(test)]

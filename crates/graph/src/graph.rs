@@ -6,21 +6,55 @@
 //! probabilities `p_{u,v}` (u activates v) and `p_{v,u}` (v activates u) used
 //! by the MIA propagation model. Each vertex carries a keyword set `v_i.W`.
 //!
-//! Internally the graph is stored as sorted adjacency lists over dense vertex
-//! ids plus a canonical edge table (each undirected edge appears once with
-//! `u < v`), which gives `O(log deg)` edge lookups and lets edge-indexed data
-//! (supports, trussness) live in flat vectors.
+//! # Frozen CSR layout
+//!
+//! The store is **immutable in structure**: it is produced in one shot by the
+//! mutable [`crate::builder::GraphBuilder`] (or the I/O loaders) and lays the
+//! adjacency out in compressed-sparse-row form —
+//!
+//! * `offsets: Vec<u32>` of length `n + 1`, and
+//! * one flat `csr: Vec<(VertexId, EdgeId)>` of length `2m` holding every
+//!   vertex's neighbour list back to back, sorted by neighbour id.
+//!
+//! [`SocialNetwork::neighbors`] therefore returns a contiguous
+//! `&[(VertexId, EdgeId)]` slice (one pointer add, no nested-`Vec`
+//! indirection), [`SocialNetwork::degree`] is an offset subtraction, and
+//! [`SocialNetwork::edge_between`] is a binary search of the slice. Edge- and
+//! vertex-indexed attributes (directed weights, keyword sets) live in
+//! parallel flat vectors addressed by [`EdgeId`] / [`VertexId`].
+//!
+//! Only *attributes* stay mutable after freezing ([`set_edge_weights`],
+//! [`set_keyword_set`]): the generators draw weights and keywords after the
+//! topology is fixed, and neither touches the CSR arrays. Structural updates
+//! go through the rebuild helpers [`SocialNetwork::with_edge_inserted`] /
+//! [`SocialNetwork::with_edge_removed`] used by incremental index
+//! maintenance.
+//!
+//! [`set_edge_weights`]: SocialNetwork::set_edge_weights
+//! [`set_keyword_set`]: SocialNetwork::set_keyword_set
 
 use crate::error::{GraphError, GraphResult};
 use crate::keywords::KeywordSet;
 use crate::types::{is_valid_probability, EdgeId, VertexId, Weight};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashSet;
 
-/// An attributed, undirected, weighted social network (Definition 1).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Persisted snapshot format version written by [`Serialize`]; version 1 (the
+/// PR-1 adjacency-list layout, no `format_version` field) is still accepted on
+/// read. See [`crate::io`] for the format documentation.
+pub const GRAPH_FORMAT_VERSION: u32 = 2;
+
+/// An attributed, undirected, weighted social network (Definition 1), frozen
+/// into a flat CSR store. Construct one through
+/// [`crate::builder::GraphBuilder`].
+#[derive(Debug, Clone)]
 pub struct SocialNetwork {
-    /// `adjacency[v]` — sorted list of `(neighbour, edge id)` pairs.
-    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    /// CSR row offsets: the neighbours of `v` live in
+    /// `csr[offsets[v] .. offsets[v + 1]]`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Packed `(neighbour, edge id)` pairs, sorted by neighbour id within each
+    /// vertex's row. Length `2m`.
+    csr: Vec<(VertexId, EdgeId)>,
     /// Canonical edge table: `edges[e] = (u, v)` with `u < v`.
     edges: Vec<(VertexId, VertexId)>,
     /// Directed activation probability `p_{u,v}` for the canonical direction
@@ -32,27 +66,113 @@ pub struct SocialNetwork {
     keywords: Vec<KeywordSet>,
 }
 
+impl Default for SocialNetwork {
+    fn default() -> Self {
+        SocialNetwork {
+            offsets: vec![0],
+            csr: Vec::new(),
+            edges: Vec::new(),
+            weight_forward: Vec::new(),
+            weight_backward: Vec::new(),
+            keywords: Vec::new(),
+        }
+    }
+}
+
+/// Builds the CSR arrays for `n` vertices from a canonical edge table with a
+/// counting sort: one pass to count degrees, a prefix sum for the offsets,
+/// one pass to scatter, and a per-row sort by neighbour id.
+pub(crate) fn build_csr(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+) -> (Vec<u32>, Vec<(VertexId, EdgeId)>) {
+    let mut offsets = vec![0u32; n + 1];
+    for &(u, v) in edges {
+        offsets[u.index() + 1] += 1;
+        offsets[v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut csr = vec![(VertexId(0), EdgeId(0)); 2 * edges.len()];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let e = EdgeId::from_index(i);
+        csr[cursor[u.index()] as usize] = (v, e);
+        cursor[u.index()] += 1;
+        csr[cursor[v.index()] as usize] = (u, e);
+        cursor[v.index()] += 1;
+    }
+    for v in 0..n {
+        csr[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable_by_key(|&(w, _)| w);
+    }
+    (offsets, csr)
+}
+
 impl SocialNetwork {
-    /// Creates an empty network.
+    /// Creates an empty (zero-vertex) frozen network.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates an empty network with capacity hints.
-    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
-        SocialNetwork {
-            adjacency: Vec::with_capacity(vertices),
-            edges: Vec::with_capacity(edges),
-            weight_forward: Vec::with_capacity(edges),
-            weight_backward: Vec::with_capacity(edges),
-            keywords: Vec::with_capacity(vertices),
+    /// Validates an in-insertion-order edge table against `keywords.len()`
+    /// vertices and freezes it into a CSR store. Edge `i` of the table gets
+    /// [`EdgeId`] `i`; endpoints are canonicalised to `u < v` and the directed
+    /// weights follow. This is the single construction path shared by the
+    /// builder, the snapshot loaders and the structural-update helpers.
+    pub(crate) fn assemble(
+        keywords: Vec<KeywordSet>,
+        edge_table: Vec<(VertexId, VertexId, Weight, Weight)>,
+    ) -> GraphResult<Self> {
+        let n = keywords.len();
+        let mut edges = Vec::with_capacity(edge_table.len());
+        let mut weight_forward = Vec::with_capacity(edge_table.len());
+        let mut weight_backward = Vec::with_capacity(edge_table.len());
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edge_table.len());
+        for (u, v, p_uv, p_vu) in edge_table {
+            if u.index() >= n {
+                return Err(GraphError::UnknownVertex(u));
+            }
+            if v.index() >= n {
+                return Err(GraphError::UnknownVertex(v));
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            if !is_valid_probability(p_uv) {
+                return Err(GraphError::InvalidWeight { u, v, weight: p_uv });
+            }
+            if !is_valid_probability(p_vu) {
+                return Err(GraphError::InvalidWeight {
+                    u: v,
+                    v: u,
+                    weight: p_vu,
+                });
+            }
+            let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert((lo.0, hi.0)) {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+            let (p_lo_hi, p_hi_lo) = if u < v { (p_uv, p_vu) } else { (p_vu, p_uv) };
+            edges.push((lo, hi));
+            weight_forward.push(p_lo_hi);
+            weight_backward.push(p_hi_lo);
         }
+        let (offsets, csr) = build_csr(n, &edges);
+        Ok(SocialNetwork {
+            offsets,
+            csr,
+            edges,
+            weight_forward,
+            weight_backward,
+            keywords,
+        })
     }
 
     /// Number of vertices `|V(G)|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adjacency.len()
+        self.keywords.len()
     }
 
     /// Number of undirected edges `|E(G)|`.
@@ -63,18 +183,18 @@ impl SocialNetwork {
 
     /// Returns `true` if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.keywords.is_empty()
     }
 
     /// Returns `true` if `v` is a valid vertex id of this graph.
     #[inline]
     pub fn contains_vertex(&self, v: VertexId) -> bool {
-        v.index() < self.adjacency.len()
+        v.index() < self.keywords.len()
     }
 
     /// Iterates over all vertex ids `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.adjacency.len()).map(VertexId::from_index)
+        (0..self.keywords.len()).map(VertexId::from_index)
     }
 
     /// Iterates over the canonical edge table as `(edge id, u, v)` with `u < v`.
@@ -85,84 +205,21 @@ impl SocialNetwork {
             .map(|(i, &(u, v))| (EdgeId::from_index(i), u, v))
     }
 
-    /// Adds an isolated vertex with the given keyword set and returns its id.
-    pub fn add_vertex(&mut self, keywords: KeywordSet) -> VertexId {
-        let id = VertexId::from_index(self.adjacency.len());
-        self.adjacency.push(Vec::new());
-        self.keywords.push(keywords);
-        id
-    }
-
-    /// Adds an undirected edge `{u, v}` with directed activation
-    /// probabilities `p_uv` (u activates v) and `p_vu` (v activates u).
-    ///
-    /// Returns the new edge id or an error if the edge is invalid
-    /// (unknown endpoint, self-loop, duplicate, or out-of-range weight).
-    pub fn add_edge(
-        &mut self,
-        u: VertexId,
-        v: VertexId,
-        p_uv: Weight,
-        p_vu: Weight,
-    ) -> GraphResult<EdgeId> {
-        if !self.contains_vertex(u) {
-            return Err(GraphError::UnknownVertex(u));
-        }
-        if !self.contains_vertex(v) {
-            return Err(GraphError::UnknownVertex(v));
-        }
-        if u == v {
-            return Err(GraphError::SelfLoop(u));
-        }
-        if !is_valid_probability(p_uv) {
-            return Err(GraphError::InvalidWeight { u, v, weight: p_uv });
-        }
-        if !is_valid_probability(p_vu) {
-            return Err(GraphError::InvalidWeight {
-                u: v,
-                v: u,
-                weight: p_vu,
-            });
-        }
-        if self.edge_between(u, v).is_some() {
-            return Err(GraphError::DuplicateEdge(u, v));
-        }
-        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-        let (p_lo_hi, p_hi_lo) = if u < v { (p_uv, p_vu) } else { (p_vu, p_uv) };
-        let eid = EdgeId::from_index(self.edges.len());
-        self.edges.push((lo, hi));
-        self.weight_forward.push(p_lo_hi);
-        self.weight_backward.push(p_hi_lo);
-        Self::insert_sorted(&mut self.adjacency[u.index()], (v, eid));
-        Self::insert_sorted(&mut self.adjacency[v.index()], (u, eid));
-        Ok(eid)
-    }
-
-    /// Adds an undirected edge with the same activation probability in both
-    /// directions (the synthetic generators in the paper draw a single weight
-    /// per edge).
-    pub fn add_symmetric_edge(
-        &mut self,
-        u: VertexId,
-        v: VertexId,
-        p: Weight,
-    ) -> GraphResult<EdgeId> {
-        self.add_edge(u, v, p, p)
-    }
-
-    fn insert_sorted(list: &mut Vec<(VertexId, EdgeId)>, entry: (VertexId, EdgeId)) {
-        match list.binary_search_by_key(&entry.0, |&(n, _)| n) {
-            Ok(_) => unreachable!("duplicate edges are rejected before insertion"),
-            Err(pos) => list.insert(pos, entry),
-        }
-    }
-
-    /// Returns the edge id between `u` and `v`, if any.
+    /// Returns the edge id between `u` and `v`, if any (binary search of the
+    /// shorter neighbour slice).
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        let list = self.adjacency.get(u.index())?;
-        list.binary_search_by_key(&v, |&(n, _)| n)
+        if !self.contains_vertex(u) || !self.contains_vertex(v) {
+            return None;
+        }
+        let (probe, key) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let row = self.neighbors(probe);
+        row.binary_search_by_key(&key, |&(n, _)| n)
             .ok()
-            .map(|pos| list[pos].1)
+            .map(|pos| row[pos].1)
     }
 
     /// Returns `true` if `{u, v}` is an edge.
@@ -171,6 +228,7 @@ impl SocialNetwork {
     }
 
     /// Returns the canonical endpoints `(u, v)` with `u < v` of an edge.
+    #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
         self.edges[e.index()]
     }
@@ -197,16 +255,16 @@ impl SocialNetwork {
         }
     }
 
-    /// Degree of a vertex.
+    /// Degree of a vertex (one offset subtraction).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Average degree over all vertices (`avg_deg` in the complexity
     /// analyses), 0.0 for the empty graph.
     pub fn average_degree(&self) -> f64 {
-        if self.adjacency.is_empty() {
+        if self.keywords.is_empty() {
             0.0
         } else {
             2.0 * self.num_edges() as f64 / self.num_vertices() as f64
@@ -215,29 +273,27 @@ impl SocialNetwork {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Iterates over the neighbours of `v` as `(neighbour, edge id)` in
-    /// ascending neighbour order.
+    /// The neighbours of `v` as a contiguous slice of `(neighbour, edge id)`
+    /// pairs in ascending neighbour order, backed by the single CSR
+    /// allocation.
     #[inline]
-    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.adjacency[v.index()].iter().copied()
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.csr[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// Iterates over the neighbours of `v` together with the *outgoing*
     /// activation probability `p_{v→n}`.
     pub fn outgoing(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.adjacency[v.index()]
+        self.neighbors(v)
             .iter()
             .map(move |&(n, e)| (n, self.directed_weight(e, v)))
-    }
-
-    /// Returns the sorted neighbour list of `v` as a slice of
-    /// `(neighbour, edge id)` pairs.
-    #[inline]
-    pub fn neighbor_slice(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        &self.adjacency[v.index()]
     }
 
     /// Keyword set `v.W` of a vertex.
@@ -247,12 +303,14 @@ impl SocialNetwork {
     }
 
     /// Replaces the keyword set of a vertex (used by the generators when
-    /// keywords are assigned after the topology is built).
+    /// keywords are assigned after the topology is frozen; attribute-only,
+    /// the CSR structure is untouched).
     pub fn set_keyword_set(&mut self, v: VertexId, keywords: KeywordSet) {
         self.keywords[v.index()] = keywords;
     }
 
-    /// Overwrites both directed weights of an existing edge.
+    /// Overwrites both directed weights of an existing edge (attribute-only,
+    /// the CSR structure is untouched).
     pub fn set_edge_weights(
         &mut self,
         e: EdgeId,
@@ -279,63 +337,260 @@ impl SocialNetwork {
         Ok(())
     }
 
+    /// Rebuilds the frozen store with one additional edge `{u, v}` (the
+    /// incremental-maintenance insert path). Existing edge ids are preserved;
+    /// the new edge receives id `m`. `O(n + m)` — cheap next to the index
+    /// refresh that follows it.
+    pub fn with_edge_inserted(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        p_uv: Weight,
+        p_vu: Weight,
+    ) -> GraphResult<SocialNetwork> {
+        if !self.contains_vertex(u) {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if self.contains_edge(u, v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let mut table = self.edge_table();
+        table.push((u, v, p_uv, p_vu));
+        Self::assemble(self.keywords.clone(), table)
+    }
+
+    /// Rebuilds the frozen store without the edge `{u, v}` (the
+    /// incremental-maintenance delete path). Edge ids **above the removed
+    /// edge shift down by one**; edge-indexed side data must be recomputed
+    /// (incremental maintenance refreshes supports from scratch anyway).
+    /// Returns the rebuilt graph and the id the removed edge had.
+    pub fn with_edge_removed(
+        &self,
+        u: VertexId,
+        v: VertexId,
+    ) -> GraphResult<(SocialNetwork, EdgeId)> {
+        let removed = self
+            .edge_between(u, v)
+            .ok_or(GraphError::MissingEdge(u, v))?;
+        let mut table = self.edge_table();
+        table.remove(removed.index());
+        let rebuilt = Self::assemble(self.keywords.clone(), table)?;
+        Ok((rebuilt, removed))
+    }
+
+    /// The canonical edge table with weights, in edge-id order (the builder's
+    /// view of this graph; also used by the snapshot writer).
+    fn edge_table(&self) -> Vec<(VertexId, VertexId, Weight, Weight)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, self.weight_forward[i], self.weight_backward[i]))
+            .collect()
+    }
+
     /// Counts the number of common neighbours of `u` and `v` (the number of
     /// triangles through the edge `{u, v}` when they are adjacent).
     ///
-    /// Linear merge over the two sorted adjacency lists.
+    /// Linear merge over the two sorted CSR slices.
     pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
-        let a = &self.adjacency[u.index()];
-        let b = &self.adjacency[v.index()];
-        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        merge_count(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Counts common neighbours of `u` and `v` with id strictly greater than
+    /// `floor` — the ordered-enumeration primitive of triangle counting
+    /// (count each triangle `{a < b < c}` at its smallest edge). Binary
+    /// searches skip both slices to `floor` before merging.
+    pub fn common_neighbor_count_above(&self, u: VertexId, v: VertexId, floor: VertexId) -> usize {
+        let a = self.neighbors(u);
+        let b = self.neighbors(v);
+        let ai = a.partition_point(|&(n, _)| n <= floor);
+        let bi = b.partition_point(|&(n, _)| n <= floor);
+        merge_count(&a[ai..], &b[bi..])
     }
 
     /// Collects the common neighbours of `u` and `v`.
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
-        let a = &self.adjacency[u.index()];
-        let b = &self.adjacency[v.index()];
-        let (mut i, mut j) = (0usize, 0usize);
         let mut out = Vec::new();
+        self.for_each_common_neighbor(u, v, |w, _, _| out.push(w));
+        out
+    }
+
+    /// Visits every common neighbour `w` of `u` and `v` together with the
+    /// connecting edge ids `(w, e_{u,w}, e_{v,w})` in one merge — the peeling
+    /// loops use this to avoid two extra `edge_between` binary searches per
+    /// triangle.
+    pub fn for_each_common_neighbor<F: FnMut(VertexId, EdgeId, EdgeId)>(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        mut f: F,
+    ) {
+        let a = self.neighbors(u);
+        let b = self.neighbors(v);
+        let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
             match a[i].0.cmp(&b[j].0) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(a[i].0);
+                    f(a[i].0, a[i].1, b[j].1);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out
+    }
+}
+
+/// Counts matching neighbour ids in a merge over two sorted CSR slices.
+fn merge_count(a: &[(VertexId, EdgeId)], b: &[(VertexId, EdgeId)]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Versioned persistence
+// ---------------------------------------------------------------------------
+
+/// Serialises as the **version-2 snapshot**: the canonical edge table plus
+/// attributes. The CSR arrays are derived data and are rebuilt on load, which
+/// keeps snapshots smaller than the PR-1 layout (no redundant adjacency) and
+/// makes it impossible for a hand-edited file to desynchronise adjacency from
+/// the edge table.
+impl Serialize for SocialNetwork {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "format_version".to_string(),
+                Value::UInt(u64::from(GRAPH_FORMAT_VERSION)),
+            ),
+            (
+                "num_vertices".to_string(),
+                Value::UInt(self.num_vertices() as u64),
+            ),
+            ("edges".to_string(), self.edges.to_value()),
+            ("weight_forward".to_string(), self.weight_forward.to_value()),
+            (
+                "weight_backward".to_string(),
+                self.weight_backward.to_value(),
+            ),
+            ("keywords".to_string(), self.keywords.to_value()),
+        ])
+    }
+}
+
+/// Accepts both snapshot versions:
+///
+/// * **v2** (`format_version: 2`) — edge table + attributes, CSR rebuilt,
+/// * **v1** (`format_version: 1` or no marker field, has `adjacency`) — the
+///   PR-1 adjacency-list layout; the stored adjacency is ignored and rebuilt
+///   from the edge table.
+impl Deserialize for SocialNetwork {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let version = match v.get("format_version") {
+            Some(raw) => Some(
+                u32::from_value(raw)
+                    .map_err(|e| DeError(format!("SocialNetwork.format_version: {e}")))?,
+            ),
+            // PR-1 snapshots carry no marker field; the adjacency-list layout
+            // identifies them.
+            None if v.get("adjacency").is_some() => Some(1),
+            None => None,
+        };
+        let (num_vertices, edges, weight_forward, weight_backward, keywords) = match version {
+            Some(2) => (
+                serde::__de_field::<u64>(v, "SocialNetwork", "num_vertices")? as usize,
+                serde::__de_field::<Vec<(VertexId, VertexId)>>(v, "SocialNetwork", "edges")?,
+                serde::__de_field::<Vec<f64>>(v, "SocialNetwork", "weight_forward")?,
+                serde::__de_field::<Vec<f64>>(v, "SocialNetwork", "weight_backward")?,
+                serde::__de_field::<Vec<KeywordSet>>(v, "SocialNetwork", "keywords")?,
+            ),
+            Some(1) => {
+                // v1: vertex count comes from the adjacency-list length.
+                let n = match v.get("adjacency") {
+                    Some(Value::Array(rows)) => rows.len(),
+                    Some(other) => return Err(DeError::expected("array", other)),
+                    None => {
+                        return Err(DeError(
+                            "SocialNetwork: format_version 1 snapshot without adjacency"
+                                .to_string(),
+                        ))
+                    }
+                };
+                (
+                    n,
+                    serde::__de_field::<Vec<(VertexId, VertexId)>>(v, "SocialNetwork", "edges")?,
+                    serde::__de_field::<Vec<f64>>(v, "SocialNetwork", "weight_forward")?,
+                    serde::__de_field::<Vec<f64>>(v, "SocialNetwork", "weight_backward")?,
+                    serde::__de_field::<Vec<KeywordSet>>(v, "SocialNetwork", "keywords")?,
+                )
+            }
+            Some(version) => {
+                return Err(DeError(format!(
+                    "unsupported graph format_version {version} (this build reads \
+                     versions 1–{GRAPH_FORMAT_VERSION})"
+                )))
+            }
+            None => {
+                return Err(DeError(
+                    "SocialNetwork: neither format_version (v2) nor adjacency (v1) present"
+                        .to_string(),
+                ))
+            }
+        };
+        if keywords.len() != num_vertices {
+            return Err(DeError(format!(
+                "SocialNetwork: {} keyword sets for {num_vertices} vertices",
+                keywords.len()
+            )));
+        }
+        if edges.len() != weight_forward.len() || edges.len() != weight_backward.len() {
+            return Err(DeError(format!(
+                "SocialNetwork: {} edges but {}/{} directed weights",
+                edges.len(),
+                weight_forward.len(),
+                weight_backward.len()
+            )));
+        }
+        let table = edges
+            .into_iter()
+            .zip(weight_forward.into_iter().zip(weight_backward))
+            .map(|((u, v), (wf, wb))| (u, v, wf, wb))
+            .collect();
+        SocialNetwork::assemble(keywords, table)
+            .map_err(|e| DeError(format!("SocialNetwork: invalid snapshot: {e}")))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GraphBuilder;
     use crate::keywords::KeywordSet;
 
     fn triangle() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        let a = g.add_vertex(KeywordSet::from_ids([1]));
-        let b = g.add_vertex(KeywordSet::from_ids([1, 2]));
-        let c = g.add_vertex(KeywordSet::from_ids([2]));
-        g.add_edge(a, b, 0.8, 0.7).unwrap();
-        g.add_edge(b, c, 0.6, 0.5).unwrap();
-        g.add_edge(a, c, 0.9, 0.9).unwrap();
-        g
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(KeywordSet::from_ids([1]));
+        let bb = b.add_vertex(KeywordSet::from_ids([1, 2]));
+        let c = b.add_vertex(KeywordSet::from_ids([2]));
+        b.add_edge(a, bb, 0.8, 0.7);
+        b.add_edge(bb, c, 0.6, 0.5);
+        b.add_edge(a, c, 0.9, 0.9);
+        b.build().unwrap()
     }
 
     #[test]
@@ -349,7 +604,7 @@ mod tests {
     }
 
     #[test]
-    fn add_vertices_and_edges() {
+    fn freeze_builds_csr() {
         let g = triangle();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
@@ -359,6 +614,24 @@ mod tests {
         assert!(g.contains_edge(VertexId(0), VertexId(1)));
         assert!(g.contains_edge(VertexId(1), VertexId(0)));
         assert!(!g.contains_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn neighbor_slices_are_sorted_and_contiguous() {
+        let g = triangle();
+        // the three rows tile the single CSR allocation end to end
+        let base = g.csr.as_ptr();
+        let mut expected_offset = 0usize;
+        for v in g.vertices() {
+            let row = g.neighbors(v);
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row sorted");
+            assert_eq!(
+                row.as_ptr() as usize - base as usize,
+                expected_offset * std::mem::size_of::<(VertexId, EdgeId)>()
+            );
+            expected_offset += row.len();
+        }
+        assert_eq!(expected_offset, 2 * g.num_edges());
     }
 
     #[test]
@@ -386,38 +659,15 @@ mod tests {
     }
 
     #[test]
-    fn rejects_invalid_edges() {
-        let mut g = SocialNetwork::new();
-        let a = g.add_vertex(KeywordSet::new());
-        let b = g.add_vertex(KeywordSet::new());
-        assert!(matches!(
-            g.add_edge(a, VertexId(9), 0.5, 0.5),
-            Err(GraphError::UnknownVertex(_))
-        ));
-        assert!(matches!(
-            g.add_edge(a, a, 0.5, 0.5),
-            Err(GraphError::SelfLoop(_))
-        ));
-        assert!(matches!(
-            g.add_edge(a, b, 1.5, 0.5),
-            Err(GraphError::InvalidWeight { .. })
-        ));
-        g.add_edge(a, b, 0.5, 0.5).unwrap();
-        assert!(matches!(
-            g.add_edge(b, a, 0.5, 0.5),
-            Err(GraphError::DuplicateEdge(..))
-        ));
-    }
-
-    #[test]
     fn missing_edge_weight_lookup_errors() {
-        let g = triangle();
-        let mut g2 = g.clone();
-        let d = g2.add_vertex(KeywordSet::new());
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        let g = b.build().unwrap();
         assert!(matches!(
-            g2.activation_probability(VertexId(0), d),
+            g.activation_probability(VertexId(0), VertexId(3)),
             Err(GraphError::MissingEdge(..))
         ));
+        assert_eq!(g.edge_between(VertexId(0), VertexId(9)), None);
     }
 
     #[test]
@@ -428,6 +678,29 @@ mod tests {
             g.common_neighbors(VertexId(0), VertexId(1)),
             vec![VertexId(2)]
         );
+        // only vertex 2 > 1 qualifies above floor 1; nothing above floor 2
+        assert_eq!(
+            g.common_neighbor_count_above(VertexId(0), VertexId(1), VertexId(1)),
+            1
+        );
+        assert_eq!(
+            g.common_neighbor_count_above(VertexId(0), VertexId(1), VertexId(2)),
+            0
+        );
+    }
+
+    #[test]
+    fn for_each_common_neighbor_yields_both_edge_ids() {
+        let g = triangle();
+        let mut seen = Vec::new();
+        g.for_each_common_neighbor(VertexId(0), VertexId(1), |w, e_uw, e_vw| {
+            seen.push((w, e_uw, e_vw));
+        });
+        assert_eq!(seen.len(), 1);
+        let (w, e_uw, e_vw) = seen[0];
+        assert_eq!(w, VertexId(2));
+        assert_eq!(g.edge_between(VertexId(0), VertexId(2)), Some(e_uw));
+        assert_eq!(g.edge_between(VertexId(1), VertexId(2)), Some(e_vw));
     }
 
     #[test]
@@ -465,9 +738,61 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn insert_edge_preserves_existing_edge_ids() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_edge(VertexId(0), VertexId(1), 0.8, 0.7);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.6);
+        let g = b.build().unwrap();
+        let g2 = g
+            .with_edge_inserted(VertexId(3), VertexId(0), 0.4, 0.3)
+            .unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        for (e, u, v) in g.edges() {
+            assert_eq!(g2.edge_endpoints(e), (u, v));
+            assert_eq!(g2.directed_weight(e, u), g.directed_weight(e, u));
+        }
+        // the new edge got the next id, canonicalised to (0, 3)
+        assert_eq!(g2.edge_endpoints(EdgeId(2)), (VertexId(0), VertexId(3)));
+        assert_eq!(
+            g2.activation_probability(VertexId(3), VertexId(0)).unwrap(),
+            0.4
+        );
+        assert_eq!(
+            g2.activation_probability(VertexId(0), VertexId(3)).unwrap(),
+            0.3
+        );
+        // invalid inserts are rejected
+        assert!(matches!(
+            g2.with_edge_inserted(VertexId(0), VertexId(1), 0.5, 0.5),
+            Err(GraphError::DuplicateEdge(..))
+        ));
+        assert!(matches!(
+            g2.with_edge_inserted(VertexId(0), VertexId(9), 0.5, 0.5),
+            Err(GraphError::UnknownVertex(_))
+        ));
+    }
+
+    #[test]
+    fn remove_edge_shifts_higher_ids() {
+        let g = triangle();
+        let (g2, removed) = g.with_edge_removed(VertexId(1), VertexId(0)).unwrap();
+        assert_eq!(removed, EdgeId(0));
+        assert_eq!(g2.num_edges(), 2);
+        assert!(!g2.contains_edge(VertexId(0), VertexId(1)));
+        assert_eq!(g2.edge_endpoints(EdgeId(0)), (VertexId(1), VertexId(2)));
+        assert_eq!(g2.edge_endpoints(EdgeId(1)), (VertexId(0), VertexId(2)));
+        assert!(matches!(
+            g2.with_edge_removed(VertexId(0), VertexId(1)),
+            Err(GraphError::MissingEdge(..))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_version_2() {
         let g = triangle();
         let json = serde_json::to_string(&g).unwrap();
+        assert!(json.contains("\"format_version\":2"));
+        assert!(!json.contains("\"adjacency\""));
         let back: SocialNetwork = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_vertices(), g.num_vertices());
         assert_eq!(back.num_edges(), g.num_edges());
@@ -476,5 +801,25 @@ mod tests {
                 .unwrap(),
             0.8
         );
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        // duplicate edge
+        let bad = r#"{"format_version":2,"num_vertices":2,"edges":[[0,1],[1,0]],
+            "weight_forward":[0.5,0.5],"weight_backward":[0.5,0.5],
+            "keywords":[{"keywords":[]},{"keywords":[]}]}"#;
+        assert!(serde_json::from_str::<SocialNetwork>(bad).is_err());
+        // out-of-range endpoint
+        let bad = r#"{"format_version":2,"num_vertices":2,"edges":[[0,7]],
+            "weight_forward":[0.5],"weight_backward":[0.5],
+            "keywords":[{"keywords":[]},{"keywords":[]}]}"#;
+        assert!(serde_json::from_str::<SocialNetwork>(bad).is_err());
+        // future version
+        let bad = r#"{"format_version":99,"num_vertices":0,"edges":[],
+            "weight_forward":[],"weight_backward":[],"keywords":[]}"#;
+        assert!(serde_json::from_str::<SocialNetwork>(bad).is_err());
+        // neither version marker nor adjacency
+        assert!(serde_json::from_str::<SocialNetwork>("{\"edges\":[]}").is_err());
     }
 }

@@ -17,7 +17,15 @@
 //!
 //! * **JSON snapshots** via `serde_json` — exact, lossless round-trip of the
 //!   in-memory structure, used by the experiment harness to cache generated
-//!   graphs.
+//!   graphs. Snapshots are **versioned** by a `format_version` field:
+//!
+//!   * *version 2* (written by this build): the canonical edge table,
+//!     directed weights and keyword sets; the CSR adjacency is derived data
+//!     and is rebuilt on load,
+//!   * *version 1* (PR-1 snapshots, no `format_version` field): the old
+//!     adjacency-list layout; still readable — the stored adjacency is
+//!     ignored in favour of a rebuild from the edge table, so old caches
+//!     migrate transparently.
 
 use crate::builder::GraphBuilder;
 use crate::error::{GraphError, GraphResult};
@@ -262,9 +270,61 @@ e 0 2 0.9
     fn json_roundtrip() {
         let g = parse_edge_list(SAMPLE).unwrap();
         let json = to_json(&g).unwrap();
+        assert!(json.contains("\"format_version\":2"), "{json}");
         let back = from_json(&json).unwrap();
         assert_eq!(back.num_vertices(), 3);
         assert_eq!(back.num_edges(), 3);
+    }
+
+    /// A verbatim PR-1 snapshot of `SAMPLE` (captured from the seed
+    /// serialiser before the CSR refactor): adjacency-list layout, no
+    /// `format_version` field.
+    const V1_SNAPSHOT: &str = r#"{"adjacency":[[[1,0],[2,2]],[[0,0],[2,1]],[[0,2],[1,1]]],"edges":[[0,1],[1,2],[0,2]],"weight_forward":[0.8,0.6,0.9],"weight_backward":[0.7,0.6,0.9],"keywords":[{"keywords":[1,2]},{"keywords":[2]},{"keywords":[3]}]}"#;
+
+    #[test]
+    fn reads_version_1_snapshots() {
+        let old = from_json(V1_SNAPSHOT).unwrap();
+        let expected = parse_edge_list(SAMPLE).unwrap();
+        assert_eq!(old.num_vertices(), expected.num_vertices());
+        assert_eq!(old.num_edges(), expected.num_edges());
+        for (e, u, v) in expected.edges() {
+            assert_eq!(old.edge_endpoints(e), (u, v));
+            assert_eq!(old.directed_weight(e, u), expected.directed_weight(e, u));
+            assert_eq!(old.directed_weight(e, v), expected.directed_weight(e, v));
+        }
+        for v in expected.vertices() {
+            assert_eq!(old.keyword_set(v), expected.keyword_set(v));
+        }
+    }
+
+    #[test]
+    fn reads_v1_snapshot_with_explicit_version_marker() {
+        // v1 layout stamped with an explicit marker (e.g. by an external
+        // tool) must load the same as a marker-less PR-1 file
+        let stamped = V1_SNAPSHOT.replacen('{', "{\"format_version\":1,", 1);
+        let old = from_json(&stamped).unwrap();
+        assert_eq!(old.num_vertices(), 3);
+        assert_eq!(old.num_edges(), 3);
+        assert_eq!(
+            old.activation_probability(VertexId(1), VertexId(0))
+                .unwrap(),
+            0.7
+        );
+    }
+
+    #[test]
+    fn v1_snapshot_migrates_to_v2_on_rewrite() {
+        let old = from_json(V1_SNAPSHOT).unwrap();
+        let rewritten = to_json(&old).unwrap();
+        assert!(rewritten.contains("\"format_version\":2"));
+        assert!(!rewritten.contains("\"adjacency\""));
+        let back = from_json(&rewritten).unwrap();
+        assert_eq!(back.num_edges(), old.num_edges());
+        assert_eq!(
+            back.activation_probability(VertexId(1), VertexId(0))
+                .unwrap(),
+            0.7
+        );
     }
 
     #[test]

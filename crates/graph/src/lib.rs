@@ -5,8 +5,13 @@
 //! vertex carries a keyword set and each edge carries an activation
 //! probability, plus everything the upper layers need to work with it:
 //!
-//! * [`SocialNetwork`] — adjacency-list graph store with per-vertex keyword
-//!   sets and per-edge propagation probabilities,
+//! * [`SocialNetwork`] — **frozen CSR** graph store (flat offsets + packed
+//!   neighbour array) with per-vertex keyword sets and per-edge propagation
+//!   probabilities; all structure is built in one shot by the mutable
+//!   [`GraphBuilder`] and read back as contiguous slices,
+//! * [`builder`] — the mutable accumulation side of the builder/frozen
+//!   split: append-only buffering, O(1) incremental queries for the
+//!   generators, one-shot validate + counting-sort freeze,
 //! * [`keywords`] — keyword sets and the B-bit hashed [`bitvec::BitVector`]
 //!   signatures used by the keyword pruning rule,
 //! * [`traversal`] — BFS, r-hop subgraph extraction `hop(v, r)`, hop

@@ -121,12 +121,13 @@ mod tests {
     #[test]
     fn statistics_of_small_known_graph() {
         // path 0-1-2 with keywords
-        let mut g = SocialNetwork::new();
+        let mut b = crate::builder::GraphBuilder::new();
         for kw in [1u32, 2, 2] {
-            g.add_vertex(KeywordSet::from_ids([kw]));
+            b.add_vertex(KeywordSet::from_ids([kw]));
         }
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.5).unwrap();
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.5);
+        let g = b.build().unwrap();
         let stats = graph_statistics(&g);
         assert_eq!(stats.num_vertices, 3);
         assert_eq!(stats.num_edges, 2);

@@ -119,8 +119,9 @@ impl VertexSubset {
     ) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + 'a {
         self.vertices.iter().flat_map(move |&u| {
             g.neighbors(u)
-                .filter(move |&(n, _)| u < n && self.contains(n))
-                .map(move |(n, e)| (e, u, n))
+                .iter()
+                .filter(move |&&(n, _)| u < n && self.contains(n))
+                .map(move |&(n, e)| (e, u, n))
         })
     }
 
@@ -131,7 +132,10 @@ impl VertexSubset {
 
     /// Degree of `v` restricted to the induced subgraph.
     pub fn induced_degree(&self, g: &SocialNetwork, v: VertexId) -> usize {
-        g.neighbors(v).filter(|&(n, _)| self.contains(n)).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|&&(n, _)| self.contains(n))
+            .count()
     }
 
     /// Neighbours of `v` that fall inside the subset.
@@ -140,16 +144,23 @@ impl VertexSubset {
         g: &'a SocialNetwork,
         v: VertexId,
     ) -> impl Iterator<Item = (VertexId, EdgeId)> + 'a {
-        g.neighbors(v).filter(move |&(n, _)| self.contains(n))
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&(n, _)| self.contains(n))
     }
 
     /// Number of common neighbours of `u` and `v` *inside* the subset (the
-    /// edge support within the induced subgraph).
+    /// edge support within the induced subgraph). One merge over the two CSR
+    /// slices, no intermediate allocation.
     pub fn induced_common_neighbors(&self, g: &SocialNetwork, u: VertexId, v: VertexId) -> usize {
-        g.common_neighbors(u, v)
-            .into_iter()
-            .filter(|w| self.contains(*w))
-            .count()
+        let mut count = 0usize;
+        g.for_each_common_neighbor(u, v, |w, _, _| {
+            if self.contains(w) {
+                count += 1;
+            }
+        });
+        count
     }
 
     /// Returns `true` if the induced subgraph is connected (an empty subset
@@ -163,7 +174,7 @@ impl VertexSubset {
         seen.insert(start);
         let mut stack = vec![start];
         while let Some(u) = stack.pop() {
-            for (n, _) in g.neighbors(u) {
+            for &(n, _) in g.neighbors(u) {
                 if self.contains(n) && seen.insert(n) {
                     stack.push(n);
                 }
@@ -194,20 +205,16 @@ impl Eq for VertexSubset {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::keywords::KeywordSet;
 
     /// 5-vertex graph: a triangle {0,1,2} plus a path 2-3-4.
     fn sample() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..5 {
-            g.add_vertex(KeywordSet::new());
-        }
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(0), VertexId(2), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(2), VertexId(3), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.5).unwrap();
-        g
+        let mut b = crate::builder::GraphBuilder::with_vertices(5);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.5);
+        b.add_symmetric_edge(VertexId(0), VertexId(2), 0.5);
+        b.add_symmetric_edge(VertexId(2), VertexId(3), 0.5);
+        b.add_symmetric_edge(VertexId(3), VertexId(4), 0.5);
+        b.build().unwrap()
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub fn bfs_within(g: &SocialNetwork, source: VertexId, max_hops: u32) -> HopDist
         if du == max_hops {
             continue;
         }
-        for (n, _) in g.neighbors(u) {
+        for &(n, _) in g.neighbors(u) {
             if dist[n.index()].is_none() {
                 dist[n.index()] = Some(du + 1);
                 order.push((n, du + 1));
@@ -91,7 +91,7 @@ pub fn hop_distance(g: &SocialNetwork, u: VertexId, v: VertexId) -> Option<u32> 
     queue.push_back(u);
     while let Some(x) = queue.pop_front() {
         let dx = dist[x.index()].unwrap();
-        for (n, _) in g.neighbors(x) {
+        for &(n, _) in g.neighbors(x) {
             if dist[n.index()].is_none() {
                 dist[n.index()] = Some(dx + 1);
                 if n == v {
@@ -123,7 +123,7 @@ pub fn hop_distances_within_subset(
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].unwrap();
-        for (n, _) in g.neighbors(u) {
+        for &(n, _) in g.neighbors(u) {
             if subset.contains(n) && dist[n.index()].is_none() {
                 dist[n.index()] = Some(du + 1);
                 order.push((n, du + 1));
@@ -170,7 +170,7 @@ pub fn connected_components(g: &SocialNetwork) -> Vec<VertexSubset> {
         seen[v.index()] = true;
         while let Some(u) = stack.pop() {
             component.push(u);
-            for (n, _) in g.neighbors(u) {
+            for &(n, _) in g.neighbors(u) {
                 if !seen[n.index()] {
                     seen[n.index()] = true;
                     stack.push(n);
@@ -192,19 +192,14 @@ pub fn is_connected(g: &SocialNetwork) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::keywords::KeywordSet;
 
     /// Path graph 0-1-2-3-4 plus an isolated vertex 5.
     fn path_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..6 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = crate::builder::GraphBuilder::with_vertices(6);
         for i in 0..4u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
-                .unwrap();
+            b.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5);
         }
-        g
+        b.build().unwrap()
     }
 
     #[test]
@@ -269,8 +264,8 @@ mod tests {
         assert_eq!(comps[1].len(), 1);
         assert!(!is_connected(&g));
 
-        let mut g2 = g.clone();
-        g2.add_symmetric_edge(VertexId(4), VertexId(5), 0.5)
+        let g2 = g
+            .with_edge_inserted(VertexId(4), VertexId(5), 0.5, 0.5)
             .unwrap();
         assert!(is_connected(&g2));
         assert!(is_connected(&SocialNetwork::new()));

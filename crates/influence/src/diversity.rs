@@ -98,21 +98,18 @@ impl DiversityState {
 mod tests {
     use super::*;
     use crate::influenced::{InfluenceConfig, InfluenceEvaluator};
-    use icde_graph::{KeywordSet, SocialNetwork, VertexSubset};
+    use icde_graph::{SocialNetwork, VertexSubset};
 
     /// Two hubs (0 and 6) with partially overlapping neighbourhoods.
     fn two_hub_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..9 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(9);
         for n in [1u32, 2, 3, 4] {
-            g.add_symmetric_edge(VertexId(0), VertexId(n), 0.8).unwrap();
+            b.add_symmetric_edge(VertexId(0), VertexId(n), 0.8);
         }
         for n in [3u32, 4, 5, 7, 8] {
-            g.add_symmetric_edge(VertexId(6), VertexId(n), 0.8).unwrap();
+            b.add_symmetric_edge(VertexId(6), VertexId(n), 0.8);
         }
-        g
+        b.build().unwrap()
     }
 
     fn communities(g: &SocialNetwork) -> (InfluencedCommunity, InfluencedCommunity) {

@@ -263,21 +263,17 @@ impl<'g> InfluenceEvaluator<'g> {
 mod tests {
     use super::*;
     use crate::mia::user_propagation_probability;
-    use icde_graph::KeywordSet;
 
     /// Line 0-1-2-3-4 with strong probabilities plus a side vertex 5 attached
     /// to 1.
     fn line_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..6 {
-            g.add_vertex(KeywordSet::new());
-        }
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.8).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.8).unwrap();
-        g.add_symmetric_edge(VertexId(2), VertexId(3), 0.8).unwrap();
-        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.8).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(5), 0.3).unwrap();
-        g
+        let mut b = icde_graph::GraphBuilder::with_vertices(6);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.8);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.8);
+        b.add_symmetric_edge(VertexId(2), VertexId(3), 0.8);
+        b.add_symmetric_edge(VertexId(3), VertexId(4), 0.8);
+        b.add_symmetric_edge(VertexId(1), VertexId(5), 0.3);
+        b.build().unwrap()
     }
 
     #[test]

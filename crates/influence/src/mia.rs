@@ -173,15 +173,12 @@ mod tests {
     ///  \------0.5------/      (direct weak link 0-2)
     /// 2 -0.6- 3
     fn diamond() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..4 {
-            g.add_vertex(KeywordSet::new());
-        }
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.9).unwrap();
-        g.add_symmetric_edge(VertexId(1), VertexId(2), 0.9).unwrap();
-        g.add_symmetric_edge(VertexId(0), VertexId(2), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(2), VertexId(3), 0.6).unwrap();
-        g
+        let mut b = icde_graph::GraphBuilder::with_vertices(4);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.9);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.9);
+        b.add_symmetric_edge(VertexId(0), VertexId(2), 0.5);
+        b.add_symmetric_edge(VertexId(2), VertexId(3), 0.6);
+        b.build().unwrap()
     }
 
     #[test]
@@ -221,18 +218,25 @@ mod tests {
 
     #[test]
     fn unreachable_vertices_have_zero_upp() {
-        let mut g = diamond();
-        let isolated = g.add_vertex(KeywordSet::new());
+        // diamond plus an isolated vertex 4
+        let mut b = icde_graph::GraphBuilder::with_vertices(5);
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.9);
+        b.add_symmetric_edge(VertexId(1), VertexId(2), 0.9);
+        b.add_symmetric_edge(VertexId(0), VertexId(2), 0.5);
+        b.add_symmetric_edge(VertexId(2), VertexId(3), 0.6);
+        let g = b.build().unwrap();
+        let isolated = VertexId(4);
         assert_eq!(user_propagation_probability(&g, VertexId(0), isolated), 0.0);
         assert!(max_influence_path(&g, VertexId(0), isolated).is_none());
     }
 
     #[test]
     fn upp_is_directional_when_weights_differ() {
-        let mut g = SocialNetwork::new();
-        let a = g.add_vertex(KeywordSet::new());
-        let b = g.add_vertex(KeywordSet::new());
-        g.add_edge(a, b, 0.9, 0.2).unwrap();
+        let mut builder = icde_graph::GraphBuilder::new();
+        let a = builder.add_vertex(KeywordSet::new());
+        let b = builder.add_vertex(KeywordSet::new());
+        builder.add_edge(a, b, 0.9, 0.2);
+        let g = builder.build().unwrap();
         assert!((user_propagation_probability(&g, a, b) - 0.9).abs() < 1e-12);
         assert!((user_propagation_probability(&g, b, a) - 0.2).abs() < 1e-12);
     }

@@ -124,9 +124,10 @@ mod tests {
 
     #[test]
     fn isolated_seed_spreads_nowhere() {
-        let mut g = SocialNetwork::new();
-        let a = g.add_vertex(KeywordSet::new());
-        let _b = g.add_vertex(KeywordSet::new());
+        let mut b = icde_graph::GraphBuilder::new();
+        let a = b.add_vertex(KeywordSet::new());
+        b.add_vertex(KeywordSet::new());
+        let g = b.build().unwrap();
         let estimate = estimate_spread(&g, &VertexSubset::from_iter([a]), 5, 1);
         assert_eq!(estimate.mean_spread, 1.0);
         assert_eq!(estimate.std_dev, 0.0);

@@ -87,13 +87,13 @@ pub fn truss_decomposition(g: &SocialNetwork) -> TrussDecomposition {
         trussness[e] = level as u32 + 2;
 
         let (u, v) = g.edge_endpoints(EdgeId::from_index(e));
-        for w in g.common_neighbors(u, v) {
-            let e_uw = g.edge_between(u, w).expect("common neighbour implies edge");
-            let e_vw = g.edge_between(v, w).expect("common neighbour implies edge");
+        // One merge over the two CSR neighbour slices yields each triangle's
+        // other two edge ids directly — no per-triangle binary searches.
+        g.for_each_common_neighbor(u, v, |_w, e_uw, e_vw| {
             // The triangle (u, v, w) only still counts towards the other two
             // edges if both of them are alive; otherwise it was already broken.
             if removed[e_uw.index()] || removed[e_vw.index()] {
-                continue;
+                return;
             }
             for other in [e_uw.index(), e_vw.index()] {
                 if support[other] > 0 {
@@ -101,7 +101,7 @@ pub fn truss_decomposition(g: &SocialNetwork) -> TrussDecomposition {
                     buckets[support[other] as usize].push(other);
                 }
             }
-        }
+        });
     }
 
     let mut vertex_trussness = vec![0u32; g.num_vertices()];
@@ -122,26 +122,23 @@ mod tests {
     use super::*;
     use crate::ktruss::maximal_ktruss;
     use icde_graph::generators::{small_world, SmallWorldConfig};
-    use icde_graph::{KeywordSet, VertexSubset};
+    use icde_graph::VertexSubset;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn layered_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..9 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(9);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
-        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(7), VertexId(8), 0.5).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(5), VertexId(6), 0.5);
+        b.add_symmetric_edge(VertexId(6), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(5), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(4), VertexId(5), 0.5);
+        b.add_symmetric_edge(VertexId(7), VertexId(8), 0.5);
+        b.build().unwrap()
     }
 
     #[test]

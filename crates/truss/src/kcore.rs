@@ -45,7 +45,7 @@ pub fn core_numbers(g: &SocialNetwork) -> Vec<u32> {
     let mut core = degree.clone();
     for i in 0..n {
         let v = vert[i];
-        for (u, _) in g.neighbors(VertexId::from_index(v)) {
+        for &(u, _) in g.neighbors(VertexId::from_index(v)) {
             let u = u.index();
             if degree[u] > degree[v] {
                 let du = degree[u];
@@ -85,7 +85,7 @@ pub fn maximal_kcore_containing(
     let mut members = Vec::new();
     while let Some(u) = stack.pop() {
         members.push(u);
-        for (w, _) in g.neighbors(u) {
+        for &(w, _) in g.neighbors(u) {
             if !seen[w.index()] && cores[w.index()] >= k {
                 seen[w.index()] = true;
                 stack.push(w);
@@ -107,22 +107,19 @@ mod tests {
 
     /// K4 on {0..3}, bridge 3-4 and 4-5, triangle {5,6,7}, pendant 7-8.
     fn mixed_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..9 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(9);
         for i in 0..4u32 {
             for j in (i + 1)..4 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
-        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(7), VertexId(8), 0.5).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(3), VertexId(4), 0.5);
+        b.add_symmetric_edge(VertexId(4), VertexId(5), 0.5);
+        b.add_symmetric_edge(VertexId(5), VertexId(6), 0.5);
+        b.add_symmetric_edge(VertexId(6), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(5), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(7), VertexId(8), 0.5);
+        b.build().unwrap()
     }
 
     #[test]
@@ -157,15 +154,13 @@ mod tests {
 
     #[test]
     fn kcore_of_clique_is_whole_clique() {
-        let mut g = SocialNetwork::new();
-        for _ in 0..5 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(5);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
+        let g = b.build().unwrap();
         let cores = core_numbers(&g);
         assert!(cores.iter().all(|&c| c == 4));
         let core = maximal_kcore_containing(&g, VertexId(2), 4).unwrap();
@@ -177,8 +172,9 @@ mod tests {
         let g = SocialNetwork::new();
         assert!(core_numbers(&g).is_empty());
         assert_eq!(degeneracy(&g), 0);
-        let mut g1 = SocialNetwork::new();
-        let v = g1.add_vertex(KeywordSet::new());
+        let mut b = icde_graph::GraphBuilder::new();
+        let v = b.add_vertex(KeywordSet::new());
+        let g1 = b.build().unwrap();
         assert_eq!(core_numbers(&g1), vec![0]);
         assert!(maximal_kcore_containing(&g1, v, 1).is_none());
         let zero_core = maximal_kcore_containing(&g1, v, 0).unwrap();

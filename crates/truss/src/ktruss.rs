@@ -179,26 +179,22 @@ pub fn is_ktruss(g: &SocialNetwork, subset: &VertexSubset, k: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::KeywordSet;
 
     /// K5 on {0..4}, a triangle {5,6,7} attached to the clique by edge 4-5,
     /// and a pendant path 7-8.
     fn layered_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..9 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(9);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
-        g.add_symmetric_edge(VertexId(5), VertexId(6), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(6), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(5), VertexId(7), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(4), VertexId(5), 0.5).unwrap();
-        g.add_symmetric_edge(VertexId(7), VertexId(8), 0.5).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(5), VertexId(6), 0.5);
+        b.add_symmetric_edge(VertexId(6), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(5), VertexId(7), 0.5);
+        b.add_symmetric_edge(VertexId(4), VertexId(5), 0.5);
+        b.add_symmetric_edge(VertexId(7), VertexId(8), 0.5);
+        b.build().unwrap()
     }
 
     fn all_vertices(g: &SocialNetwork) -> VertexSubset {

@@ -33,7 +33,7 @@ impl LocalSubgraph {
         let mut adjacency = vec![Vec::new(); globals.len()];
         let mut edges = Vec::new();
         for (&global_u, &lu) in local_of.iter() {
-            for (global_v, _) in g.neighbors(global_u) {
+            for &(global_v, _) in g.neighbors(global_u) {
                 if global_u < global_v {
                     if let Some(&lv) = local_of.get(&global_v) {
                         let (a, b) = if lu < lv { (lu, lv) } else { (lv, lu) };
@@ -185,23 +185,18 @@ impl LocalSubgraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::KeywordSet;
 
     /// Global graph: clique {1,2,3,4} plus pendant 0-1 and an outside vertex 5.
     fn clique_graph() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..6 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(6);
         let ids = [1u32, 2, 3, 4];
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
-                g.add_symmetric_edge(VertexId(ids[i]), VertexId(ids[j]), 0.5)
-                    .unwrap();
+                b.add_symmetric_edge(VertexId(ids[i]), VertexId(ids[j]), 0.5);
             }
         }
-        g.add_symmetric_edge(VertexId(0), VertexId(1), 0.5).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+        b.build().unwrap()
     }
 
     #[test]

@@ -50,21 +50,18 @@ pub fn support_of_edge(g: &SocialNetwork, e: EdgeId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::{KeywordSet, VertexId};
+    use icde_graph::VertexId;
 
     /// K4 on {0..3} plus a pendant edge 3-4.
     fn k4_plus_pendant() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..5 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(5);
         for i in 0..4u32 {
             for j in (i + 1)..4 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
-        g.add_symmetric_edge(VertexId(3), VertexId(4), 0.5).unwrap();
-        g
+        b.add_symmetric_edge(VertexId(3), VertexId(4), 0.5);
+        b.build().unwrap()
     }
 
     #[test]

@@ -15,12 +15,9 @@ pub fn count_triangles(g: &SocialNetwork) -> u64 {
     let mut total = 0u64;
     for (_, u, v) in g.edges() {
         // u < v by canonical orientation; count common neighbours above v to
-        // count each triangle once.
-        total += g
-            .common_neighbors(u, v)
-            .into_iter()
-            .filter(|w| *w > v)
-            .count() as u64;
+        // count each triangle once. One allocation-free merge over the two
+        // CSR slices, entered past `v` by binary search.
+        total += g.common_neighbor_count_above(u, v, v) as u64;
     }
     total
 }
@@ -29,11 +26,11 @@ pub fn count_triangles(g: &SocialNetwork) -> u64 {
 pub fn count_triangles_in_subset(g: &SocialNetwork, subset: &VertexSubset) -> u64 {
     let mut total = 0u64;
     for (_, u, v) in subset.induced_edges(g) {
-        total += g
-            .common_neighbors(u, v)
-            .into_iter()
-            .filter(|w| *w > v && subset.contains(*w))
-            .count() as u64;
+        g.for_each_common_neighbor(u, v, |w, _, _| {
+            if w > v && subset.contains(w) {
+                total += 1;
+            }
+        });
     }
     total
 }
@@ -69,19 +66,15 @@ pub fn global_clustering_coefficient(g: &SocialNetwork) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icde_graph::KeywordSet;
 
     fn k4() -> SocialNetwork {
-        let mut g = SocialNetwork::new();
-        for _ in 0..4 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(4);
         for i in 0..4u32 {
             for j in (i + 1)..4 {
-                g.add_symmetric_edge(VertexId(i), VertexId(j), 0.5).unwrap();
+                b.add_symmetric_edge(VertexId(i), VertexId(j), 0.5);
             }
         }
-        g
+        b.build().unwrap()
     }
 
     #[test]
@@ -92,14 +85,11 @@ mod tests {
 
     #[test]
     fn path_has_no_triangles() {
-        let mut g = SocialNetwork::new();
-        for _ in 0..4 {
-            g.add_vertex(KeywordSet::new());
-        }
+        let mut b = icde_graph::GraphBuilder::with_vertices(4);
         for i in 0..3u32 {
-            g.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5)
-                .unwrap();
+            b.add_symmetric_edge(VertexId(i), VertexId(i + 1), 0.5);
         }
+        let g = b.build().unwrap();
         assert_eq!(count_triangles(&g), 0);
         assert_eq!(global_clustering_coefficient(&g), 0.0);
     }

@@ -1,0 +1,239 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the `icde-bench` benches use — benchmark
+//! groups, `bench_with_input`/`bench_function`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop instead of criterion's statistical
+//! machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! group/function/param    time: 1.234 ms (n = 120)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing configuration shared by groups and the top-level context.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Benchmark context (stand-in for criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&self.config, &id.into().label, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&self.config, &label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&self.config, &label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the timing loop of a single benchmark.
+pub struct Bencher {
+    config: Config,
+    /// Mean time per iteration over the measurement phase.
+    mean: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm up for `warm_up_time`, then run batches until
+    /// `measurement_time` elapses (at least `sample_size` iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        let min_iters = self.config.sample_size as u64;
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        let mut iters: u64 = 0;
+        while iters < min_iters || (Instant::now() < deadline && warm_iters > 0) {
+            black_box(routine());
+            iters += 1;
+            if iters >= min_iters && Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.mean = Some((elapsed / iters.max(1) as u32, iters));
+    }
+}
+
+/// Returns `true` when the bench binary was invoked with `--test` (as real
+/// criterion does for `cargo bench -- --test`): run every benchmark exactly
+/// once with no warmup, so CI can smoke-test the harness cheaply.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn run_benchmark(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let config = if test_mode() {
+        Config {
+            sample_size: 1,
+            warm_up_time: Duration::ZERO,
+            measurement_time: Duration::ZERO,
+        }
+    } else {
+        config.clone()
+    };
+    let mut bencher = Bencher { config, mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some((mean, iters)) if test_mode() => {
+            let _ = (mean, iters);
+            println!("{label:<60} ok (test mode, 1 iteration)");
+        }
+        Some((mean, iters)) => {
+            println!("{label:<60} time: {} (n = {iters})", format_duration(mean));
+        }
+        None => println!("{label:<60} (no measurement)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
