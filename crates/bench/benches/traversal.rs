@@ -1,0 +1,118 @@
+//! Traversal-workspace micro-benchmarks.
+//!
+//! Tracks the two primitives the [`TraversalWorkspace`] refactor targets —
+//! bounded r-hop BFS and the single-source max-product Dijkstra — in three
+//! borrowing modes: the thread-local wrapper (what casual callers get), an
+//! explicit caller-owned workspace (what batch callers like the offline
+//! pre-computation use) and a deliberately fresh workspace per call (the
+//! allocation-bound behaviour the refactor removed, kept as an in-tree
+//! regression baseline).
+//!
+//! Run: `cargo bench -p icde-bench --bench traversal`
+//! CI smoke: `cargo bench -p icde-bench --bench traversal -- --test`
+//!
+//! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icde_graph::generators::{small_world, SmallWorldConfig};
+use icde_graph::traversal::{bfs_within, bfs_within_with};
+use icde_graph::workspace::TraversalWorkspace;
+use icde_graph::{SocialNetwork, VertexId};
+use icde_influence::mia::{single_source_upp, single_source_upp_with};
+use std::time::Duration;
+
+const SCALE: usize = 50_000;
+const SEED: u64 = 20240614;
+const BFS_CALLS: usize = 500;
+const UPP_CALLS: usize = 50;
+
+fn graph() -> SocialNetwork {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SEED);
+    small_world(&SmallWorldConfig::paper_default(SCALE), &mut rng)
+}
+
+fn bfs_source(i: usize) -> VertexId {
+    VertexId::from_index(i * (SCALE / BFS_CALLS))
+}
+
+fn upp_source(i: usize) -> VertexId {
+    VertexId::from_index(i * (SCALE / UPP_CALLS))
+}
+
+fn bench_bfs_modes(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("traversal");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("bfs_r3_thread_workspace", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for i in 0..BFS_CALLS {
+                reached += bfs_within(&g, bfs_source(i), 3).distances.len();
+            }
+            black_box(reached)
+        })
+    });
+    group.bench_function("bfs_r3_owned_workspace", |b| {
+        let mut ws = TraversalWorkspace::new();
+        b.iter(|| {
+            let mut reached = 0usize;
+            for i in 0..BFS_CALLS {
+                reached += bfs_within_with(&mut ws, &g, bfs_source(i), 3)
+                    .distances
+                    .len();
+            }
+            black_box(reached)
+        })
+    });
+    group.bench_function("bfs_r3_fresh_workspace", |b| {
+        b.iter(|| {
+            let mut reached = 0usize;
+            for i in 0..BFS_CALLS {
+                reached += bfs_within_with(&mut TraversalWorkspace::new(), &g, bfs_source(i), 3)
+                    .distances
+                    .len();
+            }
+            black_box(reached)
+        })
+    });
+    group.finish();
+}
+
+fn bench_upp_modes(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("traversal");
+    group
+        .sample_size(5)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("upp_thread_workspace", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..UPP_CALLS {
+                acc += single_source_upp(&g, upp_source(i), 0.01)
+                    .iter()
+                    .sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("upp_owned_workspace", |b| {
+        let mut ws = TraversalWorkspace::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..UPP_CALLS {
+                acc += single_source_upp_with(&mut ws, &g, upp_source(i), 0.01)
+                    .iter()
+                    .sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(traversal, bench_bfs_modes, bench_upp_modes);
+criterion_main!(traversal);

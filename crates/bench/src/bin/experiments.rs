@@ -31,6 +31,7 @@ struct Options {
     include_optimal: bool,
     json: bool,
     seed: u64,
+    bench_scale: usize,
 }
 
 fn parse_options() -> Options {
@@ -41,6 +42,7 @@ fn parse_options() -> Options {
         include_optimal: false,
         json: false,
         seed: 20240614,
+        bench_scale: icde_bench::perf::SNAPSHOT_SCALE,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -59,6 +61,14 @@ fn parse_options() -> Options {
                     eprintln!("--max-scale requires a number");
                     std::process::exit(2);
                 });
+            }
+            "--bench-scale" => {
+                i += 1;
+                options.bench_scale =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--bench-scale requires a number");
+                        std::process::exit(2);
+                    });
             }
             "--seed" => {
                 i += 1;
@@ -90,12 +100,18 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|all]... \
-         [--scale N] [--max-scale N] [--optimal] [--json] [--seed N]"
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|all]... \
+         [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
         "  bench2: time the CSR graph primitives on the 50k small-world graph and \
          write the BENCH_2.json perf snapshot (not part of `all`)"
+    );
+    eprintln!(
+        "  bench3: time the TraversalWorkspace-backed primitives, verify checksums \
+         against the pre-workspace reference implementations and write the \
+         BENCH_3.json perf snapshot (not part of `all`). --bench-scale N shrinks \
+         the graph for smoke runs, writing BENCH_3_smoke.json instead"
     );
 }
 
@@ -161,6 +177,24 @@ fn main() {
         std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
         println!("{json}");
         println!("\nwrote BENCH_2.json");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench3") {
+        println!(
+            "# bench3: timing workspace-backed graph primitives on the {}-vertex \
+             small-world graph (checksums verified against reference implementations) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench3_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_3.json"
+        } else {
+            "BENCH_3_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_3 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
     }
 
     if wants("table2") {

@@ -1,13 +1,22 @@
 //! Graph-primitive perf snapshots (`BENCH_N.json` trajectory).
 //!
-//! The criterion benches under `benches/graph_primitives.rs` are for
-//! interactive profiling; this module produces the **archived** numbers: a
-//! JSON snapshot of the three adjacency-bound primitives every pipeline phase
-//! reduces to (bounded BFS, triangle counting, single-source `upp`), plus the
-//! builder freeze itself, on the paper-default 50k-vertex small-world graph.
-//! `experiments bench2` writes `BENCH_2.json` so the repository carries a
-//! perf trajectory across PRs, with the PR-1 adjacency-list baseline embedded
-//! for the primitives measured before the CSR refactor.
+//! The criterion benches under `benches/` are for interactive profiling;
+//! this module produces the **archived** numbers: a JSON snapshot of the
+//! three adjacency-bound primitives every pipeline phase reduces to (bounded
+//! BFS, triangle counting, single-source `upp`), plus the builder freeze
+//! itself, on the paper-default 50k-vertex small-world graph.
+//!
+//! * `experiments bench2` writes `BENCH_2.json` — the CSR-store snapshot
+//!   against the PR-1 adjacency-list baseline.
+//! * `experiments bench3` writes `BENCH_3.json` — the
+//!   [`TraversalWorkspace`]-backed snapshot (reused scratch arrays + the
+//!   monotone bucket queue) against the BENCH_2 baselines. Before timing
+//!   anything, the workloads are re-run through naive reference
+//!   implementations (per-call allocations, `VecDeque`, `BinaryHeap`) and
+//!   the checksums must match bit-for-bit, proving the workspace rewiring
+//!   changed nothing but speed.
+//!
+//! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
 use icde_graph::generators::{small_world, SmallWorldConfig};
 use icde_graph::traversal::bfs_within;
@@ -15,6 +24,7 @@ use icde_graph::{SocialNetwork, VertexId};
 use icde_influence::mia::single_source_upp;
 use icde_truss::triangle::count_triangles;
 use serde::Value;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
 
 /// Scale and RNG seed of the snapshot workload (matches
@@ -33,6 +43,16 @@ const PR1_BASELINE_MILLIS: [(&str, Option<f64>); 4] = [
     ("single_source_upp_x200", Some(118.42)),
 ];
 
+/// PR-2 (frozen CSR store, per-call scratch allocations) timings from the
+/// committed `BENCH_2.json`, captured on the reference build machine
+/// immediately before the workspace refactor.
+const PR2_BASELINE_MILLIS: [(&str, Option<f64>); 4] = [
+    ("build_50k_small_world", Some(31.056)),
+    ("triangle_count_50k", Some(3.165)),
+    ("rhop_bfs_r3_x2000", Some(19.735)),
+    ("single_source_upp_x200", Some(115.284)),
+];
+
 /// One timed workload: median of `runs` executions.
 fn time_median<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
     let mut samples = Vec::with_capacity(runs);
@@ -46,61 +66,230 @@ fn time_median<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
     (samples[samples.len() / 2], checksum)
 }
 
-fn snapshot_graph() -> SocialNetwork {
+fn snapshot_graph(scale: usize) -> SocialNetwork {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SNAPSHOT_SEED);
-    small_world(&SmallWorldConfig::paper_default(SNAPSHOT_SCALE), &mut rng)
+    small_world(&SmallWorldConfig::paper_default(scale), &mut rng)
 }
 
-/// Runs the snapshot workloads and renders the `BENCH_2.json` document.
-/// Returns the pretty-printed JSON.
-pub fn bench2_snapshot_json() -> String {
-    let (build_ms, _) = time_median(5, || snapshot_graph().num_edges() as u64);
-    let g = snapshot_graph();
+/// Evenly spread BFS sources: 2 000 of them at full scale.
+fn bfs_sources(scale: usize) -> impl Iterator<Item = VertexId> {
+    let count = 2000.min(scale);
+    (0..count).map(move |i| VertexId::from_index(i * (scale / count)))
+}
 
-    let (tri_ms, tri) = time_median(9, || count_triangles(&g));
-    let (bfs_ms, reached) = time_median(9, || {
+/// Evenly spread `upp` sources: 200 of them at full scale.
+fn upp_sources(scale: usize) -> impl Iterator<Item = VertexId> {
+    let count = 200.min(scale);
+    (0..count).map(move |i| VertexId::from_index(i * (scale / count)))
+}
+
+/// All measured workloads of one snapshot run.
+struct Measured {
+    graph: SocialNetwork,
+    build_ms: f64,
+    triangle_ms: f64,
+    triangles: u64,
+    bfs_ms: f64,
+    bfs_reached: u64,
+    upp_ms: f64,
+    upp_sum: f64,
+}
+
+fn measure(scale: usize) -> Measured {
+    let (build_ms, _) = time_median(5, || snapshot_graph(scale).num_edges() as u64);
+    let g = snapshot_graph(scale);
+
+    let (triangle_ms, triangles) = time_median(9, || count_triangles(&g));
+    let (bfs_ms, bfs_reached) = time_median(9, || {
         let mut reached = 0u64;
-        for i in 0..2000 {
-            let v = VertexId::from_index(i * (SNAPSHOT_SCALE / 2000));
+        for v in bfs_sources(scale) {
             reached += bfs_within(&g, v, 3).distances.len() as u64;
         }
         reached
     });
-    let (upp_ms, _) = time_median(5, || {
+    let (upp_ms, upp_sum_bits) = time_median(5, || {
         let mut acc = 0.0f64;
-        for i in 0..200 {
-            let v = VertexId::from_index(i * (SNAPSHOT_SCALE / 200));
+        for v in upp_sources(scale) {
             acc += single_source_upp(&g, v, 0.01).iter().sum::<f64>();
         }
         acc.to_bits()
     });
 
-    let measured = [
-        ("build_50k_small_world", build_ms),
-        ("triangle_count_50k", tri_ms),
-        ("rhop_bfs_r3_x2000", bfs_ms),
-        ("single_source_upp_x200", upp_ms),
+    Measured {
+        graph: g,
+        build_ms,
+        triangle_ms,
+        triangles,
+        bfs_ms,
+        bfs_reached,
+        upp_ms,
+        upp_sum: f64::from_bits(upp_sum_bits),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations (the pre-workspace formulations)
+// ---------------------------------------------------------------------------
+
+/// The PR-2 bounded BFS: per-call `vec![None; n]` scratch plus a `VecDeque`.
+/// Kept as an executable specification for the checksum cross-check.
+fn reference_bfs_reached(g: &SocialNetwork, source: VertexId, max_hops: u32) -> u64 {
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    let mut reached = 0u64;
+    dist[source.index()] = Some(0);
+    reached += 1;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertices have distances");
+        if du == max_hops {
+            continue;
+        }
+        for &(n, _) in g.neighbors(u) {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(du + 1);
+                reached += 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    reached
+}
+
+/// The PR-2 single-source `upp`: per-call dense arrays plus a `BinaryHeap`.
+fn reference_single_source_upp(g: &SocialNetwork, source: VertexId, floor: f64) -> Vec<f64> {
+    #[derive(PartialEq)]
+    struct Entry(f64, VertexId);
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut best = vec![0.0f64; g.num_vertices()];
+    let mut settled = vec![false; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    best[source.index()] = 1.0;
+    heap.push(Entry(1.0, source));
+    while let Some(Entry(probability, vertex)) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        for (n, p) in g.outgoing(vertex) {
+            let candidate = probability * p;
+            if candidate >= floor && candidate > best[n.index()] {
+                best[n.index()] = candidate;
+                heap.push(Entry(candidate, n));
+            }
+        }
+    }
+    best
+}
+
+/// Cross-checks the workspace-backed primitives against the reference
+/// formulations on the snapshot workload; returns `(bfs_reached, upp_sum)`
+/// of the reference run.
+///
+/// # Panics
+/// Panics if either checksum deviates — the workspace rewiring must be
+/// result-preserving bit for bit.
+fn verify_against_reference(g: &SocialNetwork, scale: usize, measured: &Measured) -> (u64, f64) {
+    let mut reference_reached = 0u64;
+    for v in bfs_sources(scale) {
+        reference_reached += reference_bfs_reached(g, v, 3);
+    }
+    assert_eq!(
+        measured.bfs_reached, reference_reached,
+        "workspace BFS diverged from the reference formulation"
+    );
+    let mut reference_sum = 0.0f64;
+    for v in upp_sources(scale) {
+        reference_sum += reference_single_source_upp(g, v, 0.01).iter().sum::<f64>();
+    }
+    assert_eq!(
+        measured.upp_sum.to_bits(),
+        reference_sum.to_bits(),
+        "workspace upp diverged from the reference formulation: {} vs {}",
+        measured.upp_sum,
+        reference_sum
+    );
+    (reference_reached, reference_sum)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot documents
+// ---------------------------------------------------------------------------
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn results_json(
+    measured: &Measured,
+    baselines: &[(&str, Option<f64>); 4],
+    baseline_key: &str,
+    speedup_key: &str,
+) -> Value {
+    let timings = [
+        ("build_50k_small_world", measured.build_ms),
+        ("triangle_count_50k", measured.triangle_ms),
+        ("rhop_bfs_r3_x2000", measured.bfs_ms),
+        ("single_source_upp_x200", measured.upp_ms),
     ];
     let mut results = Vec::new();
-    for ((name, millis), (bname, baseline)) in measured.iter().zip(PR1_BASELINE_MILLIS) {
-        debug_assert_eq!(*name, bname);
+    for ((name, millis), (bname, baseline)) in timings.iter().zip(baselines) {
+        debug_assert_eq!(name, bname);
         let mut entry = vec![
             ("name".to_string(), Value::Str(name.to_string())),
-            (
-                "millis".to_string(),
-                Value::Float((millis * 1e3).round() / 1e3),
-            ),
+            ("millis".to_string(), Value::Float(round3(*millis))),
         ];
         if let Some(base) = baseline {
-            entry.push(("baseline_pr1_millis".to_string(), Value::Float(base)));
+            entry.push((baseline_key.to_string(), Value::Float(*base)));
             entry.push((
-                "speedup_vs_pr1".to_string(),
+                speedup_key.to_string(),
                 Value::Float((base / millis * 1e2).round() / 1e2),
             ));
         }
         results.push(Value::Object(entry));
     }
+    Value::Array(results)
+}
 
+fn workload_json(measured: &Measured) -> Value {
+    Value::Object(vec![
+        (
+            "graph".to_string(),
+            Value::Str("small_world paper_default".to_string()),
+        ),
+        (
+            "vertices".to_string(),
+            Value::UInt(measured.graph.num_vertices() as u64),
+        ),
+        (
+            "edges".to_string(),
+            Value::UInt(measured.graph.num_edges() as u64),
+        ),
+        ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+        ("triangles".to_string(), Value::UInt(measured.triangles)),
+        ("bfs_reached".to_string(), Value::UInt(measured.bfs_reached)),
+        ("upp_sum".to_string(), Value::Float(measured.upp_sum)),
+    ])
+}
+
+/// Runs the snapshot workloads and renders the `BENCH_2.json` document
+/// (kept for re-measuring the PR-2 snapshot). Returns the pretty-printed
+/// JSON.
+pub fn bench2_snapshot_json() -> String {
+    let measured = measure(SNAPSHOT_SCALE);
     let doc = Value::Object(vec![
         ("snapshot".to_string(), Value::Str("BENCH_2".to_string())),
         (
@@ -111,21 +300,76 @@ pub fn bench2_snapshot_json() -> String {
                     .to_string(),
             ),
         ),
+        ("workload".to_string(), workload_json(&measured)),
         (
-            "workload".to_string(),
+            "results".to_string(),
+            results_json(
+                &measured,
+                &PR1_BASELINE_MILLIS,
+                "baseline_pr1_millis",
+                "speedup_vs_pr1",
+            ),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+/// Runs the snapshot workloads through the workspace-backed primitives,
+/// cross-checks every checksum against the pre-workspace reference
+/// formulations, and renders the `BENCH_3.json` document. `scale` below
+/// [`SNAPSHOT_SCALE`] runs the same shape as a smoke test (CI), in which
+/// case the scale-specific BENCH_2 baselines are omitted.
+pub fn bench3_snapshot_json(scale: usize) -> String {
+    let measured = measure(scale);
+    let (reference_reached, reference_sum) =
+        verify_against_reference(&measured.graph, scale, &measured);
+
+    let no_baselines: [(&str, Option<f64>); 4] = [
+        ("build_50k_small_world", None),
+        ("triangle_count_50k", None),
+        ("rhop_bfs_r3_x2000", None),
+        ("single_source_upp_x200", None),
+    ];
+    let baselines = if scale == SNAPSHOT_SCALE {
+        &PR2_BASELINE_MILLIS
+    } else {
+        &no_baselines
+    };
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_3".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Graph-primitive timings with the reusable TraversalWorkspace (PR 3): \
+                 epoch-stamped scratch arrays, ring-buffer BFS and the monotone bucket \
+                 queue for the max-product Dijkstra. Baselines are the PR-2 per-call \
+                 allocation formulations from BENCH_2.json, same machine, same workloads. \
+                 Checksums are asserted bit-identical against the pre-workspace reference \
+                 implementations before timing is reported."
+                    .to_string(),
+            ),
+        ),
+        ("workload".to_string(), workload_json(&measured)),
+        (
+            "verification".to_string(),
             Value::Object(vec![
                 (
-                    "graph".to_string(),
-                    Value::Str("small_world paper_default".to_string()),
+                    "reference_bfs_reached".to_string(),
+                    Value::UInt(reference_reached),
                 ),
-                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
-                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
-                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
-                ("triangles".to_string(), Value::UInt(tri)),
-                ("bfs_reached".to_string(), Value::UInt(reached)),
+                ("reference_upp_sum".to_string(), Value::Float(reference_sum)),
+                ("checksums_match_reference".to_string(), Value::Bool(true)),
             ]),
         ),
-        ("results".to_string(), Value::Array(results)),
+        (
+            "results".to_string(),
+            results_json(
+                &measured,
+                baselines,
+                "baseline_pr2_millis",
+                "speedup_vs_pr2",
+            ),
+        ),
     ]);
     serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
 }
@@ -135,18 +379,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn baseline_table_matches_workload_names() {
-        // names in the baseline table must stay aligned with the measured
+    fn baseline_tables_match_workload_names() {
+        // names in the baseline tables must stay aligned with the measured
         // workloads (zip order is load-bearing)
-        let names: Vec<&str> = PR1_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
-        assert_eq!(
-            names,
-            vec![
-                "build_50k_small_world",
-                "triangle_count_50k",
-                "rhop_bfs_r3_x2000",
-                "single_source_upp_x200"
-            ]
-        );
+        let expected = vec![
+            "build_50k_small_world",
+            "triangle_count_50k",
+            "rhop_bfs_r3_x2000",
+            "single_source_upp_x200",
+        ];
+        let pr1: Vec<&str> = PR1_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
+        let pr2: Vec<&str> = PR2_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(pr1, expected);
+        assert_eq!(pr2, expected);
+    }
+
+    #[test]
+    fn workspace_primitives_match_references_on_a_small_snapshot() {
+        // the bench3 verification logic itself, exercised at test-friendly
+        // scale: bounded BFS and floored upp must agree with the naive
+        // formulations bit for bit
+        let g = snapshot_graph(600);
+        for v in bfs_sources(600).take(40) {
+            let ws_reached = bfs_within(&g, v, 3).distances.len() as u64;
+            assert_eq!(ws_reached, reference_bfs_reached(&g, v, 3), "source {v}");
+        }
+        for v in upp_sources(600).take(20) {
+            let ws = single_source_upp(&g, v, 0.01);
+            let reference = reference_single_source_upp(&g, v, 0.01);
+            assert_eq!(ws.len(), reference.len());
+            for (i, (a, b)) in ws.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "source {v} vertex {i}");
+            }
+        }
     }
 }

@@ -16,7 +16,8 @@
 
 use crate::index::{CommunityIndex, IndexBuilder};
 use crate::precompute::{PrecomputeConfig, PrecomputedData};
-use icde_graph::traversal::hop_subgraph;
+use icde_graph::traversal::hop_subgraph_with;
+use icde_graph::workspace::with_thread_workspace;
 use icde_graph::{SocialNetwork, VertexId};
 use std::collections::HashSet;
 
@@ -71,11 +72,13 @@ pub fn affected_vertices(
 ) -> HashSet<VertexId> {
     let radius = r_max + influence_slack;
     let mut affected: HashSet<VertexId> = HashSet::new();
-    for endpoint in [u, v] {
-        for w in hop_subgraph(g, endpoint, radius).iter() {
-            affected.insert(w);
+    with_thread_workspace(|ws| {
+        for endpoint in [u, v] {
+            for w in hop_subgraph_with(ws, g, endpoint, radius).iter() {
+                affected.insert(w);
+            }
         }
-    }
+    });
     affected
 }
 
@@ -172,6 +175,7 @@ mod tests {
     use crate::query::TopLQuery;
     use crate::topl::TopLProcessor;
     use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::traversal::hop_subgraph;
     use icde_graph::KeywordSet;
 
     fn setup() -> (SocialNetwork, CommunityIndex) {

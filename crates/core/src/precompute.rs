@@ -12,10 +12,12 @@
 //!   extracted from it.
 //!
 //! The per-vertex work items are independent, so the computation is spread
-//! over `available_parallelism()` worker threads with `crossbeam`'s scoped
-//! threads.
+//! over `available_parallelism()` worker threads with `std::thread::scope`;
+//! each worker owns one [`TraversalWorkspace`] and amortises every BFS and
+//! influence expansion of its chunk through it.
 
-use icde_graph::traversal::bfs_within;
+use icde_graph::traversal::bfs_within_with;
+use icde_graph::workspace::{with_thread_workspace, TraversalWorkspace};
 use icde_graph::{BitVector, SocialNetwork, VertexId, VertexSubset};
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::support::edge_supports_global;
@@ -177,12 +179,14 @@ impl PrecomputedData {
         };
 
         if workers <= 1 || n == 0 {
+            let mut ws = TraversalWorkspace::new();
             for (i, slot) in vertices.iter_mut().enumerate() {
                 *slot = Some(precompute_vertex(
                     g,
                     &config,
                     &edge_supports,
                     VertexId::from_index(i),
+                    &mut ws,
                 ));
             }
         } else {
@@ -198,9 +202,18 @@ impl PrecomputedData {
                     let config = &config;
                     let edge_supports = &edge_supports;
                     handles.push(scope.spawn(move || {
+                        // one workspace per worker: scratch arrays and queues
+                        // are reused across the whole chunk
+                        let mut ws = TraversalWorkspace::new();
                         (start..end)
                             .map(|i| {
-                                precompute_vertex(g, config, edge_supports, VertexId::from_index(i))
+                                precompute_vertex(
+                                    g,
+                                    config,
+                                    edge_supports,
+                                    VertexId::from_index(i),
+                                    &mut ws,
+                                )
                             })
                             .collect::<Vec<_>>()
                     }));
@@ -263,7 +276,9 @@ impl PrecomputedData {
     /// `edge_supports` must already reflect the updated graph; use
     /// [`PrecomputedData::refresh_edge_supports`] first.
     pub fn recompute_vertex(&mut self, g: &SocialNetwork, v: VertexId) {
-        self.vertices[v.index()] = precompute_vertex(g, &self.config, &self.edge_supports, v);
+        self.vertices[v.index()] = with_thread_workspace(|ws| {
+            precompute_vertex(g, &self.config, &self.edge_supports, v, ws)
+        });
     }
 
     /// Recomputes the global per-edge supports from scratch against the
@@ -273,15 +288,17 @@ impl PrecomputedData {
     }
 }
 
-/// Computes the aggregates of a single vertex for every radius.
+/// Computes the aggregates of a single vertex for every radius, running
+/// every traversal through the caller's workspace.
 fn precompute_vertex(
     g: &SocialNetwork,
     config: &PrecomputeConfig,
     edge_supports: &[u32],
     v: VertexId,
+    ws: &mut TraversalWorkspace,
 ) -> VertexPrecompute {
     // One bounded BFS to r_max gives every radius at once.
-    let distances = bfs_within(g, v, config.r_max);
+    let distances = bfs_within_with(ws, g, v, config.r_max);
     let evaluator = InfluenceEvaluator::new(g, InfluenceConfig { theta: 0.0 });
 
     let mut per_radius = Vec::with_capacity(config.r_max as usize);
@@ -315,7 +332,7 @@ fn precompute_vertex(
             .iter()
             .map(|&theta_z| {
                 evaluator
-                    .influenced_community_with_theta(&region, theta_z)
+                    .influenced_community_with_theta_in(ws, &region, theta_z)
                     .influential_score()
             })
             .collect();

@@ -14,7 +14,8 @@
 //!   regions `hop(v_i, r)` for `r ∈ [1, r_max]` (Algorithm 2): anything
 //!   outside the ball is irrelevant for a query with that radius.
 
-use icde_graph::traversal::hop_distances_within_subset;
+use icde_graph::traversal::hop_distances_within_subset_with;
+use icde_graph::workspace::with_thread_workspace;
 use icde_graph::{SocialNetwork, VertexId, VertexSubset};
 
 /// Community-level radius pruning (Lemma 3): returns `true` (prune) when some
@@ -33,7 +34,8 @@ pub fn can_prune_by_radius(
     if !subgraph.contains(center) {
         return true;
     }
-    let distances = hop_distances_within_subset(g, subgraph, center);
+    let distances =
+        with_thread_workspace(|ws| hop_distances_within_subset_with(ws, g, subgraph, center));
     distances.distances.len() != subgraph.len() || distances.max_distance() > radius
 }
 

@@ -15,7 +15,10 @@
 //! around this centre, so the fixpoint is the maximal valid community (or
 //! nothing if the centre itself is eliminated).
 
-use icde_graph::traversal::{hop_distances_within_subset, hop_subgraph};
+use icde_graph::traversal::{
+    hop_distances_within_subset, hop_distances_within_subset_with, hop_subgraph_with,
+};
+use icde_graph::workspace::{with_thread_workspace, TraversalWorkspace};
 use icde_graph::{KeywordSet, SocialNetwork, VertexId, VertexSubset};
 use icde_truss::ktruss::maximal_ktruss;
 use serde::{Deserialize, Serialize};
@@ -60,13 +63,32 @@ pub fn extract_seed_community(
     radius: u32,
     query_keywords: &KeywordSet,
 ) -> Option<VertexSubset> {
+    // The refinement loop runs one BFS per fixpoint round; borrow the
+    // thread workspace once instead of once per traversal.
+    with_thread_workspace(|ws| {
+        extract_seed_community_in(ws, g, center, support, radius, query_keywords)
+    })
+}
+
+/// [`extract_seed_community`] against a caller-owned workspace.
+fn extract_seed_community_in(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    center: VertexId,
+    support: u32,
+    radius: u32,
+    query_keywords: &KeywordSet,
+) -> Option<VertexSubset> {
+    if !g.contains_vertex(center) {
+        return None;
+    }
     // The centre itself must satisfy the keyword constraint.
     if !g.keyword_set(center).intersects(query_keywords) {
         return None;
     }
 
     // Start from the r-hop ball and keep only keyword-qualified vertices.
-    let ball = hop_subgraph(g, center, radius);
+    let ball = hop_subgraph_with(ws, g, center, radius);
     let mut candidate = VertexSubset::from_iter(
         ball.iter()
             .filter(|v| g.keyword_set(*v).intersects(query_keywords)),
@@ -83,7 +105,7 @@ pub fn extract_seed_community(
 
         // Radius constraint *inside* the community: trim vertices farther
         // than r hops from the centre (or unreachable within the component).
-        let distances = hop_distances_within_subset(g, &component, center);
+        let distances = hop_distances_within_subset_with(ws, g, &component, center);
         let within: VertexSubset = distances
             .distances
             .iter()

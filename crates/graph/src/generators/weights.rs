@@ -55,13 +55,12 @@ impl WeightRange {
 /// Re-draws both directed activation probabilities of every edge uniformly
 /// from `range`.
 pub fn assign_uniform_weights<R: Rng>(g: &mut SocialNetwork, range: WeightRange, rng: &mut R) {
-    let edge_ids: Vec<_> = g.edges().map(|(e, _, _)| e).collect();
-    for e in edge_ids {
-        let forward = range.sample(rng);
-        let backward = range.sample(rng);
-        g.set_edge_weights(e, forward, backward)
-            .expect("weights sampled from a validated range are valid probabilities");
-    }
+    let updates: Vec<_> = g
+        .edges()
+        .map(|(e, _, _)| (e, range.sample(rng), range.sample(rng)))
+        .collect();
+    g.set_edge_weights_bulk(&updates)
+        .expect("weights sampled from a validated range are valid probabilities");
 }
 
 #[cfg(test)]

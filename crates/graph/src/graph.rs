@@ -55,6 +55,12 @@ pub struct SocialNetwork {
     /// Packed `(neighbour, edge id)` pairs, sorted by neighbour id within each
     /// vertex's row. Length `2m`.
     csr: Vec<(VertexId, EdgeId)>,
+    /// Outgoing activation probability per CSR slot: `csr_out_weight[s]` is
+    /// `p_{v→n}` where slot `s` of `v`'s row points at `n`. Keeps the
+    /// max-product Dijkstra inner loop on two contiguous slices instead of
+    /// chasing the edge table per neighbour. Derived data, rebuilt alongside
+    /// the CSR and patched by [`SocialNetwork::set_edge_weights`].
+    csr_out_weight: Vec<Weight>,
     /// Canonical edge table: `edges[e] = (u, v)` with `u < v`.
     edges: Vec<(VertexId, VertexId)>,
     /// Directed activation probability `p_{u,v}` for the canonical direction
@@ -71,6 +77,7 @@ impl Default for SocialNetwork {
         SocialNetwork {
             offsets: vec![0],
             csr: Vec::new(),
+            csr_out_weight: Vec::new(),
             edges: Vec::new(),
             weight_forward: Vec::new(),
             weight_backward: Vec::new(),
@@ -159,14 +166,34 @@ impl SocialNetwork {
             weight_backward.push(p_hi_lo);
         }
         let (offsets, csr) = build_csr(n, &edges);
-        Ok(SocialNetwork {
+        let mut network = SocialNetwork {
             offsets,
             csr,
+            csr_out_weight: Vec::new(),
             edges,
             weight_forward,
             weight_backward,
             keywords,
-        })
+        };
+        network.refresh_csr_out_weights();
+        Ok(network)
+    }
+
+    /// Recomputes the packed per-slot outgoing weights from the directed
+    /// weight tables in one O(m) pass.
+    fn refresh_csr_out_weights(&mut self) {
+        self.csr_out_weight.resize(self.csr.len(), 0.0);
+        for slot in 0..self.csr.len() {
+            // a slot pointing at the higher endpoint lives in the lower
+            // endpoint's row, so the outgoing direction is forward
+            let (n, e) = self.csr[slot];
+            let (_, hi) = self.edges[e.index()];
+            self.csr_out_weight[slot] = if n == hi {
+                self.weight_forward[e.index()]
+            } else {
+                self.weight_backward[e.index()]
+            };
+        }
     }
 
     /// Number of vertices `|V(G)|`.
@@ -289,11 +316,14 @@ impl SocialNetwork {
     }
 
     /// Iterates over the neighbours of `v` together with the *outgoing*
-    /// activation probability `p_{v→n}`.
+    /// activation probability `p_{v→n}` — a zip of two contiguous CSR
+    /// slices, no per-neighbour edge-table lookup.
     pub fn outgoing(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(v)
+        let range = self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize;
+        self.csr[range.clone()]
             .iter()
-            .map(move |&(n, e)| (n, self.directed_weight(e, v)))
+            .zip(&self.csr_out_weight[range])
+            .map(|(&(n, _), &w)| (n, w))
     }
 
     /// Keyword set `v.W` of a vertex.
@@ -334,7 +364,58 @@ impl SocialNetwork {
         }
         self.weight_forward[e.index()] = p_forward;
         self.weight_backward[e.index()] = p_backward;
+        // keep the packed per-slot outgoing weights in sync: the forward
+        // direction leaves lo's row (slot pointing at hi) and vice versa
+        self.patch_out_weight(lo, hi, p_forward);
+        self.patch_out_weight(hi, lo, p_backward);
         Ok(())
+    }
+
+    /// Overwrites the directed weights of many edges at once (attribute-only,
+    /// the CSR structure is untouched). Validates every update before
+    /// applying any, then refreshes the packed per-slot weights in one O(m)
+    /// pass — the generators re-draw *every* edge after freezing, where
+    /// per-edge [`set_edge_weights`] would pay two binary searches per edge.
+    ///
+    /// [`set_edge_weights`]: SocialNetwork::set_edge_weights
+    pub fn set_edge_weights_bulk(
+        &mut self,
+        updates: &[(EdgeId, Weight, Weight)],
+    ) -> GraphResult<()> {
+        for &(e, p_forward, p_backward) in updates {
+            let (lo, hi) = self.edges[e.index()];
+            if !is_valid_probability(p_forward) {
+                return Err(GraphError::InvalidWeight {
+                    u: lo,
+                    v: hi,
+                    weight: p_forward,
+                });
+            }
+            if !is_valid_probability(p_backward) {
+                return Err(GraphError::InvalidWeight {
+                    u: hi,
+                    v: lo,
+                    weight: p_backward,
+                });
+            }
+        }
+        for &(e, p_forward, p_backward) in updates {
+            self.weight_forward[e.index()] = p_forward;
+            self.weight_backward[e.index()] = p_backward;
+        }
+        self.refresh_csr_out_weights();
+        Ok(())
+    }
+
+    /// Overwrites the packed outgoing weight of the slot in `from`'s row that
+    /// points at `to` (the slot exists for every edge endpoint pair).
+    fn patch_out_weight(&mut self, from: VertexId, to: VertexId, weight: Weight) {
+        let start = self.offsets[from.index()] as usize;
+        let row = &self.csr[start..self.offsets[from.index() + 1] as usize];
+        let pos = row
+            .binary_search_by_key(&to, |&(n, _)| n)
+            .expect("endpoints of an existing edge are mutual neighbours");
+        self.csr_out_weight[start + pos] = weight;
     }
 
     /// Rebuilds the frozen store with one additional edge `{u, v}` (the
@@ -724,7 +805,58 @@ mod tests {
             g.activation_probability(VertexId(1), VertexId(0)).unwrap(),
             0.3
         );
+        // the packed per-slot outgoing weights must be patched too
+        assert!(g
+            .outgoing(VertexId(0))
+            .any(|(n, w)| n == VertexId(1) && w == 0.2));
+        assert!(g
+            .outgoing(VertexId(1))
+            .any(|(n, w)| n == VertexId(0) && w == 0.3));
         assert!(g.set_edge_weights(e, -1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn bulk_weight_update_patches_packed_slots() {
+        let mut g = triangle();
+        let updates: Vec<(EdgeId, f64, f64)> = g
+            .edges()
+            .map(|(e, _, _)| {
+                (
+                    e,
+                    0.11 + 0.1 * e.index() as f64,
+                    0.21 + 0.1 * e.index() as f64,
+                )
+            })
+            .collect();
+        g.set_edge_weights_bulk(&updates).unwrap();
+        for &(e, wf, wb) in &updates {
+            let (lo, hi) = g.edge_endpoints(e);
+            assert_eq!(g.activation_probability(lo, hi).unwrap(), wf);
+            assert_eq!(g.activation_probability(hi, lo).unwrap(), wb);
+            assert!(g.outgoing(lo).any(|(n, w)| n == hi && w == wf));
+            assert!(g.outgoing(hi).any(|(n, w)| n == lo && w == wb));
+        }
+        // an invalid entry anywhere rejects the whole batch before applying
+        let before: Vec<f64> = g.outgoing(VertexId(0)).map(|(_, w)| w).collect();
+        assert!(g
+            .set_edge_weights_bulk(&[(EdgeId(0), 0.5, 0.5), (EdgeId(1), 1.5, 0.5)])
+            .is_err());
+        let after: Vec<f64> = g.outgoing(VertexId(0)).map(|(_, w)| w).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn packed_outgoing_weights_agree_with_edge_table() {
+        let g = triangle();
+        for v in g.vertices() {
+            let packed: Vec<(VertexId, f64)> = g.outgoing(v).collect();
+            let via_table: Vec<(VertexId, f64)> = g
+                .neighbors(v)
+                .iter()
+                .map(|&(n, e)| (n, g.directed_weight(e, v)))
+                .collect();
+            assert_eq!(packed, via_table, "vertex {v}");
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   signatures used by the keyword pruning rule,
 //! * [`traversal`] — BFS, r-hop subgraph extraction `hop(v, r)`, hop
 //!   distances and connected components,
+//! * [`workspace`] — the reusable [`TraversalWorkspace`] (epoch-stamped
+//!   scratch arrays, ring buffer, monotone bucket queue) every traversal and
+//!   propagation loop borrows instead of allocating per call,
 //! * [`subgraph`] — light-weight vertex-subset views over a network,
 //! * [`generators`] — synthetic workload generators (Newman–Watts–Strogatz
 //!   small-world, DBLP-like, Amazon-like, keyword distributions, edge
@@ -37,6 +40,7 @@ pub mod statistics;
 pub mod subgraph;
 pub mod traversal;
 pub mod types;
+pub mod workspace;
 
 pub use bitvec::BitVector;
 pub use builder::GraphBuilder;
@@ -45,3 +49,4 @@ pub use graph::SocialNetwork;
 pub use keywords::{Keyword, KeywordSet};
 pub use subgraph::VertexSubset;
 pub use types::{EdgeId, VertexId, Weight};
+pub use workspace::TraversalWorkspace;

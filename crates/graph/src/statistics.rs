@@ -6,8 +6,9 @@
 //! profile of a loaded graph.
 
 use crate::graph::SocialNetwork;
-use crate::traversal::{bfs_within, connected_components};
+use crate::traversal::{bfs_within_with, connected_components};
 use crate::types::VertexId;
+use crate::workspace::with_thread_workspace;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of one social network.
@@ -85,18 +86,15 @@ pub fn diameter_lower_bound(g: &SocialNetwork) -> u32 {
     if g.num_vertices() == 0 {
         return 0;
     }
-    let first = bfs_within(g, VertexId(0), u32::MAX);
-    let (&(farthest, _), _) = match first
-        .distances
-        .iter()
-        .map(|(v, d)| ((*v, *d), *d))
-        .max_by_key(|(_, d)| *d)
-    {
-        Some(pair) => (&(pair.0 .0, pair.0 .1), pair.1),
-        None => return 0,
-    };
-    let second = bfs_within(g, farthest, u32::MAX);
-    second.max_distance()
+    with_thread_workspace(|ws| {
+        let first = bfs_within_with(ws, g, VertexId(0), u32::MAX);
+        // BFS order is non-decreasing in distance: the last vertex is (one
+        // of) the farthest
+        match first.distances.last() {
+            Some(&(farthest, _)) => bfs_within_with(ws, g, farthest, u32::MAX).max_distance(),
+            None => 0,
+        }
+    })
 }
 
 /// Per-degree histogram: `histogram[d]` is the number of vertices with degree

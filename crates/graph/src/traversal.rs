@@ -6,11 +6,20 @@
 //! subgraph induced by every vertex within `r` hops of the centre `v_i`. This
 //! module provides that extraction plus the hop-distance primitives used by
 //! the radius pruning rule (Lemma 3).
+//!
+//! Every function comes in two flavours (see [`crate::workspace`] for the
+//! borrowing contract): the plain name borrows this thread's shared
+//! [`TraversalWorkspace`], while the `_with` variant takes one explicitly so
+//! batch callers pay the scratch allocations only once. Sources that the
+//! graph does not contain (stale [`VertexId`]s, queries against an empty
+//! graph) yield empty results instead of panicking.
 
 use crate::graph::SocialNetwork;
 use crate::subgraph::VertexSubset;
 use crate::types::VertexId;
-use std::collections::VecDeque;
+use crate::workspace::{with_thread_workspace, TraversalWorkspace};
+use std::cell::OnceCell;
+use std::collections::HashMap;
 
 /// Result of a bounded BFS: every reached vertex together with its hop
 /// distance from the source.
@@ -18,17 +27,34 @@ use std::collections::VecDeque;
 pub struct HopDistances {
     /// Source of the BFS.
     pub source: VertexId,
-    /// `(vertex, hops)` pairs in BFS order (source first with distance 0).
+    /// `(vertex, hops)` pairs in BFS order (source first with distance 0);
+    /// empty when the source is not a vertex of the graph.
     pub distances: Vec<(VertexId, u32)>,
+    /// Dense lookup table built lazily on the first [`distance`] call, so
+    /// repeated lookups are O(1) instead of a linear scan while the hot
+    /// callers that never look up individual vertices pay nothing.
+    ///
+    /// [`distance`]: HopDistances::distance
+    lookup: OnceCell<HashMap<VertexId, u32>>,
 }
 
 impl HopDistances {
-    /// Looks up the hop distance of `v`, if it was reached.
+    /// Wraps a BFS-ordered `(vertex, hops)` list.
+    pub fn new(source: VertexId, distances: Vec<(VertexId, u32)>) -> Self {
+        HopDistances {
+            source,
+            distances,
+            lookup: OnceCell::new(),
+        }
+    }
+
+    /// Looks up the hop distance of `v`, if it was reached. O(1) after the
+    /// first call (which builds the lookup table in one pass).
     pub fn distance(&self, v: VertexId) -> Option<u32> {
-        self.distances
-            .iter()
-            .find(|(u, _)| *u == v)
-            .map(|(_, d)| *d)
+        self.lookup
+            .get_or_init(|| self.distances.iter().copied().collect())
+            .get(&v)
+            .copied()
     }
 
     /// The vertex set reached by the BFS.
@@ -39,65 +65,97 @@ impl HopDistances {
     /// The maximum hop distance of any reached vertex (the eccentricity of
     /// the source within the explored ball).
     pub fn max_distance(&self) -> u32 {
-        self.distances.iter().map(|(_, d)| *d).max().unwrap_or(0)
+        // BFS discovers vertices in non-decreasing distance order, so the
+        // last entry carries the maximum.
+        self.distances.last().map_or(0, |&(_, d)| d)
     }
 }
 
 /// Runs a BFS from `source` bounded to `max_hops` hops and returns every
-/// reached vertex with its hop distance.
+/// reached vertex with its hop distance. Borrows the thread workspace.
 ///
 /// `max_hops = u32::MAX` gives an unbounded BFS over the connected component.
+/// A `source` outside the graph yields an empty result.
 pub fn bfs_within(g: &SocialNetwork, source: VertexId, max_hops: u32) -> HopDistances {
-    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
-    let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    dist[source.index()] = Some(0);
-    order.push((source, 0));
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued vertices have distances");
+    with_thread_workspace(|ws| bfs_within_with(ws, g, source, max_hops))
+}
+
+/// [`bfs_within`] against a caller-owned workspace.
+pub fn bfs_within_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    source: VertexId,
+    max_hops: u32,
+) -> HopDistances {
+    if !g.contains_vertex(source) {
+        return HopDistances::new(source, Vec::new());
+    }
+    ws.begin(g.num_vertices());
+    // the output list doubles as the BFS ring buffer: entries are appended
+    // on discovery and consumed in order through `head`
+    let mut order = vec![(source, 0u32)];
+    ws.try_visit(source, 0);
+    let mut head = 0;
+    while head < order.len() {
+        let (u, du) = order[head];
+        head += 1;
         if du == max_hops {
             continue;
         }
         for &(n, _) in g.neighbors(u) {
-            if dist[n.index()].is_none() {
-                dist[n.index()] = Some(du + 1);
+            if ws.try_visit(n, du + 1) {
                 order.push((n, du + 1));
-                queue.push_back(n);
             }
         }
     }
-    HopDistances {
-        source,
-        distances: order,
-    }
+    HopDistances::new(source, order)
 }
 
 /// Extracts the r-hop subgraph `hop(center, r)`: the set of vertices within
 /// `r` hops of `center` (including the centre itself).
 pub fn hop_subgraph(g: &SocialNetwork, center: VertexId, r: u32) -> VertexSubset {
-    bfs_within(g, center, r).reached()
+    with_thread_workspace(|ws| hop_subgraph_with(ws, g, center, r))
+}
+
+/// [`hop_subgraph`] against a caller-owned workspace.
+pub fn hop_subgraph_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    center: VertexId,
+    r: u32,
+) -> VertexSubset {
+    bfs_within_with(ws, g, center, r).reached()
 }
 
 /// Hop distance between `u` and `v` in the full graph, or `None` if they are
-/// disconnected.
+/// disconnected (or either endpoint is not a vertex of the graph).
 pub fn hop_distance(g: &SocialNetwork, u: VertexId, v: VertexId) -> Option<u32> {
+    with_thread_workspace(|ws| hop_distance_with(ws, g, u, v))
+}
+
+/// [`hop_distance`] against a caller-owned workspace.
+pub fn hop_distance_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    u: VertexId,
+    v: VertexId,
+) -> Option<u32> {
+    if !g.contains_vertex(u) || !g.contains_vertex(v) {
+        return None;
+    }
     if u == v {
         return Some(0);
     }
-    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
-    let mut queue = VecDeque::new();
-    dist[u.index()] = Some(0);
-    queue.push_back(u);
-    while let Some(x) = queue.pop_front() {
-        let dx = dist[x.index()].unwrap();
+    ws.begin(g.num_vertices());
+    ws.try_visit(u, 0);
+    ws.queue_push(u, 0);
+    while let Some((x, dx)) = ws.queue_pop_front() {
         for &(n, _) in g.neighbors(x) {
-            if dist[n.index()].is_none() {
-                dist[n.index()] = Some(dx + 1);
+            if ws.try_visit(n, dx + 1) {
                 if n == v {
                     return Some(dx + 1);
                 }
-                queue.push_back(n);
+                ws.queue_push(n, dx + 1);
             }
         }
     }
@@ -114,27 +172,34 @@ pub fn hop_distances_within_subset(
     subset: &VertexSubset,
     source: VertexId,
 ) -> HopDistances {
+    with_thread_workspace(|ws| hop_distances_within_subset_with(ws, g, subset, source))
+}
+
+/// [`hop_distances_within_subset`] against a caller-owned workspace.
+pub fn hop_distances_within_subset_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    subset: &VertexSubset,
+    source: VertexId,
+) -> HopDistances {
+    if !g.contains_vertex(source) {
+        return HopDistances::new(source, Vec::new());
+    }
     debug_assert!(subset.contains(source), "source must belong to the subset");
-    let mut dist: Vec<Option<u32>> = vec![None; g.num_vertices()];
-    let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    dist[source.index()] = Some(0);
-    order.push((source, 0));
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].unwrap();
+    ws.begin(g.num_vertices());
+    let mut order = vec![(source, 0u32)];
+    ws.try_visit(source, 0);
+    let mut head = 0;
+    while head < order.len() {
+        let (u, du) = order[head];
+        head += 1;
         for &(n, _) in g.neighbors(u) {
-            if subset.contains(n) && dist[n.index()].is_none() {
-                dist[n.index()] = Some(du + 1);
+            if subset.contains(n) && ws.try_visit(n, du + 1) {
                 order.push((n, du + 1));
-                queue.push_back(n);
             }
         }
     }
-    HopDistances {
-        source,
-        distances: order,
-    }
+    HopDistances::new(source, order)
 }
 
 /// Returns `true` if every vertex of `subset` lies within `r` hops of
@@ -159,21 +224,27 @@ pub fn satisfies_radius(
 /// Computes the connected components of the graph; returns one
 /// [`VertexSubset`] per component, largest first.
 pub fn connected_components(g: &SocialNetwork) -> Vec<VertexSubset> {
-    let mut seen = vec![false; g.num_vertices()];
+    with_thread_workspace(|ws| connected_components_with(ws, g))
+}
+
+/// [`connected_components`] against a caller-owned workspace.
+pub fn connected_components_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+) -> Vec<VertexSubset> {
+    ws.begin(g.num_vertices());
     let mut components = Vec::new();
     for v in g.vertices() {
-        if seen[v.index()] {
+        if !ws.try_visit(v, 0) {
             continue;
         }
         let mut component = Vec::new();
-        let mut stack = vec![v];
-        seen[v.index()] = true;
-        while let Some(u) = stack.pop() {
+        ws.queue_push(v, 0);
+        while let Some((u, _)) = ws.queue_pop_back() {
             component.push(u);
             for &(n, _) in g.neighbors(u) {
-                if !seen[n.index()] {
-                    seen[n.index()] = true;
-                    stack.push(n);
+                if ws.try_visit(n, 0) {
+                    ws.queue_push(n, 0);
                 }
             }
         }
@@ -213,12 +284,51 @@ mod tests {
     }
 
     #[test]
+    fn distance_lookup_agrees_with_bfs_order() {
+        // regression for the O(n) linear-scan lookup: every entry of the
+        // BFS-ordered list must be reproduced by `distance`, and misses must
+        // stay misses
+        let g = path_graph();
+        let hd = bfs_within(&g, VertexId(1), u32::MAX);
+        for &(v, d) in &hd.distances {
+            assert_eq!(hd.distance(v), Some(d), "vertex {v}");
+        }
+        for v in g.vertices() {
+            let expected = hd.distances.iter().find(|(u, _)| *u == v).map(|&(_, d)| d);
+            assert_eq!(hd.distance(v), expected, "vertex {v}");
+        }
+        assert_eq!(hd.distance(VertexId(999)), None);
+    }
+
+    #[test]
     fn bounded_bfs_stops_at_radius() {
         let g = path_graph();
         let hd = bfs_within(&g, VertexId(0), 2);
         assert_eq!(hd.distances.len(), 3);
         assert_eq!(hd.distance(VertexId(2)), Some(2));
         assert_eq!(hd.distance(VertexId(3)), None);
+    }
+
+    #[test]
+    fn stale_sources_yield_empty_results() {
+        let g = path_graph();
+        let stale = VertexId(99);
+        assert!(bfs_within(&g, stale, 3).distances.is_empty());
+        assert!(hop_subgraph(&g, stale, 2).is_empty());
+        assert_eq!(hop_distance(&g, stale, VertexId(0)), None);
+        assert_eq!(hop_distance(&g, VertexId(0), stale), None);
+        // even the reflexive case must not report distance 0 for a vertex
+        // the graph does not contain
+        assert_eq!(hop_distance(&g, stale, stale), None);
+    }
+
+    #[test]
+    fn empty_graph_traversals_are_empty() {
+        let g = SocialNetwork::new();
+        assert!(bfs_within(&g, VertexId(0), u32::MAX).distances.is_empty());
+        assert!(hop_subgraph(&g, VertexId(0), 1).is_empty());
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(1)), None);
+        assert!(connected_components(&g).is_empty());
     }
 
     #[test]
@@ -269,5 +379,18 @@ mod tests {
             .unwrap();
         assert!(is_connected(&g2));
         assert!(is_connected(&SocialNetwork::new()));
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let g = path_graph();
+        let mut reused = TraversalWorkspace::new();
+        for source in g.vertices() {
+            for max_hops in [0, 1, 2, u32::MAX] {
+                let with_reuse = bfs_within_with(&mut reused, &g, source, max_hops);
+                let fresh = bfs_within_with(&mut TraversalWorkspace::new(), &g, source, max_hops);
+                assert_eq!(with_reuse.distances, fresh.distances);
+            }
+        }
     }
 }

@@ -1,0 +1,562 @@
+//! Reusable traversal scratch state — the [`TraversalWorkspace`].
+//!
+//! Every hot loop of the pipeline is a graph exploration: the bounded BFS of
+//! the r-hop extraction `hop(v, r)` (Algorithm 2, Definition 2's radius
+//! constraint) and the max-product Dijkstra behind `upp`/`cpp` (Eqs. (2)–(4)).
+//! Before this module each call allocated its own `vec![None; n]` /
+//! `vec![0.0; n]` scratch and churned a fresh `VecDeque`/`BinaryHeap`, so a
+//! 2 000-query batch on a 50k-vertex graph spent most of its time in `memset`
+//! and allocator traffic rather than in the traversal itself.
+//!
+//! A [`TraversalWorkspace`] owns that scratch once and amortises it across
+//! calls:
+//!
+//! * **Epoch-stamped arrays** — `visited`/`distance`/`probability` state is
+//!   paired with a `Vec<u32>` of stamps; an entry is valid only when its
+//!   stamp equals the workspace's current epoch, so "clearing" the arrays
+//!   for the next traversal is a single counter bump ([`begin`]) instead of
+//!   an O(n) wipe. On the (astronomically rare) epoch wraparound the stamps
+//!   are hard-reset, so stale entries from 2³² traversals ago can never
+//!   alias.
+//! * **A reusable queue buffer** — one grow-only `Vec` doubles as the BFS
+//!   ring buffer (FIFO via a head cursor) and the DFS stack (LIFO).
+//! * **A monotone bucket queue** for the max-product Dijkstra, keyed on a
+//!   quantised `-ln p`. Probabilities only shrink along a path, so the
+//!   quantised key never decreases and buckets can be drained strictly in
+//!   order. Quantisation never costs exactness: every pop is re-checked
+//!   against the per-vertex best value (stale entries are skipped) and a
+//!   vertex whose best improves *within* a bucket is simply re-queued and
+//!   re-expanded, so the computed probabilities are bit-identical to the
+//!   binary-heap formulation.
+//! * **A reusable binary heap** for traversals that need strict best-first
+//!   order with early exit (`max_influence_path` stops at the target, which
+//!   a quantised bucket cannot do exactly).
+//!
+//! # Borrowing contract
+//!
+//! The workspace is plain mutable state — no interior mutability, no locks.
+//! The free functions in [`crate::traversal`] (and the influence crate's
+//! `upp`/`cpp` entry points) come in two flavours:
+//!
+//! * `foo(g, ...)` — thin wrapper that borrows this thread's shared
+//!   workspace via [`with_thread_workspace`] (re-entrant callers fall back
+//!   to a fresh temporary, never panic);
+//! * `foo_with(ws, g, ...)` — takes `&mut TraversalWorkspace` explicitly,
+//!   for callers that run many traversals back to back (the offline
+//!   pre-computation gives each `std::thread::scope` worker its own).
+//!
+//! A workspace may be used across graphs of different sizes; [`begin`]
+//! grows the arrays as needed. Results never depend on what previous
+//! traversals left behind — the property tests in
+//! `crates/graph/tests/workspace_properties.rs` assert bit-identical output
+//! through a reused workspace.
+//!
+//! [`begin`]: TraversalWorkspace::begin
+
+use crate::types::VertexId;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Number of buckets of the monotone queue. Keys are quantised at 16 buckets
+/// per halving of probability (see [`bucket_of`]), so 4096 buckets span
+/// probabilities down to `2⁻²⁵⁶`; anything rarer lands in the last bucket,
+/// which degrades ordering (never exactness).
+const BUCKET_CAP: usize = 4096;
+
+/// Quantisation shift: dropping 48 of the 52 mantissa bits keeps the f64
+/// exponent plus the top 4 mantissa bits, i.e. 16 buckets per octave.
+const KEY_SHIFT: u32 = 48;
+
+/// Maps a probability `p ∈ (0, 1]` to its bucket index. The bit pattern of a
+/// positive finite f64 is monotone in its value, so `bits(1.0) − bits(p)` is
+/// a monotone non-negative cost (0 for `p = 1`) and right-shifting it
+/// quantises `-ln p` without ever calling `ln`.
+#[inline]
+fn bucket_of(p: f64) -> usize {
+    const ONE_BITS: u64 = 0x3FF0_0000_0000_0000; // 1.0f64.to_bits()
+    let key = ONE_BITS.saturating_sub(p.to_bits());
+    ((key >> KEY_SHIFT) as usize).min(BUCKET_CAP - 1)
+}
+
+/// Max-heap entry ordered by probability (ties broken by vertex id), shared
+/// by every best-first traversal that needs strict ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbEntry {
+    /// Path probability of this entry.
+    pub probability: f64,
+    /// Vertex the entry refers to.
+    pub vertex: VertexId,
+}
+
+impl Eq for ProbEntry {}
+
+impl Ord for ProbEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.probability
+            .partial_cmp(&other.probability)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl PartialOrd for ProbEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Monotone bucket queue over quantised `-ln p` keys.
+#[derive(Debug, Default)]
+struct BucketQueue {
+    buckets: Vec<Vec<(f64, VertexId)>>,
+    /// No entries live in buckets below this index.
+    cursor: usize,
+    /// Highest bucket index that has ever held an entry since the last reset.
+    max_used: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    fn reset(&mut self) {
+        if self.len > 0 {
+            // early-exit left residue behind: clear the touched range
+            for bucket in &mut self.buckets[self.cursor..=self.max_used] {
+                bucket.clear();
+            }
+        }
+        self.cursor = 0;
+        self.max_used = 0;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn push(&mut self, p: f64, v: VertexId) {
+        // Keys are monotone along paths, so a new entry can never belong to
+        // an already-drained bucket; clamping to the cursor is a pure
+        // ordering fallback (exactness comes from the stale checks).
+        let idx = bucket_of(p).max(self.cursor);
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+        self.buckets[idx].push((p, v));
+        self.max_used = self.max_used.max(idx);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, VertexId)> {
+        while self.len > 0 {
+            if let Some(entry) = self.buckets[self.cursor].pop() {
+                self.len -= 1;
+                return Some(entry);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+}
+
+/// Reusable scratch state for graph traversals. See the [module docs] for
+/// the design and borrowing contract.
+///
+/// [module docs]: self
+#[derive(Debug, Default)]
+pub struct TraversalWorkspace {
+    /// Current epoch; array entries are valid iff their stamp equals it.
+    epoch: u32,
+    /// Visited stamps (BFS/DFS visited set, Dijkstra reached set).
+    reached: Vec<u32>,
+    /// Hop distances, valid iff `reached` is stamped.
+    dist: Vec<u32>,
+    /// Best path probabilities, valid iff `reached` is stamped (0.0
+    /// otherwise, matching the dense-array formulation).
+    prob: Vec<f64>,
+    /// Stamps for `expanded_at`.
+    expanded: Vec<u32>,
+    /// Probability a vertex was last expanded at (settled-skip state).
+    expanded_at: Vec<f64>,
+    /// Stamps for `parent`.
+    parented: Vec<u32>,
+    /// Predecessor on the current best path.
+    parent: Vec<VertexId>,
+    /// Vertices stamped through [`set_prob`] this epoch, in first-touch
+    /// order.
+    ///
+    /// [`set_prob`]: TraversalWorkspace::set_prob
+    touched: Vec<VertexId>,
+    /// Shared FIFO/LIFO buffer: `queue[head..]` are the pending entries.
+    queue: Vec<(VertexId, u32)>,
+    head: usize,
+    /// Monotone bucket queue for the max-product Dijkstra.
+    buckets: BucketQueue,
+    /// Strict best-first heap for early-exit traversals.
+    heap: BinaryHeap<ProbEntry>,
+    /// Number of vertex expansions since [`begin`] (diagnostics; the
+    /// settled-skip tests assert duplicates are not re-expanded).
+    ///
+    /// [`begin`]: TraversalWorkspace::begin
+    expansions: usize,
+}
+
+impl TraversalWorkspace {
+    /// Creates an empty workspace; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new traversal over an `n`-vertex graph: grows the arrays if
+    /// needed, invalidates all previous stamps with one epoch bump and
+    /// clears the queue structures.
+    pub fn begin(&mut self, n: usize) {
+        if self.reached.len() < n {
+            self.reached.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.prob.resize(n, 0.0);
+            self.expanded.resize(n, 0);
+            self.expanded_at.resize(n, 0.0);
+            self.parented.resize(n, 0);
+            self.parent.resize(n, VertexId(0));
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // wraparound: stamps written 2^32 epochs ago would alias the new
+            // epoch; hard-reset them once and restart from epoch 1
+            self.reached.fill(0);
+            self.expanded.fill(0);
+            self.parented.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+        self.queue.clear();
+        self.head = 0;
+        self.buckets.reset();
+        self.heap.clear();
+        self.expansions = 0;
+    }
+
+    /// The current epoch (diagnostics).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forces the epoch counter, so tests can exercise the wraparound reset
+    /// without running 2³² traversals. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    // -- visited / distance stamps (BFS, DFS) -------------------------------
+
+    /// Marks `v` visited at hop distance `d`; returns `false` if `v` was
+    /// already visited this epoch.
+    #[inline]
+    pub fn try_visit(&mut self, v: VertexId, d: u32) -> bool {
+        let i = v.index();
+        if self.reached[i] == self.epoch {
+            return false;
+        }
+        self.reached[i] = self.epoch;
+        self.dist[i] = d;
+        true
+    }
+
+    /// Hop distance recorded for `v` this epoch, if it was visited.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> Option<u32> {
+        let i = v.index();
+        (self.reached[i] == self.epoch).then(|| self.dist[i])
+    }
+
+    // -- best-probability stamps (max-product Dijkstra) ---------------------
+
+    /// Best path probability recorded for `v` this epoch (0.0 when
+    /// untouched, matching a dense `vec![0.0; n]`).
+    #[inline]
+    pub fn prob(&self, v: VertexId) -> f64 {
+        let i = v.index();
+        if self.reached[i] == self.epoch {
+            self.prob[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Records a new best probability for `v` (first touch registers `v` in
+    /// [`touched`]).
+    ///
+    /// [`touched`]: TraversalWorkspace::touched
+    #[inline]
+    pub fn set_prob(&mut self, v: VertexId, p: f64) {
+        let i = v.index();
+        if self.reached[i] != self.epoch {
+            self.reached[i] = self.epoch;
+            self.touched.push(v);
+        }
+        self.prob[i] = p;
+    }
+
+    /// Vertices whose probability was set this epoch, in first-touch order.
+    #[inline]
+    pub fn touched(&self) -> &[VertexId] {
+        &self.touched
+    }
+
+    /// Settled-skip check: returns `true` (and records the expansion) iff
+    /// `v` has not yet been expanded this epoch at probability ≥ `p`. Equal
+    /// re-pops — the duplicate-entry class the plain `probability < best`
+    /// check lets through — are rejected; a strict improvement within a
+    /// bucket is admitted so the traversal stays exact.
+    #[inline]
+    pub fn try_expand(&mut self, v: VertexId, p: f64) -> bool {
+        let i = v.index();
+        if self.expanded[i] == self.epoch && p <= self.expanded_at[i] {
+            return false;
+        }
+        self.expanded[i] = self.epoch;
+        self.expanded_at[i] = p;
+        self.expansions += 1;
+        true
+    }
+
+    /// Number of vertex expansions since [`begin`] (diagnostics).
+    ///
+    /// [`begin`]: TraversalWorkspace::begin
+    pub fn expansions(&self) -> usize {
+        self.expansions
+    }
+
+    // -- parent pointers (path reconstruction) ------------------------------
+
+    /// Records `u` as the predecessor of `v` on the current best path.
+    #[inline]
+    pub fn set_parent(&mut self, v: VertexId, u: VertexId) {
+        let i = v.index();
+        self.parented[i] = self.epoch;
+        self.parent[i] = u;
+    }
+
+    /// Predecessor of `v` recorded this epoch, if any.
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        let i = v.index();
+        (self.parented[i] == self.epoch).then(|| self.parent[i])
+    }
+
+    // -- shared queue buffer (FIFO for BFS, LIFO for DFS) -------------------
+
+    /// Appends an entry to the queue buffer.
+    #[inline]
+    pub fn queue_push(&mut self, v: VertexId, d: u32) {
+        self.queue.push((v, d));
+    }
+
+    /// Takes the oldest pending entry (FIFO / ring-buffer order).
+    #[inline]
+    pub fn queue_pop_front(&mut self) -> Option<(VertexId, u32)> {
+        let entry = self.queue.get(self.head).copied();
+        if entry.is_some() {
+            self.head += 1;
+        }
+        entry
+    }
+
+    /// Takes the newest pending entry (LIFO / stack order).
+    #[inline]
+    pub fn queue_pop_back(&mut self) -> Option<(VertexId, u32)> {
+        if self.queue.len() > self.head {
+            self.queue.pop()
+        } else {
+            None
+        }
+    }
+
+    // -- priority queues ----------------------------------------------------
+
+    /// Pushes an entry into the monotone bucket queue.
+    #[inline]
+    pub fn bucket_push(&mut self, p: f64, v: VertexId) {
+        self.buckets.push(p, v);
+    }
+
+    /// Pops the next entry from the lowest non-empty bucket.
+    #[inline]
+    pub fn bucket_pop(&mut self) -> Option<(f64, VertexId)> {
+        self.buckets.pop()
+    }
+
+    /// Pushes an entry into the strict best-first heap.
+    #[inline]
+    pub fn heap_push(&mut self, entry: ProbEntry) {
+        self.heap.push(entry);
+    }
+
+    /// Pops the highest-probability entry from the heap.
+    #[inline]
+    pub fn heap_pop(&mut self) -> Option<ProbEntry> {
+        self.heap.pop()
+    }
+}
+
+thread_local! {
+    /// One shared workspace per thread, borrowed by the wrapper flavour of
+    /// the traversal functions.
+    static THREAD_WORKSPACE: RefCell<TraversalWorkspace> =
+        RefCell::new(TraversalWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared [`TraversalWorkspace`]. Re-entrant
+/// calls (a caller that already holds the thread workspace invoking a
+/// wrapper) fall back to a fresh temporary workspace instead of panicking,
+/// so holding the workspace across arbitrary callbacks is always safe — the
+/// fallback only costs the allocations the workspace would have amortised.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut TraversalWorkspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut TraversalWorkspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_keys_are_monotone_in_probability() {
+        let probabilities = [
+            1.0,
+            0.999,
+            0.9,
+            0.5,
+            0.25,
+            0.1,
+            0.01,
+            1e-3,
+            1e-6,
+            1e-30,
+            1e-300,
+            f64::MIN_POSITIVE,
+        ];
+        assert_eq!(bucket_of(1.0), 0);
+        for pair in probabilities.windows(2) {
+            assert!(
+                bucket_of(pair[0]) <= bucket_of(pair[1]),
+                "bucket_of({}) > bucket_of({})",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(bucket_of(f64::MIN_POSITIVE) == BUCKET_CAP - 1);
+    }
+
+    #[test]
+    fn bucket_queue_drains_in_key_order_across_buckets() {
+        let mut q = BucketQueue::default();
+        q.push(0.1, VertexId(1));
+        q.push(0.9, VertexId(2));
+        q.push(0.5, VertexId(3));
+        let order: Vec<VertexId> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, vec![VertexId(2), VertexId(3), VertexId(1)]);
+        assert_eq!(q.len, 0);
+    }
+
+    #[test]
+    fn bucket_queue_reset_clears_early_exit_residue() {
+        let mut q = BucketQueue::default();
+        q.push(0.9, VertexId(1));
+        q.push(0.1, VertexId(2));
+        assert!(q.pop().is_some());
+        q.reset(); // one entry still pending
+        assert_eq!(q.len, 0);
+        assert!(q.pop().is_none());
+        q.push(0.5, VertexId(3));
+        assert_eq!(q.pop(), Some((0.5, VertexId(3))));
+    }
+
+    #[test]
+    fn stamps_reset_per_epoch() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(4);
+        assert!(ws.try_visit(VertexId(2), 7));
+        assert!(!ws.try_visit(VertexId(2), 9));
+        assert_eq!(ws.dist(VertexId(2)), Some(7));
+        assert_eq!(ws.dist(VertexId(1)), None);
+        ws.set_prob(VertexId(1), 0.5);
+        assert_eq!(ws.prob(VertexId(1)), 0.5);
+        assert_eq!(ws.touched(), &[VertexId(1)]);
+
+        ws.begin(4);
+        assert_eq!(ws.dist(VertexId(2)), None);
+        assert_eq!(ws.prob(VertexId(1)), 0.0);
+        assert!(ws.touched().is_empty());
+        assert!(ws.try_visit(VertexId(2), 1));
+    }
+
+    #[test]
+    fn expansion_check_rejects_equal_pops_but_admits_improvements() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(2);
+        assert!(ws.try_expand(VertexId(0), 0.5));
+        assert!(!ws.try_expand(VertexId(0), 0.5), "equal duplicate re-pop");
+        assert!(!ws.try_expand(VertexId(0), 0.4), "stale re-pop");
+        assert!(ws.try_expand(VertexId(0), 0.6), "in-bucket improvement");
+        assert_eq!(ws.expansions(), 2);
+    }
+
+    #[test]
+    fn epoch_wraparound_hard_resets_stamps() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(3);
+        ws.try_visit(VertexId(0), 0);
+        ws.set_prob(VertexId(1), 0.9);
+        ws.try_expand(VertexId(1), 0.9);
+        // next begin() wraps to 0 and must hard-reset, not alias old stamps
+        ws.force_epoch(u32::MAX);
+        ws.begin(3);
+        assert_eq!(ws.epoch(), 1);
+        assert_eq!(ws.dist(VertexId(0)), None);
+        assert_eq!(ws.prob(VertexId(1)), 0.0);
+        assert!(ws.try_expand(VertexId(1), 0.9));
+    }
+
+    #[test]
+    fn queue_buffer_supports_fifo_and_lifo() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(0);
+        ws.queue_push(VertexId(1), 0);
+        ws.queue_push(VertexId(2), 1);
+        assert_eq!(ws.queue_pop_front(), Some((VertexId(1), 0)));
+        ws.queue_push(VertexId(3), 2);
+        assert_eq!(ws.queue_pop_back(), Some((VertexId(3), 2)));
+        assert_eq!(ws.queue_pop_back(), Some((VertexId(2), 1)));
+        assert_eq!(ws.queue_pop_back(), None);
+        assert_eq!(ws.queue_pop_front(), None);
+    }
+
+    #[test]
+    fn thread_workspace_is_reentrancy_safe() {
+        let result = with_thread_workspace(|outer| {
+            outer.begin(2);
+            outer.try_visit(VertexId(0), 0);
+            // a nested wrapper call must not disturb the outer traversal
+            let inner = with_thread_workspace(|inner| {
+                inner.begin(2);
+                inner.try_visit(VertexId(0), 5);
+                inner.dist(VertexId(0))
+            });
+            (outer.dist(VertexId(0)), inner)
+        });
+        assert_eq!(result, (Some(0), Some(5)));
+    }
+
+    #[test]
+    fn workspace_grows_across_graph_sizes() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(2);
+        ws.try_visit(VertexId(1), 3);
+        ws.begin(10);
+        assert_eq!(ws.dist(VertexId(1)), None);
+        assert!(ws.try_visit(VertexId(9), 1));
+    }
+}

@@ -13,11 +13,17 @@
 //! soon as a candidate's probability would drop below `θ`. Because edge
 //! probabilities are ≤ 1, probabilities only decrease along paths, so the
 //! cut-off is exact rather than heuristic.
+//!
+//! The expansion runs through a [`TraversalWorkspace`] (epoch-stamped best
+//! values plus the monotone bucket queue) with *settled-skip* semantics: an
+//! entry popped at a probability equal to one already expanded is dropped,
+//! so equal-probability duplicates — common under symmetric edge weights —
+//! no longer re-expand their whole neighbourhood.
 
+use icde_graph::workspace::{with_thread_workspace, TraversalWorkspace};
 use icde_graph::{SocialNetwork, VertexId, VertexSubset, Weight};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Parameters of influence evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,8 +114,9 @@ impl InfluencedCommunity {
     /// The influential score `σ(g)` (Eq. (5)): the sum of all `cpp` values.
     ///
     /// The value is accumulated during the expansion in deterministic
-    /// (heap-pop) order, so the same seed community always yields the exact
-    /// same floating-point score regardless of hash-map iteration order.
+    /// (bucket-drain) order, so the same seed community always yields the
+    /// exact same floating-point score regardless of hash-map iteration
+    /// order.
     pub fn influential_score(&self) -> Weight {
         self.score
     }
@@ -138,30 +145,6 @@ impl InfluencedCommunity {
 pub struct InfluenceEvaluator<'g> {
     graph: &'g SocialNetwork,
     config: InfluenceConfig,
-}
-
-/// Max-heap entry for the multi-source expansion.
-#[derive(Debug, PartialEq)]
-struct Frontier {
-    probability: f64,
-    vertex: VertexId,
-}
-
-impl Eq for Frontier {}
-
-impl Ord for Frontier {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.probability
-            .partial_cmp(&other.probability)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.vertex.cmp(&other.vertex))
-    }
-}
-
-impl PartialOrd for Frontier {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 impl<'g> InfluenceEvaluator<'g> {
@@ -194,27 +177,36 @@ impl<'g> InfluenceEvaluator<'g> {
         seed: &VertexSubset,
         theta: Weight,
     ) -> InfluencedCommunity {
-        let mut cpp: HashMap<VertexId, Weight> = HashMap::with_capacity(seed.len() * 2);
-        let mut heap = BinaryHeap::new();
+        with_thread_workspace(|ws| self.influenced_community_with_theta_in(ws, seed, theta))
+    }
+
+    /// [`influenced_community_with_theta`] against a caller-owned workspace
+    /// (the offline pre-computation evaluates thousands of regions per
+    /// worker thread and amortises the scratch state across all of them).
+    ///
+    /// [`influenced_community_with_theta`]:
+    /// InfluenceEvaluator::influenced_community_with_theta
+    pub fn influenced_community_with_theta_in(
+        &self,
+        ws: &mut TraversalWorkspace,
+        seed: &VertexSubset,
+        theta: Weight,
+    ) -> InfluencedCommunity {
+        ws.begin(self.graph.num_vertices());
         let mut score = 0.0;
         for v in seed.iter() {
-            cpp.insert(v, 1.0);
+            ws.set_prob(v, 1.0);
             score += 1.0;
-            heap.push(Frontier {
-                probability: 1.0,
-                vertex: v,
-            });
+            ws.bucket_push(1.0, v);
         }
         // effective floor: members always qualify; influenced vertices need
         // probability >= theta (a theta of 0 admits any positive probability)
-        while let Some(Frontier {
-            probability,
-            vertex,
-        }) = heap.pop()
-        {
-            // Stale entry: a better probability was already recorded.
-            if probability < cpp.get(&vertex).copied().unwrap_or(0.0) {
-                continue;
+        while let Some((probability, vertex)) = ws.bucket_pop() {
+            if probability < ws.prob(vertex) {
+                continue; // stale: a better probability was recorded since
+            }
+            if !ws.try_expand(vertex, probability) {
+                continue; // settled: an equal duplicate was already expanded
             }
             for (n, p) in self.graph.outgoing(vertex) {
                 if seed.contains(n) {
@@ -224,16 +216,17 @@ impl<'g> InfluenceEvaluator<'g> {
                 if candidate < theta || candidate <= 0.0 {
                     continue;
                 }
-                let current = cpp.get(&n).copied().unwrap_or(0.0);
+                let current = ws.prob(n);
                 if candidate > current {
-                    cpp.insert(n, candidate);
+                    ws.set_prob(n, candidate);
                     score += candidate - current;
-                    heap.push(Frontier {
-                        probability: candidate,
-                        vertex: n,
-                    });
+                    ws.bucket_push(candidate, n);
                 }
             }
+        }
+        let mut cpp: HashMap<VertexId, Weight> = HashMap::with_capacity(ws.touched().len());
+        for &v in ws.touched() {
+            cpp.insert(v, ws.prob(v));
         }
         InfluencedCommunity {
             cpp,
@@ -419,6 +412,77 @@ mod tests {
         let overlap = a.overlap(&b);
         assert_eq!(overlap, b.overlap(&a));
         assert!(overlap >= 1, "both reach the middle of the line");
+    }
+
+    #[test]
+    fn symmetric_probabilities_expand_each_vertex_once() {
+        // Equal-probability duplicate heap entries used to slip past the
+        // `probability < cpp[v]` stale check and re-expand their whole
+        // neighbourhood. With settled-skip semantics every vertex expands at
+        // most once when no strict improvement occurs.
+        let mut b = icde_graph::GraphBuilder::with_vertices(6);
+        for i in 0..6u32 {
+            // 6-cycle, perfectly symmetric weights
+            b.add_symmetric_edge(VertexId(i), VertexId((i + 1) % 6), 0.5);
+        }
+        let g = b.build().unwrap();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.1));
+        // symmetric seed: vertices 0 and 3 reach 1, 2, 4, 5 at identical
+        // probabilities from both sides
+        let seed = VertexSubset::from_iter([VertexId(0), VertexId(3)]);
+
+        let mut ws = TraversalWorkspace::new();
+        let inf = eval.influenced_community_with_theta_in(&mut ws, &seed, 0.1);
+        assert!(
+            ws.expansions() <= inf.len(),
+            "{} expansions for {} members",
+            ws.expansions(),
+            inf.len()
+        );
+
+        // cpp must equal the max over the seeds' pairwise upp, and the score
+        // their sum
+        let mut expected_score = 0.0;
+        for v in g.vertices() {
+            let expected = if seed.contains(v) {
+                1.0
+            } else {
+                let upp = g
+                    .vertices()
+                    .filter(|s| seed.contains(*s))
+                    .map(|s| user_propagation_probability(&g, s, v))
+                    .fold(0.0f64, f64::max);
+                if upp >= 0.1 {
+                    upp
+                } else {
+                    0.0
+                }
+            };
+            assert!((inf.cpp(v) - expected).abs() < 1e-12, "vertex {v}");
+            expected_score += expected;
+        }
+        assert!((inf.influential_score() - expected_score).abs() < 1e-9);
+
+        // and the run is reproducible bit-for-bit through the same reused
+        // workspace
+        let again = eval.influenced_community_with_theta_in(&mut ws, &seed, 0.1);
+        assert_eq!(inf, again);
+        assert_eq!(inf.influential_score(), again.influential_score());
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.2));
+        let mut reused = TraversalWorkspace::new();
+        for v in g.vertices() {
+            let seed = VertexSubset::from_iter([v]);
+            let with_reuse = eval.influenced_community_with_theta_in(&mut reused, &seed, 0.2);
+            let fresh =
+                eval.influenced_community_with_theta_in(&mut TraversalWorkspace::new(), &seed, 0.2);
+            assert_eq!(with_reuse, fresh);
+            assert_eq!(with_reuse.influential_score(), fresh.influential_score());
+        }
     }
 
     #[test]

@@ -8,38 +8,22 @@
 //!   probability of that path.
 //!
 //! Because edge probabilities lie in `(0, 1]`, maximising a product is the
-//! same as minimising the sum of `-ln p`, so `upp` is computed with a
-//! Dijkstra-style best-first search over products directly (no logarithm
-//! needed: the max-heap keys are the products themselves, which only shrink
-//! along a path).
+//! same as minimising the sum of `-ln p`, so `upp` is computed best-first
+//! over products directly (no logarithm needed: keys only shrink along a
+//! path). [`single_source_upp`] drives that search through the
+//! [`TraversalWorkspace`]'s monotone bucket queue — quantised `-ln p`
+//! buckets drained in order, with stale entries re-checked against the
+//! per-vertex best value so the computed probabilities stay bit-identical to
+//! the binary-heap formulation. [`max_influence_path`] keeps a strict
+//! best-first heap (also workspace-owned) because its early exit at the
+//! target needs exact pop order.
+//!
+//! Sources or targets the graph does not contain yield `None`/zero results
+//! instead of panicking (stale [`VertexId`]s from a pre-update snapshot are
+//! a legitimate caller state).
 
+use icde_graph::workspace::{with_thread_workspace, ProbEntry, TraversalWorkspace};
 use icde_graph::{SocialNetwork, VertexId, Weight};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Heap entry ordered by probability (max-heap).
-#[derive(Debug, PartialEq)]
-struct Entry {
-    probability: f64,
-    vertex: VertexId,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.probability
-            .partial_cmp(&other.probability)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.vertex.cmp(&other.vertex))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Eq. (1): propagation probability of the concrete path `u_1, ..., u_m`.
 ///
@@ -54,44 +38,53 @@ pub fn path_propagation_probability(g: &SocialNetwork, path: &[VertexId]) -> Opt
 }
 
 /// Eqs. (2)–(3): the maximum influence path from `source` to `target` and its
-/// propagation probability, or `None` if `target` is unreachable (or the best
-/// path probability is 0).
+/// propagation probability, or `None` if `target` is unreachable, the best
+/// path probability is 0, or either endpoint is not a vertex of the graph.
 pub fn max_influence_path(
     g: &SocialNetwork,
     source: VertexId,
     target: VertexId,
 ) -> Option<(Vec<VertexId>, Weight)> {
+    with_thread_workspace(|ws| max_influence_path_with(ws, g, source, target))
+}
+
+/// [`max_influence_path`] against a caller-owned workspace.
+pub fn max_influence_path_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    source: VertexId,
+    target: VertexId,
+) -> Option<(Vec<VertexId>, Weight)> {
+    if !g.contains_vertex(source) || !g.contains_vertex(target) {
+        return None;
+    }
     if source == target {
         return Some((vec![source], 1.0));
     }
-    let mut best = vec![0.0f64; g.num_vertices()];
-    let mut parent: Vec<Option<VertexId>> = vec![None; g.num_vertices()];
-    let mut settled = vec![false; g.num_vertices()];
-    let mut heap = BinaryHeap::new();
-    best[source.index()] = 1.0;
-    heap.push(Entry {
+    ws.begin(g.num_vertices());
+    ws.set_prob(source, 1.0);
+    ws.heap_push(ProbEntry {
         probability: 1.0,
         vertex: source,
     });
 
-    while let Some(Entry {
+    while let Some(ProbEntry {
         probability,
         vertex,
-    }) = heap.pop()
+    }) = ws.heap_pop()
     {
-        if settled[vertex.index()] {
+        if !ws.try_expand(vertex, probability) {
             continue;
         }
-        settled[vertex.index()] = true;
         if vertex == target {
             break;
         }
         for (n, p) in g.outgoing(vertex) {
             let candidate = probability * p;
-            if candidate > best[n.index()] {
-                best[n.index()] = candidate;
-                parent[n.index()] = Some(vertex);
-                heap.push(Entry {
+            if candidate > ws.prob(n) {
+                ws.set_prob(n, candidate);
+                ws.set_parent(n, vertex);
+                ws.heap_push(ProbEntry {
                     probability: candidate,
                     vertex: n,
                 });
@@ -99,24 +92,26 @@ pub fn max_influence_path(
         }
     }
 
-    if best[target.index()] <= 0.0 {
+    let best = ws.prob(target);
+    if best <= 0.0 {
         return None;
     }
     // reconstruct the path
     let mut path = vec![target];
     let mut cursor = target;
-    while let Some(p) = parent[cursor.index()] {
+    while let Some(p) = ws.parent(cursor) {
         path.push(p);
         cursor = p;
     }
     path.reverse();
     debug_assert_eq!(path.first(), Some(&source));
-    Some((path, best[target.index()]))
+    Some((path, best))
 }
 
 /// Eq. (3): the user-to-user propagation probability `upp(u, v)`.
 ///
-/// Returns 0.0 when `v` is unreachable from `u`; `upp(u, u) = 1`.
+/// Returns 0.0 when `v` is unreachable from `u`; `upp(u, u) = 1` for
+/// vertices the graph contains.
 pub fn user_propagation_probability(
     g: &SocialNetwork,
     source: VertexId,
@@ -130,35 +125,43 @@ pub fn user_propagation_probability(
 ///
 /// The MIA model truncates propagation exactly this way (paths cheaper than
 /// the threshold cannot put a vertex into the influenced community), which
-/// bounds the explored region.
+/// bounds the explored region. A `source` outside the graph yields all
+/// zeros.
 pub fn single_source_upp(g: &SocialNetwork, source: VertexId, floor: Weight) -> Vec<Weight> {
+    with_thread_workspace(|ws| single_source_upp_with(ws, g, source, floor))
+}
+
+/// [`single_source_upp`] against a caller-owned workspace.
+pub fn single_source_upp_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    source: VertexId,
+    floor: Weight,
+) -> Vec<Weight> {
     let mut best = vec![0.0f64; g.num_vertices()];
-    let mut settled = vec![false; g.num_vertices()];
-    let mut heap = BinaryHeap::new();
-    best[source.index()] = 1.0;
-    heap.push(Entry {
-        probability: 1.0,
-        vertex: source,
-    });
-    while let Some(Entry {
-        probability,
-        vertex,
-    }) = heap.pop()
-    {
-        if settled[vertex.index()] {
-            continue;
+    if !g.contains_vertex(source) {
+        return best;
+    }
+    ws.begin(g.num_vertices());
+    ws.set_prob(source, 1.0);
+    ws.bucket_push(1.0, source);
+    while let Some((probability, vertex)) = ws.bucket_pop() {
+        if probability < ws.prob(vertex) {
+            continue; // a better probability was recorded since this push
         }
-        settled[vertex.index()] = true;
+        if !ws.try_expand(vertex, probability) {
+            continue; // already expanded at this probability (settled)
+        }
         for (n, p) in g.outgoing(vertex) {
             let candidate = probability * p;
-            if candidate >= floor && candidate > best[n.index()] {
-                best[n.index()] = candidate;
-                heap.push(Entry {
-                    probability: candidate,
-                    vertex: n,
-                });
+            if candidate >= floor && candidate > ws.prob(n) {
+                ws.set_prob(n, candidate);
+                ws.bucket_push(candidate, n);
             }
         }
+    }
+    for &v in ws.touched() {
+        best[v.index()] = ws.prob(v);
     }
     best
 }
@@ -231,6 +234,32 @@ mod tests {
     }
 
     #[test]
+    fn stale_vertices_yield_none_and_zeros() {
+        let g = diamond();
+        let stale = VertexId(42);
+        // the reflexive case must not fabricate a path for a vertex the
+        // graph does not contain
+        assert!(max_influence_path(&g, stale, stale).is_none());
+        assert!(max_influence_path(&g, VertexId(0), stale).is_none());
+        assert!(max_influence_path(&g, stale, VertexId(0)).is_none());
+        assert_eq!(user_propagation_probability(&g, stale, stale), 0.0);
+        let upp = single_source_upp(&g, stale, 0.0);
+        assert_eq!(upp.len(), g.num_vertices());
+        assert!(upp.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn empty_graph_has_no_paths() {
+        let g = SocialNetwork::new();
+        assert!(max_influence_path(&g, VertexId(0), VertexId(0)).is_none());
+        assert_eq!(
+            user_propagation_probability(&g, VertexId(0), VertexId(1)),
+            0.0
+        );
+        assert!(single_source_upp(&g, VertexId(0), 0.0).is_empty());
+    }
+
+    #[test]
     fn upp_is_directional_when_weights_differ() {
         let mut builder = icde_graph::GraphBuilder::new();
         let a = builder.add_vertex(KeywordSet::new());
@@ -272,6 +301,25 @@ mod tests {
                     assert!(from_u[w.index()] >= from_u[v.index()] * p - 1e-12);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        let g = diamond();
+        let mut reused = TraversalWorkspace::new();
+        for source in g.vertices() {
+            for floor in [0.0, 0.3, 0.6] {
+                let with_reuse = single_source_upp_with(&mut reused, &g, source, floor);
+                let fresh =
+                    single_source_upp_with(&mut TraversalWorkspace::new(), &g, source, floor);
+                // bit-identical, not just approximately equal
+                assert_eq!(with_reuse, fresh, "source {source} floor {floor}");
+            }
+            let a = max_influence_path_with(&mut reused, &g, source, VertexId(3));
+            let b =
+                max_influence_path_with(&mut TraversalWorkspace::new(), &g, source, VertexId(3));
+            assert_eq!(a, b);
         }
     }
 }

@@ -46,6 +46,8 @@ pub mod prelude {
     pub use icde_core::seed::SeedCommunity;
     pub use icde_core::topl::{TopLAnswer, TopLProcessor};
     pub use icde_graph::generators::{DatasetKind, DatasetSpec};
-    pub use icde_graph::{GraphBuilder, Keyword, KeywordSet, SocialNetwork, VertexId};
+    pub use icde_graph::{
+        GraphBuilder, Keyword, KeywordSet, SocialNetwork, TraversalWorkspace, VertexId,
+    };
     pub use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 }
