@@ -100,7 +100,7 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|all]... \
          [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
@@ -112,6 +112,12 @@ fn print_usage() {
          against the pre-workspace reference implementations and write the \
          BENCH_3.json perf snapshot (not part of `all`). --bench-scale N shrinks \
          the graph for smoke runs, writing BENCH_3_smoke.json instead"
+    );
+    eprintln!(
+        "  bench4: time JSON vs binary-snapshot loading of the graph + tree index \
+         (mmap zero-copy and buffered fallback), verify every loader is bit-identical \
+         and write the BENCH_4.json perf snapshot (not part of `all`). --bench-scale N \
+         shrinks the graph for smoke runs, writing BENCH_4_smoke.json instead"
     );
 }
 
@@ -193,6 +199,25 @@ fn main() {
             "BENCH_3_smoke.json"
         };
         std::fs::write(path, &json).expect("write BENCH_3 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench4") {
+        println!(
+            "# bench4: timing JSON vs binary-snapshot loading of the {}-vertex \
+             small-world graph + index (fingerprints verified bit-identical across \
+             all loaders) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench4_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_4.json"
+        } else {
+            "BENCH_4_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_4 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
     }

@@ -15,13 +15,25 @@
 //!   implementations (per-call allocations, `VecDeque`, `BinaryHeap`) and
 //!   the checksums must match bit-for-bit, proving the workspace rewiring
 //!   changed nothing but speed.
+//! * `experiments bench4` writes `BENCH_4.json` — **persistence loading**:
+//!   the same 50k small-world graph plus its tree index saved as JSON and as
+//!   binary snapshots, then loaded back through every path (JSON parse,
+//!   `mmap` zero-copy, buffered fallback). Content fingerprints must be
+//!   bit-identical across all loaders and a fixed TopL query must return
+//!   bit-identical answers off each load before any timing is reported.
 //!
 //! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
+use icde_core::index::IndexBuilder;
+use icde_core::persist;
+use icde_core::precompute::PrecomputeConfig;
+use icde_core::query::TopLQuery;
+use icde_core::topl::TopLProcessor;
 use icde_graph::generators::{small_world, SmallWorldConfig};
+use icde_graph::snapshot::{read_graph_snapshot_with, write_graph_snapshot, LoadMode};
 use icde_graph::traversal::bfs_within;
-use icde_graph::{SocialNetwork, VertexId};
-use icde_influence::mia::single_source_upp;
+use icde_graph::{io, KeywordSet, SocialNetwork, VertexId};
+use icde_influence::mia::{single_source_upp, single_source_upp_into};
 use icde_truss::triangle::count_triangles;
 use serde::Value;
 use std::collections::{BinaryHeap, VecDeque};
@@ -369,6 +381,377 @@ pub fn bench3_snapshot_json(scale: usize) -> String {
                 "baseline_pr2_millis",
                 "speedup_vs_pr2",
             ),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+// ---------------------------------------------------------------------------
+// bench4: persistence loading (JSON vs binary snapshot)
+// ---------------------------------------------------------------------------
+
+/// Offline configuration used by the bench4 index (the paper defaults).
+fn bench4_config() -> PrecomputeConfig {
+    PrecomputeConfig::default()
+}
+
+/// The bench4 graph: the bench2/bench3 small-world workload plus uniform
+/// keyword sets (domain 12, 3 keywords per vertex, fixed seed) so TopL
+/// queries have something to match.
+fn bench4_graph(scale: usize) -> SocialNetwork {
+    use icde_graph::generators::{assign_keywords, KeywordDistribution};
+    let mut g = snapshot_graph(scale);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SNAPSHOT_SEED ^ 0xB4);
+    assign_keywords(&mut g, 12, 3, KeywordDistribution::Uniform, &mut rng);
+    g
+}
+
+/// The fixed query answered off every loaded graph/index pair.
+fn bench4_query() -> TopLQuery {
+    TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, 5)
+}
+
+struct LoadLeg {
+    name: &'static str,
+    millis: f64,
+    fingerprint: u64,
+}
+
+fn file_size(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Runs the snapshot-vs-JSON loading workloads and renders the
+/// `BENCH_4.json` document. `scale` below [`SNAPSHOT_SCALE`] runs the same
+/// shape as a smoke test (CI).
+///
+/// # Panics
+/// Panics when any loader disagrees bit-for-bit with the in-memory graph or
+/// index, or when the query answers differ across loads — the snapshot
+/// subsystem must change load *time*, never load *content*.
+pub fn bench4_snapshot_json(scale: usize) -> String {
+    let g = bench4_graph(scale);
+    let offline_start = Instant::now();
+    let index = IndexBuilder::new(bench4_config()).build(&g);
+    let offline_ms = offline_start.elapsed().as_secs_f64() * 1e3;
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let graph_json = dir.join(format!("icde_bench4_{pid}_graph.json"));
+    let graph_snap = dir.join(format!("icde_bench4_{pid}_graph.snap"));
+    let index_json = dir.join(format!("icde_bench4_{pid}_index.json"));
+    let index_snap = dir.join(format!("icde_bench4_{pid}_index.snap"));
+    io::write_json_file(&g, &graph_json).expect("write graph JSON");
+    write_graph_snapshot(&g, &graph_snap).expect("write graph snapshot");
+    persist::save_index(&index, &index_json).expect("write index JSON");
+    persist::save_index_snapshot(&index, &index_snap).expect("write index snapshot");
+
+    let graph_fp = g.content_fingerprint();
+    let index_fp = index.content_fingerprint();
+
+    // --- graph loads (timed), fingerprints computed outside the timer -----
+    let (json_graph_ms, _) = time_median(5, || {
+        io::read_json_file(&graph_json)
+            .expect("read graph JSON")
+            .num_edges() as u64
+    });
+    let (mmap_graph_ms, _) = time_median(5, || {
+        read_graph_snapshot_with(&graph_snap, LoadMode::Auto)
+            .expect("read graph snapshot (auto)")
+            .num_edges() as u64
+    });
+    let (buf_graph_ms, _) = time_median(5, || {
+        read_graph_snapshot_with(&graph_snap, LoadMode::Buffered)
+            .expect("read graph snapshot (buffered)")
+            .num_edges() as u64
+    });
+    let json_graph_fp = io::read_json_file(&graph_json)
+        .expect("read graph JSON")
+        .content_fingerprint();
+    let mmap_graph =
+        read_graph_snapshot_with(&graph_snap, LoadMode::Auto).expect("read graph snapshot (auto)");
+    let zero_copy = mmap_graph.is_mmap_backed();
+    let mmap_graph_fp = mmap_graph.content_fingerprint();
+    let buf_graph_fp = read_graph_snapshot_with(&graph_snap, LoadMode::Buffered)
+        .expect("read graph snapshot (buffered)")
+        .content_fingerprint();
+
+    // --- index loads ------------------------------------------------------
+    let (json_index_ms, _) = time_median(3, || {
+        persist::load_index(&index_json)
+            .expect("read index JSON")
+            .node_count() as u64
+    });
+    let (mmap_index_ms, _) = time_median(5, || {
+        persist::load_index_snapshot(&index_snap)
+            .expect("read index snapshot (auto)")
+            .node_count() as u64
+    });
+    let (buf_index_ms, _) = time_median(5, || {
+        persist::load_index_snapshot_with(&index_snap, LoadMode::Buffered)
+            .expect("read index snapshot (buffered)")
+            .node_count() as u64
+    });
+    let json_index_fp = persist::load_index(&index_json)
+        .expect("read index JSON")
+        .content_fingerprint();
+    let mmap_index_fp = persist::load_index_snapshot(&index_snap)
+        .expect("read index snapshot (auto)")
+        .content_fingerprint();
+    let buf_index_fp = persist::load_index_snapshot_with(&index_snap, LoadMode::Buffered)
+        .expect("read index snapshot (buffered)")
+        .content_fingerprint();
+
+    // every loader must reproduce the in-memory content bit for bit
+    for (leg, fp) in [
+        ("graph json", json_graph_fp),
+        ("graph mmap", mmap_graph_fp),
+        ("graph buffered", buf_graph_fp),
+    ] {
+        assert_eq!(fp, graph_fp, "{leg} loader diverged from the source graph");
+    }
+    for (leg, fp) in [
+        ("index json", json_index_fp),
+        ("index mmap", mmap_index_fp),
+        ("index buffered", buf_index_fp),
+    ] {
+        assert_eq!(fp, index_fp, "{leg} loader diverged from the source index");
+    }
+
+    // --- query latency off each load --------------------------------------
+    let query = bench4_query();
+    let g_json = io::read_json_file(&graph_json).expect("read graph JSON");
+    let i_json = persist::load_index(&index_json).expect("read index JSON");
+    let g_snap = read_graph_snapshot_with(&graph_snap, LoadMode::Auto).expect("graph snapshot");
+    let i_snap = persist::load_index_snapshot(&index_snap).expect("index snapshot");
+    let answer_digest = |answer: &icde_core::topl::TopLAnswer| {
+        let mut digest = 0u64;
+        for c in &answer.communities {
+            digest = digest
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(c.influential_score.to_bits())
+                .wrapping_add(c.vertices.len() as u64);
+        }
+        digest
+    };
+    let (query_json_ms, digest_json) = time_median(5, || {
+        answer_digest(
+            &TopLProcessor::new(&g_json, &i_json)
+                .run(&query)
+                .expect("query off JSON load"),
+        )
+    });
+    let (query_snap_ms, digest_snap) = time_median(5, || {
+        answer_digest(
+            &TopLProcessor::new(&g_snap, &i_snap)
+                .run(&query)
+                .expect("query off snapshot load"),
+        )
+    });
+    assert_eq!(
+        digest_json, digest_snap,
+        "query answers differ between JSON and snapshot loads"
+    );
+
+    // --- caller-owned upp buffer (the single_source_upp_into satellite) ----
+    let (upp_alloc_ms, upp_alloc_sum) = time_median(5, || {
+        let mut acc = 0.0f64;
+        for v in upp_sources(scale) {
+            acc += single_source_upp(&g_snap, v, 0.01).iter().sum::<f64>();
+        }
+        acc.to_bits()
+    });
+    let mut upp_buffer = Vec::new();
+    let (upp_into_ms, upp_into_sum) = time_median(5, || {
+        // same thread workspace as the allocating leg; the only difference
+        // is the reused output buffer
+        let mut acc = 0.0f64;
+        for v in upp_sources(scale) {
+            single_source_upp_into(&g_snap, v, 0.01, &mut upp_buffer);
+            acc += upp_buffer.iter().sum::<f64>();
+        }
+        acc.to_bits()
+    });
+    assert_eq!(
+        upp_alloc_sum, upp_into_sum,
+        "buffered upp diverged from the allocating formulation"
+    );
+
+    let json_graph_bytes = file_size(&graph_json);
+    let snap_graph_bytes = file_size(&graph_snap);
+    let json_index_bytes = file_size(&index_json);
+    let snap_index_bytes = file_size(&index_snap);
+    for path in [&graph_json, &graph_snap, &index_json, &index_snap] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let legs = [
+        LoadLeg {
+            name: "graph_load_json",
+            millis: json_graph_ms,
+            fingerprint: json_graph_fp,
+        },
+        LoadLeg {
+            name: "graph_load_snapshot_mmap",
+            millis: mmap_graph_ms,
+            fingerprint: mmap_graph_fp,
+        },
+        LoadLeg {
+            name: "graph_load_snapshot_buffered",
+            millis: buf_graph_ms,
+            fingerprint: buf_graph_fp,
+        },
+        LoadLeg {
+            name: "index_load_json",
+            millis: json_index_ms,
+            fingerprint: json_index_fp,
+        },
+        LoadLeg {
+            name: "index_load_snapshot_mmap",
+            millis: mmap_index_ms,
+            fingerprint: mmap_index_fp,
+        },
+        LoadLeg {
+            name: "index_load_snapshot_buffered",
+            millis: buf_index_ms,
+            fingerprint: buf_index_fp,
+        },
+        LoadLeg {
+            name: "query_after_json_load",
+            millis: query_json_ms,
+            fingerprint: digest_json,
+        },
+        LoadLeg {
+            name: "query_after_snapshot_load",
+            millis: query_snap_ms,
+            fingerprint: digest_snap,
+        },
+        LoadLeg {
+            name: "single_source_upp_x200",
+            millis: upp_alloc_ms,
+            fingerprint: upp_alloc_sum,
+        },
+        LoadLeg {
+            name: "single_source_upp_into_x200",
+            millis: upp_into_ms,
+            fingerprint: upp_into_sum,
+        },
+    ];
+    let results = Value::Array(
+        legs.iter()
+            .map(|leg| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(leg.name.to_string())),
+                    ("millis".to_string(), Value::Float(round3(leg.millis))),
+                    (
+                        "fingerprint".to_string(),
+                        Value::Str(format!("{:#018x}", leg.fingerprint)),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    let ratio = |json: f64, snap: f64| {
+        if snap > 0.0 {
+            (json / snap * 1e2).round() / 1e2
+        } else {
+            f64::INFINITY
+        }
+    };
+    let combined_json = json_graph_ms + json_index_ms;
+    let combined_snap = mmap_graph_ms + mmap_index_ms;
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_4".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Persistence loading (PR 4): the 50k small-world graph and its tree index \
+                 saved as JSON and as sectioned binary snapshots, loaded back through the \
+                 JSON parser, the mmap zero-copy path and the buffered fallback. Content \
+                 fingerprints are asserted bit-identical across every loader and the fixed \
+                 TopL query must answer identically off each load before timings are \
+                 reported."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                (
+                    "index_nodes".to_string(),
+                    Value::UInt(index.node_count() as u64),
+                ),
+                (
+                    "index_height".to_string(),
+                    Value::UInt(index.height() as u64),
+                ),
+                (
+                    "offline_build_ms".to_string(),
+                    Value::Float(round3(offline_ms)),
+                ),
+                (
+                    "graph_json_bytes".to_string(),
+                    Value::UInt(json_graph_bytes),
+                ),
+                (
+                    "graph_snapshot_bytes".to_string(),
+                    Value::UInt(snap_graph_bytes),
+                ),
+                (
+                    "index_json_bytes".to_string(),
+                    Value::UInt(json_index_bytes),
+                ),
+                (
+                    "index_snapshot_bytes".to_string(),
+                    Value::UInt(snap_index_bytes),
+                ),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                (
+                    "graph_fingerprint".to_string(),
+                    Value::Str(format!("{graph_fp:#018x}")),
+                ),
+                (
+                    "index_fingerprint".to_string(),
+                    Value::Str(format!("{index_fp:#018x}")),
+                ),
+                ("loaders_bit_identical".to_string(), Value::Bool(true)),
+                ("queries_bit_identical".to_string(), Value::Bool(true)),
+                ("mmap_zero_copy".to_string(), Value::Bool(zero_copy)),
+            ]),
+        ),
+        ("results".to_string(), results),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "graph_snapshot_vs_json".to_string(),
+                    Value::Float(ratio(json_graph_ms, mmap_graph_ms)),
+                ),
+                (
+                    "index_snapshot_vs_json".to_string(),
+                    Value::Float(ratio(json_index_ms, mmap_index_ms)),
+                ),
+                (
+                    "combined_snapshot_vs_json".to_string(),
+                    Value::Float(ratio(combined_json, combined_snap)),
+                ),
+                (
+                    "upp_into_vs_alloc".to_string(),
+                    Value::Float(ratio(upp_alloc_ms, upp_into_ms)),
+                ),
+            ]),
         ),
     ]);
     serde_json::to_string_pretty(&doc).expect("snapshot document serialises")

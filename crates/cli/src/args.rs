@@ -13,7 +13,14 @@ usage:
   topl-icde query    --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
                      [--theta X] [--l N] [--json]
   topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
-                     [--theta X] [--l N] [--n N] [--json]";
+                     [--theta X] [--l N] [--n N] [--json]
+  topl-icde snapshot save --graph FILE --out FILE    (binary graph snapshot)
+  topl-icde snapshot save --index FILE --out FILE    (binary index snapshot)
+  topl-icde snapshot load --file FILE [--buffered]   (verify + summarise)
+
+graph/index FILE arguments accept any readable format (edge list, JSON, or
+binary snapshot — sniffed by magic bytes); `index --out FILE.snap` writes the
+binary snapshot directly.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +99,22 @@ pub enum Command {
         n: usize,
         /// Emit JSON instead of text.
         json: bool,
+    },
+    /// Convert a graph or index file into a binary snapshot.
+    SnapshotSave {
+        /// Path to a graph file (any readable format), if converting a graph.
+        graph: Option<String>,
+        /// Path to an index file (JSON or snapshot), if converting an index.
+        index: Option<String>,
+        /// Output path for the binary snapshot.
+        out: String,
+    },
+    /// Load (and thereby verify) a binary snapshot and print a summary.
+    SnapshotLoad {
+        /// Path to the snapshot file (graph or index; auto-detected).
+        file: String,
+        /// Force the buffered-read fallback instead of `mmap`.
+        buffered: bool,
     },
 }
 
@@ -179,6 +202,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "stats" => Ok(Command::Stats {
             graph: flags.required("--graph")?.to_string(),
         }),
+        "snapshot" => {
+            let action = args
+                .get(1)
+                .ok_or_else(|| "snapshot requires an action: save or load".to_string())?;
+            let flags = Flags { args: &args[2..] };
+            match action.as_str() {
+                "save" => {
+                    let graph = flags.get("--graph").map(str::to_string);
+                    let index = flags.get("--index").map(str::to_string);
+                    if graph.is_some() == index.is_some() {
+                        return Err(
+                            "snapshot save takes exactly one of --graph or --index".to_string()
+                        );
+                    }
+                    Ok(Command::SnapshotSave {
+                        graph,
+                        index,
+                        out: flags.required("--out")?.to_string(),
+                    })
+                }
+                "load" => Ok(Command::SnapshotLoad {
+                    file: flags.required("--file")?.to_string(),
+                    buffered: flags.has("--buffered"),
+                }),
+                other => Err(format!("unknown snapshot action '{other}'")),
+            }
+        }
         "index" => Ok(Command::Index {
             graph: flags.required("--graph")?.to_string(),
             out: flags.required("--out")?.to_string(),
@@ -346,6 +396,54 @@ mod tests {
             }
             other => panic!("expected index, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_snapshot_commands() {
+        let cmd = parse(&argv(&[
+            "snapshot", "save", "--graph", "g.json", "--out", "g.snap",
+        ]));
+        assert_eq!(
+            cmd.unwrap(),
+            Command::SnapshotSave {
+                graph: Some("g.json".to_string()),
+                index: None,
+                out: "g.snap".to_string(),
+            }
+        );
+        let cmd = parse(&argv(&[
+            "snapshot", "save", "--index", "i.json", "--out", "i.snap",
+        ]));
+        assert_eq!(
+            cmd.unwrap(),
+            Command::SnapshotSave {
+                graph: None,
+                index: Some("i.json".to_string()),
+                out: "i.snap".to_string(),
+            }
+        );
+        let cmd = parse(&argv(&[
+            "snapshot",
+            "load",
+            "--file",
+            "g.snap",
+            "--buffered",
+        ]));
+        assert_eq!(
+            cmd.unwrap(),
+            Command::SnapshotLoad {
+                file: "g.snap".to_string(),
+                buffered: true,
+            }
+        );
+        // both or neither of --graph/--index is an error; unknown actions too
+        assert!(parse(&argv(&["snapshot", "save", "--out", "x"])).is_err());
+        assert!(parse(&argv(&[
+            "snapshot", "save", "--graph", "g", "--index", "i", "--out", "x"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["snapshot"])).is_err());
+        assert!(parse(&argv(&["snapshot", "frobnicate"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,9 @@ use icde_core::query::TopLQuery;
 use icde_core::seed::SeedCommunity;
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::DatasetSpec;
+use icde_graph::snapshot::{
+    self as graph_snapshot, path_is_snapshot, LoadMode, Snapshot, KIND_GRAPH,
+};
 use icde_graph::statistics::graph_statistics;
 use icde_graph::{io, KeywordSet, SocialNetwork};
 
@@ -61,7 +64,11 @@ pub fn run(command: Command) -> Result<(), String> {
             let config = PrecomputeConfig::new(r_max, thresholds);
             let start = std::time::Instant::now();
             let index = IndexBuilder::new(config).with_fanout(fanout).build(&g);
-            persist::save_index(&index, &out).map_err(|e| e.to_string())?;
+            if out.ends_with(".snap") {
+                persist::save_index_snapshot(&index, &out).map_err(|e| e.to_string())?;
+            } else {
+                persist::save_index(&index, &out).map_err(|e| e.to_string())?;
+            }
             println!(
                 "wrote {} ({} nodes, height {}, built in {:.2?})",
                 out,
@@ -82,7 +89,7 @@ pub fn run(command: Command) -> Result<(), String> {
             json,
         } => {
             let g = load_graph(&graph)?;
-            let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
+            let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
             let query = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
             let answer = TopLProcessor::new(&g, &idx)
                 .run(&query)
@@ -115,7 +122,7 @@ pub fn run(command: Command) -> Result<(), String> {
             json,
         } => {
             let g = load_graph(&graph)?;
-            let idx = persist::load_index(&index).map_err(|e| e.to_string())?;
+            let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
             let base = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
             let query = DTopLQuery::new(base, n);
             let answer = DTopLProcessor::new(&g, &idx)
@@ -137,11 +144,90 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::SnapshotSave { graph, index, out } => {
+            if let Some(graph) = graph {
+                let g = load_graph(&graph)?;
+                graph_snapshot::write_graph_snapshot(&g, &out).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote graph snapshot {} ({} vertices, {} edges, {} bytes, fingerprint \
+                     {:#018x})",
+                    out,
+                    g.num_vertices(),
+                    g.num_edges(),
+                    file_size(&out),
+                    g.content_fingerprint()
+                );
+            } else if let Some(index) = index {
+                let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
+                persist::save_index_snapshot(&idx, &out).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote index snapshot {} ({} nodes, height {}, {} bytes, fingerprint \
+                     {:#018x})",
+                    out,
+                    idx.node_count(),
+                    idx.height(),
+                    file_size(&out),
+                    idx.content_fingerprint()
+                );
+            }
+            Ok(())
+        }
+        Command::SnapshotLoad { file, buffered } => {
+            let mode = if buffered {
+                LoadMode::Buffered
+            } else {
+                LoadMode::Auto
+            };
+            // one open: the header's payload kind dispatches, so the file is
+            // read (and checksummed) exactly once
+            let start = std::time::Instant::now();
+            let snap = Snapshot::open_with(&file, mode).map_err(|e| e.to_string())?;
+            if snap.kind() == KIND_GRAPH {
+                let g = graph_snapshot::graph_from_snapshot(&snap).map_err(|e| e.to_string())?;
+                println!(
+                    "graph snapshot {}: {} vertices, {} edges, fingerprint {:#018x}, \
+                     loaded in {:.2?} ({})",
+                    file,
+                    g.num_vertices(),
+                    g.num_edges(),
+                    g.content_fingerprint(),
+                    start.elapsed(),
+                    if g.is_mmap_backed() {
+                        "mmap zero-copy"
+                    } else if g.is_snapshot_backed() {
+                        "buffered region"
+                    } else {
+                        "owned"
+                    }
+                );
+            } else {
+                let idx =
+                    icde_core::snapshot::index_from_snapshot(&snap).map_err(|e| e.to_string())?;
+                println!(
+                    "index snapshot {}: {} nodes, height {}, {} vertices covered, \
+                     fingerprint {:#018x}, loaded in {:.2?}",
+                    file,
+                    idx.node_count(),
+                    idx.height(),
+                    idx.num_graph_vertices(),
+                    idx.content_fingerprint(),
+                    start.elapsed()
+                );
+            }
+            Ok(())
+        }
     }
 }
 
+fn file_size(path: &str) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
 fn load_graph(path: &str) -> Result<SocialNetwork, String> {
-    if path.ends_with(".json") {
+    // binary snapshots are identified by magic bytes, not extension
+    if path_is_snapshot(path) {
+        graph_snapshot::read_graph_snapshot(path).map_err(|e| e.to_string())
+    } else if path.ends_with(".json") {
         io::read_json_file(path).map_err(|e| e.to_string())
     } else {
         io::read_edge_list_file(path).map_err(|e| e.to_string())
@@ -231,6 +317,81 @@ mod tests {
 
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(index_path);
+    }
+
+    #[test]
+    fn snapshot_save_load_query_pipeline() {
+        let graph_path = temp_path("topl_cli_snap_graph.txt");
+        let graph_snap = temp_path("topl_cli_snap_graph.snap");
+        let index_snap = temp_path("topl_cli_snap_index.snap");
+
+        run(Command::Generate {
+            kind: DatasetKind::Uniform,
+            vertices: 150,
+            seed: 9,
+            keyword_domain: 10,
+            keywords_per_vertex: 3,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+
+        // graph → binary snapshot; index built straight into a snapshot
+        run(Command::SnapshotSave {
+            graph: Some(graph_path.clone()),
+            index: None,
+            out: graph_snap.clone(),
+        })
+        .unwrap();
+        run(Command::Index {
+            graph: graph_snap.clone(),
+            out: index_snap.clone(),
+            r_max: 3,
+            fanout: 8,
+            thresholds: vec![0.1, 0.2, 0.3],
+        })
+        .unwrap();
+
+        // both snapshots verify through the load command (mmap and fallback)
+        for buffered in [false, true] {
+            run(Command::SnapshotLoad {
+                file: graph_snap.clone(),
+                buffered,
+            })
+            .unwrap();
+            run(Command::SnapshotLoad {
+                file: index_snap.clone(),
+                buffered,
+            })
+            .unwrap();
+        }
+
+        // queries run directly off the binary snapshots
+        run(Command::Query {
+            graph: graph_snap.clone(),
+            index: index_snap.clone(),
+            keywords: vec![0, 1, 2, 3],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: false,
+        })
+        .unwrap();
+
+        // corrupt snapshots are rejected, not mis-loaded
+        let mut bytes = std::fs::read(&graph_snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&graph_snap, &bytes).unwrap();
+        assert!(run(Command::SnapshotLoad {
+            file: graph_snap.clone(),
+            buffered: false,
+        })
+        .is_err());
+
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(graph_snap);
+        let _ = std::fs::remove_file(index_snap);
     }
 
     #[test]

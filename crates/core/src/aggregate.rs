@@ -1,0 +1,356 @@
+//! Flattened (struct-of-arrays) aggregate storage shared by the pre-computed
+//! per-vertex data and the tree-index node bounds.
+//!
+//! The pre-PR-4 layout was pointer-rich: every vertex (and every index node)
+//! owned a `Vec<RadiusAggregate>`, each element owning a `BitVector` word
+//! vector and a score vector — five heap allocations per entity and no way
+//! to serialise the whole thing flat. Every aggregate is perfectly
+//! rectangular, though: `entities × r_max` rows, each with a fixed-width
+//! signature block, one support bound, `m` score bounds and one region size.
+//! [`AggregateTable`] therefore stores four contiguous arrays keyed by
+//! `(entity, r, θ_index)`:
+//!
+//! * `signatures[((entity·r_max)+(r−1))·W .. +W]` — the `W = ⌈bits/64⌉`
+//!   signature words,
+//! * `supports[(entity·r_max)+(r−1)]` — `ub_sup_r`,
+//! * `scores[(((entity·r_max)+(r−1))·m)+z]` — `σ_z`,
+//! * `region_sizes[(entity·r_max)+(r−1)]`.
+//!
+//! Index traversal reads rows through the borrowed [`AggregateRef`] view
+//! (cache-local, no pointer chasing), and the binary snapshot writer dumps
+//! the four arrays verbatim.
+
+use crate::precompute::RadiusAggregate;
+use icde_graph::{BitVector, SignatureRef};
+use serde::{Deserialize, Serialize};
+
+/// Borrowed view of one `(entity, radius)` aggregate row — field-compatible
+/// with the owned [`RadiusAggregate`].
+#[derive(Debug, Clone, Copy)]
+pub struct AggregateRef<'a> {
+    /// OR of the keyword signatures of every vertex in the region (`BV_r`).
+    pub keyword_signature: SignatureRef<'a>,
+    /// Maximum data-graph edge support over the region's edges (`ub_sup_r`).
+    pub support_upper_bound: u32,
+    /// `σ_z` for each pre-selected threshold.
+    pub score_upper_bounds: &'a [f64],
+    /// Number of vertices in the region.
+    pub region_size: u32,
+}
+
+impl AggregateRef<'_> {
+    /// Copies the row into an owned [`RadiusAggregate`].
+    pub fn to_owned_aggregate(&self) -> RadiusAggregate {
+        RadiusAggregate {
+            keyword_signature: self.keyword_signature.to_owned_sig(),
+            support_upper_bound: self.support_upper_bound,
+            score_upper_bounds: self.score_upper_bounds.to_vec(),
+            region_size: self.region_size,
+        }
+    }
+}
+
+/// The flattened aggregate store (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateTable {
+    entities: usize,
+    r_max: u32,
+    signature_bits: usize,
+    num_thresholds: usize,
+    /// `entities · r_max · ⌈signature_bits/64⌉` signature words.
+    signatures: Vec<u64>,
+    /// `entities · r_max` support upper bounds.
+    supports: Vec<u32>,
+    /// `entities · r_max · num_thresholds` score upper bounds.
+    scores: Vec<f64>,
+    /// `entities · r_max` region sizes.
+    region_sizes: Vec<u32>,
+}
+
+impl AggregateTable {
+    /// Creates a zeroed table for `entities` entities.
+    ///
+    /// # Panics
+    /// Panics if `r_max`, `signature_bits` or `num_thresholds` is zero.
+    pub fn new(entities: usize, r_max: u32, signature_bits: usize, num_thresholds: usize) -> Self {
+        assert!(r_max >= 1, "r_max must be at least 1");
+        assert!(signature_bits > 0, "signature width must be positive");
+        assert!(num_thresholds > 0, "at least one threshold is required");
+        let rows = entities * r_max as usize;
+        AggregateTable {
+            entities,
+            r_max,
+            signature_bits,
+            num_thresholds,
+            signatures: vec![0; rows * signature_bits.div_ceil(64)],
+            supports: vec![0; rows],
+            scores: vec![0.0; rows * num_thresholds],
+            region_sizes: vec![0; rows],
+        }
+    }
+
+    /// Rebuilds a table from its raw arrays (the binary snapshot loader);
+    /// errors when the lengths do not agree with the dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        entities: usize,
+        r_max: u32,
+        signature_bits: usize,
+        num_thresholds: usize,
+        signatures: Vec<u64>,
+        supports: Vec<u32>,
+        scores: Vec<f64>,
+        region_sizes: Vec<u32>,
+    ) -> Result<Self, String> {
+        let table = AggregateTable {
+            entities,
+            r_max,
+            signature_bits,
+            num_thresholds,
+            signatures,
+            supports,
+            scores,
+            region_sizes,
+        };
+        table.validate()?;
+        Ok(table)
+    }
+
+    /// Checks the dimension/array-length invariants every accessor indexes
+    /// by. Run on every untrusted source (binary snapshot sections, JSON
+    /// deserialisation) so a malformed table errors instead of panicking on
+    /// first row access.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.r_max == 0 || self.signature_bits == 0 || self.num_thresholds == 0 {
+            return Err("aggregate table dimensions must be positive".to_string());
+        }
+        let rows = self
+            .entities
+            .checked_mul(self.r_max as usize)
+            .ok_or("aggregate table row count overflows")?;
+        let words = rows
+            .checked_mul(self.signature_bits.div_ceil(64))
+            .ok_or("aggregate table signature block overflows")?;
+        let scores = rows
+            .checked_mul(self.num_thresholds)
+            .ok_or("aggregate table score block overflows")?;
+        if self.signatures.len() != words
+            || self.supports.len() != rows
+            || self.scores.len() != scores
+            || self.region_sizes.len() != rows
+        {
+            return Err(format!(
+                "aggregate table arrays disagree with {} entities × {} radii",
+                self.entities, self.r_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of entities (vertices or index nodes).
+    pub fn entities(&self) -> usize {
+        self.entities
+    }
+
+    /// Maximum radius the table holds aggregates for.
+    pub fn r_max(&self) -> u32 {
+        self.r_max
+    }
+
+    /// Signature width in bits.
+    pub fn signature_bits(&self) -> usize {
+        self.signature_bits
+    }
+
+    /// Number of pre-selected thresholds per row.
+    pub fn num_thresholds(&self) -> usize {
+        self.num_thresholds
+    }
+
+    #[inline]
+    fn row_index(&self, entity: usize, r: u32) -> usize {
+        assert!(
+            r >= 1 && r <= self.r_max,
+            "radius {r} outside [1, {}]",
+            self.r_max
+        );
+        entity * self.r_max as usize + (r - 1) as usize
+    }
+
+    /// The aggregate row of `entity` at radius `r` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `r` is 0 or exceeds `r_max`, or `entity` is out of range.
+    #[inline]
+    pub fn row(&self, entity: usize, r: u32) -> AggregateRef<'_> {
+        let row = self.row_index(entity, r);
+        let words = self.signature_bits.div_ceil(64);
+        AggregateRef {
+            keyword_signature: SignatureRef::new(
+                self.signature_bits,
+                &self.signatures[row * words..(row + 1) * words],
+            ),
+            support_upper_bound: self.supports[row],
+            score_upper_bounds: &self.scores
+                [row * self.num_thresholds..(row + 1) * self.num_thresholds],
+            region_size: self.region_sizes[row],
+        }
+    }
+
+    /// The score upper bound `σ_z` of `entity` at radius `r` for threshold
+    /// index `z` — the single-value hot-path lookup of index traversal.
+    #[inline]
+    pub fn score(&self, entity: usize, r: u32, z: usize) -> f64 {
+        debug_assert!(z < self.num_thresholds);
+        self.scores[self.row_index(entity, r) * self.num_thresholds + z]
+    }
+
+    /// Overwrites the row of `entity` at radius `r` from an owned aggregate.
+    ///
+    /// # Panics
+    /// Panics if the aggregate's signature width or threshold count does not
+    /// match the table.
+    pub fn set_row(&mut self, entity: usize, r: u32, agg: &RadiusAggregate) {
+        assert_eq!(
+            agg.keyword_signature.num_bits(),
+            self.signature_bits,
+            "signature width mismatch"
+        );
+        assert_eq!(
+            agg.score_upper_bounds.len(),
+            self.num_thresholds,
+            "threshold count mismatch"
+        );
+        let row = self.row_index(entity, r);
+        let words = self.signature_bits.div_ceil(64);
+        self.signatures[row * words..(row + 1) * words]
+            .copy_from_slice(agg.keyword_signature.words());
+        self.supports[row] = agg.support_upper_bound;
+        self.scores[row * self.num_thresholds..(row + 1) * self.num_thresholds]
+            .copy_from_slice(&agg.score_upper_bounds);
+        self.region_sizes[row] = agg.region_size;
+    }
+
+    /// Overwrites every radius row of `entity` at once (`rows[r-1]` holds
+    /// radius `r`).
+    ///
+    /// # Panics
+    /// Panics if `rows` does not hold exactly `r_max` aggregates.
+    pub fn set_entity(&mut self, entity: usize, rows: &[RadiusAggregate]) {
+        assert_eq!(rows.len(), self.r_max as usize, "one aggregate per radius");
+        for (i, agg) in rows.iter().enumerate() {
+            self.set_row(entity, (i + 1) as u32, agg);
+        }
+    }
+
+    /// Rebuilds the owned signature of one row (diagnostics; the hot paths
+    /// use the borrowed view from [`AggregateTable::row`]).
+    pub fn signature(&self, entity: usize, r: u32) -> BitVector {
+        self.row(entity, r).keyword_signature.to_owned_sig()
+    }
+
+    /// Raw signature words (the snapshot writer's view).
+    pub fn raw_signatures(&self) -> &[u64] {
+        &self.signatures
+    }
+
+    /// Raw support bounds.
+    pub fn raw_supports(&self) -> &[u32] {
+        &self.supports
+    }
+
+    /// Raw score bounds.
+    pub fn raw_scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Raw region sizes.
+    pub fn raw_region_sizes(&self) -> &[u32] {
+        &self.region_sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icde_graph::KeywordSet;
+
+    fn sample_aggregate(support: u32, scores: &[f64], kw: u32) -> RadiusAggregate {
+        RadiusAggregate {
+            keyword_signature: BitVector::from_keywords(&KeywordSet::from_ids([kw]), 128),
+            support_upper_bound: support,
+            score_upper_bounds: scores.to_vec(),
+            region_size: support + 1,
+        }
+    }
+
+    #[test]
+    fn rows_roundtrip_through_the_flat_arrays() {
+        let mut table = AggregateTable::new(3, 2, 128, 2);
+        let agg = sample_aggregate(7, &[1.5, 0.5], 3);
+        table.set_row(1, 2, &agg);
+        let row = table.row(1, 2);
+        assert_eq!(row.support_upper_bound, 7);
+        assert_eq!(row.score_upper_bounds, &[1.5, 0.5]);
+        assert_eq!(row.region_size, 8);
+        assert_eq!(row.keyword_signature, agg.keyword_signature);
+        assert_eq!(row.to_owned_aggregate(), agg);
+        // untouched rows stay zeroed
+        assert_eq!(table.row(1, 1).support_upper_bound, 0);
+        assert_eq!(table.score(1, 2, 0), 1.5);
+        assert_eq!(table.score(1, 2, 1), 0.5);
+    }
+
+    #[test]
+    fn set_entity_writes_every_radius() {
+        let mut table = AggregateTable::new(2, 3, 64, 1);
+        let rows: Vec<RadiusAggregate> = (1..=3u32)
+            .map(|r| RadiusAggregate {
+                keyword_signature: BitVector::from_keywords(&KeywordSet::from_ids([r]), 64),
+                support_upper_bound: r,
+                score_upper_bounds: vec![f64::from(r)],
+                region_size: 10 * r,
+            })
+            .collect();
+        table.set_entity(1, &rows);
+        for r in 1..=3u32 {
+            let row = table.row(1, r);
+            assert_eq!(row.support_upper_bound, r);
+            assert_eq!(row.region_size, 10 * r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn out_of_range_radius_panics() {
+        let table = AggregateTable::new(1, 2, 64, 1);
+        let _ = table.row(0, 3);
+    }
+
+    #[test]
+    fn from_raw_validates_lengths() {
+        let table = AggregateTable::new(2, 2, 128, 3);
+        let ok = AggregateTable::from_raw(
+            2,
+            2,
+            128,
+            3,
+            table.raw_signatures().to_vec(),
+            table.raw_supports().to_vec(),
+            table.raw_scores().to_vec(),
+            table.raw_region_sizes().to_vec(),
+        );
+        assert_eq!(ok.unwrap(), table);
+        let bad = AggregateTable::from_raw(
+            3, // wrong entity count for the same arrays
+            2,
+            128,
+            3,
+            table.raw_signatures().to_vec(),
+            table.raw_supports().to_vec(),
+            table.raw_scores().to_vec(),
+            table.raw_region_sizes().to_vec(),
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,4 +1,4 @@
-//! The hierarchical tree index `I` (Section V-B).
+//! The hierarchical tree index `I` (Section V-B), stored flat.
 //!
 //! The index is built over the per-vertex pre-computed aggregates of
 //! [`crate::precompute`]. Leaf nodes hold batches of vertices; non-leaf nodes
@@ -13,9 +13,26 @@
 //! their support and score bounds (so that similar vertices share subtrees
 //! and the aggregated bounds stay tight), then recursively partitioned into
 //! equally-sized children until batches fit into leaves.
+//!
+//! # Flat layout
+//!
+//! Before PR 4 the tree was a `Vec<IndexNode>` of enum nodes, each leaf and
+//! internal owning its own `Vec`, with a parallel `Vec<NodeAggregate>` of
+//! nested per-radius vectors — fine for building, hostile to traversal cache
+//! locality and impossible to serialise flat. The frozen index now keeps:
+//!
+//! * one shared `u32` **item pool**: the items of node `i` live in
+//!   `item_pool[item_start[i] .. item_start[i+1]]` and are leaf vertices or
+//!   child node ids depending on the node's bit in `leaf_mask`,
+//! * one [`AggregateTable`] keyed `(node, r, θ_index)` for all node bounds.
+//!
+//! Traversal borrows node views through [`NodeRef`] / [`AggregateRef`]; the
+//! binary snapshot writer (`crate::snapshot`) dumps the arrays verbatim.
 
+use crate::aggregate::{AggregateRef, AggregateTable};
 use crate::precompute::{PrecomputeConfig, PrecomputedData, RadiusAggregate};
-use icde_graph::{SocialNetwork, VertexId};
+use icde_graph::snapshot::{fnv1a, fnv1a_extend};
+use icde_graph::{vertex_ids_from_raw, SocialNetwork, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Default number of children per non-leaf node (the fan-out `γ`).
@@ -23,8 +40,10 @@ pub const DEFAULT_FANOUT: usize = 8;
 /// Default number of vertices per leaf node.
 pub const DEFAULT_LEAF_CAPACITY: usize = 16;
 
-/// Aggregated bounds of one index node, one entry per radius `r ∈ [1, r_max]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Aggregated bounds of one index node while the tree is being built, one
+/// entry per radius `r ∈ [1, r_max]`. The frozen index flattens these into
+/// its [`AggregateTable`]; this owned form only lives inside the builder.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeAggregate {
     /// `per_radius[r - 1]` — aggregate for radius `r`.
     pub per_radius: Vec<RadiusAggregate>,
@@ -41,7 +60,7 @@ impl NodeAggregate {
 
     fn merge_vertex(&mut self, data: &PrecomputedData, v: VertexId) {
         for (r, agg) in self.per_radius.iter_mut().enumerate() {
-            agg.merge_max(&data.vertices[v.index()].per_radius[r]);
+            agg.merge_max_ref(data.aggregate(v, (r + 1) as u32));
         }
     }
 
@@ -50,35 +69,39 @@ impl NodeAggregate {
             mine.merge_max(theirs);
         }
     }
-
-    /// The aggregate for radius `r` (1-based).
-    pub fn for_radius(&self, r: u32) -> &RadiusAggregate {
-        &self.per_radius[(r - 1) as usize]
-    }
 }
 
-/// One node of the tree index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum IndexNode {
+/// Borrowed view of one index node: a batch of candidate centres (leaf) or a
+/// batch of child node ids (internal), both slices of the shared item pool.
+#[derive(Debug, Clone, Copy)]
+pub enum NodeRef<'a> {
     /// Leaf node holding a batch of vertices (candidate centres).
     Leaf {
         /// Vertices stored in this leaf.
-        vertices: Vec<VertexId>,
+        vertices: &'a [VertexId],
     },
     /// Internal node holding child node ids.
     Internal {
-        /// Ids of the children in [`CommunityIndex::nodes`].
-        children: Vec<usize>,
+        /// Ids of the children (indexes into the same node space).
+        children: &'a [u32],
     },
 }
 
-/// The tree index `I` over one social network.
+/// The tree index `I` over one social network (flat storage, see the module
+/// docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CommunityIndex {
     /// The pre-computed data the index aggregates.
     pub precomputed: PrecomputedData,
-    nodes: Vec<IndexNode>,
-    aggregates: Vec<NodeAggregate>,
+    /// `item_start[i] .. item_start[i+1]` bounds node `i`'s items in the
+    /// pool. Length `node_count + 1`.
+    item_start: Vec<u32>,
+    /// Shared item pool: leaf vertices or child node ids (see `leaf_mask`).
+    item_pool: Vec<u32>,
+    /// Bit `i` set ⇔ node `i` is a leaf. `⌈node_count/64⌉` words.
+    leaf_mask: Vec<u64>,
+    /// Aggregated bounds keyed `(node, r, θ_index)`.
+    node_aggregates: AggregateTable,
     root: usize,
     num_graph_vertices: usize,
     fanout: usize,
@@ -93,7 +116,7 @@ impl CommunityIndex {
 
     /// Total number of index nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.item_start.len() - 1
     }
 
     /// Number of graph vertices the index covers.
@@ -121,36 +144,74 @@ impl CommunityIndex {
         self.leaf_capacity
     }
 
-    /// The node with the given id.
-    pub fn node(&self, id: usize) -> &IndexNode {
-        &self.nodes[id]
+    /// Returns `true` if node `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: usize) -> bool {
+        (self.leaf_mask[id / 64] >> (id % 64)) & 1 == 1
     }
 
-    /// The aggregated bounds of the node with the given id.
-    pub fn aggregate(&self, id: usize) -> &NodeAggregate {
-        &self.aggregates[id]
+    /// The node with the given id, as a borrowed view of the item pool.
+    #[inline]
+    pub fn node(&self, id: usize) -> NodeRef<'_> {
+        let items = &self.item_pool[self.item_start[id] as usize..self.item_start[id + 1] as usize];
+        if self.is_leaf(id) {
+            NodeRef::Leaf {
+                vertices: vertex_ids_from_raw(items),
+            }
+        } else {
+            NodeRef::Internal { children: items }
+        }
+    }
+
+    /// The aggregated bounds of node `id` for radius `r` (a borrowed row of
+    /// the flat node table).
+    ///
+    /// # Panics
+    /// Panics if `r` is 0 or exceeds `r_max`, or `id` is out of range.
+    #[inline]
+    pub fn aggregate(&self, id: usize, r: u32) -> AggregateRef<'_> {
+        self.node_aggregates.row(id, r)
+    }
+
+    /// The flattened node-aggregate table (the snapshot writer's view).
+    pub fn node_aggregates(&self) -> &AggregateTable {
+        &self.node_aggregates
+    }
+
+    /// The flat tree arrays `(item_start, item_pool, leaf_mask)` — the
+    /// snapshot writer's view of the topology.
+    pub fn tree_parts(&self) -> (&[u32], &[u32], &[u64]) {
+        (&self.item_start, &self.item_pool, &self.leaf_mask)
     }
 
     /// Influential-score upper bound of a node for radius `r` and online
     /// threshold `theta` (`+∞` when no pre-selected threshold applies).
     pub fn node_score_bound(&self, id: usize, r: u32, theta: f64) -> f64 {
         match self.precomputed.config.threshold_index(theta) {
-            Some(z) => self.aggregate(id).for_radius(r).score_upper_bounds[z],
+            Some(z) => self.node_aggregates.score(id, r, z),
             None => f64::INFINITY,
         }
     }
 
     /// Height of the tree (a single leaf-root has height 1).
+    ///
+    /// Children always carry smaller ids than their parent (the builder
+    /// freezes levels bottom-up and [`CommunityIndex::validate`] enforces
+    /// it), so one ascending pass computes every depth iteratively — no
+    /// recursion, no cycle hazard.
     pub fn height(&self) -> usize {
-        fn depth(index: &CommunityIndex, node: usize) -> usize {
-            match &index.nodes[node] {
-                IndexNode::Leaf { .. } => 1,
-                IndexNode::Internal { children } => {
-                    1 + children.iter().map(|c| depth(index, *c)).max().unwrap_or(0)
-                }
+        let nodes = self.node_count();
+        let mut depth = vec![1usize; nodes];
+        for id in 0..nodes {
+            if let NodeRef::Internal { children } = self.node(id) {
+                depth[id] = 1 + children
+                    .iter()
+                    .map(|c| depth[*c as usize])
+                    .max()
+                    .unwrap_or(0);
             }
         }
-        depth(self, self.root)
+        depth[self.root]
     }
 
     /// Iterates over every leaf vertex (in index order) — used by tests to
@@ -159,12 +220,166 @@ impl CommunityIndex {
         let mut out = Vec::with_capacity(self.num_graph_vertices);
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
-            match &self.nodes[id] {
-                IndexNode::Leaf { vertices } => out.extend(vertices.iter().copied()),
-                IndexNode::Internal { children } => stack.extend(children.iter().copied()),
+            match self.node(id) {
+                NodeRef::Leaf { vertices } => out.extend(vertices.iter().copied()),
+                NodeRef::Internal { children } => {
+                    stack.extend(children.iter().map(|c| *c as usize))
+                }
             }
         }
         out
+    }
+
+    /// An FNV-1a fingerprint of the complete index content (configuration,
+    /// per-vertex table, edge supports, tree arrays, node table). Equal
+    /// fingerprints mean byte-identical flat arrays — the bit-identity check
+    /// used by snapshot round-trip tests and the `bench4` loader comparison.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = fnv1a(b"icde-index-content-v1");
+        let word = |h: u64, v: u64| fnv1a_extend(h, &v.to_le_bytes());
+        let config = &self.precomputed.config;
+        h = word(h, u64::from(config.r_max));
+        h = word(h, config.signature_bits as u64);
+        for t in &config.thresholds {
+            h = word(h, t.to_bits());
+        }
+        let hash_table = |mut h: u64, table: &AggregateTable| {
+            h = word(h, table.entities() as u64);
+            for &w in table.raw_signatures() {
+                h = word(h, w);
+            }
+            for &s in table.raw_supports() {
+                h = word(h, u64::from(s));
+            }
+            for &s in table.raw_scores() {
+                h = word(h, s.to_bits());
+            }
+            for &s in table.raw_region_sizes() {
+                h = word(h, u64::from(s));
+            }
+            h
+        };
+        h = hash_table(h, self.precomputed.table());
+        for &s in &self.precomputed.edge_supports {
+            h = word(h, u64::from(s));
+        }
+        for &v in &self.item_start {
+            h = word(h, u64::from(v));
+        }
+        for &v in &self.item_pool {
+            h = word(h, u64::from(v));
+        }
+        for &v in &self.leaf_mask {
+            h = word(h, v);
+        }
+        h = hash_table(h, &self.node_aggregates);
+        h = word(h, self.root as u64);
+        h = word(h, self.num_graph_vertices as u64);
+        h = word(h, self.fanout as u64);
+        h = word(h, self.leaf_capacity as u64);
+        h
+    }
+
+    /// Reassembles a frozen index from flat parts (the binary snapshot
+    /// loader), validating every structural invariant the traversal relies
+    /// on so no accessor can go out of bounds afterwards.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_flat_parts(
+        precomputed: PrecomputedData,
+        item_start: Vec<u32>,
+        item_pool: Vec<u32>,
+        leaf_mask: Vec<u64>,
+        node_aggregates: AggregateTable,
+        root: usize,
+        num_graph_vertices: usize,
+        fanout: usize,
+        leaf_capacity: usize,
+    ) -> Result<Self, String> {
+        let index = CommunityIndex {
+            precomputed,
+            item_start,
+            item_pool,
+            leaf_mask,
+            node_aggregates,
+            root,
+            num_graph_vertices,
+            fanout,
+            leaf_capacity,
+        };
+        index.validate()?;
+        Ok(index)
+    }
+
+    /// Checks every structural invariant traversal relies on, without
+    /// assuming anything about where the data came from. Both untrusted
+    /// sources — the binary snapshot loader and the JSON deserialiser —
+    /// run this before an index is handed to callers, so no accessor can
+    /// go out of bounds, loop, or panic on a malformed file afterwards.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        // the serde derive can produce arbitrary field combinations; check
+        // the aggregate tables' internal consistency first so the per-node
+        // walk below cannot index past their arrays
+        let config = &self.precomputed.config;
+        self.precomputed.validate()?;
+        self.node_aggregates.validate()?;
+        if self.node_aggregates.r_max() != config.r_max
+            || self.node_aggregates.signature_bits() != config.signature_bits
+            || self.node_aggregates.num_thresholds() != config.thresholds.len()
+        {
+            return Err("node aggregate table disagrees with the configuration".to_string());
+        }
+        if self.item_start.is_empty() {
+            return Err("item_start must hold at least one entry".to_string());
+        }
+        let nodes = self.item_start.len() - 1;
+        if nodes == 0 {
+            return Err("index must hold at least one node".to_string());
+        }
+        if self.item_start[0] != 0
+            || self.item_start[nodes] as usize != self.item_pool.len()
+            || self.item_start.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("item_start does not partition the item pool".to_string());
+        }
+        if self.leaf_mask.len() != nodes.div_ceil(64) {
+            return Err("leaf mask length disagrees with the node count".to_string());
+        }
+        if self.node_aggregates.entities() != nodes {
+            return Err("node aggregate table disagrees with the node count".to_string());
+        }
+        if self.root >= nodes {
+            return Err("root node id out of range".to_string());
+        }
+        if self.num_graph_vertices != self.precomputed.num_vertices() {
+            return Err("index vertex count disagrees with the pre-computed data".to_string());
+        }
+        for id in 0..nodes {
+            match self.node(id) {
+                NodeRef::Leaf { vertices } => {
+                    if vertices
+                        .iter()
+                        .any(|v| v.index() >= self.num_graph_vertices)
+                    {
+                        return Err(format!("leaf {id} references an out-of-range vertex"));
+                    }
+                }
+                NodeRef::Internal { children } => {
+                    if children.is_empty() {
+                        return Err(format!("internal node {id} has no children"));
+                    }
+                    // the builder freezes levels bottom-up, so children
+                    // always have smaller ids; enforcing that here also
+                    // proves acyclicity (a crafted cycle would otherwise
+                    // make height()/all_leaf_vertices() diverge)
+                    if children.iter().any(|c| *c as usize >= id) {
+                        return Err(format!(
+                            "node {id} references a child with a non-smaller id"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -238,28 +453,33 @@ impl IndexBuilder {
             });
         }
 
-        let mut nodes = Vec::new();
+        // Grow the flat arrays node by node: each new node appends its items
+        // (leaf vertices or child ids) to the shared pool.
+        let mut item_start: Vec<u32> = vec![0];
+        let mut item_pool: Vec<u32> = Vec::new();
+        let mut is_leaf: Vec<bool> = Vec::new();
         let mut aggregates: Vec<NodeAggregate> = Vec::new();
+        let mut push_node = |items: &[u32], leaf: bool| -> usize {
+            item_pool.extend_from_slice(items);
+            item_start.push(item_pool.len() as u32);
+            is_leaf.push(leaf);
+            is_leaf.len() - 1
+        };
 
         // Leaf level.
         let mut level: Vec<usize> = Vec::new();
         if n == 0 {
-            nodes.push(IndexNode::Leaf {
-                vertices: Vec::new(),
-            });
             aggregates.push(NodeAggregate::empty(&data.config));
-            level.push(0);
+            level.push(push_node(&[], true));
         } else {
             for chunk in order.chunks(self.leaf_capacity) {
                 let mut agg = NodeAggregate::empty(&data.config);
                 for &v in chunk {
                     agg.merge_vertex(&data, v);
                 }
-                nodes.push(IndexNode::Leaf {
-                    vertices: chunk.to_vec(),
-                });
+                let items: Vec<u32> = chunk.iter().map(|v| v.0).collect();
                 aggregates.push(agg);
-                level.push(nodes.len() - 1);
+                level.push(push_node(&items, true));
             }
         }
 
@@ -271,20 +491,38 @@ impl IndexBuilder {
                 for &child in group {
                     agg.merge_node(&aggregates[child]);
                 }
-                nodes.push(IndexNode::Internal {
-                    children: group.to_vec(),
-                });
+                let items: Vec<u32> = group.iter().map(|c| *c as u32).collect();
                 aggregates.push(agg);
-                next_level.push(nodes.len() - 1);
+                next_level.push(push_node(&items, false));
             }
             level = next_level;
         }
-
         let root = level[0];
+
+        // Flatten the per-node accumulators into the SoA table.
+        let nodes = is_leaf.len();
+        let mut node_aggregates = AggregateTable::new(
+            nodes,
+            data.config.r_max,
+            data.config.signature_bits,
+            data.config.thresholds.len(),
+        );
+        for (i, agg) in aggregates.iter().enumerate() {
+            node_aggregates.set_entity(i, &agg.per_radius);
+        }
+        let mut leaf_mask = vec![0u64; nodes.div_ceil(64)];
+        for (i, leaf) in is_leaf.iter().enumerate() {
+            if *leaf {
+                leaf_mask[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+
         CommunityIndex {
             precomputed: data,
-            nodes,
-            aggregates,
+            item_start,
+            item_pool,
+            leaf_mask,
+            node_aggregates,
             root,
             num_graph_vertices: n,
             fanout: self.fanout,
@@ -334,8 +572,8 @@ mod tests {
         assert!(index.height() >= 2);
         for id in 0..index.node_count() {
             match index.node(id) {
-                IndexNode::Leaf { vertices } => assert!(vertices.len() <= 8),
-                IndexNode::Internal { children } => {
+                NodeRef::Leaf { vertices } => assert!(vertices.len() <= 8),
+                NodeRef::Internal { children } => {
                     assert!(children.len() <= 4);
                     assert!(!children.is_empty());
                 }
@@ -348,11 +586,11 @@ mod tests {
         let g = graph();
         let index = build(&g);
         for id in 0..index.node_count() {
-            if let IndexNode::Internal { children } = index.node(id) {
+            if let NodeRef::Internal { children } = index.node(id) {
                 for &child in children {
                     for r in 1..=index.r_max() {
-                        let parent = index.aggregate(id).for_radius(r);
-                        let child_agg = index.aggregate(child).for_radius(r);
+                        let parent = index.aggregate(id, r);
+                        let child_agg = index.aggregate(child as usize, r);
                         assert!(parent.support_upper_bound >= child_agg.support_upper_bound);
                         for z in 0..parent.score_upper_bounds.len() {
                             assert!(
@@ -370,10 +608,10 @@ mod tests {
         let g = graph();
         let index = build(&g);
         for id in 0..index.node_count() {
-            if let IndexNode::Leaf { vertices } = index.node(id) {
+            if let NodeRef::Leaf { vertices } = index.node(id) {
                 for &v in vertices {
                     for r in 1..=index.r_max() {
-                        let node_agg = index.aggregate(id).for_radius(r);
+                        let node_agg = index.aggregate(id, r);
                         let vert_agg = index.precomputed.aggregate(v, r);
                         assert!(node_agg.support_upper_bound >= vert_agg.support_upper_bound);
                         for z in 0..node_agg.score_upper_bounds.len() {
@@ -417,6 +655,7 @@ mod tests {
         assert_eq!(index.node_count(), 1);
         assert_eq!(index.height(), 1);
         assert!(index.all_leaf_vertices().is_empty());
+        assert!(index.is_leaf(index.root()));
     }
 
     #[test]
@@ -445,8 +684,69 @@ mod tests {
         })
         .build(&g);
         assert_eq!(index.all_leaf_vertices().len(), 1);
-        let agg = index.aggregate(index.root()).for_radius(1);
+        let agg = index.aggregate(index.root(), 1);
         let q = BitVector::from_keywords(&KeywordSet::from_ids([1]), index.signature_bits());
         assert!(agg.keyword_signature.intersects(&q));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let g = graph();
+        let a = build(&g);
+        let b = build(&g);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        let other = DatasetSpec::new(DatasetKind::Uniform, 200, 12)
+            .with_keyword_domain(20)
+            .generate();
+        let c = build(&other);
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+    }
+
+    #[test]
+    fn flat_parts_reassemble_and_reject_corruption() {
+        let g = graph();
+        let index = build(&g);
+        let (item_start, item_pool, leaf_mask) = index.tree_parts();
+        let rebuilt = CommunityIndex::from_flat_parts(
+            index.precomputed.clone(),
+            item_start.to_vec(),
+            item_pool.to_vec(),
+            leaf_mask.to_vec(),
+            index.node_aggregates().clone(),
+            index.root(),
+            index.num_graph_vertices(),
+            index.fanout(),
+            index.leaf_capacity(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.content_fingerprint(), index.content_fingerprint());
+        // out-of-range root
+        assert!(CommunityIndex::from_flat_parts(
+            index.precomputed.clone(),
+            item_start.to_vec(),
+            item_pool.to_vec(),
+            leaf_mask.to_vec(),
+            index.node_aggregates().clone(),
+            index.node_count() + 7,
+            index.num_graph_vertices(),
+            index.fanout(),
+            index.leaf_capacity(),
+        )
+        .is_err());
+        // corrupt pool partition
+        let mut bad_start = item_start.to_vec();
+        bad_start[1] = u32::MAX;
+        assert!(CommunityIndex::from_flat_parts(
+            index.precomputed.clone(),
+            bad_start,
+            item_pool.to_vec(),
+            leaf_mask.to_vec(),
+            index.node_aggregates().clone(),
+            index.root(),
+            index.num_graph_vertices(),
+            index.fanout(),
+            index.leaf_capacity(),
+        )
+        .is_err());
     }
 }

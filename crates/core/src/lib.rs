@@ -10,8 +10,12 @@
 //!   rules (Lemmas 1–7) and the diversity-score pruning rule (Lemma 9),
 //! * [`precompute`] — offline pre-computation of per-vertex, per-radius
 //!   aggregates (Algorithm 2),
+//! * [`aggregate`] — the flattened (struct-of-arrays) aggregate tables both
+//!   the pre-computed data and the index node bounds live in,
 //! * [`index`] — the hierarchical tree index `I` over the pre-computed data
-//!   (Section V-B),
+//!   (Section V-B), stored flat (shared item pool + SoA bounds),
+//! * [`snapshot`] — binary snapshot persistence of the index (same
+//!   container format as `icde_graph::snapshot`),
 //! * [`topl`] — online TopL-ICDE processing by best-first index traversal
 //!   (Algorithm 3),
 //! * [`dtopl`] — DTopL-ICDE processing: the lazy greedy with diversity
@@ -21,6 +25,7 @@
 //!   ATindex, k-core),
 //! * [`stats`] — pruning-power instrumentation backing the ablation study.
 
+pub mod aggregate;
 pub mod baseline;
 pub mod dtopl;
 pub mod error;
@@ -31,12 +36,14 @@ pub mod precompute;
 pub mod pruning;
 pub mod query;
 pub mod seed;
+pub mod snapshot;
 pub mod stats;
 pub mod topl;
 
+pub use aggregate::{AggregateRef, AggregateTable};
 pub use dtopl::{DTopLAnswer, DTopLProcessor, DTopLQuery, DTopLStrategy};
 pub use error::CoreError;
-pub use index::{CommunityIndex, IndexBuilder};
+pub use index::{CommunityIndex, IndexBuilder, NodeRef};
 pub use precompute::{PrecomputeConfig, PrecomputedData};
 pub use query::TopLQuery;
 pub use seed::SeedCommunity;

@@ -4,17 +4,33 @@
 //! pipeline — minutes for large graphs — while the online phase is
 //! milliseconds to seconds. Production deployments therefore build the index
 //! once, persist it next to the graph snapshot, and reload it on start-up.
-//! The format is a versioned JSON envelope around the serde representation of
-//! [`CommunityIndex`].
+//!
+//! Two formats live behind this module:
+//!
+//! * the **binary snapshot** ([`save_index_snapshot`] /
+//!   [`load_index_snapshot`], implemented in [`crate::snapshot`]) — the
+//!   production path: sectioned, checksummed, loaded with one `memcpy` per
+//!   flat array (the `bench4` experiment measures the gap vs JSON),
+//! * the **JSON envelope** ([`save_index`] / [`load_index`]) — the
+//!   compatibility path: human-readable, diff-able, versioned by
+//!   [`INDEX_FORMAT_VERSION`].
+//!
+//! [`load_index_auto`] sniffs the file's magic bytes and dispatches, so
+//! callers (the CLI, services) accept either format transparently. All
+//! writers are crash-safe (write-to-temp + rename).
 
 use crate::error::{CoreError, CoreResult};
 use crate::index::CommunityIndex;
+use icde_graph::io::atomic_write;
+use icde_graph::snapshot::{path_is_snapshot, LoadMode};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
-/// Current on-disk format version. Bump when the index layout changes.
-pub const INDEX_FORMAT_VERSION: u32 = 1;
+/// Current JSON format version. Bump when the index layout changes.
+/// Version 1 (the pointer-rich pre-PR-4 tree) is no longer readable — the
+/// aggregate layout changed shape; rebuild the index from the graph.
+pub const INDEX_FORMAT_VERSION: u32 = 2;
 
 /// Versioned envelope around a serialised index.
 #[derive(Debug, Serialize, Deserialize)]
@@ -38,23 +54,65 @@ pub fn index_from_json(json: &str) -> CoreResult<CommunityIndex> {
         serde_json::from_str(json).map_err(|e| CoreError::Serialization(e.to_string()))?;
     if envelope.format_version != INDEX_FORMAT_VERSION {
         return Err(CoreError::Serialization(format!(
-            "unsupported index format version {} (expected {})",
+            "unsupported index format version {} (expected {}; version-1 indexes predate \
+             the flattened layout — rebuild the index from the graph)",
             envelope.format_version, INDEX_FORMAT_VERSION
         )));
     }
+    // the derive accepts any field combination; run the same structural
+    // validation the binary snapshot loader applies so a hand-edited or
+    // corrupted JSON file errors here instead of panicking on first access
+    envelope
+        .index
+        .validate()
+        .map_err(|e| CoreError::Serialization(format!("invalid index: {e}")))?;
     Ok(envelope.index)
 }
 
-/// Writes an index to a file.
+/// Writes an index to a JSON file (crash-safe write-then-rename).
 pub fn save_index<P: AsRef<Path>>(index: &CommunityIndex, path: P) -> CoreResult<()> {
     let json = index_to_json(index)?;
-    fs::write(path, json).map_err(|e| CoreError::Serialization(e.to_string()))
+    atomic_write(path.as_ref(), json.as_bytes())
+        .map_err(|e| CoreError::Serialization(e.to_string()))
 }
 
-/// Loads an index from a file written by [`save_index`].
+/// Loads an index from a JSON file written by [`save_index`].
 pub fn load_index<P: AsRef<Path>>(path: P) -> CoreResult<CommunityIndex> {
     let json = fs::read_to_string(path).map_err(|e| CoreError::Serialization(e.to_string()))?;
     index_from_json(&json)
+}
+
+/// Writes an index as a **binary snapshot** (crash-safe; see
+/// [`crate::snapshot`] for the format).
+pub fn save_index_snapshot<P: AsRef<Path>>(index: &CommunityIndex, path: P) -> CoreResult<()> {
+    crate::snapshot::write_index_snapshot(index, path)
+        .map_err(|e| CoreError::Serialization(e.to_string()))
+}
+
+/// Loads an index from a binary snapshot (mmap where available, buffered
+/// fallback elsewhere).
+pub fn load_index_snapshot<P: AsRef<Path>>(path: P) -> CoreResult<CommunityIndex> {
+    crate::snapshot::read_index_snapshot(path).map_err(|e| CoreError::Serialization(e.to_string()))
+}
+
+/// Loads an index from a binary snapshot with an explicit load mode.
+pub fn load_index_snapshot_with<P: AsRef<Path>>(
+    path: P,
+    mode: LoadMode,
+) -> CoreResult<CommunityIndex> {
+    crate::snapshot::read_index_snapshot_with(path, mode)
+        .map_err(|e| CoreError::Serialization(e.to_string()))
+}
+
+/// Loads an index from either format: files starting with the snapshot magic
+/// bytes take the binary path, everything else is parsed as JSON.
+pub fn load_index_auto<P: AsRef<Path>>(path: P) -> CoreResult<CommunityIndex> {
+    let path = path.as_ref();
+    if path_is_snapshot(path) {
+        load_index_snapshot(path)
+    } else {
+        load_index(path)
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +168,12 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let (_g, index) = build();
         let json = index_to_json(&index).unwrap();
-        let tampered = json.replacen("\"format_version\":1", "\"format_version\":999", 1);
+        let tampered = json.replacen(
+            &format!("\"format_version\":{INDEX_FORMAT_VERSION}"),
+            "\"format_version\":999",
+            1,
+        );
+        assert_ne!(json, tampered, "envelope carries the current version");
         assert!(matches!(
             index_from_json(&tampered),
             Err(CoreError::Serialization(_))
@@ -118,8 +181,60 @@ mod tests {
     }
 
     #[test]
+    fn auto_loader_dispatches_on_magic_bytes() {
+        let (g, index) = build();
+        let dir = std::env::temp_dir();
+        let json_path = dir.join(format!("icde_persist_auto_{}.json", std::process::id()));
+        let snap_path = dir.join(format!("icde_persist_auto_{}.snap", std::process::id()));
+        save_index(&index, &json_path).unwrap();
+        save_index_snapshot(&index, &snap_path).unwrap();
+        let from_json = load_index_auto(&json_path).unwrap();
+        let from_snap = load_index_auto(&snap_path).unwrap();
+        assert_eq!(from_json.content_fingerprint(), index.content_fingerprint());
+        assert_eq!(from_snap.content_fingerprint(), index.content_fingerprint());
+        // the reloaded indexes answer queries identically
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2]), 3, 2, 0.2, 3);
+        let a = TopLProcessor::new(&g, &from_json).run(&query).unwrap();
+        let b = TopLProcessor::new(&g, &from_snap).run(&query).unwrap();
+        assert_eq!(a.communities.len(), b.communities.len());
+        let _ = std::fs::remove_file(json_path);
+        let _ = std::fs::remove_file(snap_path);
+    }
+
+    #[test]
     fn malformed_input_is_rejected() {
         assert!(index_from_json("not json").is_err());
         assert!(load_index("/definitely/not/here.json").is_err());
+    }
+
+    #[test]
+    fn structurally_inconsistent_json_is_rejected_not_panicking() {
+        let (_g, index) = build();
+        let json = index_to_json(&index).unwrap();
+        // shrink the item pool without touching item_start: the partition
+        // invariant breaks, which must surface as an error on load
+        let pool_field = "\"item_pool\":[";
+        let start = json.find(pool_field).expect("item_pool serialised") + pool_field.len();
+        let end = start + json[start..].find(']').expect("pool closes");
+        let mut tampered = json.clone();
+        tampered.replace_range(start..end, "0");
+        assert_ne!(json, tampered);
+        assert!(matches!(
+            index_from_json(&tampered),
+            Err(CoreError::Serialization(_))
+        ));
+        // a cyclic "tree" (node referencing a non-smaller id) is rejected
+        // too: clear the leaf mask so node 0 becomes internal and its pool
+        // slice is reinterpreted as child ids ≥ its own id
+        let mut cyclic = json.clone();
+        let mask_field = "\"leaf_mask\":[";
+        let ms = cyclic.find(mask_field).expect("leaf_mask serialised") + mask_field.len();
+        let me = ms + cyclic[ms..].find(']').expect("mask closes");
+        let zeros = cyclic[ms..me].split(',').count();
+        cyclic.replace_range(ms..me, &vec!["0"; zeros].join(","));
+        assert!(matches!(
+            index_from_json(&cyclic),
+            Err(CoreError::Serialization(_))
+        ));
     }
 }

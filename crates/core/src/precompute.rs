@@ -16,6 +16,7 @@
 //! each worker owns one [`TraversalWorkspace`] and amortises every BFS and
 //! influence expansion of its chunk through it.
 
+use crate::aggregate::{AggregateRef, AggregateTable};
 use icde_graph::traversal::bfs_within_with;
 use icde_graph::workspace::{with_thread_workspace, TraversalWorkspace};
 use icde_graph::{BitVector, SocialNetwork, VertexId, VertexSubset};
@@ -128,12 +129,26 @@ impl RadiusAggregate {
     /// Folds another aggregate into this one (bit-OR signatures, max support,
     /// element-wise max scores) — the aggregation used by index entries.
     pub fn merge_max(&mut self, other: &RadiusAggregate) {
-        self.keyword_signature.or_assign(&other.keyword_signature);
+        self.merge_max_ref(AggregateRef {
+            keyword_signature: other.keyword_signature.as_sig(),
+            support_upper_bound: other.support_upper_bound,
+            score_upper_bounds: &other.score_upper_bounds,
+            region_size: other.region_size,
+        });
+    }
+
+    /// [`merge_max`] against a borrowed table row (the index builder folds
+    /// flattened per-vertex rows without materialising owned aggregates).
+    ///
+    /// [`merge_max`]: RadiusAggregate::merge_max
+    pub fn merge_max_ref(&mut self, other: AggregateRef<'_>) {
+        self.keyword_signature
+            .or_assign_sig(other.keyword_signature);
         self.support_upper_bound = self.support_upper_bound.max(other.support_upper_bound);
         for (mine, theirs) in self
             .score_upper_bounds
             .iter_mut()
-            .zip(&other.score_upper_bounds)
+            .zip(other.score_upper_bounds)
         {
             if *theirs > *mine {
                 *mine = *theirs;
@@ -144,20 +159,24 @@ impl RadiusAggregate {
 }
 
 /// All pre-computed data of one vertex: one aggregate per radius
-/// `r ∈ [1, r_max]` (index 0 holds `r = 1`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `r ∈ [1, r_max]` (index 0 holds `r = 1`). This is the unit of work a
+/// pre-computation worker produces before the rows are scattered into the
+/// flattened [`AggregateTable`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexPrecompute {
     /// Aggregates per radius; `per_radius[r - 1]` belongs to radius `r`.
     pub per_radius: Vec<RadiusAggregate>,
 }
 
-/// The output of the offline phase for a whole graph.
+/// The output of the offline phase for a whole graph: the per-vertex
+/// aggregates flattened into one [`AggregateTable`] (`entity` = vertex id)
+/// plus the global per-edge supports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrecomputedData {
     /// The configuration the data was computed with.
     pub config: PrecomputeConfig,
-    /// Per-vertex aggregates, indexed by vertex id.
-    pub vertices: Vec<VertexPrecompute>,
+    /// Per-vertex aggregates keyed `(vertex, r, θ_index)`.
+    table: AggregateTable,
     /// Per-edge data-graph supports (`ub_sup(e_{u,v})`), indexed by edge id.
     pub edge_supports: Vec<u32>,
 }
@@ -167,7 +186,12 @@ impl PrecomputedData {
     pub fn compute(g: &SocialNetwork, config: PrecomputeConfig) -> Self {
         let edge_supports = edge_supports_global(g);
         let n = g.num_vertices();
-        let mut vertices: Vec<Option<VertexPrecompute>> = vec![None; n];
+        let mut table = AggregateTable::new(
+            n,
+            config.r_max,
+            config.signature_bits,
+            config.thresholds.len(),
+        );
 
         let workers = if config.parallel {
             std::thread::available_parallelism()
@@ -180,14 +204,10 @@ impl PrecomputedData {
 
         if workers <= 1 || n == 0 {
             let mut ws = TraversalWorkspace::new();
-            for (i, slot) in vertices.iter_mut().enumerate() {
-                *slot = Some(precompute_vertex(
-                    g,
-                    &config,
-                    &edge_supports,
-                    VertexId::from_index(i),
-                    &mut ws,
-                ));
+            for i in 0..n {
+                let pre =
+                    precompute_vertex(g, &config, &edge_supports, VertexId::from_index(i), &mut ws);
+                table.set_entity(i, &pre.per_radius);
             }
         } else {
             let chunk = n.div_ceil(workers);
@@ -226,7 +246,7 @@ impl PrecomputedData {
             let mut idx = 0usize;
             for chunk_result in results {
                 for item in chunk_result {
-                    vertices[idx] = Some(item);
+                    table.set_entity(idx, &item.per_radius);
                     idx += 1;
                 }
             }
@@ -234,25 +254,53 @@ impl PrecomputedData {
 
         PrecomputedData {
             config,
-            vertices: vertices
-                .into_iter()
-                .map(|v| v.expect("every vertex pre-computed"))
-                .collect(),
+            table,
             edge_supports,
         }
     }
 
-    /// The aggregate of `hop(v, r)`.
+    /// Rebuilds pre-computed data from an already-flattened table (the
+    /// binary snapshot loader); errors when the table dimensions disagree
+    /// with the configuration.
+    pub fn from_table(
+        config: PrecomputeConfig,
+        table: AggregateTable,
+        edge_supports: Vec<u32>,
+    ) -> Result<Self, String> {
+        let data = PrecomputedData {
+            config,
+            table,
+            edge_supports,
+        };
+        data.validate()?;
+        Ok(data)
+    }
+
+    /// Checks internal table consistency and agreement with the
+    /// configuration (run on every untrusted source; see
+    /// [`crate::aggregate::AggregateTable::validate`]).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        self.table.validate()?;
+        if self.table.r_max() != self.config.r_max
+            || self.table.signature_bits() != self.config.signature_bits
+            || self.table.num_thresholds() != self.config.thresholds.len()
+        {
+            return Err("aggregate table dimensions disagree with the configuration".to_string());
+        }
+        Ok(())
+    }
+
+    /// The flattened per-vertex aggregate table.
+    pub fn table(&self) -> &AggregateTable {
+        &self.table
+    }
+
+    /// The aggregate of `hop(v, r)` as a borrowed row of the flat table.
     ///
     /// # Panics
     /// Panics if `r` is 0 or exceeds `r_max`.
-    pub fn aggregate(&self, v: VertexId, r: u32) -> &RadiusAggregate {
-        assert!(
-            r >= 1 && r <= self.config.r_max,
-            "radius {r} outside [1, {}]",
-            self.config.r_max
-        );
-        &self.vertices[v.index()].per_radius[(r - 1) as usize]
+    pub fn aggregate(&self, v: VertexId, r: u32) -> AggregateRef<'_> {
+        self.table.row(v.index(), r)
     }
 
     /// Influential-score upper bound for `hop(v, r)` under online threshold
@@ -260,14 +308,14 @@ impl PrecomputedData {
     /// bound ⇒ never prune).
     pub fn score_bound(&self, v: VertexId, r: u32, theta: f64) -> f64 {
         match self.config.threshold_index(theta) {
-            Some(z) => self.aggregate(v, r).score_upper_bounds[z],
+            Some(z) => self.table.score(v.index(), r, z),
             None => f64::INFINITY,
         }
     }
 
     /// Number of vertices the data was computed over.
     pub fn num_vertices(&self) -> usize {
-        self.vertices.len()
+        self.table.entities()
     }
 
     /// Recomputes the aggregates of a single vertex against the current state
@@ -276,9 +324,10 @@ impl PrecomputedData {
     /// `edge_supports` must already reflect the updated graph; use
     /// [`PrecomputedData::refresh_edge_supports`] first.
     pub fn recompute_vertex(&mut self, g: &SocialNetwork, v: VertexId) {
-        self.vertices[v.index()] = with_thread_workspace(|ws| {
+        let pre = with_thread_workspace(|ws| {
             precompute_vertex(g, &self.config, &self.edge_supports, v, ws)
         });
+        self.table.set_entity(v.index(), &pre.per_radius);
     }
 
     /// Recomputes the global per-edge supports from scratch against the
@@ -395,13 +444,12 @@ mod tests {
         let data = PrecomputedData::compute(&g, config);
         assert_eq!(data.num_vertices(), g.num_vertices());
         assert_eq!(data.edge_supports.len(), g.num_edges());
+        assert_eq!(data.table().r_max(), 3);
         for v in g.vertices() {
-            let pre = &data.vertices[v.index()];
-            assert_eq!(pre.per_radius.len(), 3);
             // larger radius => larger (or equal) region, signature, bounds
-            for r in 1..3usize {
-                let smaller = &pre.per_radius[r - 1];
-                let larger = &pre.per_radius[r];
+            for r in 1..3u32 {
+                let smaller = data.aggregate(v, r);
+                let larger = data.aggregate(v, r + 1);
                 assert!(larger.region_size >= smaller.region_size);
                 assert!(larger.support_upper_bound >= smaller.support_upper_bound);
                 for z in 0..3 {
@@ -432,9 +480,11 @@ mod tests {
         // agree (scores up to floating-point summation order, which depends
         // on hash-map iteration order inside the influence evaluator)
         assert_eq!(seq.edge_supports, par.edge_supports);
-        assert_eq!(seq.vertices.len(), par.vertices.len());
-        for (a, b) in seq.vertices.iter().zip(par.vertices.iter()) {
-            for (ra, rb) in a.per_radius.iter().zip(b.per_radius.iter()) {
+        assert_eq!(seq.num_vertices(), par.num_vertices());
+        for v in g.vertices() {
+            for r in 1..=3u32 {
+                let ra = seq.aggregate(v, r);
+                let rb = par.aggregate(v, r);
                 assert_eq!(ra.keyword_signature, rb.keyword_signature);
                 assert_eq!(ra.support_upper_bound, rb.support_upper_bound);
                 assert_eq!(ra.region_size, rb.region_size);

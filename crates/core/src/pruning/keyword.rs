@@ -16,13 +16,16 @@
 //! emptiness (no false dismissals); a non-zero intersection may still be a
 //! hash collision, which is resolved later by exact refinement.
 
-use icde_graph::{BitVector, KeywordSet, SocialNetwork, VertexSubset};
+use icde_graph::{BitVector, KeywordSet, SignatureRef, SocialNetwork, VertexSubset};
 
 /// Index-level keyword pruning (Lemma 5): returns `true` (prune) when the
 /// aggregated signature of the entry cannot intersect the query signature.
+/// Takes the entry side as a borrowed [`SignatureRef`] so index traversal
+/// reads straight out of the flattened aggregate tables; owned signatures
+/// pass [`BitVector::as_sig`].
 #[inline]
 pub fn can_prune_by_keyword_signature(
-    entry_signature: &BitVector,
+    entry_signature: SignatureRef<'_>,
     query_signature: &BitVector,
 ) -> bool {
     !entry_signature.intersects(query_signature)
@@ -73,8 +76,8 @@ mod tests {
         let entry = BitVector::from_keywords(&KeywordSet::from_ids([1, 2, 3]), 128);
         let query_hit = BitVector::from_keywords(&KeywordSet::from_ids([3, 7]), 128);
         let query_miss = BitVector::from_keywords(&KeywordSet::from_ids([40, 41]), 128);
-        assert!(!can_prune_by_keyword_signature(&entry, &query_hit));
-        assert!(can_prune_by_keyword_signature(&entry, &query_miss));
+        assert!(!can_prune_by_keyword_signature(entry.as_sig(), &query_hit));
+        assert!(can_prune_by_keyword_signature(entry.as_sig(), &query_miss));
     }
 
     #[test]
@@ -94,7 +97,7 @@ mod tests {
             for kw in s.iter() {
                 let q = KeywordSet::from_iter([kw, Keyword(500)]);
                 let qbv = BitVector::from_keywords(&q, 64);
-                assert!(!can_prune_by_keyword_signature(&agg, &qbv));
+                assert!(!can_prune_by_keyword_signature(agg.as_sig(), &qbv));
             }
         }
     }

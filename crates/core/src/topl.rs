@@ -11,7 +11,7 @@
 //! score `σ_L` drives score pruning and the early-termination test.
 
 use crate::error::{CoreError, CoreResult};
-use crate::index::{CommunityIndex, IndexNode};
+use crate::index::{CommunityIndex, NodeRef};
 use crate::pruning;
 use crate::query::TopLQuery;
 use crate::seed::{extract_seed_community, SeedCommunity};
@@ -260,7 +260,7 @@ impl<'a> TopLProcessor<'a> {
                 break;
             }
             match self.index.node(node) {
-                IndexNode::Leaf { vertices } => {
+                NodeRef::Leaf { vertices } => {
                     for &v in vertices {
                         self.process_candidate(
                             v,
@@ -273,12 +273,13 @@ impl<'a> TopLProcessor<'a> {
                         );
                     }
                 }
-                IndexNode::Internal { children } => {
+                NodeRef::Internal { children } => {
                     for &child in children {
-                        let aggregate = self.index.aggregate(child).for_radius(query.radius);
+                        let child = child as usize;
+                        let aggregate = self.index.aggregate(child, query.radius);
                         if toggles.keyword
                             && pruning::can_prune_by_keyword_signature(
-                                &aggregate.keyword_signature,
+                                aggregate.keyword_signature,
                                 &query_signature,
                             )
                         {
@@ -333,10 +334,7 @@ impl<'a> TopLProcessor<'a> {
     ) {
         let aggregate = self.index.precomputed.aggregate(center, query.radius);
         if toggles.keyword
-            && pruning::can_prune_by_keyword_signature(
-                &aggregate.keyword_signature,
-                query_signature,
-            )
+            && pruning::can_prune_by_keyword_signature(aggregate.keyword_signature, query_signature)
         {
             stats.candidate_keyword_pruned += 1;
             return;

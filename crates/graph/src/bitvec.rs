@@ -62,17 +62,9 @@ impl BitVector {
     }
 
     /// The hash function `f(w)` mapping a keyword to a bit position.
-    ///
-    /// Uses a 64-bit splitmix finaliser so that nearby keyword ids scatter
-    /// across the signature instead of clustering in the low bits.
     #[inline]
     pub fn hash_position(&self, kw: Keyword) -> usize {
-        let mut x = kw.0 as u64;
-        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        (x % self.bits as u64) as usize
+        hash_position(self.bits, kw)
     }
 
     /// Sets the bit corresponding to keyword `kw`.
@@ -142,6 +134,144 @@ impl BitVector {
     /// Returns `true` if no bit is set.
     pub fn is_zero(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
+    }
+
+    /// The backing words (`ceil(bits / 64)` entries, low bits first) — the
+    /// raw block the flattened aggregate tables and the binary snapshot
+    /// writer store.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrows this signature as a [`SignatureRef`].
+    #[inline]
+    pub fn as_sig(&self) -> SignatureRef<'_> {
+        SignatureRef {
+            bits: self.bits,
+            words: &self.words,
+        }
+    }
+
+    /// Rebuilds a signature from its width and backing words (the inverse of
+    /// [`BitVector::words`]); returns `None` when the word count does not
+    /// match the width.
+    pub fn from_words(bits: usize, words: Vec<u64>) -> Option<Self> {
+        if bits == 0 || words.len() != bits.div_ceil(64) {
+            return None;
+        }
+        Some(BitVector {
+            bits: bits as u32,
+            words,
+        })
+    }
+
+    /// In-place bit-OR with a borrowed signature of the same width.
+    ///
+    /// # Panics
+    /// Panics if widths differ.
+    pub fn or_assign_sig(&mut self, other: SignatureRef<'_>) {
+        assert_eq!(self.bits, other.bits, "bit vector width mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+        }
+    }
+}
+
+/// A borrowed signature: the same bit semantics as [`BitVector`], viewing a
+/// word block owned elsewhere (one row of a flattened aggregate table, or a
+/// mapped snapshot section). Copy-cheap; comparisons and intersection tests
+/// behave exactly like the owned type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureRef<'a> {
+    bits: u32,
+    words: &'a [u64],
+}
+
+impl<'a> SignatureRef<'a> {
+    /// Wraps a word block as a signature of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if the word count does not match the width.
+    pub fn new(bits: usize, words: &'a [u64]) -> Self {
+        assert!(bits > 0, "bit vector width must be positive");
+        assert_eq!(words.len(), bits.div_ceil(64), "word count mismatch");
+        SignatureRef {
+            bits: bits as u32,
+            words,
+        }
+    }
+
+    /// Number of usable bits.
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns bit `pos`.
+    #[inline]
+    pub fn get_bit(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.bits as usize);
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Returns `true` if the keyword's bit is set (the keyword *may* be
+    /// present).
+    #[inline]
+    pub fn maybe_contains(&self, kw: Keyword) -> bool {
+        self.get_bit(hash_position(self.bits, kw))
+    }
+
+    /// Returns `true` if the bitwise AND with `other` is non-zero (the sets
+    /// *may* intersect); `false` is a safe pruning condition.
+    ///
+    /// # Panics
+    /// Panics if widths differ.
+    pub fn intersects(&self, other: &BitVector) -> bool {
+        assert_eq!(self.bits, other.bits, "bit vector width mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Copies the view into an owned [`BitVector`].
+    pub fn to_owned_sig(&self) -> BitVector {
+        BitVector {
+            bits: self.bits,
+            words: self.words.to_vec(),
+        }
+    }
+}
+
+/// The hash function `f(w)` shared by [`BitVector`] and [`SignatureRef`]:
+/// a 64-bit splitmix finaliser, so nearby keyword ids scatter across the
+/// signature instead of clustering in the low bits.
+#[inline]
+fn hash_position(bits: u32, kw: Keyword) -> usize {
+    let mut x = kw.0 as u64;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % bits as u64) as usize
+}
+
+impl PartialEq<BitVector> for SignatureRef<'_> {
+    fn eq(&self, other: &BitVector) -> bool {
+        self.bits == other.bits && self.words == other.words.as_slice()
+    }
+}
+
+impl PartialEq<SignatureRef<'_>> for BitVector {
+    fn eq(&self, other: &SignatureRef<'_>) -> bool {
+        other == self
     }
 }
 

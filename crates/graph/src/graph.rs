@@ -35,6 +35,7 @@
 
 use crate::error::{GraphError, GraphResult};
 use crate::keywords::KeywordSet;
+use crate::snapshot::{fnv1a, fnv1a_extend, FlatVec};
 use crate::types::{is_valid_probability, EdgeId, VertexId, Weight};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashSet;
@@ -51,39 +52,65 @@ pub const GRAPH_FORMAT_VERSION: u32 = 2;
 pub struct SocialNetwork {
     /// CSR row offsets: the neighbours of `v` live in
     /// `csr[offsets[v] .. offsets[v + 1]]`. Length `n + 1`.
-    offsets: Vec<u32>,
+    ///
+    /// The flat arrays live in [`FlatVec`]s: owned vectors for graphs built
+    /// in memory, zero-copy views into the file region for graphs loaded
+    /// from a binary snapshot ([`crate::snapshot`]).
+    offsets: FlatVec<u32>,
     /// Packed `(neighbour, edge id)` pairs, sorted by neighbour id within each
     /// vertex's row. Length `2m`.
-    csr: Vec<(VertexId, EdgeId)>,
+    csr: FlatVec<(VertexId, EdgeId)>,
     /// Outgoing activation probability per CSR slot: `csr_out_weight[s]` is
     /// `p_{v→n}` where slot `s` of `v`'s row points at `n`. Keeps the
     /// max-product Dijkstra inner loop on two contiguous slices instead of
     /// chasing the edge table per neighbour. Derived data, rebuilt alongside
     /// the CSR and patched by [`SocialNetwork::set_edge_weights`].
-    csr_out_weight: Vec<Weight>,
+    csr_out_weight: FlatVec<Weight>,
     /// Canonical edge table: `edges[e] = (u, v)` with `u < v`.
-    edges: Vec<(VertexId, VertexId)>,
+    edges: FlatVec<(VertexId, VertexId)>,
     /// Directed activation probability `p_{u,v}` for the canonical direction
     /// (`u < v`).
-    weight_forward: Vec<Weight>,
+    weight_forward: FlatVec<Weight>,
     /// Directed activation probability `p_{v,u}` for the reverse direction.
-    weight_backward: Vec<Weight>,
-    /// Per-vertex keyword sets `v_i.W`.
+    weight_backward: FlatVec<Weight>,
+    /// Per-vertex keyword sets `v_i.W` (owned: variable-length and tiny).
     keywords: Vec<KeywordSet>,
 }
 
 impl Default for SocialNetwork {
     fn default() -> Self {
         SocialNetwork {
-            offsets: vec![0],
-            csr: Vec::new(),
-            csr_out_weight: Vec::new(),
-            edges: Vec::new(),
-            weight_forward: Vec::new(),
-            weight_backward: Vec::new(),
+            offsets: vec![0].into(),
+            csr: FlatVec::default(),
+            csr_out_weight: FlatVec::default(),
+            edges: FlatVec::default(),
+            weight_forward: FlatVec::default(),
+            weight_backward: FlatVec::default(),
             keywords: Vec::new(),
         }
     }
+}
+
+/// Borrowed view of every flat array of a frozen [`SocialNetwork`] — the
+/// graph's "raw parts", consumed by the binary snapshot writer and the
+/// content fingerprint, and useful for any external tool that wants the CSR
+/// without going through the accessor methods.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphParts<'a> {
+    /// CSR row offsets (`n + 1` entries).
+    pub offsets: &'a [u32],
+    /// Packed `(neighbour, edge id)` CSR slots (`2m` entries).
+    pub csr: &'a [(VertexId, EdgeId)],
+    /// Outgoing activation probability per CSR slot (`2m` entries).
+    pub csr_out_weights: &'a [Weight],
+    /// Canonical edge endpoints, `u < v` (`m` entries).
+    pub edges: &'a [(VertexId, VertexId)],
+    /// Directed weights in the canonical direction (`m` entries).
+    pub weight_forward: &'a [Weight],
+    /// Directed weights in the reverse direction (`m` entries).
+    pub weight_backward: &'a [Weight],
+    /// Per-vertex keyword sets (`n` entries).
+    pub keywords: &'a [KeywordSet],
 }
 
 /// Builds the CSR arrays for `n` vertices from a canonical edge table with a
@@ -167,33 +194,129 @@ impl SocialNetwork {
         }
         let (offsets, csr) = build_csr(n, &edges);
         let mut network = SocialNetwork {
-            offsets,
-            csr,
-            csr_out_weight: Vec::new(),
-            edges,
-            weight_forward,
-            weight_backward,
+            offsets: offsets.into(),
+            csr: csr.into(),
+            csr_out_weight: FlatVec::default(),
+            edges: edges.into(),
+            weight_forward: weight_forward.into(),
+            weight_backward: weight_backward.into(),
             keywords,
         };
         network.refresh_csr_out_weights();
         Ok(network)
     }
 
+    /// Assembles a frozen network directly from already-validated flat parts
+    /// (the binary snapshot loader, which has checked every structural
+    /// invariant and hands over zero-copy views where possible).
+    pub(crate) fn from_snapshot_parts(
+        offsets: FlatVec<u32>,
+        csr: FlatVec<(VertexId, EdgeId)>,
+        csr_out_weight: FlatVec<Weight>,
+        edges: FlatVec<(VertexId, VertexId)>,
+        weight_forward: FlatVec<Weight>,
+        weight_backward: FlatVec<Weight>,
+        keywords: Vec<KeywordSet>,
+    ) -> Self {
+        SocialNetwork {
+            offsets,
+            csr,
+            csr_out_weight,
+            edges,
+            weight_forward,
+            weight_backward,
+            keywords,
+        }
+    }
+
+    /// Borrowed view of every flat array (see [`GraphParts`]).
+    pub fn raw_parts(&self) -> GraphParts<'_> {
+        GraphParts {
+            offsets: &self.offsets,
+            csr: &self.csr,
+            csr_out_weights: &self.csr_out_weight,
+            edges: &self.edges,
+            weight_forward: &self.weight_forward,
+            weight_backward: &self.weight_backward,
+            keywords: &self.keywords,
+        }
+    }
+
+    /// Returns `true` if any flat array is a zero-copy view into a loaded
+    /// binary snapshot (attribute mutation copies on first write).
+    pub fn is_snapshot_backed(&self) -> bool {
+        self.offsets.is_mapped()
+            || self.csr.is_mapped()
+            || self.csr_out_weight.is_mapped()
+            || self.edges.is_mapped()
+            || self.weight_forward.is_mapped()
+            || self.weight_backward.is_mapped()
+    }
+
+    /// Returns `true` if any flat array views an actual `mmap(2)` of the
+    /// snapshot file (the buffered fallback also produces snapshot-backed
+    /// views, but over a heap region).
+    pub fn is_mmap_backed(&self) -> bool {
+        self.offsets.is_file_mapped()
+            || self.csr.is_file_mapped()
+            || self.csr_out_weight.is_file_mapped()
+            || self.edges.is_file_mapped()
+            || self.weight_forward.is_file_mapped()
+            || self.weight_backward.is_file_mapped()
+    }
+
+    /// An FNV-1a fingerprint of the complete graph content (topology,
+    /// weights bit patterns, keywords). Two graphs with equal fingerprints
+    /// are byte-identical in every flat array — the bit-identity check used
+    /// by the snapshot round-trip tests and the `bench4` loader comparison.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = fnv1a(b"icde-graph-content-v1");
+        let word = |h: u64, v: u64| fnv1a_extend(h, &v.to_le_bytes());
+        h = word(h, self.num_vertices() as u64);
+        h = word(h, self.num_edges() as u64);
+        for &o in self.offsets.iter() {
+            h = word(h, u64::from(o));
+        }
+        for &(n, e) in self.csr.iter() {
+            h = word(h, u64::from(n.0) << 32 | u64::from(e.0));
+        }
+        for &w in self.csr_out_weight.iter() {
+            h = word(h, w.to_bits());
+        }
+        for &(u, v) in self.edges.iter() {
+            h = word(h, u64::from(u.0) << 32 | u64::from(v.0));
+        }
+        for &w in self.weight_forward.iter() {
+            h = word(h, w.to_bits());
+        }
+        for &w in self.weight_backward.iter() {
+            h = word(h, w.to_bits());
+        }
+        for set in &self.keywords {
+            h = word(h, set.len() as u64);
+            for kw in set.iter() {
+                h = word(h, u64::from(kw.0));
+            }
+        }
+        h
+    }
+
     /// Recomputes the packed per-slot outgoing weights from the directed
     /// weight tables in one O(m) pass.
     fn refresh_csr_out_weights(&mut self) {
-        self.csr_out_weight.resize(self.csr.len(), 0.0);
-        for slot in 0..self.csr.len() {
+        let mut out = vec![0.0; self.csr.len()];
+        for (slot, value) in out.iter_mut().enumerate() {
             // a slot pointing at the higher endpoint lives in the lower
             // endpoint's row, so the outgoing direction is forward
             let (n, e) = self.csr[slot];
             let (_, hi) = self.edges[e.index()];
-            self.csr_out_weight[slot] = if n == hi {
+            *value = if n == hi {
                 self.weight_forward[e.index()]
             } else {
                 self.weight_backward[e.index()]
             };
         }
+        self.csr_out_weight = out.into();
     }
 
     /// Number of vertices `|V(G)|`.
@@ -362,8 +485,8 @@ impl SocialNetwork {
                 weight: p_backward,
             });
         }
-        self.weight_forward[e.index()] = p_forward;
-        self.weight_backward[e.index()] = p_backward;
+        self.weight_forward.to_mut()[e.index()] = p_forward;
+        self.weight_backward.to_mut()[e.index()] = p_backward;
         // keep the packed per-slot outgoing weights in sync: the forward
         // direction leaves lo's row (slot pointing at hi) and vice versa
         self.patch_out_weight(lo, hi, p_forward);
@@ -400,8 +523,8 @@ impl SocialNetwork {
             }
         }
         for &(e, p_forward, p_backward) in updates {
-            self.weight_forward[e.index()] = p_forward;
-            self.weight_backward[e.index()] = p_backward;
+            self.weight_forward.to_mut()[e.index()] = p_forward;
+            self.weight_backward.to_mut()[e.index()] = p_backward;
         }
         self.refresh_csr_out_weights();
         Ok(())
@@ -415,7 +538,7 @@ impl SocialNetwork {
         let pos = row
             .binary_search_by_key(&to, |&(n, _)| n)
             .expect("endpoints of an existing edge are mutual neighbours");
-        self.csr_out_weight[start + pos] = weight;
+        self.csr_out_weight.to_mut()[start + pos] = weight;
     }
 
     /// Rebuilds the frozen store with one additional edge `{u, v}` (the
@@ -563,11 +686,14 @@ impl Serialize for SocialNetwork {
                 "num_vertices".to_string(),
                 Value::UInt(self.num_vertices() as u64),
             ),
-            ("edges".to_string(), self.edges.to_value()),
-            ("weight_forward".to_string(), self.weight_forward.to_value()),
+            ("edges".to_string(), self.edges.as_slice().to_value()),
+            (
+                "weight_forward".to_string(),
+                self.weight_forward.as_slice().to_value(),
+            ),
             (
                 "weight_backward".to_string(),
-                self.weight_backward.to_value(),
+                self.weight_backward.as_slice().to_value(),
             ),
             ("keywords".to_string(), self.keywords.to_value()),
         ])

@@ -34,7 +34,47 @@ use crate::keywords::KeywordSet;
 use crate::types::VertexId;
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `bytes` to `path` **crash-safely**: the content goes to a uniquely
+/// named temporary file in the *same directory* (same filesystem, so the
+/// final step is a true rename, not a copy) and is renamed into place after
+/// being flushed. A process killed mid-write can leave a stray `*.tmp-*`
+/// file behind but never a truncated file under the final name; concurrent
+/// writers last-write-win without ever exposing a partial file.
+///
+/// Every snapshot writer in the workspace (graph JSON / edge lists, binary
+/// snapshots, the core index persistence) routes through this helper.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "cannot atomically write to {}: no file name",
+                path.display()
+            ),
+        )
+    })?;
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp-{}-{unique}", std::process::id()));
+    let tmp_path = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(bytes)?;
+        // flush userspace buffers and the OS cache before the rename makes
+        // the file visible under its final name
+        file.sync_all()?;
+        fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp_path);
+    }
+    result
+}
 
 /// Default activation probability used for plain `u v` edge lines that carry
 /// no explicit weight (midpoint of the paper's `[0.5, 0.6)` range).
@@ -157,9 +197,10 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> GraphResult<SocialNetwork
     parse_edge_list(&text)
 }
 
-/// Writes a graph to an attributed edge-list file.
+/// Writes a graph to an attributed edge-list file (crash-safe
+/// write-then-rename, see [`atomic_write`]).
 pub fn write_edge_list_file<P: AsRef<Path>>(g: &SocialNetwork, path: P) -> GraphResult<()> {
-    fs::write(path, to_edge_list(g))?;
+    atomic_write(path.as_ref(), to_edge_list(g).as_bytes())?;
     Ok(())
 }
 
@@ -176,9 +217,10 @@ pub fn from_json(json: &str) -> GraphResult<SocialNetwork> {
     })
 }
 
-/// Writes a JSON snapshot of the graph to a file.
+/// Writes a JSON snapshot of the graph to a file (crash-safe
+/// write-then-rename, see [`atomic_write`]).
 pub fn write_json_file<P: AsRef<Path>>(g: &SocialNetwork, path: P) -> GraphResult<()> {
-    fs::write(path, to_json(g)?)?;
+    atomic_write(path.as_ref(), to_json(g)?.as_bytes())?;
     Ok(())
 }
 
@@ -341,6 +383,27 @@ e 0 2 0.9
         assert_eq!(back.num_vertices(), 3);
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(json_path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("icde_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // overwrite must swap the whole content in one rename
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temporary files left behind");
+        // writing to a path without a parent file name errors cleanly
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

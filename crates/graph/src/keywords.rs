@@ -65,6 +65,20 @@ impl KeywordSet {
         Self::from_iter(iter.into_iter().map(Keyword))
     }
 
+    /// Creates a keyword set from ids expected to be **strictly increasing**
+    /// (the order this crate serialises sets in): O(n) with a single
+    /// allocation on that fast path, falling back to the sorting/deduping
+    /// constructor when the input is not sorted. The snapshot loader decodes
+    /// every vertex's set through this.
+    pub fn from_sorted_ids<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let keywords: Vec<Keyword> = iter.into_iter().map(Keyword).collect();
+        if keywords.windows(2).all(|w| w[0] < w[1]) {
+            KeywordSet { keywords }
+        } else {
+            Self::from_iter(keywords)
+        }
+    }
+
     /// Inserts a keyword, keeping the set sorted; returns `true` if it was
     /// newly added.
     pub fn insert(&mut self, kw: Keyword) -> bool {

@@ -23,7 +23,10 @@
 //! * [`generators`] — synthetic workload generators (Newman–Watts–Strogatz
 //!   small-world, DBLP-like, Amazon-like, keyword distributions, edge
 //!   weights),
-//! * [`io`] — edge-list / JSON snapshot readers and writers.
+//! * [`io`] — edge-list / JSON snapshot readers and writers,
+//! * [`snapshot`] — sectioned, checksummed **binary snapshots** of the
+//!   frozen store that load zero-copy via `mmap(2)` (with a buffered
+//!   fallback path), so production starts skip the JSON re-parse entirely.
 //!
 //! The representation is bespoke (rather than reusing a generic graph crate)
 //! so that keyword bit vectors, edge supports and per-radius aggregates can
@@ -36,17 +39,18 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod keywords;
+pub mod snapshot;
 pub mod statistics;
 pub mod subgraph;
 pub mod traversal;
 pub mod types;
 pub mod workspace;
 
-pub use bitvec::BitVector;
+pub use bitvec::{BitVector, SignatureRef};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::SocialNetwork;
+pub use graph::{GraphParts, SocialNetwork};
 pub use keywords::{Keyword, KeywordSet};
 pub use subgraph::VertexSubset;
-pub use types::{EdgeId, VertexId, Weight};
+pub use types::{vertex_ids_from_raw, EdgeId, VertexId, Weight};
 pub use workspace::TraversalWorkspace;

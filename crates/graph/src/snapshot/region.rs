@@ -1,0 +1,294 @@
+//! Read-only byte regions backing a loaded snapshot: either an `mmap(2)`
+//! mapping of the file or an 8-byte-aligned heap buffer the file was read
+//! into.
+//!
+//! The mapping path is a thin unsafe wrapper over the raw `mmap`/`munmap`
+//! syscalls (no external crate; the workspace builds fully offline). It is
+//! compiled only on 64-bit unix targets — everywhere else
+//! [`MappedRegion::map_file`] reports `Unsupported` and callers fall back to
+//! [`MappedRegion::read_file`], which produces the same region type from a
+//! plain read, so every consumer works on every platform.
+//!
+//! Regions hand out `&[u8]` only; typed views are built on top by
+//! [`crate::snapshot::FlatVec`] after the snapshot reader has validated
+//! alignment and bounds.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::sync::Arc;
+
+/// Alignment guaranteed for the start of a region (and therefore for every
+/// 8-byte-aligned section offset inside it). `mmap` returns page-aligned
+/// memory; the heap fallback allocates with this alignment explicitly.
+pub const REGION_ALIGN: usize = 8;
+
+/// How a snapshot file was brought into memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// `mmap(2)` the file and read it in place (zero-copy).
+    Mmap,
+    /// Read the file into an aligned heap buffer (works anywhere).
+    Buffered,
+    /// Try [`LoadMode::Mmap`] first, fall back to [`LoadMode::Buffered`]
+    /// when mapping is unsupported or fails.
+    Auto,
+}
+
+enum Backing {
+    /// Anonymous empty region (zero-length files need no backing memory).
+    Empty,
+    /// Heap allocation with [`REGION_ALIGN`] alignment.
+    Heap { layout: std::alloc::Layout },
+    /// `mmap(2)` mapping, unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mmap,
+}
+
+/// A read-only, immutable, 8-byte-aligned byte region with shared ownership
+/// (sections of a loaded snapshot keep an `Arc<MappedRegion>` alive).
+pub struct MappedRegion {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+    mapped: bool,
+}
+
+// Safety: the region is immutable for its whole lifetime (PROT_READ mapping
+// or a heap buffer nothing writes to after construction), so sharing
+// references across threads is sound.
+unsafe impl Send for MappedRegion {}
+unsafe impl Sync for MappedRegion {}
+
+impl std::fmt::Debug for MappedRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedRegion")
+            .field("len", &self.len)
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+impl MappedRegion {
+    /// The region's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            // Safety: ptr/len describe a live allocation owned by `self`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for an empty region.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer of the region (valid for `len` bytes).
+    #[inline]
+    pub(crate) fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Returns `true` if the region is an `mmap` of the file rather than a
+    /// heap copy.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// Maps a file read-only. Returns `ErrorKind::Unsupported` on platforms
+    /// without the mapping path so callers can fall back to
+    /// [`MappedRegion::read_file`].
+    pub fn map_file(file: &File) -> io::Result<Arc<MappedRegion>> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot file exceeds the address space",
+            ));
+        }
+        Self::map_file_impl(file, len as usize)
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn map_file_impl(file: &File, len: usize) -> io::Result<Arc<MappedRegion>> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // mmap(len = 0) is EINVAL; an empty region needs no backing
+            return Ok(Arc::new(MappedRegion {
+                ptr: std::ptr::null(),
+                len: 0,
+                backing: Backing::Empty,
+                mapped: true,
+            }));
+        }
+        // Safety: length is non-zero, the fd is open; a failed mapping
+        // returns MAP_FAILED which we turn into the errno error.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Arc::new(MappedRegion {
+            ptr: ptr as *const u8,
+            len,
+            backing: Backing::Mmap,
+            mapped: true,
+        }))
+    }
+
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    fn map_file_impl(_file: &File, _len: usize) -> io::Result<Arc<MappedRegion>> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap is not supported on this platform; use the buffered loader",
+        ))
+    }
+
+    /// Reads a whole file into a fresh [`REGION_ALIGN`]-aligned heap region —
+    /// the portable fallback path.
+    pub fn read_file(file: &mut File) -> io::Result<Arc<MappedRegion>> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot file exceeds the address space",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Arc::new(MappedRegion {
+                ptr: std::ptr::null(),
+                len: 0,
+                backing: Backing::Empty,
+                mapped: false,
+            }));
+        }
+        let layout = std::alloc::Layout::from_size_align(len, REGION_ALIGN)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Safety: layout has non-zero size; allocation failure is handled.
+        // Zeroed so the `&mut [u8]` handed to `read_exact` below never
+        // exposes uninitialised memory (the Read contract allows reading
+        // the buffer).
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        let region = MappedRegion {
+            ptr,
+            len,
+            backing: Backing::Heap { layout },
+            mapped: false,
+        };
+        // Safety: the buffer is exclusively ours until the Arc is built.
+        let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        file.read_exact(buf)?;
+        Ok(Arc::new(region))
+    }
+}
+
+impl Drop for MappedRegion {
+    fn drop(&mut self) {
+        match self.backing {
+            Backing::Empty => {}
+            Backing::Heap { layout } => {
+                // Safety: allocated with exactly this layout in `read_file`.
+                unsafe { std::alloc::dealloc(self.ptr as *mut u8, layout) };
+            }
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap => {
+                // Safety: ptr/len came from a successful mmap of this length.
+                unsafe {
+                    sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+                }
+            }
+        }
+    }
+}
+
+/// Raw `mmap`/`munmap` declarations for 64-bit unix (libc is linked by std
+/// anyway; declaring the two symbols avoids an external crate).
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        /// `off_t` is 64-bit on every LP64 unix, matching the `i64` here.
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn buffered_region_reads_whole_file() {
+        let path = temp_file("icde_region_buffered.bin", b"hello snapshot");
+        let mut f = File::open(&path).unwrap();
+        let region = MappedRegion::read_file(&mut f).unwrap();
+        assert_eq!(region.bytes(), b"hello snapshot");
+        assert!(!region.is_mapped());
+        assert_eq!(region.as_ptr() as usize % REGION_ALIGN, 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mapped_region_matches_file() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file("icde_region_mapped.bin", &payload);
+        let f = File::open(&path).unwrap();
+        let region = MappedRegion::map_file(&f).unwrap();
+        assert!(region.is_mapped());
+        assert_eq!(region.len(), payload.len());
+        assert_eq!(region.bytes(), &payload[..]);
+        assert_eq!(region.as_ptr() as usize % REGION_ALIGN, 0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_file_yields_empty_region() {
+        let path = temp_file("icde_region_empty.bin", b"");
+        let mut f = File::open(&path).unwrap();
+        let region = MappedRegion::read_file(&mut f).unwrap();
+        assert!(region.is_empty());
+        assert_eq!(region.bytes(), b"");
+        let _ = std::fs::remove_file(path);
+    }
+}

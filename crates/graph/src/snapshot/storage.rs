@@ -1,0 +1,242 @@
+//! [`FlatVec`]: flat array storage that is either an owned `Vec<T>` or a
+//! zero-copy view into a loaded snapshot region.
+//!
+//! The frozen [`crate::SocialNetwork`] stores its CSR arrays in `FlatVec`s:
+//! graphs built in memory own plain vectors, graphs loaded from a binary
+//! snapshot point straight into the `mmap`'d (or buffered) file bytes. Reads
+//! go through `Deref<Target = [T]>` either way, so the hot paths are
+//! oblivious to the backing. The rare attribute mutations
+//! ([`SocialNetwork::set_edge_weights`]) call [`FlatVec::to_mut`], which
+//! converts a mapped view into an owned copy on first write
+//! (copy-on-write at whole-array granularity).
+//!
+//! [`SocialNetwork::set_edge_weights`]: crate::SocialNetwork::set_edge_weights
+
+use super::region::MappedRegion;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Marker for element types that may be viewed directly inside a snapshot
+/// region: fixed-size, no padding, no invalid bit patterns *as written by the
+/// snapshot writer*, alignment ≤ 8.
+///
+/// # Safety
+/// Implementors guarantee `T` has no uninitialised/padding bytes and that any
+/// bit pattern the snapshot writer produced is a valid `T`. Pair types
+/// additionally require the runtime layout check in the graph loader before a
+/// mapped `FlatVec` is constructed.
+pub unsafe trait SectionElement: Copy + 'static {}
+
+unsafe impl SectionElement for u8 {}
+unsafe impl SectionElement for u32 {}
+unsafe impl SectionElement for u64 {}
+unsafe impl SectionElement for f64 {}
+// Pair sections (CSR slots, edge endpoints): guarded by the
+// `pair_layout_is_transparent` runtime check before any mapped construction.
+unsafe impl SectionElement for (crate::types::VertexId, crate::types::EdgeId) {}
+unsafe impl SectionElement for (crate::types::VertexId, crate::types::VertexId) {}
+
+enum Inner<T> {
+    Owned(Vec<T>),
+    Mapped {
+        region: Arc<MappedRegion>,
+        byte_offset: usize,
+        len: usize,
+        _elem: PhantomData<T>,
+    },
+}
+
+/// A flat array that is owned or a view into a snapshot region (see the
+/// module docs).
+pub struct FlatVec<T> {
+    inner: Inner<T>,
+}
+
+impl<T> FlatVec<T> {
+    /// Wraps an owned vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        FlatVec {
+            inner: Inner::Owned(v),
+        }
+    }
+
+    /// Returns `true` if the storage is a zero-copy view into a region.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.inner, Inner::Mapped { .. })
+    }
+
+    /// Returns `true` if the storage views a region that is an `mmap` of the
+    /// file (as opposed to a buffered heap read or owned storage).
+    pub fn is_file_mapped(&self) -> bool {
+        match &self.inner {
+            Inner::Owned(_) => false,
+            Inner::Mapped { region, .. } => region.is_mapped(),
+        }
+    }
+}
+
+impl<T: SectionElement> FlatVec<T> {
+    /// Builds a zero-copy view of `len` elements starting `byte_offset` bytes
+    /// into `region`.
+    ///
+    /// # Safety
+    /// The caller guarantees the range `byte_offset .. byte_offset +
+    /// len * size_of::<T>()` lies inside the region, `byte_offset` is aligned
+    /// for `T`, and the bytes are a valid `[T; len]` under `T`'s
+    /// [`SectionElement`] contract (for pair types: the layout check passed).
+    pub(crate) unsafe fn from_region(
+        region: Arc<MappedRegion>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Self {
+        debug_assert!(byte_offset + len * std::mem::size_of::<T>() <= region.len());
+        debug_assert_eq!(
+            (region.as_ptr() as usize + byte_offset) % std::mem::align_of::<T>(),
+            0
+        );
+        FlatVec {
+            inner: Inner::Mapped {
+                region,
+                byte_offset,
+                len,
+                _elem: PhantomData,
+            },
+        }
+    }
+}
+
+impl<T: Clone> FlatVec<T> {
+    /// Mutable access to the elements, converting a mapped view into an owned
+    /// copy on first use (whole-array copy-on-write).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Inner::Mapped { .. } = self.inner {
+            let owned: Vec<T> = self.as_slice().to_vec();
+            self.inner = Inner::Owned(owned);
+        }
+        match &mut self.inner {
+            Inner::Owned(v) => v,
+            Inner::Mapped { .. } => unreachable!("converted to owned above"),
+        }
+    }
+}
+
+impl<T> FlatVec<T> {
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.inner {
+            Inner::Owned(v) => v.as_slice(),
+            Inner::Mapped {
+                region,
+                byte_offset,
+                len,
+                ..
+            } => {
+                if *len == 0 {
+                    &[]
+                } else {
+                    // Safety: upheld by the `from_region` contract; the Arc
+                    // keeps the region alive for the borrow's duration.
+                    unsafe {
+                        std::slice::from_raw_parts(
+                            region.as_ptr().add(*byte_offset) as *const T,
+                            *len,
+                        )
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Deref for FlatVec<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> Default for FlatVec<T> {
+    fn default() -> Self {
+        FlatVec::from_vec(Vec::new())
+    }
+}
+
+impl<T> From<Vec<T>> for FlatVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        FlatVec::from_vec(v)
+    }
+}
+
+impl<T: Clone> Clone for FlatVec<T> {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            Inner::Owned(v) => FlatVec::from_vec(v.clone()),
+            Inner::Mapped {
+                region,
+                byte_offset,
+                len,
+                ..
+            } => FlatVec {
+                // sharing the region is cheap and keeps the clone zero-copy
+                inner: Inner::Mapped {
+                    region: Arc::clone(region),
+                    byte_offset: *byte_offset,
+                    len: *len,
+                    _elem: PhantomData,
+                },
+            },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for FlatVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for FlatVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::File;
+    use std::io::Write;
+
+    #[test]
+    fn owned_roundtrip() {
+        let mut v: FlatVec<u32> = vec![1, 2, 3].into();
+        assert_eq!(&v[..], &[1, 2, 3]);
+        assert!(!v.is_mapped());
+        v.to_mut().push(4);
+        assert_eq!(&v[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mapped_view_reads_region_and_cow_detaches() {
+        let path = std::env::temp_dir().join("icde_flatvec_region.bin");
+        let payload: Vec<u8> = [7u64, 8, 9].iter().flat_map(|v| v.to_le_bytes()).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let region = MappedRegion::read_file(&mut f).unwrap();
+        let mut v: FlatVec<u64> = unsafe { FlatVec::from_region(region, 0, 3) };
+        assert!(v.is_mapped());
+        assert_eq!(&v[..], &[7, 8, 9]);
+        let snapshot = v.clone();
+        v.to_mut()[0] = 42;
+        assert!(!v.is_mapped());
+        assert_eq!(&v[..], &[42, 8, 9]);
+        // the clone still reads the untouched region
+        assert!(snapshot.is_mapped());
+        assert_eq!(&snapshot[..], &[7, 8, 9]);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -13,6 +13,7 @@ use std::fmt;
 /// which lets every layer above (truss decomposition, pre-computation, the
 /// tree index) use plain `Vec` lookups instead of hash maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -72,6 +73,7 @@ impl serde::MapKey for VertexId {
 /// stored once with `u < v`). Edge supports and trussness values are indexed
 /// by `EdgeId`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -86,6 +88,27 @@ impl EdgeId {
     pub fn from_index(idx: usize) -> Self {
         debug_assert!(idx <= u32::MAX as usize, "edge index overflow");
         EdgeId(idx as u32)
+    }
+}
+
+/// Reinterprets a slice of raw `u32` ids as [`VertexId`]s without copying —
+/// sound because `VertexId` is `#[repr(transparent)]` over `u32`. Used by
+/// flat pool layouts (the tree index stores leaf vertices and child node ids
+/// in one shared `u32` pool) and by the snapshot loaders.
+pub fn vertex_ids_from_raw(ids: &[u32]) -> &[VertexId] {
+    // Safety: repr(transparent) guarantees identical layout and alignment.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr() as *const VertexId, ids.len()) }
+}
+
+impl From<u32> for EdgeId {
+    fn from(e: u32) -> Self {
+        EdgeId(e)
+    }
+}
+
+impl From<EdgeId> for u32 {
+    fn from(e: EdgeId) -> Self {
+        e.0
     }
 }
 

@@ -1,0 +1,218 @@
+//! Snapshot robustness properties: whatever random graph is frozen, a binary
+//! snapshot must round-trip it **bit-identically** through both load paths
+//! (mmap zero-copy and buffered fallback), and corrupt inputs — truncations,
+//! foreign magic, future versions, flipped bits — must come back as typed
+//! errors, never as UB, panics or silently wrong graphs.
+
+use icde_graph::snapshot::{
+    read_graph_snapshot_with, write_graph_snapshot, LoadMode, Snapshot, SnapshotError,
+    SNAPSHOT_MAGIC,
+};
+use icde_graph::{GraphBuilder, KeywordSet, SocialNetwork, VertexId};
+use proptest::prelude::*;
+
+fn random_frozen(max_vertices: usize) -> impl Strategy<Value = SocialNetwork> {
+    (1usize..max_vertices, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut builder = GraphBuilder::with_vertices(n);
+        for i in 0..n {
+            // some vertices keep empty keyword sets on purpose
+            let kws: Vec<u32> = (0..next() % 4).map(|_| (next() % 64) as u32).collect();
+            builder
+                .set_keywords(VertexId(i as u32), KeywordSet::from_ids(kws))
+                .expect("vertex exists");
+        }
+        let attempts = (next() % (3 * n as u64 + 1)) as usize;
+        for _ in 0..attempts {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            let p_ab = (next() % 1001) as f64 / 1000.0;
+            let p_ba = (next() % 1001) as f64 / 1000.0;
+            builder.try_add_edge(VertexId(a), VertexId(b), p_ab, p_ba);
+        }
+        builder
+            .build()
+            .expect("try_add_edge admits only valid edges")
+    })
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "icde_snapshot_prop_{}_{}_{tag}.snap",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Full structural equality, field by field, on top of the fingerprint.
+fn assert_graphs_identical(a: &SocialNetwork, b: &SocialNetwork) {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.num_edges(), b.num_edges());
+    assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+    let (pa, pb) = (a.raw_parts(), b.raw_parts());
+    assert_eq!(pa.offsets, pb.offsets);
+    assert_eq!(pa.csr, pb.csr);
+    assert_eq!(pa.edges, pb.edges);
+    assert_eq!(pa.keywords, pb.keywords);
+    // weights must agree bit for bit, not just approximately
+    for (x, y) in pa
+        .csr_out_weights
+        .iter()
+        .zip(pb.csr_out_weights)
+        .chain(pa.weight_forward.iter().zip(pb.weight_forward))
+        .chain(pa.weight_backward.iter().zip(pb.weight_backward))
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_is_bit_identical_on_every_load_path(g in random_frozen(48)) {
+        let path = temp_path("roundtrip");
+        write_graph_snapshot(&g, &path).expect("snapshot writes");
+        for mode in [LoadMode::Auto, LoadMode::Buffered] {
+            let back = read_graph_snapshot_with(&path, mode).expect("snapshot reads");
+            assert_graphs_identical(&g, &back);
+        }
+        // saving the loaded graph again produces identical bytes
+        let first = std::fs::read(&path).expect("snapshot bytes");
+        let back = read_graph_snapshot_with(&path, LoadMode::Buffered).expect("snapshot reads");
+        let path2 = temp_path("rewrite");
+        write_graph_snapshot(&back, &path2).expect("snapshot rewrites");
+        let second = std::fs::read(&path2).expect("rewritten bytes");
+        prop_assert_eq!(first, second, "snapshot bytes are deterministic");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path2);
+    }
+
+    #[test]
+    fn any_truncation_errors_cleanly(g in random_frozen(24), cut_ratio in 0.0f64..1.0) {
+        let path = temp_path("truncate");
+        write_graph_snapshot(&g, &path).expect("snapshot writes");
+        let bytes = std::fs::read(&path).expect("snapshot bytes");
+        let cut = (((bytes.len() as f64) * cut_ratio) as usize).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).expect("truncated write");
+        for mode in [LoadMode::Auto, LoadMode::Buffered] {
+            prop_assert!(read_graph_snapshot_with(&path, mode).is_err());
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn any_flipped_bit_errors_cleanly(g in random_frozen(24), pos_ratio in 0.0f64..1.0, bit in 0u8..8) {
+        let path = temp_path("bitflip");
+        write_graph_snapshot(&g, &path).expect("snapshot writes");
+        let mut bytes = std::fs::read(&path).expect("snapshot bytes");
+        let pos = ((bytes.len() as f64) * pos_ratio) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("corrupted write");
+        // a flip lands in the magic (BadMagic), the version, the checksum
+        // field, or the payload (ChecksumMismatch) — always an error, and the
+        // loader never panics or returns a wrong graph
+        for mode in [LoadMode::Auto, LoadMode::Buffered] {
+            match read_graph_snapshot_with(&path, mode) {
+                Err(_) => {}
+                Ok(loaded) => {
+                    // only reachable if the flip cancelled out, which it
+                    // cannot: a single-bit flip always changes the file
+                    prop_assert!(
+                        false,
+                        "corrupt snapshot loaded: fingerprint {:#x} vs {:#x}",
+                        loaded.content_fingerprint(),
+                        g.content_fingerprint()
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn bad_magic_and_future_version_are_typed_errors() {
+    let g = GraphBuilder::with_vertices(3).build().unwrap();
+    let path = temp_path("typed");
+    write_graph_snapshot(&g, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    let mut foreign = bytes.clone();
+    foreign[0..8].copy_from_slice(b"NOTASNAP");
+    std::fs::write(&path, &foreign).unwrap();
+    assert!(matches!(
+        read_graph_snapshot_with(&path, LoadMode::Buffered),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&9999u32.to_le_bytes());
+    std::fs::write(&path, &future).unwrap();
+    assert!(matches!(
+        read_graph_snapshot_with(&path, LoadMode::Buffered),
+        Err(SnapshotError::UnsupportedVersion(9999))
+    ));
+
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x80;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        read_graph_snapshot_with(&path, LoadMode::Buffered),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        read_graph_snapshot_with(&path, LoadMode::Buffered),
+        Err(SnapshotError::Truncated)
+    ));
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn snapshot_header_is_stable() {
+    // the first 16 bytes (magic + version + kind) are a public contract:
+    // external tools sniff them, so a change must be deliberate
+    let g = GraphBuilder::with_vertices(2).build().unwrap();
+    let path = temp_path("header");
+    write_graph_snapshot(&g, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[0..8], &SNAPSHOT_MAGIC);
+    assert_eq!(&bytes[8..12], &1u32.to_le_bytes(), "format version");
+    assert_eq!(&bytes[12..16], &1u32.to_le_bytes(), "graph payload kind");
+    let snap = Snapshot::open(&path).unwrap();
+    assert_eq!(snap.kind(), icde_graph::snapshot::KIND_GRAPH);
+    let _ = std::fs::remove_file(path);
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[test]
+fn mmap_and_buffered_loads_agree_on_a_large_graph() {
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    let g = DatasetSpec::new(DatasetKind::AmazonLike, 3000, 17)
+        .with_keyword_domain(40)
+        .generate();
+    let path = temp_path("large");
+    write_graph_snapshot(&g, &path).unwrap();
+    let mapped = read_graph_snapshot_with(&path, LoadMode::Mmap).unwrap();
+    let buffered = read_graph_snapshot_with(&path, LoadMode::Buffered).unwrap();
+    assert!(mapped.is_snapshot_backed());
+    assert_graphs_identical(&g, &mapped);
+    assert_graphs_identical(&mapped, &buffered);
+    // traversals over the mapped graph behave like over the owned one
+    let from_mapped = icde_graph::traversal::bfs_within(&mapped, VertexId(0), 3);
+    let from_owned = icde_graph::traversal::bfs_within(&g, VertexId(0), 3);
+    assert_eq!(from_mapped.distances, from_owned.distances);
+    let _ = std::fs::remove_file(path);
+}

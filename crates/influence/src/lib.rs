@@ -20,5 +20,8 @@ pub mod simulation;
 
 pub use diversity::{diversity_score, DiversityState};
 pub use influenced::{InfluenceConfig, InfluenceEvaluator, InfluencedCommunity};
-pub use mia::{max_influence_path, path_propagation_probability, user_propagation_probability};
+pub use mia::{
+    max_influence_path, path_propagation_probability, single_source_upp, single_source_upp_into,
+    user_propagation_probability,
+};
 pub use simulation::{estimate_spread, SpreadEstimate};

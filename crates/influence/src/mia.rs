@@ -128,7 +128,23 @@ pub fn user_propagation_probability(
 /// bounds the explored region. A `source` outside the graph yields all
 /// zeros.
 pub fn single_source_upp(g: &SocialNetwork, source: VertexId, floor: Weight) -> Vec<Weight> {
-    with_thread_workspace(|ws| single_source_upp_with(ws, g, source, floor))
+    let mut best = Vec::new();
+    single_source_upp_into(g, source, floor, &mut best);
+    best
+}
+
+/// [`single_source_upp`] into a **caller-owned output buffer**: `out` is
+/// cleared, resized to `n` zeros and filled in place, so batch callers (one
+/// `upp` per candidate source, thousands of sources) amortise the dense
+/// result materialisation the same way [`TraversalWorkspace`] amortises the
+/// scratch state — the ROADMAP follow-up from PR 3.
+pub fn single_source_upp_into(
+    g: &SocialNetwork,
+    source: VertexId,
+    floor: Weight,
+    out: &mut Vec<Weight>,
+) {
+    with_thread_workspace(|ws| single_source_upp_with_into(ws, g, source, floor, out))
 }
 
 /// [`single_source_upp`] against a caller-owned workspace.
@@ -138,9 +154,24 @@ pub fn single_source_upp_with(
     source: VertexId,
     floor: Weight,
 ) -> Vec<Weight> {
-    let mut best = vec![0.0f64; g.num_vertices()];
+    let mut best = Vec::new();
+    single_source_upp_with_into(ws, g, source, floor, &mut best);
+    best
+}
+
+/// The fully amortised variant: caller-owned workspace *and* caller-owned
+/// output buffer.
+pub fn single_source_upp_with_into(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    source: VertexId,
+    floor: Weight,
+    out: &mut Vec<Weight>,
+) {
+    out.clear();
+    out.resize(g.num_vertices(), 0.0);
     if !g.contains_vertex(source) {
-        return best;
+        return;
     }
     ws.begin(g.num_vertices());
     ws.set_prob(source, 1.0);
@@ -161,9 +192,8 @@ pub fn single_source_upp_with(
         }
     }
     for &v in ws.touched() {
-        best[v.index()] = ws.prob(v);
+        out[v.index()] = ws.prob(v);
     }
-    best
 }
 
 #[cfg(test)]
@@ -302,6 +332,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reused_output_buffer_matches_fresh_allocation() {
+        let g = diamond();
+        let mut ws = TraversalWorkspace::new();
+        // a deliberately dirty, oversized buffer must be fully overwritten
+        let mut buffer = vec![99.0; 17];
+        for source in g.vertices() {
+            for floor in [0.0, 0.3, 0.6] {
+                single_source_upp_with_into(&mut ws, &g, source, floor, &mut buffer);
+                let fresh = single_source_upp(&g, source, floor);
+                assert_eq!(buffer.len(), g.num_vertices());
+                assert_eq!(buffer, fresh, "source {source} floor {floor}");
+            }
+        }
+        // stale sources clear the buffer to zeros too
+        single_source_upp_into(&g, VertexId(77), 0.0, &mut buffer);
+        assert!(buffer.iter().all(|&p| p == 0.0));
+        assert_eq!(buffer.len(), g.num_vertices());
     }
 
     #[test]
