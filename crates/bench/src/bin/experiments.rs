@@ -100,7 +100,7 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|all]... \
          [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
@@ -118,6 +118,14 @@ fn print_usage() {
          (mmap zero-copy and buffered fallback), verify every loader is bit-identical \
          and write the BENCH_4.json perf snapshot (not part of `all`). --bench-scale N \
          shrinks the graph for smoke runs, writing BENCH_4_smoke.json instead"
+    );
+    eprintln!(
+        "  bench5: time the offline pre-computation engine (frontier-incremental, \
+         one expansion for all thresholds, work-stealing scatter) against the \
+         in-tree reference path, verify the tables are bit-identical (scores \
+         within 1e-9) and write the BENCH_5.json perf snapshot (not part of \
+         `all`). --bench-scale N shrinks the graph for smoke runs, writing \
+         BENCH_5_smoke.json instead"
     );
 }
 
@@ -218,6 +226,25 @@ fn main() {
             "BENCH_4_smoke.json"
         };
         std::fs::write(path, &json).expect("write BENCH_4 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench5") {
+        println!(
+            "# bench5: timing the offline pre-computation engine overhaul on the \
+             {}-vertex small-world graph (reference vs engine, tables verified \
+             bit-identical) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench5_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_5.json"
+        } else {
+            "BENCH_5_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_5 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
     }

@@ -21,19 +21,27 @@
 //!   `mmap` zero-copy, buffered fallback). Content fingerprints must be
 //!   bit-identical across all loaders and a fixed TopL query must return
 //!   bit-identical answers off each load before any timing is reported.
+//! * `experiments bench5` writes `BENCH_5.json` — the **offline
+//!   pre-computation engine**: the pre-overhaul reference path (one influence
+//!   expansion per vertex/radius/threshold) vs the frontier-incremental
+//!   multi-threshold work-stealing engine, with structural fingerprints
+//!   asserted bit-identical and every score bound within 1e-9 before any
+//!   timing is reported.
 //!
 //! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
 use icde_core::index::IndexBuilder;
 use icde_core::persist;
-use icde_core::precompute::PrecomputeConfig;
+use icde_core::precompute::{PrecomputeConfig, PrecomputedData};
 use icde_core::query::TopLQuery;
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::{small_world, SmallWorldConfig};
 use icde_graph::snapshot::{read_graph_snapshot_with, write_graph_snapshot, LoadMode};
-use icde_graph::traversal::bfs_within;
-use icde_graph::{io, KeywordSet, SocialNetwork, VertexId};
+use icde_graph::traversal::{bfs_within, hop_subgraph_with};
+use icde_graph::workspace::TraversalWorkspace;
+use icde_graph::{io, KeywordSet, SocialNetwork, VertexId, VertexSubset};
 use icde_influence::mia::{single_source_upp, single_source_upp_into};
+use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::triangle::count_triangles;
 use serde::Value;
 use std::collections::{BinaryHeap, VecDeque};
@@ -750,6 +758,258 @@ pub fn bench4_snapshot_json(scale: usize) -> String {
                 (
                     "upp_into_vs_alloc".to_string(),
                     Value::Float(ratio(upp_alloc_ms, upp_into_ms)),
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+// ---------------------------------------------------------------------------
+// bench5: the offline pre-computation engine overhaul
+// ---------------------------------------------------------------------------
+
+/// The archived `offline_build_ms` from `BENCH_4.json` — the pre-overhaul
+/// engine on the reference build machine (whose `available_parallelism()`
+/// is 1, so the figure is effectively the sequential old path). Only
+/// meaningful at [`SNAPSHOT_SCALE`] on that machine.
+const BENCH4_OFFLINE_BUILD_MS: f64 = 52_907.419;
+
+/// Runs the offline-engine workloads and renders the `BENCH_5.json`
+/// document: the pre-overhaul reference path vs the frontier-incremental
+/// multi-threshold engine (sequential and default-parallel), the
+/// multi-threshold score API vs `m` per-threshold expansions on a
+/// 200-region sample, and the TopL query timing carried forward from
+/// bench4. `scale` below [`SNAPSHOT_SCALE`] runs the same shape as a smoke
+/// test (CI).
+///
+/// # Panics
+/// Panics when any engine leg diverges from the reference: structural
+/// fingerprints (signatures, supports, region sizes) must be bit-identical,
+/// every score bound within 1e-9, the sequential and parallel tables exactly
+/// equal, and the fixed TopL query must answer identically off indexes built
+/// from the reference and engine tables — the overhaul must change build
+/// *time*, never build *content*.
+pub fn bench5_snapshot_json(scale: usize) -> String {
+    let g = bench4_graph(scale);
+    let config = bench4_config();
+
+    // --- offline builds (single-shot timings; these are the workload) -----
+    let timed = |f: &mut dyn FnMut() -> PrecomputedData| {
+        let start = Instant::now();
+        let data = f();
+        (start.elapsed().as_secs_f64() * 1e3, data)
+    };
+    let (reference_ms, reference) =
+        timed(&mut || PrecomputedData::compute_reference(&g, config.clone()));
+    let (new_seq_ms, new_seq) =
+        timed(&mut || PrecomputedData::compute(&g, config.clone().with_num_threads(Some(1))));
+    let (new_par_ms, new_par) = timed(&mut || PrecomputedData::compute(&g, config.clone()));
+    let workers = config.worker_count(g.num_vertices());
+
+    // --- equivalence gate: content first, timings only if identical -------
+    let reference_fp = reference.table().structural_fingerprint();
+    for (leg, data) in [
+        ("engine sequential", &new_seq),
+        ("engine parallel", &new_par),
+    ] {
+        assert_eq!(
+            data.table().structural_fingerprint(),
+            reference_fp,
+            "{leg} diverged structurally from the reference path"
+        );
+        let delta = data.table().max_score_delta(reference.table());
+        assert!(delta < 1e-9, "{leg} score bounds diverged by {delta}");
+        assert_eq!(data.edge_supports, reference.edge_supports, "{leg}");
+    }
+    assert_eq!(
+        new_seq.table(),
+        new_par.table(),
+        "sequential and parallel engine builds must be exactly equal"
+    );
+    let score_delta = new_par.table().max_score_delta(reference.table());
+
+    // --- multi-threshold score API vs m per-threshold expansions ----------
+    // 200 evenly-spread 2-hop regions, the shape Algorithm 2 evaluates
+    let evaluator = InfluenceEvaluator::new(&g, InfluenceConfig { theta: 0.0 });
+    let mut ws = TraversalWorkspace::new();
+    let mut ws_inf = TraversalWorkspace::new();
+    let regions: Vec<VertexSubset> = upp_sources(scale)
+        .map(|v| hop_subgraph_with(&mut ws, &g, v, 2))
+        .collect();
+    let thresholds = config.thresholds.clone();
+    let (multi_ms, multi_sum) = time_median(3, || {
+        let mut acc = 0.0f64;
+        let mut out = vec![0.0; thresholds.len()];
+        for region in &regions {
+            evaluator.multi_threshold_scores_into(
+                &mut ws_inf,
+                region.iter(),
+                &thresholds,
+                &mut out,
+            );
+            acc += out.iter().sum::<f64>();
+        }
+        acc.to_bits()
+    });
+    let (m_expansion_ms, m_expansion_sum) = time_median(3, || {
+        let mut acc = 0.0f64;
+        for region in &regions {
+            for &theta in &thresholds {
+                acc += evaluator
+                    .influenced_community_with_theta_in(&mut ws_inf, region, theta)
+                    .influential_score();
+            }
+        }
+        acc.to_bits()
+    });
+    let sample_delta = (f64::from_bits(multi_sum) - f64::from_bits(m_expansion_sum)).abs();
+    assert!(
+        sample_delta < 1e-6,
+        "multi-threshold sample diverged from the m-expansion reference by {sample_delta}"
+    );
+
+    // --- query path carried forward from bench4 ---------------------------
+    let reference_index = IndexBuilder::new(config.clone()).build_from_precomputed(&g, reference);
+    let engine_index = IndexBuilder::new(config.clone()).build_from_precomputed(&g, new_par);
+    let query = bench4_query();
+    let answer_digest = |answer: &icde_core::topl::TopLAnswer| {
+        let mut digest = 0u64;
+        for c in &answer.communities {
+            digest = digest
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(c.influential_score.to_bits())
+                .wrapping_add(c.vertices.len() as u64);
+        }
+        digest
+    };
+    let (query_ms, digest_engine) = time_median(5, || {
+        answer_digest(
+            &TopLProcessor::new(&g, &engine_index)
+                .run(&query)
+                .expect("query off the engine-built index"),
+        )
+    });
+    let digest_reference = answer_digest(
+        &TopLProcessor::new(&g, &reference_index)
+            .run(&query)
+            .expect("query off the reference-built index"),
+    );
+    assert_eq!(
+        digest_engine, digest_reference,
+        "query answers differ between reference- and engine-built indexes"
+    );
+
+    let legs = [
+        ("offline_build_reference", reference_ms, reference_fp),
+        ("offline_build_engine_seq", new_seq_ms, reference_fp),
+        ("offline_build_engine_par", new_par_ms, reference_fp),
+        ("multi_threshold_scores_x200_regions", multi_ms, multi_sum),
+        (
+            "per_threshold_expansions_x200_regions",
+            m_expansion_ms,
+            m_expansion_sum,
+        ),
+        ("query_topl", query_ms, digest_engine),
+    ];
+    let results = Value::Array(
+        legs.iter()
+            .map(|(name, millis, fingerprint)| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.to_string())),
+                    ("millis".to_string(), Value::Float(round3(*millis))),
+                    (
+                        "fingerprint".to_string(),
+                        Value::Str(format!("{fingerprint:#018x}")),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let ratio = |old: f64, new: f64| {
+        if new > 0.0 {
+            (old / new * 1e2).round() / 1e2
+        } else {
+            f64::INFINITY
+        }
+    };
+    let full_scale = scale == SNAPSHOT_SCALE;
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_5".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Offline pre-computation engine overhaul (PR 5): the pre-overhaul reference \
+                 path (one influence expansion per vertex/radius/threshold, per-region \
+                 re-scans, per-member signature allocations) vs the frontier-incremental \
+                 multi-threshold work-stealing engine, sequential and default-parallel, on \
+                 the 50k small-world workload. Structural fingerprints (signatures, \
+                 supports, region sizes) are asserted bit-identical across every build, all \
+                 score bounds within 1e-9, and the fixed TopL query must answer identically \
+                 off reference- and engine-built indexes before timings are reported."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                ("worker_threads".to_string(), Value::UInt(workers as u64)),
+                (
+                    "bench4_offline_build_ms".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH4_OFFLINE_BUILD_MS)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                (
+                    "structural_fingerprint".to_string(),
+                    Value::Str(format!("{reference_fp:#018x}")),
+                ),
+                ("tables_bit_identical".to_string(), Value::Bool(true)),
+                (
+                    "max_score_delta_vs_reference".to_string(),
+                    Value::Float(score_delta),
+                ),
+                ("seq_par_exactly_equal".to_string(), Value::Bool(true)),
+                ("queries_bit_identical".to_string(), Value::Bool(true)),
+            ]),
+        ),
+        ("results".to_string(), results),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "engine_seq_vs_reference".to_string(),
+                    Value::Float(ratio(reference_ms, new_seq_ms)),
+                ),
+                (
+                    "engine_par_vs_reference".to_string(),
+                    Value::Float(ratio(reference_ms, new_par_ms)),
+                ),
+                (
+                    "multi_threshold_vs_m_expansions".to_string(),
+                    Value::Float(ratio(m_expansion_ms, multi_ms)),
+                ),
+                (
+                    "engine_par_vs_bench4_archived".to_string(),
+                    if full_scale {
+                        Value::Float(ratio(BENCH4_OFFLINE_BUILD_MS, new_par_ms))
+                    } else {
+                        Value::Null
+                    },
                 ),
             ]),
         ),

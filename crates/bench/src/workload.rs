@@ -74,6 +74,7 @@ impl Workload {
             thresholds: vec![0.1, 0.2, 0.3],
             signature_bits: 128,
             parallel: true,
+            num_threads: None,
         };
         let index = IndexBuilder::new(config).build(&graph);
         let offline_time = offline_start.elapsed();

@@ -8,8 +8,9 @@ pub const USAGE: &str = "\
 usage:
   topl-icde generate --kind <uniform|gaussian|zipf|dblp|amazon> --vertices N [--seed N]
                      [--keyword-domain N] [--keywords-per-vertex N] --out FILE
-  topl-icde stats    --graph FILE
+  topl-icde stats    --graph FILE [--threads N]
   topl-icde index    --graph FILE --out FILE [--rmax N] [--fanout N] [--thresholds a,b,c]
+                     [--threads N]
   topl-icde query    --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
                      [--theta X] [--l N] [--json]
   topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
@@ -20,7 +21,9 @@ usage:
 
 graph/index FILE arguments accept any readable format (edge list, JSON, or
 binary snapshot — sniffed by magic bytes); `index --out FILE.snap` writes the
-binary snapshot directly.";
+binary snapshot directly. --threads N pins the worker count of any offline
+pre-computation the command runs (default: all cores); `stats` runs none
+today and accepts the flag for forward compatibility.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +49,12 @@ pub enum Command {
     Stats {
         /// Path to the graph file.
         graph: String,
+        /// Worker-thread count for any offline pre-computation the command
+        /// performs ([`PrecomputeConfig::num_threads`]; `None` = all cores).
+        ///
+        /// [`PrecomputeConfig::num_threads`]:
+        /// icde_core::precompute::PrecomputeConfig::num_threads
+        threads: Option<usize>,
     },
     /// Build the offline index for a graph and write it to a file.
     Index {
@@ -59,6 +68,9 @@ pub enum Command {
         fanout: usize,
         /// Pre-selected influence thresholds.
         thresholds: Vec<f64>,
+        /// Worker-thread count for the offline pre-computation (`None` = all
+        /// cores).
+        threads: Option<usize>,
     },
     /// Run a TopL-ICDE query.
     Query {
@@ -170,6 +182,16 @@ fn parse_u32_list(value: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
+fn parse_threads(flags: &Flags<'_>) -> Result<Option<usize>, String> {
+    match flags.get("--threads") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(t) if t >= 1 => Ok(Some(t)),
+            _ => Err(format!("invalid value for --threads: {v}")),
+        },
+    }
+}
+
 fn parse_f64_list(value: &str) -> Result<Vec<f64>, String> {
     value
         .split(',')
@@ -201,6 +223,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }),
         "stats" => Ok(Command::Stats {
             graph: flags.required("--graph")?.to_string(),
+            threads: parse_threads(&flags)?,
         }),
         "snapshot" => {
             let action = args
@@ -238,6 +261,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 None => vec![0.1, 0.2, 0.3],
                 Some(v) => parse_f64_list(v)?,
             },
+            threads: parse_threads(&flags)?,
         }),
         "query" | "dquery" => {
             let keywords = parse_u32_list(flags.required("--keywords")?)?;
@@ -396,6 +420,49 @@ mod tests {
             }
             other => panic!("expected index, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let cmd = parse(&argv(&[
+            "index",
+            "--graph",
+            "g",
+            "--out",
+            "i",
+            "--threads",
+            "6",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Index { threads, .. } => assert_eq!(threads, Some(6)),
+            other => panic!("expected index, got {other:?}"),
+        }
+        let cmd = parse(&argv(&["index", "--graph", "g", "--out", "i"])).unwrap();
+        match cmd {
+            Command::Index { threads, .. } => assert_eq!(threads, None),
+            other => panic!("expected index, got {other:?}"),
+        }
+        let cmd = parse(&argv(&["stats", "--graph", "g", "--threads", "2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats {
+                graph: "g".to_string(),
+                threads: Some(2),
+            }
+        );
+        // zero or garbage thread counts are rejected
+        assert!(parse(&argv(&[
+            "index",
+            "--graph",
+            "g",
+            "--out",
+            "i",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["stats", "--graph", "g", "--threads", "lots"])).is_err());
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Stats { graph } => {
+        // `--threads` is accepted for interface symmetry with `index`; graph
+        // statistics themselves are single-threaded today, so it only binds
+        // once stats grow a pre-computation-backed section.
+        Command::Stats { graph, threads: _ } => {
             let g = load_graph(&graph)?;
             let stats = graph_statistics(&g);
             println!(
@@ -59,22 +62,32 @@ pub fn run(command: Command) -> Result<(), String> {
             r_max,
             fanout,
             thresholds,
+            threads,
         } => {
             let g = load_graph(&graph)?;
-            let config = PrecomputeConfig::new(r_max, thresholds);
+            let config = PrecomputeConfig::new(r_max, thresholds).with_num_threads(threads);
+            let workers = config.worker_count(g.num_vertices());
             let start = std::time::Instant::now();
             let index = IndexBuilder::new(config).with_fanout(fanout).build(&g);
+            let offline = start.elapsed();
             if out.ends_with(".snap") {
                 persist::save_index_snapshot(&index, &out).map_err(|e| e.to_string())?;
             } else {
                 persist::save_index(&index, &out).map_err(|e| e.to_string())?;
             }
+            let rate = g.num_vertices() as f64 / offline.as_secs_f64().max(f64::MIN_POSITIVE);
             println!(
-                "wrote {} ({} nodes, height {}, built in {:.2?})",
+                "offline build: {:.2?} on {} worker thread{} ({:.0} vertices/sec)",
+                offline,
+                workers,
+                if workers == 1 { "" } else { "s" },
+                rate
+            );
+            println!(
+                "wrote {} ({} nodes, height {})",
                 out,
                 index.node_count(),
                 index.height(),
-                start.elapsed()
             );
             Ok(())
         }
@@ -278,6 +291,7 @@ mod tests {
 
         run(Command::Stats {
             graph: graph_path.clone(),
+            threads: None,
         })
         .unwrap();
 
@@ -287,6 +301,7 @@ mod tests {
             r_max: 3,
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
+            threads: Some(2),
         })
         .unwrap();
 
@@ -348,6 +363,7 @@ mod tests {
             r_max: 3,
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
+            threads: None,
         })
         .unwrap();
 
@@ -397,7 +413,8 @@ mod tests {
     #[test]
     fn missing_files_produce_errors() {
         assert!(run(Command::Stats {
-            graph: "/no/such/file.txt".into()
+            graph: "/no/such/file.txt".into(),
+            threads: None,
         })
         .is_err());
         assert!(run(Command::Query {

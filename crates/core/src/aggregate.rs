@@ -249,6 +249,69 @@ impl AggregateTable {
         self.row(entity, r).keyword_signature.to_owned_sig()
     }
 
+    /// Splits the table into disjoint mutable chunks of
+    /// `entities_per_chunk` consecutive entities each (the last chunk may be
+    /// shorter). Every chunk borrows its own slice of the four flat arrays,
+    /// so the pre-computation's work-stealing workers scatter finished rows
+    /// **in place** — concurrently, without locks around the table and
+    /// without any per-worker result buffering — while the borrow checker
+    /// still proves the writes disjoint.
+    ///
+    /// # Panics
+    /// Panics if `entities_per_chunk` is zero.
+    pub fn chunks_mut(&mut self, entities_per_chunk: usize) -> Vec<TableChunkMut<'_>> {
+        assert!(
+            entities_per_chunk > 0,
+            "chunks must hold at least one entity"
+        );
+        let r_max = self.r_max as usize;
+        let words = self.signature_bits.div_ceil(64);
+        let m = self.num_thresholds;
+        let rows_per_chunk = entities_per_chunk * r_max;
+        self.signatures
+            .chunks_mut(rows_per_chunk * words)
+            .zip(self.supports.chunks_mut(rows_per_chunk))
+            .zip(self.scores.chunks_mut(rows_per_chunk * m))
+            .zip(self.region_sizes.chunks_mut(rows_per_chunk))
+            .enumerate()
+            .map(
+                |(i, (((signatures, supports), scores), region_sizes))| TableChunkMut {
+                    first_entity: i * entities_per_chunk,
+                    r_max,
+                    words,
+                    num_thresholds: m,
+                    signatures,
+                    supports,
+                    scores,
+                    region_sizes,
+                },
+            )
+            .collect()
+    }
+
+    /// A single-entity mutable chunk view (the incremental-maintenance
+    /// writer; the bulk path uses [`AggregateTable::chunks_mut`]).
+    ///
+    /// # Panics
+    /// Panics if `entity` is out of range.
+    pub fn entity_mut(&mut self, entity: usize) -> TableChunkMut<'_> {
+        assert!(entity < self.entities, "entity {entity} out of range");
+        let r_max = self.r_max as usize;
+        let words = self.signature_bits.div_ceil(64);
+        let m = self.num_thresholds;
+        let rows = entity * r_max..(entity + 1) * r_max;
+        TableChunkMut {
+            first_entity: entity,
+            r_max,
+            words,
+            num_thresholds: m,
+            signatures: &mut self.signatures[rows.start * words..rows.end * words],
+            supports: &mut self.supports[rows.clone()],
+            scores: &mut self.scores[rows.start * m..rows.end * m],
+            region_sizes: &mut self.region_sizes[rows],
+        }
+    }
+
     /// Raw signature words (the snapshot writer's view).
     pub fn raw_signatures(&self) -> &[u64] {
         &self.signatures
@@ -267,6 +330,113 @@ impl AggregateTable {
     /// Raw region sizes.
     pub fn raw_region_sizes(&self) -> &[u32] {
         &self.region_sizes
+    }
+
+    /// FNV-1a fingerprint of the *structural* content — dimensions,
+    /// signature words, support bounds and region sizes, everything except
+    /// the float scores. Two builds that agree structurally bit-for-bit
+    /// (the engine-vs-reference equivalence contract; scores are compared
+    /// separately with [`AggregateTable::max_score_delta`] because their
+    /// summation order may differ) produce equal fingerprints.
+    pub fn structural_fingerprint(&self) -> u64 {
+        use icde_graph::snapshot::{fnv1a, fnv1a_extend};
+        let mut h = fnv1a(b"icde-aggregate-structure-v1");
+        let mut word = |v: u64| h = fnv1a_extend(h, &v.to_le_bytes());
+        word(self.entities as u64);
+        word(u64::from(self.r_max));
+        word(self.signature_bits as u64);
+        word(self.num_thresholds as u64);
+        for &w in &self.signatures {
+            word(w);
+        }
+        for &s in &self.supports {
+            word(u64::from(s));
+        }
+        for &s in &self.region_sizes {
+            word(u64::from(s));
+        }
+        h
+    }
+
+    /// The largest element-wise absolute difference between this table's
+    /// score bounds and another's (`+∞` when the tables' shapes differ).
+    pub fn max_score_delta(&self, other: &AggregateTable) -> f64 {
+        if self.scores.len() != other.scores.len() {
+            return f64::INFINITY;
+        }
+        self.scores
+            .iter()
+            .zip(&other.scores)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One disjoint chunk of consecutive entities of an [`AggregateTable`],
+/// produced by [`AggregateTable::chunks_mut`]. A pre-computation worker that
+/// has claimed the chunk writes each entity's rows through
+/// [`row_mut`](TableChunkMut::row_mut) — no other thread can alias them.
+#[derive(Debug)]
+pub struct TableChunkMut<'a> {
+    first_entity: usize,
+    r_max: usize,
+    words: usize,
+    num_thresholds: usize,
+    signatures: &'a mut [u64],
+    supports: &'a mut [u32],
+    scores: &'a mut [f64],
+    region_sizes: &'a mut [u32],
+}
+
+/// Mutable view of one `(entity, radius)` row: the four column slots a
+/// pre-computation worker fills in place.
+#[derive(Debug)]
+pub struct AggregateRowMut<'a> {
+    /// The `⌈signature_bits/64⌉` signature words.
+    pub signature: &'a mut [u64],
+    /// `ub_sup_r`.
+    pub support_upper_bound: &'a mut u32,
+    /// `σ_z` per pre-selected threshold.
+    pub score_upper_bounds: &'a mut [f64],
+    /// Number of vertices in the region.
+    pub region_size: &'a mut u32,
+}
+
+impl TableChunkMut<'_> {
+    /// Global id of the first entity in this chunk.
+    pub fn first_entity(&self) -> usize {
+        self.first_entity
+    }
+
+    /// Number of entities the chunk covers.
+    pub fn len(&self) -> usize {
+        self.supports.len() / self.r_max
+    }
+
+    /// Returns `true` if the chunk covers no entities.
+    pub fn is_empty(&self) -> bool {
+        self.supports.is_empty()
+    }
+
+    /// The mutable row of the chunk-local entity `local` (0-based within the
+    /// chunk) at radius `r` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `local` or `r` is out of range.
+    pub fn row_mut(&mut self, local: usize, r: u32) -> AggregateRowMut<'_> {
+        assert!(
+            r >= 1 && r as usize <= self.r_max,
+            "radius {r} outside [1, {}]",
+            self.r_max
+        );
+        let row = local * self.r_max + (r - 1) as usize;
+        AggregateRowMut {
+            signature: &mut self.signatures[row * self.words..(row + 1) * self.words],
+            support_upper_bound: &mut self.supports[row],
+            score_upper_bounds: &mut self.scores
+                [row * self.num_thresholds..(row + 1) * self.num_thresholds],
+            region_size: &mut self.region_sizes[row],
+        }
     }
 }
 
@@ -325,6 +495,58 @@ mod tests {
     fn out_of_range_radius_panics() {
         let table = AggregateTable::new(1, 2, 64, 1);
         let _ = table.row(0, 3);
+    }
+
+    #[test]
+    fn chunked_writers_cover_the_whole_table_disjointly() {
+        let entities = 7usize;
+        let mut table = AggregateTable::new(entities, 2, 128, 3);
+        let mut chunks = table.chunks_mut(3);
+        // 7 entities at 3 per chunk: 3 + 3 + 1
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks.iter().map(TableChunkMut::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        assert_eq!(
+            chunks
+                .iter()
+                .map(TableChunkMut::first_entity)
+                .collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+        assert!(!chunks[0].is_empty());
+        for chunk in &mut chunks {
+            let first = chunk.first_entity();
+            for local in 0..chunk.len() {
+                for r in 1..=2u32 {
+                    let row = chunk.row_mut(local, r);
+                    let entity = (first + local) as u32;
+                    row.signature.fill(u64::from(entity * 10 + r));
+                    *row.support_upper_bound = entity * 10 + r;
+                    row.score_upper_bounds.fill(f64::from(entity * 10 + r));
+                    *row.region_size = entity;
+                }
+            }
+        }
+        drop(chunks);
+        for entity in 0..entities {
+            for r in 1..=2u32 {
+                let expected = entity as u32 * 10 + r;
+                let row = table.row(entity, r);
+                assert_eq!(row.support_upper_bound, expected);
+                assert_eq!(row.region_size, entity as u32);
+                assert!(row
+                    .keyword_signature
+                    .words()
+                    .iter()
+                    .all(|w| *w == u64::from(expected)));
+                assert!(row
+                    .score_upper_bounds
+                    .iter()
+                    .all(|s| *s == f64::from(expected)));
+            }
+        }
     }
 
     #[test]

@@ -97,10 +97,12 @@ pub fn refresh_after_edge_insertion(
         .or_else(|| required_influence_slack(g, &data.config))
         .unwrap_or(u32::MAX / 2);
     let affected = affected_vertices(g, u, v, data.config.r_max, slack.min(u32::MAX / 2));
-    for &w in &affected {
-        data.recompute_vertex(g, w);
-    }
-    affected.len()
+    // one batch: the engine builds its flat signature table and traversal
+    // scratch once for the whole refresh instead of once per vertex
+    let mut batch: Vec<VertexId> = affected.iter().copied().collect();
+    batch.sort_unstable();
+    data.recompute_vertices(g, &batch);
+    batch.len()
 }
 
 /// Rebuilds a [`CommunityIndex`] after an edge insertion by patching only the
@@ -158,9 +160,9 @@ pub fn update_index_after_edge_deletion(
         .or_else(|| required_influence_slack(g_before, &data.config))
         .unwrap_or(u32::MAX / 2);
     let affected = affected_vertices(g_before, u, v, data.config.r_max, slack.min(u32::MAX / 2));
-    for &w in &affected {
-        data.recompute_vertex(&g_after, w);
-    }
+    let mut batch: Vec<VertexId> = affected.iter().copied().collect();
+    batch.sort_unstable();
+    data.recompute_vertices(&g_after, &batch);
     let rebuilt = IndexBuilder::new(data.config.clone())
         .with_fanout(fanout)
         .with_leaf_capacity(leaf_capacity)

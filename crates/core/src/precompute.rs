@@ -11,21 +11,56 @@
 //!   score of the whole region over-estimates the score of any seed community
 //!   extracted from it.
 //!
-//! The per-vertex work items are independent, so the computation is spread
-//! over `available_parallelism()` worker threads with `std::thread::scope`;
-//! each worker owns one [`TraversalWorkspace`] and amortises every BFS and
-//! influence expansion of its chunk through it.
+//! # The engine
+//!
+//! The inner loop is built around four structural optimisations (each
+//! verified against the in-tree [`reference_precompute_vertex`] path —
+//! signatures, supports and region sizes bit-identical, every `σ_z` within
+//! float-summation tolerance):
+//!
+//! 1. **One influence expansion per `(vertex, radius)`** instead of one per
+//!    threshold: a single max-product Dijkstra truncated at
+//!    `θ_min = min(thresholds)` settles the exact `cpp` of every vertex that
+//!    clears *any* pre-selected threshold, and
+//!    [`InfluenceEvaluator::multi_threshold_scores_into`] buckets the settled
+//!    values into all `σ_z` in one deterministic drain.
+//! 2. **Score-only expansion** — probabilities are read straight off the
+//!    workspace; no `HashMap` (or anything else) is allocated per expansion.
+//! 3. **Frontier-incremental radius aggregation** — the bounded BFS yields
+//!    vertices in nondecreasing distance order, so radius `r`'s region is a
+//!    prefix of the order buffer and only the *frontier* (distance exactly
+//!    `r`) is new. Signatures are OR-folded from the per-graph flat
+//!    [`SignatureTable`] for frontier vertices only; the support bound scans
+//!    only edges incident to the frontier whose other endpoint is already in
+//!    the region (an O(1) check against the epoch-stamped BFS distance
+//!    array). Everything except the influence expansion is O(frontier), not
+//!    O(region).
+//! 4. **Work-stealing scheduler with in-place scatter** — workers claim
+//!    fixed-size entity chunks off an atomic counter (hub-heavy chunks no
+//!    longer straggle behind a static partition) and write finished rows
+//!    directly into disjoint [`AggregateTable`] chunks
+//!    ([`AggregateTable::chunks_mut`]); no per-worker result buffers, no
+//!    sequential scatter pass. [`PrecomputeConfig::num_threads`] pins the
+//!    worker count.
+//!
+//! Each worker owns two [`TraversalWorkspace`]s — one keeps the BFS distance
+//! stamps valid across all radii while the other churns through the
+//! influence expansions — plus the reused BFS-order and signature
+//! accumulator buffers, so the steady-state hot path performs no heap
+//! allocation at all.
 
-use crate::aggregate::{AggregateRef, AggregateTable};
-use icde_graph::traversal::bfs_within_with;
-use icde_graph::workspace::{with_thread_workspace, TraversalWorkspace};
-use icde_graph::{BitVector, SocialNetwork, VertexId, VertexSubset};
+use crate::aggregate::{AggregateRef, AggregateTable, TableChunkMut};
+use icde_graph::traversal::bfs_within_into;
+use icde_graph::workspace::TraversalWorkspace;
+use icde_graph::{BitVector, SignatureTable, SocialNetwork, VertexId, VertexSubset};
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::support::edge_supports_global;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of the offline pre-computation phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrecomputeConfig {
     /// Maximum radius `r_max` to pre-compute aggregates for (queries may use
     /// any `r ≤ r_max`).
@@ -37,6 +72,39 @@ pub struct PrecomputeConfig {
     pub signature_bits: usize,
     /// Whether to spread the per-vertex work across worker threads.
     pub parallel: bool,
+    /// Exact number of worker threads. `Some(n)` forces `n` workers
+    /// regardless of `parallel` (`Some(1)` is the sequential build); `None`
+    /// defers to `parallel` (`available_parallelism()` workers when set).
+    ///
+    /// A runtime knob, not data: neither the JSON nor the binary index
+    /// format persists it (all loads yield `None`), so artifacts stay
+    /// independent of the machine that built them.
+    pub num_threads: Option<usize>,
+}
+
+/// Hand-written so `num_threads` never leaks into persisted artifacts (see
+/// its field docs); everything else serialises exactly as the derive would.
+impl Serialize for PrecomputeConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("r_max".to_string(), self.r_max.to_value()),
+            ("thresholds".to_string(), self.thresholds.to_value()),
+            ("signature_bits".to_string(), self.signature_bits.to_value()),
+            ("parallel".to_string(), self.parallel.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PrecomputeConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(PrecomputeConfig {
+            r_max: serde::__de_field(v, "PrecomputeConfig", "r_max")?,
+            thresholds: serde::__de_field(v, "PrecomputeConfig", "thresholds")?,
+            signature_bits: serde::__de_field(v, "PrecomputeConfig", "signature_bits")?,
+            parallel: serde::__de_field(v, "PrecomputeConfig", "parallel")?,
+            num_threads: None,
+        })
+    }
 }
 
 impl Default for PrecomputeConfig {
@@ -48,6 +116,7 @@ impl Default for PrecomputeConfig {
             thresholds: vec![0.1, 0.2, 0.3],
             signature_bits: 128,
             parallel: true,
+            num_threads: None,
         }
     }
 }
@@ -84,6 +153,25 @@ impl PrecomputeConfig {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Pins the worker-thread count (see [`PrecomputeConfig::num_threads`]).
+    pub fn with_num_threads(mut self, num_threads: Option<usize>) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// The number of workers the offline build will actually use for an
+    /// `n`-vertex graph.
+    pub fn worker_count(&self, n: usize) -> usize {
+        let requested = match self.num_threads {
+            Some(t) => t.max(1),
+            None if self.parallel => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            None => 1,
+        };
+        requested.min(n.max(1))
     }
 
     /// Index of the largest pre-selected threshold `θ_z ≤ θ`, or `None` if
@@ -182,7 +270,9 @@ pub struct PrecomputedData {
 }
 
 impl PrecomputedData {
-    /// Runs the offline pre-computation (Algorithm 2) over `g`.
+    /// Runs the offline pre-computation (Algorithm 2) over `g` through the
+    /// frontier-incremental, multi-threshold, work-stealing engine (see the
+    /// module docs).
     pub fn compute(g: &SocialNetwork, config: PrecomputeConfig) -> Self {
         let edge_supports = edge_supports_global(g);
         let n = g.num_vertices();
@@ -192,66 +282,88 @@ impl PrecomputedData {
             config.signature_bits,
             config.thresholds.len(),
         );
-
-        let workers = if config.parallel {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(n.max(1))
-        } else {
-            1
+        let signatures = SignatureTable::for_graph(g, config.signature_bits);
+        let workers = config.worker_count(n);
+        let ctx = EngineCtx {
+            g,
+            config: &config,
+            edge_supports: &edge_supports,
+            signatures: SigSource::Table(&signatures),
         };
 
         if workers <= 1 || n == 0 {
-            let mut ws = TraversalWorkspace::new();
-            for i in 0..n {
-                let pre =
-                    precompute_vertex(g, &config, &edge_supports, VertexId::from_index(i), &mut ws);
-                table.set_entity(i, &pre.per_radius);
+            let mut scratch = WorkerScratch::new(&config);
+            for mut chunk in table.chunks_mut(n.max(1)) {
+                process_chunk(&ctx, &mut chunk, &mut scratch);
             }
         } else {
-            let chunk = n.div_ceil(workers);
-            let results = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for w in 0..workers {
-                    let start = w * chunk;
-                    let end = ((w + 1) * chunk).min(n);
-                    if start >= end {
-                        break;
-                    }
-                    let config = &config;
-                    let edge_supports = &edge_supports;
-                    handles.push(scope.spawn(move || {
-                        // one workspace per worker: scratch arrays and queues
-                        // are reused across the whole chunk
-                        let mut ws = TraversalWorkspace::new();
-                        (start..end)
-                            .map(|i| {
-                                precompute_vertex(
-                                    g,
-                                    config,
-                                    edge_supports,
-                                    VertexId::from_index(i),
-                                    &mut ws,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    }));
+            // Work stealing: chunks small enough that a hub-heavy stretch of
+            // vertices cannot straggle one worker, large enough that the
+            // atomic claim is free. Each claimed chunk carries its own
+            // disjoint mutable window into the table, so workers scatter
+            // finished rows in place.
+            let chunk_size = (n / (workers * 16)).clamp(8, 512);
+            let slots: Vec<Mutex<Option<TableChunkMut<'_>>>> = table
+                .chunks_mut(chunk_size)
+                .into_iter()
+                .map(|c| Mutex::new(Some(c)))
+                .collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let ctx = &ctx;
+                    let slots = &slots;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut scratch = WorkerScratch::new(ctx.config);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let mut chunk = slot
+                                .lock()
+                                .expect("chunk slot lock")
+                                .take()
+                                .expect("each chunk is claimed exactly once");
+                            process_chunk(ctx, &mut chunk, &mut scratch);
+                        }
+                    });
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pre-computation worker panicked"))
-                    .collect::<Vec<_>>()
             });
-            let mut idx = 0usize;
-            for chunk_result in results {
-                for item in chunk_result {
-                    table.set_entity(idx, &item.per_radius);
-                    idx += 1;
-                }
-            }
         }
 
+        PrecomputedData {
+            config,
+            table,
+            edge_supports,
+        }
+    }
+
+    /// Reference (pre-overhaul) sequential build: one full influence
+    /// expansion per `(vertex, radius, threshold)` and per-region re-scans,
+    /// via [`reference_precompute_vertex`]. Kept in-tree as the equivalence
+    /// baseline for the engine — the property tests and `experiments bench5`
+    /// assert the fast path reproduces it (structurally bit-identical,
+    /// scores within float-summation tolerance).
+    pub fn compute_reference(g: &SocialNetwork, config: PrecomputeConfig) -> Self {
+        let edge_supports = edge_supports_global(g);
+        let n = g.num_vertices();
+        let mut table = AggregateTable::new(
+            n,
+            config.r_max,
+            config.signature_bits,
+            config.thresholds.len(),
+        );
+        let mut ws = TraversalWorkspace::new();
+        for i in 0..n {
+            let pre = reference_precompute_vertex(
+                g,
+                &config,
+                &edge_supports,
+                VertexId::from_index(i),
+                &mut ws,
+            );
+            table.set_entity(i, &pre.per_radius);
+        }
         PrecomputedData {
             config,
             table,
@@ -319,15 +431,55 @@ impl PrecomputedData {
     }
 
     /// Recomputes the aggregates of a single vertex against the current state
-    /// of `g` (used by incremental maintenance after graph updates).
+    /// of `g` (used by incremental maintenance after graph updates); rides
+    /// the same frontier-incremental engine as [`PrecomputedData::compute`].
+    ///
+    /// `edge_supports` must already reflect the updated graph; use
+    /// [`PrecomputedData::refresh_edge_supports`] first. Batch callers should
+    /// prefer [`PrecomputedData::recompute_vertices`], which builds the flat
+    /// signature table once for the whole batch.
+    pub fn recompute_vertex(&mut self, g: &SocialNetwork, v: VertexId) {
+        self.recompute_vertices(g, &[v]);
+    }
+
+    /// Recomputes the aggregates of a batch of vertices against the current
+    /// state of `g` (the incremental-maintenance refresh path). The
+    /// traversal scratch state is shared across the whole batch, and the
+    /// flat signature table is built once — but only when the batch is large
+    /// enough to amortise it.
     ///
     /// `edge_supports` must already reflect the updated graph; use
     /// [`PrecomputedData::refresh_edge_supports`] first.
-    pub fn recompute_vertex(&mut self, g: &SocialNetwork, v: VertexId) {
-        let pre = with_thread_workspace(|ws| {
-            precompute_vertex(g, &self.config, &self.edge_supports, v, ws)
+    pub fn recompute_vertices(&mut self, g: &SocialNetwork, vertices: &[VertexId]) {
+        if vertices.is_empty() {
+            return;
+        }
+        // The flat table costs O(n·|W|) to build; the batch reads roughly
+        // batch × ball rows. Assume balls of ≥64 vertices: below n/64
+        // entries, hash keyword sets on the fly (bit-identical either way)
+        // so a single-vertex recompute stays O(region), not O(n).
+        let table;
+        let signatures = if vertices.len().saturating_mul(64) >= g.num_vertices() {
+            table = SignatureTable::for_graph(g, self.config.signature_bits);
+            SigSource::Table(&table)
+        } else {
+            SigSource::OnTheFly {
+                bits: self.config.signature_bits,
+            }
+        };
+        let ctx = EngineCtx {
+            g,
+            config: &self.config,
+            edge_supports: &self.edge_supports,
+            signatures,
+        };
+        let table = &mut self.table;
+        with_maintenance_scratch(|scratch| {
+            for &v in vertices {
+                let mut chunk = table.entity_mut(v.index());
+                precompute_vertex_into(&ctx, v, scratch, &mut chunk, 0);
+            }
         });
-        self.table.set_entity(v.index(), &pre.per_radius);
     }
 
     /// Recomputes the global per-edge supports from scratch against the
@@ -337,9 +489,178 @@ impl PrecomputedData {
     }
 }
 
-/// Computes the aggregates of a single vertex for every radius, running
-/// every traversal through the caller's workspace.
-fn precompute_vertex(
+/// Read-only state shared by every pre-computation worker.
+struct EngineCtx<'a> {
+    g: &'a SocialNetwork,
+    config: &'a PrecomputeConfig,
+    edge_supports: &'a [u32],
+    signatures: SigSource<'a>,
+}
+
+/// Where the engine reads member signatures from. Both variants set exactly
+/// the bits `BitVector::from_keywords` would — they share the hash behind
+/// [`icde_graph::bitvec::keyword_bit_position`] — so the choice is purely a
+/// cost trade: the flat table costs O(n·|W|) to build once and O(words) per
+/// member read; hashing on the fly costs O(|W|) per member read with no
+/// setup at all.
+enum SigSource<'a> {
+    /// Per-graph flat table, built once (the bulk build and large
+    /// maintenance batches).
+    Table(&'a SignatureTable),
+    /// Hash each member's keyword set directly into the accumulator (small
+    /// maintenance batches, where an O(n) table build would dwarf the
+    /// O(region) recompute itself).
+    OnTheFly { bits: usize },
+}
+
+impl SigSource<'_> {
+    #[inline]
+    fn or_into(&self, g: &SocialNetwork, v: VertexId, acc: &mut [u64]) {
+        match self {
+            SigSource::Table(table) => table.or_into(v, acc),
+            SigSource::OnTheFly { bits } => {
+                for kw in g.keyword_set(v).iter() {
+                    let pos = icde_graph::bitvec::keyword_bit_position(*bits, kw);
+                    acc[pos / 64] |= 1u64 << (pos % 64);
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker reusable scratch: two traversal workspaces (the BFS one keeps
+/// its epoch-stamped distance array valid across all radii while the
+/// influence one churns through the expansions), the BFS-order buffer and
+/// the signature accumulator. Nothing here is allocated per vertex.
+#[derive(Default)]
+struct WorkerScratch {
+    ws_bfs: TraversalWorkspace,
+    ws_inf: TraversalWorkspace,
+    order: Vec<(VertexId, u32)>,
+    sig_acc: Vec<u64>,
+}
+
+impl WorkerScratch {
+    fn new(config: &PrecomputeConfig) -> Self {
+        WorkerScratch {
+            ws_bfs: TraversalWorkspace::new(),
+            ws_inf: TraversalWorkspace::new(),
+            order: Vec::new(),
+            sig_acc: vec![0; config.signature_bits.div_ceil(64)],
+        }
+    }
+
+    /// Zeroes the signature accumulator, growing or shrinking it to `words`
+    /// first — so one scratch can serve configs of different widths (the
+    /// thread-local maintenance scratch outlives any single config).
+    fn reset_sig_acc(&mut self, words: usize) {
+        self.sig_acc.clear();
+        self.sig_acc.resize(words, 0);
+    }
+}
+
+thread_local! {
+    /// Reusable scratch for the maintenance path: `recompute_vertices` may
+    /// be called once per update event, and a fresh scratch would pay the
+    /// O(n) workspace grow-and-zero on every call. Same re-entrancy
+    /// contract as [`icde_graph::workspace::with_thread_workspace`]: a
+    /// nested borrow falls back to a temporary.
+    static MAINTENANCE_SCRATCH: std::cell::RefCell<WorkerScratch> =
+        std::cell::RefCell::new(WorkerScratch::default());
+}
+
+/// Runs `f` with this thread's shared maintenance [`WorkerScratch`].
+fn with_maintenance_scratch<R>(f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
+    MAINTENANCE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut WorkerScratch::default()),
+    })
+}
+
+/// Computes every entity of one claimed table chunk.
+fn process_chunk(ctx: &EngineCtx<'_>, chunk: &mut TableChunkMut<'_>, scratch: &mut WorkerScratch) {
+    let first = chunk.first_entity();
+    for local in 0..chunk.len() {
+        let v = VertexId::from_index(first + local);
+        precompute_vertex_into(ctx, v, scratch, chunk, local);
+    }
+}
+
+/// The engine inner loop: computes the aggregates of one vertex for every
+/// radius and writes them straight into the claimed table chunk.
+///
+/// One bounded BFS to `r_max` yields the region members in nondecreasing
+/// distance order, so radius `r`'s region is the prefix `order[..end_r]` and
+/// the *frontier* `order[start_r..end_r]` (distance exactly `r`) is the only
+/// new material: its signatures are OR-folded from the flat table, and the
+/// support maximum scans only its incident edges whose other endpoint is
+/// already inside the region (`dist ≤ r` against the epoch-stamped BFS
+/// array). An edge `{u, w}` enters the region exactly when its deeper
+/// endpoint joins the frontier (`r = max(d_u, d_w)`), so every region edge
+/// is accounted for exactly at its first radius — re-observing an edge whose
+/// both endpoints sit on the same frontier is harmless under `max`. The
+/// score bounds for all thresholds come from a single expansion per radius
+/// ([`InfluenceEvaluator::multi_threshold_scores_into`]).
+fn precompute_vertex_into(
+    ctx: &EngineCtx<'_>,
+    v: VertexId,
+    scratch: &mut WorkerScratch,
+    chunk: &mut TableChunkMut<'_>,
+    local: usize,
+) {
+    let config = ctx.config;
+    let evaluator = InfluenceEvaluator::new(ctx.g, InfluenceConfig { theta: 0.0 });
+    bfs_within_into(
+        &mut scratch.ws_bfs,
+        ctx.g,
+        v,
+        config.r_max,
+        &mut scratch.order,
+    );
+
+    scratch.reset_sig_acc(config.signature_bits.div_ceil(64));
+    let mut support = 0u32;
+    // distance-0 "frontier": the centre itself (no incident region edges yet)
+    if let Some(&(center, _)) = scratch.order.first() {
+        ctx.signatures.or_into(ctx.g, center, &mut scratch.sig_acc);
+    }
+    let mut end = usize::from(!scratch.order.is_empty());
+    for r in 1..=config.r_max {
+        let start = end;
+        while end < scratch.order.len() && scratch.order[end].1 == r {
+            end += 1;
+        }
+        for &(u, _) in &scratch.order[start..end] {
+            ctx.signatures.or_into(ctx.g, u, &mut scratch.sig_acc);
+            for &(n, e) in ctx.g.neighbors(u) {
+                match scratch.ws_bfs.dist(n) {
+                    Some(d) if d <= r => {
+                        support = support.max(ctx.edge_supports[e.index()]);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let row = chunk.row_mut(local, r);
+        row.signature.copy_from_slice(&scratch.sig_acc);
+        *row.support_upper_bound = support;
+        *row.region_size = end as u32;
+        evaluator.multi_threshold_scores_into(
+            &mut scratch.ws_inf,
+            scratch.order[..end].iter().map(|&(u, _)| u),
+            &config.thresholds,
+            row.score_upper_bounds,
+        );
+    }
+}
+
+/// The pre-overhaul per-vertex computation, kept in-tree as the engine's
+/// correctness baseline: one full influence expansion (with its influenced
+/// community `HashMap`) per `(radius, threshold)`, per-member signature
+/// hashing, and a full induced-edge re-scan per radius. The equivalence
+/// property tests (`crates/core/tests/precompute_equivalence.rs`) and
+/// `experiments bench5` compare the engine against this path.
+pub fn reference_precompute_vertex(
     g: &SocialNetwork,
     config: &PrecomputeConfig,
     edge_supports: &[u32],
@@ -347,7 +668,7 @@ fn precompute_vertex(
     ws: &mut TraversalWorkspace,
 ) -> VertexPrecompute {
     // One bounded BFS to r_max gives every radius at once.
-    let distances = bfs_within_with(ws, g, v, config.r_max);
+    let distances = icde_graph::traversal::bfs_within_with(ws, g, v, config.r_max);
     let evaluator = InfluenceEvaluator::new(g, InfluenceConfig { theta: 0.0 });
 
     let mut per_radius = Vec::with_capacity(config.r_max as usize);
@@ -469,34 +790,86 @@ mod tests {
                 ..Default::default()
             },
         );
-        let par = PrecomputedData::compute(
-            &g,
+        // every scheduling shape must write the exact same table: the
+        // default-parallel build, a pinned worker count that forces many
+        // stolen chunks, and `--threads 1` through `num_threads`
+        for config in [
             PrecomputeConfig {
                 parallel: true,
                 ..Default::default()
             },
-        );
-        // configs differ in the `parallel` flag only; the computed data must
-        // agree (scores up to floating-point summation order, which depends
-        // on hash-map iteration order inside the influence evaluator)
-        assert_eq!(seq.edge_supports, par.edge_supports);
-        assert_eq!(seq.num_vertices(), par.num_vertices());
-        for v in g.vertices() {
-            for r in 1..=3u32 {
-                let ra = seq.aggregate(v, r);
-                let rb = par.aggregate(v, r);
-                assert_eq!(ra.keyword_signature, rb.keyword_signature);
-                assert_eq!(ra.support_upper_bound, rb.support_upper_bound);
-                assert_eq!(ra.region_size, rb.region_size);
-                for (sa, sb) in ra
-                    .score_upper_bounds
-                    .iter()
-                    .zip(rb.score_upper_bounds.iter())
-                {
-                    assert!((sa - sb).abs() < 1e-6);
-                }
+            PrecomputeConfig::default().with_num_threads(Some(3)),
+            PrecomputeConfig::default().with_num_threads(Some(1)),
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
             }
+            .with_num_threads(Some(5)),
+        ] {
+            let par = PrecomputedData::compute(&g, config);
+            assert_eq!(seq.edge_supports, par.edge_supports);
+            assert_eq!(seq.num_vertices(), par.num_vertices());
+            // the engine computes each vertex identically regardless of which
+            // worker claims it, so even the float scores are bit-identical
+            assert_eq!(seq.table(), par.table());
         }
+    }
+
+    #[test]
+    fn num_threads_never_persists() {
+        // the JSON round-trip must drop the runtime knob and keep the data
+        let config = PrecomputeConfig::new(2, vec![0.1, 0.4]).with_num_threads(Some(7));
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(!json.contains("num_threads"), "runtime knob leaked: {json}");
+        let back: PrecomputeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_threads, None);
+        assert_eq!(back.r_max, config.r_max);
+        assert_eq!(back.thresholds, config.thresholds);
+        assert_eq!(back.signature_bits, config.signature_bits);
+        assert_eq!(back.parallel, config.parallel);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        let base = PrecomputeConfig::default();
+        assert_eq!(base.clone().with_num_threads(Some(4)).worker_count(100), 4);
+        // explicit threads override the parallel flag, and are capped by n
+        assert_eq!(
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            }
+            .with_num_threads(Some(4))
+            .worker_count(2),
+            2
+        );
+        assert_eq!(base.clone().with_num_threads(Some(0)).worker_count(10), 1);
+        assert_eq!(
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            }
+            .worker_count(10),
+            1
+        );
+        assert!(base.worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn engine_matches_reference_path() {
+        let g = small_graph();
+        let config = PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let fast = PrecomputedData::compute(&g, config.clone());
+        let reference = PrecomputedData::compute_reference(&g, config);
+        assert_eq!(fast.edge_supports, reference.edge_supports);
+        assert_eq!(
+            fast.table().structural_fingerprint(),
+            reference.table().structural_fingerprint()
+        );
+        assert!(fast.table().max_score_delta(reference.table()) < 1e-9);
     }
 
     #[test]

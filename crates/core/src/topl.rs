@@ -167,28 +167,35 @@ impl TopLCollector {
         }
     }
 
+    /// The insertion slot keeping descending score order: the first index
+    /// whose score is strictly smaller than `score` — i.e. *after* any
+    /// equal-scoring entries, matching what pushing to the back and stably
+    /// re-sorting used to produce, in O(log L) instead of O(L log L).
+    fn insertion_point(&self, score: f64) -> usize {
+        self.entries
+            .partition_point(|c| c.influential_score >= score)
+    }
+
     fn insert(&mut self, candidate: SeedCommunity) {
-        if let Some(existing) = self
+        if let Some(pos) = self
             .entries
-            .iter_mut()
-            .find(|c| c.vertices == candidate.vertices)
+            .iter()
+            .position(|c| c.vertices == candidate.vertices)
         {
-            if candidate.influential_score > existing.influential_score {
-                *existing = candidate;
-                self.entries.sort_by(|a, b| {
-                    b.influential_score
-                        .partial_cmp(&a.influential_score)
-                        .unwrap()
-                });
+            // duplicate vertex set: keep only the better-scoring copy, moving
+            // it to its new slot (scores only increase, so it shifts left)
+            if candidate.influential_score > self.entries[pos].influential_score {
+                self.entries.remove(pos);
+                let at = self.insertion_point(candidate.influential_score);
+                self.entries.insert(at, candidate);
             }
             return;
         }
-        self.entries.push(candidate);
-        self.entries.sort_by(|a, b| {
-            b.influential_score
-                .partial_cmp(&a.influential_score)
-                .unwrap()
-        });
+        let at = self.insertion_point(candidate.influential_score);
+        if at >= self.capacity {
+            return; // would fall off the end anyway
+        }
+        self.entries.insert(at, candidate);
         if self.entries.len() > self.capacity {
             self.entries.pop();
         }
@@ -583,5 +590,77 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].influential_score, 2.0);
         assert_eq!(out[1].influential_score, 1.5);
+    }
+
+    #[test]
+    fn collector_binary_insertion_matches_push_and_sort_reference() {
+        // regression for the partition_point insertion: any interleaving of
+        // fresh inserts, duplicate upgrades and overflow evictions must
+        // produce exactly what the old push-then-stable-sort-then-pop loop
+        // produced, including tie order
+        let community = |score: f64, ids: &[u32]| SeedCommunity {
+            center: VertexId(ids[0]),
+            vertices: ids.iter().map(|i| VertexId(*i)).collect(),
+            influential_score: score,
+            influenced_size: ids.len(),
+        };
+        let stream = [
+            community(1.0, &[1]),
+            community(3.0, &[2]),
+            community(2.0, &[3]),
+            community(2.0, &[4]), // tie with a distinct set
+            community(2.0, &[3]), // duplicate, equal score: ignored
+            community(4.0, &[3]), // duplicate, better: moves to the front
+            community(0.5, &[5]), // below sigma_L once full: dropped
+            community(2.5, &[6]),
+            community(2.5, &[7]),
+            community(0.5, &[5]),
+        ];
+        for capacity in [1usize, 2, 3, 4, 10] {
+            let mut collector = TopLCollector::new(capacity);
+            // the pre-optimisation formulation, inlined as the oracle
+            let mut reference: Vec<SeedCommunity> = Vec::new();
+            for candidate in &stream {
+                collector.insert(candidate.clone());
+                if let Some(existing) = reference
+                    .iter_mut()
+                    .find(|c| c.vertices == candidate.vertices)
+                {
+                    if candidate.influential_score > existing.influential_score {
+                        *existing = candidate.clone();
+                        reference.sort_by(|a, b| {
+                            b.influential_score
+                                .partial_cmp(&a.influential_score)
+                                .unwrap()
+                        });
+                    }
+                } else {
+                    reference.push(candidate.clone());
+                    reference.sort_by(|a, b| {
+                        b.influential_score
+                            .partial_cmp(&a.influential_score)
+                            .unwrap()
+                    });
+                    if reference.len() > capacity {
+                        reference.pop();
+                    }
+                }
+                assert_eq!(collector.sigma_l(), {
+                    if reference.len() < capacity {
+                        f64::NEG_INFINITY
+                    } else {
+                        reference
+                            .last()
+                            .map_or(f64::NEG_INFINITY, |c| c.influential_score)
+                    }
+                });
+            }
+            let got = collector.into_sorted();
+            assert_eq!(got.len(), reference.len(), "capacity {capacity}");
+            for (g, r) in got.iter().zip(reference.iter()) {
+                assert_eq!(g.vertices, r.vertices, "capacity {capacity}");
+                assert_eq!(g.influential_score, r.influential_score);
+            }
+        }
     }
 }

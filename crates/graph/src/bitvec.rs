@@ -13,6 +13,7 @@
 //! assert exactly that invariant.
 
 use crate::keywords::{Keyword, KeywordSet};
+use crate::types::VertexId;
 use serde::{Deserialize, Serialize};
 
 /// Default signature width in bits; matches a 2-word signature which is wide
@@ -250,6 +251,118 @@ impl<'a> SignatureRef<'a> {
     }
 }
 
+/// A per-graph flat signature table: the keyword signature of every vertex,
+/// stored as one contiguous `n × ⌈bits/64⌉` word array built once.
+///
+/// The offline pre-computation ORs member signatures into region aggregates
+/// for every `(vertex, radius)` pair; hashing each member's keyword set into
+/// a fresh [`BitVector`] there meant one heap allocation *per member per
+/// region* (hundreds of millions on a 50k graph). A [`SignatureTable`] pays
+/// the hashing once and hands out borrowed word rows, so aggregation is a
+/// branch-free word-OR over flat memory with no per-member allocation.
+///
+/// Rows are bit-identical to `BitVector::from_keywords(g.keyword_set(v), bits)`
+/// — both go through the same [`hash_position`] — which the equivalence tests
+/// rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureTable {
+    bits: u32,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl SignatureTable {
+    /// Hashes every vertex keyword set of `g` into a flat table of `bits`-bit
+    /// signatures.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero.
+    pub fn for_graph(g: &crate::graph::SocialNetwork, bits: usize) -> Self {
+        assert!(bits > 0, "bit vector width must be positive");
+        let words_per_row = bits.div_ceil(64);
+        let n = g.num_vertices();
+        let mut words = vec![0u64; n * words_per_row];
+        for v in g.vertices() {
+            let start = v.index() * words_per_row;
+            let row = &mut words[start..start + words_per_row];
+            for kw in g.keyword_set(v).iter() {
+                let pos = hash_position(bits as u32, kw);
+                row[pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        SignatureTable {
+            bits: bits as u32,
+            words_per_row,
+            words,
+        }
+    }
+
+    /// Signature width in bits.
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// Number of vertex rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        // words_per_row ≥ 1: the constructor rejects zero-width signatures
+        self.words.len() / self.words_per_row
+    }
+
+    /// Returns `true` if the table holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The raw word row of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the table.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[u64] {
+        let start = v.index() * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// The signature of vertex `v` as a borrowed [`SignatureRef`].
+    #[inline]
+    pub fn signature(&self, v: VertexId) -> SignatureRef<'_> {
+        SignatureRef {
+            bits: self.bits,
+            words: self.row(v),
+        }
+    }
+
+    /// ORs vertex `v`'s signature row into `acc` (the aggregation primitive
+    /// of the frontier-incremental offline phase — no allocation, no branch
+    /// per bit).
+    ///
+    /// # Panics
+    /// Panics if `acc` is narrower than one row.
+    #[inline]
+    pub fn or_into(&self, v: VertexId, acc: &mut [u64]) {
+        for (a, w) in acc.iter_mut().zip(self.row(v)) {
+            *a |= *w;
+        }
+    }
+}
+
+/// The bit position keyword `kw` occupies in a `bits`-wide signature — the
+/// shared hash `f(w)` behind [`BitVector`], [`SignatureRef`] and
+/// [`SignatureTable`], exposed so callers that OR keyword sets into raw word
+/// buffers (the offline engine's small-batch maintenance path) stay
+/// bit-identical to the owned/table formulations.
+///
+/// # Panics
+/// Panics if `bits` is zero.
+#[inline]
+pub fn keyword_bit_position(bits: usize, kw: Keyword) -> usize {
+    assert!(bits > 0, "bit vector width must be positive");
+    hash_position(bits as u32, kw)
+}
+
 /// The hash function `f(w)` shared by [`BitVector`] and [`SignatureRef`]:
 /// a 64-bit splitmix finaliser, so nearby keyword ids scatter across the
 /// signature instead of clustering in the low bits.
@@ -340,6 +453,38 @@ mod tests {
         let a = BitVector::zeros(64);
         let b = BitVector::zeros(128);
         let _ = a.intersects(&b);
+    }
+
+    #[test]
+    fn signature_table_rows_match_from_keywords() {
+        let mut b = crate::builder::GraphBuilder::new();
+        for ids in [vec![1u32, 2], vec![], vec![7, 99, 1000], vec![3]] {
+            b.add_vertex(KeywordSet::from_ids(ids));
+        }
+        let g = b.build().unwrap();
+        for bits in [64usize, 128, 130] {
+            let table = SignatureTable::for_graph(&g, bits);
+            assert_eq!(table.len(), g.num_vertices());
+            assert_eq!(table.num_bits(), bits);
+            let mut acc = vec![0u64; bits.div_ceil(64)];
+            let mut reference = BitVector::zeros(bits);
+            for v in g.vertices() {
+                let owned = BitVector::from_keywords(g.keyword_set(v), bits);
+                assert_eq!(table.signature(v), owned, "vertex {v} bits {bits}");
+                assert_eq!(table.row(v), owned.words());
+                table.or_into(v, &mut acc);
+                reference.or_assign(&owned);
+            }
+            assert_eq!(&acc, reference.words());
+        }
+    }
+
+    #[test]
+    fn empty_graph_signature_table_is_empty() {
+        let g = crate::graph::SocialNetwork::new();
+        let table = SignatureTable::for_graph(&g, 128);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
     }
 
     proptest! {

@@ -46,7 +46,7 @@ pub mod traversal;
 pub mod types;
 pub mod workspace;
 
-pub use bitvec::{BitVector, SignatureRef};
+pub use bitvec::{BitVector, SignatureRef, SignatureTable};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{GraphParts, SocialNetwork};

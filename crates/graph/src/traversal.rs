@@ -87,13 +87,37 @@ pub fn bfs_within_with(
     source: VertexId,
     max_hops: u32,
 ) -> HopDistances {
-    if !g.contains_vertex(source) {
-        return HopDistances::new(source, Vec::new());
-    }
+    let mut order = Vec::new();
+    bfs_within_into(ws, g, source, max_hops, &mut order);
+    HopDistances::new(source, order)
+}
+
+/// [`bfs_within`] into a caller-owned output buffer: `order` is cleared and
+/// refilled with the reached `(vertex, hops)` pairs in BFS (nondecreasing
+/// distance) order. Batch callers — the offline pre-computation visits every
+/// vertex — reuse one buffer across all calls and pay no per-call allocation
+/// once it has grown.
+///
+/// The workspace keeps the epoch-stamped hop distance of every reached vertex
+/// ([`TraversalWorkspace::dist`]) until its next `begin`, so callers can do
+/// O(1) "is `u` within `r` hops" membership tests against the same traversal.
+pub fn bfs_within_into(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    source: VertexId,
+    max_hops: u32,
+    order: &mut Vec<(VertexId, u32)>,
+) {
+    order.clear();
+    // invalidate stale stamps even for a missing source, so the documented
+    // `dist()` membership contract always reflects *this* (empty) traversal
     ws.begin(g.num_vertices());
+    if !g.contains_vertex(source) {
+        return;
+    }
     // the output list doubles as the BFS ring buffer: entries are appended
     // on discovery and consumed in order through `head`
-    let mut order = vec![(source, 0u32)];
+    order.push((source, 0u32));
     ws.try_visit(source, 0);
     let mut head = 0;
     while head < order.len() {
@@ -108,7 +132,6 @@ pub fn bfs_within_with(
             }
         }
     }
-    HopDistances::new(source, order)
 }
 
 /// Extracts the r-hop subgraph `hop(center, r)`: the set of vertices within
@@ -391,6 +414,33 @@ mod tests {
                 let fresh = bfs_within_with(&mut TraversalWorkspace::new(), &g, source, max_hops);
                 assert_eq!(with_reuse.distances, fresh.distances);
             }
+        }
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffer_and_keeps_distance_stamps() {
+        let g = path_graph();
+        let mut ws = TraversalWorkspace::new();
+        let mut order = Vec::new();
+        for source in g.vertices() {
+            for max_hops in [0, 1, 3, u32::MAX] {
+                bfs_within_into(&mut ws, &g, source, max_hops, &mut order);
+                let fresh = bfs_within_with(&mut TraversalWorkspace::new(), &g, source, max_hops);
+                assert_eq!(order, fresh.distances, "source {source} r {max_hops}");
+                // the epoch-stamped distances survive until the next begin(),
+                // giving O(1) region-membership tests over the same BFS
+                for &(v, d) in &order {
+                    assert_eq!(ws.dist(v), Some(d));
+                }
+            }
+        }
+        // stale sources leave the buffer empty rather than panicking, and
+        // invalidate the previous traversal's stamps so membership tests
+        // reflect the (empty) region instead of leftover distances
+        bfs_within_into(&mut ws, &g, VertexId(99), 2, &mut order);
+        assert!(order.is_empty());
+        for v in g.vertices() {
+            assert_eq!(ws.dist(v), None, "stale stamp survived for {v}");
         }
     }
 }

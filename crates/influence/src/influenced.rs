@@ -241,6 +241,119 @@ impl<'g> InfluenceEvaluator<'g> {
         self.influenced_community(seed).influential_score()
     }
 
+    /// Computes `σ_z(seed)` for **every** threshold in `thresholds` with a
+    /// single influence expansion (the offline phase's Algorithm 2 inner
+    /// loop; the naive formulation runs `m = |thresholds|` full expansions).
+    ///
+    /// Borrows this thread's shared workspace; see
+    /// [`multi_threshold_scores_in`] for the caller-owned-workspace variant
+    /// and the correctness argument.
+    ///
+    /// [`multi_threshold_scores_in`]:
+    /// InfluenceEvaluator::multi_threshold_scores_in
+    pub fn multi_threshold_scores(&self, seed: &VertexSubset, thresholds: &[f64]) -> Vec<f64> {
+        with_thread_workspace(|ws| self.multi_threshold_scores_in(ws, seed, thresholds))
+    }
+
+    /// [`multi_threshold_scores`] against a caller-owned workspace.
+    ///
+    /// **Why one expansion suffices.** Every edge probability is ≤ 1, so
+    /// along any path the running product is nonincreasing: every *prefix*
+    /// of a max-influence path has probability ≥ its endpoint's `cpp`. A
+    /// max-product Dijkstra truncated at `θ_min = min(thresholds)` therefore
+    /// settles every vertex whose true `cpp` clears **any** of the
+    /// thresholds, and settles it at exactly the value the per-threshold
+    /// expansion at `θ_z ≤ cpp` would have computed (the optimal path never
+    /// dips below `cpp ≥ θ_z ≥ θ_min` at any prefix, so no cutoff ever
+    /// discards it). `σ_z` is then the sum of the settled `cpp` values that
+    /// reach `θ_z`, accumulated in deterministic first-touch order — the
+    /// same seed always yields the exact same floating-point scores.
+    ///
+    /// `thresholds` need not be sorted; each returned score is aligned with
+    /// its input position. Scores match the per-threshold reference path
+    /// within floating-point summation order (≤ 1e-9 in practice), and the
+    /// settled `cpp` values themselves are bit-identical.
+    ///
+    /// [`multi_threshold_scores`]: InfluenceEvaluator::multi_threshold_scores
+    pub fn multi_threshold_scores_in(
+        &self,
+        ws: &mut TraversalWorkspace,
+        seed: &VertexSubset,
+        thresholds: &[f64],
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; thresholds.len()];
+        self.multi_threshold_scores_into(ws, seed.iter(), thresholds, &mut out);
+        out
+    }
+
+    /// The allocation-free core of [`multi_threshold_scores_in`]: takes the
+    /// seed as a plain vertex iterator (the offline phase feeds BFS-order
+    /// region prefixes without materialising a `VertexSubset`) and writes
+    /// the scores into a caller-owned slice. Nothing is allocated per call
+    /// — probabilities are read straight off the workspace and no influenced
+    /// community map is built.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != thresholds.len()`, or if any threshold lies
+    /// outside `[0, 1)` — a `θ_z ≥ 1` would silently drop seed members
+    /// (`cpp = 1.0 < θ_z`) from `σ_z` where the per-threshold reference
+    /// counts them unconditionally, so out-of-range input fails loudly
+    /// instead (the same domain [`InfluenceConfig::new`] enforces).
+    ///
+    /// [`multi_threshold_scores_in`]:
+    /// InfluenceEvaluator::multi_threshold_scores_in
+    pub fn multi_threshold_scores_into(
+        &self,
+        ws: &mut TraversalWorkspace,
+        seed: impl IntoIterator<Item = VertexId>,
+        thresholds: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), thresholds.len(), "one output slot per threshold");
+        assert!(
+            thresholds.iter().all(|t| (0.0..1.0).contains(t)),
+            "thresholds must lie in [0, 1)"
+        );
+        out.fill(0.0);
+        let theta_min = thresholds.iter().copied().fold(f64::INFINITY, f64::min);
+        ws.begin(self.graph.num_vertices());
+        for v in seed {
+            ws.set_prob(v, 1.0);
+            ws.bucket_push(1.0, v);
+        }
+        while let Some((probability, vertex)) = ws.bucket_pop() {
+            if probability < ws.prob(vertex) {
+                continue; // stale: a better probability was recorded since
+            }
+            if !ws.try_expand(vertex, probability) {
+                continue; // settled: an equal duplicate was already expanded
+            }
+            for (n, p) in self.graph.outgoing(vertex) {
+                let candidate = probability * p;
+                if candidate < theta_min || candidate <= 0.0 {
+                    continue;
+                }
+                // seed members sit at probability 1.0, so `candidate > current`
+                // also keeps them (and any already-better vertex) untouched
+                let current = ws.prob(n);
+                if candidate > current {
+                    ws.set_prob(n, candidate);
+                    ws.bucket_push(candidate, n);
+                }
+            }
+        }
+        // deterministic drain: `touched` records first-touch order, which is
+        // fully determined by the seed order and the graph
+        for &v in ws.touched() {
+            let cpp = ws.prob(v);
+            for (z, &theta_z) in thresholds.iter().enumerate() {
+                if cpp >= theta_z {
+                    out[z] += cpp;
+                }
+            }
+        }
+    }
+
     /// Community-to-user propagation probability `cpp(g, v)` (Eq. (4)),
     /// honouring the threshold truncation (vertices outside `g^Inf` report 0).
     pub fn community_to_user(&self, seed: &VertexSubset, v: VertexId) -> Weight {
@@ -483,6 +596,75 @@ mod tests {
             assert_eq!(with_reuse, fresh);
             assert_eq!(with_reuse.influential_score(), fresh.influential_score());
         }
+    }
+
+    #[test]
+    fn multi_threshold_scores_match_per_threshold_expansions() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.0));
+        let thresholds = [0.1, 0.2, 0.3, 0.5, 0.8];
+        let mut ws = TraversalWorkspace::new();
+        for a in g.vertices() {
+            for b in g.vertices() {
+                let seed = VertexSubset::from_iter([a, b]);
+                let shared = eval.multi_threshold_scores_in(&mut ws, &seed, &thresholds);
+                for (z, &theta) in thresholds.iter().enumerate() {
+                    let reference = eval
+                        .influenced_community_with_theta_in(&mut ws, &seed, theta)
+                        .influential_score();
+                    assert!(
+                        (shared[z] - reference).abs() < 1e-9,
+                        "seed {{{a}, {b}}} theta {theta}: {} vs {reference}",
+                        shared[z]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_threshold_scores_handle_unsorted_thresholds_and_zero() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.0));
+        let seed = VertexSubset::from_iter([VertexId(0)]);
+        // unsorted input: each output stays aligned with its position
+        let shuffled = eval.multi_threshold_scores(&seed, &[0.5, 0.0, 0.2]);
+        for (z, &theta) in [0.5, 0.0, 0.2].iter().enumerate() {
+            let reference = eval
+                .influenced_community_with_theta(&seed, theta)
+                .influential_score();
+            assert!((shuffled[z] - reference).abs() < 1e-9, "theta {theta}");
+        }
+        // empty seed: all zeros
+        let empty = eval.multi_threshold_scores(&VertexSubset::new(), &[0.1, 0.2]);
+        assert_eq!(empty, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_threshold_scores_into_is_reproducible_and_reusable() {
+        let g = line_graph();
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(0.0));
+        let thresholds = [0.1, 0.3];
+        let mut ws = TraversalWorkspace::new();
+        let mut out_a = [0.0; 2];
+        let mut out_b = [7.0; 2]; // stale garbage must be overwritten
+        let seed = [VertexId(1), VertexId(3)];
+        eval.multi_threshold_scores_into(&mut ws, seed.iter().copied(), &thresholds, &mut out_a);
+        eval.multi_threshold_scores_into(&mut ws, seed.iter().copied(), &thresholds, &mut out_b);
+        assert_eq!(out_a.map(f64::to_bits), out_b.map(f64::to_bits));
+        let fresh = eval.multi_threshold_scores_in(
+            &mut TraversalWorkspace::new(),
+            &VertexSubset::from_iter(seed),
+            &thresholds,
+        );
+        assert_eq!(
+            out_a
+                .to_vec()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() {
         thresholds: vec![0.1, 0.2, 0.3],
         signature_bits: 128,
         parallel: true,
+        num_threads: None,
     };
     let start = std::time::Instant::now();
     let index = IndexBuilder::new(config)
