@@ -100,7 +100,7 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|all]... \
          [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
@@ -126,6 +126,13 @@ fn print_usage() {
          within 1e-9) and write the BENCH_5.json perf snapshot (not part of \
          `all`). --bench-scale N shrinks the graph for smoke runs, writing \
          BENCH_5_smoke.json instead"
+    );
+    eprintln!(
+        "  bench6: time the progressive bound-driven online TopL engine against \
+         the eager reference formulation of Algorithm 3, verify the answers are \
+         bit-identical and write the BENCH_6.json perf snapshot (not part of \
+         `all`). --bench-scale N shrinks the graph for smoke runs, writing \
+         BENCH_6_smoke.json instead"
     );
 }
 
@@ -245,6 +252,25 @@ fn main() {
             "BENCH_5_smoke.json"
         };
         std::fs::write(path, &json).expect("write BENCH_5 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench6") {
+        println!(
+            "# bench6: timing the progressive online TopL engine on the {}-vertex \
+             small-world graph (answers verified bit-identical to the eager \
+             reference) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench6_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_6.json"
+        } else {
+            "BENCH_6_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_6 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
     }

@@ -27,6 +27,10 @@
 //!   multi-threshold work-stealing engine, with structural fingerprints
 //!   asserted bit-identical and every score bound within 1e-9 before any
 //!   timing is reported.
+//! * `experiments bench6` writes `BENCH_6.json` — the **progressive online
+//!   engine**: the eager reference formulation of Algorithm 3 vs the
+//!   progressive bound-driven kernel, with the answer asserted bit-identical
+//!   to the eager reference before any timing is reported.
 //!
 //! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
@@ -1007,6 +1011,235 @@ pub fn bench5_snapshot_json(scale: usize) -> String {
                     "engine_par_vs_bench4_archived".to_string(),
                     if full_scale {
                         Value::Float(ratio(BENCH4_OFFLINE_BUILD_MS, new_par_ms))
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+// ---------------------------------------------------------------------------
+// bench6: the progressive bound-driven online TopL engine
+// ---------------------------------------------------------------------------
+
+/// The archived `query_topl` median from `BENCH_5.json` — the eager online
+/// path on the reference build machine. Only meaningful at
+/// [`SNAPSHOT_SCALE`] on that machine.
+const BENCH5_QUERY_TOPL_MS: f64 = 1510.694;
+
+/// Target p50 for the progressive kernel at full scale (the PR-6 acceptance
+/// number, recorded in the document for context).
+const BENCH6_TARGET_P50_MS: f64 = 10.0;
+
+/// Every field of the answer folded into one order-sensitive fingerprint:
+/// centre, score bits, vertex ids and influenced size of each community, in
+/// rank order. Bit-identical answers ⇔ equal fingerprints.
+fn answer_fingerprint(answer: &icde_core::topl::TopLAnswer) -> u64 {
+    let mut digest = 0xcbf29ce484222325u64;
+    let mut fold = |x: u64| {
+        digest = (digest ^ x).wrapping_mul(0x100000001B3);
+    };
+    for c in &answer.communities {
+        fold(c.center.index() as u64);
+        fold(c.influential_score.to_bits());
+        fold(c.influenced_size as u64);
+        for &v in c.vertices.as_slice() {
+            fold(v.index() as u64);
+        }
+    }
+    digest
+}
+
+/// Runs the online-engine workloads and renders the `BENCH_6.json` document:
+/// the eager reference formulation of Algorithm 3 (refine-on-leaf-pop) vs
+/// the progressive bound-driven kernel (deferred refinement off one
+/// best-bound-first heap, tightened by the offline seed-community bounds) on
+/// the bench4/bench5 50k query workload. `scale` below [`SNAPSHOT_SCALE`]
+/// runs the same shape as a smoke test (CI).
+///
+/// # Panics
+/// Panics when the progressive answer is not **bit-identical** to the eager
+/// reference (centres, scores, vertex sets, order — one fused fingerprint),
+/// or when the kernel expands more candidates exactly than the eager path
+/// refines. Timings are only reported after both gates pass.
+pub fn bench6_snapshot_json(scale: usize) -> String {
+    let g = bench4_graph(scale);
+    let config = bench4_config();
+
+    let build_start = Instant::now();
+    let index = IndexBuilder::new(config.clone()).build(&g);
+    let offline_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let workers = config.worker_count(g.num_vertices());
+
+    let query = bench4_query();
+    let processor = TopLProcessor::new(&g, &index);
+
+    // --- equivalence gate: answers first, timings only if identical -------
+    let eager_answer = processor.run_eager(&query).expect("eager reference run");
+    let progressive_answer = processor.run(&query).expect("progressive run");
+    let fingerprint_eager = answer_fingerprint(&eager_answer);
+    let fingerprint_progressive = answer_fingerprint(&progressive_answer);
+    assert_eq!(
+        fingerprint_progressive, fingerprint_eager,
+        "progressive kernel diverged from the eager reference answer"
+    );
+    let stats = progressive_answer.stats;
+    assert!(
+        stats.exact_verifications <= eager_answer.stats.candidates_refined,
+        "progressive kernel expanded {} candidates exactly, eager refined only {}",
+        stats.exact_verifications,
+        eager_answer.stats.candidates_refined
+    );
+
+    // --- timings ----------------------------------------------------------
+    let (eager_ms, digest_eager) = time_median(3, || {
+        answer_fingerprint(&processor.run_eager(&query).expect("eager reference run"))
+    });
+    let (query_ms, digest_progressive) = time_median(21, || {
+        answer_fingerprint(&processor.run(&query).expect("progressive run"))
+    });
+    assert_eq!(digest_progressive, digest_eager, "timed runs diverged");
+
+    let legs = [
+        (
+            "offline_index_build",
+            offline_build_ms,
+            index.content_fingerprint(),
+        ),
+        ("query_topl_eager_reference", eager_ms, digest_eager),
+        ("query_topl", query_ms, digest_progressive),
+    ];
+    let results = Value::Array(
+        legs.iter()
+            .map(|(name, millis, fingerprint)| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.to_string())),
+                    ("millis".to_string(), Value::Float(round3(*millis))),
+                    (
+                        "fingerprint".to_string(),
+                        Value::Str(format!("{fingerprint:#018x}")),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let ratio = |old: f64, new: f64| {
+        if new > 0.0 {
+            (old / new * 1e2).round() / 1e2
+        } else {
+            f64::INFINITY
+        }
+    };
+    let full_scale = scale == SNAPSHOT_SCALE;
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_6".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Progressive bound-driven online TopL engine (PR 6): the eager reference \
+                 formulation of Algorithm 3 (every surviving leaf vertex refined the moment \
+                 its leaf pops) vs the progressive kernel (index nodes and leaf candidates \
+                 in one best-bound-first heap, exact refinement deferred until a \
+                 candidate's bound reaches the top, bounds tightened by the offline \
+                 seed-community score table) on the 50k small-world query workload. The \
+                 progressive answer is asserted bit-identical to the eager reference \
+                 (centres, scores, vertex sets, order — one fused fingerprint) before any \
+                 timing is reported."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default + uniform keywords".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                ("worker_threads".to_string(), Value::UInt(workers as u64)),
+                (
+                    "query".to_string(),
+                    Value::Str("keywords {0..4}, k=3, r=2, theta=0.2, L=5".to_string()),
+                ),
+                (
+                    "target_p50_ms".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH6_TARGET_P50_MS)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                (
+                    "bench5_query_topl_ms".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH5_QUERY_TOPL_MS)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                ("answers_bit_identical".to_string(), Value::Bool(true)),
+                (
+                    "answer_fingerprint".to_string(),
+                    Value::Str(format!("{fingerprint_eager:#018x}")),
+                ),
+                (
+                    "eager_candidates_refined".to_string(),
+                    Value::UInt(eager_answer.stats.candidates_refined as u64),
+                ),
+            ]),
+        ),
+        (
+            "progressive_counters".to_string(),
+            Value::Object(vec![
+                (
+                    "candidates_pruned".to_string(),
+                    Value::UInt(stats.total_pruned_candidates() as u64),
+                ),
+                (
+                    "index_entries_pruned".to_string(),
+                    Value::UInt(stats.total_pruned_index_entries() as u64),
+                ),
+                (
+                    "candidates_refined".to_string(),
+                    Value::UInt(stats.candidates_refined as u64),
+                ),
+                (
+                    "exact_verifications".to_string(),
+                    Value::UInt(stats.exact_verifications as u64),
+                ),
+                (
+                    "bound_tightenings".to_string(),
+                    Value::UInt(stats.bound_tightenings as u64),
+                ),
+                ("heap_pops".to_string(), Value::UInt(stats.heap_pops as u64)),
+                (
+                    "early_terminated_entries".to_string(),
+                    Value::UInt(stats.early_terminated_entries as u64),
+                ),
+            ]),
+        ),
+        ("results".to_string(), results),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "progressive_vs_eager".to_string(),
+                    Value::Float(ratio(eager_ms, query_ms)),
+                ),
+                (
+                    "progressive_vs_bench5_archived".to_string(),
+                    if full_scale {
+                        Value::Float(ratio(BENCH5_QUERY_TOPL_MS, query_ms))
                     } else {
                         Value::Null
                     },

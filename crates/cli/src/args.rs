@@ -12,7 +12,7 @@ usage:
   topl-icde index    --graph FILE --out FILE [--rmax N] [--fanout N] [--thresholds a,b,c]
                      [--threads N]
   topl-icde query    --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
-                     [--theta X] [--l N] [--json]
+                     [--theta X] [--l N] [--json] [--explain] [--eager]
   topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
                      [--theta X] [--l N] [--n N] [--json]
   topl-icde snapshot save --graph FILE --out FILE    (binary graph snapshot)
@@ -23,7 +23,9 @@ graph/index FILE arguments accept any readable format (edge list, JSON, or
 binary snapshot — sniffed by magic bytes); `index --out FILE.snap` writes the
 binary snapshot directly. --threads N pins the worker count of any offline
 pre-computation the command runs (default: all cores); `stats` runs none
-today and accepts the flag for forward compatibility.";
+today and accepts the flag for forward compatibility. `query --explain`
+prints the pruning-counter breakdown after the answers; `query --eager`
+forces the eager reference path instead of the progressive kernel.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +92,10 @@ pub enum Command {
         l: usize,
         /// Emit JSON instead of text.
         json: bool,
+        /// Print the pruning-counter breakdown after the answers.
+        explain: bool,
+        /// Force the eager reference path instead of the progressive kernel.
+        eager: bool,
     },
     /// Run a DTopL-ICDE query.
     DQuery {
@@ -282,6 +288,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     theta,
                     l,
                     json,
+                    explain: flags.has("--explain"),
+                    eager: flags.has("--eager"),
                 })
             } else {
                 Ok(Command::DQuery {
@@ -356,6 +364,8 @@ mod tests {
                 theta,
                 l,
                 json,
+                explain,
+                eager,
                 ..
             } => {
                 assert_eq!(keywords, vec![1, 2, 3]);
@@ -364,6 +374,31 @@ mod tests {
                 assert_eq!(theta, 0.2);
                 assert_eq!(l, 5);
                 assert!(!json);
+                assert!(!explain);
+                assert!(!eager);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_explain_and_eager() {
+        let cmd = parse(&argv(&[
+            "query",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--keywords",
+            "1",
+            "--explain",
+            "--eager",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { explain, eager, .. } => {
+                assert!(explain);
+                assert!(eager);
             }
             other => panic!("expected query, got {other:?}"),
         }

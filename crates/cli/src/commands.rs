@@ -100,13 +100,19 @@ pub fn run(command: Command) -> Result<(), String> {
             theta,
             l,
             json,
+            explain,
+            eager,
         } => {
             let g = load_graph(&graph)?;
             let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
             let query = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
-            let answer = TopLProcessor::new(&g, &idx)
-                .run(&query)
-                .map_err(|e| e.to_string())?;
+            let processor = TopLProcessor::new(&g, &idx);
+            let answer = if eager {
+                processor.run_eager(&query)
+            } else {
+                processor.run(&query)
+            }
+            .map_err(|e| e.to_string())?;
             if json {
                 println!(
                     "{}",
@@ -120,6 +126,9 @@ pub fn run(command: Command) -> Result<(), String> {
                     answer.elapsed,
                     answer.stats.total_pruned_candidates()
                 );
+            }
+            if explain {
+                println!("{}", answer.stats);
             }
             Ok(())
         }
@@ -314,6 +323,8 @@ mod tests {
             theta: 0.2,
             l: 3,
             json: true,
+            explain: true,
+            eager: false,
         })
         .unwrap();
 
@@ -391,6 +402,8 @@ mod tests {
             theta: 0.2,
             l: 3,
             json: false,
+            explain: false,
+            eager: true,
         })
         .unwrap();
 
@@ -426,6 +439,8 @@ mod tests {
             theta: 0.2,
             l: 2,
             json: false,
+            explain: false,
+            eager: false,
         })
         .is_err());
     }

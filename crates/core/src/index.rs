@@ -263,6 +263,9 @@ impl CommunityIndex {
         for &s in &self.precomputed.edge_supports {
             h = word(h, u64::from(s));
         }
+        for &b in self.precomputed.seed_bounds() {
+            h = word(h, b.to_bits());
+        }
         for &v in &self.item_start {
             h = word(h, u64::from(v));
         }

@@ -33,6 +33,7 @@ pub mod index;
 pub mod maintenance;
 pub mod persist;
 pub mod precompute;
+pub mod progressive;
 pub mod pruning;
 pub mod query;
 pub mod seed;

@@ -29,8 +29,10 @@ use std::path::Path;
 
 /// Current JSON format version. Bump when the index layout changes.
 /// Version 1 (the pointer-rich pre-PR-4 tree) is no longer readable — the
-/// aggregate layout changed shape; rebuild the index from the graph.
-pub const INDEX_FORMAT_VERSION: u32 = 2;
+/// aggregate layout changed shape — and version 2 predates the seed-community
+/// score-bound table the progressive online kernel requires; rebuild the
+/// index from the graph.
+pub const INDEX_FORMAT_VERSION: u32 = 3;
 
 /// Versioned envelope around a serialised index.
 #[derive(Debug, Serialize, Deserialize)]

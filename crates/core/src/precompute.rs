@@ -48,8 +48,28 @@
 //! influence expansions — plus the reused BFS-order and signature
 //! accumulator buffers, so the steady-state hot path performs no heap
 //! allocation at all.
+//!
+//! # Seed-community score bounds
+//!
+//! The region bound `σ_z(hop(v, r))` is sound but loose: it scores the whole
+//! r-hop ball, while the online phase only ever realises a *seed community*
+//! inside it. The offline phase therefore also stores, per `(v, r, θ_z)`,
+//! the score of the keyword-**unconstrained** maximal seed community
+//! `X_all(v; k = SEED_BOUND_SUPPORT, r)`
+//! ([`crate::seed::extract_unconstrained_seed_community_with`]). Every
+//! keyword-constrained seed community at the same centre with support
+//! `k ≥ `[`SEED_BOUND_SUPPORT`] is a subgraph of `X_all` (the extraction
+//! fixpoint is monotone in its starting set and antitone in `k`), and `σ` is
+//! monotone in the seed set and antitone in `θ`, so
+//! `σ_θz(X_all)` upper-bounds `σ_θ` of any such community for `θ ≥ θ_z`.
+//! Centres with no `X_all` at all admit no community for any `k ≥ 3`; their
+//! bound is stored as the negative [`NO_SEED_COMMUNITY`] sentinel and read
+//! back as `-∞`. The progressive online kernel takes the min of this bound
+//! and the region bound, which is what lets it refine tens of candidates
+//! instead of tens of thousands.
 
 use crate::aggregate::{AggregateRef, AggregateTable, TableChunkMut};
+use crate::seed::extract_unconstrained_seed_community_with;
 use icde_graph::traversal::bfs_within_into;
 use icde_graph::workspace::TraversalWorkspace;
 use icde_graph::{BitVector, SignatureTable, SocialNetwork, VertexId, VertexSubset};
@@ -58,6 +78,19 @@ use icde_truss::support::edge_supports_global;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Truss support the seed-community score bounds are computed at. Bounds are
+/// sound for any online query with `support >= SEED_BOUND_SUPPORT` (larger
+/// support yields a smaller community); queries below it fall back to the
+/// region bound alone.
+pub const SEED_BOUND_SUPPORT: u32 = 3;
+
+/// Stored stand-in for "no keyword-unconstrained seed community exists at
+/// this centre" (no community exists for any `k ≥ `[`SEED_BOUND_SUPPORT`]
+/// either, so the true bound is `-∞` — which JSON cannot represent).
+/// [`PrecomputedData::seed_score_bound`] maps any negative stored value back
+/// to `-∞`.
+pub const NO_SEED_COMMUNITY: f64 = -1.0;
 
 /// Configuration of the offline pre-computation phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +300,11 @@ pub struct PrecomputedData {
     table: AggregateTable,
     /// Per-edge data-graph supports (`ub_sup(e_{u,v})`), indexed by edge id.
     pub edge_supports: Vec<u32>,
+    /// Seed-community score bounds `σ_z(X_all(v; SEED_BOUND_SUPPORT, r))`,
+    /// flattened `((v · r_max) + (r − 1)) · m + z` like the table's score
+    /// lane; [`NO_SEED_COMMUNITY`] where no `X_all` exists (see the module
+    /// docs).
+    seed_bounds: Vec<f64>,
 }
 
 impl PrecomputedData {
@@ -331,10 +369,12 @@ impl PrecomputedData {
             });
         }
 
+        let seed_bounds = compute_seed_bounds(g, &config, workers);
         PrecomputedData {
             config,
             table,
             edge_supports,
+            seed_bounds,
         }
     }
 
@@ -364,10 +404,16 @@ impl PrecomputedData {
             );
             table.set_entity(i, &pre.per_radius);
         }
+        // The seed-bound pass is shared with the engine build: it is new
+        // with the progressive kernel, so there is no pre-overhaul reference
+        // formulation to diverge from, and sharing it keeps the two builds
+        // comparable field-for-field.
+        let seed_bounds = compute_seed_bounds(g, &config, 1);
         PrecomputedData {
             config,
             table,
             edge_supports,
+            seed_bounds,
         }
     }
 
@@ -378,11 +424,13 @@ impl PrecomputedData {
         config: PrecomputeConfig,
         table: AggregateTable,
         edge_supports: Vec<u32>,
+        seed_bounds: Vec<f64>,
     ) -> Result<Self, String> {
         let data = PrecomputedData {
             config,
             table,
             edge_supports,
+            seed_bounds,
         };
         data.validate()?;
         Ok(data)
@@ -398,6 +446,17 @@ impl PrecomputedData {
             || self.table.num_thresholds() != self.config.thresholds.len()
         {
             return Err("aggregate table dimensions disagree with the configuration".to_string());
+        }
+        let expected =
+            self.table.entities() * self.config.r_max as usize * self.config.thresholds.len();
+        if self.seed_bounds.len() != expected {
+            return Err(format!(
+                "seed-bound table has {} entries, expected {expected}",
+                self.seed_bounds.len()
+            ));
+        }
+        if self.seed_bounds.iter().any(|b| !b.is_finite()) {
+            return Err("seed-bound table contains non-finite entries".to_string());
         }
         Ok(())
     }
@@ -423,6 +482,39 @@ impl PrecomputedData {
             Some(z) => self.table.score(v.index(), r, z),
             None => f64::INFINITY,
         }
+    }
+
+    /// Seed-community score bound `σ_z(X_all(v; SEED_BOUND_SUPPORT, r))`
+    /// under online threshold `theta` (see the module docs): `+∞` when no
+    /// pre-selected threshold is ≤ `theta`, `-∞` when no
+    /// keyword-unconstrained community exists at this centre at all. Only
+    /// sound for queries with `support >= `[`SEED_BOUND_SUPPORT`].
+    ///
+    /// # Panics
+    /// Panics if `r` is 0 or exceeds `r_max`.
+    pub fn seed_score_bound(&self, v: VertexId, r: u32, theta: f64) -> f64 {
+        let Some(z) = self.config.threshold_index(theta) else {
+            return f64::INFINITY;
+        };
+        assert!(
+            r >= 1 && r <= self.config.r_max,
+            "radius {r} outside [1, {}]",
+            self.config.r_max
+        );
+        let m = self.config.thresholds.len();
+        let row = v.index() * self.config.r_max as usize + (r as usize - 1);
+        let stored = self.seed_bounds[row * m + z];
+        if stored < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            stored
+        }
+    }
+
+    /// The flat seed-bound table (snapshot persistence; see the field docs
+    /// for the layout).
+    pub fn seed_bounds(&self) -> &[f64] {
+        &self.seed_bounds
     }
 
     /// Number of vertices the data was computed over.
@@ -474,10 +566,14 @@ impl PrecomputedData {
             signatures,
         };
         let table = &mut self.table;
+        let seed_bounds = &mut self.seed_bounds;
+        let stride = self.config.r_max as usize * self.config.thresholds.len();
         with_maintenance_scratch(|scratch| {
             for &v in vertices {
                 let mut chunk = table.entity_mut(v.index());
                 precompute_vertex_into(&ctx, v, scratch, &mut chunk, 0);
+                let row = &mut seed_bounds[v.index() * stride..(v.index() + 1) * stride];
+                seed_bounds_vertex_into(ctx.g, ctx.config, scratch, v, row);
             }
         });
     }
@@ -654,6 +750,95 @@ fn precompute_vertex_into(
     }
 }
 
+/// Computes the flat seed-bound table for every vertex (layout: see the
+/// [`PrecomputedData::seed_bounds`] field docs), spread over `workers`
+/// threads with the same work-stealing claim as the main build. Each vertex
+/// is computed identically regardless of which worker claims it, so the
+/// result is deterministic across scheduling shapes.
+fn compute_seed_bounds(g: &SocialNetwork, config: &PrecomputeConfig, workers: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let stride = config.r_max as usize * config.thresholds.len();
+    let mut bounds = vec![NO_SEED_COMMUNITY; n * stride];
+    if n == 0 {
+        return bounds;
+    }
+    if workers <= 1 {
+        let mut scratch = WorkerScratch::new(config);
+        for i in 0..n {
+            let v = VertexId::from_index(i);
+            let row = &mut bounds[i * stride..(i + 1) * stride];
+            seed_bounds_vertex_into(g, config, &mut scratch, v, row);
+        }
+    } else {
+        let chunk_vertices = (n / (workers * 16)).clamp(8, 512);
+        // one claimable chunk: (first vertex index, its slice of the table)
+        type Chunk<'a> = Option<(usize, &'a mut [f64])>;
+        let slots: Vec<Mutex<Chunk<'_>>> = bounds
+            .chunks_mut(chunk_vertices * stride)
+            .enumerate()
+            .map(|(i, c)| Mutex::new(Some((i * chunk_vertices, c))))
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::new(config);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        let (first, rows) = slot
+                            .lock()
+                            .expect("seed-bound slot lock")
+                            .take()
+                            .expect("each seed-bound chunk is claimed exactly once");
+                        for (local, row) in rows.chunks_mut(stride).enumerate() {
+                            let v = VertexId::from_index(first + local);
+                            seed_bounds_vertex_into(g, config, &mut scratch, v, row);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    bounds
+}
+
+/// Fills one vertex's seed-bound row: per radius, extract
+/// `X_all(v; SEED_BOUND_SUPPORT, r)` and score it under every pre-selected
+/// threshold with a single influence expansion; [`NO_SEED_COMMUNITY`] where
+/// no community exists.
+fn seed_bounds_vertex_into(
+    g: &SocialNetwork,
+    config: &PrecomputeConfig,
+    scratch: &mut WorkerScratch,
+    v: VertexId,
+    row: &mut [f64],
+) {
+    let m = config.thresholds.len();
+    debug_assert_eq!(row.len(), config.r_max as usize * m);
+    let evaluator = InfluenceEvaluator::new(g, InfluenceConfig { theta: 0.0 });
+    for r in 1..=config.r_max {
+        let slot = &mut row[(r as usize - 1) * m..r as usize * m];
+        match extract_unconstrained_seed_community_with(
+            &mut scratch.ws_bfs,
+            g,
+            v,
+            SEED_BOUND_SUPPORT,
+            r,
+        ) {
+            Some(community) => evaluator.multi_threshold_scores_into(
+                &mut scratch.ws_inf,
+                community.iter(),
+                &config.thresholds,
+                slot,
+            ),
+            None => slot.fill(NO_SEED_COMMUNITY),
+        }
+    }
+}
+
 /// The pre-overhaul per-vertex computation, kept in-tree as the engine's
 /// correctness baseline: one full influence expansion (with its influenced
 /// community `HashMap`) per `(radius, threshold)`, per-member signature
@@ -812,6 +997,7 @@ mod tests {
             // the engine computes each vertex identically regardless of which
             // worker claims it, so even the float scores are bit-identical
             assert_eq!(seq.table(), par.table());
+            assert_eq!(seq.seed_bounds(), par.seed_bounds());
         }
     }
 
@@ -937,6 +1123,91 @@ mod tests {
             let sub = hop_subgraph(&g, v, 1);
             assert!(bound + 1e-9 >= eval.influential_score(&sub), "vertex {v}");
         }
+    }
+
+    #[test]
+    fn seed_bound_dominates_constrained_communities() {
+        // sigma_theta of any keyword-constrained seed community with support
+        // >= SEED_BOUND_SUPPORT is bounded by the stored sigma_z(X_all).
+        let g = small_graph();
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let theta = 0.25; // falls in [0.2, 0.3)
+        let eval = InfluenceEvaluator::new(&g, InfluenceConfig::new(theta));
+        let keywords = KeywordSet::from_ids([0u32, 1, 2, 3, 4]);
+        for v in g.vertices().take(40) {
+            for r in 1..=2u32 {
+                for k in [SEED_BOUND_SUPPORT, SEED_BOUND_SUPPORT + 1] {
+                    if let Some(c) = crate::seed::extract_seed_community(&g, v, k, r, &keywords) {
+                        let bound = data.seed_score_bound(v, r, theta);
+                        assert!(
+                            bound + 1e-9 >= eval.influential_score(&c),
+                            "vertex {v} r {r} k {k}: bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_bound_sentinel_and_threshold_edges() {
+        // An isolated vertex has no X_all at any radius: its stored sentinel
+        // must read back as -inf; a theta below every pre-selected threshold
+        // must read back as +inf (no usable bound).
+        let g = {
+            let mut b = icde_graph::GraphBuilder::new();
+            for _ in 0..4 {
+                b.add_vertex(KeywordSet::from_ids([1u32]));
+            }
+            b.add_symmetric_edge(VertexId(0), VertexId(1), 0.5);
+            b.build().unwrap()
+        };
+        let data = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        // vertex 3 is isolated; vertex 0 is on a single edge (no triangle)
+        assert_eq!(
+            data.seed_score_bound(VertexId(3), 2, 0.2),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            data.seed_score_bound(VertexId(0), 2, 0.2),
+            f64::NEG_INFINITY
+        );
+        assert!(data.seed_score_bound(VertexId(0), 1, 0.01).is_infinite());
+        assert!(data.seed_score_bound(VertexId(0), 1, 0.01) > 0.0);
+        // every stored entry is the finite sentinel, never an actual -inf
+        assert!(data.seed_bounds().iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn recompute_refreshes_seed_bounds() {
+        let g = small_graph();
+        let config = PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let reference = PrecomputedData::compute(&g, config.clone());
+        let mut stale = reference.clone();
+        // corrupt a few rows, then recompute those vertices: the rows must
+        // come back bit-identical to the fresh build
+        let victims = [VertexId(0), VertexId(17), VertexId(63)];
+        let stride = config.r_max as usize * config.thresholds.len();
+        for v in victims {
+            stale.seed_bounds[v.index() * stride..(v.index() + 1) * stride].fill(9999.0);
+        }
+        stale.recompute_vertices(&g, &victims);
+        assert_eq!(stale.seed_bounds(), reference.seed_bounds());
     }
 
     #[test]

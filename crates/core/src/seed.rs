@@ -66,12 +66,14 @@ pub fn extract_seed_community(
     // The refinement loop runs one BFS per fixpoint round; borrow the
     // thread workspace once instead of once per traversal.
     with_thread_workspace(|ws| {
-        extract_seed_community_in(ws, g, center, support, radius, query_keywords)
+        extract_seed_community_with(ws, g, center, support, radius, query_keywords)
     })
 }
 
-/// [`extract_seed_community`] against a caller-owned workspace.
-fn extract_seed_community_in(
+/// [`extract_seed_community`] against a caller-owned workspace, for callers
+/// (the progressive kernel, the offline engine) that refine many centres in a
+/// row and want zero per-candidate workspace churn.
+pub fn extract_seed_community_with(
     ws: &mut TraversalWorkspace,
     g: &SocialNetwork,
     center: VertexId,
@@ -79,20 +81,53 @@ fn extract_seed_community_in(
     radius: u32,
     query_keywords: &KeywordSet,
 ) -> Option<VertexSubset> {
+    extract_seed_community_in(ws, g, center, support, radius, Some(query_keywords))
+}
+
+/// The keyword-*unconstrained* maximal seed community `X_all(center; k, r)`:
+/// the fixpoint of truss peeling and radius trimming over the full r-hop
+/// ball, with no keyword filter.
+///
+/// Every keyword-constrained seed community for the same `(k, r)` is a
+/// subgraph of this set (the extraction fixpoint is monotone in its starting
+/// set), so `σ_θ(X_all)` upper-bounds `σ_θ` of any query's community at this
+/// centre. The offline engine stores exactly that bound per `(v, r, θ_z)`.
+pub fn extract_unconstrained_seed_community_with(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    center: VertexId,
+    support: u32,
+    radius: u32,
+) -> Option<VertexSubset> {
+    extract_seed_community_in(ws, g, center, support, radius, None)
+}
+
+/// Shared extraction fixpoint; `query_keywords: None` skips the keyword
+/// filter entirely (the `X_all` variant used by the offline seed bounds).
+fn extract_seed_community_in(
+    ws: &mut TraversalWorkspace,
+    g: &SocialNetwork,
+    center: VertexId,
+    support: u32,
+    radius: u32,
+    query_keywords: Option<&KeywordSet>,
+) -> Option<VertexSubset> {
     if !g.contains_vertex(center) {
         return None;
     }
     // The centre itself must satisfy the keyword constraint.
-    if !g.keyword_set(center).intersects(query_keywords) {
-        return None;
+    if let Some(q) = query_keywords {
+        if !g.keyword_set(center).intersects(q) {
+            return None;
+        }
     }
 
     // Start from the r-hop ball and keep only keyword-qualified vertices.
     let ball = hop_subgraph_with(ws, g, center, radius);
-    let mut candidate = VertexSubset::from_iter(
-        ball.iter()
-            .filter(|v| g.keyword_set(*v).intersects(query_keywords)),
-    );
+    let mut candidate = match query_keywords {
+        Some(q) => VertexSubset::from_iter(ball.iter().filter(|v| g.keyword_set(*v).intersects(q))),
+        None => ball,
+    };
 
     loop {
         if candidate.len() <= 1 {
@@ -332,6 +367,24 @@ mod tests {
                         c.as_slice()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_extraction_ignores_keywords_and_dominates() {
+        let g = test_graph();
+        // vertex 4 (keyword 2 only) joins X_all regardless of query keywords
+        let c = with_thread_workspace(|ws| {
+            extract_unconstrained_seed_community_with(ws, &g, VertexId(0), 4, 2)
+        })
+        .unwrap();
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3, 4].map(VertexId));
+        // every keyword-constrained community at the same centre is a subset
+        for kws in [vec![1u32], vec![2], vec![1, 2]] {
+            let q = KeywordSet::from_ids(kws);
+            if let Some(sub) = extract_seed_community(&g, VertexId(0), 4, 2, &q) {
+                assert!(sub.iter().all(|v| c.contains(v)));
             }
         }
     }

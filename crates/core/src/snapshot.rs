@@ -28,6 +28,7 @@
 //! | 12 | per-node support bounds                         | u32      |
 //! | 13 | per-node score bounds                           | f64      |
 //! | 14 | per-node region sizes                           | u32      |
+//! | 15 | per-vertex seed-community score bounds          | f64      |
 
 use crate::aggregate::AggregateTable;
 use crate::index::CommunityIndex;
@@ -51,6 +52,7 @@ const SEC_N_SIGS: u32 = 11;
 const SEC_N_SUPPORTS: u32 = 12;
 const SEC_N_SCORES: u32 = 13;
 const SEC_N_REGION: u32 = 14;
+const SEC_SEED_BOUNDS: u32 = 15;
 
 /// Order of the `u64` meta words in section 1.
 struct Meta {
@@ -161,6 +163,7 @@ pub(crate) fn index_snapshot_writer(index: &CommunityIndex) -> SnapshotWriter {
         index.node_aggregates(),
         [SEC_N_SIGS, SEC_N_SUPPORTS, SEC_N_SCORES, SEC_N_REGION],
     );
+    w.add_f64s(SEC_SEED_BOUNDS, index.precomputed.seed_bounds());
     w
 }
 
@@ -231,8 +234,10 @@ pub fn index_from_snapshot(snap: &Snapshot) -> SnapshotResult<CommunityIndex> {
         [SEC_V_SIGS, SEC_V_SUPPORTS, SEC_V_SCORES, SEC_V_REGION],
     )?;
     let edge_supports = snap.flat_u32s(SEC_EDGE_SUPPORTS)?.as_slice().to_vec();
-    let precomputed = PrecomputedData::from_table(config.clone(), vertex_table, edge_supports)
-        .map_err(SnapshotError::Malformed)?;
+    let seed_bounds = snap.flat_f64s(SEC_SEED_BOUNDS)?.as_slice().to_vec();
+    let precomputed =
+        PrecomputedData::from_table(config.clone(), vertex_table, edge_supports, seed_bounds)
+            .map_err(SnapshotError::Malformed)?;
 
     let item_start = snap.flat_u32s(SEC_ITEM_START)?.as_slice().to_vec();
     let item_pool = snap.flat_u32s(SEC_ITEM_POOL)?.as_slice().to_vec();

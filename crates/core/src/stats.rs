@@ -30,12 +30,30 @@ pub struct PruningStats {
     /// Candidate centres fully refined (seed community extracted and its
     /// exact influential score computed).
     pub candidates_refined: usize,
-    /// Remaining heap entries skipped by the early-termination test
-    /// (Algorithm 3 lines 7–8).
+    /// Heap entries *abandoned in the queue* when the early-termination test
+    /// fired (Algorithm 3 lines 7–8) — entries that were never popped.
     pub early_terminated_entries: usize,
+    /// Popped entries whose key triggered early termination (at most one per
+    /// traversal; kept separate from [`early_terminated_entries`] so the two
+    /// populations — inspected vs never reached — stay distinguishable).
+    ///
+    /// [`early_terminated_entries`]: PruningStats::early_terminated_entries
+    pub early_termination_pops: usize,
     /// Diversity-score re-computations avoided by the lazy-greedy pruning
     /// rule (Lemma 9) during DTopL-ICDE refinement.
     pub diversity_pruned: usize,
+    /// Exact refinements actually *expanded* by the progressive kernel —
+    /// `extract_seed_community` + exact `influenced_community` runs.
+    /// `candidates_refined` additionally counts refinements answered from the
+    /// kernel's community cache, so `exact_verifications ≤
+    /// candidates_refined` always holds; the eager path performs every
+    /// refinement for real and keeps the two equal.
+    pub exact_verifications: usize,
+    /// Candidate bounds tightened cheaply (seed-community bound beneath the
+    /// region bound) without running an exact verification.
+    pub bound_tightenings: usize,
+    /// Entries (index nodes and candidates) popped off the best-first heap.
+    pub heap_pops: usize,
 }
 
 impl PruningStats {
@@ -51,6 +69,7 @@ impl PruningStats {
             + self.candidate_support_pruned
             + self.candidate_score_pruned
             + self.early_terminated_entries
+            + self.early_termination_pops
     }
 
     /// Total number of index entries pruned at non-leaf level.
@@ -71,7 +90,44 @@ impl PruningStats {
     /// Entries pruned by the influential-score rule at any level (including
     /// early termination, which is score-based).
     pub fn score_pruned(&self) -> usize {
-        self.index_score_pruned + self.candidate_score_pruned + self.early_terminated_entries
+        self.index_score_pruned
+            + self.candidate_score_pruned
+            + self.early_terminated_entries
+            + self.early_termination_pops
+    }
+}
+
+/// Multi-line human-readable counter breakdown (the CLI's `--explain`
+/// output).
+impl std::fmt::Display for PruningStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "index entries pruned:    {} keyword, {} support, {} score",
+            self.index_keyword_pruned, self.index_support_pruned, self.index_score_pruned
+        )?;
+        writeln!(
+            f,
+            "candidates pruned:       {} keyword, {} support, {} score",
+            self.candidate_keyword_pruned,
+            self.candidate_support_pruned,
+            self.candidate_score_pruned
+        )?;
+        writeln!(
+            f,
+            "early termination:       {} abandoned in heap, {} trigger pops",
+            self.early_terminated_entries, self.early_termination_pops
+        )?;
+        writeln!(
+            f,
+            "refinement:              {} refined, {} exact verifications, {} without community",
+            self.candidates_refined, self.exact_verifications, self.candidates_without_community
+        )?;
+        write!(
+            f,
+            "kernel:                  {} heap pops, {} bound tightenings, {} diversity pruned",
+            self.heap_pops, self.bound_tightenings, self.diversity_pruned
+        )
     }
 }
 
@@ -86,7 +142,11 @@ impl AddAssign for PruningStats {
         self.candidates_without_community += other.candidates_without_community;
         self.candidates_refined += other.candidates_refined;
         self.early_terminated_entries += other.early_terminated_entries;
+        self.early_termination_pops += other.early_termination_pops;
         self.diversity_pruned += other.diversity_pruned;
+        self.exact_verifications += other.exact_verifications;
+        self.bound_tightenings += other.bound_tightenings;
+        self.heap_pops += other.heap_pops;
     }
 }
 
@@ -106,13 +166,45 @@ mod tests {
             candidates_without_community: 4,
             candidates_refined: 5,
             early_terminated_entries: 7,
+            early_termination_pops: 1,
             diversity_pruned: 6,
+            exact_verifications: 4,
+            bound_tightenings: 9,
+            heap_pops: 50,
         };
-        assert_eq!(stats.total_pruned_candidates(), 67);
+        assert_eq!(stats.total_pruned_candidates(), 68);
         assert_eq!(stats.total_pruned_index_entries(), 6);
         assert_eq!(stats.keyword_pruned(), 11);
         assert_eq!(stats.support_pruned(), 22);
-        assert_eq!(stats.score_pruned(), 40);
+        assert_eq!(stats.score_pruned(), 41);
+    }
+
+    #[test]
+    fn display_breaks_down_every_counter() {
+        let stats = PruningStats {
+            index_keyword_pruned: 1,
+            candidate_score_pruned: 30,
+            early_terminated_entries: 7,
+            early_termination_pops: 1,
+            candidates_refined: 5,
+            exact_verifications: 4,
+            bound_tightenings: 9,
+            heap_pops: 50,
+            ..Default::default()
+        };
+        let text = stats.to_string();
+        for needle in [
+            "1 keyword",
+            "30 score",
+            "7 abandoned in heap",
+            "1 trigger pops",
+            "5 refined",
+            "4 exact verifications",
+            "50 heap pops",
+            "9 bound tightenings",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 
     #[test]

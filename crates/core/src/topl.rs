@@ -9,12 +9,26 @@
 //! (Definition 2) and its exact influential score computed with
 //! `calculate_influence(g, θ)`. Once `L` answers exist, the smallest answer
 //! score `σ_L` drives score pruning and the early-termination test.
+//!
+//! Two implementations of that traversal coexist:
+//!
+//! * [`TopLProcessor::run`] / [`TopLProcessor::run_with_toggles`] — the
+//!   default path, backed by the progressive bound-driven kernel in
+//!   [`crate::progressive`]: leaf candidates join index nodes in one
+//!   best-bound-first heap and exact refinement is deferred until a
+//!   candidate's upper bound reaches the top;
+//! * [`TopLProcessor::run_eager`] / [`TopLProcessor::run_eager_with_toggles`]
+//!   — the direct transcription of Algorithm 3 that refines every surviving
+//!   leaf vertex as its leaf pops. It is kept in-tree as the reference
+//!   oracle: the progressive path must return bit-identical answers
+//!   (`crates/core/tests/progressive_equivalence.rs` enforces this).
 
 use crate::error::{CoreError, CoreResult};
 use crate::index::{CommunityIndex, NodeRef};
+use crate::progressive::{run_progressive, vertex_set_fingerprint};
 use crate::pruning;
 use crate::query::TopLQuery;
-use crate::seed::{extract_seed_community, SeedCommunity};
+use crate::seed::{extract_seed_community, extract_seed_community_with, SeedCommunity};
 use crate::stats::PruningStats;
 use icde_graph::{SocialNetwork, VertexId};
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
@@ -141,10 +155,16 @@ impl PartialOrd for HeapEntry {
 /// Two candidate communities are duplicates when they have the same vertex
 /// set (different centres can induce the same maximal community); only the
 /// best-scoring copy is kept so the returned `L` communities are distinct.
+/// Duplicate detection keys on an FNV fingerprint of the sorted vertex ids
+/// (kept in a parallel vector) so the common case is one `u64` compare per
+/// held entry; the full vertex-set comparison runs only on a fingerprint
+/// match.
 #[derive(Debug, Default)]
 struct TopLCollector {
     capacity: usize,
     entries: Vec<SeedCommunity>,
+    /// `vertex_set_fingerprint` of each entry, index-aligned with `entries`.
+    fingerprints: Vec<u64>,
 }
 
 impl TopLCollector {
@@ -152,6 +172,7 @@ impl TopLCollector {
         TopLCollector {
             capacity,
             entries: Vec::with_capacity(capacity + 1),
+            fingerprints: Vec::with_capacity(capacity + 1),
         }
     }
 
@@ -177,17 +198,21 @@ impl TopLCollector {
     }
 
     fn insert(&mut self, candidate: SeedCommunity) {
+        let fingerprint = vertex_set_fingerprint(&candidate.vertices);
         if let Some(pos) = self
-            .entries
+            .fingerprints
             .iter()
-            .position(|c| c.vertices == candidate.vertices)
+            .zip(&self.entries)
+            .position(|(&f, c)| f == fingerprint && c.vertices == candidate.vertices)
         {
             // duplicate vertex set: keep only the better-scoring copy, moving
             // it to its new slot (scores only increase, so it shifts left)
             if candidate.influential_score > self.entries[pos].influential_score {
                 self.entries.remove(pos);
+                self.fingerprints.remove(pos);
                 let at = self.insertion_point(candidate.influential_score);
                 self.entries.insert(at, candidate);
+                self.fingerprints.insert(at, fingerprint);
             }
             return;
         }
@@ -196,8 +221,10 @@ impl TopLCollector {
             return; // would fall off the end anyway
         }
         self.entries.insert(at, candidate);
+        self.fingerprints.insert(at, fingerprint);
         if self.entries.len() > self.capacity {
             self.entries.pop();
+            self.fingerprints.pop();
         }
     }
 
@@ -219,17 +246,41 @@ impl<'a> TopLProcessor<'a> {
         TopLProcessor { graph, index }
     }
 
-    /// Answers `query` with every pruning rule enabled.
+    /// Answers `query` with every pruning rule enabled (progressive kernel).
     pub fn run(&self, query: &TopLQuery) -> CoreResult<TopLAnswer> {
         self.run_with_toggles(query, PruningToggles::default())
     }
 
-    /// Answers `query` with an explicit pruning configuration (ablation).
+    /// Answers `query` with an explicit pruning configuration (ablation),
+    /// through the progressive bound-driven kernel.
     pub fn run_with_toggles(
         &self,
         query: &TopLQuery,
         toggles: PruningToggles,
     ) -> CoreResult<TopLAnswer> {
+        self.validate(query)?;
+        let start = Instant::now();
+        let graph = self.graph;
+        let (communities, stats) =
+            run_progressive(graph, self.index, query, toggles, |ws, center| {
+                extract_seed_community_with(
+                    ws,
+                    graph,
+                    center,
+                    query.support,
+                    query.radius,
+                    &query.keywords,
+                )
+            });
+        Ok(TopLAnswer {
+            communities,
+            stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Rejects queries the index cannot answer before any traversal starts.
+    fn validate(&self, query: &TopLQuery) -> CoreResult<()> {
         query.validate()?;
         if query.radius > self.index.r_max() {
             return Err(CoreError::RadiusExceedsIndex {
@@ -243,6 +294,26 @@ impl<'a> TopLProcessor<'a> {
                 index_vertices: self.index.num_graph_vertices(),
             });
         }
+        Ok(())
+    }
+
+    /// Answers `query` with every pruning rule enabled through the eager
+    /// reference path (refine-on-leaf-pop, Algorithm 3 verbatim).
+    pub fn run_eager(&self, query: &TopLQuery) -> CoreResult<TopLAnswer> {
+        self.run_eager_with_toggles(query, PruningToggles::default())
+    }
+
+    /// The eager reference formulation of Algorithm 3: every leaf vertex
+    /// that survives the cheap filters is refined the moment its leaf pops.
+    ///
+    /// Kept as the oracle for the progressive kernel — slower, but a direct
+    /// transcription of the paper's pseudocode.
+    pub fn run_eager_with_toggles(
+        &self,
+        query: &TopLQuery,
+        toggles: PruningToggles,
+    ) -> CoreResult<TopLAnswer> {
+        self.validate(query)?;
 
         let start = Instant::now();
         let mut stats = PruningStats::new();
@@ -260,10 +331,12 @@ impl<'a> TopLProcessor<'a> {
         });
 
         while let Some(HeapEntry { key, node }) = heap.pop() {
+            stats.heap_pops += 1;
             // Early termination (lines 7-8): every remaining entry has a key
             // not larger than the popped one.
             if toggles.score && key <= collector.sigma_l() {
-                stats.early_terminated_entries += 1 + heap.len();
+                stats.early_termination_pops += 1;
+                stats.early_terminated_entries += heap.len();
                 break;
             }
             match self.index.node(node) {
@@ -382,6 +455,7 @@ impl<'a> TopLProcessor<'a> {
                     vertices,
                 };
                 stats.candidates_refined += 1;
+                stats.exact_verifications += 1; // eager always expands for real
                 collector.insert(community);
             }
         }

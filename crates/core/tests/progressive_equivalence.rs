@@ -1,0 +1,144 @@
+//! The progressive kernel's contract: **bit-identical** answers to the eager
+//! reference formulation of Algorithm 3, under every pruning configuration.
+//!
+//! "Bit-identical" means the full answer list matches element by element —
+//! same length, same order, same centres, same vertex sets, and scores equal
+//! down to the last bit (`f64::to_bits`). The sweep crosses random graphs,
+//! all four `PruningToggles` ablation configs, `L ∈ {1, 5, 20}`, thresholds
+//! on/below/between the precomputed grid, and radii including the
+//! `support < SEED_BOUND_SUPPORT` fallback where the kernel must ignore the
+//! offline seed bounds.
+
+use icde_core::index::IndexBuilder;
+use icde_core::precompute::PrecomputeConfig;
+use icde_core::query::TopLQuery;
+use icde_core::topl::{PruningToggles, TopLAnswer, TopLProcessor};
+use icde_graph::generators::{DatasetKind, DatasetSpec};
+use icde_graph::{KeywordSet, SocialNetwork};
+
+fn build(kind: DatasetKind, n: usize, seed: u64) -> (SocialNetwork, icde_core::CommunityIndex) {
+    let g = DatasetSpec::new(kind, n, seed)
+        .with_keyword_domain(12)
+        .generate();
+    let index = IndexBuilder::new(PrecomputeConfig {
+        parallel: false,
+        ..Default::default()
+    })
+    .with_fanout(4)
+    .with_leaf_capacity(8)
+    .build(&g);
+    (g, index)
+}
+
+fn assert_bit_identical(progressive: &TopLAnswer, eager: &TopLAnswer, label: &str) {
+    assert_eq!(
+        progressive.communities.len(),
+        eager.communities.len(),
+        "{label}: answer count"
+    );
+    for (i, (p, e)) in progressive
+        .communities
+        .iter()
+        .zip(eager.communities.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            p.influential_score.to_bits(),
+            e.influential_score.to_bits(),
+            "{label}: score at rank {i} ({} vs {})",
+            p.influential_score,
+            e.influential_score
+        );
+        assert_eq!(p.vertices, e.vertices, "{label}: vertex set at rank {i}");
+        assert_eq!(p.center, e.center, "{label}: centre at rank {i}");
+        assert_eq!(
+            p.influenced_size, e.influenced_size,
+            "{label}: influenced size at rank {i}"
+        );
+    }
+}
+
+fn sweep(graph: &SocialNetwork, index: &icde_core::CommunityIndex, query: TopLQuery, label: &str) {
+    let processor = TopLProcessor::new(graph, index);
+    let configs = [
+        ("all", PruningToggles::all()),
+        ("none", PruningToggles::none()),
+        ("keyword_only", PruningToggles::keyword_only()),
+        ("keyword_support", PruningToggles::keyword_support()),
+    ];
+    for (name, toggles) in configs {
+        let progressive = processor.run_with_toggles(&query, toggles).unwrap();
+        let eager = processor.run_eager_with_toggles(&query, toggles).unwrap();
+        let label = format!("{label}/{name}");
+        assert_bit_identical(&progressive, &eager, &label);
+        // the kernel's whole point: it never expands more candidates exactly
+        // than the eager path refines
+        assert!(
+            progressive.stats.exact_verifications <= eager.stats.candidates_refined,
+            "{label}: progressive expanded {} > eager's {}",
+            progressive.stats.exact_verifications,
+            eager.stats.candidates_refined
+        );
+        // internal sanity: cache hits can only reduce exact expansions
+        assert!(
+            progressive.stats.exact_verifications <= progressive.stats.candidates_refined,
+            "{label}: verifications exceed refinements"
+        );
+    }
+}
+
+#[test]
+fn random_graphs_all_toggles_and_result_sizes() {
+    for seed in [11u64, 29, 47] {
+        let (g, index) = build(DatasetKind::Uniform, 220, seed);
+        for l in [1usize, 5, 20] {
+            let q = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4]), 3, 2, 0.2, l);
+            sweep(&g, &index, q, &format!("uniform/seed{seed}/l{l}"));
+        }
+    }
+}
+
+#[test]
+fn theta_off_grid_and_below_every_threshold() {
+    let (g, index) = build(DatasetKind::Uniform, 200, 5);
+    // 0.25 sits between grid thresholds (bound rounds down to θ_z = 0.2);
+    // 0.05 is below every threshold, so every score bound degrades to +∞ and
+    // the kernel must still terminate with the right answer
+    for theta in [0.25f64, 0.05] {
+        let q = TopLQuery::new(KeywordSet::from_ids([1, 2, 3]), 3, 2, theta, 5);
+        sweep(&g, &index, q, &format!("theta{theta}"));
+    }
+}
+
+#[test]
+fn support_below_seed_bound_support_skips_the_seed_table() {
+    // k = 2 < SEED_BOUND_SUPPORT: the offline seed bounds are not sound here
+    // and the kernel must fall back to region bounds alone
+    let (g, index) = build(DatasetKind::Uniform, 200, 13);
+    let q = TopLQuery::new(KeywordSet::from_ids([0, 2, 4]), 2, 2, 0.2, 5);
+    sweep(&g, &index, q, "support2");
+    // and a high-support query on the same index for contrast
+    let q = TopLQuery::new(KeywordSet::from_ids([0, 2, 4]), 4, 2, 0.2, 5);
+    sweep(&g, &index, q, "support4");
+}
+
+#[test]
+fn radius_extremes() {
+    let (g, index) = build(DatasetKind::DblpLike, 240, 7);
+    for r in [1u32, 3] {
+        let q = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, r, 0.2, 5);
+        sweep(&g, &index, q, &format!("radius{r}"));
+    }
+}
+
+#[test]
+fn no_matching_keywords_and_tiny_graphs() {
+    let (g, index) = build(DatasetKind::Uniform, 200, 3);
+    // keyword 500 is outside the domain: both paths must return nothing
+    let q = TopLQuery::new(KeywordSet::from_ids([500]), 3, 2, 0.2, 5);
+    sweep(&g, &index, q, "no-keywords");
+    // a graph small enough that L exceeds the number of communities
+    let (g, index) = build(DatasetKind::Uniform, 40, 17);
+    let q = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3, 4, 5]), 3, 2, 0.2, 20);
+    sweep(&g, &index, q, "tiny");
+}
