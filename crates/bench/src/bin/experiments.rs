@@ -100,7 +100,7 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|bench7|all]... \
          [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
@@ -133,6 +133,14 @@ fn print_usage() {
          bit-identical and write the BENCH_6.json perf snapshot (not part of \
          `all`). --bench-scale N shrinks the graph for smoke runs, writing \
          BENCH_6_smoke.json instead"
+    );
+    eprintln!(
+        "  bench7: serve a Zipf-skewed query stream through the concurrent \
+         runtime (worker pool, hot snapshot swap, canonicalised query LRU) at \
+         one worker vs a multi-worker pool, verify every answer bit-identical \
+         to the single-threaded kernel and write the BENCH_7.json perf snapshot \
+         (not part of `all`). --bench-scale N shrinks the graph for smoke runs, \
+         writing BENCH_7_smoke.json instead"
     );
 }
 
@@ -271,6 +279,26 @@ fn main() {
             "BENCH_6_smoke.json"
         };
         std::fs::write(path, &json).expect("write BENCH_6 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench7") {
+        println!(
+            "# bench7: serving a Zipf-skewed query stream through the concurrent \
+             runtime on the {}-vertex small-world graph (every answer verified \
+             bit-identical to the single-threaded kernel, snapshot hot-swapped \
+             mid-run) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench7_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_7.json"
+        } else {
+            "BENCH_7_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_7 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
     }

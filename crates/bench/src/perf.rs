@@ -31,13 +31,19 @@
 //!   engine**: the eager reference formulation of Algorithm 3 vs the
 //!   progressive bound-driven kernel, with the answer asserted bit-identical
 //!   to the eager reference before any timing is reported.
+//! * `experiments bench7` writes `BENCH_7.json` — the **concurrent serving
+//!   runtime**: a Zipf-skewed query stream served by the worker pool (hot
+//!   snapshot swap mid-run, sharded canonicalised-query LRU) at one worker
+//!   vs a multi-worker pool, with every answer asserted bit-identical to the
+//!   single-threaded kernel before any throughput is reported.
 //!
 //! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
-use icde_core::index::IndexBuilder;
+use icde_core::index::{CommunityIndex, IndexBuilder};
 use icde_core::persist;
 use icde_core::precompute::{PrecomputeConfig, PrecomputedData};
 use icde_core::query::TopLQuery;
+use icde_core::serving::{QueryTicket, ServingConfig, ServingRuntime, ServingStats};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::{small_world, SmallWorldConfig};
 use icde_graph::snapshot::{read_graph_snapshot_with, write_graph_snapshot, LoadMode};
@@ -49,7 +55,8 @@ use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::triangle::count_triangles;
 use serde::Value;
 use std::collections::{BinaryHeap, VecDeque};
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Scale and RNG seed of the snapshot workload (matches
 /// `benches/graph_primitives.rs`).
@@ -1250,6 +1257,480 @@ pub fn bench6_snapshot_json(scale: usize) -> String {
     serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
 }
 
+// ---------------------------------------------------------------------------
+// bench7: concurrent serving runtime (worker pool + hot swap + query LRU)
+// ---------------------------------------------------------------------------
+
+/// Zipf skew of the bench7 query stream: rank-1 queries dominate (they keep
+/// the LRU hot), the long tail keeps forcing real kernel executions.
+const BENCH7_ZIPF_S: f64 = 1.1;
+/// Target QPS ratio of the multi-worker leg over the single-worker leg.
+const BENCH7_TARGET_SPEEDUP: f64 = 1.7;
+/// Tickets each load-generating client keeps in flight. One-at-a-time
+/// submission would measure thread ping-pong (submit → wake worker → reply →
+/// wake client) instead of serving capacity; a bounded window keeps every
+/// worker busy while still applying backpressure.
+const BENCH7_CLIENT_WINDOW: usize = 16;
+
+/// Worker count of the multi-worker serving leg, clamped to the machine.
+fn bench7_multi_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, |p| p.get())
+        .clamp(2, 4)
+}
+
+/// One splitmix64 step — the bench7 workload RNG (deterministic and
+/// dependency-free, so the Zipf sequence is identical on every run).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Normalised cumulative Zipf(`s`) distribution over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 0..n {
+        acc += 1.0 / ((rank + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Maps a uniform `u ∈ [0, 1)` to a Zipf rank through the cumulative table.
+fn sample_zipf(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Builds `pool_size` *distinct* queries (distinct canonical fingerprints)
+/// over the bench4 keyword domain, varying keywords, `k`, `r`, `θ` and `L`.
+/// Rank 0 is the bench4 query, so the hottest Zipf rank is the workload every
+/// earlier bench measured.
+fn bench7_query_pool(pool_size: usize) -> Vec<TopLQuery> {
+    let mut state = SNAPSHOT_SEED ^ 0xB7;
+    let thetas = [0.1, 0.15, 0.2, 0.25, 0.3];
+    let mut seen = std::collections::HashSet::new();
+    let mut pool = vec![bench4_query()];
+    seen.insert(bench4_query().canonical_fingerprint());
+    while pool.len() < pool_size {
+        let keyword_count = 2 + (splitmix64(&mut state) % 3) as usize;
+        let ids: Vec<u32> = (0..keyword_count)
+            .map(|_| (splitmix64(&mut state) % 12) as u32)
+            .collect();
+        let query = TopLQuery::new(
+            KeywordSet::from_ids(ids),
+            2 + (splitmix64(&mut state) % 2) as u32,
+            1 + (splitmix64(&mut state) % 2) as u32,
+            thetas[(splitmix64(&mut state) % thetas.len() as u64) as usize],
+            1 + (splitmix64(&mut state) % 8) as usize,
+        );
+        if seen.insert(query.canonical_fingerprint()) {
+            pool.push(query);
+        }
+    }
+    pool
+}
+
+/// Resolves one in-flight ticket: waits for the answer, records the
+/// submit-to-resolve latency and asserts bit-identity against the
+/// single-threaded reference.
+fn bench7_resolve(
+    name: &str,
+    (idx, submitted, ticket): (usize, Instant, QueryTicket),
+    reference: &[u64],
+    expected_fp: u64,
+    latencies: &mut Vec<u64>,
+) {
+    let served = ticket.wait().expect("serving runtime answered");
+    latencies.push(submitted.elapsed().as_nanos() as u64);
+    assert_eq!(
+        answer_fingerprint(&served.answer),
+        reference[idx],
+        "{name}: served answer for pool query {idx} diverged from the \
+         single-threaded reference"
+    );
+    assert_eq!(
+        served.snapshot_fingerprint, expected_fp,
+        "{name}: answer served off an unpublished snapshot"
+    );
+}
+
+/// One measured serving run: `workers` threads draining the shared Zipf
+/// sequence, an identical-content snapshot hot-swapped halfway through.
+struct ServeLeg {
+    name: &'static str,
+    workers: usize,
+    clients: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    stats: ServingStats,
+}
+
+/// Runs one serving leg: closed-loop clients (two per worker) submit the
+/// Zipf sequence, every answer is checked bit-identical to the
+/// single-threaded reference, and an identical-content snapshot is published
+/// once half the queries have completed (the swap invalidates the whole LRU
+/// epoch, so the post-swap half re-executes and repopulates the cache).
+///
+/// # Panics
+/// Panics when any answer diverges from the reference fingerprint, any query
+/// fails, the swap count is not exactly 1, or the executed/cached counters
+/// do not add up to the sequence length.
+#[allow(clippy::too_many_arguments)]
+fn bench7_serve_leg(
+    name: &'static str,
+    workers: usize,
+    g: &SocialNetwork,
+    index: &CommunityIndex,
+    pool: &[TopLQuery],
+    sequence: &[u32],
+    reference: &[u64],
+) -> ServeLeg {
+    let runtime = ServingRuntime::start(
+        ServingConfig::with_workers(workers),
+        g.clone(),
+        index.clone(),
+    )
+    .expect("serving runtime starts");
+    let expected_fp = runtime.current().fingerprint();
+    let clients = (workers * 2).max(2);
+    let swap_at = sequence.len() / 2;
+    let completed = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let runtime = &runtime;
+                let completed = &completed;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(sequence.len() / clients + 1);
+                    let mut inflight = VecDeque::with_capacity(BENCH7_CLIENT_WINDOW);
+                    for &rank in sequence.iter().skip(c).step_by(clients) {
+                        if inflight.len() == BENCH7_CLIENT_WINDOW {
+                            let job = inflight.pop_front().expect("window non-empty");
+                            bench7_resolve(name, job, reference, expected_fp, &mut local);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let idx = rank as usize;
+                        let submitted = Instant::now();
+                        inflight.push_back((idx, submitted, runtime.submit(pool[idx].clone())));
+                    }
+                    for job in inflight {
+                        bench7_resolve(name, job, reference, expected_fp, &mut local);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    local
+                })
+            })
+            .collect();
+        // hot swap: publish an identical-content snapshot mid-run; in-flight
+        // queries drain on the old epoch, later ones re-execute and re-cache
+        while completed.load(Ordering::Relaxed) < swap_at {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        runtime
+            .publish(g.clone(), index.clone())
+            .expect("mid-run snapshot publish");
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = runtime.shutdown();
+
+    assert_eq!(stats.queries_failed, 0, "{name}: queries failed");
+    assert_eq!(stats.swaps, 1, "{name}: expected exactly one snapshot swap");
+    assert!(stats.cache_hits > 0, "{name}: the LRU never hit");
+    assert_eq!(
+        stats.queries_executed + stats.cache_hits,
+        sequence.len() as u64,
+        "{name}: executed + cached must cover the whole sequence"
+    );
+
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] as f64 / 1e6;
+    ServeLeg {
+        name,
+        workers,
+        clients,
+        wall_s,
+        qps: sequence.len() as f64 / wall_s,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        stats,
+    }
+}
+
+/// Runs the concurrent-serving workloads and renders the `BENCH_7.json`
+/// document: a Zipf-skewed stream of canonicalised TopL queries served by
+/// the [`ServingRuntime`] at one worker and at [`bench7_multi_workers`]
+/// workers, with an identical-content snapshot hot-swapped halfway through
+/// each leg. `scale` below [`SNAPSHOT_SCALE`] runs the same shape as a smoke
+/// test (CI).
+///
+/// # Panics
+/// Panics when any served answer is not **bit-identical** to the
+/// single-threaded [`TopLProcessor::run`] reference, when any query fails,
+/// or when a leg's swap/cache counters are inconsistent — throughput is only
+/// reported after every answer has been verified.
+pub fn bench7_snapshot_json(scale: usize) -> String {
+    let full_scale = scale == SNAPSHOT_SCALE;
+    let total_queries = if full_scale { 2_000_000 } else { 20_000 };
+    let pool_size = if full_scale { 512 } else { 64 };
+
+    let g = bench4_graph(scale);
+    let build_start = Instant::now();
+    let index = IndexBuilder::new(bench4_config()).build(&g);
+    let offline_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    // --- single-threaded reference: one fingerprint per distinct query ----
+    let pool = bench7_query_pool(pool_size);
+    let processor = TopLProcessor::new(&g, &index);
+    let reference_start = Instant::now();
+    let reference: Vec<u64> = pool
+        .iter()
+        .map(|q| answer_fingerprint(&processor.run(q).expect("reference run")))
+        .collect();
+    let reference_ms = reference_start.elapsed().as_secs_f64() * 1e3;
+    let mut reference_digest = 0xcbf29ce484222325u64;
+    for &fp in &reference {
+        reference_digest = (reference_digest ^ fp).wrapping_mul(0x100000001B3);
+    }
+
+    // --- shared Zipf workload (identical sequence for both legs) ----------
+    let cdf = zipf_cdf(pool.len(), BENCH7_ZIPF_S);
+    let mut state = SNAPSHOT_SEED ^ 0x217;
+    let sequence: Vec<u32> = (0..total_queries)
+        .map(|_| {
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            sample_zipf(&cdf, u) as u32
+        })
+        .collect();
+
+    // --- status-quo-ante baseline: the pre-serving one-shot path ----------
+    // Before this runtime existed every query ran the kernel directly —
+    // single-threaded, no cache, no pool. Measured over a prefix of the same
+    // Zipf sequence (every repeat re-executes, which is exactly the point).
+    let direct_sample = 2_000.min(sequence.len());
+    let mut direct_lat: Vec<u64> = Vec::with_capacity(direct_sample);
+    let direct_start = Instant::now();
+    for &rank in &sequence[..direct_sample] {
+        let t = Instant::now();
+        let answer = processor.run(&pool[rank as usize]).expect("direct run");
+        direct_lat.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(
+            answer_fingerprint(&answer),
+            reference[rank as usize],
+            "direct baseline diverged from its own reference"
+        );
+    }
+    let direct_wall_s = direct_start.elapsed().as_secs_f64();
+    let direct_qps = direct_sample as f64 / direct_wall_s;
+    direct_lat.sort_unstable();
+    let direct_pct =
+        |p: f64| direct_lat[((direct_lat.len() - 1) as f64 * p).round() as usize] as f64 / 1e6;
+    let direct_p50_ms = direct_pct(0.50);
+    let direct_p99_ms = direct_pct(0.99);
+    let direct_p999_ms = direct_pct(0.999);
+
+    let multi_workers = bench7_multi_workers();
+    let single = bench7_serve_leg(
+        "serve_1_worker",
+        1,
+        &g,
+        &index,
+        &pool,
+        &sequence,
+        &reference,
+    );
+    let multi = bench7_serve_leg(
+        "serve_multi_worker",
+        multi_workers,
+        &g,
+        &index,
+        &pool,
+        &sequence,
+        &reference,
+    );
+
+    let leg_value = |leg: &ServeLeg| {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(leg.name.to_string())),
+            ("workers".to_string(), Value::UInt(leg.workers as u64)),
+            ("clients".to_string(), Value::UInt(leg.clients as u64)),
+            ("wall_seconds".to_string(), Value::Float(round3(leg.wall_s))),
+            ("qps".to_string(), Value::Float(round3(leg.qps))),
+            ("p50_ms".to_string(), Value::Float(round3(leg.p50_ms))),
+            ("p99_ms".to_string(), Value::Float(round3(leg.p99_ms))),
+            ("p999_ms".to_string(), Value::Float(round3(leg.p999_ms))),
+            (
+                "cache_hit_rate".to_string(),
+                Value::Float(round3(leg.stats.hit_rate())),
+            ),
+            ("cache_hits".to_string(), Value::UInt(leg.stats.cache_hits)),
+            (
+                "queries_executed".to_string(),
+                Value::UInt(leg.stats.queries_executed),
+            ),
+            (
+                "queries_failed".to_string(),
+                Value::UInt(leg.stats.queries_failed),
+            ),
+            ("snapshot_swaps".to_string(), Value::UInt(leg.stats.swaps)),
+        ])
+    };
+    let ratio = |old: f64, new: f64| {
+        if new > 0.0 {
+            (old / new * 1e2).round() / 1e2
+        } else {
+            f64::INFINITY
+        }
+    };
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_7".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "Concurrent query-serving runtime (PR 7): a worker pool draining a \
+                 bounded MPMC queue over a hot-swappable graph+index snapshot with a \
+                 sharded, canonicalised-query LRU, measured under a Zipf-skewed query \
+                 stream at one worker vs a multi-worker pool. Every served answer is \
+                 asserted bit-identical to the single-threaded progressive kernel on \
+                 the same snapshot, and an identical-content snapshot is published \
+                 mid-run in both legs (the swap drains in-flight queries on the old \
+                 epoch and lazily invalidates the cache) before any throughput is \
+                 reported. The baseline is the pre-serving status quo: the same Zipf \
+                 stream answered one-shot by the kernel with no cache and no pool. \
+                 Worker scaling (multi vs single worker) is only meaningful when \
+                 cpu_cores > 1 — on a single-core host the two legs time-slice one \
+                 CPU and the ratio sits near 1.0 by construction."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default + uniform keywords".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                (
+                    "total_queries".to_string(),
+                    Value::UInt(total_queries as u64),
+                ),
+                (
+                    "distinct_queries".to_string(),
+                    Value::UInt(pool.len() as u64),
+                ),
+                ("zipf_s".to_string(), Value::Float(BENCH7_ZIPF_S)),
+                (
+                    "swap_at_query".to_string(),
+                    Value::UInt((total_queries / 2) as u64),
+                ),
+                (
+                    "multi_workers".to_string(),
+                    Value::UInt(multi_workers as u64),
+                ),
+                ("cpu_cores".to_string(), Value::UInt(cpu_cores as u64)),
+                (
+                    "offline_build_ms".to_string(),
+                    Value::Float(round3(offline_build_ms)),
+                ),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                ("answers_bit_identical".to_string(), Value::Bool(true)),
+                (
+                    "reference_fingerprint_digest".to_string(),
+                    Value::Str(format!("{reference_digest:#018x}")),
+                ),
+                (
+                    "reference_sequential_ms".to_string(),
+                    Value::Float(round3(reference_ms)),
+                ),
+                ("queries_failed".to_string(), Value::UInt(0)),
+                ("swaps_per_leg".to_string(), Value::UInt(1)),
+            ]),
+        ),
+        (
+            "baseline".to_string(),
+            Value::Object(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("direct_single_threaded_no_cache".to_string()),
+                ),
+                (
+                    "description".to_string(),
+                    Value::Str(
+                        "the pre-serving status quo: every query runs the kernel \
+                         directly, one-shot, no cache, no pool (measured over a \
+                         prefix of the same Zipf sequence)"
+                            .to_string(),
+                    ),
+                ),
+                (
+                    "queries_sampled".to_string(),
+                    Value::UInt(direct_sample as u64),
+                ),
+                (
+                    "wall_seconds".to_string(),
+                    Value::Float(round3(direct_wall_s)),
+                ),
+                ("qps".to_string(), Value::Float(round3(direct_qps))),
+                ("p50_ms".to_string(), Value::Float(round3(direct_p50_ms))),
+                ("p99_ms".to_string(), Value::Float(round3(direct_p99_ms))),
+                ("p999_ms".to_string(), Value::Float(round3(direct_p999_ms))),
+            ]),
+        ),
+        (
+            "results".to_string(),
+            Value::Array(vec![leg_value(&single), leg_value(&multi)]),
+        ),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "multi_worker_vs_direct_qps".to_string(),
+                    Value::Float(ratio(multi.qps, direct_qps)),
+                ),
+                (
+                    "multi_vs_single_worker_qps".to_string(),
+                    Value::Float(ratio(multi.qps, single.qps)),
+                ),
+                (
+                    "target".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH7_TARGET_SPEEDUP)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1268,6 +1749,34 @@ mod tests {
         let pr2: Vec<&str> = PR2_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
         assert_eq!(pr1, expected);
         assert_eq!(pr2, expected);
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_and_in_range() {
+        let cdf = zipf_cdf(64, BENCH7_ZIPF_S);
+        assert_eq!(cdf.len(), 64);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "cdf must be monotone");
+        assert!((cdf[63] - 1.0).abs() < 1e-12, "cdf must normalise to 1");
+        let mut state = 7u64;
+        let mut counts = [0usize; 64];
+        for _ in 0..10_000 {
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            counts[sample_zipf(&cdf, u)] += 1;
+        }
+        // rank 0 must dominate the tail under Zipf(1.1)
+        assert!(counts[0] > counts[32..].iter().sum::<usize>());
+    }
+
+    #[test]
+    fn bench7_query_pool_is_distinct_and_valid() {
+        let pool = bench7_query_pool(64);
+        assert_eq!(pool.len(), 64);
+        let distinct: std::collections::HashSet<u64> =
+            pool.iter().map(|q| q.canonical_fingerprint()).collect();
+        assert_eq!(distinct.len(), 64, "pool queries must be distinct");
+        for q in &pool {
+            q.canonicalize().expect("pool queries must validate");
+        }
     }
 
     #[test]

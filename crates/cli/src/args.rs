@@ -15,6 +15,8 @@ usage:
                      [--theta X] [--l N] [--json] [--explain] [--eager]
   topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
                      [--theta X] [--l N] [--n N] [--json]
+  topl-icde serve    --graph FILE --index FILE [--workers N] [--queries N]
+                     [--seed N] [--k N] [--r N] [--theta X] [--l N] [--json]
   topl-icde snapshot save --graph FILE --out FILE    (binary graph snapshot)
   topl-icde snapshot save --index FILE --out FILE    (binary index snapshot)
   topl-icde snapshot load --file FILE [--buffered]   (verify + summarise)
@@ -25,7 +27,10 @@ binary snapshot directly. --threads N pins the worker count of any offline
 pre-computation the command runs (default: all cores); `stats` runs none
 today and accepts the flag for forward compatibility. `query --explain`
 prints the pruning-counter breakdown after the answers; `query --eager`
-forces the eager reference path instead of the progressive kernel.";
+forces the eager reference path instead of the progressive kernel. `serve`
+starts the concurrent serving runtime (worker pool + query LRU) and drives
+it with --queries synthetic Zipf-skewed keyword queries, reporting QPS,
+latency percentiles and the cache hit rate.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +120,30 @@ pub enum Command {
         l: usize,
         /// Candidate multiplier n.
         n: usize,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Start the concurrent serving runtime and drive it with a synthetic
+    /// Zipf-skewed workload.
+    Serve {
+        /// Path to the graph file.
+        graph: String,
+        /// Path to the index file.
+        index: String,
+        /// Worker-thread count of the serving pool.
+        workers: usize,
+        /// Number of synthetic queries to push through the pool.
+        queries: usize,
+        /// Workload RNG seed.
+        seed: u64,
+        /// Truss support k of the generated queries.
+        k: u32,
+        /// Radius r of the generated queries.
+        r: u32,
+        /// Influence threshold θ of the generated queries.
+        theta: f64,
+        /// Result size L of the generated queries.
+        l: usize,
         /// Emit JSON instead of text.
         json: bool,
     },
@@ -257,6 +286,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }),
                 other => Err(format!("unknown snapshot action '{other}'")),
             }
+        }
+        "serve" => {
+            let workers = flags.parse_or("--workers", 4usize)?;
+            if workers == 0 {
+                return Err("--workers must be at least 1".to_string());
+            }
+            Ok(Command::Serve {
+                graph: flags.required("--graph")?.to_string(),
+                index: flags.required("--index")?.to_string(),
+                workers,
+                queries: flags.parse_or("--queries", 10_000usize)?,
+                seed: flags.parse_or("--seed", 42u64)?,
+                k: flags.parse_or("--k", 3u32)?,
+                r: flags.parse_or("--r", 2u32)?,
+                theta: flags.parse_or("--theta", 0.2f64)?,
+                l: flags.parse_or("--l", 5usize)?,
+                json: flags.has("--json"),
+            })
         }
         "index" => Ok(Command::Index {
             graph: flags.required("--graph")?.to_string(),
@@ -546,6 +593,72 @@ mod tests {
         .is_err());
         assert!(parse(&argv(&["snapshot"])).is_err());
         assert!(parse(&argv(&["snapshot", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let cmd = parse(&argv(&["serve", "--graph", "g", "--index", "i"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                graph: "g".to_string(),
+                index: "i".to_string(),
+                workers: 4,
+                queries: 10_000,
+                seed: 42,
+                k: 3,
+                r: 2,
+                theta: 0.2,
+                l: 5,
+                json: false,
+            }
+        );
+        let cmd = parse(&argv(&[
+            "serve",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--workers",
+            "2",
+            "--queries",
+            "500",
+            "--seed",
+            "9",
+            "--theta",
+            "0.3",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                workers,
+                queries,
+                seed,
+                theta,
+                json,
+                ..
+            } => {
+                assert_eq!(workers, 2);
+                assert_eq!(queries, 500);
+                assert_eq!(seed, 9);
+                assert_eq!(theta, 0.3);
+                assert!(json);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // zero workers and missing files are rejected
+        assert!(parse(&argv(&[
+            "serve",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--workers",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["serve", "--graph", "g"])).is_err());
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use crate::args::Command;
 use icde_core::dtopl::{DTopLProcessor, DTopLQuery, DTopLStrategy};
-use icde_core::index::IndexBuilder;
+use icde_core::index::{CommunityIndex, IndexBuilder};
 use icde_core::persist;
 use icde_core::precompute::PrecomputeConfig;
 use icde_core::query::TopLQuery;
 use icde_core::seed::SeedCommunity;
+use icde_core::serving::{ServingConfig, ServingRuntime};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::DatasetSpec;
 use icde_graph::snapshot::{
@@ -166,6 +167,22 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            graph,
+            index,
+            workers,
+            queries,
+            seed,
+            k,
+            r,
+            theta,
+            l,
+            json,
+        } => {
+            let g = load_graph(&graph)?;
+            let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
+            run_serve(g, idx, workers, queries, seed, k, r, theta, l, json)
+        }
         Command::SnapshotSave { graph, index, out } => {
             if let Some(graph) = graph {
                 let g = load_graph(&graph)?;
@@ -243,6 +260,204 @@ pub fn run(command: Command) -> Result<(), String> {
 
 fn file_size(path: &str) -> u64 {
     std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// SplitMix64 step — the workload generator's only source of randomness, so
+/// a fixed `--seed` reproduces the exact query stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Cumulative Zipf(s) distribution over ranks `0..n` (rank 0 most popular).
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for rank in 0..n {
+        total += 1.0 / ((rank + 1) as f64).powf(s);
+        cdf.push(total);
+    }
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+fn sample_zipf(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Distinct keyword ids present in the graph, ascending — the vocabulary the
+/// synthetic workload draws from.
+fn graph_keywords(g: &SocialNetwork) -> Vec<u32> {
+    let mut ids: Vec<u32> = g
+        .vertices()
+        .flat_map(|v| g.keyword_set(v).iter().map(|kw| kw.0).collect::<Vec<_>>())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Drives the serving runtime with a closed-loop synthetic workload:
+/// `2 × workers` client threads submit Zipf-skewed keyword queries and wait
+/// for each answer, so per-query latency covers queueing and execution.
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    g: SocialNetwork,
+    idx: CommunityIndex,
+    workers: usize,
+    queries: usize,
+    seed: u64,
+    k: u32,
+    r: u32,
+    theta: f64,
+    l: usize,
+    json: bool,
+) -> Result<(), String> {
+    let keywords = graph_keywords(&g);
+    if keywords.is_empty() {
+        return Err("graph has no keywords to build a workload from".to_string());
+    }
+    let per_query = keywords.len().min(3);
+    let cdf = zipf_cdf(keywords.len(), 1.1);
+    let mut state = seed ^ 0x5bf0_3635;
+    let workload: Vec<TopLQuery> = (0..queries)
+        .map(|_| {
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < per_query {
+                picked.insert(keywords[sample_zipf(&cdf, unit_f64(&mut state))]);
+            }
+            TopLQuery::new(KeywordSet::from_ids(picked), k, r, theta, l)
+        })
+        .collect();
+
+    let runtime = ServingRuntime::start(ServingConfig::with_workers(workers), g, idx)
+        .map_err(|e| e.to_string())?;
+    let snapshot = runtime.current();
+    let clients = (workers * 2).clamp(1, queries.max(1));
+    let started = std::time::Instant::now();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries);
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let runtime = &runtime;
+                let slice: Vec<TopLQuery> =
+                    workload.iter().skip(c).step_by(clients).cloned().collect();
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut lat = Vec::with_capacity(slice.len());
+                    for q in slice {
+                        let t0 = std::time::Instant::now();
+                        runtime.submit(q).wait().map_err(|e| e.to_string())?;
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies_ns.extend(h.join().expect("serve client thread panicked")?);
+        }
+        Ok(())
+    })?;
+    let wall = started.elapsed();
+    let stats = runtime.shutdown();
+
+    latencies_ns.sort_unstable();
+    let pct_ms = |p: f64| -> f64 {
+        let i = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+        latencies_ns[i] as f64 / 1e6
+    };
+    let qps = queries as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    if json {
+        let doc = serde_json::Value::Object(vec![
+            (
+                "workers".to_string(),
+                serde_json::Value::UInt(workers as u64),
+            ),
+            (
+                "queries".to_string(),
+                serde_json::Value::UInt(queries as u64),
+            ),
+            (
+                "wall_seconds".to_string(),
+                serde_json::Value::Float(wall.as_secs_f64()),
+            ),
+            ("qps".to_string(), serde_json::Value::Float(qps)),
+            ("p50_ms".to_string(), serde_json::Value::Float(pct_ms(0.50))),
+            ("p99_ms".to_string(), serde_json::Value::Float(pct_ms(0.99))),
+            (
+                "p999_ms".to_string(),
+                serde_json::Value::Float(pct_ms(0.999)),
+            ),
+            (
+                "cache_hit_rate".to_string(),
+                serde_json::Value::Float(stats.hit_rate()),
+            ),
+            (
+                "cache_hits".to_string(),
+                serde_json::Value::UInt(stats.cache_hits),
+            ),
+            (
+                "queries_executed".to_string(),
+                serde_json::Value::UInt(stats.queries_executed),
+            ),
+            (
+                "queries_failed".to_string(),
+                serde_json::Value::UInt(stats.queries_failed),
+            ),
+            (
+                "snapshot_epoch".to_string(),
+                serde_json::Value::UInt(snapshot.epoch()),
+            ),
+            (
+                "snapshot_fingerprint".to_string(),
+                serde_json::Value::Str(format!("{:#018x}", snapshot.fingerprint())),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "served {} queries on {} worker{} in {:.2?} ({:.0} QPS)",
+            queries,
+            workers,
+            if workers == 1 { "" } else { "s" },
+            wall,
+            qps
+        );
+        println!(
+            "latency: p50 {:.3}ms | p99 {:.3}ms | p999 {:.3}ms",
+            pct_ms(0.50),
+            pct_ms(0.99),
+            pct_ms(0.999)
+        );
+        println!(
+            "cache: {:.1}% hit rate ({} hits, {} executed, {} failed)",
+            stats.hit_rate() * 100.0,
+            stats.cache_hits,
+            stats.queries_executed,
+            stats.queries_failed
+        );
+        println!(
+            "snapshot: epoch {}, fingerprint {:#018x}",
+            snapshot.epoch(),
+            snapshot.fingerprint()
+        );
+    }
+    if stats.queries_failed > 0 {
+        return Err(format!("{} queries failed", stats.queries_failed));
+    }
+    Ok(())
 }
 
 fn load_graph(path: &str) -> Result<SocialNetwork, String> {
@@ -421,6 +636,45 @@ mod tests {
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(graph_snap);
         let _ = std::fs::remove_file(index_snap);
+    }
+
+    #[test]
+    fn serve_runs_a_small_workload() {
+        let graph_path = temp_path("topl_cli_serve_graph.txt");
+        let index_path = temp_path("topl_cli_serve_index.json");
+        run(Command::Generate {
+            kind: DatasetKind::Uniform,
+            vertices: 150,
+            seed: 5,
+            keyword_domain: 10,
+            keywords_per_vertex: 3,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+        run(Command::Index {
+            graph: graph_path.clone(),
+            out: index_path.clone(),
+            r_max: 2,
+            fanout: 8,
+            thresholds: vec![0.1, 0.2, 0.3],
+            threads: Some(1),
+        })
+        .unwrap();
+        run(Command::Serve {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            workers: 2,
+            queries: 40,
+            seed: 7,
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: true,
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(index_path);
     }
 
     #[test]

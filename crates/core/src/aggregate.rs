@@ -21,6 +21,7 @@
 //! the four arrays verbatim.
 
 use crate::precompute::RadiusAggregate;
+use icde_graph::snapshot::FlatVec;
 use icde_graph::{BitVector, SignatureRef};
 use serde::{Deserialize, Serialize};
 
@@ -58,13 +59,19 @@ pub struct AggregateTable {
     signature_bits: usize,
     num_thresholds: usize,
     /// `entities · r_max · ⌈signature_bits/64⌉` signature words.
-    signatures: Vec<u64>,
+    ///
+    /// The four column arrays are [`FlatVec`]s so a snapshot-loaded table
+    /// reads straight off the mapped file (zero-copy, like the graph's CSR
+    /// arrays); in-memory builds own plain vectors. Mutation goes through
+    /// [`FlatVec::to_mut`] — copy-on-write at whole-array granularity —
+    /// so incremental maintenance keeps working on loaded tables.
+    signatures: FlatVec<u64>,
     /// `entities · r_max` support upper bounds.
-    supports: Vec<u32>,
+    supports: FlatVec<u32>,
     /// `entities · r_max · num_thresholds` score upper bounds.
-    scores: Vec<f64>,
+    scores: FlatVec<f64>,
     /// `entities · r_max` region sizes.
-    region_sizes: Vec<u32>,
+    region_sizes: FlatVec<u32>,
 }
 
 impl AggregateTable {
@@ -82,35 +89,37 @@ impl AggregateTable {
             r_max,
             signature_bits,
             num_thresholds,
-            signatures: vec![0; rows * signature_bits.div_ceil(64)],
-            supports: vec![0; rows],
-            scores: vec![0.0; rows * num_thresholds],
-            region_sizes: vec![0; rows],
+            signatures: vec![0; rows * signature_bits.div_ceil(64)].into(),
+            supports: vec![0; rows].into(),
+            scores: vec![0.0; rows * num_thresholds].into(),
+            region_sizes: vec![0; rows].into(),
         }
     }
 
-    /// Rebuilds a table from its raw arrays (the binary snapshot loader);
-    /// errors when the lengths do not agree with the dimensions.
+    /// Rebuilds a table from its raw arrays (the binary snapshot loader
+    /// passes mapped [`FlatVec`] views, keeping the load zero-copy; owned
+    /// vectors convert via `.into()`); errors when the lengths do not agree
+    /// with the dimensions.
     #[allow(clippy::too_many_arguments)]
     pub fn from_raw(
         entities: usize,
         r_max: u32,
         signature_bits: usize,
         num_thresholds: usize,
-        signatures: Vec<u64>,
-        supports: Vec<u32>,
-        scores: Vec<f64>,
-        region_sizes: Vec<u32>,
+        signatures: impl Into<FlatVec<u64>>,
+        supports: impl Into<FlatVec<u32>>,
+        scores: impl Into<FlatVec<f64>>,
+        region_sizes: impl Into<FlatVec<u32>>,
     ) -> Result<Self, String> {
         let table = AggregateTable {
             entities,
             r_max,
             signature_bits,
             num_thresholds,
-            signatures,
-            supports,
-            scores,
-            region_sizes,
+            signatures: signatures.into(),
+            supports: supports.into(),
+            scores: scores.into(),
+            region_sizes: region_sizes.into(),
         };
         table.validate()?;
         Ok(table)
@@ -223,12 +232,12 @@ impl AggregateTable {
         );
         let row = self.row_index(entity, r);
         let words = self.signature_bits.div_ceil(64);
-        self.signatures[row * words..(row + 1) * words]
+        self.signatures.to_mut()[row * words..(row + 1) * words]
             .copy_from_slice(agg.keyword_signature.words());
-        self.supports[row] = agg.support_upper_bound;
-        self.scores[row * self.num_thresholds..(row + 1) * self.num_thresholds]
+        self.supports.to_mut()[row] = agg.support_upper_bound;
+        self.scores.to_mut()[row * self.num_thresholds..(row + 1) * self.num_thresholds]
             .copy_from_slice(&agg.score_upper_bounds);
-        self.region_sizes[row] = agg.region_size;
+        self.region_sizes.to_mut()[row] = agg.region_size;
     }
 
     /// Overwrites every radius row of `entity` at once (`rows[r-1]` holds
@@ -269,10 +278,11 @@ impl AggregateTable {
         let m = self.num_thresholds;
         let rows_per_chunk = entities_per_chunk * r_max;
         self.signatures
+            .to_mut()
             .chunks_mut(rows_per_chunk * words)
-            .zip(self.supports.chunks_mut(rows_per_chunk))
-            .zip(self.scores.chunks_mut(rows_per_chunk * m))
-            .zip(self.region_sizes.chunks_mut(rows_per_chunk))
+            .zip(self.supports.to_mut().chunks_mut(rows_per_chunk))
+            .zip(self.scores.to_mut().chunks_mut(rows_per_chunk * m))
+            .zip(self.region_sizes.to_mut().chunks_mut(rows_per_chunk))
             .enumerate()
             .map(
                 |(i, (((signatures, supports), scores), region_sizes))| TableChunkMut {
@@ -305,10 +315,10 @@ impl AggregateTable {
             r_max,
             words,
             num_thresholds: m,
-            signatures: &mut self.signatures[rows.start * words..rows.end * words],
-            supports: &mut self.supports[rows.clone()],
-            scores: &mut self.scores[rows.start * m..rows.end * m],
-            region_sizes: &mut self.region_sizes[rows],
+            signatures: &mut self.signatures.to_mut()[rows.start * words..rows.end * words],
+            supports: &mut self.supports.to_mut()[rows.clone()],
+            scores: &mut self.scores.to_mut()[rows.start * m..rows.end * m],
+            region_sizes: &mut self.region_sizes.to_mut()[rows],
         }
     }
 
@@ -332,6 +342,15 @@ impl AggregateTable {
         &self.region_sizes
     }
 
+    /// Returns `true` if any column array is still a zero-copy view into a
+    /// loaded snapshot region (i.e. the table has not been copied-on-write).
+    pub fn is_mapped(&self) -> bool {
+        self.signatures.is_mapped()
+            || self.supports.is_mapped()
+            || self.scores.is_mapped()
+            || self.region_sizes.is_mapped()
+    }
+
     /// FNV-1a fingerprint of the *structural* content — dimensions,
     /// signature words, support bounds and region sizes, everything except
     /// the float scores. Two builds that agree structurally bit-for-bit
@@ -346,13 +365,13 @@ impl AggregateTable {
         word(u64::from(self.r_max));
         word(self.signature_bits as u64);
         word(self.num_thresholds as u64);
-        for &w in &self.signatures {
+        for &w in self.signatures.iter() {
             word(w);
         }
-        for &s in &self.supports {
+        for &s in self.supports.iter() {
             word(u64::from(s));
         }
-        for &s in &self.region_sizes {
+        for &s in self.region_sizes.iter() {
             word(u64::from(s));
         }
         h
@@ -366,7 +385,7 @@ impl AggregateTable {
         }
         self.scores
             .iter()
-            .zip(&other.scores)
+            .zip(other.scores.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }

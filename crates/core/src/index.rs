@@ -31,7 +31,7 @@
 
 use crate::aggregate::{AggregateRef, AggregateTable};
 use crate::precompute::{PrecomputeConfig, PrecomputedData, RadiusAggregate};
-use icde_graph::snapshot::{fnv1a, fnv1a_extend};
+use icde_graph::snapshot::{fnv1a, fnv1a_extend, FlatVec};
 use icde_graph::{vertex_ids_from_raw, SocialNetwork, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -94,12 +94,13 @@ pub struct CommunityIndex {
     /// The pre-computed data the index aggregates.
     pub precomputed: PrecomputedData,
     /// `item_start[i] .. item_start[i+1]` bounds node `i`'s items in the
-    /// pool. Length `node_count + 1`.
-    item_start: Vec<u32>,
+    /// pool. Length `node_count + 1`. [`FlatVec`]-backed so snapshot loads
+    /// serve the tree straight off the mapped file.
+    item_start: FlatVec<u32>,
     /// Shared item pool: leaf vertices or child node ids (see `leaf_mask`).
-    item_pool: Vec<u32>,
+    item_pool: FlatVec<u32>,
     /// Bit `i` set ⇔ node `i` is a leaf. `⌈node_count/64⌉` words.
-    leaf_mask: Vec<u64>,
+    leaf_mask: FlatVec<u64>,
     /// Aggregated bounds keyed `(node, r, θ_index)`.
     node_aggregates: AggregateTable,
     root: usize,
@@ -260,19 +261,19 @@ impl CommunityIndex {
             h
         };
         h = hash_table(h, self.precomputed.table());
-        for &s in &self.precomputed.edge_supports {
+        for &s in self.precomputed.edge_supports.iter() {
             h = word(h, u64::from(s));
         }
         for &b in self.precomputed.seed_bounds() {
             h = word(h, b.to_bits());
         }
-        for &v in &self.item_start {
+        for &v in self.item_start.iter() {
             h = word(h, u64::from(v));
         }
-        for &v in &self.item_pool {
+        for &v in self.item_pool.iter() {
             h = word(h, u64::from(v));
         }
-        for &v in &self.leaf_mask {
+        for &v in self.leaf_mask.iter() {
             h = word(h, v);
         }
         h = hash_table(h, &self.node_aggregates);
@@ -289,9 +290,9 @@ impl CommunityIndex {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_flat_parts(
         precomputed: PrecomputedData,
-        item_start: Vec<u32>,
-        item_pool: Vec<u32>,
-        leaf_mask: Vec<u64>,
+        item_start: impl Into<FlatVec<u32>>,
+        item_pool: impl Into<FlatVec<u32>>,
+        leaf_mask: impl Into<FlatVec<u64>>,
         node_aggregates: AggregateTable,
         root: usize,
         num_graph_vertices: usize,
@@ -300,9 +301,9 @@ impl CommunityIndex {
     ) -> Result<Self, String> {
         let index = CommunityIndex {
             precomputed,
-            item_start,
-            item_pool,
-            leaf_mask,
+            item_start: item_start.into(),
+            item_pool: item_pool.into(),
+            leaf_mask: leaf_mask.into(),
             node_aggregates,
             root,
             num_graph_vertices,
@@ -522,9 +523,9 @@ impl IndexBuilder {
 
         CommunityIndex {
             precomputed: data,
-            item_start,
-            item_pool,
-            leaf_mask,
+            item_start: item_start.into(),
+            item_pool: item_pool.into(),
+            leaf_mask: leaf_mask.into(),
             node_aggregates,
             root,
             num_graph_vertices: n,

@@ -23,7 +23,9 @@
 //!   baseline,
 //! * [`baseline`] — competitor methods used in the evaluation (brute force,
 //!   ATindex, k-core),
-//! * [`stats`] — pruning-power instrumentation backing the ablation study.
+//! * [`stats`] — pruning-power instrumentation backing the ablation study,
+//! * [`serving`] — the concurrent query-serving runtime: worker pool over a
+//!   hot-swappable snapshot with a canonicalised query LRU.
 
 pub mod aggregate;
 pub mod baseline;
@@ -37,6 +39,7 @@ pub mod progressive;
 pub mod pruning;
 pub mod query;
 pub mod seed;
+pub mod serving;
 pub mod snapshot;
 pub mod stats;
 pub mod topl;
@@ -48,5 +51,8 @@ pub use index::{CommunityIndex, IndexBuilder, NodeRef};
 pub use precompute::{PrecomputeConfig, PrecomputedData};
 pub use query::TopLQuery;
 pub use seed::SeedCommunity;
+pub use serving::{
+    ServedAnswer, ServingConfig, ServingError, ServingRuntime, ServingSnapshot, ServingStats,
+};
 pub use stats::PruningStats;
 pub use topl::{TopLAnswer, TopLProcessor};

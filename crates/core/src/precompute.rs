@@ -70,6 +70,7 @@
 
 use crate::aggregate::{AggregateRef, AggregateTable, TableChunkMut};
 use crate::seed::extract_unconstrained_seed_community_with;
+use icde_graph::snapshot::FlatVec;
 use icde_graph::traversal::bfs_within_into;
 use icde_graph::workspace::TraversalWorkspace;
 use icde_graph::{BitVector, SignatureTable, SocialNetwork, VertexId, VertexSubset};
@@ -299,12 +300,14 @@ pub struct PrecomputedData {
     /// Per-vertex aggregates keyed `(vertex, r, θ_index)`.
     table: AggregateTable,
     /// Per-edge data-graph supports (`ub_sup(e_{u,v})`), indexed by edge id.
-    pub edge_supports: Vec<u32>,
+    /// [`FlatVec`]-backed so snapshot loads stay zero-copy (see
+    /// [`AggregateTable`]'s field docs).
+    pub edge_supports: FlatVec<u32>,
     /// Seed-community score bounds `σ_z(X_all(v; SEED_BOUND_SUPPORT, r))`,
     /// flattened `((v · r_max) + (r − 1)) · m + z` like the table's score
     /// lane; [`NO_SEED_COMMUNITY`] where no `X_all` exists (see the module
     /// docs).
-    seed_bounds: Vec<f64>,
+    seed_bounds: FlatVec<f64>,
 }
 
 impl PrecomputedData {
@@ -373,8 +376,8 @@ impl PrecomputedData {
         PrecomputedData {
             config,
             table,
-            edge_supports,
-            seed_bounds,
+            edge_supports: edge_supports.into(),
+            seed_bounds: seed_bounds.into(),
         }
     }
 
@@ -412,8 +415,8 @@ impl PrecomputedData {
         PrecomputedData {
             config,
             table,
-            edge_supports,
-            seed_bounds,
+            edge_supports: edge_supports.into(),
+            seed_bounds: seed_bounds.into(),
         }
     }
 
@@ -423,14 +426,14 @@ impl PrecomputedData {
     pub fn from_table(
         config: PrecomputeConfig,
         table: AggregateTable,
-        edge_supports: Vec<u32>,
-        seed_bounds: Vec<f64>,
+        edge_supports: impl Into<FlatVec<u32>>,
+        seed_bounds: impl Into<FlatVec<f64>>,
     ) -> Result<Self, String> {
         let data = PrecomputedData {
             config,
             table,
-            edge_supports,
-            seed_bounds,
+            edge_supports: edge_supports.into(),
+            seed_bounds: seed_bounds.into(),
         };
         data.validate()?;
         Ok(data)
@@ -566,7 +569,7 @@ impl PrecomputedData {
             signatures,
         };
         let table = &mut self.table;
-        let seed_bounds = &mut self.seed_bounds;
+        let seed_bounds = self.seed_bounds.to_mut();
         let stride = self.config.r_max as usize * self.config.thresholds.len();
         with_maintenance_scratch(|scratch| {
             for &v in vertices {
@@ -581,7 +584,7 @@ impl PrecomputedData {
     /// Recomputes the global per-edge supports from scratch against the
     /// current state of `g` (edge ids may have shifted after insertions).
     pub fn refresh_edge_supports(&mut self, g: &SocialNetwork) {
-        self.edge_supports = edge_supports_global(g);
+        self.edge_supports = edge_supports_global(g).into();
     }
 }
 
@@ -1204,7 +1207,7 @@ mod tests {
         let victims = [VertexId(0), VertexId(17), VertexId(63)];
         let stride = config.r_max as usize * config.thresholds.len();
         for v in victims {
-            stale.seed_bounds[v.index() * stride..(v.index() + 1) * stride].fill(9999.0);
+            stale.seed_bounds.to_mut()[v.index() * stride..(v.index() + 1) * stride].fill(9999.0);
         }
         stale.recompute_vertices(&g, &victims);
         assert_eq!(stale.seed_bounds(), reference.seed_bounds());

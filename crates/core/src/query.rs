@@ -7,8 +7,15 @@
 //! once offline.
 
 use crate::error::{CoreError, CoreResult};
+use icde_graph::snapshot::{fnv1a, fnv1a_extend};
 use icde_graph::{BitVector, KeywordSet};
 use serde::{Deserialize, Serialize};
+
+/// Largest result size `L` a canonical query may request.
+/// [`TopLQuery::canonicalize`] clamps `l` here so one pathological query
+/// cannot make the collector (or a serving cache entry) allocate without
+/// bound; any realistic Top-L request is orders of magnitude below it.
+pub const MAX_RESULT_SIZE: usize = 1 << 16;
 
 /// Parameters of one TopL-ICDE query (Definition 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +81,44 @@ impl TopLQuery {
         Ok(())
     }
 
+    /// Returns the query in canonical form, validated: keywords sorted and
+    /// de-duplicated, `l` clamped to [`MAX_RESULT_SIZE`], every other
+    /// parameter checked by [`TopLQuery::validate`].
+    ///
+    /// All query entry points (the processors, the serving runtime's cache
+    /// key) agree on this one normal form, so two queries that differ only
+    /// in keyword order or duplicates are the *same* query — they produce
+    /// identical answers and identical [`TopLQuery::canonical_fingerprint`]s.
+    pub fn canonicalize(&self) -> CoreResult<TopLQuery> {
+        let mut q = self.clone();
+        // `KeywordSet` sorts and de-duplicates on construction, so this is a
+        // defensive re-normalisation: it matters only for sets produced by
+        // paths that bypass the constructors (e.g. hand-edited JSON).
+        q.keywords = q.keywords.iter().collect();
+        q.l = q.l.min(MAX_RESULT_SIZE);
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// An FNV-1a fingerprint of the canonical form
+    /// `(sorted keywords, k, r, θ, L)` — the serving LRU's cache key.
+    /// Queries that differ only in keyword order or duplicates fingerprint
+    /// identically; any semantic difference (including `θ` at the bit level)
+    /// fingerprints apart.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut h = fnv1a(b"icde-query-key-v1");
+        let word = |h: u64, v: u64| fnv1a_extend(h, &v.to_le_bytes());
+        h = word(h, self.keywords.len() as u64);
+        for kw in self.keywords.iter() {
+            h = word(h, u64::from(kw.0));
+        }
+        h = word(h, u64::from(self.support));
+        h = word(h, u64::from(self.radius));
+        h = word(h, self.theta.to_bits());
+        h = word(h, self.l.min(MAX_RESULT_SIZE) as u64);
+        h
+    }
+
     /// Hashes the query keyword set into a signature of `bits` bits
     /// (`Q.BV`, Algorithm 3 line 1).
     pub fn keyword_signature(&self, bits: usize) -> BitVector {
@@ -130,6 +175,47 @@ mod tests {
         for kw in q.keywords.iter() {
             assert!(bv.maybe_contains(kw));
         }
+    }
+
+    #[test]
+    fn permuted_and_duplicated_keywords_canonicalise_identically() {
+        let a = TopLQuery::new(KeywordSet::from_ids([3, 1, 2]), 4, 2, 0.2, 5);
+        let b = TopLQuery::new(KeywordSet::from_ids([2, 3, 1, 1, 2]), 4, 2, 0.2, 5);
+        let ca = a.canonicalize().unwrap();
+        let cb = b.canonicalize().unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(ca.canonical_fingerprint(), cb.canonical_fingerprint());
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_semantically_different_queries() {
+        let base = TopLQuery::with_defaults(keywords());
+        let fp = base.canonical_fingerprint();
+        let mut other = base.clone();
+        other.support = 5;
+        assert_ne!(fp, other.canonical_fingerprint());
+        let mut other = base.clone();
+        other.theta = 0.3;
+        assert_ne!(fp, other.canonical_fingerprint());
+        let mut other = base.clone();
+        other.l = 6;
+        assert_ne!(fp, other.canonical_fingerprint());
+        let other = TopLQuery::with_defaults(KeywordSet::from_ids([1, 2, 4]));
+        assert_ne!(fp, other.canonical_fingerprint());
+    }
+
+    #[test]
+    fn canonicalize_clamps_l_and_rejects_invalid_parameters() {
+        let big = TopLQuery::new(keywords(), 4, 2, 0.2, usize::MAX);
+        assert_eq!(big.canonicalize().unwrap().l, MAX_RESULT_SIZE);
+        // clamped and unclamped spellings of the same request share a key
+        let max = TopLQuery::new(keywords(), 4, 2, 0.2, MAX_RESULT_SIZE);
+        assert_eq!(big.canonical_fingerprint(), max.canonical_fingerprint());
+        let bad = TopLQuery::new(keywords(), 1, 2, 0.2, 5);
+        assert_eq!(bad.canonicalize(), Err(CoreError::InvalidSupport(1)));
+        let bad = TopLQuery::new(KeywordSet::new(), 4, 2, 0.2, 5);
+        assert_eq!(bad.canonicalize(), Err(CoreError::EmptyQueryKeywords));
     }
 
     #[test]

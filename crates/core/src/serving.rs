@@ -1,0 +1,855 @@
+//! Concurrent query-serving runtime: worker pool, hot snapshot swap, and a
+//! canonicalised query LRU.
+//!
+//! Everything below this module is one-shot: a caller builds (or loads) a
+//! graph + index pair, runs a query, and throws the state away. This module
+//! turns that pair into a long-lived *service*:
+//!
+//! * [`ServingSnapshot`] — an immutable bundle of one graph and the index
+//!   built over it, tagged with a publication **epoch** and the index's
+//!   content fingerprint. Queries always run against exactly one snapshot,
+//!   so they can never observe a half-swapped graph/index pair.
+//! * **Hot swap** — the runtime holds the current snapshot behind an
+//!   `RwLock<Arc<ServingSnapshot>>` (the `ArcSwap` shape without the
+//!   dependency: a load is a brief read-lock + `Arc` clone, a publish is a
+//!   write-lock + pointer swap). Maintenance publishes a fresh snapshot
+//!   while in-flight queries drain on the old `Arc`; the old snapshot is
+//!   freed when its last in-flight query drops its clone.
+//! * **Worker pool** — N worker threads pull [`Job`]s from one bounded,
+//!   mutex-guarded ring ([`BoundedQueue`]). Each worker thread owns its
+//!   [`TraversalWorkspace`] through the kernel's thread-local
+//!   (`with_thread_workspace`), so workers never contend on scratch space.
+//! * **Sharded LRU** — answers are cached under the query's
+//!   [`TopLQuery::canonical_fingerprint`] (sorted keywords, `k`, `r`, `θ`,
+//!   `L`), sharded with per-shard locks. Every entry records the epoch it
+//!   was computed under; a lookup made under a newer epoch evicts the entry
+//!   instead of serving it, so a swap implicitly invalidates the whole
+//!   cache without a stop-the-world flush.
+//!
+//! Per-query [`PruningStats`] are merged into a serving-level rollup
+//! ([`PruningStats::merge`]); because every counter is a plain sum, the
+//! rollup is independent of worker count and interleaving.
+//!
+//! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
+
+use crate::error::{CoreError, CoreResult};
+use crate::index::CommunityIndex;
+use crate::query::TopLQuery;
+use crate::stats::PruningStats;
+use crate::topl::{TopLAnswer, TopLProcessor};
+use icde_graph::SocialNetwork;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+
+/// Default number of worker threads when the caller does not choose one.
+pub const DEFAULT_WORKERS: usize = 4;
+/// Default capacity of the bounded job queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+/// Default number of LRU shards.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+/// Default total number of cached answers across all shards.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Configuration of a [`ServingRuntime`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+    /// Capacity of the bounded job queue; [`ServingRuntime::submit`] blocks
+    /// when the queue is full (backpressure instead of unbounded growth).
+    pub queue_capacity: usize,
+    /// Number of independently-locked LRU shards (≥ 1).
+    pub cache_shards: usize,
+    /// Total answer capacity across all shards; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: DEFAULT_WORKERS,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// A configuration with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        ServingConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// An immutable graph + index pair published to the serving runtime.
+///
+/// The epoch is assigned at publication time and strictly increases with
+/// every swap; the fingerprint is the index's
+/// [`CommunityIndex::content_fingerprint`], so two snapshots with identical
+/// flat arrays carry the same fingerprint even across a reload.
+#[derive(Debug)]
+pub struct ServingSnapshot {
+    /// The social network queries traverse.
+    pub graph: SocialNetwork,
+    /// The index built over `graph`.
+    pub index: CommunityIndex,
+    epoch: u64,
+    fingerprint: u64,
+}
+
+impl ServingSnapshot {
+    fn new(graph: SocialNetwork, index: CommunityIndex, epoch: u64) -> CoreResult<Self> {
+        if graph.num_vertices() != index.num_graph_vertices() {
+            return Err(CoreError::IndexGraphMismatch {
+                graph_vertices: graph.num_vertices(),
+                index_vertices: index.num_graph_vertices(),
+            });
+        }
+        let fingerprint = index.content_fingerprint();
+        Ok(ServingSnapshot {
+            graph,
+            index,
+            epoch,
+            fingerprint,
+        })
+    }
+
+    /// The publication epoch (1 for the snapshot the runtime started on).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The index content fingerprint the snapshot was published with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingError {
+    /// The query itself was rejected (validation or index mismatch).
+    Query(CoreError),
+    /// The runtime shut down before the query could be answered.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::Query(e) => write!(f, "query rejected: {e}"),
+            ServingError::Shutdown => write!(f, "serving runtime shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// One answered query, tagged with the snapshot it was answered on.
+#[derive(Debug, Clone)]
+pub struct ServedAnswer {
+    /// The answer, bit-identical to a single-threaded
+    /// [`TopLProcessor::run`] on the same snapshot. Shared with the LRU (a
+    /// cache hit is an `Arc` clone, not a deep copy of the communities).
+    pub answer: Arc<TopLAnswer>,
+    /// Epoch of the snapshot the answer was computed (or cached) under.
+    pub epoch: u64,
+    /// Content fingerprint of that snapshot.
+    pub snapshot_fingerprint: u64,
+    /// `true` when the answer came out of the LRU without running the
+    /// kernel.
+    pub cache_hit: bool,
+}
+
+/// A handle to one submitted query; resolves to the answer (or error) once a
+/// worker picks the job up.
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<ServedAnswer, ServingError>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the query is answered.
+    pub fn wait(self) -> Result<ServedAnswer, ServingError> {
+        self.rx.recv().unwrap_or(Err(ServingError::Shutdown))
+    }
+}
+
+/// Counter snapshot of a runtime (live via [`ServingRuntime::stats`], final
+/// via [`ServingRuntime::shutdown`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingStats {
+    /// Queries answered by running the kernel.
+    pub queries_executed: u64,
+    /// Queries answered straight from the LRU.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (stale-epoch entries count as misses).
+    pub cache_misses: u64,
+    /// Queries rejected by validation.
+    pub queries_failed: u64,
+    /// Snapshots published after the initial one.
+    pub swaps: u64,
+    /// Merged per-query pruning counters of every executed query.
+    pub pruning: PruningStats,
+}
+
+impl ServingStats {
+    /// Cache hit rate over all lookups (`0.0` when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Job {
+    query: TopLQuery,
+    reply: mpsc::Sender<Result<ServedAnswer, ServingError>>,
+}
+
+/// Bounded MPMC job queue: a mutex-guarded ring with two condition
+/// variables. Push blocks while full, pop blocks while empty; `close`
+/// wakes everyone and drains to `None`.
+struct BoundedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns the job
+    /// back when the queue has been closed.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.jobs.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained, so workers finish
+    /// every accepted job before exiting.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+struct CacheEntry {
+    epoch: u64,
+    tick: u64,
+    answer: Arc<TopLAnswer>,
+}
+
+struct LruShard {
+    entries: HashMap<u64, CacheEntry>,
+    tick: u64,
+}
+
+/// The canonical-query LRU: `shards` independently-locked maps, each keyed
+/// by [`TopLQuery::canonical_fingerprint`] and evicting its least-recently
+/// touched entry at capacity (the shard capacities partition the total).
+struct ShardedLru {
+    shards: Vec<Mutex<LruShard>>,
+    per_shard_capacity: usize,
+}
+
+impl ShardedLru {
+    fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = if total_capacity == 0 {
+            0
+        } else {
+            total_capacity.div_ceil(shards)
+        };
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(LruShard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LruShard> {
+        // the key is already an FNV hash; fold the high bits in so shard
+        // selection uses more than the low word
+        &self.shards[((key ^ (key >> 32)) as usize) % self.shards.len()]
+    }
+
+    /// A hit must match both key and epoch; an entry from an older epoch is
+    /// evicted on sight, so a snapshot swap invalidates lazily with no
+    /// global flush. Hits hand out a shared `Arc` handle, never a deep copy
+    /// — a Zipf-hot key maps every hit to one shard, so cloning the full
+    /// answer under the shard lock would serialise the whole pool on it.
+    fn get(&self, key: u64, epoch: u64) -> Option<Arc<TopLAnswer>> {
+        if self.per_shard_capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(&key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.tick = tick;
+                Some(Arc::clone(&entry.answer))
+            }
+            Some(_) => {
+                shard.entries.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&self, key: u64, epoch: u64, answer: Arc<TopLAnswer>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
+            // evict the least-recently touched entry; shards are small, so a
+            // linear scan beats maintaining an intrusive recency list
+            if let Some(&lru_key) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k)
+            {
+                shard.entries.remove(&lru_key);
+            }
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.entries.insert(
+            key,
+            CacheEntry {
+                epoch,
+                tick,
+                answer,
+            },
+        );
+    }
+}
+
+struct Shared {
+    current: RwLock<Arc<ServingSnapshot>>,
+    next_epoch: AtomicU64,
+    queue: BoundedQueue,
+    cache: ShardedLru,
+    queries_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queries_failed: AtomicU64,
+    swaps: AtomicU64,
+    pruning: Mutex<PruningStats>,
+}
+
+impl Shared {
+    /// The `ArcSwap`-style load: a brief read-lock to clone the current
+    /// `Arc`. The clone keeps the snapshot alive however long the query
+    /// runs, so a concurrent publish never frees state under a worker.
+    fn load(&self) -> Arc<ServingSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    fn serve(&self, query: &TopLQuery) -> Result<ServedAnswer, ServingError> {
+        let canonical = match query.canonicalize() {
+            Ok(q) => q,
+            Err(e) => {
+                self.queries_failed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServingError::Query(e));
+            }
+        };
+        let key = canonical.canonical_fingerprint();
+        let snapshot = self.load();
+        if let Some(answer) = self.cache.get(key, snapshot.epoch) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(ServedAnswer {
+                answer,
+                epoch: snapshot.epoch,
+                snapshot_fingerprint: snapshot.fingerprint,
+                cache_hit: true,
+            });
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let processor = TopLProcessor::new(&snapshot.graph, &snapshot.index);
+        match processor.run(&canonical) {
+            Ok(answer) => {
+                let answer = Arc::new(answer);
+                self.queries_executed.fetch_add(1, Ordering::Relaxed);
+                self.pruning
+                    .lock()
+                    .expect("stats lock poisoned")
+                    .merge(&answer.stats);
+                // keyed under the epoch the kernel actually ran on: if a
+                // swap landed mid-run, the entry is already stale and the
+                // next lookup (made under the new epoch) evicts it
+                self.cache.insert(key, snapshot.epoch, Arc::clone(&answer));
+                Ok(ServedAnswer {
+                    answer,
+                    epoch: snapshot.epoch,
+                    snapshot_fingerprint: snapshot.fingerprint,
+                    cache_hit: false,
+                })
+            }
+            Err(e) => {
+                self.queries_failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServingError::Query(e))
+            }
+        }
+    }
+
+    fn stats(&self) -> ServingStats {
+        ServingStats {
+            queries_executed: self.queries_executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            pruning: *self.pruning.lock().expect("stats lock poisoned"),
+        }
+    }
+}
+
+/// The serving runtime: worker pool + hot-swappable snapshot + query LRU
+/// (see the module docs).
+pub struct ServingRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServingRuntime {
+    /// Starts `config.workers` worker threads serving queries against the
+    /// given graph + index pair (published as epoch 1).
+    pub fn start(
+        config: ServingConfig,
+        graph: SocialNetwork,
+        index: CommunityIndex,
+    ) -> CoreResult<ServingRuntime> {
+        let initial = ServingSnapshot::new(graph, index, 1)?;
+        let shared = Arc::new(Shared {
+            current: RwLock::new(Arc::new(initial)),
+            next_epoch: AtomicU64::new(2),
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ShardedLru::new(config.cache_shards, config.cache_capacity),
+            queries_executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queries_failed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            pruning: Mutex::new(PruningStats::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("icde-serve-{i}"))
+                    .spawn(move || {
+                        // each pop → serve → reply runs on this thread, so
+                        // the kernel's thread-local workspace makes every
+                        // worker own one TraversalWorkspace for its lifetime
+                        while let Some(job) = shared.queue.pop() {
+                            let outcome = shared.serve(&job.query);
+                            // a dropped ticket just means nobody is waiting
+                            let _ = job.reply.send(outcome);
+                        }
+                    })
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        Ok(ServingRuntime { shared, workers })
+    }
+
+    /// Publishes a fresh graph + index pair, atomically replacing the
+    /// current snapshot. In-flight queries keep draining on the old
+    /// snapshot; queries served afterwards see the new epoch, and every
+    /// cached answer from older epochs becomes unservable.
+    pub fn publish(
+        &self,
+        graph: SocialNetwork,
+        index: CommunityIndex,
+    ) -> CoreResult<Arc<ServingSnapshot>> {
+        let epoch = self.shared.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(ServingSnapshot::new(graph, index, epoch)?);
+        *self.shared.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(snapshot)
+    }
+
+    /// The currently-published snapshot.
+    pub fn current(&self) -> Arc<ServingSnapshot> {
+        self.shared.load()
+    }
+
+    /// Enqueues a query, blocking while the job queue is full. The ticket
+    /// resolves once a worker answers (or resolves to
+    /// [`ServingError::Shutdown`] if the runtime stopped first).
+    pub fn submit(&self, query: TopLQuery) -> QueryTicket {
+        let (tx, rx) = mpsc::channel();
+        if let Err(job) = self.shared.queue.push(Job { query, reply: tx }) {
+            let _ = job.reply.send(Err(ServingError::Shutdown));
+        }
+        QueryTicket { rx }
+    }
+
+    /// A live snapshot of the serving counters.
+    pub fn stats(&self) -> ServingStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting new queries, drains the queue, joins every worker
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> ServingStats {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.stats()
+    }
+}
+
+impl Drop for ServingRuntime {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::precompute::PrecomputeConfig;
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::KeywordSet;
+
+    fn build(seed: u64) -> (SocialNetwork, CommunityIndex) {
+        let g = DatasetSpec::new(DatasetKind::Uniform, 200, seed)
+            .with_keyword_domain(12)
+            .generate();
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_fanout(4)
+        .with_leaf_capacity(8)
+        .build(&g);
+        (g, index)
+    }
+
+    fn query(ids: [u32; 3], l: usize) -> TopLQuery {
+        TopLQuery::new(KeywordSet::from_ids(ids), 3, 2, 0.2, l)
+    }
+
+    /// Every answer field that must be bit-identical, flattened per
+    /// community: (centre id, score bits, influenced size, vertex ids).
+    type AnswerBits = Vec<(u32, u64, usize, Vec<u32>)>;
+
+    fn answer_bits(answer: &TopLAnswer) -> AnswerBits {
+        answer
+            .communities
+            .iter()
+            .map(|c| {
+                (
+                    c.center.0,
+                    c.influential_score.to_bits(),
+                    c.influenced_size,
+                    c.vertices.iter().map(|v| v.0).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn served_answers_are_bit_identical_to_single_threaded_runs() {
+        let (g, index) = build(11);
+        let expected = TopLProcessor::new(&g, &index)
+            .run(&query([0, 1, 2], 5))
+            .unwrap();
+        let runtime = ServingRuntime::start(ServingConfig::with_workers(2), g, index).unwrap();
+        let first = runtime.submit(query([0, 1, 2], 5)).wait().unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(answer_bits(&first.answer), answer_bits(&expected));
+        // permuted keywords canonicalise onto the same key → cache hit
+        let second = runtime.submit(query([2, 0, 1], 5)).wait().unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(answer_bits(&second.answer), answer_bits(&expected));
+        assert_eq!(first.epoch, 1);
+        assert_eq!(second.snapshot_fingerprint, first.snapshot_fingerprint);
+        let stats = runtime.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.queries_executed, 1);
+        assert_eq!(stats.queries_failed, 0);
+    }
+
+    #[test]
+    fn invalid_queries_fail_without_poisoning_the_pool() {
+        let (g, index) = build(12);
+        let runtime = ServingRuntime::start(ServingConfig::with_workers(2), g, index).unwrap();
+        let bad = runtime
+            .submit(TopLQuery::new(KeywordSet::new(), 3, 2, 0.2, 5))
+            .wait();
+        assert_eq!(
+            bad.unwrap_err(),
+            ServingError::Query(CoreError::EmptyQueryKeywords)
+        );
+        let good = runtime.submit(query([0, 1, 2], 5)).wait();
+        assert!(good.is_ok());
+        let stats = runtime.shutdown();
+        assert_eq!(stats.queries_failed, 1);
+        assert_eq!(stats.queries_executed, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_resolves_to_shutdown_error() {
+        let (g, index) = build(13);
+        let runtime =
+            ServingRuntime::start(ServingConfig::with_workers(1), g.clone(), index).unwrap();
+        runtime.shared.queue.close();
+        let ticket = runtime.submit(query([0, 1, 2], 5));
+        assert_eq!(ticket.wait().unwrap_err(), ServingError::Shutdown);
+    }
+
+    #[test]
+    fn merged_worker_counters_equal_the_sequential_run() {
+        let (g, index) = build(14);
+        // distinct queries so every one runs the kernel exactly once
+        let queries: Vec<TopLQuery> = (0..10u32)
+            .map(|i| query([i % 12, (i + 3) % 12, (i + 7) % 12], 3 + (i as usize % 4)))
+            .collect();
+        let processor = TopLProcessor::new(&g, &index);
+        let mut expected = PruningStats::new();
+        for q in &queries {
+            expected.merge(&processor.run(q).unwrap().stats);
+        }
+        let runtime =
+            ServingRuntime::start(ServingConfig::with_workers(4), g.clone(), index.clone())
+                .unwrap();
+        let tickets: Vec<QueryTicket> = queries.iter().map(|q| runtime.submit(q.clone())).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.pruning, expected);
+        assert_eq!(stats.queries_executed, queries.len() as u64);
+    }
+
+    #[test]
+    fn swap_under_load_serves_only_published_snapshots() {
+        let (graph_a, index_a) = build(21);
+        let (graph_b, index_b) = build(22);
+        let fp_a = index_a.content_fingerprint();
+        let fp_b = index_b.content_fingerprint();
+        assert_ne!(fp_a, fp_b);
+
+        // single-threaded reference answers per snapshot — the bit-identity
+        // oracle for everything the pool returns
+        let pool: Vec<TopLQuery> = (0..8u32)
+            .map(|i| query([i % 12, (i + 4) % 12, (i + 8) % 12], 5))
+            .collect();
+        let mut reference: HashMap<(u64, u64), AnswerBits> = HashMap::new();
+        for (g, idx, fp) in [(&graph_a, &index_a, fp_a), (&graph_b, &index_b, fp_b)] {
+            let p = TopLProcessor::new(g, idx);
+            for q in &pool {
+                let key = q.canonical_fingerprint();
+                reference.insert((fp, key), answer_bits(&p.run(q).unwrap()));
+            }
+        }
+
+        let runtime = ServingRuntime::start(
+            ServingConfig {
+                workers: 4,
+                queue_capacity: 32,
+                cache_shards: 4,
+                cache_capacity: 64,
+            },
+            graph_a,
+            index_a,
+        )
+        .unwrap();
+
+        const ROUNDS: usize = 30;
+        let mut outstanding: Vec<(u64, QueryTicket)> = Vec::new();
+        let mut served = 0u64;
+        let mut hits_after_swap = 0u64;
+        for round in 0..ROUNDS {
+            if round == ROUNDS / 2 {
+                let published = runtime.publish(graph_b.clone(), index_b.clone()).unwrap();
+                assert_eq!(published.epoch(), 2);
+                assert_eq!(published.fingerprint(), fp_b);
+            }
+            for q in &pool {
+                outstanding.push((q.canonical_fingerprint(), runtime.submit(q.clone())));
+            }
+            // drain periodically so the bounded queue keeps moving
+            if round % 3 == 2 {
+                for (key, ticket) in outstanding.drain(..) {
+                    let answer = ticket.wait().unwrap();
+                    assert!(
+                        answer.snapshot_fingerprint == fp_a || answer.snapshot_fingerprint == fp_b,
+                        "answer claims an unpublished snapshot"
+                    );
+                    if answer.cache_hit && answer.epoch == 2 {
+                        hits_after_swap += 1;
+                    }
+                    // a torn snapshot or a stale LRU entry surfaces here:
+                    // the answer must be bit-identical to the sequential
+                    // reference of the exact snapshot it claims
+                    assert_eq!(
+                        answer_bits(&answer.answer),
+                        reference[&(answer.snapshot_fingerprint, key)],
+                        "answer disagrees with its claimed snapshot"
+                    );
+                    // the epoch ↔ fingerprint pairing must be consistent
+                    let expected_fp = if answer.epoch == 1 { fp_a } else { fp_b };
+                    assert_eq!(answer.snapshot_fingerprint, expected_fp);
+                    served += 1;
+                }
+            }
+        }
+        for (key, ticket) in outstanding.drain(..) {
+            let answer = ticket.wait().unwrap();
+            assert_eq!(
+                answer_bits(&answer.answer),
+                reference[&(answer.snapshot_fingerprint, key)]
+            );
+            served += 1;
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(served, (ROUNDS * pool.len()) as u64);
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(
+            stats.cache_hits + stats.queries_executed,
+            served,
+            "every query was either executed or served from cache"
+        );
+        assert!(stats.cache_hits > 0, "repeated queries must hit the LRU");
+        // the second epoch re-executes before it can hit again, and those
+        // hits are epoch-2 entries — never epoch-1 leftovers (checked
+        // bit-exactly against the reference above)
+        assert!(hits_after_swap > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_capacity() {
+        let cache = ShardedLru::new(1, 2);
+        let (g, index) = build(15);
+        let answer = Arc::new(
+            TopLProcessor::new(&g, &index)
+                .run(&query([0, 1, 2], 3))
+                .unwrap(),
+        );
+        cache.insert(1, 1, Arc::clone(&answer));
+        cache.insert(2, 1, Arc::clone(&answer));
+        assert!(cache.get(1, 1).is_some()); // touch 1 → 2 becomes LRU
+        cache.insert(3, 1, Arc::clone(&answer));
+        assert!(cache.get(2, 1).is_none(), "LRU entry evicted");
+        assert!(cache.get(1, 1).is_some());
+        assert!(cache.get(3, 1).is_some());
+        // epoch bump rejects and evicts the stale entry
+        assert!(cache.get(1, 2).is_none());
+        assert!(cache.get(1, 1).is_none(), "stale entry was dropped");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (g, index) = build(16);
+        let runtime = ServingRuntime::start(
+            ServingConfig {
+                workers: 2,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+            g,
+            index,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            runtime.submit(query([0, 1, 2], 5)).wait().unwrap();
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.queries_executed, 3);
+    }
+
+    #[test]
+    fn mismatched_pair_is_rejected_at_publish_time() {
+        let (g, index) = build(17);
+        let (small, _) = build(18);
+        let small = {
+            // a graph with a different vertex count
+            let spec = DatasetSpec::new(DatasetKind::Uniform, 150, 19).with_keyword_domain(12);
+            drop(small);
+            spec.generate()
+        };
+        assert!(matches!(
+            ServingRuntime::start(ServingConfig::default(), small.clone(), index.clone()),
+            Err(CoreError::IndexGraphMismatch { .. })
+        ));
+        let runtime = ServingRuntime::start(ServingConfig::with_workers(1), g, index).unwrap();
+        assert!(matches!(
+            runtime.publish(small, runtime.current().index.clone()),
+            Err(CoreError::IndexGraphMismatch { .. })
+        ));
+        assert_eq!(runtime.stats().swaps, 0);
+    }
+}

@@ -5,10 +5,14 @@
 //! [`icde_graph::snapshot::KIND_INDEX`]. Because PR 4 flattened both the
 //! per-vertex pre-computed data and the tree into struct-of-arrays form
 //! ([`crate::aggregate::AggregateTable`]), the writer dumps each flat array
-//! as one section and the loader rebuilds the index with one `memcpy` per
-//! section — no JSON parsing, no per-node allocation. (The graph's CSR
-//! arrays go further and stay zero-copy views; the index copies so that
-//! incremental maintenance can keep mutating rows in place.)
+//! as one section and the loader serves every section as a zero-copy
+//! [`icde_graph::snapshot::FlatVec`] view straight into the mapped (or
+//! buffered) file — no JSON parsing, no per-node allocation, no memcpy, so
+//! index load is O(1) in the table sizes. Incremental maintenance still
+//! works on a loaded index: the first mutation of any array copies it out
+//! of the file (whole-array copy-on-write via [`FlatVec::to_mut`]).
+//!
+//! [`FlatVec::to_mut`]: icde_graph::snapshot::FlatVec::to_mut
 //!
 //! # Sections (payload kind 2)
 //!
@@ -120,10 +124,10 @@ fn read_table(
         config.r_max,
         config.signature_bits,
         config.thresholds.len(),
-        snap.flat_u64s(base[0])?.as_slice().to_vec(),
-        snap.flat_u32s(base[1])?.as_slice().to_vec(),
-        snap.flat_f64s(base[2])?.as_slice().to_vec(),
-        snap.flat_u32s(base[3])?.as_slice().to_vec(),
+        snap.flat_u64s(base[0])?,
+        snap.flat_u32s(base[1])?,
+        snap.flat_f64s(base[2])?,
+        snap.flat_u32s(base[3])?,
     )
     .map_err(SnapshotError::Malformed)
 }
@@ -233,15 +237,15 @@ pub fn index_from_snapshot(snap: &Snapshot) -> SnapshotResult<CommunityIndex> {
         &config,
         [SEC_V_SIGS, SEC_V_SUPPORTS, SEC_V_SCORES, SEC_V_REGION],
     )?;
-    let edge_supports = snap.flat_u32s(SEC_EDGE_SUPPORTS)?.as_slice().to_vec();
-    let seed_bounds = snap.flat_f64s(SEC_SEED_BOUNDS)?.as_slice().to_vec();
+    let edge_supports = snap.flat_u32s(SEC_EDGE_SUPPORTS)?;
+    let seed_bounds = snap.flat_f64s(SEC_SEED_BOUNDS)?;
     let precomputed =
         PrecomputedData::from_table(config.clone(), vertex_table, edge_supports, seed_bounds)
             .map_err(SnapshotError::Malformed)?;
 
-    let item_start = snap.flat_u32s(SEC_ITEM_START)?.as_slice().to_vec();
-    let item_pool = snap.flat_u32s(SEC_ITEM_POOL)?.as_slice().to_vec();
-    let leaf_mask = snap.flat_u64s(SEC_LEAF_MASK)?.as_slice().to_vec();
+    let item_start = snap.flat_u32s(SEC_ITEM_START)?;
+    let item_pool = snap.flat_u32s(SEC_ITEM_POOL)?;
+    let leaf_mask = snap.flat_u64s(SEC_LEAF_MASK)?;
     let nodes = item_start.len().saturating_sub(1);
     let node_table = read_table(
         snap,

@@ -95,6 +95,17 @@ impl PruningStats {
             + self.early_terminated_entries
             + self.early_termination_pops
     }
+
+    /// Folds another counter set into this one, field by field.
+    ///
+    /// The serving worker pool accumulates one `PruningStats` per worker
+    /// thread and merges them after the run; because every field is a plain
+    /// sum, the merged result is independent of worker count and merge order
+    /// — N workers' merged counters equal the sequential run's over the same
+    /// queries.
+    pub fn merge(&mut self, other: &PruningStats) {
+        *self += *other;
+    }
 }
 
 /// Multi-line human-readable counter breakdown (the CLI's `--explain`
@@ -221,6 +232,39 @@ mod tests {
         a += b;
         assert_eq!(a.candidates_refined, 5);
         assert_eq!(a.candidate_keyword_pruned, 1);
+    }
+
+    #[test]
+    fn merge_is_order_and_partition_independent() {
+        let parts = [
+            PruningStats {
+                candidates_refined: 2,
+                heap_pops: 7,
+                ..Default::default()
+            },
+            PruningStats {
+                index_score_pruned: 4,
+                heap_pops: 1,
+                ..Default::default()
+            },
+            PruningStats {
+                candidate_keyword_pruned: 3,
+                exact_verifications: 5,
+                ..Default::default()
+            },
+        ];
+        let mut forward = PruningStats::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = PruningStats::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.heap_pops, 8);
+        assert_eq!(forward.candidates_refined, 2);
+        assert_eq!(forward.exact_verifications, 5);
     }
 
     #[test]

@@ -258,7 +258,7 @@ impl<'a> TopLProcessor<'a> {
         query: &TopLQuery,
         toggles: PruningToggles,
     ) -> CoreResult<TopLAnswer> {
-        self.validate(query)?;
+        let query = &self.validate(query)?;
         let start = Instant::now();
         let graph = self.graph;
         let (communities, stats) =
@@ -279,9 +279,12 @@ impl<'a> TopLProcessor<'a> {
         })
     }
 
-    /// Rejects queries the index cannot answer before any traversal starts.
-    fn validate(&self, query: &TopLQuery) -> CoreResult<()> {
-        query.validate()?;
+    /// Rejects queries the index cannot answer before any traversal starts
+    /// and returns the canonical form the kernels actually run — so every
+    /// spelling of the same query (permuted/duplicated keywords, oversized
+    /// `L`) takes the identical execution path.
+    fn validate(&self, query: &TopLQuery) -> CoreResult<TopLQuery> {
+        let query = query.canonicalize()?;
         if query.radius > self.index.r_max() {
             return Err(CoreError::RadiusExceedsIndex {
                 requested: query.radius,
@@ -294,7 +297,7 @@ impl<'a> TopLProcessor<'a> {
                 index_vertices: self.index.num_graph_vertices(),
             });
         }
-        Ok(())
+        Ok(query)
     }
 
     /// Answers `query` with every pruning rule enabled through the eager
@@ -313,7 +316,7 @@ impl<'a> TopLProcessor<'a> {
         query: &TopLQuery,
         toggles: PruningToggles,
     ) -> CoreResult<TopLAnswer> {
-        self.validate(query)?;
+        let query = &self.validate(query)?;
 
         let start = Instant::now();
         let mut stats = PruningStats::new();
