@@ -100,7 +100,7 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|bench7|all]... \
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|bench7|bench8|all]... \
          [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
@@ -141,6 +141,15 @@ fn print_usage() {
          to the single-threaded kernel and write the BENCH_7.json perf snapshot \
          (not part of `all`). --bench-scale N shrinks the graph for smoke runs, \
          writing BENCH_7_smoke.json instead"
+    );
+    eprintln!(
+        "  bench8: drive a sustained Zipf insert/delete edge stream through \
+         the delta-overlay maintenance loop (overlay patches, affected-ball \
+         refresh, compaction) sequentially and then concurrently against the \
+         serving runtime, verify every interleaved answer bit-identical to a \
+         from-scratch rebuild at the same logical graph state and write the \
+         BENCH_8.json perf snapshot (not part of `all`). --bench-scale N \
+         shrinks the graph for smoke runs, writing BENCH_8_smoke.json instead"
     );
 }
 
@@ -299,6 +308,26 @@ fn main() {
             "BENCH_7_smoke.json"
         };
         std::fs::write(path, &json).expect("write BENCH_7 snapshot");
+        println!("{json}");
+        println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench8") {
+        println!(
+            "# bench8: driving a Zipf insert/delete stream through the \
+             delta-overlay maintenance loop on the {}-vertex small-world graph \
+             (every interleaved answer verified bit-identical to a from-scratch \
+             rebuild at the same logical state) ...",
+            options.bench_scale
+        );
+        let json = icde_bench::perf::bench8_snapshot_json(options.bench_scale);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+            "BENCH_8.json"
+        } else {
+            "BENCH_8_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_8 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
     }

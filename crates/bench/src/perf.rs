@@ -36,6 +36,18 @@
 //!   snapshot swap mid-run, sharded canonicalised-query LRU) at one worker
 //!   vs a multi-worker pool, with every answer asserted bit-identical to the
 //!   single-threaded kernel before any throughput is reported.
+//! * `experiments bench8` writes `BENCH_8.json` — the **D-TopL streaming
+//!   update loop**: a sustained Zipf insert/delete edge stream applied as
+//!   delta-overlay patches by the [`StreamingMaintainer`] (incremental
+//!   support patching, affected-ball aggregate refresh, threshold-triggered
+//!   compaction), first through a sequential exactness gate where the live
+//!   pair is asserted bit-identical to a from-scratch rebuild at **every**
+//!   batch state, then concurrently against the serving runtime with Zipf
+//!   query clients measuring updates/sec, compactions, query p50 and
+//!   snapshot staleness. The baseline is the pre-overlay status quo: a full
+//!   graph + index rebuild per edge update.
+//!
+//! [`StreamingMaintainer`]: icde_core::streaming::StreamingMaintainer
 //!
 //! [`TraversalWorkspace`]: icde_graph::workspace::TraversalWorkspace
 
@@ -44,18 +56,20 @@ use icde_core::persist;
 use icde_core::precompute::{PrecomputeConfig, PrecomputedData};
 use icde_core::query::TopLQuery;
 use icde_core::serving::{QueryTicket, ServingConfig, ServingRuntime, ServingStats};
+use icde_core::streaming::{EdgeUpdate, StreamingMaintainer};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::{small_world, SmallWorldConfig};
 use icde_graph::snapshot::{read_graph_snapshot_with, write_graph_snapshot, LoadMode};
 use icde_graph::traversal::{bfs_within, hop_subgraph_with};
 use icde_graph::workspace::TraversalWorkspace;
-use icde_graph::{io, KeywordSet, SocialNetwork, VertexId, VertexSubset};
+use icde_graph::{io, GraphBuilder, KeywordSet, SocialNetwork, VertexId, VertexSubset};
 use icde_influence::mia::{single_source_upp, single_source_upp_into};
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::triangle::count_triangles;
 use serde::Value;
-use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Scale and RNG seed of the snapshot workload (matches
@@ -176,7 +190,7 @@ fn reference_bfs_reached(g: &SocialNetwork, source: VertexId, max_hops: u32) -> 
         if du == max_hops {
             continue;
         }
-        for &(n, _) in g.neighbors(u) {
+        for (n, _) in g.neighbors(u) {
             if dist[n.index()].is_none() {
                 dist[n.index()] = Some(du + 1);
                 reached += 1;
@@ -1721,6 +1735,566 @@ pub fn bench7_snapshot_json(scale: usize) -> String {
                     "target".to_string(),
                     if full_scale {
                         Value::Float(BENCH7_TARGET_SPEEDUP)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
+// ---------------------------------------------------------------------------
+// bench8: the D-TopL streaming update loop (delta overlay + affected balls)
+// ---------------------------------------------------------------------------
+
+/// Zipf exponent of the update-endpoint distribution: hot vertices attract
+/// most of the churn, so consecutive affected balls overlap (the realistic
+/// D-TopL regime, and the one the affected-ball refresh amortises best).
+const BENCH8_ZIPF_S: f64 = 1.2;
+/// Hot-vertex pool the update endpoints are drawn from.
+const BENCH8_HOT_POOL: usize = 64;
+/// Target ratio of overlay-patch update throughput over the
+/// rebuild-per-edge baseline at full scale.
+const BENCH8_TARGET_SPEEDUP: f64 = 50.0;
+
+/// The bench8 offline configuration. The streaming workload trades radius
+/// for refresh locality: `r_max = 2` with a single `θ = 0.3` threshold keeps
+/// the influence slack at 1 (all weights are ≤ 0.5), so every update refresh
+/// touches a radius-3 ball instead of the whole graph.
+fn bench8_config() -> PrecomputeConfig {
+    PrecomputeConfig::new(2, vec![0.3])
+}
+
+/// Uniform `f64` in `[0, 1)` off the splitmix64 stream.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds 8 distinct queries answerable by the bench8 index (`r ≤ 2`,
+/// `θ ≥ 0.3`). Rank 0 is the bench4 query shape at the bench8 threshold.
+fn bench8_query_pool() -> Vec<TopLQuery> {
+    let mut state = SNAPSHOT_SEED ^ 0xB8;
+    let thetas = [0.3, 0.35, 0.4];
+    let mut pool = vec![TopLQuery::new(
+        KeywordSet::from_ids([0, 1, 2, 3, 4]),
+        3,
+        2,
+        0.3,
+        5,
+    )];
+    let mut seen: HashSet<u64> = pool.iter().map(|q| q.canonical_fingerprint()).collect();
+    while pool.len() < 8 {
+        let keyword_count = 2 + (splitmix64(&mut state) % 3) as usize;
+        let ids: Vec<u32> = (0..keyword_count)
+            .map(|_| (splitmix64(&mut state) % 12) as u32)
+            .collect();
+        let query = TopLQuery::new(
+            KeywordSet::from_ids(ids),
+            2 + (splitmix64(&mut state) % 2) as u32,
+            1 + (splitmix64(&mut state) % 2) as u32,
+            thetas[(splitmix64(&mut state) % thetas.len() as u64) as usize],
+            1 + (splitmix64(&mut state) % 8) as usize,
+        );
+        if seen.insert(query.canonical_fingerprint()) {
+            pool.push(query);
+        }
+    }
+    pool
+}
+
+/// Rebuilds the logical graph from scratch: a fresh builder over the live
+/// edge table gives a dense CSR with no overlay — the pre-overlay
+/// formulation every interleaved state is verified against.
+fn bench8_rebuild_from_scratch(g: &SocialNetwork) -> SocialNetwork {
+    let mut b = GraphBuilder::with_vertices(g.num_vertices());
+    for v in g.vertices() {
+        b.set_keywords(v, g.keyword_set(v).clone())
+            .expect("vertex exists");
+    }
+    for (u, v, wf, wb) in g.edge_table_iter() {
+        b.add_edge(u, v, wf, wb);
+    }
+    b.build().expect("live edge table is a valid graph")
+}
+
+/// Generates a deterministic mixed insert/delete stream with Zipf-skewed
+/// hot-pool endpoints. A mirror of the logical edge set guarantees every
+/// update is valid at application time (no skips), and replaying the stream
+/// from the same initial graph is idempotent — the sequential gate and the
+/// concurrent leg both apply the identical sequence. Inserted weights stay
+/// in `[0.35, 0.5)`, at or below the generator's uniform 0.5, so the
+/// influence slack bound never grows mid-stream. Roughly half the updates
+/// are removals, split between previously inserted overlay edges and base
+/// CSR edges (the latter exercise the tombstone path).
+fn bench8_update_stream(g: &SocialNetwork, total: usize) -> Vec<EdgeUpdate> {
+    let n = g.num_vertices();
+    let hot = BENCH8_HOT_POOL.min(n / 2);
+    let stride = n / hot;
+    let hot_ids: Vec<VertexId> = (0..hot).map(|i| VertexId::from_index(i * stride)).collect();
+    let cdf = zipf_cdf(hot, BENCH8_ZIPF_S);
+    let mut state = SNAPSHOT_SEED ^ 0xD7B8;
+
+    let key = |u: VertexId, v: VertexId| (u.0.min(v.0), u.0.max(v.0));
+    let mut added: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut added_set: HashSet<(u32, u32)> = HashSet::new();
+    let mut removed_base: HashSet<(u32, u32)> = HashSet::new();
+
+    let mut stream = Vec::with_capacity(total);
+    while stream.len() < total {
+        match splitmix64(&mut state) % 4 {
+            0 if !added.is_empty() => {
+                // remove a previously inserted overlay edge
+                let i = (splitmix64(&mut state) % added.len() as u64) as usize;
+                let (u, v) = added.swap_remove(i);
+                added_set.remove(&key(u, v));
+                stream.push(EdgeUpdate::Remove { u, v });
+            }
+            1 => {
+                // remove a base CSR edge incident to a hot vertex: this is
+                // the tombstone path (the id becomes a hole until compaction)
+                let u = hot_ids[sample_zipf(&cdf, unit_f64(&mut state))];
+                let victim = g.neighbors(u).iter().map(|(v, _)| v).find(|&v| {
+                    !removed_base.contains(&key(u, v)) && !added_set.contains(&key(u, v))
+                });
+                if let Some(v) = victim {
+                    removed_base.insert(key(u, v));
+                    stream.push(EdgeUpdate::Remove { u, v });
+                }
+            }
+            _ => {
+                // insert a fresh edge between two hot-pool vertices
+                let u = hot_ids[sample_zipf(&cdf, unit_f64(&mut state))];
+                let v = hot_ids[sample_zipf(&cdf, unit_f64(&mut state))];
+                let present = u == v
+                    || added_set.contains(&key(u, v))
+                    || (g.contains_edge(u, v) && !removed_base.contains(&key(u, v)));
+                if !present {
+                    let p_uv = 0.35 + unit_f64(&mut state) * 0.15;
+                    let p_vu = 0.35 + unit_f64(&mut state) * 0.15;
+                    added.push((u, v));
+                    added_set.insert(key(u, v));
+                    stream.push(EdgeUpdate::Insert { u, v, p_uv, p_vu });
+                }
+            }
+        }
+    }
+    stream
+}
+
+/// Runs the D-TopL streaming workloads and renders the `BENCH_8.json`
+/// document. Two legs over the identical update stream:
+///
+/// 1. **Sequential exactness gate** — a [`StreamingMaintainer`] applies the
+///    stream batch by batch; after *every* batch the graph is rebuilt from
+///    scratch (fresh CSR, fresh index) and the whole query pool is asserted
+///    bit-identical between the live overlay pair and the rebuild. The
+///    per-state rebuild times double as the rebuild-per-edge baseline.
+/// 2. **Concurrent serving leg** — the maintainer is spawned onto its
+///    maintenance thread, hot-swapping each refreshed snapshot into a
+///    [`ServingRuntime`] while Zipf query clients hammer the pool;
+///    updates/sec, compactions, query p50 and epoch staleness are measured,
+///    and every served answer is asserted bit-identical to the from-scratch
+///    reference of the epoch it was served at.
+///
+/// `scale` below [`SNAPSHOT_SCALE`] runs the same shape as a smoke test (CI).
+///
+/// # Panics
+/// Panics when any interleaved answer is not **bit-identical** to the
+/// from-scratch rebuild at the same logical graph state, when any update is
+/// skipped, when no compaction fires, or when a query fails — throughput is
+/// only reported after every answer has been verified.
+pub fn bench8_snapshot_json(scale: usize) -> String {
+    let full_scale = scale == SNAPSHOT_SCALE;
+    let total_updates = if full_scale { 256 } else { 64 };
+    let batch_size = if full_scale { 32 } else { 8 };
+
+    let g = bench4_graph(scale);
+    let build_start = Instant::now();
+    let index = IndexBuilder::new(bench8_config()).build(&g);
+    let offline_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let base_m = g.num_edges();
+    // sized so compaction fires roughly three times over the run
+    let compact_threshold = (total_updates as f64 / 3.0) / base_m as f64;
+    let stream = bench8_update_stream(&g, total_updates);
+    let inserts_total = stream
+        .iter()
+        .filter(|u| matches!(u, EdgeUpdate::Insert { .. }))
+        .count();
+    let batches: Vec<&[EdgeUpdate]> = stream.chunks(batch_size).collect();
+    let pool = bench8_query_pool();
+
+    // --- leg 1: sequential exactness gate + rebuild-per-edge baseline -----
+    // reference[s][q]: from-scratch fingerprint of pool query q at logical
+    // state s (state 0 = initial graph, state s = after batch s)
+    let initial_processor = TopLProcessor::new(&g, &index);
+    let mut reference: Vec<Vec<u64>> = vec![pool
+        .iter()
+        .map(|q| answer_fingerprint(&initial_processor.run(q).expect("initial reference")))
+        .collect()];
+
+    let mut maintainer = StreamingMaintainer::new(g.clone(), index.clone())
+        .with_compact_threshold(compact_threshold);
+    let mut apply_ms_total = 0.0f64;
+    let mut rebuild_ms: Vec<f64> = Vec::with_capacity(batches.len());
+    let mut gate_answers_verified = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        let t = Instant::now();
+        maintainer.apply_batch(batch);
+        apply_ms_total += t.elapsed().as_secs_f64() * 1e3;
+
+        // the pre-overlay status quo at this state: full rebuild of graph,
+        // pre-computation and index (timed — this is the baseline cost every
+        // single edge update used to pay)
+        let t = Instant::now();
+        let scratch = bench8_rebuild_from_scratch(maintainer.graph());
+        let scratch_index = IndexBuilder::new(bench8_config()).build(&scratch);
+        rebuild_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let live = TopLProcessor::new(maintainer.graph(), maintainer.index());
+        let fresh = TopLProcessor::new(&scratch, &scratch_index);
+        let fps: Vec<u64> = pool
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let live_fp = answer_fingerprint(&live.run(q).expect("live run"));
+                let fresh_fp = answer_fingerprint(&fresh.run(q).expect("scratch run"));
+                assert_eq!(
+                    live_fp, fresh_fp,
+                    "overlay answer diverged from the from-scratch rebuild \
+                     (batch {i}, pool query {qi})"
+                );
+                gate_answers_verified += 1;
+                fresh_fp
+            })
+            .collect();
+        reference.push(fps);
+    }
+    let gate_stats = maintainer.stats();
+    assert_eq!(
+        gate_stats.updates_applied(),
+        total_updates as u64,
+        "the generated stream must apply cleanly"
+    );
+    assert_eq!(gate_stats.updates_skipped, 0, "no update may be skipped");
+    assert!(
+        gate_stats.compactions >= 1,
+        "the run must cross the compaction threshold at least once"
+    );
+    rebuild_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let rebuild_median_ms = rebuild_ms[rebuild_ms.len() / 2];
+    let per_update_ms = apply_ms_total / total_updates as f64;
+    let maintain_updates_per_sec = 1e3 / per_update_ms;
+    let mut reference_digest = 0xcbf29ce484222325u64;
+    for fp in reference.iter().flatten() {
+        reference_digest = (reference_digest ^ fp).wrapping_mul(0x100000001B3);
+    }
+
+    // --- leg 2: concurrent serving under the same stream ------------------
+    let clients = 2usize;
+    let runtime = Arc::new(
+        ServingRuntime::start(ServingConfig::with_workers(2), g.clone(), index.clone())
+            .expect("serving runtime starts"),
+    );
+    let feed = StreamingMaintainer::new(g.clone(), index.clone())
+        .with_compact_threshold(compact_threshold)
+        .spawn(Arc::clone(&runtime));
+    let qcdf = zipf_cdf(pool.len(), BENCH7_ZIPF_S);
+    let stop = AtomicBool::new(false);
+
+    let (concurrent_maintainer, concurrent_wall_s, samples) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let runtime = &runtime;
+                let stop = &stop;
+                let pool = &pool;
+                let reference = &reference;
+                let qcdf = &qcdf;
+                scope.spawn(move || {
+                    let mut state = SNAPSHOT_SEED ^ 0x1B8 ^ ((c as u64) << 32);
+                    // (latency ns, epochs behind the latest snapshot)
+                    let mut local: Vec<(u64, u64)> = Vec::new();
+                    loop {
+                        let idx = sample_zipf(qcdf, unit_f64(&mut state));
+                        let t = Instant::now();
+                        let served = runtime
+                            .submit(pool[idx].clone())
+                            .wait()
+                            .expect("serving runtime answered");
+                        let latency_ns = t.elapsed().as_nanos() as u64;
+                        let lag = runtime.current().epoch().saturating_sub(served.epoch);
+                        let state_idx = (served.epoch - 1) as usize;
+                        assert_eq!(
+                            answer_fingerprint(&served.answer),
+                            reference[state_idx][idx],
+                            "served answer diverged from the from-scratch \
+                             reference of its own epoch (state {state_idx}, \
+                             pool query {idx})"
+                        );
+                        local.push((latency_ns, lag));
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        for batch in &batches {
+            assert!(feed.push(batch.to_vec()), "maintenance thread alive");
+        }
+        let maintainer = feed.finish();
+        let wall_s = t0.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let samples: Vec<(u64, u64)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        (maintainer, wall_s, samples)
+    });
+    let serving_stats = Arc::try_unwrap(runtime)
+        .ok()
+        .expect("no outstanding runtime references")
+        .shutdown();
+    let concurrent_stats = concurrent_maintainer.stats();
+    assert_eq!(concurrent_stats.updates_applied(), total_updates as u64);
+    assert_eq!(concurrent_stats.updates_skipped, 0);
+    assert_eq!(serving_stats.queries_failed, 0, "queries failed mid-stream");
+    assert_eq!(
+        serving_stats.swaps,
+        batches.len() as u64,
+        "every batch must hot-swap a refreshed snapshot"
+    );
+    let concurrent_updates_per_sec = total_updates as f64 / concurrent_wall_s;
+    let queries_served = samples.len();
+    let mut latencies: Vec<u64> = samples.iter().map(|&(ns, _)| ns).collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] as f64 / 1e6;
+    let stale_max = samples.iter().map(|&(_, lag)| lag).max().unwrap_or(0);
+    let stale_mean =
+        samples.iter().map(|&(_, lag)| lag).sum::<u64>() as f64 / queries_served.max(1) as f64;
+
+    let ratio = |old: f64, new: f64| {
+        if new > 0.0 {
+            (old / new * 1e2).round() / 1e2
+        } else {
+            f64::INFINITY
+        }
+    };
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_8".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "D-TopL streaming update loop (PR 8): a sustained Zipf-skewed \
+                 insert/delete edge stream applied as delta-overlay patches \
+                 (O(degree log degree) per update, incremental triangle-support \
+                 patching, affected-ball aggregate refresh, threshold-triggered \
+                 overlay compaction with edge-id remap). Leg 1 is the sequential \
+                 exactness gate: after every batch the live overlay pair must \
+                 answer the whole query pool bit-identically to a from-scratch \
+                 rebuild (fresh CSR + fresh index) at the same logical graph \
+                 state; those timed rebuilds are the baseline — the cost every \
+                 single edge update paid before the overlay existed. Leg 2 \
+                 replays the same stream through the maintenance thread while \
+                 Zipf query clients run against the serving runtime, measuring \
+                 sustained updates/sec, compactions, query p50 and snapshot \
+                 staleness; every served answer is asserted bit-identical to \
+                 the from-scratch reference of the epoch it was served at."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str("small_world paper_default + uniform keywords".to_string()),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("base_edges".to_string(), Value::UInt(base_m as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                (
+                    "total_updates".to_string(),
+                    Value::UInt(total_updates as u64),
+                ),
+                ("inserts".to_string(), Value::UInt(inserts_total as u64)),
+                (
+                    "removes".to_string(),
+                    Value::UInt((total_updates - inserts_total) as u64),
+                ),
+                ("batch_size".to_string(), Value::UInt(batch_size as u64)),
+                ("batches".to_string(), Value::UInt(batches.len() as u64)),
+                (
+                    "hot_pool".to_string(),
+                    Value::UInt(BENCH8_HOT_POOL.min(g.num_vertices() / 2) as u64),
+                ),
+                ("zipf_s".to_string(), Value::Float(BENCH8_ZIPF_S)),
+                (
+                    "compact_threshold".to_string(),
+                    Value::Float(compact_threshold),
+                ),
+                ("r_max".to_string(), Value::UInt(2)),
+                (
+                    "thresholds".to_string(),
+                    Value::Array(vec![Value::Float(0.3)]),
+                ),
+                (
+                    "distinct_queries".to_string(),
+                    Value::UInt(pool.len() as u64),
+                ),
+                ("query_clients".to_string(), Value::UInt(clients as u64)),
+                ("cpu_cores".to_string(), Value::UInt(cpu_cores as u64)),
+                (
+                    "offline_build_ms".to_string(),
+                    Value::Float(round3(offline_build_ms)),
+                ),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                ("answers_bit_identical".to_string(), Value::Bool(true)),
+                (
+                    "states_verified_against_scratch".to_string(),
+                    Value::UInt(batches.len() as u64),
+                ),
+                (
+                    "gate_answers_verified".to_string(),
+                    Value::UInt(gate_answers_verified),
+                ),
+                (
+                    "served_answers_verified".to_string(),
+                    Value::UInt(queries_served as u64),
+                ),
+                ("updates_skipped".to_string(), Value::UInt(0)),
+                (
+                    "reference_fingerprint_digest".to_string(),
+                    Value::Str(format!("{reference_digest:#018x}")),
+                ),
+            ]),
+        ),
+        (
+            "baseline".to_string(),
+            Value::Object(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("rebuild_per_edge".to_string()),
+                ),
+                (
+                    "description".to_string(),
+                    Value::Str(
+                        "the pre-overlay status quo: every edge update rebuilds \
+                         the CSR, the pre-computed aggregates and the index from \
+                         scratch (median of one timed rebuild per batch state)"
+                            .to_string(),
+                    ),
+                ),
+                (
+                    "rebuild_ms_median".to_string(),
+                    Value::Float(round3(rebuild_median_ms)),
+                ),
+                (
+                    "rebuilds_timed".to_string(),
+                    Value::UInt(rebuild_ms.len() as u64),
+                ),
+                (
+                    "updates_per_sec".to_string(),
+                    Value::Float(round3(1e3 / rebuild_median_ms)),
+                ),
+            ]),
+        ),
+        (
+            "results".to_string(),
+            Value::Object(vec![
+                (
+                    "maintenance_only".to_string(),
+                    Value::Object(vec![
+                        (
+                            "apply_ms_total".to_string(),
+                            Value::Float(round3(apply_ms_total)),
+                        ),
+                        (
+                            "per_update_ms".to_string(),
+                            Value::Float(round3(per_update_ms)),
+                        ),
+                        (
+                            "updates_per_sec".to_string(),
+                            Value::Float(round3(maintain_updates_per_sec)),
+                        ),
+                        (
+                            "vertices_recomputed".to_string(),
+                            Value::UInt(gate_stats.vertices_recomputed),
+                        ),
+                        (
+                            "compactions".to_string(),
+                            Value::UInt(gate_stats.compactions),
+                        ),
+                    ]),
+                ),
+                (
+                    "concurrent".to_string(),
+                    Value::Object(vec![
+                        (
+                            "wall_seconds".to_string(),
+                            Value::Float(round3(concurrent_wall_s)),
+                        ),
+                        (
+                            "updates_per_sec".to_string(),
+                            Value::Float(round3(concurrent_updates_per_sec)),
+                        ),
+                        (
+                            "vertices_recomputed".to_string(),
+                            Value::UInt(concurrent_stats.vertices_recomputed),
+                        ),
+                        (
+                            "compactions".to_string(),
+                            Value::UInt(concurrent_stats.compactions),
+                        ),
+                        (
+                            "snapshot_swaps".to_string(),
+                            Value::UInt(serving_stats.swaps),
+                        ),
+                        (
+                            "queries_served".to_string(),
+                            Value::UInt(queries_served as u64),
+                        ),
+                        ("query_p50_ms".to_string(), Value::Float(round3(pct(0.50)))),
+                        ("query_p99_ms".to_string(), Value::Float(round3(pct(0.99)))),
+                        (
+                            "cache_hit_rate".to_string(),
+                            Value::Float(round3(serving_stats.hit_rate())),
+                        ),
+                        (
+                            "staleness_mean_epochs".to_string(),
+                            Value::Float(round3(stale_mean)),
+                        ),
+                        ("staleness_max_epochs".to_string(), Value::UInt(stale_max)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "updates_per_sec_vs_rebuild_per_edge".to_string(),
+                    Value::Float(ratio(rebuild_median_ms, per_update_ms)),
+                ),
+                (
+                    "concurrent_updates_per_sec_vs_rebuild_per_edge".to_string(),
+                    Value::Float(ratio(rebuild_median_ms, 1e3 / concurrent_updates_per_sec)),
+                ),
+                (
+                    "target".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH8_TARGET_SPEEDUP)
                     } else {
                         Value::Null
                     },

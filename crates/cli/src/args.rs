@@ -17,6 +17,10 @@ usage:
                      [--theta X] [--l N] [--n N] [--json]
   topl-icde serve    --graph FILE --index FILE [--workers N] [--queries N]
                      [--seed N] [--k N] [--r N] [--theta X] [--l N] [--json]
+                     [--update-rate N] [--compact-threshold X]
+  topl-icde update   --graph FILE --index FILE --updates FILE [--batch N]
+                     [--compact-threshold X] [--out-graph FILE] [--out-index FILE]
+                     [--keywords a,b,c [--k N] [--r N] [--theta X] [--l N]] [--json]
   topl-icde snapshot save --graph FILE --out FILE    (binary graph snapshot)
   topl-icde snapshot save --index FILE --out FILE    (binary index snapshot)
   topl-icde snapshot load --file FILE [--buffered]   (verify + summarise)
@@ -30,7 +34,15 @@ prints the pruning-counter breakdown after the answers; `query --eager`
 forces the eager reference path instead of the progressive kernel. `serve`
 starts the concurrent serving runtime (worker pool + query LRU) and drives
 it with --queries synthetic Zipf-skewed keyword queries, reporting QPS,
-latency percentiles and the cache hit rate.";
+latency percentiles and the cache hit rate; --update-rate N additionally
+streams ~N synthetic edge updates/sec through the maintenance thread
+(delta-overlay patches, hot snapshot swaps) while the queries run, reporting
+updates/sec and the compaction count. `update` applies an edge-update stream
+file against a graph + index pair through the same maintenance loop (lines:
+`+ u v p_uv p_vu` inserts, `- u v` removes, `#` comments) in --batch-sized
+batches, optionally writes the refreshed pair back out and answers a query
+on it. --compact-threshold X sets the overlay fraction that triggers folding
+the delta overlay back into the CSR base (default 0.125).";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +158,43 @@ pub enum Command {
         l: usize,
         /// Emit JSON instead of text.
         json: bool,
+        /// Target synthetic edge updates per second streamed through the
+        /// maintenance thread while the queries run (0 disables updates).
+        update_rate: f64,
+        /// Overlay fraction above which the maintainer compacts the delta
+        /// overlay back into the CSR base.
+        compact_threshold: f64,
+    },
+    /// Apply an edge-update stream file against a graph + index pair via the
+    /// streaming maintenance loop.
+    Update {
+        /// Path to the graph file.
+        graph: String,
+        /// Path to the index file.
+        index: String,
+        /// Path to the update-stream file (`+ u v p_uv p_vu` / `- u v`).
+        updates: String,
+        /// Updates per maintenance batch.
+        batch: usize,
+        /// Overlay fraction above which a batch triggers compaction.
+        compact_threshold: f64,
+        /// Optional output path for the refreshed graph.
+        out_graph: Option<String>,
+        /// Optional output path for the refreshed index.
+        out_index: Option<String>,
+        /// Keyword ids of an optional query to answer on the refreshed pair
+        /// (empty = no query).
+        keywords: Vec<u32>,
+        /// Truss support k of the optional query.
+        k: u32,
+        /// Radius r of the optional query.
+        r: u32,
+        /// Influence threshold θ of the optional query.
+        theta: f64,
+        /// Result size L of the optional query.
+        l: usize,
+        /// Emit JSON instead of text.
+        json: bool,
     },
     /// Convert a graph or index file into a binary snapshot.
     SnapshotSave {
@@ -227,6 +276,18 @@ fn parse_threads(flags: &Flags<'_>) -> Result<Option<usize>, String> {
     }
 }
 
+fn parse_compact_threshold(flags: &Flags<'_>) -> Result<f64, String> {
+    let threshold = flags.parse_or(
+        "--compact-threshold",
+        icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+    )?;
+    if threshold > 0.0 && threshold.is_finite() {
+        Ok(threshold)
+    } else {
+        Err("--compact-threshold must be a finite positive number".to_string())
+    }
+}
+
 fn parse_f64_list(value: &str) -> Result<Vec<f64>, String> {
     value
         .split(',')
@@ -292,6 +353,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if workers == 0 {
                 return Err("--workers must be at least 1".to_string());
             }
+            let update_rate = flags.parse_or("--update-rate", 0.0f64)?;
+            if !(update_rate >= 0.0 && update_rate.is_finite()) {
+                return Err("--update-rate must be a finite non-negative number".to_string());
+            }
             Ok(Command::Serve {
                 graph: flags.required("--graph")?.to_string(),
                 index: flags.required("--index")?.to_string(),
@@ -299,6 +364,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 queries: flags.parse_or("--queries", 10_000usize)?,
                 seed: flags.parse_or("--seed", 42u64)?,
                 k: flags.parse_or("--k", 3u32)?,
+                r: flags.parse_or("--r", 2u32)?,
+                theta: flags.parse_or("--theta", 0.2f64)?,
+                l: flags.parse_or("--l", 5usize)?,
+                json: flags.has("--json"),
+                update_rate,
+                compact_threshold: parse_compact_threshold(&flags)?,
+            })
+        }
+        "update" => {
+            let batch = flags.parse_or("--batch", 64usize)?;
+            if batch == 0 {
+                return Err("--batch must be at least 1".to_string());
+            }
+            Ok(Command::Update {
+                graph: flags.required("--graph")?.to_string(),
+                index: flags.required("--index")?.to_string(),
+                updates: flags.required("--updates")?.to_string(),
+                batch,
+                compact_threshold: parse_compact_threshold(&flags)?,
+                out_graph: flags.get("--out-graph").map(str::to_string),
+                out_index: flags.get("--out-index").map(str::to_string),
+                keywords: match flags.get("--keywords") {
+                    None => Vec::new(),
+                    Some(v) => parse_u32_list(v)?,
+                },
+                k: flags.parse_or("--k", 4u32)?,
                 r: flags.parse_or("--r", 2u32)?,
                 theta: flags.parse_or("--theta", 0.2f64)?,
                 l: flags.parse_or("--l", 5usize)?,
@@ -611,6 +702,8 @@ mod tests {
                 theta: 0.2,
                 l: 5,
                 json: false,
+                update_rate: 0.0,
+                compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
             }
         );
         let cmd = parse(&argv(&[
@@ -628,6 +721,10 @@ mod tests {
             "--theta",
             "0.3",
             "--json",
+            "--update-rate",
+            "250",
+            "--compact-threshold",
+            "0.05",
         ]))
         .unwrap();
         match cmd {
@@ -637,6 +734,8 @@ mod tests {
                 seed,
                 theta,
                 json,
+                update_rate,
+                compact_threshold,
                 ..
             } => {
                 assert_eq!(workers, 2);
@@ -644,10 +743,12 @@ mod tests {
                 assert_eq!(seed, 9);
                 assert_eq!(theta, 0.3);
                 assert!(json);
+                assert_eq!(update_rate, 250.0);
+                assert_eq!(compact_threshold, 0.05);
             }
             other => panic!("expected serve, got {other:?}"),
         }
-        // zero workers and missing files are rejected
+        // zero workers, bad rates/thresholds and missing files are rejected
         assert!(parse(&argv(&[
             "serve",
             "--graph",
@@ -658,7 +759,117 @@ mod tests {
             "0"
         ]))
         .is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--update-rate",
+            "-5"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--compact-threshold",
+            "0"
+        ]))
+        .is_err());
         assert!(parse(&argv(&["serve", "--graph", "g"])).is_err());
+    }
+
+    #[test]
+    fn parses_update_with_defaults_and_overrides() {
+        let cmd = parse(&argv(&[
+            "update",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--updates",
+            "u.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Update {
+                graph: "g".to_string(),
+                index: "i".to_string(),
+                updates: "u.txt".to_string(),
+                batch: 64,
+                compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+                out_graph: None,
+                out_index: None,
+                keywords: Vec::new(),
+                k: 4,
+                r: 2,
+                theta: 0.2,
+                l: 5,
+                json: false,
+            }
+        );
+        let cmd = parse(&argv(&[
+            "update",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--updates",
+            "u.txt",
+            "--batch",
+            "16",
+            "--compact-threshold",
+            "0.01",
+            "--out-graph",
+            "g2.snap",
+            "--out-index",
+            "i2.snap",
+            "--keywords",
+            "1,2",
+            "--theta",
+            "0.3",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Update {
+                batch,
+                compact_threshold,
+                out_graph,
+                out_index,
+                keywords,
+                theta,
+                json,
+                ..
+            } => {
+                assert_eq!(batch, 16);
+                assert_eq!(compact_threshold, 0.01);
+                assert_eq!(out_graph.as_deref(), Some("g2.snap"));
+                assert_eq!(out_index.as_deref(), Some("i2.snap"));
+                assert_eq!(keywords, vec![1, 2]);
+                assert_eq!(theta, 0.3);
+                assert!(json);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // a zero batch and a missing stream file flag are rejected
+        assert!(parse(&argv(&[
+            "update",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--updates",
+            "u",
+            "--batch",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["update", "--graph", "g", "--index", "i"])).is_err());
     }
 
     #[test]

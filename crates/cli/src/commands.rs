@@ -8,13 +8,16 @@ use icde_core::precompute::PrecomputeConfig;
 use icde_core::query::TopLQuery;
 use icde_core::seed::SeedCommunity;
 use icde_core::serving::{ServingConfig, ServingRuntime};
+use icde_core::streaming::{EdgeUpdate, StreamStats, StreamingMaintainer};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::DatasetSpec;
 use icde_graph::snapshot::{
     self as graph_snapshot, path_is_snapshot, LoadMode, Snapshot, KIND_GRAPH,
 };
 use icde_graph::statistics::graph_statistics;
-use icde_graph::{io, KeywordSet, SocialNetwork};
+use icde_graph::{io, KeywordSet, SocialNetwork, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Runs one parsed command; error strings are printed by `main`.
 pub fn run(command: Command) -> Result<(), String> {
@@ -178,10 +181,175 @@ pub fn run(command: Command) -> Result<(), String> {
             theta,
             l,
             json,
+            update_rate,
+            compact_threshold,
         } => {
             let g = load_graph(&graph)?;
             let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
-            run_serve(g, idx, workers, queries, seed, k, r, theta, l, json)
+            run_serve(
+                g,
+                idx,
+                ServeOptions {
+                    workers,
+                    queries,
+                    seed,
+                    k,
+                    r,
+                    theta,
+                    l,
+                    json,
+                    update_rate,
+                    compact_threshold,
+                },
+            )
+        }
+        Command::Update {
+            graph,
+            index,
+            updates,
+            batch,
+            compact_threshold,
+            out_graph,
+            out_index,
+            keywords,
+            k,
+            r,
+            theta,
+            l,
+            json,
+        } => {
+            let g = load_graph(&graph)?;
+            let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(&updates)
+                .map_err(|e| format!("cannot read {updates}: {e}"))?;
+            let stream = parse_update_stream(&text)?;
+            if stream.is_empty() {
+                return Err(format!("{updates} contains no updates"));
+            }
+
+            let mut maintainer =
+                StreamingMaintainer::new(g, idx).with_compact_threshold(compact_threshold);
+            let started = std::time::Instant::now();
+            let mut batches = 0u64;
+            for chunk in stream.chunks(batch) {
+                maintainer.apply_batch(chunk);
+                batches += 1;
+            }
+            let wall = started.elapsed();
+            let stats = maintainer.stats();
+            let updates_per_sec =
+                stats.updates_applied() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE);
+
+            if let Some(out) = &out_graph {
+                write_graph_out(maintainer.graph(), out)?;
+            }
+            if let Some(out) = &out_index {
+                if out.ends_with(".snap") {
+                    persist::save_index_snapshot(maintainer.index(), out)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    persist::save_index(maintainer.index(), out).map_err(|e| e.to_string())?;
+                }
+            }
+
+            if json {
+                let doc = serde_json::Value::Object(vec![
+                    (
+                        "updates_total".to_string(),
+                        serde_json::Value::UInt(stream.len() as u64),
+                    ),
+                    (
+                        "inserts_applied".to_string(),
+                        serde_json::Value::UInt(stats.inserts_applied),
+                    ),
+                    (
+                        "removes_applied".to_string(),
+                        serde_json::Value::UInt(stats.removes_applied),
+                    ),
+                    (
+                        "updates_skipped".to_string(),
+                        serde_json::Value::UInt(stats.updates_skipped),
+                    ),
+                    ("batches".to_string(), serde_json::Value::UInt(batches)),
+                    (
+                        "vertices_recomputed".to_string(),
+                        serde_json::Value::UInt(stats.vertices_recomputed),
+                    ),
+                    (
+                        "compactions".to_string(),
+                        serde_json::Value::UInt(stats.compactions),
+                    ),
+                    (
+                        "wall_seconds".to_string(),
+                        serde_json::Value::Float(wall.as_secs_f64()),
+                    ),
+                    (
+                        "updates_per_sec".to_string(),
+                        serde_json::Value::Float(updates_per_sec),
+                    ),
+                    (
+                        "graph_vertices".to_string(),
+                        serde_json::Value::UInt(maintainer.graph().num_vertices() as u64),
+                    ),
+                    (
+                        "graph_edges".to_string(),
+                        serde_json::Value::UInt(maintainer.graph().num_edges() as u64),
+                    ),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!(
+                    "applied {} updates ({} inserts, {} removes, {} skipped) in {} batch{} \
+                     over {:.2?} ({:.0} updates/sec)",
+                    stats.updates_applied(),
+                    stats.inserts_applied,
+                    stats.removes_applied,
+                    stats.updates_skipped,
+                    batches,
+                    if batches == 1 { "" } else { "es" },
+                    wall,
+                    updates_per_sec
+                );
+                println!(
+                    "refreshed {} vertices, {} compaction{}; graph now {} vertices, {} edges",
+                    stats.vertices_recomputed,
+                    stats.compactions,
+                    if stats.compactions == 1 { "" } else { "s" },
+                    maintainer.graph().num_vertices(),
+                    maintainer.graph().num_edges()
+                );
+                if let Some(out) = &out_graph {
+                    println!("wrote refreshed graph {out}");
+                }
+                if let Some(out) = &out_index {
+                    println!("wrote refreshed index {out}");
+                }
+            }
+
+            if !keywords.is_empty() {
+                let query = TopLQuery::new(KeywordSet::from_ids(keywords), k, r, theta, l);
+                let answer = TopLProcessor::new(maintainer.graph(), maintainer.index())
+                    .run(&query)
+                    .map_err(|e| e.to_string())?;
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&answer.communities)
+                            .map_err(|e| e.to_string())?
+                    );
+                } else {
+                    print_communities(&answer.communities);
+                    println!(
+                        "{} answers on the refreshed pair in {:.2?}",
+                        answer.communities.len(),
+                        answer.elapsed
+                    );
+                }
+            }
+            Ok(())
         }
         Command::SnapshotSave { graph, index, out } => {
             if let Some(graph) = graph {
@@ -306,13 +474,82 @@ fn graph_keywords(g: &SocialNetwork) -> Vec<u32> {
     ids
 }
 
-/// Drives the serving runtime with a closed-loop synthetic workload:
-/// `2 × workers` client threads submit Zipf-skewed keyword queries and wait
-/// for each answer, so per-query latency covers queueing and execution.
-#[allow(clippy::too_many_arguments)]
-fn run_serve(
-    g: SocialNetwork,
-    idx: CommunityIndex,
+/// Parses an edge-update stream file: one update per line, `#` comments and
+/// blank lines skipped. `+ u v p_uv p_vu` inserts `{u, v}` with the two
+/// directed activation probabilities; `- u v` removes the edge.
+fn parse_update_stream(text: &str) -> Result<Vec<EdgeUpdate>, String> {
+    let mut stream = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let mut field = |name: &str| -> Result<&str, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing {name}"))
+        };
+        let parse_vertex = |name: &str, v: &str| -> Result<VertexId, String> {
+            v.parse::<u32>()
+                .map(VertexId)
+                .map_err(|_| format!("line {lineno}: invalid {name} '{v}'"))
+        };
+        let parse_probability = |name: &str, v: &str| -> Result<f64, String> {
+            match v.parse::<f64>() {
+                Ok(p) if p > 0.0 && p <= 1.0 => Ok(p),
+                _ => Err(format!(
+                    "line {lineno}: invalid {name} '{v}' (must be in (0, 1])"
+                )),
+            }
+        };
+        let update = match op {
+            "+" => {
+                let u = parse_vertex("u", field("u")?)?;
+                let v = parse_vertex("v", field("v")?)?;
+                let p_uv = parse_probability("p_uv", field("p_uv")?)?;
+                let p_vu = parse_probability("p_vu", field("p_vu")?)?;
+                EdgeUpdate::Insert { u, v, p_uv, p_vu }
+            }
+            "-" => {
+                let u = parse_vertex("u", field("u")?)?;
+                let v = parse_vertex("v", field("v")?)?;
+                EdgeUpdate::Remove { u, v }
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown op '{other}' (expected '+' or '-')"
+                ))
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!(
+                "line {lineno}: unexpected trailing token '{extra}'"
+            ));
+        }
+        stream.push(update);
+    }
+    Ok(stream)
+}
+
+/// Writes a graph to `out`, dispatching on the extension like [`load_graph`]
+/// does on content: `.snap` → binary snapshot, `.json` → JSON, anything
+/// else → attributed edge list.
+fn write_graph_out(g: &SocialNetwork, out: &str) -> Result<(), String> {
+    if out.ends_with(".snap") {
+        graph_snapshot::write_graph_snapshot(g, out).map_err(|e| e.to_string())
+    } else if out.ends_with(".json") {
+        io::write_json_file(g, out).map_err(|e| e.to_string())
+    } else {
+        io::write_edge_list_file(g, out).map_err(|e| e.to_string())
+    }
+}
+
+/// Options of the `serve` command (one struct so the workload surface grows
+/// without widening the function signature further).
+struct ServeOptions {
     workers: usize,
     queries: usize,
     seed: u64,
@@ -321,7 +558,67 @@ fn run_serve(
     theta: f64,
     l: usize,
     json: bool,
-) -> Result<(), String> {
+    /// Target synthetic edge updates/sec pushed through the maintenance
+    /// thread while the queries run (0 = serving only).
+    update_rate: f64,
+    compact_threshold: f64,
+}
+
+/// Generates the next batch of always-valid synthetic edge updates for the
+/// `serve --update-rate` churn: inserts fresh edges between random vertices
+/// (checked against the initial graph plus the mirror of what the stream
+/// already added) and removes only edges the stream inserted earlier.
+fn next_update_batch(
+    g0: &SocialNetwork,
+    state: &mut u64,
+    added: &mut Vec<(VertexId, VertexId)>,
+    added_set: &mut std::collections::BTreeSet<(u32, u32)>,
+    size: usize,
+) -> Vec<EdgeUpdate> {
+    let n = g0.num_vertices() as u64;
+    let key = |u: VertexId, v: VertexId| (u.0.min(v.0), u.0.max(v.0));
+    let mut batch = Vec::with_capacity(size);
+    while batch.len() < size {
+        if splitmix64(state).is_multiple_of(2) && !added.is_empty() {
+            let i = (splitmix64(state) % added.len() as u64) as usize;
+            let (u, v) = added.swap_remove(i);
+            added_set.remove(&key(u, v));
+            batch.push(EdgeUpdate::Remove { u, v });
+        } else {
+            let u = VertexId((splitmix64(state) % n) as u32);
+            let v = VertexId((splitmix64(state) % n) as u32);
+            if u == v || added_set.contains(&key(u, v)) || g0.contains_edge(u, v) {
+                continue;
+            }
+            let p_uv = 0.2 + unit_f64(state) * 0.3;
+            let p_vu = 0.2 + unit_f64(state) * 0.3;
+            added.push((u, v));
+            added_set.insert(key(u, v));
+            batch.push(EdgeUpdate::Insert { u, v, p_uv, p_vu });
+        }
+    }
+    batch
+}
+
+/// Drives the serving runtime with a closed-loop synthetic workload:
+/// `2 × workers` client threads submit Zipf-skewed keyword queries and wait
+/// for each answer, so per-query latency covers queueing and execution.
+/// With `update_rate > 0` a paced updater additionally streams synthetic
+/// edge updates through the maintenance thread, which hot-swaps each
+/// refreshed snapshot into the runtime while the queries drain.
+fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Result<(), String> {
+    let ServeOptions {
+        workers,
+        queries,
+        seed,
+        k,
+        r,
+        theta,
+        l,
+        json,
+        update_rate,
+        compact_threshold,
+    } = options;
     let keywords = graph_keywords(&g);
     if keywords.is_empty() {
         return Err("graph has no keywords to build a workload from".to_string());
@@ -339,13 +636,59 @@ fn run_serve(
         })
         .collect();
 
-    let runtime = ServingRuntime::start(ServingConfig::with_workers(workers), g, idx)
-        .map_err(|e| e.to_string())?;
-    let snapshot = runtime.current();
+    // the maintainer (and the churn generator) need their own copies of the
+    // pair before the runtime takes ownership of the originals
+    let update_pair = if update_rate > 0.0 {
+        Some((g.clone(), idx.clone()))
+    } else {
+        None
+    };
+    let runtime = Arc::new(
+        ServingRuntime::start(ServingConfig::with_workers(workers), g, idx)
+            .map_err(|e| e.to_string())?,
+    );
     let clients = (workers * 2).clamp(1, queries.max(1));
     let started = std::time::Instant::now();
+    let stop_updates = AtomicBool::new(false);
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries);
+    let mut update_stats = StreamStats::default();
+    let mut update_wall_s = 0.0f64;
     std::thread::scope(|scope| -> Result<(), String> {
+        let updater = update_pair.map(|(g0, idx0)| {
+            let runtime = Arc::clone(&runtime);
+            let stop = &stop_updates;
+            let mut churn_state = seed ^ 0x7d1e_55ab;
+            scope.spawn(move || -> (StreamStats, f64) {
+                let feed = StreamingMaintainer::new(g0.clone(), idx0)
+                    .with_compact_threshold(compact_threshold)
+                    .spawn(Arc::clone(&runtime));
+                // ~20 batches/sec pacing against the wall clock
+                let batch_size = ((update_rate / 20.0).round() as usize).max(1);
+                let t0 = std::time::Instant::now();
+                let mut added = Vec::new();
+                let mut added_set = std::collections::BTreeSet::new();
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let target = (t0.elapsed().as_secs_f64() * update_rate) as u64;
+                    while sent < target {
+                        let batch = next_update_batch(
+                            &g0,
+                            &mut churn_state,
+                            &mut added,
+                            &mut added_set,
+                            batch_size,
+                        );
+                        sent += batch.len() as u64;
+                        if !feed.push(batch) {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                let maintainer = feed.finish();
+                (maintainer.stats(), t0.elapsed().as_secs_f64())
+            })
+        });
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let runtime = &runtime;
@@ -365,10 +708,20 @@ fn run_serve(
         for h in handles {
             latencies_ns.extend(h.join().expect("serve client thread panicked")?);
         }
+        stop_updates.store(true, Ordering::Relaxed);
+        if let Some(updater) = updater {
+            let (stats, wall_s) = updater.join().expect("serve updater thread panicked");
+            update_stats = stats;
+            update_wall_s = wall_s;
+        }
         Ok(())
     })?;
     let wall = started.elapsed();
-    let stats = runtime.shutdown();
+    let snapshot = runtime.current();
+    let stats = Arc::try_unwrap(runtime)
+        .ok()
+        .expect("all runtime references joined")
+        .shutdown();
 
     latencies_ns.sort_unstable();
     let pct_ms = |p: f64| -> f64 {
@@ -376,6 +729,11 @@ fn run_serve(
         latencies_ns[i] as f64 / 1e6
     };
     let qps = queries as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let updates_per_sec = if update_wall_s > 0.0 {
+        update_stats.updates_applied() as f64 / update_wall_s
+    } else {
+        0.0
+    };
     if json {
         let doc = serde_json::Value::Object(vec![
             (
@@ -414,6 +772,22 @@ fn run_serve(
                 serde_json::Value::UInt(stats.queries_failed),
             ),
             (
+                "updates_applied".to_string(),
+                serde_json::Value::UInt(update_stats.updates_applied()),
+            ),
+            (
+                "updates_per_sec".to_string(),
+                serde_json::Value::Float(updates_per_sec),
+            ),
+            (
+                "compactions".to_string(),
+                serde_json::Value::UInt(update_stats.compactions),
+            ),
+            (
+                "snapshot_swaps".to_string(),
+                serde_json::Value::UInt(stats.swaps),
+            ),
+            (
                 "snapshot_epoch".to_string(),
                 serde_json::Value::UInt(snapshot.epoch()),
             ),
@@ -448,6 +822,23 @@ fn run_serve(
             stats.queries_executed,
             stats.queries_failed
         );
+        if update_rate > 0.0 {
+            println!(
+                "updates: {} applied ({:.0}/sec sustained, target {:.0}/sec), \
+                 {} compaction{}, {} snapshot swap{}",
+                update_stats.updates_applied(),
+                updates_per_sec,
+                update_rate,
+                update_stats.compactions,
+                if update_stats.compactions == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                stats.swaps,
+                if stats.swaps == 1 { "" } else { "s" }
+            );
+        }
         println!(
             "snapshot: epoch {}, fingerprint {:#018x}",
             snapshot.epoch(),
@@ -671,10 +1062,146 @@ mod tests {
             theta: 0.2,
             l: 3,
             json: true,
+            update_rate: 0.0,
+            compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+        })
+        .unwrap();
+        // with churn: the updater streams edge updates through the
+        // maintenance thread while the same workload drains
+        run(Command::Serve {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            workers: 2,
+            queries: 40,
+            seed: 7,
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: true,
+            update_rate: 400.0,
+            compact_threshold: 0.02,
         })
         .unwrap();
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(index_path);
+    }
+
+    #[test]
+    fn update_stream_refreshes_graph_and_index() {
+        let graph_path = temp_path("topl_cli_update_graph.txt");
+        let index_path = temp_path("topl_cli_update_index.json");
+        let updates_path = temp_path("topl_cli_update_stream.txt");
+        let out_graph = temp_path("topl_cli_update_graph_out.snap");
+        let out_index = temp_path("topl_cli_update_index_out.json");
+
+        run(Command::Generate {
+            kind: DatasetKind::Uniform,
+            vertices: 150,
+            seed: 11,
+            keyword_domain: 10,
+            keywords_per_vertex: 3,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+        run(Command::Index {
+            graph: graph_path.clone(),
+            out: index_path.clone(),
+            r_max: 2,
+            fanout: 8,
+            thresholds: vec![0.1, 0.2, 0.3],
+            threads: Some(1),
+        })
+        .unwrap();
+
+        // build a stream off the actual graph: remove two live edges, insert
+        // two fresh ones
+        let g = load_graph(&graph_path).unwrap();
+        let removals: Vec<_> = g.edges().take(2).map(|(_, u, v)| (u, v)).collect();
+        let mut inserts = Vec::new();
+        'outer: for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v && !g.contains_edge(u, v) {
+                    inserts.push((u, v));
+                    if inserts.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let mut stream = String::from("# synthetic churn\n\n");
+        for (u, v) in &removals {
+            stream.push_str(&format!("- {} {}\n", u.0, v.0));
+        }
+        for (u, v) in &inserts {
+            stream.push_str(&format!("+ {} {} 0.4 0.35\n", u.0, v.0));
+        }
+        std::fs::write(&updates_path, stream).unwrap();
+
+        run(Command::Update {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            updates: updates_path.clone(),
+            batch: 2,
+            compact_threshold: 0.001, // tiny: force a compaction
+            out_graph: Some(out_graph.clone()),
+            out_index: Some(out_index.clone()),
+            keywords: vec![0, 1, 2],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: true,
+        })
+        .unwrap();
+
+        // the refreshed pair round-trips: the written graph reflects the
+        // stream and answers queries against the written index
+        let refreshed = load_graph(&out_graph).unwrap();
+        for (u, v) in &removals {
+            assert!(!refreshed.contains_edge(*u, *v));
+        }
+        for (u, v) in &inserts {
+            assert!(refreshed.contains_edge(*u, *v));
+        }
+        run(Command::Query {
+            graph: out_graph.clone(),
+            index: out_index.clone(),
+            keywords: vec![0, 1, 2],
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: false,
+            explain: false,
+            eager: false,
+        })
+        .unwrap();
+
+        // malformed streams are rejected with line numbers
+        std::fs::write(&updates_path, "+ 1 2 0.4\n").unwrap();
+        assert!(run(Command::Update {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            updates: updates_path.clone(),
+            batch: 64,
+            compact_threshold: 0.125,
+            out_graph: None,
+            out_index: None,
+            keywords: Vec::new(),
+            k: 4,
+            r: 2,
+            theta: 0.2,
+            l: 5,
+            json: false,
+        })
+        .is_err());
+
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(index_path);
+        let _ = std::fs::remove_file(updates_path);
+        let _ = std::fs::remove_file(out_graph);
+        let _ = std::fs::remove_file(out_index);
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   ATindex, k-core),
 //! * [`stats`] — pruning-power instrumentation backing the ablation study,
 //! * [`serving`] — the concurrent query-serving runtime: worker pool over a
-//!   hot-swappable snapshot with a canonicalised query LRU.
+//!   hot-swappable snapshot with a canonicalised query LRU,
+//! * [`streaming`] — D-TopL streaming maintenance: edge-update batches
+//!   applied as delta-overlay patches with affected-ball aggregate refresh,
+//!   republished through the serving runtime.
 
 pub mod aggregate;
 pub mod baseline;
@@ -42,6 +45,7 @@ pub mod seed;
 pub mod serving;
 pub mod snapshot;
 pub mod stats;
+pub mod streaming;
 pub mod topl;
 
 pub use aggregate::{AggregateRef, AggregateTable};
@@ -55,4 +59,5 @@ pub use serving::{
     ServedAnswer, ServingConfig, ServingError, ServingRuntime, ServingSnapshot, ServingStats,
 };
 pub use stats::PruningStats;
+pub use streaming::{EdgeUpdate, StreamStats, StreamingMaintainer, UpdateFeed};
 pub use topl::{TopLAnswer, TopLProcessor};

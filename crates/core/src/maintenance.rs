@@ -42,6 +42,14 @@ pub fn required_influence_slack(g: &SocialNetwork, config: &PrecomputeConfig) ->
             .max(g.directed_weight(e, u))
             .max(g.directed_weight(e, v));
     }
+    influence_slack_bound(theta_min, p_max)
+}
+
+/// The slack bound for explicit `theta_min` / `p_max` values (the formula
+/// behind [`required_influence_slack`]). Streaming callers use this to fold
+/// the weights of *pending* insertions into `p_max` before any of them is
+/// applied.
+pub fn influence_slack_bound(theta_min: f64, p_max: f64) -> Option<u32> {
     if theta_min <= 0.0 || theta_min.is_nan() || p_max >= 1.0 {
         return None;
     }
@@ -92,7 +100,12 @@ pub fn refresh_after_edge_insertion(
     v: VertexId,
     influence_slack: Option<u32>,
 ) -> usize {
-    data.refresh_edge_supports(g);
+    // O(deg u + deg v) incremental support patch — the inserted edge only
+    // changes supports of edges in the triangles it closes.
+    let e = g
+        .edge_between(u, v)
+        .expect("graph must already contain the inserted edge");
+    data.patch_supports_after_insertion(g, u, v, e);
     let slack = influence_slack
         .or_else(|| required_influence_slack(g, &data.config))
         .unwrap_or(u32::MAX / 2);
@@ -131,10 +144,11 @@ pub fn update_index_after_edge_insertion(
 }
 
 /// Rebuilds a [`CommunityIndex`] after an edge **deletion**: removes
-/// `{u, v}` from `g_before` (rebuilding the frozen CSR store via
-/// [`SocialNetwork::with_edge_removed`]), patches only the affected vertices'
-/// aggregates and re-aggregates the tree. Returns the updated graph, the
-/// refreshed index and the number of vertices recomputed.
+/// `{u, v}` from `g_before` (tombstoning it in the delta overlay via
+/// [`SocialNetwork::with_edge_removed`] — every other edge keeps its id),
+/// patches only the affected vertices' aggregates and re-aggregates the
+/// tree. Returns the updated graph, the refreshed index and the number of
+/// vertices recomputed.
 ///
 /// The affected set is computed on the **pre-deletion** graph: a vertex whose
 /// old region reached the edge only *through* the edge is still within
@@ -149,13 +163,13 @@ pub fn update_index_after_edge_deletion(
     v: VertexId,
     influence_slack: Option<u32>,
 ) -> icde_graph::error::GraphResult<(SocialNetwork, CommunityIndex, usize)> {
-    let (g_after, _removed) = g_before.with_edge_removed(u, v)?;
+    let (g_after, removed) = g_before.with_edge_removed(u, v)?;
     let fanout = index.fanout();
     let leaf_capacity = index.leaf_capacity();
     let mut data = index.precomputed;
-    // Edge ids above the removed edge shifted down: rebuild the edge-indexed
-    // supports from scratch against the updated graph.
-    data.refresh_edge_supports(&g_after);
+    // The removed id is tombstoned, not shifted: every other edge keeps its
+    // id, so the supports only change in the triangles the edge closed.
+    data.patch_supports_after_removal(&g_after, u, v, removed);
     let slack = influence_slack
         .or_else(|| required_influence_slack(g_before, &data.config))
         .unwrap_or(u32::MAX / 2);

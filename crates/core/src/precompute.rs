@@ -73,7 +73,9 @@ use crate::seed::extract_unconstrained_seed_community_with;
 use icde_graph::snapshot::FlatVec;
 use icde_graph::traversal::bfs_within_into;
 use icde_graph::workspace::TraversalWorkspace;
-use icde_graph::{BitVector, SignatureTable, SocialNetwork, VertexId, VertexSubset};
+use icde_graph::{
+    BitVector, EdgeId, EdgeIdRemap, SignatureTable, SocialNetwork, VertexId, VertexSubset,
+};
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::support::edge_supports_global;
 use serde::{Deserialize, Serialize};
@@ -582,9 +584,68 @@ impl PrecomputedData {
     }
 
     /// Recomputes the global per-edge supports from scratch against the
-    /// current state of `g` (edge ids may have shifted after insertions).
+    /// current state of `g` (sized by its full edge-id space, so tombstoned
+    /// slots come back as 0). The incremental paths below are preferred for
+    /// single-edge updates.
     pub fn refresh_edge_supports(&mut self, g: &SocialNetwork) {
         self.edge_supports = edge_supports_global(g).into();
+    }
+
+    /// Patches `edge_supports` after the edge `{u, v}` (id `e`) has been
+    /// inserted into `g` (which must already contain it): the new edge's
+    /// support is its common-neighbour count, and every triangle it closes
+    /// raises the support of the two adjacent edges by one. O(deg u + deg v),
+    /// no full rebuild.
+    pub fn patch_supports_after_insertion(
+        &mut self,
+        g: &SocialNetwork,
+        u: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) {
+        let supports = self.edge_supports.to_mut();
+        if supports.len() < g.edge_id_space() {
+            supports.resize(g.edge_id_space(), 0);
+        }
+        let mut sup = 0u32;
+        g.for_each_common_neighbor(u, v, |_w, e_uw, e_vw| {
+            sup += 1;
+            supports[e_uw.index()] += 1;
+            supports[e_vw.index()] += 1;
+        });
+        supports[e.index()] = sup;
+    }
+
+    /// Patches `edge_supports` after the edge `{u, v}` (old id `e`) has been
+    /// removed from `g` (which must no longer contain it): every triangle the
+    /// edge closed is gone, so the other two edges' supports drop by one. The
+    /// removed id's slot is zeroed — it stays a tombstoned hole until the
+    /// graph compacts.
+    pub fn patch_supports_after_removal(
+        &mut self,
+        g: &SocialNetwork,
+        u: VertexId,
+        v: VertexId,
+        e: EdgeId,
+    ) {
+        let supports = self.edge_supports.to_mut();
+        g.for_each_common_neighbor(u, v, |_w, e_uw, e_vw| {
+            supports[e_uw.index()] -= 1;
+            supports[e_vw.index()] -= 1;
+        });
+        if let Some(slot) = supports.get_mut(e.index()) {
+            *slot = 0;
+        }
+    }
+
+    /// Applies the edge-id remap returned by [`SocialNetwork::compact`] to
+    /// the edge-indexed supports, packing live slots into the fresh dense id
+    /// space and dropping tombstoned holes.
+    pub fn apply_edge_id_remap(&mut self, remap: &EdgeIdRemap) {
+        if remap.is_identity() {
+            return;
+        }
+        self.edge_supports = remap.remap_dense(self.edge_supports.as_slice()).into();
     }
 }
 
@@ -731,7 +792,7 @@ fn precompute_vertex_into(
         }
         for &(u, _) in &scratch.order[start..end] {
             ctx.signatures.or_into(ctx.g, u, &mut scratch.sig_acc);
-            for &(n, e) in ctx.g.neighbors(u) {
+            for (n, e) in ctx.g.neighbors(u) {
                 match scratch.ws_bfs.dist(n) {
                     Some(d) if d <= r => {
                         support = support.max(ctx.edge_supports[e.index()]);

@@ -1,0 +1,455 @@
+//! D-TopL streaming maintenance: edge-update batches applied against a live
+//! graph + index pair and republished through the serving runtime.
+//!
+//! The offline pipeline treats the social network as frozen; this module is
+//! the *online update* half of the D-TopL loop. A [`StreamingMaintainer`]
+//! owns the working graph + index pair and, per update batch:
+//!
+//! 1. applies each edge insert/remove as an **O(degree · log degree) delta
+//!    overlay patch** ([`SocialNetwork::apply_edge_inserted`] /
+//!    [`SocialNetwork::apply_edge_removed`]) — no CSR rebuild,
+//! 2. patches the edge-indexed truss supports incrementally (only the
+//!    triangles the edge opens or closes change),
+//! 3. recomputes the per-vertex aggregates of the **affected balls only**
+//!    ([`PrecomputedData::recompute_vertices`] over
+//!    `hop(u, r_max + slack) ∪ hop(v, r_max + slack)` per update),
+//! 4. compacts the overlay back into a fresh CSR once it exceeds the
+//!    configured fraction of the base edge count, applying the returned
+//!    edge-id remap to the supports, and
+//! 5. re-aggregates the index tree over the patched data.
+//!
+//! [`StreamingMaintainer::spawn`] moves the maintainer onto a dedicated
+//! maintenance thread that drains batches from a channel and hot-swaps each
+//! refreshed snapshot into a [`ServingRuntime`] via
+//! [`ServingRuntime::publish`], so queries keep draining on the previous
+//! snapshot while the next one is prepared. The refreshed index is *exact*:
+//! observationally identical to one rebuilt from scratch at the same logical
+//! graph state.
+
+use crate::error::CoreResult;
+use crate::index::{CommunityIndex, IndexBuilder};
+use crate::maintenance::{affected_vertices, influence_slack_bound};
+use crate::serving::{ServingRuntime, ServingSnapshot};
+use icde_graph::graph::DEFAULT_COMPACT_THRESHOLD;
+use icde_graph::{SocialNetwork, VertexId, Weight};
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// One edge update in a D-TopL stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeUpdate {
+    /// Insert the edge `{u, v}` with directed activation probabilities
+    /// `p_uv` (u → v) and `p_vu` (v → u).
+    Insert {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// Activation probability u → v.
+        p_uv: Weight,
+        /// Activation probability v → u.
+        p_vu: Weight,
+    },
+    /// Remove the existing edge `{u, v}`.
+    Remove {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+}
+
+/// Counters accumulated by a [`StreamingMaintainer`] over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Batches applied.
+    pub batches: u64,
+    /// Edge insertions applied.
+    pub inserts_applied: u64,
+    /// Edge removals applied.
+    pub removes_applied: u64,
+    /// Updates skipped (duplicate inserts, removals of missing edges, …).
+    pub updates_skipped: u64,
+    /// Vertices whose aggregates were recomputed.
+    pub vertices_recomputed: u64,
+    /// Overlay compactions folded back into the CSR base.
+    pub compactions: u64,
+}
+
+impl StreamStats {
+    /// Total updates applied (inserts + removes).
+    pub fn updates_applied(&self) -> u64 {
+        self.inserts_applied + self.removes_applied
+    }
+}
+
+/// Owns a mutable graph + index working pair and keeps both exact under a
+/// stream of edge updates (see the module docs for the per-batch pipeline).
+pub struct StreamingMaintainer {
+    graph: SocialNetwork,
+    /// Always `Some` between batches; taken during a batch because
+    /// [`IndexBuilder::build_from_precomputed`] consumes the data.
+    index: Option<CommunityIndex>,
+    compact_threshold: f64,
+    stats: StreamStats,
+}
+
+impl StreamingMaintainer {
+    /// Wraps a graph and the index built over it. The pair is typically the
+    /// same one published to a [`ServingRuntime`] as its initial snapshot.
+    pub fn new(graph: SocialNetwork, index: CommunityIndex) -> Self {
+        StreamingMaintainer {
+            graph,
+            index: Some(index),
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Sets the overlay fraction above which a batch triggers compaction
+    /// (default [`DEFAULT_COMPACT_THRESHOLD`]).
+    pub fn with_compact_threshold(mut self, threshold: f64) -> Self {
+        self.compact_threshold = threshold;
+        self
+    }
+
+    /// The current working graph.
+    pub fn graph(&self) -> &SocialNetwork {
+        &self.graph
+    }
+
+    /// The current working index.
+    pub fn index(&self) -> &CommunityIndex {
+        self.index
+            .as_ref()
+            .expect("maintainer always holds an index")
+    }
+
+    /// The lifetime counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Applies one batch of updates and refreshes the index; returns the
+    /// number of vertices whose aggregates were recomputed. Invalid updates
+    /// (duplicate insert, removal of a missing edge, unknown vertex, …) are
+    /// skipped and counted, so a noisy stream cannot wedge the maintainer.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> usize {
+        let index = self.index.take().expect("maintainer always holds an index");
+        let fanout = index.fanout();
+        let leaf_capacity = index.leaf_capacity();
+        let mut data = index.precomputed;
+        let r_max = data.config.r_max;
+
+        // The refresh radius bound must hold on every intermediate graph of
+        // the batch, so fold the weights of pending insertions into p_max
+        // before any of them is applied.
+        let theta_min = data
+            .config
+            .thresholds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mut p_max = 0.0f64;
+        for (e, a, b) in self.graph.edges() {
+            p_max = p_max
+                .max(self.graph.directed_weight(e, a))
+                .max(self.graph.directed_weight(e, b));
+        }
+        for update in updates {
+            if let EdgeUpdate::Insert { p_uv, p_vu, .. } = *update {
+                p_max = p_max.max(p_uv).max(p_vu);
+            }
+        }
+        let slack = influence_slack_bound(theta_min, p_max).unwrap_or(u32::MAX / 2);
+
+        let mut affected: HashSet<VertexId> = HashSet::new();
+        for &update in updates {
+            match update {
+                EdgeUpdate::Insert { u, v, p_uv, p_vu } => {
+                    match self.graph.apply_edge_inserted(u, v, p_uv, p_vu) {
+                        Ok(e) => {
+                            data.patch_supports_after_insertion(&self.graph, u, v, e);
+                            affected.extend(affected_vertices(&self.graph, u, v, r_max, slack));
+                            self.stats.inserts_applied += 1;
+                        }
+                        Err(_) => self.stats.updates_skipped += 1,
+                    }
+                }
+                EdgeUpdate::Remove { u, v } => {
+                    // measure the ball while the edge still exists: it may be
+                    // a bridge, and the post-deletion ball would then no
+                    // longer reach the far side
+                    let ball = affected_vertices(&self.graph, u, v, r_max, slack);
+                    match self.graph.apply_edge_removed(u, v) {
+                        Ok(e) => {
+                            data.patch_supports_after_removal(&self.graph, u, v, e);
+                            affected.extend(ball);
+                            self.stats.removes_applied += 1;
+                        }
+                        Err(_) => self.stats.updates_skipped += 1,
+                    }
+                }
+            }
+        }
+
+        if let Some(remap) = self.graph.maybe_compact(self.compact_threshold) {
+            data.apply_edge_id_remap(&remap);
+            self.stats.compactions += 1;
+        }
+
+        let mut batch: Vec<VertexId> = affected.into_iter().collect();
+        batch.sort_unstable();
+        data.recompute_vertices(&self.graph, &batch);
+        self.stats.vertices_recomputed += batch.len() as u64;
+        self.stats.batches += 1;
+
+        let rebuilt = IndexBuilder::new(data.config.clone())
+            .with_fanout(fanout)
+            .with_leaf_capacity(leaf_capacity)
+            .build_from_precomputed(&self.graph, data);
+        self.index = Some(rebuilt);
+        batch.len()
+    }
+
+    /// Publishes the current working pair to a serving runtime as a fresh
+    /// snapshot (graph and index are cloned; the maintainer keeps mutating
+    /// its own copy).
+    pub fn publish_to(&self, runtime: &ServingRuntime) -> CoreResult<Arc<ServingSnapshot>> {
+        runtime.publish(self.graph.clone(), self.index().clone())
+    }
+
+    /// Moves the maintainer onto a dedicated maintenance thread that applies
+    /// each batch received on the returned feed and hot-swaps the refreshed
+    /// snapshot into `runtime`. Dropping the feed (or calling
+    /// [`UpdateFeed::finish`]) stops the thread.
+    pub fn spawn(self, runtime: Arc<ServingRuntime>) -> UpdateFeed {
+        let (tx, rx) = mpsc::channel::<Vec<EdgeUpdate>>();
+        let handle = thread::Builder::new()
+            .name("icde-maintain".to_string())
+            .spawn(move || {
+                let mut maintainer = self;
+                while let Ok(batch) = rx.recv() {
+                    maintainer.apply_batch(&batch);
+                    maintainer
+                        .publish_to(&runtime)
+                        .expect("maintainer graph and index stay consistent");
+                }
+                maintainer
+            })
+            .expect("failed to spawn maintenance thread");
+        UpdateFeed {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a spawned maintenance thread (see [`StreamingMaintainer::spawn`]).
+pub struct UpdateFeed {
+    tx: Option<mpsc::Sender<Vec<EdgeUpdate>>>,
+    handle: Option<thread::JoinHandle<StreamingMaintainer>>,
+}
+
+impl UpdateFeed {
+    /// Enqueues one update batch. Returns `false` if the maintenance thread
+    /// has already stopped.
+    pub fn push(&self, batch: Vec<EdgeUpdate>) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(batch).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the feed, waits for the maintenance thread to drain every
+    /// queued batch, and returns the maintainer (with its final graph, index
+    /// and counters).
+    pub fn finish(mut self) -> StreamingMaintainer {
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .expect("finish consumes the feed")
+            .join()
+            .expect("maintenance thread panicked")
+    }
+}
+
+impl Drop for UpdateFeed {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::PrecomputeConfig;
+    use crate::query::TopLQuery;
+    use crate::serving::ServingConfig;
+    use crate::topl::TopLProcessor;
+    use icde_graph::generators::{DatasetKind, DatasetSpec};
+    use icde_graph::{GraphBuilder, KeywordSet};
+
+    fn setup(n: usize, seed: u64) -> (SocialNetwork, CommunityIndex) {
+        let g = DatasetSpec::new(DatasetKind::Uniform, n, seed)
+            .with_keyword_domain(10)
+            .generate();
+        let index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&g);
+        (g, index)
+    }
+
+    /// Rebuilds the logical graph from scratch (fresh builder over the live
+    /// edge table → dense CSR, no overlay) with the same keyword sets.
+    fn rebuild_from_scratch(g: &SocialNetwork) -> SocialNetwork {
+        let mut b = GraphBuilder::with_vertices(g.num_vertices());
+        for v in g.vertices() {
+            b.set_keywords(v, g.keyword_set(v).clone()).unwrap();
+        }
+        for (u, v, wf, wb) in g.edge_table_iter() {
+            b.add_edge(u, v, wf, wb);
+        }
+        b.build().unwrap()
+    }
+
+    fn answer_bits(a: &crate::topl::TopLAnswer) -> Vec<(u32, u64, Vec<u32>)> {
+        a.communities
+            .iter()
+            .map(|c| {
+                (
+                    c.center.0,
+                    c.influential_score.to_bits(),
+                    c.vertices.iter().map(|v| v.0).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_stream_stays_exact_and_compacts() {
+        let (g, index) = setup(150, 31);
+        let mut maintainer =
+            StreamingMaintainer::new(g.clone(), index).with_compact_threshold(0.02);
+
+        // a deterministic mixed stream: remove every 7th edge, insert a few
+        // fresh ones
+        let removals: Vec<EdgeUpdate> = g
+            .edges()
+            .filter(|(e, _, _)| e.index() % 7 == 0)
+            .take(6)
+            .map(|(_, u, v)| EdgeUpdate::Remove { u, v })
+            .collect();
+        let mut inserts = Vec::new();
+        'outer: for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v && !g.contains_edge(u, v) {
+                    inserts.push(EdgeUpdate::Insert {
+                        u,
+                        v,
+                        p_uv: 0.4,
+                        p_vu: 0.35,
+                    });
+                    if inserts.len() == 6 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        for batch in [removals, inserts] {
+            maintainer.apply_batch(&batch);
+            let scratch = rebuild_from_scratch(maintainer.graph());
+            let scratch_index = IndexBuilder::new(PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            })
+            .with_leaf_capacity(8)
+            .build(&scratch);
+            let live = TopLProcessor::new(maintainer.graph(), maintainer.index())
+                .run(&query)
+                .unwrap();
+            let reference = TopLProcessor::new(&scratch, &scratch_index)
+                .run(&query)
+                .unwrap();
+            assert_eq!(answer_bits(&live), answer_bits(&reference));
+        }
+        let stats = maintainer.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.updates_applied(), 12);
+        assert_eq!(stats.updates_skipped, 0);
+        assert!(
+            stats.compactions >= 1,
+            "low threshold must trigger compaction"
+        );
+    }
+
+    #[test]
+    fn invalid_updates_are_skipped_not_fatal() {
+        let (g, index) = setup(60, 32);
+        let (_, u, v) = g.edges().next().unwrap();
+        let mut maintainer = StreamingMaintainer::new(g, index);
+        maintainer.apply_batch(&[
+            // duplicate insert
+            EdgeUpdate::Insert {
+                u,
+                v,
+                p_uv: 0.5,
+                p_vu: 0.5,
+            },
+            // self loop
+            EdgeUpdate::Insert {
+                u,
+                v: u,
+                p_uv: 0.5,
+                p_vu: 0.5,
+            },
+            // genuine removal
+            EdgeUpdate::Remove { u, v },
+            // double removal
+            EdgeUpdate::Remove { u, v },
+        ]);
+        let stats = maintainer.stats();
+        assert_eq!(stats.removes_applied, 1);
+        assert_eq!(stats.inserts_applied, 0);
+        assert_eq!(stats.updates_skipped, 3);
+        assert!(!maintainer.graph().contains_edge(u, v));
+    }
+
+    #[test]
+    fn maintenance_thread_publishes_refreshed_snapshots() {
+        let (g, index) = setup(120, 33);
+        let runtime = Arc::new(
+            ServingRuntime::start(ServingConfig::with_workers(2), g.clone(), index.clone())
+                .unwrap(),
+        );
+        let feed = StreamingMaintainer::new(g.clone(), index).spawn(Arc::clone(&runtime));
+
+        let (_, u, v) = g.edges().next().unwrap();
+        assert!(feed.push(vec![EdgeUpdate::Remove { u, v }]));
+        let maintainer = feed.finish();
+        assert_eq!(maintainer.stats().removes_applied, 1);
+
+        let snapshot = runtime.current();
+        assert_eq!(snapshot.epoch(), 2, "maintenance thread must hot-swap");
+        assert!(!snapshot.graph.contains_edge(u, v));
+
+        // the published snapshot answers exactly like the maintainer's pair
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2]), 3, 2, 0.2, 4);
+        let served = runtime.submit(query.clone()).wait().unwrap();
+        let direct = TopLProcessor::new(maintainer.graph(), maintainer.index())
+            .run(&query)
+            .unwrap();
+        assert_eq!(answer_bits(&served.answer), answer_bits(&direct));
+        assert_eq!(served.epoch, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end equivalence property for the delta-overlay update path: drive
+//! a [`StreamingMaintainer`] with random insert/delete batches (compaction
+//! thresholds straddled, so some runs fold the overlay mid-stream and some
+//! never do), and at every checkpoint demand that the overlaid graph is
+//! indistinguishable from a from-scratch rebuild of the same logical graph —
+//! UPP vectors **bit-identical**, truss supports equal edge by edge, and
+//! Top-L answers bit-identical through a freshly built index.
+
+use icde_core::index::IndexBuilder;
+use icde_core::precompute::PrecomputeConfig;
+use icde_core::query::TopLQuery;
+use icde_core::streaming::{EdgeUpdate, StreamingMaintainer};
+use icde_core::topl::{TopLAnswer, TopLProcessor};
+use icde_core::CommunityIndex;
+use icde_graph::generators::{DatasetKind, DatasetSpec};
+use icde_graph::{GraphBuilder, KeywordSet, SocialNetwork, VertexId};
+use icde_influence::mia::single_source_upp;
+use icde_truss::edge_supports_global;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+fn build_index(g: &SocialNetwork) -> CommunityIndex {
+    IndexBuilder::new(PrecomputeConfig {
+        parallel: false,
+        ..Default::default()
+    })
+    .with_leaf_capacity(8)
+    .build(g)
+}
+
+/// Rebuilds the logical graph from scratch: fresh builder over the live
+/// edge table, dense CSR, no overlay, edge ids repacked.
+fn rebuild_from_scratch(g: &SocialNetwork) -> SocialNetwork {
+    let mut b = GraphBuilder::with_vertices(g.num_vertices());
+    for v in g.vertices() {
+        b.set_keywords(v, g.keyword_set(v).clone()).unwrap();
+    }
+    for (u, v, wf, wb) in g.edge_table_iter() {
+        b.add_edge(u, v, wf, wb);
+    }
+    b.build().unwrap()
+}
+
+fn answer_bits(a: &TopLAnswer) -> Vec<(u32, u64, Vec<u32>)> {
+    a.communities
+        .iter()
+        .map(|c| {
+            (
+                c.center.0,
+                c.influential_score.to_bits(),
+                c.vertices.iter().map(|v| v.0).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Truss supports keyed by canonical endpoints — edge ids differ between the
+/// overlaid store and a scratch rebuild, the supports themselves must not.
+fn supports_by_endpoints(g: &SocialNetwork) -> BTreeMap<(u32, u32), u32> {
+    let supports = edge_supports_global(g);
+    g.edges()
+        .map(|(e, u, v)| ((u.0, v.0), supports[e.index()]))
+        .collect()
+}
+
+fn query_pool() -> Vec<TopLQuery> {
+    vec![
+        TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5),
+        TopLQuery::new(KeywordSet::from_ids([1, 4, 7]), 2, 2, 0.3, 3),
+        TopLQuery::new(KeywordSet::from_ids([0, 2, 5, 8, 9]), 4, 1, 0.25, 8),
+    ]
+}
+
+/// Generates one conflict-free batch against `live` (the canonical live
+/// edge set, updated as the batch is generated so every update applies).
+fn random_batch(
+    next: &mut impl FnMut() -> u64,
+    n: u32,
+    live: &mut Vec<(u32, u32)>,
+    live_set: &mut HashSet<(u32, u32)>,
+    size: usize,
+) -> Vec<EdgeUpdate> {
+    let mut batch = Vec::with_capacity(size);
+    while batch.len() < size {
+        if next() % 8 < 3 && !live.is_empty() {
+            let pick = (next() % live.len() as u64) as usize;
+            let (lo, hi) = live.swap_remove(pick);
+            live_set.remove(&(lo, hi));
+            batch.push(EdgeUpdate::Remove {
+                u: VertexId(lo),
+                v: VertexId(hi),
+            });
+        } else {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo == hi || live_set.contains(&(lo, hi)) {
+                continue;
+            }
+            let p_uv = (1 + next() % 999) as f64 / 1000.0;
+            let p_vu = (1 + next() % 999) as f64 / 1000.0;
+            live.push((lo, hi));
+            live_set.insert((lo, hi));
+            batch.push(EdgeUpdate::Insert {
+                u: VertexId(lo),
+                v: VertexId(hi),
+                p_uv,
+                p_vu,
+            });
+        }
+    }
+    batch
+}
+
+proptest! {
+    // Each case pays for several from-scratch index builds — keep the case
+    // count modest; the graph-level overlay_properties suite carries the
+    // high-volume structural coverage.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn streamed_overlay_graph_is_equivalent_to_scratch_rebuild(
+        n in 40usize..90,
+        seed in any::<u64>(),
+        // Straddle the compaction threshold: 0.01 folds the overlay after
+        // nearly every batch, 0.5 lets it grow uncompacted for the whole run.
+        threshold in prop_oneof![Just(0.01), Just(0.5)],
+    ) {
+        let g = DatasetSpec::new(DatasetKind::Uniform, n, seed)
+            .with_keyword_domain(12)
+            .generate();
+        let mut maintainer =
+            StreamingMaintainer::new(g.clone(), build_index(&g)).with_compact_threshold(threshold);
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut live: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let mut live_set: HashSet<(u32, u32)> = live.iter().copied().collect();
+        let pool = query_pool();
+
+        for _ in 0..3 {
+            let batch = random_batch(&mut next, n as u32, &mut live, &mut live_set, 6);
+            maintainer.apply_batch(&batch);
+            prop_assert_eq!(maintainer.stats().updates_skipped, 0, "batches are conflict-free");
+
+            let current = maintainer.graph();
+            let scratch = rebuild_from_scratch(current);
+            prop_assert_eq!(current.num_edges(), scratch.num_edges());
+
+            // UPP: same influence floor, bit-identical path products.
+            for src in [0u32, (n as u32) / 3, (n as u32) / 2, n as u32 - 1] {
+                let a = single_source_upp(current, VertexId(src), 0.2);
+                let b = single_source_upp(&scratch, VertexId(src), 0.2);
+                let a_bits: Vec<u64> = a.iter().map(|w| w.to_bits()).collect();
+                let b_bits: Vec<u64> = b.iter().map(|w| w.to_bits()).collect();
+                prop_assert_eq!(a_bits, b_bits, "UPP from {} diverged", src);
+            }
+
+            // Truss supports: identical per endpoint pair.
+            prop_assert_eq!(supports_by_endpoints(current), supports_by_endpoints(&scratch));
+
+            // Top-L through the incrementally maintained index vs a fresh
+            // index over the fresh graph: bit-identical answers.
+            let scratch_index = build_index(&scratch);
+            for q in &pool {
+                let served = TopLProcessor::new(current, maintainer.index()).run(q).unwrap();
+                let reference = TopLProcessor::new(&scratch, &scratch_index).run(q).unwrap();
+                prop_assert_eq!(
+                    answer_bits(&served),
+                    answer_bits(&reference),
+                    "Top-L diverged for {:?}",
+                    q
+                );
+            }
+        }
+        if threshold == 0.01 {
+            prop_assert!(maintainer.stats().compactions >= 1, "tight threshold must compact");
+        }
+    }
+}

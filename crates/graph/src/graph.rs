@@ -6,39 +6,55 @@
 //! probabilities `p_{u,v}` (u activates v) and `p_{v,u}` (v activates u) used
 //! by the MIA propagation model. Each vertex carries a keyword set `v_i.W`.
 //!
-//! # Frozen CSR layout
+//! # Layered store: frozen CSR base + delta overlay
 //!
-//! The store is **immutable in structure**: it is produced in one shot by the
-//! mutable [`crate::builder::GraphBuilder`] (or the I/O loaders) and lays the
-//! adjacency out in compressed-sparse-row form —
+//! The adjacency lives in two layers:
 //!
-//! * `offsets: Vec<u32>` of length `n + 1`, and
-//! * one flat `csr: Vec<(VertexId, EdgeId)>` of length `2m` holding every
-//!   vertex's neighbour list back to back, sorted by neighbour id.
+//! * The **frozen CSR base**, produced in one shot by the mutable
+//!   [`crate::builder::GraphBuilder`] (or the I/O loaders): `offsets:
+//!   Vec<u32>` of length `n + 1` and one flat `csr: Vec<(VertexId, EdgeId)>`
+//!   of length `2m` holding every vertex's neighbour list back to back,
+//!   sorted by neighbour id. The base is mmap-able and never touched by
+//!   structural updates.
+//! * A small **delta overlay** ([`crate::overlay::DeltaOverlay`]): per-vertex
+//!   sorted runs of inserted `(neighbour, edge id, weight)` entries plus a
+//!   tombstone set of deleted edge ids.
 //!
-//! [`SocialNetwork::neighbors`] therefore returns a contiguous
-//! `&[(VertexId, EdgeId)]` slice (one pointer add, no nested-`Vec`
-//! indirection), [`SocialNetwork::degree`] is an offset subtraction, and
-//! [`SocialNetwork::edge_between`] is a binary search of the slice. Edge- and
-//! vertex-indexed attributes (directed weights, keyword sets) live in
-//! parallel flat vectors addressed by [`EdgeId`] / [`VertexId`].
+//! [`SocialNetwork::neighbors`] returns a [`Neighbors`] cursor that merges
+//! the base slice with the vertex's run (minus tombstones, still sorted);
+//! for untouched rows — every row of an overlay-free graph — the cursor *is*
+//! the contiguous base slice, so the traversal kernels keep their slice-speed
+//! inner loops. [`SocialNetwork::degree`] stays O(1) and
+//! [`SocialNetwork::edge_between`] a binary search. Edge- and vertex-indexed
+//! attributes (directed weights, keyword sets) live in parallel flat vectors
+//! addressed by [`EdgeId`] / [`VertexId`]; inserted edges append to overlay
+//! columns, and tombstoned ids are **never reused**, so edge-indexed side
+//! data stays valid across updates.
 //!
-//! Only *attributes* stay mutable after freezing ([`set_edge_weights`],
+//! Structural updates go through [`SocialNetwork::apply_edge_inserted`] /
+//! [`SocialNetwork::apply_edge_removed`] — O(degree · log degree) overlay
+//! patches — and [`SocialNetwork::compact`] folds the overlay back into a
+//! fresh CSR (returning an [`EdgeIdRemap`] for side data) once it exceeds a
+//! configurable fraction of `m`; see [`SocialNetwork::maybe_compact`].
+//! Attributes stay mutable without the overlay ([`set_edge_weights`],
 //! [`set_keyword_set`]): the generators draw weights and keywords after the
-//! topology is fixed, and neither touches the CSR arrays. Structural updates
-//! go through the rebuild helpers [`SocialNetwork::with_edge_inserted`] /
-//! [`SocialNetwork::with_edge_removed`] used by incremental index
-//! maintenance.
+//! topology is fixed, and neither touches the CSR arrays.
 //!
 //! [`set_edge_weights`]: SocialNetwork::set_edge_weights
 //! [`set_keyword_set`]: SocialNetwork::set_keyword_set
 
 use crate::error::{GraphError, GraphResult};
 use crate::keywords::KeywordSet;
+use crate::overlay::{DeltaOverlay, EdgeIdRemap, Neighbors, Outgoing};
 use crate::snapshot::{fnv1a, fnv1a_extend, FlatVec};
 use crate::types::{is_valid_probability, EdgeId, VertexId, Weight};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashSet;
+
+/// Default overlay-size trigger for [`SocialNetwork::maybe_compact`]: fold
+/// the overlay back into the CSR once tombstones + inserted edges exceed
+/// this fraction of the base edge count.
+pub const DEFAULT_COMPACT_THRESHOLD: f64 = 0.125;
 
 /// Persisted snapshot format version written by [`Serialize`]; version 1 (the
 /// PR-1 adjacency-list layout, no `format_version` field) is still accepted on
@@ -75,6 +91,10 @@ pub struct SocialNetwork {
     weight_backward: FlatVec<Weight>,
     /// Per-vertex keyword sets `v_i.W` (owned: variable-length and tiny).
     keywords: Vec<KeywordSet>,
+    /// The delta overlay holding structural updates since the base was
+    /// frozen: `None` (the common case) means every reader takes the raw
+    /// slice fast path. Boxed so the frozen store stays lean.
+    overlay: Option<Box<DeltaOverlay>>,
 }
 
 impl Default for SocialNetwork {
@@ -87,6 +107,7 @@ impl Default for SocialNetwork {
             weight_forward: FlatVec::default(),
             weight_backward: FlatVec::default(),
             keywords: Vec::new(),
+            overlay: None,
         }
     }
 }
@@ -201,6 +222,7 @@ impl SocialNetwork {
             weight_forward: weight_forward.into(),
             weight_backward: weight_backward.into(),
             keywords,
+            overlay: None,
         };
         network.refresh_csr_out_weights();
         Ok(network)
@@ -226,10 +248,14 @@ impl SocialNetwork {
             weight_forward,
             weight_backward,
             keywords,
+            overlay: None,
         }
     }
 
-    /// Borrowed view of every flat array (see [`GraphParts`]).
+    /// Borrowed view of every flat array (see [`GraphParts`]). The view
+    /// covers the frozen **base** only; callers that need the full logical
+    /// graph as flat arrays (the binary snapshot writer) must
+    /// [`compact`](SocialNetwork::compact) first.
     pub fn raw_parts(&self) -> GraphParts<'_> {
         GraphParts {
             offsets: &self.offsets,
@@ -298,6 +324,25 @@ impl SocialNetwork {
                 h = word(h, u64::from(kw.0));
             }
         }
+        // overlay state folds in after the base so an overlay-free graph
+        // keeps the exact byte path (and fingerprint) of earlier versions
+        if let Some(o) = self.overlay.as_deref() {
+            if !o.is_empty() {
+                h = fnv1a_extend(h, b"overlay");
+                let mut dead: Vec<u32> = o.tombstones.iter().copied().collect();
+                dead.sort_unstable();
+                h = word(h, dead.len() as u64);
+                for id in dead {
+                    h = word(h, u64::from(id));
+                }
+                h = word(h, o.extra_edges.len() as u64);
+                for (i, &(u, v)) in o.extra_edges.iter().enumerate() {
+                    h = word(h, u64::from(u.0) << 32 | u64::from(v.0));
+                    h = word(h, o.extra_weight_forward[i].to_bits());
+                    h = word(h, o.extra_weight_backward[i].to_bits());
+                }
+            }
+        }
         h
     }
 
@@ -325,10 +370,41 @@ impl SocialNetwork {
         self.keywords.len()
     }
 
-    /// Number of undirected edges `|E(G)|`.
+    /// Number of **live** undirected edges `|E(G)|` (tombstoned edges
+    /// excluded).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        match self.overlay.as_deref() {
+            None => self.edges.len(),
+            Some(o) => self.edges.len() + o.extra_edges.len() - o.tombstones.len(),
+        }
+    }
+
+    /// Size of the edge-**id** space: one more than the largest id ever
+    /// handed out, including tombstoned ids (which are never reused until
+    /// [`compact`](SocialNetwork::compact)). Dense edge-indexed side arrays
+    /// must be sized by this, not by [`num_edges`](SocialNetwork::num_edges).
+    #[inline]
+    pub fn edge_id_space(&self) -> usize {
+        self.edges.len() + self.overlay.as_deref().map_or(0, |o| o.extra_edges.len())
+    }
+
+    /// `true` when structural updates are pending in the delta overlay (the
+    /// graph differs from its frozen CSR base).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.as_deref().is_some_and(|o| !o.is_empty())
+    }
+
+    /// Overlay size relative to the base edge count: `(tombstones + inserted
+    /// edges) / base_m`. The [`maybe_compact`](SocialNetwork::maybe_compact)
+    /// trigger.
+    pub fn overlay_fraction(&self) -> f64 {
+        match self.overlay.as_deref() {
+            None => 0.0,
+            Some(o) => {
+                (o.tombstones.len() + o.extra_edges.len()) as f64 / self.edges.len().max(1) as f64
+            }
+        }
     }
 
     /// Returns `true` if the graph has no vertices.
@@ -347,16 +423,29 @@ impl SocialNetwork {
         (0..self.keywords.len()).map(VertexId::from_index)
     }
 
-    /// Iterates over the canonical edge table as `(edge id, u, v)` with `u < v`.
+    /// Iterates over the **live** edges as `(edge id, u, v)` with `u < v`,
+    /// in ascending id order (base edges first, then overlay insertions;
+    /// tombstoned ids are skipped).
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        let extras: &[(VertexId, VertexId)] =
+            self.overlay.as_deref().map_or(&[], |o| &o.extra_edges);
         self.edges
             .iter()
+            .chain(extras.iter())
             .enumerate()
+            .filter(move |&(i, _)| !self.is_tombstoned(EdgeId::from_index(i)))
             .map(|(i, &(u, v))| (EdgeId::from_index(i), u, v))
     }
 
+    /// `true` if `e`'s id has been retired by
+    /// [`apply_edge_removed`](SocialNetwork::apply_edge_removed).
+    #[inline]
+    fn is_tombstoned(&self, e: EdgeId) -> bool {
+        self.overlay.as_deref().is_some_and(|o| o.is_tombstoned(e))
+    }
+
     /// Returns the edge id between `u` and `v`, if any (binary search of the
-    /// shorter neighbour slice).
+    /// shorter row's cursor).
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         if !self.contains_vertex(u) || !self.contains_vertex(v) {
             return None;
@@ -366,10 +455,7 @@ impl SocialNetwork {
         } else {
             (v, u)
         };
-        let row = self.neighbors(probe);
-        row.binary_search_by_key(&key, |&(n, _)| n)
-            .ok()
-            .map(|pos| row[pos].1)
+        self.neighbors(probe).find(key)
     }
 
     /// Returns `true` if `{u, v}` is an edge.
@@ -377,10 +463,19 @@ impl SocialNetwork {
         self.edge_between(u, v).is_some()
     }
 
-    /// Returns the canonical endpoints `(u, v)` with `u < v` of an edge.
+    /// Returns the canonical endpoints `(u, v)` with `u < v` of an edge
+    /// (base or overlay id; tombstoned ids keep their endpoints until
+    /// compaction).
     #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
-        self.edges[e.index()]
+        if e.index() < self.edges.len() {
+            self.edges[e.index()]
+        } else {
+            self.overlay
+                .as_deref()
+                .expect("extra edge id implies an overlay")
+                .extra_edges[e.index() - self.edges.len()]
+        }
     }
 
     /// Directed activation probability `p_{u→v}` along an existing edge.
@@ -397,18 +492,37 @@ impl SocialNetwork {
     /// `from` (which must be one of the endpoints).
     #[inline]
     pub fn directed_weight(&self, e: EdgeId, from: VertexId) -> Weight {
-        let (lo, _hi) = self.edges[e.index()];
-        if from == lo {
-            self.weight_forward[e.index()]
+        if e.index() < self.edges.len() {
+            let (lo, _hi) = self.edges[e.index()];
+            if from == lo {
+                self.weight_forward[e.index()]
+            } else {
+                self.weight_backward[e.index()]
+            }
         } else {
-            self.weight_backward[e.index()]
+            let o = self
+                .overlay
+                .as_deref()
+                .expect("extra edge id implies an overlay");
+            let i = e.index() - self.edges.len();
+            let (lo, _hi) = o.extra_edges[i];
+            if from == lo {
+                o.extra_weight_forward[i]
+            } else {
+                o.extra_weight_backward[i]
+            }
         }
     }
 
-    /// Degree of a vertex (one offset subtraction).
+    /// Degree of a vertex: an offset subtraction, plus two O(1) overlay
+    /// lookups when updates are pending.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        let base = (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize;
+        match self.overlay.as_deref() {
+            None => base,
+            Some(o) => base - o.removed_in_row(v) + o.run(v).len(),
+        }
     }
 
     /// Average degree over all vertices (`avg_deg` in the complexity
@@ -423,30 +537,61 @@ impl SocialNetwork {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        self.offsets
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as usize)
-            .max()
-            .unwrap_or(0)
+        if self.has_overlay() {
+            self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+        } else {
+            self.offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as usize)
+                .max()
+                .unwrap_or(0)
+        }
     }
 
-    /// The neighbours of `v` as a contiguous slice of `(neighbour, edge id)`
-    /// pairs in ascending neighbour order, backed by the single CSR
-    /// allocation.
+    /// The base CSR row of `v` (pre-overlay adjacency).
     #[inline]
-    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+    fn base_row(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
         &self.csr[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
+    /// The neighbours of `v` as a [`Neighbors`] cursor over `(neighbour,
+    /// edge id)` pairs in ascending neighbour order. For rows without
+    /// pending overlay entries — every row of an overlay-free graph — the
+    /// cursor is the contiguous CSR slice ([`Neighbors::Slice`]).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        match self.overlay.as_deref() {
+            None => Neighbors::Slice(self.base_row(v)),
+            Some(o) if !o.row_is_patched(v) => Neighbors::Slice(self.base_row(v)),
+            Some(o) => Neighbors::Merged {
+                base: self.base_row(v),
+                run: o.run(v),
+                tombstones: &o.tombstones,
+            },
+        }
+    }
+
     /// Iterates over the neighbours of `v` together with the *outgoing*
-    /// activation probability `p_{v→n}` — a zip of two contiguous CSR
-    /// slices, no per-neighbour edge-table lookup.
+    /// activation probability `p_{v→n}`. Overlay-free rows zip the two
+    /// contiguous CSR slices (no per-neighbour edge-table lookup); patched
+    /// rows merge in the run entries, which carry their weights inline.
     pub fn outgoing(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let range = self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize;
-        self.csr[range.clone()]
-            .iter()
-            .zip(&self.csr_out_weight[range])
-            .map(|(&(n, _), &w)| (n, w))
+        match self.overlay.as_deref() {
+            Some(o) if o.row_is_patched(v) => Outgoing::Merged {
+                base: &self.csr[range.clone()],
+                base_w: &self.csr_out_weight[range],
+                run: o.run(v),
+                tombstones: &o.tombstones,
+                bi: 0,
+                ri: 0,
+            },
+            _ => Outgoing::Slice(
+                self.csr[range.clone()]
+                    .iter()
+                    .zip(&self.csr_out_weight[range]),
+            ),
+        }
     }
 
     /// Keyword set `v.W` of a vertex.
@@ -470,7 +615,7 @@ impl SocialNetwork {
         p_forward: Weight,
         p_backward: Weight,
     ) -> GraphResult<()> {
-        let (lo, hi) = self.edges[e.index()];
+        let (lo, hi) = self.edge_endpoints(e);
         if !is_valid_probability(p_forward) {
             return Err(GraphError::InvalidWeight {
                 u: lo,
@@ -485,12 +630,26 @@ impl SocialNetwork {
                 weight: p_backward,
             });
         }
-        self.weight_forward.to_mut()[e.index()] = p_forward;
-        self.weight_backward.to_mut()[e.index()] = p_backward;
-        // keep the packed per-slot outgoing weights in sync: the forward
-        // direction leaves lo's row (slot pointing at hi) and vice versa
-        self.patch_out_weight(lo, hi, p_forward);
-        self.patch_out_weight(hi, lo, p_backward);
+        if e.index() < self.edges.len() {
+            self.weight_forward.to_mut()[e.index()] = p_forward;
+            self.weight_backward.to_mut()[e.index()] = p_backward;
+            // keep the packed per-slot outgoing weights in sync: the forward
+            // direction leaves lo's row (slot pointing at hi) and vice versa
+            self.patch_out_weight(lo, hi, p_forward);
+            self.patch_out_weight(hi, lo, p_backward);
+        } else {
+            let base_m = self.edges.len();
+            let o = self
+                .overlay
+                .as_deref_mut()
+                .expect("extra edge id implies an overlay");
+            let i = e.index() - base_m;
+            o.extra_weight_forward[i] = p_forward;
+            o.extra_weight_backward[i] = p_backward;
+            // the run entries carry the outgoing weights inline
+            o.patch_run_weight(lo, e, p_forward);
+            o.patch_run_weight(hi, e, p_backward);
+        }
         Ok(())
     }
 
@@ -506,7 +665,7 @@ impl SocialNetwork {
         updates: &[(EdgeId, Weight, Weight)],
     ) -> GraphResult<()> {
         for &(e, p_forward, p_backward) in updates {
-            let (lo, hi) = self.edges[e.index()];
+            let (lo, hi) = self.edge_endpoints(e);
             if !is_valid_probability(p_forward) {
                 return Err(GraphError::InvalidWeight {
                     u: lo,
@@ -522,9 +681,23 @@ impl SocialNetwork {
                 });
             }
         }
+        let base_m = self.edges.len();
         for &(e, p_forward, p_backward) in updates {
-            self.weight_forward.to_mut()[e.index()] = p_forward;
-            self.weight_backward.to_mut()[e.index()] = p_backward;
+            if e.index() < base_m {
+                self.weight_forward.to_mut()[e.index()] = p_forward;
+                self.weight_backward.to_mut()[e.index()] = p_backward;
+            } else {
+                let (lo, hi) = self.edge_endpoints(e);
+                let o = self
+                    .overlay
+                    .as_deref_mut()
+                    .expect("extra edge id implies an overlay");
+                let i = e.index() - base_m;
+                o.extra_weight_forward[i] = p_forward;
+                o.extra_weight_backward[i] = p_backward;
+                o.patch_run_weight(lo, e, p_forward);
+                o.patch_run_weight(hi, e, p_backward);
+            }
         }
         self.refresh_csr_out_weights();
         Ok(())
@@ -541,10 +714,115 @@ impl SocialNetwork {
         self.csr_out_weight.to_mut()[start + pos] = weight;
     }
 
-    /// Rebuilds the frozen store with one additional edge `{u, v}` (the
-    /// incremental-maintenance insert path). Existing edge ids are preserved;
-    /// the new edge receives id `m`. `O(n + m)` — cheap next to the index
-    /// refresh that follows it.
+    /// Inserts the edge `{u, v}` as a delta-overlay patch: the CSR base is
+    /// untouched, the edge gets the next fresh id
+    /// ([`edge_id_space`](SocialNetwork::edge_id_space)), and a sorted run
+    /// entry is spliced into each endpoint's row — O(degree · log degree),
+    /// not O(n + m). Returns the new edge's id.
+    pub fn apply_edge_inserted(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        p_uv: Weight,
+        p_vu: Weight,
+    ) -> GraphResult<EdgeId> {
+        if !self.contains_vertex(u) {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !is_valid_probability(p_uv) {
+            return Err(GraphError::InvalidWeight { u, v, weight: p_uv });
+        }
+        if !is_valid_probability(p_vu) {
+            return Err(GraphError::InvalidWeight {
+                u: v,
+                v: u,
+                weight: p_vu,
+            });
+        }
+        if self.contains_edge(u, v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let e = EdgeId::from_index(self.edge_id_space());
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let (p_lo_hi, p_hi_lo) = if u < v { (p_uv, p_vu) } else { (p_vu, p_uv) };
+        let o = self.overlay.get_or_insert_with(Default::default);
+        o.extra_edges.push((lo, hi));
+        o.extra_weight_forward.push(p_lo_hi);
+        o.extra_weight_backward.push(p_hi_lo);
+        o.insert_run_entry(lo, hi, e, p_lo_hi);
+        o.insert_run_entry(hi, lo, e, p_hi_lo);
+        Ok(e)
+    }
+
+    /// Removes the edge `{u, v}` as a delta-overlay patch: its id is
+    /// tombstoned (retired, never reused until
+    /// [`compact`](SocialNetwork::compact)), so edge-indexed side data for
+    /// the surviving edges stays valid. O(degree) for overlay-inserted
+    /// edges, O(1) for base edges. Returns the removed edge's id.
+    pub fn apply_edge_removed(&mut self, u: VertexId, v: VertexId) -> GraphResult<EdgeId> {
+        let e = self
+            .edge_between(u, v)
+            .ok_or(GraphError::MissingEdge(u, v))?;
+        let base_m = self.edges.len();
+        let (lo, hi) = self.edge_endpoints(e);
+        let o = self.overlay.get_or_insert_with(Default::default);
+        o.tombstones.insert(e.0);
+        if e.index() < base_m {
+            // a base edge: its CSR slots stay but become invisible
+            *o.removed_in_row.entry(lo.0).or_insert(0) += 1;
+            *o.removed_in_row.entry(hi.0).or_insert(0) += 1;
+        } else {
+            // an overlay edge: drop its run entries (runs hold live edges
+            // only); the extras slot stays so ids above it don't shift
+            o.remove_run_entry(lo, e);
+            o.remove_run_entry(hi, e);
+        }
+        Ok(e)
+    }
+
+    /// Folds the delta overlay back into a fresh frozen CSR: live edges keep
+    /// their relative order and pack densely into ids `0..num_edges()`. The
+    /// only remaining O(n + m) step of the update path, amortised by
+    /// [`maybe_compact`](SocialNetwork::maybe_compact). Returns the old→new
+    /// [`EdgeIdRemap`] for edge-indexed side data (identity if the overlay
+    /// was empty).
+    pub fn compact(&mut self) -> EdgeIdRemap {
+        if !self.has_overlay() {
+            self.overlay = None;
+            return EdgeIdRemap::identity(self.edges.len());
+        }
+        let id_space = self.edge_id_space();
+        let mut map = vec![u32::MAX; id_space];
+        let mut table = Vec::with_capacity(self.num_edges());
+        for (e, u, v) in self.edges() {
+            map[e.index()] = table.len() as u32;
+            table.push((u, v, self.directed_weight(e, u), self.directed_weight(e, v)));
+        }
+        let live = table.len();
+        let keywords = std::mem::take(&mut self.keywords);
+        *self = Self::assemble(keywords, table)
+            .expect("live edges of a valid graph re-assemble cleanly");
+        EdgeIdRemap::from_map(map, live)
+    }
+
+    /// Compacts when the overlay exceeds `threshold` as a fraction of the
+    /// base edge count (see
+    /// [`overlay_fraction`](SocialNetwork::overlay_fraction) and
+    /// [`DEFAULT_COMPACT_THRESHOLD`]); returns the remap when it fired.
+    pub fn maybe_compact(&mut self, threshold: f64) -> Option<EdgeIdRemap> {
+        (self.overlay_fraction() > threshold).then(|| self.compact())
+    }
+
+    /// Clone-and-patch convenience around
+    /// [`apply_edge_inserted`](SocialNetwork::apply_edge_inserted): returns
+    /// an updated copy, leaving `self` untouched. Existing edge ids are
+    /// preserved; the new edge receives the next fresh id.
     pub fn with_edge_inserted(
         &self,
         u: VertexId,
@@ -552,67 +830,55 @@ impl SocialNetwork {
         p_uv: Weight,
         p_vu: Weight,
     ) -> GraphResult<SocialNetwork> {
-        if !self.contains_vertex(u) {
-            return Err(GraphError::UnknownVertex(u));
-        }
-        if !self.contains_vertex(v) {
-            return Err(GraphError::UnknownVertex(v));
-        }
-        if self.contains_edge(u, v) {
-            return Err(GraphError::DuplicateEdge(u, v));
-        }
-        let mut table = self.edge_table();
-        table.push((u, v, p_uv, p_vu));
-        Self::assemble(self.keywords.clone(), table)
+        let mut updated = self.clone();
+        updated.apply_edge_inserted(u, v, p_uv, p_vu)?;
+        Ok(updated)
     }
 
-    /// Rebuilds the frozen store without the edge `{u, v}` (the
-    /// incremental-maintenance delete path). Edge ids **above the removed
-    /// edge shift down by one**; edge-indexed side data must be recomputed
-    /// (incremental maintenance refreshes supports from scratch anyway).
-    /// Returns the rebuilt graph and the id the removed edge had.
+    /// Clone-and-patch convenience around
+    /// [`apply_edge_removed`](SocialNetwork::apply_edge_removed): returns an
+    /// updated copy and the removed edge's id. Surviving edges **keep their
+    /// ids** (the removed id is tombstoned, not reused) — edge-indexed side
+    /// data stays valid, unlike the pre-overlay rebuild which shifted every
+    /// id above the removed edge.
     pub fn with_edge_removed(
         &self,
         u: VertexId,
         v: VertexId,
     ) -> GraphResult<(SocialNetwork, EdgeId)> {
-        let removed = self
-            .edge_between(u, v)
-            .ok_or(GraphError::MissingEdge(u, v))?;
-        let mut table = self.edge_table();
-        table.remove(removed.index());
-        let rebuilt = Self::assemble(self.keywords.clone(), table)?;
-        Ok((rebuilt, removed))
+        let mut updated = self.clone();
+        let removed = updated.apply_edge_removed(u, v)?;
+        Ok((updated, removed))
     }
 
-    /// The canonical edge table with weights, in edge-id order (the builder's
-    /// view of this graph; also used by the snapshot writer).
-    fn edge_table(&self) -> Vec<(VertexId, VertexId, Weight, Weight)> {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, &(u, v))| (u, v, self.weight_forward[i], self.weight_backward[i]))
-            .collect()
+    /// The live canonical edge table with weights, in edge-id order, as a
+    /// borrowing iterator — only [`compact`](SocialNetwork::compact) and the
+    /// snapshot writers ever materialise it.
+    pub fn edge_table_iter(
+        &self,
+    ) -> impl Iterator<Item = (VertexId, VertexId, Weight, Weight)> + '_ {
+        self.edges()
+            .map(|(e, u, v)| (u, v, self.directed_weight(e, u), self.directed_weight(e, v)))
     }
 
     /// Counts the number of common neighbours of `u` and `v` (the number of
     /// triangles through the edge `{u, v}` when they are adjacent).
     ///
-    /// Linear merge over the two sorted CSR slices.
+    /// Linear merge over the two sorted rows (raw-slice merge when neither
+    /// row has overlay entries).
     pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
-        merge_count(self.neighbors(u), self.neighbors(v))
+        merge_count_cursors(self.neighbors(u), self.neighbors(v))
     }
 
     /// Counts common neighbours of `u` and `v` with id strictly greater than
     /// `floor` — the ordered-enumeration primitive of triangle counting
     /// (count each triangle `{a < b < c}` at its smallest edge). Binary
-    /// searches skip both slices to `floor` before merging.
+    /// searches skip both rows to `floor` before merging.
     pub fn common_neighbor_count_above(&self, u: VertexId, v: VertexId, floor: VertexId) -> usize {
-        let a = self.neighbors(u);
-        let b = self.neighbors(v);
-        let ai = a.partition_point(|&(n, _)| n <= floor);
-        let bi = b.partition_point(|&(n, _)| n <= floor);
-        merge_count(&a[ai..], &b[bi..])
+        merge_count_cursors(
+            self.neighbors(u).suffix_above(floor),
+            self.neighbors(v).suffix_above(floor),
+        )
     }
 
     /// Collects the common neighbours of `u` and `v`.
@@ -632,19 +898,63 @@ impl SocialNetwork {
         v: VertexId,
         mut f: F,
     ) {
-        let a = self.neighbors(u);
-        let b = self.neighbors(v);
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    f(a[i].0, a[i].1, b[j].1);
-                    i += 1;
-                    j += 1;
+        let ca = self.neighbors(u);
+        let cb = self.neighbors(v);
+        if let (Some(a), Some(b)) = (ca.as_slice(), cb.as_slice()) {
+            // overlay-free fast path: the original two-slice merge
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].0.cmp(&b[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        f(a[i].0, a[i].1, b[j].1);
+                        i += 1;
+                        j += 1;
+                    }
                 }
             }
+            return;
+        }
+        let mut ai = ca.iter();
+        let mut bi = cb.iter();
+        let (mut x, mut y) = (ai.next(), bi.next());
+        while let (Some((an, ae)), Some((bn, be))) = (x, y) {
+            match an.cmp(&bn) {
+                std::cmp::Ordering::Less => x = ai.next(),
+                std::cmp::Ordering::Greater => y = bi.next(),
+                std::cmp::Ordering::Equal => {
+                    f(an, ae, be);
+                    x = ai.next();
+                    y = bi.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts matching neighbour ids in a merge over two sorted cursors,
+/// dispatching to the raw two-slice merge when both rows are overlay-free.
+fn merge_count_cursors(a: Neighbors<'_>, b: Neighbors<'_>) -> usize {
+    match (a.as_slice(), b.as_slice()) {
+        (Some(a), Some(b)) => merge_count(a, b),
+        _ => {
+            let mut ai = a.iter();
+            let mut bi = b.iter();
+            let (mut x, mut y) = (ai.next(), bi.next());
+            let mut count = 0usize;
+            while let (Some((an, _)), Some((bn, _))) = (x, y) {
+                match an.cmp(&bn) {
+                    std::cmp::Ordering::Less => x = ai.next(),
+                    std::cmp::Ordering::Greater => y = bi.next(),
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        x = ai.next();
+                        y = bi.next();
+                    }
+                }
+            }
+            count
         }
     }
 }
@@ -674,9 +984,28 @@ fn merge_count(a: &[(VertexId, EdgeId)], b: &[(VertexId, EdgeId)]) -> usize {
 /// attributes. The CSR arrays are derived data and are rebuilt on load, which
 /// keeps snapshots smaller than the PR-1 layout (no redundant adjacency) and
 /// makes it impossible for a hand-edited file to desynchronise adjacency from
-/// the edge table.
+/// the edge table. A pending delta overlay is folded into the written edge
+/// table (live edges in id order), so loading acts as an implicit compaction:
+/// edge ids are renumbered exactly as [`SocialNetwork::compact`] would.
 impl Serialize for SocialNetwork {
     fn to_value(&self) -> Value {
+        let (edges, weight_forward, weight_backward) = if self.has_overlay() {
+            let mut edges = Vec::with_capacity(self.num_edges());
+            let mut wf = Vec::with_capacity(self.num_edges());
+            let mut wb = Vec::with_capacity(self.num_edges());
+            for (u, v, f, b) in self.edge_table_iter() {
+                edges.push((u, v));
+                wf.push(f);
+                wb.push(b);
+            }
+            (edges.to_value(), wf.to_value(), wb.to_value())
+        } else {
+            (
+                self.edges.as_slice().to_value(),
+                self.weight_forward.as_slice().to_value(),
+                self.weight_backward.as_slice().to_value(),
+            )
+        };
         Value::Object(vec![
             (
                 "format_version".to_string(),
@@ -686,15 +1015,9 @@ impl Serialize for SocialNetwork {
                 "num_vertices".to_string(),
                 Value::UInt(self.num_vertices() as u64),
             ),
-            ("edges".to_string(), self.edges.as_slice().to_value()),
-            (
-                "weight_forward".to_string(),
-                self.weight_forward.as_slice().to_value(),
-            ),
-            (
-                "weight_backward".to_string(),
-                self.weight_backward.as_slice().to_value(),
-            ),
+            ("edges".to_string(), edges),
+            ("weight_forward".to_string(), weight_forward),
+            ("weight_backward".to_string(), weight_backward),
             ("keywords".to_string(), self.keywords.to_value()),
         ])
     }
@@ -826,11 +1149,14 @@ mod tests {
     #[test]
     fn neighbor_slices_are_sorted_and_contiguous() {
         let g = triangle();
-        // the three rows tile the single CSR allocation end to end
+        // overlay-free rows are raw slices tiling the single CSR allocation
         let base = g.csr.as_ptr();
         let mut expected_offset = 0usize;
         for v in g.vertices() {
-            let row = g.neighbors(v);
+            let row = g
+                .neighbors(v)
+                .as_slice()
+                .expect("overlay-free rows take the slice fast path");
             assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row sorted");
             assert_eq!(
                 row.as_ptr() as usize - base as usize,
@@ -979,7 +1305,7 @@ mod tests {
             let via_table: Vec<(VertexId, f64)> = g
                 .neighbors(v)
                 .iter()
-                .map(|&(n, e)| (n, g.directed_weight(e, v)))
+                .map(|(n, e)| (n, g.directed_weight(e, v)))
                 .collect();
             assert_eq!(packed, via_table, "vertex {v}");
         }
@@ -1031,18 +1357,164 @@ mod tests {
     }
 
     #[test]
-    fn remove_edge_shifts_higher_ids() {
+    fn remove_edge_tombstones_without_shifting_ids() {
         let g = triangle();
         let (g2, removed) = g.with_edge_removed(VertexId(1), VertexId(0)).unwrap();
         assert_eq!(removed, EdgeId(0));
         assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.edge_id_space(), 3, "the tombstoned id is not reused");
         assert!(!g2.contains_edge(VertexId(0), VertexId(1)));
-        assert_eq!(g2.edge_endpoints(EdgeId(0)), (VertexId(1), VertexId(2)));
-        assert_eq!(g2.edge_endpoints(EdgeId(1)), (VertexId(0), VertexId(2)));
+        // surviving edges keep their ids — no shift-down footgun
+        assert_eq!(g2.edge_endpoints(EdgeId(1)), (VertexId(1), VertexId(2)));
+        assert_eq!(g2.edge_endpoints(EdgeId(2)), (VertexId(0), VertexId(2)));
+        assert_eq!(
+            g2.edges().map(|(e, _, _)| e).collect::<Vec<_>>(),
+            vec![EdgeId(1), EdgeId(2)]
+        );
         assert!(matches!(
             g2.with_edge_removed(VertexId(0), VertexId(1)),
             Err(GraphError::MissingEdge(..))
         ));
+        // a reinsert gets a fresh id, never the tombstoned one
+        let mut g3 = g2.clone();
+        let e = g3
+            .apply_edge_inserted(VertexId(0), VertexId(1), 0.4, 0.3)
+            .unwrap();
+        assert_eq!(e, EdgeId(3));
+        assert_eq!(g3.num_edges(), 3);
+        assert_eq!(
+            g3.activation_probability(VertexId(0), VertexId(1)).unwrap(),
+            0.4
+        );
+    }
+
+    #[test]
+    fn overlay_rows_merge_and_degrade_to_slices() {
+        let mut b = GraphBuilder::with_vertices(5);
+        b.add_edge(VertexId(0), VertexId(1), 0.8, 0.7);
+        b.add_edge(VertexId(0), VertexId(3), 0.6, 0.5);
+        let mut g = b.build().unwrap();
+        assert!(!g.has_overlay());
+        g.apply_edge_inserted(VertexId(0), VertexId(2), 0.9, 0.85)
+            .unwrap();
+        assert!(g.has_overlay());
+        // touched rows merge (base ∪ run, sorted); untouched rows stay slices
+        assert!(g.neighbors(VertexId(0)).as_slice().is_none());
+        assert!(g.neighbors(VertexId(1)).as_slice().is_some());
+        assert_eq!(
+            g.neighbors(VertexId(0))
+                .iter()
+                .map(|(n, _)| n)
+                .collect::<Vec<_>>(),
+            vec![VertexId(1), VertexId(2), VertexId(3)]
+        );
+        assert_eq!(g.degree(VertexId(0)), 3);
+        assert_eq!(g.degree(VertexId(2)), 1);
+        assert_eq!(g.max_degree(), 3);
+        let out: Vec<(VertexId, f64)> = g.outgoing(VertexId(0)).collect();
+        assert_eq!(
+            out,
+            vec![(VertexId(1), 0.8), (VertexId(2), 0.9), (VertexId(3), 0.6)]
+        );
+        assert_eq!(
+            g.activation_probability(VertexId(2), VertexId(0)).unwrap(),
+            0.85
+        );
+        // removing a base edge tombstones its CSR slots
+        g.apply_edge_removed(VertexId(0), VertexId(3)).unwrap();
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert!(g.neighbors(VertexId(3)).is_empty());
+        assert_eq!(
+            g.neighbors(VertexId(0))
+                .iter()
+                .map(|(n, _)| n)
+                .collect::<Vec<_>>(),
+            vec![VertexId(1), VertexId(2)]
+        );
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn compaction_renumbers_and_returns_the_remap() {
+        let mut g = triangle();
+        g.apply_edge_removed(VertexId(0), VertexId(1)).unwrap(); // id 0 dies
+        let e_new = g
+            .apply_edge_inserted(VertexId(0), VertexId(1), 0.4, 0.3)
+            .unwrap(); // id 3
+        assert!(g.overlay_fraction() > 0.5);
+        let fingerprint_before: Vec<(VertexId, VertexId, f64, f64)> = g.edge_table_iter().collect();
+        let remap = g.compact();
+        assert!(!g.has_overlay());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_id_space(), 3);
+        // live ids packed in old-id order: 1→0, 2→1, 3→2; dead id 0 gone
+        assert_eq!(remap.new_id(EdgeId(0)), None);
+        assert_eq!(remap.new_id(EdgeId(1)), Some(EdgeId(0)));
+        assert_eq!(remap.new_id(EdgeId(2)), Some(EdgeId(1)));
+        assert_eq!(remap.new_id(e_new), Some(EdgeId(2)));
+        let after: Vec<(VertexId, VertexId, f64, f64)> = g.edge_table_iter().collect();
+        assert_eq!(
+            fingerprint_before, after,
+            "compaction preserves the logical graph"
+        );
+        // compacting an overlay-free graph is the identity
+        assert!(g.compact().is_identity());
+        assert!(g
+            .maybe_compact(crate::graph::DEFAULT_COMPACT_THRESHOLD)
+            .is_none());
+    }
+
+    #[test]
+    fn overlay_graph_matches_from_scratch_rebuild() {
+        let mut b = GraphBuilder::with_vertices(6);
+        b.add_edge(VertexId(0), VertexId(1), 0.8, 0.7);
+        b.add_edge(VertexId(1), VertexId(2), 0.6, 0.5);
+        b.add_edge(VertexId(2), VertexId(3), 0.9, 0.9);
+        b.add_edge(VertexId(3), VertexId(4), 0.3, 0.4);
+        b.add_edge(VertexId(0), VertexId(4), 0.2, 0.1);
+        let mut g = b.build().unwrap();
+        g.apply_edge_inserted(VertexId(1), VertexId(4), 0.45, 0.55)
+            .unwrap();
+        g.apply_edge_inserted(VertexId(0), VertexId(5), 0.35, 0.25)
+            .unwrap();
+        g.apply_edge_removed(VertexId(2), VertexId(3)).unwrap();
+        // rebuild from scratch at the same logical state
+        let rebuilt = {
+            let mut c = g.clone();
+            c.compact();
+            c
+        };
+        assert_eq!(g.num_edges(), rebuilt.num_edges());
+        for v in g.vertices() {
+            assert_eq!(
+                g.neighbors(v).iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                rebuilt
+                    .neighbors(v)
+                    .iter()
+                    .map(|(n, _)| n)
+                    .collect::<Vec<_>>(),
+                "neighbour sequence of {v}"
+            );
+            let a: Vec<(VertexId, f64)> = g.outgoing(v).collect();
+            let b: Vec<(VertexId, f64)> = rebuilt.outgoing(v).collect();
+            assert_eq!(a, b, "outgoing weights of {v}");
+            assert_eq!(g.degree(v), rebuilt.degree(v));
+        }
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v {
+                    assert_eq!(
+                        g.common_neighbor_count(u, v),
+                        rebuilt.common_neighbor_count(u, v)
+                    );
+                    assert_eq!(
+                        g.common_neighbor_count_above(u, v, VertexId(1)),
+                        rebuilt.common_neighbor_count_above(u, v, VertexId(1))
+                    );
+                    assert_eq!(g.contains_edge(u, v), rebuilt.contains_edge(u, v));
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! * [`SocialNetwork`] — **frozen CSR** graph store (flat offsets + packed
 //!   neighbour array) with per-vertex keyword sets and per-edge propagation
 //!   probabilities; all structure is built in one shot by the mutable
-//!   [`GraphBuilder`] and read back as contiguous slices,
+//!   [`GraphBuilder`] and read back through the [`Neighbors`] cursor, which
+//!   is the raw contiguous slice for overlay-free rows,
+//! * [`overlay`] — the **delta overlay** (per-vertex inserted runs +
+//!   tombstones) that makes edge insert/delete O(degree · log degree)
+//!   instead of a full CSR rebuild, with amortised compaction,
 //! * [`builder`] — the mutable accumulation side of the builder/frozen
 //!   split: append-only buffering, O(1) incremental queries for the
 //!   generators, one-shot validate + counting-sort freeze,
@@ -39,6 +43,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod keywords;
+pub mod overlay;
 pub mod snapshot;
 pub mod statistics;
 pub mod subgraph;
@@ -51,6 +56,7 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{GraphParts, SocialNetwork};
 pub use keywords::{Keyword, KeywordSet};
+pub use overlay::{DeltaOverlay, EdgeIdRemap, Neighbors, NeighborsIter};
 pub use subgraph::VertexSubset;
 pub use types::{vertex_ids_from_raw, EdgeId, VertexId, Weight};
 pub use workspace::TraversalWorkspace;

@@ -1,0 +1,572 @@
+//! The delta overlay that makes the frozen CSR store updatable in
+//! O(degree · log degree) per edge.
+//!
+//! [`crate::graph::SocialNetwork`] keeps its adjacency in a frozen,
+//! mmap-able CSR base. Structural updates no longer rebuild that base: they
+//! are recorded in a small [`DeltaOverlay`] — per-vertex sorted **runs** of
+//! inserted `(neighbour, edge id, weight)` entries plus a **tombstone** set
+//! of deleted edge ids — and every reader walks a [`Neighbors`] cursor that
+//! merges the base slice with the vertex's run, skipping tombstones, still
+//! in ascending neighbour order. Vertices without overlay entries (and every
+//! vertex of an overlay-free graph) take the [`Neighbors::Slice`] fast path,
+//! which degenerates to the raw contiguous CSR slice iteration the kernels
+//! were tuned on.
+//!
+//! Edge-id discipline: the base table owns ids `0..base_m`, inserted edges
+//! get fresh ids `base_m..` in insertion order, and **tombstoned ids are
+//! never reused** — edge-indexed side data (supports, weights) stays valid
+//! across any update sequence. Only `compact()` (folding the overlay back
+//! into a fresh CSR once it exceeds a configurable fraction of `m`)
+//! renumbers, and it returns an [`EdgeIdRemap`] so side data can follow.
+
+use crate::types::{EdgeId, VertexId, Weight};
+use std::collections::{HashMap, HashSet};
+
+/// The mutable delta layer over a frozen CSR base: inserted-edge runs per
+/// vertex, a tombstone set for deleted edge ids, and the attribute columns of
+/// the inserted ("extra") edges. See the module docs for the id discipline.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    /// Per-vertex run of inserted `(neighbour, edge id, p_{v→neighbour})`
+    /// entries, sorted by neighbour id. Entries are removed again when the
+    /// inserted edge is deleted, so a run never contains tombstoned edges.
+    pub(crate) runs: HashMap<u32, Vec<(VertexId, EdgeId, Weight)>>,
+    /// Deleted edge ids (base or extra). Never reused until compaction.
+    pub(crate) tombstones: HashSet<u32>,
+    /// Number of tombstoned **base** CSR slots per vertex row, for O(1)
+    /// degrees. Extra-edge deletions shrink the runs instead.
+    pub(crate) removed_in_row: HashMap<u32, u32>,
+    /// Canonical endpoints of inserted edges (`u < v`); the edge with id
+    /// `base_m + i` lives at index `i` and keeps its slot even when
+    /// tombstoned (ids are not reused).
+    pub(crate) extra_edges: Vec<(VertexId, VertexId)>,
+    /// Directed weight `p_{u→v}` of each extra edge (canonical direction).
+    pub(crate) extra_weight_forward: Vec<Weight>,
+    /// Directed weight `p_{v→u}` of each extra edge (reverse direction).
+    pub(crate) extra_weight_backward: Vec<Weight>,
+}
+
+impl DeltaOverlay {
+    /// `true` when the overlay records no change at all (the graph is
+    /// byte-equivalent to its base).
+    pub fn is_empty(&self) -> bool {
+        self.tombstones.is_empty() && self.extra_edges.is_empty()
+    }
+
+    /// Number of tombstoned (deleted, id-retired) edges.
+    pub fn num_tombstones(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Number of inserted edges (live or tombstoned — each consumed an id).
+    pub fn num_extra_edges(&self) -> usize {
+        self.extra_edges.len()
+    }
+
+    /// `true` if `e`'s id has been deleted.
+    #[inline]
+    pub fn is_tombstoned(&self, e: EdgeId) -> bool {
+        self.tombstones.contains(&e.0)
+    }
+
+    /// The sorted run of inserted neighbours of `v` (empty for untouched
+    /// vertices).
+    #[inline]
+    pub(crate) fn run(&self, v: VertexId) -> &[(VertexId, EdgeId, Weight)] {
+        self.runs.get(&v.0).map_or(&[], Vec::as_slice)
+    }
+
+    /// How many of `v`'s base CSR slots are tombstoned.
+    #[inline]
+    pub(crate) fn removed_in_row(&self, v: VertexId) -> usize {
+        self.removed_in_row.get(&v.0).copied().unwrap_or(0) as usize
+    }
+
+    /// `true` if `v`'s adjacency differs from its base CSR row.
+    #[inline]
+    pub(crate) fn row_is_patched(&self, v: VertexId) -> bool {
+        self.removed_in_row.contains_key(&v.0) || self.runs.contains_key(&v.0)
+    }
+
+    /// Inserts `(n, e, w)` into `row`'s run, keeping it sorted by neighbour.
+    pub(crate) fn insert_run_entry(&mut self, row: VertexId, n: VertexId, e: EdgeId, w: Weight) {
+        let run = self.runs.entry(row.0).or_default();
+        let pos = run.partition_point(|&(x, _, _)| x < n);
+        run.insert(pos, (n, e, w));
+    }
+
+    /// Removes the run entry for edge `e` from `row` (if present), dropping
+    /// the run when it empties so the row regains the slice fast path.
+    pub(crate) fn remove_run_entry(&mut self, row: VertexId, e: EdgeId) {
+        if let Some(run) = self.runs.get_mut(&row.0) {
+            run.retain(|&(_, id, _)| id != e);
+            if run.is_empty() {
+                self.runs.remove(&row.0);
+            }
+        }
+    }
+
+    /// Overwrites the outgoing weight stored in `row`'s run entry for `e`.
+    pub(crate) fn patch_run_weight(&mut self, row: VertexId, e: EdgeId, w: Weight) {
+        if let Some(run) = self.runs.get_mut(&row.0) {
+            if let Some(entry) = run.iter_mut().find(|&&mut (_, id, _)| id == e) {
+                entry.2 = w;
+            }
+        }
+    }
+}
+
+/// An old→new edge-id mapping returned by
+/// [`crate::graph::SocialNetwork::compact`]: live edges keep their relative
+/// order and pack densely, tombstoned ids map to nothing. Apply it to any
+/// edge-indexed side array (e.g. per-edge supports) before using the array
+/// against the compacted graph.
+#[derive(Debug, Clone)]
+pub struct EdgeIdRemap {
+    /// Indexed by old id; `u32::MAX` marks a dead (tombstoned) id.
+    map: Vec<u32>,
+    live: usize,
+}
+
+impl EdgeIdRemap {
+    const DEAD: u32 = u32::MAX;
+
+    /// The identity mapping over `m` edge ids (a compaction of an
+    /// overlay-free graph changes nothing).
+    pub fn identity(m: usize) -> Self {
+        EdgeIdRemap {
+            map: (0..m as u32).collect(),
+            live: m,
+        }
+    }
+
+    pub(crate) fn from_map(map: Vec<u32>, live: usize) -> Self {
+        EdgeIdRemap { map, live }
+    }
+
+    /// Size of the pre-compaction id space (live + tombstoned).
+    pub fn old_id_space(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of live edges after compaction.
+    pub fn live_edges(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no id moved (no tombstones, no extras renumbered).
+    pub fn is_identity(&self) -> bool {
+        self.live == self.map.len()
+    }
+
+    /// The post-compaction id of `old`, or `None` if the edge was deleted.
+    pub fn new_id(&self, old: EdgeId) -> Option<EdgeId> {
+        self.map
+            .get(old.index())
+            .and_then(|&m| (m != Self::DEAD).then_some(EdgeId(m)))
+    }
+
+    /// Re-packs a dense edge-indexed array into post-compaction id order:
+    /// `out[new_id(e)] = old[e]` for every live edge.
+    pub fn remap_dense<T: Copy + Default>(&self, old: &[T]) -> Vec<T> {
+        let mut out = vec![T::default(); self.live];
+        for (i, &m) in self.map.iter().enumerate() {
+            if m != Self::DEAD {
+                if let Some(&v) = old.get(i) {
+                    out[m as usize] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The merged adjacency cursor: what [`crate::graph::SocialNetwork::neighbors`]
+/// returns instead of a raw slice. For untouched rows it *is* the raw slice
+/// ([`Neighbors::Slice`]); for patched rows it merges the base slice with the
+/// overlay run, skipping tombstones, preserving ascending neighbour order —
+/// so every downstream merge/traversal sees exactly the sequence a rebuilt
+/// CSR row would give (including float summation order).
+#[derive(Clone, Copy, Debug)]
+pub enum Neighbors<'a> {
+    /// Overlay-free fast path: one contiguous CSR slice.
+    Slice(&'a [(VertexId, EdgeId)]),
+    /// Base slice ∪ overlay run, minus tombstones.
+    Merged {
+        base: &'a [(VertexId, EdgeId)],
+        run: &'a [(VertexId, EdgeId, Weight)],
+        tombstones: &'a HashSet<u32>,
+    },
+}
+
+impl<'a> Neighbors<'a> {
+    /// The raw contiguous slice, when this row needs no merging. Readers
+    /// with a slice-tuned inner loop branch on this once per row.
+    #[inline]
+    pub fn as_slice(self) -> Option<&'a [(VertexId, EdgeId)]> {
+        match self {
+            Neighbors::Slice(s) => Some(s),
+            Neighbors::Merged { .. } => None,
+        }
+    }
+
+    /// Number of live neighbours (O(1) on the fast path, O(base row) when
+    /// merged; prefer [`crate::graph::SocialNetwork::degree`] which is O(1)
+    /// either way).
+    pub fn len(self) -> usize {
+        match self {
+            Neighbors::Slice(s) => s.len(),
+            Neighbors::Merged {
+                base,
+                run,
+                tombstones,
+            } => {
+                base.iter()
+                    .filter(|&&(_, e)| !tombstones.contains(&e.0))
+                    .count()
+                    + run.len()
+            }
+        }
+    }
+
+    /// `true` if the vertex has no live neighbours.
+    pub fn is_empty(self) -> bool {
+        match self {
+            Neighbors::Slice(s) => s.is_empty(),
+            Neighbors::Merged {
+                base,
+                run,
+                tombstones,
+            } => run.is_empty() && base.iter().all(|&(_, e)| tombstones.contains(&e.0)),
+        }
+    }
+
+    /// The smallest-id live neighbour, if any.
+    pub fn first(self) -> Option<(VertexId, EdgeId)> {
+        self.iter().next()
+    }
+
+    /// Binary-searches the row for neighbour `key` (run first, then base
+    /// with a tombstone check) — the [`crate::graph::SocialNetwork::edge_between`]
+    /// primitive.
+    pub fn find(self, key: VertexId) -> Option<EdgeId> {
+        match self {
+            Neighbors::Slice(s) => s
+                .binary_search_by_key(&key, |&(n, _)| n)
+                .ok()
+                .map(|pos| s[pos].1),
+            Neighbors::Merged {
+                base,
+                run,
+                tombstones,
+            } => {
+                if let Ok(pos) = run.binary_search_by_key(&key, |&(n, _, _)| n) {
+                    return Some(run[pos].1);
+                }
+                match base.binary_search_by_key(&key, |&(n, _)| n) {
+                    Ok(pos) if !tombstones.contains(&base[pos].1 .0) => Some(base[pos].1),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The sub-cursor of neighbours with id strictly greater than `floor`
+    /// (binary search on both halves) — the ordered triangle-enumeration
+    /// primitive.
+    pub fn suffix_above(self, floor: VertexId) -> Neighbors<'a> {
+        match self {
+            Neighbors::Slice(s) => Neighbors::Slice(&s[s.partition_point(|&(n, _)| n <= floor)..]),
+            Neighbors::Merged {
+                base,
+                run,
+                tombstones,
+            } => Neighbors::Merged {
+                base: &base[base.partition_point(|&(n, _)| n <= floor)..],
+                run: &run[run.partition_point(|&(n, _, _)| n <= floor)..],
+                tombstones,
+            },
+        }
+    }
+
+    /// Iterates the live `(neighbour, edge id)` pairs in ascending neighbour
+    /// order.
+    #[inline]
+    pub fn iter(self) -> NeighborsIter<'a> {
+        match self {
+            Neighbors::Slice(s) => NeighborsIter::Slice(s.iter()),
+            Neighbors::Merged {
+                base,
+                run,
+                tombstones,
+            } => NeighborsIter::Merged {
+                base,
+                run,
+                tombstones,
+                bi: 0,
+                ri: 0,
+            },
+        }
+    }
+
+    /// Collects the row (tests and diagnostics).
+    pub fn to_vec(self) -> Vec<(VertexId, EdgeId)> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for Neighbors<'a> {
+    type Item = (VertexId, EdgeId);
+    type IntoIter = NeighborsIter<'a>;
+    #[inline]
+    fn into_iter(self) -> NeighborsIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Neighbors<'a> {
+    type Item = (VertexId, EdgeId);
+    type IntoIter = NeighborsIter<'a>;
+    #[inline]
+    fn into_iter(self) -> NeighborsIter<'a> {
+        (*self).iter()
+    }
+}
+
+/// Iterator over a [`Neighbors`] cursor. The `Slice` arm wraps
+/// `std::slice::Iter` so the overlay-free path compiles down to the plain
+/// slice loop the kernels had before the overlay existed.
+#[derive(Clone, Debug)]
+pub enum NeighborsIter<'a> {
+    Slice(std::slice::Iter<'a, (VertexId, EdgeId)>),
+    Merged {
+        base: &'a [(VertexId, EdgeId)],
+        run: &'a [(VertexId, EdgeId, Weight)],
+        tombstones: &'a HashSet<u32>,
+        bi: usize,
+        ri: usize,
+    },
+}
+
+impl Iterator for NeighborsIter<'_> {
+    type Item = (VertexId, EdgeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, EdgeId)> {
+        match self {
+            NeighborsIter::Slice(it) => it.next().copied(),
+            NeighborsIter::Merged {
+                base,
+                run,
+                tombstones,
+                bi,
+                ri,
+            } => {
+                while *bi < base.len() && tombstones.contains(&base[*bi].1 .0) {
+                    *bi += 1;
+                }
+                match (base.get(*bi), run.get(*ri)) {
+                    (None, None) => None,
+                    (Some(&(n, e)), None) => {
+                        *bi += 1;
+                        Some((n, e))
+                    }
+                    (None, Some(&(n, e, _))) => {
+                        *ri += 1;
+                        Some((n, e))
+                    }
+                    (Some(&(bn, be)), Some(&(rn, re, _))) => {
+                        // equal is impossible: a live base entry for `rn`
+                        // would have made the insertion a duplicate edge
+                        debug_assert_ne!(bn, rn, "duplicate live neighbour in base and run");
+                        if bn < rn {
+                            *bi += 1;
+                            Some((bn, be))
+                        } else {
+                            *ri += 1;
+                            Some((rn, re))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NeighborsIter::Slice(it) => it.size_hint(),
+            NeighborsIter::Merged {
+                base, run, bi, ri, ..
+            } => {
+                let run_rest = run.len() - ri;
+                (run_rest, Some(base.len() - bi + run_rest))
+            }
+        }
+    }
+}
+
+/// Iterator over `(neighbour, p_{v→neighbour})` pairs — what
+/// [`crate::graph::SocialNetwork::outgoing`] returns. The `Slice` arm is the
+/// pre-overlay zip of the two contiguous CSR slices; the `Merged` arm pulls
+/// the inserted weights straight from the run entries.
+#[derive(Clone, Debug)]
+pub enum Outgoing<'a> {
+    Slice(std::iter::Zip<std::slice::Iter<'a, (VertexId, EdgeId)>, std::slice::Iter<'a, Weight>>),
+    Merged {
+        base: &'a [(VertexId, EdgeId)],
+        base_w: &'a [Weight],
+        run: &'a [(VertexId, EdgeId, Weight)],
+        tombstones: &'a HashSet<u32>,
+        bi: usize,
+        ri: usize,
+    },
+}
+
+impl Iterator for Outgoing<'_> {
+    type Item = (VertexId, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, Weight)> {
+        match self {
+            Outgoing::Slice(zip) => zip.next().map(|(&(n, _), &w)| (n, w)),
+            Outgoing::Merged {
+                base,
+                base_w,
+                run,
+                tombstones,
+                bi,
+                ri,
+            } => {
+                while *bi < base.len() && tombstones.contains(&base[*bi].1 .0) {
+                    *bi += 1;
+                }
+                match (base.get(*bi), run.get(*ri)) {
+                    (None, None) => None,
+                    (Some(&(n, _)), None) => {
+                        let w = base_w[*bi];
+                        *bi += 1;
+                        Some((n, w))
+                    }
+                    (None, Some(&(n, _, w))) => {
+                        *ri += 1;
+                        Some((n, w))
+                    }
+                    (Some(&(bn, _)), Some(&(rn, _, rw))) => {
+                        debug_assert_ne!(bn, rn, "duplicate live neighbour in base and run");
+                        if bn < rn {
+                            let w = base_w[*bi];
+                            *bi += 1;
+                            Some((bn, w))
+                        } else {
+                            *ri += 1;
+                            Some((rn, rw))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Outgoing::Slice(zip) => zip.size_hint(),
+            Outgoing::Merged {
+                base, run, bi, ri, ..
+            } => {
+                let run_rest = run.len() - ri;
+                (run_rest, Some(base.len() - bi + run_rest))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn slice_cursor_behaves_like_the_slice() {
+        let row = [(v(1), e(0)), (v(3), e(1)), (v(7), e(2))];
+        let c = Neighbors::Slice(&row);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.as_slice(), Some(&row[..]));
+        assert_eq!(c.first(), Some((v(1), e(0))));
+        assert_eq!(c.find(v(3)), Some(e(1)));
+        assert_eq!(c.find(v(4)), None);
+        assert_eq!(
+            c.suffix_above(v(1)).to_vec(),
+            vec![(v(3), e(1)), (v(7), e(2))]
+        );
+        assert_eq!(c.to_vec(), row.to_vec());
+    }
+
+    #[test]
+    fn merged_cursor_interleaves_and_skips_tombstones() {
+        let base = [(v(1), e(0)), (v(3), e(1)), (v(7), e(2))];
+        let run = [(v(2), e(10), 0.5), (v(9), e(11), 0.25)];
+        let tombstones: HashSet<u32> = [1].into_iter().collect();
+        let c = Neighbors::Merged {
+            base: &base,
+            run: &run,
+            tombstones: &tombstones,
+        };
+        assert_eq!(c.as_slice(), None);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(
+            c.to_vec(),
+            vec![(v(1), e(0)), (v(2), e(10)), (v(7), e(2)), (v(9), e(11))]
+        );
+        assert_eq!(c.first(), Some((v(1), e(0))));
+        assert_eq!(c.find(v(2)), Some(e(10)));
+        assert_eq!(c.find(v(3)), None, "tombstoned base edge is invisible");
+        assert_eq!(c.find(v(7)), Some(e(2)));
+        assert_eq!(
+            c.suffix_above(v(2)).to_vec(),
+            vec![(v(7), e(2)), (v(9), e(11))]
+        );
+    }
+
+    #[test]
+    fn merged_cursor_with_everything_tombstoned_is_empty() {
+        let base = [(v(1), e(0))];
+        let tombstones: HashSet<u32> = [0].into_iter().collect();
+        let c = Neighbors::Merged {
+            base: &base,
+            run: &[],
+            tombstones: &tombstones,
+        };
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.first(), None);
+        assert_eq!(c.to_vec(), Vec::new());
+    }
+
+    #[test]
+    fn remap_packs_live_ids_in_order() {
+        // old ids 0..5, ids 1 and 3 dead
+        let remap = EdgeIdRemap::from_map(vec![0, u32::MAX, 1, u32::MAX, 2], 3);
+        assert_eq!(remap.old_id_space(), 5);
+        assert_eq!(remap.live_edges(), 3);
+        assert!(!remap.is_identity());
+        assert_eq!(remap.new_id(e(0)), Some(e(0)));
+        assert_eq!(remap.new_id(e(1)), None);
+        assert_eq!(remap.new_id(e(4)), Some(e(2)));
+        assert_eq!(remap.new_id(e(9)), None);
+        assert_eq!(
+            remap.remap_dense(&[10u32, 11, 12, 13, 14]),
+            vec![10, 12, 14]
+        );
+        assert!(EdgeIdRemap::identity(4).is_identity());
+        assert_eq!(EdgeIdRemap::identity(4).new_id(e(3)), Some(e(3)));
+    }
+}

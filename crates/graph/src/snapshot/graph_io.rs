@@ -72,8 +72,14 @@ fn pairs_to_u32s<A: Copy + Into<u32>, B: Copy + Into<u32>>(pairs: &[(A, B)]) -> 
 }
 
 /// Serialises a frozen graph into snapshot bytes (exposed for tests; use
-/// [`write_graph_snapshot`] for files).
+/// [`write_graph_snapshot`] for files). The graph must be overlay-free —
+/// [`write_graph_snapshot`] compacts a pending overlay into a fresh CSR
+/// before reaching this writer.
 pub(crate) fn graph_snapshot_writer(g: &SocialNetwork) -> SnapshotWriter {
+    debug_assert!(
+        !g.has_overlay(),
+        "snapshot writer requires a compacted graph"
+    );
     let parts = g.raw_parts();
     let mut w = SnapshotWriter::new(KIND_GRAPH);
     w.add_u64s(SEC_META, &[g.num_vertices() as u64, g.num_edges() as u64]);
@@ -96,9 +102,18 @@ pub(crate) fn graph_snapshot_writer(g: &SocialNetwork) -> SnapshotWriter {
 }
 
 /// Writes a binary snapshot of the graph to `path` (crash-safe
-/// write-then-rename).
+/// write-then-rename). A pending delta overlay is folded into a fresh CSR
+/// first (on a clone; `g` itself is untouched), so the written file always
+/// holds a dense, overlay-free store — edge ids in the file are the
+/// post-compaction ids.
 pub fn write_graph_snapshot<P: AsRef<Path>>(g: &SocialNetwork, path: P) -> SnapshotResult<()> {
-    graph_snapshot_writer(g).write_to(path)
+    if g.has_overlay() {
+        let mut compacted = g.clone();
+        compacted.compact();
+        graph_snapshot_writer(&compacted).write_to(path)
+    } else {
+        graph_snapshot_writer(g).write_to(path)
+    }
 }
 
 /// Loads a graph snapshot with [`LoadMode::Auto`] (mmap where available,
@@ -277,7 +292,7 @@ mod tests {
             assert_eq!(back.num_vertices(), g.num_vertices());
             assert_eq!(back.num_edges(), g.num_edges());
             for v in g.vertices() {
-                assert_eq!(back.neighbors(v), g.neighbors(v));
+                assert_eq!(back.neighbors(v).to_vec(), g.neighbors(v).to_vec());
                 assert_eq!(back.keyword_set(v), g.keyword_set(v));
             }
         }

@@ -120,8 +120,8 @@ impl VertexSubset {
         self.vertices.iter().flat_map(move |&u| {
             g.neighbors(u)
                 .iter()
-                .filter(move |&&(n, _)| u < n && self.contains(n))
-                .map(move |&(n, e)| (e, u, n))
+                .filter(move |&(n, _)| u < n && self.contains(n))
+                .map(move |(n, e)| (e, u, n))
         })
     }
 
@@ -134,7 +134,7 @@ impl VertexSubset {
     pub fn induced_degree(&self, g: &SocialNetwork, v: VertexId) -> usize {
         g.neighbors(v)
             .iter()
-            .filter(|&&(n, _)| self.contains(n))
+            .filter(|&(n, _)| self.contains(n))
             .count()
     }
 
@@ -146,7 +146,6 @@ impl VertexSubset {
     ) -> impl Iterator<Item = (VertexId, EdgeId)> + 'a {
         g.neighbors(v)
             .iter()
-            .copied()
             .filter(move |&(n, _)| self.contains(n))
     }
 
@@ -174,7 +173,7 @@ impl VertexSubset {
         seen.insert(start);
         let mut stack = vec![start];
         while let Some(u) = stack.pop() {
-            for &(n, _) in g.neighbors(u) {
+            for (n, _) in g.neighbors(u) {
                 if self.contains(n) && seen.insert(n) {
                     stack.push(n);
                 }

@@ -126,7 +126,7 @@ pub fn bfs_within_into(
         if du == max_hops {
             continue;
         }
-        for &(n, _) in g.neighbors(u) {
+        for (n, _) in g.neighbors(u) {
             if ws.try_visit(n, du + 1) {
                 order.push((n, du + 1));
             }
@@ -173,7 +173,7 @@ pub fn hop_distance_with(
     ws.try_visit(u, 0);
     ws.queue_push(u, 0);
     while let Some((x, dx)) = ws.queue_pop_front() {
-        for &(n, _) in g.neighbors(x) {
+        for (n, _) in g.neighbors(x) {
             if ws.try_visit(n, dx + 1) {
                 if n == v {
                     return Some(dx + 1);
@@ -216,7 +216,7 @@ pub fn hop_distances_within_subset_with(
     while head < order.len() {
         let (u, du) = order[head];
         head += 1;
-        for &(n, _) in g.neighbors(u) {
+        for (n, _) in g.neighbors(u) {
             if subset.contains(n) && ws.try_visit(n, du + 1) {
                 order.push((n, du + 1));
             }
@@ -265,7 +265,7 @@ pub fn connected_components_with(
         ws.queue_push(v, 0);
         while let Some((u, _)) = ws.queue_pop_back() {
             component.push(u);
-            for &(n, _) in g.neighbors(u) {
+            for (n, _) in g.neighbors(u) {
                 if ws.try_visit(n, 0) {
                     ws.queue_push(n, 0);
                 }

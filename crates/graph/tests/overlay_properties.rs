@@ -1,0 +1,306 @@
+//! Property tests for the delta-overlay layer: after an arbitrary sequence
+//! of [`apply_edge_inserted`] / [`apply_edge_removed`] patches interleaved
+//! with [`maybe_compact`] / [`compact`] calls, the overlaid
+//! [`SocialNetwork`] must be observationally identical to a graph frozen
+//! from scratch over the same live edge set — same neighbour rows in the
+//! same order, same directed weights, same BFS discovery sequences — and
+//! the edge-id contract must hold throughout: fresh ids are allocated at
+//! the top of the id space, tombstoned ids are never reused until a
+//! compaction, and the [`EdgeIdRemap`] a compaction returns relocates every
+//! surviving id (and only those) onto the packed table.
+//!
+//! [`apply_edge_inserted`]: SocialNetwork::apply_edge_inserted
+//! [`apply_edge_removed`]: SocialNetwork::apply_edge_removed
+//! [`maybe_compact`]: SocialNetwork::maybe_compact
+//! [`compact`]: SocialNetwork::compact
+
+use icde_graph::traversal::bfs_within;
+use icde_graph::{EdgeId, EdgeIdRemap, GraphBuilder, KeywordSet, SocialNetwork, VertexId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+/// Canonical live-edge mirror: `(lo, hi) → (p_{lo→hi}, p_{hi→lo})`.
+type Mirror = BTreeMap<(u32, u32), (f64, f64)>;
+
+/// One randomised overlay workload: graph size, RNG seed, number of patch
+/// ops, and the compaction threshold the workload is driven against.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    seed: u64,
+    ops: usize,
+    threshold: f64,
+}
+
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (
+        4usize..40,
+        any::<u64>(),
+        20usize..120,
+        // Thresholds straddling the workload's overlay growth: 0.05 compacts
+        // every few ops, 0.25 a handful of times, 4.0 effectively never (so
+        // the overlay grows well past the default threshold uncompacted).
+        prop_oneof![Just(0.05), Just(0.25), Just(4.0)],
+    )
+        .prop_map(|(n, seed, ops, threshold)| Scenario {
+            n,
+            seed,
+            ops,
+            threshold,
+        })
+}
+
+/// Verifies a compaction's [`EdgeIdRemap`] against the pre-compaction live
+/// id table, then rewrites `ids` to the post-compaction id space.
+fn check_and_apply_remap(
+    g: &SocialNetwork,
+    remap: &EdgeIdRemap,
+    ids: &mut BTreeMap<(u32, u32), EdgeId>,
+    retired: &mut HashSet<u32>,
+) {
+    assert_eq!(remap.live_edges(), ids.len(), "remap live-edge count");
+    assert_eq!(remap.live_edges(), g.num_edges());
+    // A dense side array indexed by old id must land on the surviving slots
+    // exactly where the per-id mapping says it does.
+    let mut dense = vec![0u32; remap.old_id_space()];
+    for (_, &old) in ids.iter() {
+        dense[old.index()] = old.0 + 1;
+    }
+    let dense_new = remap.remap_dense(&dense);
+    assert_eq!(dense_new.len(), remap.live_edges());
+    for (&(lo, hi), old) in ids.iter_mut() {
+        let new = remap
+            .new_id(*old)
+            .unwrap_or_else(|| panic!("live edge {lo}-{hi} lost by compaction"));
+        assert_eq!(
+            g.edge_endpoints(new),
+            (VertexId(lo), VertexId(hi)),
+            "remap must point id {} at the same endpoints",
+            old.0
+        );
+        assert_eq!(dense_new[new.index()], old.0 + 1, "dense remap misplaced");
+        assert_eq!(g.edge_between(VertexId(lo), VertexId(hi)), Some(new));
+        *old = new;
+    }
+    for &dead in retired.iter() {
+        if (dead as usize) < remap.old_id_space() {
+            assert_eq!(
+                remap.new_id(EdgeId(dead)),
+                None,
+                "tombstoned id {dead} must not survive compaction"
+            );
+        }
+    }
+    // The old id space is gone: tombstones reset with it.
+    retired.clear();
+}
+
+/// Runs the scenario's randomised insert/remove/compact workload, asserting
+/// the edge-id contract at every step, and returns the resulting overlaid
+/// graph together with the canonical live-edge mirror and the keyword sets
+/// the base graph was built with.
+fn run(s: &Scenario) -> (SocialNetwork, Mirror, Vec<KeywordSet>) {
+    let mut state = s.seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = s.n;
+    let mut builder = GraphBuilder::with_vertices(n);
+    let mut keywords = Vec::with_capacity(n);
+    for i in 0..n {
+        let kws: Vec<u32> = (0..1 + next() % 3).map(|_| (next() % 16) as u32).collect();
+        let set = KeywordSet::from_ids(kws);
+        builder
+            .set_keywords(VertexId(i as u32), set.clone())
+            .expect("vertex exists");
+        keywords.push(set);
+    }
+    let mut mirror: Mirror = BTreeMap::new();
+    for _ in 0..2 * n {
+        let a = (next() % n as u64) as u32;
+        let b = (next() % n as u64) as u32;
+        let p_ab = (1 + next() % 999) as f64 / 1000.0;
+        let p_ba = (1 + next() % 999) as f64 / 1000.0;
+        if builder.try_add_edge(VertexId(a), VertexId(b), p_ab, p_ba) {
+            let (lo, hi, wf, wb) = if a < b {
+                (a, b, p_ab, p_ba)
+            } else {
+                (b, a, p_ba, p_ab)
+            };
+            mirror.insert((lo, hi), (wf, wb));
+        }
+    }
+    let mut g = builder.build().expect("valid random edge set");
+    let mut ids: BTreeMap<(u32, u32), EdgeId> =
+        g.edges().map(|(e, u, v)| ((u.0, v.0), e)).collect();
+    let mut retired: HashSet<u32> = HashSet::new();
+
+    for _ in 0..s.ops {
+        match next() % 8 {
+            // Insert a fresh edge (four faces of the die: the overlay
+            // grows on net, so compaction thresholds actually trip).
+            0..=3 => {
+                let mut placed = false;
+                for _ in 0..12 {
+                    let a = (next() % n as u64) as u32;
+                    let b = (next() % n as u64) as u32;
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if lo == hi || mirror.contains_key(&(lo, hi)) {
+                        continue;
+                    }
+                    let wf = (1 + next() % 999) as f64 / 1000.0;
+                    let wb = (1 + next() % 999) as f64 / 1000.0;
+                    let expected = EdgeId::from_index(g.edge_id_space());
+                    let e = g
+                        .apply_edge_inserted(VertexId(lo), VertexId(hi), wf, wb)
+                        .expect("pair verified absent");
+                    assert_eq!(e, expected, "fresh ids come from the top of the id space");
+                    assert!(
+                        !retired.contains(&e.0),
+                        "tombstoned id {} reused before compaction",
+                        e.0
+                    );
+                    mirror.insert((lo, hi), (wf, wb));
+                    ids.insert((lo, hi), e);
+                    placed = true;
+                    break;
+                }
+                if !placed {
+                    continue;
+                }
+            }
+            // Remove a random live edge.
+            4..=5 => {
+                if mirror.is_empty() {
+                    continue;
+                }
+                let pick = (next() % mirror.len() as u64) as usize;
+                let &(lo, hi) = mirror.keys().nth(pick).expect("index in range");
+                let e = g
+                    .apply_edge_removed(VertexId(lo), VertexId(hi))
+                    .expect("edge verified present");
+                assert_eq!(
+                    Some(e),
+                    ids.remove(&(lo, hi)),
+                    "removal returns the live id"
+                );
+                mirror.remove(&(lo, hi));
+                retired.insert(e.0);
+                assert!(
+                    !g.contains_edge(VertexId(lo), VertexId(hi)),
+                    "removed edge still visible"
+                );
+            }
+            // Threshold-driven compaction, exactly as the streaming
+            // maintainer drives it.
+            6 => {
+                if let Some(remap) = g.maybe_compact(s.threshold) {
+                    check_and_apply_remap(&g, &remap, &mut ids, &mut retired);
+                    assert!(!g.has_overlay(), "compaction must clear the overlay");
+                }
+            }
+            // Unconditional compaction, occasionally.
+            _ => {
+                if next() % 4 == 0 {
+                    let remap = g.compact();
+                    check_and_apply_remap(&g, &remap, &mut ids, &mut retired);
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), mirror.len());
+        assert!(g.edge_id_space() >= g.num_edges());
+    }
+    (g, mirror, keywords)
+}
+
+/// Freezes a fresh dense graph over exactly the mirror's live edges.
+fn scratch_rebuild(n: usize, mirror: &Mirror, keywords: &[KeywordSet]) -> SocialNetwork {
+    let mut b = GraphBuilder::with_vertices(n);
+    for (i, set) in keywords.iter().enumerate() {
+        b.set_keywords(VertexId(i as u32), set.clone())
+            .expect("vertex exists");
+    }
+    for (&(lo, hi), &(wf, wb)) in mirror {
+        b.add_edge(VertexId(lo), VertexId(hi), wf, wb);
+    }
+    b.build().expect("mirror holds only valid edges")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn overlay_is_observationally_identical_to_scratch_rebuild(s in scenarios()) {
+        let (g, mirror, keywords) = run(&s);
+        let scratch = scratch_rebuild(s.n, &mirror, &keywords);
+
+        prop_assert_eq!(g.num_vertices(), scratch.num_vertices());
+        prop_assert_eq!(g.num_edges(), scratch.num_edges());
+        for v in g.vertices() {
+            // Same neighbours in the same (ascending) order — edge ids may
+            // differ between the two stores, the visible row must not.
+            let live: Vec<VertexId> = g.neighbors(v).iter().map(|(nb, _)| nb).collect();
+            let fresh: Vec<VertexId> = scratch.neighbors(v).iter().map(|(nb, _)| nb).collect();
+            prop_assert_eq!(&live, &fresh, "row of {} diverged", v);
+            prop_assert_eq!(g.degree(v), live.len());
+            prop_assert_eq!(g.keyword_set(v), scratch.keyword_set(v));
+            // Every slot carries the mirror's directed weight.
+            for (nb, e) in g.neighbors(v) {
+                let key = (v.0.min(nb.0), v.0.max(nb.0));
+                let (wf, wb) = mirror[&key];
+                let expected = if v.0 < nb.0 { wf } else { wb };
+                prop_assert_eq!(g.directed_weight(e, v), expected);
+                prop_assert_eq!(g.activation_probability(v, nb).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_bfs_matches_scratch_rebuild(s in scenarios()) {
+        let (g, mirror, keywords) = run(&s);
+        let scratch = scratch_rebuild(s.n, &mirror, &keywords);
+        // The merged cursor yields ascending neighbour ids exactly like the
+        // dense CSR, so even the *discovery order* must match, at every
+        // radius that matters to the query path.
+        for src in 0..s.n as u32 {
+            for hops in [1, 2, u32::MAX] {
+                let a = bfs_within(&g, VertexId(src), hops);
+                let b = bfs_within(&scratch, VertexId(src), hops);
+                prop_assert_eq!(&a.distances, &b.distances, "BFS({}, {}) diverged", src, hops);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_table_iter_yields_exactly_the_live_edges(s in scenarios()) {
+        let (g, mirror, _) = run(&s);
+        let table: Mirror = g
+            .edge_table_iter()
+            .map(|(u, v, wf, wb)| ((u.0, v.0), (wf, wb)))
+            .collect();
+        prop_assert_eq!(table.len(), g.num_edges(), "edge_table_iter must not duplicate");
+        prop_assert_eq!(table, mirror);
+    }
+
+    #[test]
+    fn final_compaction_is_invisible_to_readers(s in scenarios()) {
+        let (g, _, _) = run(&s);
+        let mut packed = g.clone();
+        packed.compact();
+        prop_assert!(!packed.has_overlay());
+        prop_assert_eq!(packed.num_edges(), g.num_edges());
+        prop_assert_eq!(packed.edge_id_space(), packed.num_edges(), "packed ids are dense");
+        for v in g.vertices() {
+            let live: Vec<VertexId> = g.neighbors(v).iter().map(|(nb, _)| nb).collect();
+            let dense: Vec<VertexId> = packed.neighbors(v).iter().map(|(nb, _)| nb).collect();
+            prop_assert_eq!(live, dense, "row of {} changed across compact()", v);
+            for (nb, e) in packed.neighbors(v) {
+                let old = g.edge_between(v, nb).expect("edge survived");
+                prop_assert_eq!(packed.directed_weight(e, v), g.directed_weight(old, v));
+            }
+        }
+    }
+}

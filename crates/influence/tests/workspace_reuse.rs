@@ -66,7 +66,7 @@ proptest! {
         for v in g.vertices() {
             // grow a two-vertex seed where possible to exercise multi-source
             let mut seed = VertexSubset::from_iter([v]);
-            if let Some(&(n, _)) = g.neighbors(v).first() {
+            if let Some((n, _)) = g.neighbors(v).first() {
                 seed.insert(n);
             }
             for theta in [0.05, 0.2, 0.5] {

@@ -16,7 +16,8 @@ use icde_graph::{EdgeId, SocialNetwork, VertexId};
 /// Result of a truss decomposition over the full data graph.
 #[derive(Debug, Clone)]
 pub struct TrussDecomposition {
-    /// `edge_trussness[e]` — trussness τ(e) of edge `e` (≥ 2 for every edge).
+    /// `edge_trussness[e]` — trussness τ(e) of edge `e`, indexed over the
+    /// full edge-id space (≥ 2 for every live edge, 0 on tombstoned slots).
     pub edge_trussness: Vec<u32>,
     /// `vertex_trussness[v]` — maximum trussness over the edges incident to
     /// `v` (0 for isolated vertices).
@@ -43,8 +44,12 @@ impl TrussDecomposition {
 /// Computes the trussness of every edge (and the derived per-vertex maxima)
 /// of the data graph.
 pub fn truss_decomposition(g: &SocialNetwork) -> TrussDecomposition {
-    let m = g.num_edges();
-    let mut support: Vec<u32> = vec![0; m];
+    // Dense per-edge arrays span the full id space: with a delta overlay
+    // attached, tombstoned ids leave holes, so only live edges (`g.edges()`)
+    // are seeded into the buckets and counted towards the peel target.
+    let id_space = g.edge_id_space();
+    let live = g.num_edges();
+    let mut support: Vec<u32> = vec![0; id_space];
     for (e, u, v) in g.edges() {
         support[e.index()] = g.common_neighbor_count(u, v) as u32;
     }
@@ -53,16 +58,16 @@ pub fn truss_decomposition(g: &SocialNetwork) -> TrussDecomposition {
     // priority queue.
     let max_support = support.iter().copied().max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_support + 1];
-    for (e, &s) in support.iter().enumerate() {
-        buckets[s as usize].push(e);
+    for (e, _, _) in g.edges() {
+        buckets[support[e.index()] as usize].push(e.index());
     }
 
-    let mut removed = vec![false; m];
-    let mut trussness = vec![2u32; m];
+    let mut removed = vec![false; id_space];
+    let mut trussness = vec![0u32; id_space];
     let mut processed = 0usize;
     let mut level = 0usize;
 
-    while processed < m {
+    while processed < live {
         // find the lowest non-empty bucket at or below the current minimum
         let mut current = None;
         for (s, bucket) in buckets.iter().enumerate() {

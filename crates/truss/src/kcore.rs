@@ -45,7 +45,7 @@ pub fn core_numbers(g: &SocialNetwork) -> Vec<u32> {
     let mut core = degree.clone();
     for i in 0..n {
         let v = vert[i];
-        for &(u, _) in g.neighbors(VertexId::from_index(v)) {
+        for (u, _) in g.neighbors(VertexId::from_index(v)) {
             let u = u.index();
             if degree[u] > degree[v] {
                 let du = degree[u];
@@ -85,7 +85,7 @@ pub fn maximal_kcore_containing(
     let mut members = Vec::new();
     while let Some(u) = stack.pop() {
         members.push(u);
-        for &(w, _) in g.neighbors(u) {
+        for (w, _) in g.neighbors(u) {
             if !seen[w.index()] && cores[w.index()] >= k {
                 seen[w.index()] = true;
                 stack.push(w);

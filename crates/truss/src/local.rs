@@ -33,7 +33,7 @@ impl LocalSubgraph {
         let mut adjacency = vec![Vec::new(); globals.len()];
         let mut edges = Vec::new();
         for (&global_u, &lu) in local_of.iter() {
-            for &(global_v, _) in g.neighbors(global_u) {
+            for (global_v, _) in g.neighbors(global_u) {
                 if global_u < global_v {
                     if let Some(&lv) = local_of.get(&global_v) {
                         let (a, b) = if lu < lv { (lu, lv) } else { (lv, lu) };

@@ -11,8 +11,11 @@ use icde_graph::{EdgeId, SocialNetwork, VertexSubset};
 
 /// Computes the support of every edge of the data graph `G` (the upper bound
 /// `ub_sup(e)` used by support pruning), indexed by [`EdgeId`].
+///
+/// The vector spans the full edge-id space, so on a graph with a delta
+/// overlay attached the slots of tombstoned ids stay 0.
 pub fn edge_supports_global(g: &SocialNetwork) -> Vec<u32> {
-    let mut supports = vec![0u32; g.num_edges()];
+    let mut supports = vec![0u32; g.edge_id_space()];
     for (e, u, v) in g.edges() {
         supports[e.index()] = g.common_neighbor_count(u, v) as u32;
     }
