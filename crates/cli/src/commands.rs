@@ -236,6 +236,13 @@ pub fn run(command: Command) -> Result<(), String> {
                 batches += 1;
             }
             let wall = started.elapsed();
+            // snapshot writers serialize the live edge table, which folds the
+            // overlay and renumbers edge ids past tombstone holes; compact
+            // explicitly first so the saved index's edge supports are keyed
+            // by the same id space as the written graph
+            if out_graph.is_some() || out_index.is_some() {
+                maintainer.compact_now();
+            }
             let stats = maintainer.stats();
             let updates_per_sec =
                 stats.updates_applied() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -780,6 +787,10 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
                 serde_json::Value::Float(updates_per_sec),
             ),
             (
+                "update_rate_requested".to_string(),
+                serde_json::Value::Float(update_rate),
+            ),
+            (
                 "compactions".to_string(),
                 serde_json::Value::UInt(update_stats.compactions),
             ),
@@ -1177,6 +1188,43 @@ mod tests {
             eager: false,
         })
         .unwrap();
+
+        // persisting with a *pending* overlay (threshold never crossed): the
+        // update command must compact before writing, so the saved supports
+        // are keyed by the same renumbered id space as the written graph
+        let overlay_stream: String = load_graph(&graph_path)
+            .unwrap()
+            .edges()
+            .take(3)
+            .map(|(_, u, v)| format!("- {} {}\n", u.0, v.0))
+            .collect();
+        std::fs::write(&updates_path, overlay_stream).unwrap();
+        run(Command::Update {
+            graph: graph_path.clone(),
+            index: index_path.clone(),
+            updates: updates_path.clone(),
+            batch: 64,
+            compact_threshold: 1000.0, // huge: no batch-triggered compaction
+            out_graph: Some(out_graph.clone()),
+            out_index: Some(out_index.clone()),
+            keywords: Vec::new(),
+            k: 3,
+            r: 2,
+            theta: 0.2,
+            l: 3,
+            json: false,
+        })
+        .unwrap();
+        let reloaded_graph = load_graph(&out_graph).unwrap();
+        let reloaded_index = persist::load_index_auto(&out_index).unwrap();
+        let scratch_index = IndexBuilder::new(PrecomputeConfig::new(2, vec![0.1, 0.2, 0.3]))
+            .with_fanout(8)
+            .build(&reloaded_graph);
+        assert_eq!(
+            reloaded_index.precomputed.edge_supports.as_slice(),
+            scratch_index.precomputed.edge_supports.as_slice(),
+            "persisted supports must live in the written graph's id space"
+        );
 
         // malformed streams are rejected with line numbers
         std::fs::write(&updates_path, "+ 1 2 0.4\n").unwrap();

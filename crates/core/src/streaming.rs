@@ -85,6 +85,23 @@ impl StreamStats {
     }
 }
 
+/// Default bound on a spawned maintenance thread's pending-batch queue:
+/// [`UpdateFeed::push`] blocks once this many batches are queued, so a
+/// producer that outruns the maintainer is backpressured instead of growing
+/// the queue without limit.
+pub const DEFAULT_UPDATE_QUEUE_CAP: usize = 64;
+
+/// Largest directed activation probability over the live edges (O(m) scan).
+fn scan_p_max(graph: &SocialNetwork) -> f64 {
+    let mut p_max = 0.0f64;
+    for (e, a, b) in graph.edges() {
+        p_max = p_max
+            .max(graph.directed_weight(e, a))
+            .max(graph.directed_weight(e, b));
+    }
+    p_max
+}
+
 /// Owns a mutable graph + index working pair and keeps both exact under a
 /// stream of edge updates (see the module docs for the per-batch pipeline).
 pub struct StreamingMaintainer {
@@ -93,6 +110,12 @@ pub struct StreamingMaintainer {
     /// [`IndexBuilder::build_from_precomputed`] consumes the data.
     index: Option<CommunityIndex>,
     compact_threshold: f64,
+    /// Monotone upper bound on the largest directed edge weight of the
+    /// working graph, maintained incrementally so small batches avoid an
+    /// O(m) rescan: folded up on inserts, refreshed exactly on compaction.
+    /// Removals may leave it stale-high, which only widens the refresh
+    /// radius — still correct, just conservative.
+    p_max: f64,
     stats: StreamStats,
 }
 
@@ -100,10 +123,12 @@ impl StreamingMaintainer {
     /// Wraps a graph and the index built over it. The pair is typically the
     /// same one published to a [`ServingRuntime`] as its initial snapshot.
     pub fn new(graph: SocialNetwork, index: CommunityIndex) -> Self {
+        let p_max = scan_p_max(&graph);
         StreamingMaintainer {
             graph,
             index: Some(index),
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            p_max,
             stats: StreamStats::default(),
         }
     }
@@ -144,26 +169,20 @@ impl StreamingMaintainer {
         let r_max = data.config.r_max;
 
         // The refresh radius bound must hold on every intermediate graph of
-        // the batch, so fold the weights of pending insertions into p_max
-        // before any of them is applied.
+        // the batch, so fold the weights of pending insertions into the
+        // running p_max bound before any of them is applied.
         let theta_min = data
             .config
             .thresholds
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min);
-        let mut p_max = 0.0f64;
-        for (e, a, b) in self.graph.edges() {
-            p_max = p_max
-                .max(self.graph.directed_weight(e, a))
-                .max(self.graph.directed_weight(e, b));
-        }
         for update in updates {
             if let EdgeUpdate::Insert { p_uv, p_vu, .. } = *update {
-                p_max = p_max.max(p_uv).max(p_vu);
+                self.p_max = self.p_max.max(p_uv).max(p_vu);
             }
         }
-        let slack = influence_slack_bound(theta_min, p_max).unwrap_or(u32::MAX / 2);
+        let slack = influence_slack_bound(theta_min, self.p_max).unwrap_or(u32::MAX / 2);
 
         let mut affected: HashSet<VertexId> = HashSet::new();
         for &update in updates {
@@ -197,6 +216,7 @@ impl StreamingMaintainer {
 
         if let Some(remap) = self.graph.maybe_compact(self.compact_threshold) {
             data.apply_edge_id_remap(&remap);
+            self.p_max = scan_p_max(&self.graph);
             self.stats.compactions += 1;
         }
 
@@ -214,6 +234,34 @@ impl StreamingMaintainer {
         batch.len()
     }
 
+    /// Folds any pending overlay back into the CSR base, applies the
+    /// resulting edge-id remap to the precomputed supports, and rebuilds the
+    /// index over the compacted graph. Snapshot writers serialize the *live*
+    /// edge table — implicitly renumbering edge ids past tombstone holes —
+    /// so anything persisting the maintainer's graph + index pair must call
+    /// this first, or the saved supports would stay keyed by the stale
+    /// pre-compaction id space and silently misalign after a reload. Returns
+    /// `true` when a compaction actually ran (no-op on an empty overlay).
+    pub fn compact_now(&mut self) -> bool {
+        if !self.graph.has_overlay() {
+            return false;
+        }
+        let index = self.index.take().expect("maintainer always holds an index");
+        let fanout = index.fanout();
+        let leaf_capacity = index.leaf_capacity();
+        let mut data = index.precomputed;
+        let remap = self.graph.compact();
+        data.apply_edge_id_remap(&remap);
+        self.p_max = scan_p_max(&self.graph);
+        self.stats.compactions += 1;
+        let rebuilt = IndexBuilder::new(data.config.clone())
+            .with_fanout(fanout)
+            .with_leaf_capacity(leaf_capacity)
+            .build_from_precomputed(&self.graph, data);
+        self.index = Some(rebuilt);
+        true
+    }
+
     /// Publishes the current working pair to a serving runtime as a fresh
     /// snapshot (graph and index are cloned; the maintainer keeps mutating
     /// its own copy).
@@ -226,16 +274,25 @@ impl StreamingMaintainer {
     /// snapshot into `runtime`. Dropping the feed (or calling
     /// [`UpdateFeed::finish`]) stops the thread.
     pub fn spawn(self, runtime: Arc<ServingRuntime>) -> UpdateFeed {
-        let (tx, rx) = mpsc::channel::<Vec<EdgeUpdate>>();
+        self.spawn_with_queue(runtime, DEFAULT_UPDATE_QUEUE_CAP)
+    }
+
+    /// [`spawn`](StreamingMaintainer::spawn) with an explicit bound on the
+    /// pending-batch queue (see [`DEFAULT_UPDATE_QUEUE_CAP`]).
+    pub fn spawn_with_queue(self, runtime: Arc<ServingRuntime>, queue_cap: usize) -> UpdateFeed {
+        let (tx, rx) = mpsc::sync_channel::<Vec<EdgeUpdate>>(queue_cap.max(1));
         let handle = thread::Builder::new()
             .name("icde-maintain".to_string())
             .spawn(move || {
                 let mut maintainer = self;
                 while let Ok(batch) = rx.recv() {
                     maintainer.apply_batch(&batch);
-                    maintainer
-                        .publish_to(&runtime)
-                        .expect("maintainer graph and index stay consistent");
+                    // a failed publish means the runtime has already shut
+                    // down: stop consuming instead of panicking, so finish()
+                    // still returns the maintainer cleanly
+                    if maintainer.publish_to(&runtime).is_err() {
+                        break;
+                    }
                 }
                 maintainer
             })
@@ -249,13 +306,14 @@ impl StreamingMaintainer {
 
 /// Handle to a spawned maintenance thread (see [`StreamingMaintainer::spawn`]).
 pub struct UpdateFeed {
-    tx: Option<mpsc::Sender<Vec<EdgeUpdate>>>,
+    tx: Option<mpsc::SyncSender<Vec<EdgeUpdate>>>,
     handle: Option<thread::JoinHandle<StreamingMaintainer>>,
 }
 
 impl UpdateFeed {
-    /// Enqueues one update batch. Returns `false` if the maintenance thread
-    /// has already stopped.
+    /// Enqueues one update batch, blocking while the queue is at capacity
+    /// (backpressure against a producer that outruns the maintainer).
+    /// Returns `false` if the maintenance thread has already stopped.
     pub fn push(&self, batch: Vec<EdgeUpdate>) -> bool {
         match &self.tx {
             Some(tx) => tx.send(batch).is_ok(),
@@ -391,6 +449,56 @@ mod tests {
             stats.compactions >= 1,
             "low threshold must trigger compaction"
         );
+    }
+
+    /// Persisting a pair with a pending overlay is only safe after
+    /// [`StreamingMaintainer::compact_now`]: snapshot writers renumber edge
+    /// ids past tombstone holes, and the supports must follow the remap.
+    #[test]
+    fn compact_now_realigns_supports_with_the_persisted_id_space() {
+        let (g, index) = setup(150, 34);
+        // huge threshold: batches never trigger compaction on their own
+        let mut maintainer =
+            StreamingMaintainer::new(g.clone(), index).with_compact_threshold(f64::INFINITY);
+        let removals: Vec<EdgeUpdate> = g
+            .edges()
+            .filter(|(e, _, _)| e.index() % 5 == 0)
+            .take(4)
+            .map(|(_, u, v)| EdgeUpdate::Remove { u, v })
+            .collect();
+        maintainer.apply_batch(&removals);
+        assert!(maintainer.graph().has_overlay());
+        assert_eq!(maintainer.stats().compactions, 0);
+
+        assert!(maintainer.compact_now());
+        assert!(!maintainer.graph().has_overlay());
+        assert_eq!(maintainer.stats().compactions, 1);
+        // no-op on an empty overlay
+        assert!(!maintainer.compact_now());
+        assert_eq!(maintainer.stats().compactions, 1);
+
+        // the compacted pair is bit-identical to a from-scratch rebuild in
+        // the dense id space a snapshot writer would persist — including the
+        // edge-indexed supports, which the pre-fix path left misaligned
+        let scratch = rebuild_from_scratch(maintainer.graph());
+        let scratch_index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&scratch);
+        assert_eq!(
+            maintainer.index().precomputed.edge_supports.as_slice(),
+            scratch_index.precomputed.edge_supports.as_slice()
+        );
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        let live = TopLProcessor::new(maintainer.graph(), maintainer.index())
+            .run(&query)
+            .unwrap();
+        let reference = TopLProcessor::new(&scratch, &scratch_index)
+            .run(&query)
+            .unwrap();
+        assert_eq!(answer_bits(&live), answer_bits(&reference));
     }
 
     #[test]
