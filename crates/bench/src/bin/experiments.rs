@@ -31,7 +31,11 @@ struct Options {
     include_optimal: bool,
     json: bool,
     seed: u64,
-    bench_scale: usize,
+    /// `None` means each bench's own full scale ([`SNAPSHOT_SCALE`] for
+    /// bench3–bench8, [`BENCH9_SCALE`] for bench9).
+    bench_scale: Option<usize>,
+    /// Shard count for bench9 (defaults to the bench's worker count).
+    shards: Option<usize>,
 }
 
 fn parse_options() -> Options {
@@ -42,7 +46,8 @@ fn parse_options() -> Options {
         include_optimal: false,
         json: false,
         seed: 20240614,
-        bench_scale: icde_bench::perf::SNAPSHOT_SCALE,
+        bench_scale: None,
+        shards: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,10 +70,18 @@ fn parse_options() -> Options {
             "--bench-scale" => {
                 i += 1;
                 options.bench_scale =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--bench-scale requires a number");
                         std::process::exit(2);
-                    });
+                    }));
+            }
+            "--shards" => {
+                i += 1;
+                options.shards =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--shards requires a number");
+                        std::process::exit(2);
+                    }));
             }
             "--seed" => {
                 i += 1;
@@ -100,8 +113,8 @@ fn parse_options() -> Options {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|bench7|bench8|all]... \
-         [--scale N] [--max-scale N] [--bench-scale N] [--optimal] [--json] [--seed N]"
+        "usage: experiments [table2|fig2|fig3a..fig3h|fig4|fig5|fig6a..fig6e|offline|bench2|bench3|bench4|bench5|bench6|bench7|bench8|bench9|all]... \
+         [--scale N] [--max-scale N] [--bench-scale N] [--shards N] [--optimal] [--json] [--seed N]"
     );
     eprintln!(
         "  bench2: time the CSR graph primitives on the 50k small-world graph and \
@@ -151,6 +164,17 @@ fn print_usage() {
          BENCH_8.json perf snapshot (not part of `all`). --bench-scale N \
          shrinks the graph for smoke runs, writing BENCH_8_smoke.json instead"
     );
+    eprintln!(
+        "  bench9: build the sharded offline engine on a 1,000,000-vertex \
+         locality small-world graph (contiguous vertex-range shards, \
+         ball-cover-sized per-worker scratch, shard-affine work stealing), \
+         verify the sharded build bit-identical to the sequential unsharded \
+         engine before timing, record per-phase wall times + peak RSS + \
+         measured-vs-naive worker scratch, and write the BENCH_9.json perf \
+         snapshot (not part of `all`). --bench-scale N shrinks the graph for \
+         smoke runs, writing BENCH_9_smoke.json instead; --shards N overrides \
+         the shard count (default 16)"
+    );
 }
 
 fn emit(table: &Table, json: bool) {
@@ -198,6 +222,11 @@ fn scalability_sizes(max_scale: usize) -> Vec<usize> {
 
 fn main() {
     let options = parse_options();
+    // bench3–bench8 archive at SNAPSHOT_SCALE; bench9's full scale is the
+    // million-vertex line
+    let bench_scale = options
+        .bench_scale
+        .unwrap_or(icde_bench::perf::SNAPSHOT_SCALE);
     let params = ExperimentParams::at_scale(options.scale).with_seed(options.seed);
     println!(
         "# TopL-ICDE experiment harness — scale {} vertices, seed {}\n",
@@ -221,11 +250,11 @@ fn main() {
         println!(
             "# bench3: timing workspace-backed graph primitives on the {}-vertex \
              small-world graph (checksums verified against reference implementations) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench3_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench3_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_3.json"
         } else {
             "BENCH_3_smoke.json"
@@ -240,11 +269,11 @@ fn main() {
             "# bench4: timing JSON vs binary-snapshot loading of the {}-vertex \
              small-world graph + index (fingerprints verified bit-identical across \
              all loaders) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench4_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench4_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_4.json"
         } else {
             "BENCH_4_smoke.json"
@@ -259,11 +288,11 @@ fn main() {
             "# bench5: timing the offline pre-computation engine overhaul on the \
              {}-vertex small-world graph (reference vs engine, tables verified \
              bit-identical) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench5_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench5_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_5.json"
         } else {
             "BENCH_5_smoke.json"
@@ -278,11 +307,11 @@ fn main() {
             "# bench6: timing the progressive online TopL engine on the {}-vertex \
              small-world graph (answers verified bit-identical to the eager \
              reference) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench6_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench6_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_6.json"
         } else {
             "BENCH_6_smoke.json"
@@ -298,11 +327,11 @@ fn main() {
              runtime on the {}-vertex small-world graph (every answer verified \
              bit-identical to the single-threaded kernel, snapshot hot-swapped \
              mid-run) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench7_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench7_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_7.json"
         } else {
             "BENCH_7_smoke.json"
@@ -318,11 +347,11 @@ fn main() {
              delta-overlay maintenance loop on the {}-vertex small-world graph \
              (every interleaved answer verified bit-identical to a from-scratch \
              rebuild at the same logical state) ...",
-            options.bench_scale
+            bench_scale
         );
-        let json = icde_bench::perf::bench8_snapshot_json(options.bench_scale);
+        let json = icde_bench::perf::bench8_snapshot_json(bench_scale);
         // smoke runs at reduced scale must not clobber the archived snapshot
-        let path = if options.bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
+        let path = if bench_scale == icde_bench::perf::SNAPSHOT_SCALE {
             "BENCH_8.json"
         } else {
             "BENCH_8_smoke.json"
@@ -330,6 +359,33 @@ fn main() {
         std::fs::write(path, &json).expect("write BENCH_8 snapshot");
         println!("{json}");
         println!("\nwrote {path}");
+    }
+
+    if options.experiments.iter().any(|e| e == "bench9") {
+        let scale9 = options
+            .bench_scale
+            .unwrap_or(icde_bench::perf::BENCH9_SCALE);
+        let shards = options.shards.unwrap_or(16);
+        println!(
+            "# bench9: building the sharded offline engine on the {scale9}-vertex \
+             locality small-world graph ({shards} shards; sharded build verified \
+             bit-identical to the sequential unsharded engine before timing) ..."
+        );
+        let json = icde_bench::perf::bench9_snapshot_json(scale9, shards);
+        // smoke runs at reduced scale must not clobber the archived snapshot
+        let path = if scale9 == icde_bench::perf::BENCH9_SCALE {
+            "BENCH_9.json"
+        } else {
+            "BENCH_9_smoke.json"
+        };
+        std::fs::write(path, &json).expect("write BENCH_9 snapshot");
+        println!("{json}");
+        let rss = icde_bench::perf::peak_rss_bytes();
+        println!(
+            "\npeak RSS (VmHWM): {:.1} MiB",
+            rss as f64 / (1024.0 * 1024.0)
+        );
+        println!("wrote {path}");
     }
 
     if wants("table2") {

@@ -46,6 +46,18 @@
 //!   query clients measuring updates/sec, compactions, query p50 and
 //!   snapshot staleness. The baseline is the pre-overlay status quo: a full
 //!   graph + index rebuild per edge update.
+//! * `experiments bench9` writes `BENCH_9.json` — the **sharded offline
+//!   engine** at the million-vertex line: the full offline build on a
+//!   1 000 000-vertex locality-dominated small-world graph partitioned into
+//!   contiguous vertex-range shards, each worker carrying only
+//!   ball-cover-sized scratch (paged traversal workspaces + a sparse
+//!   signature arena) instead of dense n-sized arrays plus a full-graph
+//!   signature table. Before any timing, the sharded build is asserted
+//!   bit-identical (structural fingerprint *and* float scores) to the
+//!   sequential unsharded engine at a cross-checkable scale. The snapshot
+//!   records per-phase wall times, peak RSS (`VmHWM`), measured per-worker
+//!   scratch vs the naive n-per-worker projection (must be ≥ 4× smaller),
+//!   and query + streaming-update legs over the built index.
 //!
 //! [`StreamingMaintainer`]: icde_core::streaming::StreamingMaintainer
 //!
@@ -77,6 +89,24 @@ use std::time::{Duration, Instant};
 pub const SNAPSHOT_SCALE: usize = 50_000;
 /// RNG seed for the snapshot graph.
 pub const SNAPSHOT_SEED: u64 = 20240614;
+/// Full scale of the bench9 sharded-offline-engine snapshot.
+pub const BENCH9_SCALE: usize = 1_000_000;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`, high-water mark since process start); `0` when
+/// unavailable (non-Linux, or the field failed to parse).
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
 
 /// PR-1 (adjacency-list `Vec<Vec<…>>` store) timings of the same workloads,
 /// captured on the reference build machine immediately before the CSR
@@ -2305,6 +2335,346 @@ pub fn bench8_snapshot_json(scale: usize) -> String {
     serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
 }
 
+// ---------------------------------------------------------------------------
+// bench9: the sharded offline engine at the million-vertex line
+// ---------------------------------------------------------------------------
+
+/// Worker threads (and default shard count) of the bench9 build. The shards
+/// are what bound memory, so oversubscribing a small CPU is deliberate: it
+/// exercises the per-shard claim queues and cross-shard stealing even on a
+/// single-core runner.
+const BENCH9_WORKERS: usize = 16;
+/// Scale of the bit-identity gate: large enough that shard boundaries cut
+/// through many chunks, small enough that the sequential unsharded reference
+/// build stays cheap.
+const BENCH9_GATE_SCALE: usize = 20_000;
+/// Required advantage of measured per-worker scratch over the naive
+/// projection (dense n-sized workspaces per worker + full-graph signature
+/// table).
+const BENCH9_TARGET_SCRATCH_RATIO: f64 = 4.0;
+/// Streaming-update leg size.
+const BENCH9_UPDATES: usize = 32;
+
+/// The bench9 offline configuration: the bench8 streaming radius (`r_max =
+/// 2`) with two thresholds so the multi-threshold scatter path runs, on
+/// `workers` threads and `shards` contiguous vertex-range shards.
+fn bench9_config(shards: usize) -> PrecomputeConfig {
+    PrecomputeConfig::new(2, vec![0.15, 0.3])
+        .with_num_threads(Some(BENCH9_WORKERS))
+        .with_num_shards(Some(shards))
+}
+
+/// The bench9 graph: a locality-dominated small-world graph
+/// ([`SmallWorldConfig::locality`]: ring degree 6, shortcut probability
+/// 2·10⁻⁴) with uniform weights and keywords. Locality keeps `r_max`-hop
+/// balls ring-sized at every scale, which is exactly the regime where
+/// ball-cover-sized worker scratch beats dense n-sized scratch.
+fn bench9_graph(scale: usize) -> SocialNetwork {
+    use icde_graph::generators::{
+        assign_keywords, assign_uniform_weights, KeywordDistribution, WeightRange,
+    };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SNAPSHOT_SEED ^ 0xB9);
+    let mut g = small_world(&SmallWorldConfig::locality(scale), &mut rng);
+    assign_uniform_weights(&mut g, WeightRange::paper_default(), &mut rng);
+    assign_keywords(&mut g, 12, 3, KeywordDistribution::Uniform, &mut rng);
+    g
+}
+
+/// Runs the sharded offline engine at `scale` vertices with `shards` shards
+/// and renders the `BENCH_9.json` document. Three legs:
+///
+/// 1. **Offline build** — the full pre-computation on the sharded engine,
+///    with per-phase wall times, peak RSS and the measured per-worker
+///    scratch footprint vs the naive dense projection.
+/// 2. **Query leg** — the bench8 query pool answered off the index built
+///    over the sharded tables (p50/p99).
+/// 3. **Update leg** — a short Zipf edge-update stream through the
+///    [`StreamingMaintainer`], reporting the reused maintenance arena's
+///    resident footprint and warm signature rows.
+///
+/// `scale` below [`BENCH9_SCALE`] runs the same shape as a smoke test (CI).
+///
+/// # Panics
+/// Panics when the sharded build is not **bit-identical** to the sequential
+/// unsharded engine at the gate scale (structural fingerprint, float scores,
+/// seed bounds, edge supports — checked before any timing), or when the
+/// measured scratch misses [`BENCH9_TARGET_SCRATCH_RATIO`] at full scale.
+pub fn bench9_snapshot_json(scale: usize, shards: usize) -> String {
+    let full_scale = scale >= BENCH9_SCALE;
+
+    // --- bit-identity gate (before any timing) ----------------------------
+    let gate_scale = scale.min(BENCH9_GATE_SCALE);
+    let gate_g = bench9_graph(gate_scale);
+    let gate_reference = PrecomputedData::compute(
+        &gate_g,
+        PrecomputeConfig {
+            parallel: false,
+            ..bench9_config(1)
+        },
+    );
+    let (gate_sharded, gate_stats) =
+        PrecomputedData::compute_with_stats(&gate_g, bench9_config(shards));
+    assert_eq!(
+        gate_stats.shards,
+        shards.min(gate_scale),
+        "gate build must actually shard"
+    );
+    assert_eq!(
+        gate_sharded.table().structural_fingerprint(),
+        gate_reference.table().structural_fingerprint(),
+        "sharded build diverged structurally from the sequential engine"
+    );
+    let gate_score_delta = gate_sharded.table().max_score_delta(gate_reference.table());
+    assert_eq!(
+        gate_score_delta, 0.0,
+        "sharded build must be bit-identical including float scores"
+    );
+    assert_eq!(
+        gate_sharded.seed_bounds(),
+        gate_reference.seed_bounds(),
+        "sharded seed bounds diverged"
+    );
+    assert_eq!(
+        gate_sharded.edge_supports, gate_reference.edge_supports,
+        "sharded edge supports diverged"
+    );
+    let gate_fingerprint = gate_sharded.table().structural_fingerprint();
+    drop((gate_sharded, gate_reference, gate_g));
+
+    // --- leg 1: the sharded offline build at scale ------------------------
+    let g = bench9_graph(scale);
+    let build_start = Instant::now();
+    let (data, stats) = PrecomputedData::compute_with_stats(&g, bench9_config(shards));
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    let measured_scratch = stats.measured_scratch_bytes();
+    let scratch_ratio = stats.naive_scratch_bytes as f64 / measured_scratch.max(1) as f64;
+    if full_scale {
+        assert!(
+            scratch_ratio >= BENCH9_TARGET_SCRATCH_RATIO,
+            "per-worker scratch advantage {scratch_ratio:.2}x is below the \
+             {BENCH9_TARGET_SCRATCH_RATIO}x target (measured {measured_scratch} B, \
+             naive projection {} B)",
+            stats.naive_scratch_bytes
+        );
+    }
+    let table_fingerprint = data.table().structural_fingerprint();
+
+    let index_start = Instant::now();
+    let index = IndexBuilder::new(data.config.clone()).build_from_precomputed(&g, data);
+    let index_secs = index_start.elapsed().as_secs_f64();
+
+    // --- leg 2: queries off the sharded-build index -----------------------
+    let pool = bench8_query_pool();
+    let processor = TopLProcessor::new(&g, &index);
+    let mut query_ns: Vec<u64> = Vec::with_capacity(pool.len() * 3);
+    let mut answers = 0u64;
+    for _ in 0..3 {
+        for q in &pool {
+            let t = Instant::now();
+            let answer = processor.run(q).expect("bench9 pool query answers");
+            query_ns.push(t.elapsed().as_nanos() as u64);
+            answers += answer.communities.len() as u64;
+        }
+    }
+    query_ns.sort_unstable();
+    let qpct = |p: f64| query_ns[((query_ns.len() - 1) as f64 * p).round() as usize] as f64 / 1e6;
+
+    // --- leg 3: streaming updates over the sharded-build index ------------
+    let stream = bench8_update_stream(&g, BENCH9_UPDATES);
+    let mut maintainer = StreamingMaintainer::new(g.clone(), index);
+    let update_start = Instant::now();
+    for batch in stream.chunks(8) {
+        maintainer.apply_batch(batch);
+    }
+    let update_secs = update_start.elapsed().as_secs_f64();
+    let stream_stats = maintainer.stats();
+    assert_eq!(
+        stream_stats.updates_applied(),
+        BENCH9_UPDATES as u64,
+        "the generated stream must apply cleanly"
+    );
+    let arena_bytes = maintainer.arena().resident_bytes();
+    let arena_rows = maintainer.arena().signature_rows_cached();
+
+    let peak_rss = peak_rss_bytes();
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let doc = Value::Object(vec![
+        ("snapshot".to_string(), Value::Str("BENCH_9".to_string())),
+        (
+            "description".to_string(),
+            Value::Str(
+                "sharded offline engine (PR 9): the full pre-computation on a \
+                 locality-dominated small-world graph partitioned into contiguous \
+                 vertex-range shards. Each shard owns its slice of the aggregate \
+                 table; workers carry ball-cover-sized scratch (lazily paged \
+                 traversal workspaces + an epoch-stamped sparse signature arena) \
+                 instead of dense n-sized arrays plus a full-graph signature \
+                 table, and work-stealing chunk claims drain the worker's home \
+                 shard before crossing shard boundaries. Before any timing the \
+                 sharded build is asserted bit-identical (structural fingerprint \
+                 and float scores) to the sequential unsharded engine at the \
+                 gate scale. Legs: the offline build with per-phase wall times, \
+                 peak RSS and measured-vs-naive worker scratch; the bench8 query \
+                 pool off the resulting index; a short Zipf update stream \
+                 through the streaming maintainer reusing its ball-sized arena."
+                    .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                (
+                    "graph".to_string(),
+                    Value::Str(
+                        "small_world locality (m=6, mu=2e-4) + uniform keywords".to_string(),
+                    ),
+                ),
+                ("vertices".to_string(), Value::UInt(g.num_vertices() as u64)),
+                ("edges".to_string(), Value::UInt(g.num_edges() as u64)),
+                ("seed".to_string(), Value::UInt(SNAPSHOT_SEED)),
+                ("r_max".to_string(), Value::UInt(2)),
+                (
+                    "thresholds".to_string(),
+                    Value::Array(vec![Value::Float(0.15), Value::Float(0.3)]),
+                ),
+                ("workers".to_string(), Value::UInt(stats.workers as u64)),
+                ("shards".to_string(), Value::UInt(stats.shards as u64)),
+                ("cpu_cores".to_string(), Value::UInt(cpu_cores as u64)),
+            ]),
+        ),
+        (
+            "verification".to_string(),
+            Value::Object(vec![
+                ("gate_scale".to_string(), Value::UInt(gate_scale as u64)),
+                (
+                    "sharded_bit_identical_to_sequential".to_string(),
+                    Value::Bool(true),
+                ),
+                (
+                    "max_score_delta".to_string(),
+                    Value::Float(gate_score_delta),
+                ),
+                (
+                    "gate_fingerprint".to_string(),
+                    Value::Str(format!("{gate_fingerprint:#018x}")),
+                ),
+                (
+                    "table_fingerprint".to_string(),
+                    Value::Str(format!("{table_fingerprint:#018x}")),
+                ),
+            ]),
+        ),
+        (
+            "offline_build".to_string(),
+            Value::Object(vec![
+                ("build_secs".to_string(), Value::Float(round3(build_secs))),
+                (
+                    "support_phase_secs".to_string(),
+                    Value::Float(round3(stats.support_phase_secs)),
+                ),
+                (
+                    "table_phase_secs".to_string(),
+                    Value::Float(round3(stats.table_phase_secs)),
+                ),
+                (
+                    "seed_phase_secs".to_string(),
+                    Value::Float(round3(stats.seed_phase_secs)),
+                ),
+                (
+                    "index_build_secs".to_string(),
+                    Value::Float(round3(index_secs)),
+                ),
+                ("peak_rss_bytes".to_string(), Value::UInt(peak_rss)),
+                (
+                    "stolen_chunks".to_string(),
+                    Value::UInt(stats.stolen_chunks.iter().sum::<usize>() as u64),
+                ),
+            ]),
+        ),
+        (
+            "worker_scratch".to_string(),
+            Value::Object(vec![
+                (
+                    "measured_bytes".to_string(),
+                    Value::UInt(measured_scratch as u64),
+                ),
+                (
+                    "max_worker_bytes".to_string(),
+                    Value::UInt(
+                        stats
+                            .table_worker_scratch_bytes
+                            .iter()
+                            .chain(stats.seed_worker_scratch_bytes.iter())
+                            .copied()
+                            .max()
+                            .unwrap_or(0) as u64,
+                    ),
+                ),
+                (
+                    "shared_signature_bytes".to_string(),
+                    Value::UInt(stats.shared_signature_bytes as u64),
+                ),
+                (
+                    "naive_projection_bytes".to_string(),
+                    Value::UInt(stats.naive_scratch_bytes as u64),
+                ),
+                (
+                    "advantage_ratio".to_string(),
+                    Value::Float(round3(scratch_ratio)),
+                ),
+                (
+                    "target_ratio".to_string(),
+                    if full_scale {
+                        Value::Float(BENCH9_TARGET_SCRATCH_RATIO)
+                    } else {
+                        Value::Null
+                    },
+                ),
+            ]),
+        ),
+        (
+            "query_leg".to_string(),
+            Value::Object(vec![
+                (
+                    "queries_run".to_string(),
+                    Value::UInt(query_ns.len() as u64),
+                ),
+                ("communities_returned".to_string(), Value::UInt(answers)),
+                ("p50_ms".to_string(), Value::Float(round3(qpct(0.50)))),
+                ("p99_ms".to_string(), Value::Float(round3(qpct(0.99)))),
+            ]),
+        ),
+        (
+            "update_leg".to_string(),
+            Value::Object(vec![
+                (
+                    "updates_applied".to_string(),
+                    Value::UInt(stream_stats.updates_applied()),
+                ),
+                (
+                    "per_update_ms".to_string(),
+                    Value::Float(round3(update_secs * 1e3 / BENCH9_UPDATES as f64)),
+                ),
+                (
+                    "vertices_recomputed".to_string(),
+                    Value::UInt(stream_stats.vertices_recomputed),
+                ),
+                (
+                    "arena_resident_bytes".to_string(),
+                    Value::UInt(arena_bytes as u64),
+                ),
+                (
+                    "arena_signature_rows_cached".to_string(),
+                    Value::UInt(arena_rows as u64),
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("snapshot document serialises")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2323,6 +2693,16 @@ mod tests {
         let pr2: Vec<&str> = PR2_BASELINE_MILLIS.iter().map(|(n, _)| *n).collect();
         assert_eq!(pr1, expected);
         assert_eq!(pr2, expected);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM must parse on linux");
+        }
+        // monotone: the high-water mark never shrinks
+        assert!(peak_rss_bytes() >= rss);
     }
 
     #[test]

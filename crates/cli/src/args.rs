@@ -10,7 +10,7 @@ usage:
                      [--keyword-domain N] [--keywords-per-vertex N] --out FILE
   topl-icde stats    --graph FILE [--threads N]
   topl-icde index    --graph FILE --out FILE [--rmax N] [--fanout N] [--thresholds a,b,c]
-                     [--threads N]
+                     [--threads N] [--shards N]
   topl-icde query    --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
                      [--theta X] [--l N] [--json] [--explain] [--eager]
   topl-icde dquery   --graph FILE --index FILE --keywords a,b,c [--k N] [--r N]
@@ -29,7 +29,10 @@ graph/index FILE arguments accept any readable format (edge list, JSON, or
 binary snapshot — sniffed by magic bytes); `index --out FILE.snap` writes the
 binary snapshot directly. --threads N pins the worker count of any offline
 pre-computation the command runs (default: all cores); `stats` runs none
-today and accepts the flag for forward compatibility. `query --explain`
+today and accepts the flag for forward compatibility. `index --shards N`
+partitions the offline build into N contiguous vertex-range shards so each
+worker carries only ball-cover-sized scratch (bit-identical output; default:
+one shard per worker thread at large scale). `query --explain`
 prints the pruning-counter breakdown after the answers; `query --eager`
 forces the eager reference path instead of the progressive kernel. `serve`
 starts the concurrent serving runtime (worker pool + query LRU) and drives
@@ -90,6 +93,12 @@ pub enum Command {
         /// Worker-thread count for the offline pre-computation (`None` = all
         /// cores).
         threads: Option<usize>,
+        /// Contiguous vertex-range shard count for the offline build
+        /// ([`PrecomputeConfig::num_shards`]; `None` = engine default).
+        ///
+        /// [`PrecomputeConfig::num_shards`]:
+        /// icde_core::precompute::PrecomputeConfig::num_shards
+        shards: Option<usize>,
     },
     /// Run a TopL-ICDE query.
     Query {
@@ -276,6 +285,16 @@ fn parse_threads(flags: &Flags<'_>) -> Result<Option<usize>, String> {
     }
 }
 
+fn parse_shards(flags: &Flags<'_>) -> Result<Option<usize>, String> {
+    match flags.get("--shards") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(s) if s >= 1 => Ok(Some(s)),
+            _ => Err(format!("invalid value for --shards: {v}")),
+        },
+    }
+}
+
 fn parse_compact_threshold(flags: &Flags<'_>) -> Result<f64, String> {
     let threshold = flags.parse_or(
         "--compact-threshold",
@@ -406,6 +425,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 Some(v) => parse_f64_list(v)?,
             },
             threads: parse_threads(&flags)?,
+            shards: parse_shards(&flags)?,
         }),
         "query" | "dquery" => {
             let keywords = parse_u32_list(flags.required("--keywords")?)?;
@@ -605,17 +625,38 @@ mod tests {
             "i",
             "--threads",
             "6",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         match cmd {
-            Command::Index { threads, .. } => assert_eq!(threads, Some(6)),
+            Command::Index {
+                threads, shards, ..
+            } => {
+                assert_eq!(threads, Some(6));
+                assert_eq!(shards, Some(4));
+            }
             other => panic!("expected index, got {other:?}"),
         }
         let cmd = parse(&argv(&["index", "--graph", "g", "--out", "i"])).unwrap();
         match cmd {
-            Command::Index { threads, .. } => assert_eq!(threads, None),
+            Command::Index {
+                threads, shards, ..
+            } => {
+                assert_eq!(threads, None);
+                assert_eq!(shards, None);
+            }
             other => panic!("expected index, got {other:?}"),
         }
+        // zero or garbage shard counts are rejected
+        assert!(parse(&argv(&[
+            "index", "--graph", "g", "--out", "i", "--shards", "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "index", "--graph", "g", "--out", "i", "--shards", "many"
+        ]))
+        .is_err());
         let cmd = parse(&argv(&["stats", "--graph", "g", "--threads", "2"])).unwrap();
         assert_eq!(
             cmd,

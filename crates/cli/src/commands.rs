@@ -7,7 +7,7 @@ use icde_core::persist;
 use icde_core::precompute::PrecomputeConfig;
 use icde_core::query::TopLQuery;
 use icde_core::seed::SeedCommunity;
-use icde_core::serving::{ServingConfig, ServingRuntime};
+use icde_core::serving::{EpochLatency, LatencyHistogram, ServingConfig, ServingRuntime};
 use icde_core::streaming::{EdgeUpdate, StreamStats, StreamingMaintainer};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::DatasetSpec;
@@ -67,10 +67,14 @@ pub fn run(command: Command) -> Result<(), String> {
             fanout,
             thresholds,
             threads,
+            shards,
         } => {
             let g = load_graph(&graph)?;
-            let config = PrecomputeConfig::new(r_max, thresholds).with_num_threads(threads);
+            let config = PrecomputeConfig::new(r_max, thresholds)
+                .with_num_threads(threads)
+                .with_num_shards(shards);
             let workers = config.worker_count(g.num_vertices());
+            let shard_count = config.shard_count(g.num_vertices());
             let start = std::time::Instant::now();
             let index = IndexBuilder::new(config).with_fanout(fanout).build(&g);
             let offline = start.elapsed();
@@ -81,10 +85,12 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             let rate = g.num_vertices() as f64 / offline.as_secs_f64().max(f64::MIN_POSITIVE);
             println!(
-                "offline build: {:.2?} on {} worker thread{} ({:.0} vertices/sec)",
+                "offline build: {:.2?} on {} worker thread{}, {} shard{} ({:.0} vertices/sec)",
                 offline,
                 workers,
                 if workers == 1 { "" } else { "s" },
+                shard_count,
+                if shard_count == 1 { "" } else { "s" },
                 rate
             );
             println!(
@@ -435,6 +441,52 @@ pub fn run(command: Command) -> Result<(), String> {
 
 fn file_size(path: &str) -> u64 {
     std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// Merges the per-epoch server-side histograms into one hit aggregate and one
+/// executed-miss aggregate.
+fn split_latency(epochs: &[EpochLatency]) -> (LatencyHistogram, LatencyHistogram) {
+    let mut hits = LatencyHistogram::default();
+    let mut misses = LatencyHistogram::default();
+    for e in epochs {
+        hits.merge(&e.hits);
+        misses.merge(&e.misses);
+    }
+    (hits, misses)
+}
+
+fn histogram_json(h: &LatencyHistogram) -> serde_json::Value {
+    serde_json::Value::Object(vec![
+        ("count".to_string(), serde_json::Value::UInt(h.count)),
+        (
+            "mean_us".to_string(),
+            serde_json::Value::Float(h.mean_micros()),
+        ),
+        (
+            "p50_us_upper".to_string(),
+            serde_json::Value::UInt(h.quantile_upper_micros(0.50)),
+        ),
+        (
+            "p99_us_upper".to_string(),
+            serde_json::Value::UInt(h.quantile_upper_micros(0.99)),
+        ),
+        ("max_us".to_string(), serde_json::Value::UInt(h.max_micros)),
+    ])
+}
+
+fn latency_epochs_json(epochs: &[EpochLatency]) -> serde_json::Value {
+    serde_json::Value::Array(
+        epochs
+            .iter()
+            .map(|e| {
+                serde_json::Value::Object(vec![
+                    ("epoch".to_string(), serde_json::Value::UInt(e.epoch)),
+                    ("hits".to_string(), histogram_json(&e.hits)),
+                    ("misses".to_string(), histogram_json(&e.misses)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// SplitMix64 step — the workload generator's only source of randomness, so
@@ -806,6 +858,10 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
                 "snapshot_fingerprint".to_string(),
                 serde_json::Value::Str(format!("{:#018x}", snapshot.fingerprint())),
             ),
+            (
+                "latency_by_epoch".to_string(),
+                latency_epochs_json(&stats.latency_by_epoch),
+            ),
         ]);
         println!(
             "{}",
@@ -833,6 +889,28 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
             stats.queries_executed,
             stats.queries_failed
         );
+        // server-side split: every snapshot swap invalidates the answer LRU,
+        // so each hot query re-executes the kernel once per epoch — the tail
+        // is those per-epoch misses, not slow hits
+        let (hits, misses) = split_latency(&stats.latency_by_epoch);
+        if hits.count + misses.count > 0 {
+            println!(
+                "server-side: {} cache hits (mean {:.1}µs, p99 ≤ {}µs) | {} kernel \
+                 executions (mean {:.1}µs, p99 ≤ {}µs) across {} epoch{}",
+                hits.count,
+                hits.mean_micros(),
+                hits.quantile_upper_micros(0.99),
+                misses.count,
+                misses.mean_micros(),
+                misses.quantile_upper_micros(0.99),
+                stats.latency_by_epoch.len(),
+                if stats.latency_by_epoch.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            );
+        }
         if update_rate > 0.0 {
             println!(
                 "updates: {} applied ({:.0}/sec sustained, target {:.0}/sec), \
@@ -928,6 +1006,7 @@ mod tests {
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
             threads: Some(2),
+            shards: Some(2),
         })
         .unwrap();
 
@@ -992,6 +1071,7 @@ mod tests {
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
             threads: None,
+            shards: None,
         })
         .unwrap();
 
@@ -1060,6 +1140,7 @@ mod tests {
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
             threads: Some(1),
+            shards: None,
         })
         .unwrap();
         run(Command::Serve {
@@ -1122,6 +1203,7 @@ mod tests {
             fanout: 8,
             thresholds: vec![0.1, 0.2, 0.3],
             threads: Some(1),
+            shards: None,
         })
         .unwrap();
 

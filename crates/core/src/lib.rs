@@ -52,11 +52,12 @@ pub use aggregate::{AggregateRef, AggregateTable};
 pub use dtopl::{DTopLAnswer, DTopLProcessor, DTopLQuery, DTopLStrategy};
 pub use error::CoreError;
 pub use index::{CommunityIndex, IndexBuilder, NodeRef};
-pub use precompute::{PrecomputeConfig, PrecomputedData};
+pub use precompute::{EngineStats, MaintenanceArena, PrecomputeConfig, PrecomputedData, ShardPlan};
 pub use query::TopLQuery;
 pub use seed::SeedCommunity;
 pub use serving::{
-    ServedAnswer, ServingConfig, ServingError, ServingRuntime, ServingSnapshot, ServingStats,
+    EpochLatency, LatencyHistogram, ServedAnswer, ServingConfig, ServingError, ServingRuntime,
+    ServingSnapshot, ServingStats,
 };
 pub use stats::PruningStats;
 pub use streaming::{EdgeUpdate, StreamStats, StreamingMaintainer, UpdateFeed};

@@ -74,13 +74,16 @@ use icde_graph::snapshot::FlatVec;
 use icde_graph::traversal::bfs_within_into;
 use icde_graph::workspace::TraversalWorkspace;
 use icde_graph::{
-    BitVector, EdgeId, EdgeIdRemap, SignatureTable, SocialNetwork, VertexId, VertexSubset,
+    BitVector, EdgeId, EdgeIdRemap, SignatureScratch, SignatureTable, SocialNetwork, VertexId,
+    VertexSubset,
 };
 use icde_influence::{InfluenceConfig, InfluenceEvaluator};
 use icde_truss::support::edge_supports_global;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Truss support the seed-community score bounds are computed at. Bounds are
 /// sound for any online query with `support >= SEED_BOUND_SUPPORT` (larger
@@ -116,10 +119,22 @@ pub struct PrecomputeConfig {
     /// format persists it (all loads yield `None`), so artifacts stay
     /// independent of the machine that built them.
     pub num_threads: Option<usize>,
+    /// Number of contiguous vertex-id shards the offline build partitions
+    /// the aggregate table into. `None` (and `Some(1)`) is the unsharded
+    /// build: one table, one shared full-graph signature table. `Some(k)`
+    /// with `k > 1` gives every shard its own table slice and every worker a
+    /// sparse shard-local signature/workspace arena sized to the balls it
+    /// actually touches, bounding per-worker memory by the shard's r_max
+    /// ball cover instead of `n`. Output is bit-identical either way.
+    ///
+    /// A runtime knob like `num_threads`: never persisted, all loads yield
+    /// `None`.
+    pub num_shards: Option<usize>,
 }
 
-/// Hand-written so `num_threads` never leaks into persisted artifacts (see
-/// its field docs); everything else serialises exactly as the derive would.
+/// Hand-written so `num_threads` and `num_shards` never leak into persisted
+/// artifacts (see their field docs); everything else serialises exactly as
+/// the derive would.
 impl Serialize for PrecomputeConfig {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -139,6 +154,7 @@ impl Deserialize for PrecomputeConfig {
             signature_bits: serde::__de_field(v, "PrecomputeConfig", "signature_bits")?,
             parallel: serde::__de_field(v, "PrecomputeConfig", "parallel")?,
             num_threads: None,
+            num_shards: None,
         })
     }
 }
@@ -153,6 +169,7 @@ impl Default for PrecomputeConfig {
             signature_bits: 128,
             parallel: true,
             num_threads: None,
+            num_shards: None,
         }
     }
 }
@@ -197,6 +214,22 @@ impl PrecomputeConfig {
         self
     }
 
+    /// Pins the shard count of the offline build (see
+    /// [`PrecomputeConfig::num_shards`]).
+    pub fn with_num_shards(mut self, num_shards: Option<usize>) -> Self {
+        self.num_shards = num_shards;
+        self
+    }
+
+    /// The number of shards the offline build will actually use for an
+    /// `n`-vertex graph: the pinned count clamped to `[1, n]`.
+    pub fn shard_count(&self, n: usize) -> usize {
+        match self.num_shards {
+            Some(s) => s.clamp(1, n.max(1)),
+            None => 1,
+        }
+    }
+
     /// The number of workers the offline build will actually use for an
     /// `n`-vertex graph.
     pub fn worker_count(&self, n: usize) -> usize {
@@ -221,6 +254,115 @@ impl PrecomputeConfig {
             }
         }
         best
+    }
+}
+
+/// A partition of the vertex-id space into contiguous shards. Shard `s`
+/// owns the half-open id range [`ShardPlan::range`]`(s)`; the sharded
+/// offline build gives each shard its own [`AggregateTable`] slice and
+/// routes work-stealing chunk claims to a shard's home workers first, so a
+/// worker's traversal scratch stays resident on one id range instead of
+/// paging the whole graph in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// `num_shards + 1` cumulative boundaries: shard `s` is
+    /// `boundaries[s]..boundaries[s + 1]`.
+    boundaries: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// An even contiguous split of `n` vertices into `shards` ranges (the
+    /// first `n % shards` ranges hold one extra vertex). `shards` is clamped
+    /// to `[1, n]` (an empty graph yields one empty shard).
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        let base = n / shards;
+        let extra = n % shards;
+        let mut boundaries = Vec::with_capacity(shards + 1);
+        let mut at = 0;
+        boundaries.push(at);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            boundaries.push(at);
+        }
+        ShardPlan { boundaries }
+    }
+
+    /// A plan from explicit interior boundaries over `n` vertices (the
+    /// equivalence property tests place boundaries arbitrarily). Interior
+    /// boundaries must be strictly increasing within `(0, n)`; duplicates or
+    /// out-of-range values error.
+    pub fn from_interior_boundaries(n: usize, interior: &[usize]) -> Result<Self, String> {
+        let mut boundaries = Vec::with_capacity(interior.len() + 2);
+        boundaries.push(0);
+        for &b in interior {
+            if b == 0 || b >= n {
+                return Err(format!("shard boundary {b} outside (0, {n})"));
+            }
+            if *boundaries.last().expect("non-empty") >= b {
+                return Err("shard boundaries must be strictly increasing".to_string());
+            }
+            boundaries.push(b);
+        }
+        boundaries.push(n);
+        Ok(ShardPlan { boundaries })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The vertex-id range shard `s` owns.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.boundaries[s]..self.boundaries[s + 1]
+    }
+}
+
+/// Telemetry of one offline build: where the wall time went and how many
+/// bytes of traversal/signature scratch each worker actually kept resident,
+/// against the dense projection a pre-sharding build would have pinned. The
+/// bench asserts `measured_scratch_bytes() × 4 ≤ naive_scratch_bytes` at
+/// scale; nothing here affects the computed data.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Worker threads the build ran with.
+    pub workers: usize,
+    /// Shards the aggregate table was partitioned into (1 = unsharded).
+    pub shards: usize,
+    /// Wall time of the global edge-support pass.
+    pub support_phase_secs: f64,
+    /// Wall time of the aggregate-table pass (incl. shard stitch).
+    pub table_phase_secs: f64,
+    /// Wall time of the seed-bound pass.
+    pub seed_phase_secs: f64,
+    /// Resident scratch bytes per table-pass worker at the end of the pass
+    /// (workspace pages + sparse signature arena + accumulators).
+    pub table_worker_scratch_bytes: Vec<usize>,
+    /// Resident scratch bytes per seed-pass worker at the end of the pass.
+    pub seed_worker_scratch_bytes: Vec<usize>,
+    /// Bytes of build-shared signature state (the full-graph
+    /// [`SignatureTable`] of the unsharded path; 0 when sharded).
+    pub shared_signature_bytes: usize,
+    /// Table-pass chunks each worker processed outside its home shard (work
+    /// stealing across shard boundaries; empty when unsharded).
+    pub stolen_chunks: Vec<usize>,
+    /// What the pre-sharding engine would keep resident for this graph and
+    /// worker count: two dense n-vertex traversal workspaces per worker plus
+    /// one full-graph signature table.
+    pub naive_scratch_bytes: usize,
+}
+
+impl EngineStats {
+    /// Total measured resident scratch: every worker of the heavier pass
+    /// plus the shared signature state.
+    pub fn measured_scratch_bytes(&self) -> usize {
+        let table: usize = self.table_worker_scratch_bytes.iter().sum();
+        let seed: usize = self.seed_worker_scratch_bytes.iter().sum();
+        table.max(seed) + self.shared_signature_bytes
     }
 }
 
@@ -315,9 +457,78 @@ pub struct PrecomputedData {
 impl PrecomputedData {
     /// Runs the offline pre-computation (Algorithm 2) over `g` through the
     /// frontier-incremental, multi-threshold, work-stealing engine (see the
-    /// module docs).
+    /// module docs). [`PrecomputeConfig::num_shards`] selects between the
+    /// monolithic build and the sharded one; the output is bit-identical
+    /// either way.
     pub fn compute(g: &SocialNetwork, config: PrecomputeConfig) -> Self {
+        Self::compute_with_stats(g, config).0
+    }
+
+    /// [`compute`](PrecomputedData::compute) plus build telemetry: phase
+    /// wall times and the resident scratch bytes each worker actually held
+    /// (see [`EngineStats`]).
+    pub fn compute_with_stats(g: &SocialNetwork, config: PrecomputeConfig) -> (Self, EngineStats) {
+        let plan = ShardPlan::contiguous(g.num_vertices(), config.shard_count(g.num_vertices()));
+        Self::compute_with_plan(g, config, &plan)
+    }
+
+    /// [`compute_with_stats`](PrecomputedData::compute_with_stats) under an
+    /// explicit [`ShardPlan`] (the equivalence property tests exercise
+    /// arbitrary boundary placements; [`compute`](PrecomputedData::compute)
+    /// derives an even plan from [`PrecomputeConfig::num_shards`]).
+    pub fn compute_with_plan(
+        g: &SocialNetwork,
+        config: PrecomputeConfig,
+        plan: &ShardPlan,
+    ) -> (Self, EngineStats) {
+        let n = g.num_vertices();
+        let workers = config.worker_count(n);
+        let words = config.signature_bits.div_ceil(64);
+        let mut stats = EngineStats {
+            workers,
+            shards: plan.num_shards(),
+            naive_scratch_bytes: workers * 2 * TraversalWorkspace::dense_lane_bytes(n)
+                + n * words * std::mem::size_of::<u64>(),
+            ..EngineStats::default()
+        };
+
+        let t = Instant::now();
         let edge_supports = edge_supports_global(g);
+        stats.support_phase_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let table = if plan.num_shards() <= 1 {
+            Self::compute_table_monolithic(g, &config, &edge_supports, workers, &mut stats)
+        } else {
+            Self::compute_table_sharded(g, &config, &edge_supports, workers, plan, &mut stats)
+        };
+        stats.table_phase_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let seed_bounds = compute_seed_bounds(g, &config, workers, plan, &mut stats);
+        stats.seed_phase_secs = t.elapsed().as_secs_f64();
+
+        (
+            PrecomputedData {
+                config,
+                table,
+                edge_supports: edge_supports.into(),
+                seed_bounds: seed_bounds.into(),
+            },
+            stats,
+        )
+    }
+
+    /// The unsharded table pass: one table, one shared full-graph signature
+    /// table (the right trade when every worker will visit most of the
+    /// graph anyway).
+    fn compute_table_monolithic(
+        g: &SocialNetwork,
+        config: &PrecomputeConfig,
+        edge_supports: &[u32],
+        workers: usize,
+        stats: &mut EngineStats,
+    ) -> AggregateTable {
         let n = g.num_vertices();
         let mut table = AggregateTable::new(
             n,
@@ -326,19 +537,23 @@ impl PrecomputedData {
             config.thresholds.len(),
         );
         let signatures = SignatureTable::for_graph(g, config.signature_bits);
-        let workers = config.worker_count(n);
+        stats.shared_signature_bytes =
+            n * config.signature_bits.div_ceil(64) * std::mem::size_of::<u64>();
         let ctx = EngineCtx {
             g,
-            config: &config,
-            edge_supports: &edge_supports,
+            config,
+            edge_supports,
             signatures: SigSource::Table(&signatures),
         };
 
         if workers <= 1 || n == 0 {
-            let mut scratch = WorkerScratch::new(&config);
+            let mut scratch = WorkerScratch::new(config);
             for mut chunk in table.chunks_mut(n.max(1)) {
                 process_chunk(&ctx, &mut chunk, &mut scratch);
             }
+            stats
+                .table_worker_scratch_bytes
+                .push(scratch.resident_bytes());
         } else {
             // Work stealing: chunks small enough that a hub-heavy stretch of
             // vertices cannot straggle one worker, large enough that the
@@ -352,11 +567,13 @@ impl PrecomputedData {
                 .map(|c| Mutex::new(Some(c)))
                 .collect();
             let next = AtomicUsize::new(0);
+            let worker_bytes = Mutex::new(Vec::new());
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let ctx = &ctx;
                     let slots = &slots;
                     let next = &next;
+                    let worker_bytes = &worker_bytes;
                     scope.spawn(move || {
                         let mut scratch = WorkerScratch::new(ctx.config);
                         loop {
@@ -369,18 +586,108 @@ impl PrecomputedData {
                                 .expect("each chunk is claimed exactly once");
                             process_chunk(ctx, &mut chunk, &mut scratch);
                         }
+                        worker_bytes
+                            .lock()
+                            .expect("worker byte lock")
+                            .push(scratch.resident_bytes());
                     });
                 }
             });
+            stats.table_worker_scratch_bytes = worker_bytes.into_inner().expect("worker byte lock");
         }
+        table
+    }
 
-        let seed_bounds = compute_seed_bounds(g, &config, workers);
-        PrecomputedData {
+    /// The sharded table pass: each shard owns its slice of the aggregate
+    /// table and its chunks are claimed by the shard's home workers first
+    /// (chunks are cut per shard table, so they never cross a shard
+    /// boundary and the scatter stays a disjoint split borrow). Workers
+    /// read member signatures through their own sparse [`SignatureScratch`]
+    /// instead of a shared full-graph table, so a worker's resident bytes
+    /// track the ball cover of the ranges it processed, not `n`. Shard
+    /// tables are stitched into one at freeze — bit-identical to the
+    /// monolithic build because every vertex's computation is
+    /// self-contained.
+    fn compute_table_sharded(
+        g: &SocialNetwork,
+        config: &PrecomputeConfig,
+        edge_supports: &[u32],
+        workers: usize,
+        plan: &ShardPlan,
+        stats: &mut EngineStats,
+    ) -> AggregateTable {
+        let n = g.num_vertices();
+        let shards = plan.num_shards();
+        let mut shard_tables: Vec<AggregateTable> = (0..shards)
+            .map(|s| {
+                AggregateTable::new(
+                    plan.range(s).len(),
+                    config.r_max,
+                    config.signature_bits,
+                    config.thresholds.len(),
+                )
+            })
+            .collect();
+        let ctx = EngineCtx {
+            g,
             config,
-            table,
-            edge_supports: edge_supports.into(),
-            seed_bounds: seed_bounds.into(),
-        }
+            edge_supports,
+            signatures: SigSource::WorkerLocal {
+                bits: config.signature_bits,
+            },
+        };
+        let chunk_size = (n / (workers * 16)).clamp(8, 512);
+        let queues: Vec<(AtomicUsize, Vec<Mutex<Option<TableChunkMut<'_>>>>)> = shard_tables
+            .iter_mut()
+            .enumerate()
+            .map(|(s, table)| {
+                let slots = table
+                    .chunks_mut_with_base(chunk_size, plan.range(s).start)
+                    .into_iter()
+                    .map(|c| Mutex::new(Some(c)))
+                    .collect();
+                (AtomicUsize::new(0), slots)
+            })
+            .collect();
+        let worker_stats = Mutex::new((Vec::new(), Vec::new()));
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let ctx = &ctx;
+                let queues = &queues;
+                let worker_stats = &worker_stats;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::new(ctx.config);
+                    let home = w % queues.len();
+                    let mut stolen = 0usize;
+                    // drain the home shard first, then steal round-robin so
+                    // stragglers never leave chunks unclaimed
+                    for offset in 0..queues.len() {
+                        let (next, slots) = &queues[(home + offset) % queues.len()];
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let mut chunk = slot
+                                .lock()
+                                .expect("chunk slot lock")
+                                .take()
+                                .expect("each chunk is claimed exactly once");
+                            process_chunk(ctx, &mut chunk, &mut scratch);
+                            if offset != 0 {
+                                stolen += 1;
+                            }
+                        }
+                    }
+                    let mut guard = worker_stats.lock().expect("worker stats lock");
+                    guard.0.push(scratch.resident_bytes());
+                    guard.1.push(stolen);
+                });
+            }
+        });
+        drop(queues);
+        let (bytes, stolen) = worker_stats.into_inner().expect("worker stats lock");
+        stats.table_worker_scratch_bytes = bytes;
+        stats.stolen_chunks = stolen;
+        AggregateTable::stitch(&shard_tables).expect("shard tables share dimensions")
     }
 
     /// Reference (pre-overhaul) sequential build: one full influence
@@ -413,7 +720,13 @@ impl PrecomputedData {
         // with the progressive kernel, so there is no pre-overhaul reference
         // formulation to diverge from, and sharing it keeps the two builds
         // comparable field-for-field.
-        let seed_bounds = compute_seed_bounds(g, &config, 1);
+        let seed_bounds = compute_seed_bounds(
+            g,
+            &config,
+            1,
+            &ShardPlan::contiguous(n, 1),
+            &mut EngineStats::default(),
+        );
         PrecomputedData {
             config,
             table,
@@ -540,47 +853,70 @@ impl PrecomputedData {
     }
 
     /// Recomputes the aggregates of a batch of vertices against the current
-    /// state of `g` (the incremental-maintenance refresh path). The
-    /// traversal scratch state is shared across the whole batch, and the
-    /// flat signature table is built once — but only when the batch is large
-    /// enough to amortise it.
+    /// state of `g` (the incremental-maintenance refresh path), through the
+    /// thread-shared scratch. The signature row cache is dropped on every
+    /// call — this thread may serve different graphs between calls — so
+    /// callers that refresh the *same* graph batch after batch (the
+    /// streaming maintainer) should hold a [`MaintenanceArena`] and use
+    /// [`PrecomputedData::recompute_vertices_with`] instead, which keeps
+    /// rows warm across batches.
     ///
     /// `edge_supports` must already reflect the updated graph; use
     /// [`PrecomputedData::refresh_edge_supports`] first.
     pub fn recompute_vertices(&mut self, g: &SocialNetwork, vertices: &[VertexId]) {
+        with_maintenance_scratch(|scratch| {
+            // the thread scratch may hold rows of a different same-shaped
+            // graph; a warm cache is only sound for a dedicated arena
+            scratch.sig.invalidate();
+            self.recompute_vertices_into(g, vertices, scratch);
+        });
+    }
+
+    /// [`recompute_vertices`](PrecomputedData::recompute_vertices) through a
+    /// caller-owned [`MaintenanceArena`]. The arena's sparse signature rows
+    /// and paged traversal lanes stay warm across calls: keyword sets are
+    /// immutable under edge updates and compaction, so nothing is
+    /// re-hashed, nothing is zeroed O(n), and resident bytes track the
+    /// update balls. The arena must be dedicated to `g` (see
+    /// [`MaintenanceArena`]).
+    pub fn recompute_vertices_with(
+        &mut self,
+        g: &SocialNetwork,
+        vertices: &[VertexId],
+        arena: &mut MaintenanceArena,
+    ) {
+        self.recompute_vertices_into(g, vertices, &mut arena.scratch);
+    }
+
+    fn recompute_vertices_into(
+        &mut self,
+        g: &SocialNetwork,
+        vertices: &[VertexId],
+        scratch: &mut WorkerScratch,
+    ) {
         if vertices.is_empty() {
             return;
         }
-        // The flat table costs O(n·|W|) to build; the batch reads roughly
-        // batch × ball rows. Assume balls of ≥64 vertices: below n/64
-        // entries, hash keyword sets on the fly (bit-identical either way)
-        // so a single-vertex recompute stays O(region), not O(n).
-        let table;
-        let signatures = if vertices.len().saturating_mul(64) >= g.num_vertices() {
-            table = SignatureTable::for_graph(g, self.config.signature_bits);
-            SigSource::Table(&table)
-        } else {
-            SigSource::OnTheFly {
-                bits: self.config.signature_bits,
-            }
-        };
+        // Rows are hashed once on first touch and replayed from the sparse
+        // scratch afterwards, so the batch pays O(ball cover) however large
+        // it is — the old full-table rebuild paid O(n·|W|) per refresh.
         let ctx = EngineCtx {
             g,
             config: &self.config,
             edge_supports: &self.edge_supports,
-            signatures,
+            signatures: SigSource::WorkerLocal {
+                bits: self.config.signature_bits,
+            },
         };
         let table = &mut self.table;
         let seed_bounds = self.seed_bounds.to_mut();
         let stride = self.config.r_max as usize * self.config.thresholds.len();
-        with_maintenance_scratch(|scratch| {
-            for &v in vertices {
-                let mut chunk = table.entity_mut(v.index());
-                precompute_vertex_into(&ctx, v, scratch, &mut chunk, 0);
-                let row = &mut seed_bounds[v.index() * stride..(v.index() + 1) * stride];
-                seed_bounds_vertex_into(ctx.g, ctx.config, scratch, v, row);
-            }
-        });
+        for &v in vertices {
+            let mut chunk = table.entity_mut(v.index());
+            precompute_vertex_into(&ctx, v, scratch, &mut chunk, 0);
+            let row = &mut seed_bounds[v.index() * stride..(v.index() + 1) * stride];
+            seed_bounds_vertex_into(ctx.g, ctx.config, scratch, v, row);
+        }
     }
 
     /// Recomputes the global per-edge supports from scratch against the
@@ -664,40 +1000,45 @@ struct EngineCtx<'a> {
 /// member read; hashing on the fly costs O(|W|) per member read with no
 /// setup at all.
 enum SigSource<'a> {
-    /// Per-graph flat table, built once (the bulk build and large
-    /// maintenance batches).
+    /// Per-graph flat table, built once (the unsharded bulk build, where
+    /// every worker visits most of the graph anyway).
     Table(&'a SignatureTable),
-    /// Hash each member's keyword set directly into the accumulator (small
-    /// maintenance batches, where an O(n) table build would dwarf the
-    /// O(region) recompute itself).
-    OnTheFly { bits: usize },
+    /// Each worker caches rows in its own sparse [`SignatureScratch`]
+    /// (`WorkerScratch::sig`): hash on first touch, replay afterwards, pay
+    /// memory only for the vertices the worker's balls actually cover (the
+    /// sharded build and the maintenance paths, where an O(n·|W|) table
+    /// build would dwarf the O(ball-cover) work itself).
+    WorkerLocal { bits: usize },
 }
 
-impl SigSource<'_> {
-    #[inline]
-    fn or_into(&self, g: &SocialNetwork, v: VertexId, acc: &mut [u64]) {
-        match self {
-            SigSource::Table(table) => table.or_into(v, acc),
-            SigSource::OnTheFly { bits } => {
-                for kw in g.keyword_set(v).iter() {
-                    let pos = icde_graph::bitvec::keyword_bit_position(*bits, kw);
-                    acc[pos / 64] |= 1u64 << (pos % 64);
-                }
-            }
+/// ORs the signature row of member `v` into the scratch accumulator through
+/// whichever source the engine is running with. Every arm sets exactly the
+/// bits `BitVector::from_keywords` would, so the choice never shows in the
+/// output.
+#[inline]
+fn or_member_sig(ctx: &EngineCtx<'_>, scratch: &mut WorkerScratch, v: VertexId) {
+    let WorkerScratch { sig, sig_acc, .. } = scratch;
+    match &ctx.signatures {
+        SigSource::Table(table) => table.or_into(v, sig_acc),
+        SigSource::WorkerLocal { bits } => {
+            sig.ensure(ctx.g.num_vertices(), *bits);
+            sig.or_row_into(ctx.g, v, sig_acc);
         }
     }
 }
 
 /// Per-worker reusable scratch: two traversal workspaces (the BFS one keeps
 /// its epoch-stamped distance array valid across all radii while the
-/// influence one churns through the expansions), the BFS-order buffer and
-/// the signature accumulator. Nothing here is allocated per vertex.
+/// influence one churns through the expansions), the BFS-order buffer, the
+/// signature accumulator and the sparse signature row cache of the
+/// worker-local source. Nothing here is allocated per vertex.
 #[derive(Default)]
 struct WorkerScratch {
     ws_bfs: TraversalWorkspace,
     ws_inf: TraversalWorkspace,
     order: Vec<(VertexId, u32)>,
     sig_acc: Vec<u64>,
+    sig: SignatureScratch,
 }
 
 impl WorkerScratch {
@@ -707,6 +1048,7 @@ impl WorkerScratch {
             ws_inf: TraversalWorkspace::new(),
             order: Vec::new(),
             sig_acc: vec![0; config.signature_bits.div_ceil(64)],
+            sig: SignatureScratch::new(),
         }
     }
 
@@ -716,6 +1058,58 @@ impl WorkerScratch {
     fn reset_sig_acc(&mut self, words: usize) {
         self.sig_acc.clear();
         self.sig_acc.resize(words, 0);
+    }
+
+    /// Resident bytes this scratch currently pins: workspace lane pages and
+    /// queue buffers plus the sparse signature arena and accumulators.
+    fn resident_bytes(&self) -> usize {
+        self.ws_bfs.scratch_bytes()
+            + self.ws_inf.scratch_bytes()
+            + self.sig.allocated_bytes()
+            + self.order.capacity() * std::mem::size_of::<(VertexId, u32)>()
+            + self.sig_acc.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// A caller-owned maintenance scratch arena: the worker scratch (paged
+/// traversal workspaces, sparse signature row cache, accumulators) kept
+/// alive across update batches by its owner — the streaming maintainer —
+/// instead of rebuilt or invalidated per refresh.
+///
+/// The signature rows cached inside are keyed by vertex id and stay valid
+/// as long as the graph's *keyword sets* do; edge insertions, deletions and
+/// compaction never touch them, so an arena dedicated to one
+/// [`SocialNetwork`] never needs invalidation. Reusing one arena across
+/// different graphs is a logic error unless [`MaintenanceArena::invalidate`]
+/// is called in between.
+#[derive(Default)]
+pub struct MaintenanceArena {
+    scratch: WorkerScratch,
+}
+
+impl MaintenanceArena {
+    /// Creates an empty arena; everything inside grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached signature rows (required when re-targeting the
+    /// arena at a different graph, or after keyword sets change).
+    pub fn invalidate(&mut self) {
+        self.scratch.sig.invalidate();
+    }
+
+    /// Number of signature rows currently cached.
+    pub fn signature_rows_cached(&self) -> usize {
+        self.scratch.sig.rows_cached()
+    }
+
+    /// Resident bytes the arena currently pins (workspace pages, signature
+    /// arena, accumulators) — maintenance observability; compare against
+    /// the `n × ⌈bits/64⌉ × 8` signature table the pre-arena path rebuilt
+    /// per batch.
+    pub fn resident_bytes(&self) -> usize {
+        self.scratch.resident_bytes()
     }
 }
 
@@ -782,7 +1176,7 @@ fn precompute_vertex_into(
     let mut support = 0u32;
     // distance-0 "frontier": the centre itself (no incident region edges yet)
     if let Some(&(center, _)) = scratch.order.first() {
-        ctx.signatures.or_into(ctx.g, center, &mut scratch.sig_acc);
+        or_member_sig(ctx, scratch, center);
     }
     let mut end = usize::from(!scratch.order.is_empty());
     for r in 1..=config.r_max {
@@ -790,8 +1184,9 @@ fn precompute_vertex_into(
         while end < scratch.order.len() && scratch.order[end].1 == r {
             end += 1;
         }
-        for &(u, _) in &scratch.order[start..end] {
-            ctx.signatures.or_into(ctx.g, u, &mut scratch.sig_acc);
+        for idx in start..end {
+            let u = scratch.order[idx].0;
+            or_member_sig(ctx, scratch, u);
             for (n, e) in ctx.g.neighbors(u) {
                 match scratch.ws_bfs.dist(n) {
                     Some(d) if d <= r => {
@@ -816,10 +1211,19 @@ fn precompute_vertex_into(
 
 /// Computes the flat seed-bound table for every vertex (layout: see the
 /// [`PrecomputedData::seed_bounds`] field docs), spread over `workers`
-/// threads with the same work-stealing claim as the main build. Each vertex
-/// is computed identically regardless of which worker claims it, so the
-/// result is deterministic across scheduling shapes.
-fn compute_seed_bounds(g: &SocialNetwork, config: &PrecomputeConfig, workers: usize) -> Vec<f64> {
+/// threads with the same shard-affine work-stealing claim as the table
+/// pass: the flat array is cut at shard boundaries first, chunks within a
+/// shard go to its home workers before anyone steals, so a worker's
+/// traversal pages stay resident on one id range. Each vertex is computed
+/// identically regardless of which worker claims it, so the result is
+/// deterministic across scheduling shapes.
+fn compute_seed_bounds(
+    g: &SocialNetwork,
+    config: &PrecomputeConfig,
+    workers: usize,
+    plan: &ShardPlan,
+    stats: &mut EngineStats,
+) -> Vec<f64> {
     let n = g.num_vertices();
     let stride = config.r_max as usize * config.thresholds.len();
     let mut bounds = vec![NO_SEED_COMMUNITY; n * stride];
@@ -833,38 +1237,59 @@ fn compute_seed_bounds(g: &SocialNetwork, config: &PrecomputeConfig, workers: us
             let row = &mut bounds[i * stride..(i + 1) * stride];
             seed_bounds_vertex_into(g, config, &mut scratch, v, row);
         }
+        stats
+            .seed_worker_scratch_bytes
+            .push(scratch.resident_bytes());
     } else {
         let chunk_vertices = (n / (workers * 16)).clamp(8, 512);
         // one claimable chunk: (first vertex index, its slice of the table)
         type Chunk<'a> = Option<(usize, &'a mut [f64])>;
-        let slots: Vec<Mutex<Chunk<'_>>> = bounds
-            .chunks_mut(chunk_vertices * stride)
-            .enumerate()
-            .map(|(i, c)| Mutex::new(Some((i * chunk_vertices, c))))
-            .collect();
-        let next = AtomicUsize::new(0);
+        let mut queues: Vec<(AtomicUsize, Vec<Mutex<Chunk<'_>>>)> =
+            Vec::with_capacity(plan.num_shards());
+        let mut rest: &mut [f64] = &mut bounds;
+        for s in 0..plan.num_shards() {
+            let range = plan.range(s);
+            let (head, tail) = rest.split_at_mut(range.len() * stride);
+            rest = tail;
+            let slots = head
+                .chunks_mut(chunk_vertices * stride)
+                .enumerate()
+                .map(|(i, c)| Mutex::new(Some((range.start + i * chunk_vertices, c))))
+                .collect();
+            queues.push((AtomicUsize::new(0), slots));
+        }
+        let worker_bytes = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let slots = &slots;
-                let next = &next;
+            for w in 0..workers {
+                let queues = &queues;
+                let worker_bytes = &worker_bytes;
                 scope.spawn(move || {
                     let mut scratch = WorkerScratch::new(config);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(i) else { break };
-                        let (first, rows) = slot
-                            .lock()
-                            .expect("seed-bound slot lock")
-                            .take()
-                            .expect("each seed-bound chunk is claimed exactly once");
-                        for (local, row) in rows.chunks_mut(stride).enumerate() {
-                            let v = VertexId::from_index(first + local);
-                            seed_bounds_vertex_into(g, config, &mut scratch, v, row);
+                    let home = w % queues.len();
+                    for offset in 0..queues.len() {
+                        let (next, slots) = &queues[(home + offset) % queues.len()];
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let (first, rows) = slot
+                                .lock()
+                                .expect("seed-bound slot lock")
+                                .take()
+                                .expect("each seed-bound chunk is claimed exactly once");
+                            for (local, row) in rows.chunks_mut(stride).enumerate() {
+                                let v = VertexId::from_index(first + local);
+                                seed_bounds_vertex_into(g, config, &mut scratch, v, row);
+                            }
                         }
                     }
+                    worker_bytes
+                        .lock()
+                        .expect("worker byte lock")
+                        .push(scratch.resident_bytes());
                 });
             }
         });
+        stats.seed_worker_scratch_bytes = worker_bytes.into_inner().expect("worker byte lock");
     }
     bounds
 }
@@ -1067,16 +1492,153 @@ mod tests {
 
     #[test]
     fn num_threads_never_persists() {
-        // the JSON round-trip must drop the runtime knob and keep the data
-        let config = PrecomputeConfig::new(2, vec![0.1, 0.4]).with_num_threads(Some(7));
+        // the JSON round-trip must drop the runtime knobs and keep the data
+        let config = PrecomputeConfig::new(2, vec![0.1, 0.4])
+            .with_num_threads(Some(7))
+            .with_num_shards(Some(4));
         let json = serde_json::to_string(&config).unwrap();
         assert!(!json.contains("num_threads"), "runtime knob leaked: {json}");
+        assert!(!json.contains("num_shards"), "runtime knob leaked: {json}");
         let back: PrecomputeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_threads, None);
+        assert_eq!(back.num_shards, None);
         assert_eq!(back.r_max, config.r_max);
         assert_eq!(back.thresholds, config.thresholds);
         assert_eq!(back.signature_bits, config.signature_bits);
         assert_eq!(back.parallel, config.parallel);
+    }
+
+    #[test]
+    fn contiguous_shard_plan_covers_the_id_space() {
+        let plan = ShardPlan::contiguous(10, 4);
+        assert_eq!(plan.num_shards(), 4);
+        assert_eq!(
+            (0..4).map(|s| plan.range(s)).collect::<Vec<_>>(),
+            vec![0..3, 3..6, 6..8, 8..10]
+        );
+        // clamped to n, and an empty graph still yields one (empty) shard
+        assert_eq!(ShardPlan::contiguous(3, 100).num_shards(), 3);
+        let empty = ShardPlan::contiguous(0, 5);
+        assert_eq!(empty.num_shards(), 1);
+        assert_eq!(empty.range(0), 0..0);
+
+        let explicit = ShardPlan::from_interior_boundaries(10, &[1, 9]).unwrap();
+        assert_eq!(explicit.num_shards(), 3);
+        assert_eq!(explicit.range(1), 1..9);
+        assert!(ShardPlan::from_interior_boundaries(10, &[0]).is_err());
+        assert!(ShardPlan::from_interior_boundaries(10, &[10]).is_err());
+        assert!(ShardPlan::from_interior_boundaries(10, &[4, 4]).is_err());
+    }
+
+    #[test]
+    fn sharded_builds_are_bit_identical_to_the_unsharded_engine() {
+        let g = small_graph();
+        let unsharded = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        // shard counts around the worker count, above it, and degenerate
+        for (shards, threads) in [(2, 3), (4, 2), (7, 7), (16, 1), (120, 4)] {
+            let (sharded, stats) = PrecomputedData::compute_with_stats(
+                &g,
+                PrecomputeConfig::default()
+                    .with_num_threads(Some(threads))
+                    .with_num_shards(Some(shards)),
+            );
+            assert_eq!(stats.shards, shards.min(g.num_vertices()));
+            assert_eq!(sharded.edge_supports, unsharded.edge_supports);
+            // every vertex's computation is self-contained, so even float
+            // scores are bit-identical across shard shapes
+            assert_eq!(sharded.table(), unsharded.table());
+            assert_eq!(sharded.seed_bounds(), unsharded.seed_bounds());
+            assert_eq!(
+                sharded.table().structural_fingerprint(),
+                unsharded.table().structural_fingerprint()
+            );
+            assert_eq!(sharded.table().max_score_delta(unsharded.table()), 0.0);
+        }
+    }
+
+    #[test]
+    fn uneven_explicit_shard_plans_agree_too() {
+        let g = small_graph();
+        let n = g.num_vertices();
+        let baseline = PrecomputedData::compute(
+            &g,
+            PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        // a lopsided plan: shards smaller than one work-stealing chunk next
+        // to one holding almost the whole graph
+        let plan = ShardPlan::from_interior_boundaries(n, &[2, 5, n - 1]).unwrap();
+        let (sharded, stats) = PrecomputedData::compute_with_plan(
+            &g,
+            PrecomputeConfig::default().with_num_threads(Some(3)),
+            &plan,
+        );
+        assert_eq!(stats.shards, 4);
+        assert_eq!(sharded.table(), baseline.table());
+        assert_eq!(sharded.seed_bounds(), baseline.seed_bounds());
+    }
+
+    #[test]
+    fn build_stats_report_bounded_worker_scratch() {
+        let g = small_graph();
+        let (_, stats) = PrecomputedData::compute_with_stats(
+            &g,
+            PrecomputeConfig::default()
+                .with_num_threads(Some(4))
+                .with_num_shards(Some(4)),
+        );
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.table_worker_scratch_bytes.len(), 4);
+        assert_eq!(stats.seed_worker_scratch_bytes.len(), 4);
+        assert_eq!(stats.stolen_chunks.len(), 4);
+        assert_eq!(
+            stats.shared_signature_bytes, 0,
+            "sharded build shares no table"
+        );
+        assert!(stats.table_worker_scratch_bytes.iter().all(|&b| b > 0));
+        assert!(stats.naive_scratch_bytes > 0);
+        // the unsharded build pins the full-graph signature table instead
+        let (_, mono) = PrecomputedData::compute_with_stats(
+            &g,
+            PrecomputeConfig::default().with_num_threads(Some(2)),
+        );
+        assert_eq!(mono.shards, 1);
+        assert_eq!(
+            mono.shared_signature_bytes,
+            g.num_vertices() * 2 * std::mem::size_of::<u64>()
+        );
+    }
+
+    #[test]
+    fn arena_recompute_matches_fresh_build_and_stays_warm() {
+        let spec = DatasetSpec::new(DatasetKind::Uniform, 80, 5).with_keyword_domain(16);
+        let g = spec.generate();
+        let config = PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let fresh = PrecomputedData::compute(&g, config.clone());
+        let mut stale = PrecomputedData::compute(&g, config);
+        let mut arena = MaintenanceArena::new();
+        let victims: Vec<VertexId> = (0..10).map(VertexId::from_index).collect();
+        stale.recompute_vertices_with(&g, &victims, &mut arena);
+        assert_eq!(stale.table(), fresh.table());
+        assert_eq!(stale.seed_bounds(), fresh.seed_bounds());
+        let cached = arena.signature_rows_cached();
+        assert!(cached > 0, "arena caches the touched balls");
+        assert!(arena.resident_bytes() > 0);
+        // a second batch over the same balls re-hashes nothing
+        stale.recompute_vertices_with(&g, &victims, &mut arena);
+        assert_eq!(arena.signature_rows_cached(), cached);
+        assert_eq!(stale.table(), fresh.table());
     }
 
     #[test]

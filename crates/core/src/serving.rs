@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
+use std::time::Instant;
 
 /// Default number of worker threads when the caller does not choose one.
 pub const DEFAULT_WORKERS: usize = 4;
@@ -182,6 +183,108 @@ impl QueryTicket {
     }
 }
 
+/// Number of power-of-two latency buckets: bucket 0 holds sub-microsecond
+/// serves, bucket `i ≥ 1` holds latencies in `[2^(i-1), 2^i)` microseconds,
+/// and the last bucket absorbs everything from ~67 s up.
+pub const LATENCY_BUCKETS: usize = 27;
+
+/// A log₂-scale latency histogram over microseconds.
+///
+/// Fixed-size and allocation-free so workers can record under a short lock;
+/// quantiles come back as the upper edge of the bucket holding the rank,
+/// which is exact to within a factor of two — enough to tell a 3 µs cache
+/// hit from a 250 ms kernel run at a glance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts serves with `floor(log2(µs)) + 1 == i` (see
+    /// [`LATENCY_BUCKETS`]).
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Serves recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, in microseconds.
+    pub total_micros: u64,
+    /// Largest recorded latency, in microseconds.
+    pub max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&mut self, micros: u64) {
+        let idx = (u64::BITS - micros.leading_zeros()) as usize;
+        self.buckets[idx.min(LATENCY_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Mean latency in microseconds (`0.0` when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (in microseconds) of the bucket containing quantile `q`
+    /// (e.g. `0.5`, `0.99`); `0` when empty. The true latency lies within a
+    /// factor of two below the returned bound.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max_micros
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+/// Serve latencies observed under one snapshot epoch, split by cache
+/// outcome.
+///
+/// This is the p99-attribution instrument: a publish invalidates the whole
+/// LRU lazily, so the first serve of each hot query after a swap re-runs the
+/// kernel. That cost shows up here as a `misses` population at kernel
+/// latency appearing in the epoch *after* every swap, while `hits` stay at
+/// Arc-clone latency — making a fat p99 attributable to publish cadence
+/// rather than to a slow kernel or queueing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochLatency {
+    /// The snapshot epoch the serves ran under.
+    pub epoch: u64,
+    /// Latencies of serves answered from the LRU.
+    pub hits: LatencyHistogram,
+    /// Latencies of serves that ran the kernel (including the post-swap
+    /// re-executions of queries the previous epoch had cached).
+    pub misses: LatencyHistogram,
+}
+
 /// Counter snapshot of a runtime (live via [`ServingRuntime::stats`], final
 /// via [`ServingRuntime::shutdown`]).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -198,6 +301,8 @@ pub struct ServingStats {
     pub swaps: u64,
     /// Merged per-query pruning counters of every executed query.
     pub pruning: PruningStats,
+    /// Per-epoch serve-latency histograms, ascending by epoch.
+    pub latency_by_epoch: Vec<EpochLatency>,
 }
 
 impl ServingStats {
@@ -209,6 +314,16 @@ impl ServingStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// All serve latencies folded across epochs and cache outcomes.
+    pub fn overall_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::default();
+        for e in &self.latency_by_epoch {
+            all.merge(&e.hits);
+            all.merge(&e.misses);
+        }
+        all
     }
 }
 
@@ -398,6 +513,9 @@ struct Shared {
     queries_failed: AtomicU64,
     swaps: AtomicU64,
     pruning: Mutex<PruningStats>,
+    /// Epoch → serve-latency histograms. Recording is a short lock over a
+    /// fixed-size array update; the map only grows on publish.
+    latency: Mutex<HashMap<u64, EpochLatency>>,
 }
 
 impl Shared {
@@ -408,7 +526,23 @@ impl Shared {
         Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
     }
 
+    /// Records one serve into the per-epoch histograms.
+    fn record_latency(&self, epoch: u64, cache_hit: bool, started: Instant) {
+        let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut map = self.latency.lock().expect("latency lock poisoned");
+        let entry = map.entry(epoch).or_insert_with(|| EpochLatency {
+            epoch,
+            ..Default::default()
+        });
+        if cache_hit {
+            entry.hits.record(micros);
+        } else {
+            entry.misses.record(micros);
+        }
+    }
+
     fn serve(&self, query: &TopLQuery) -> Result<ServedAnswer, ServingError> {
+        let started = Instant::now();
         let canonical = match query.canonicalize() {
             Ok(q) => q,
             Err(e) => {
@@ -420,6 +554,7 @@ impl Shared {
         let snapshot = self.load();
         if let Some(answer) = self.cache.get(key, snapshot.epoch) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.record_latency(snapshot.epoch, true, started);
             return Ok(ServedAnswer {
                 answer,
                 epoch: snapshot.epoch,
@@ -441,6 +576,7 @@ impl Shared {
                 // swap landed mid-run, the entry is already stale and the
                 // next lookup (made under the new epoch) evicts it
                 self.cache.insert(key, snapshot.epoch, Arc::clone(&answer));
+                self.record_latency(snapshot.epoch, false, started);
                 Ok(ServedAnswer {
                     answer,
                     epoch: snapshot.epoch,
@@ -456,6 +592,14 @@ impl Shared {
     }
 
     fn stats(&self) -> ServingStats {
+        let mut latency_by_epoch: Vec<EpochLatency> = self
+            .latency
+            .lock()
+            .expect("latency lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        latency_by_epoch.sort_unstable_by_key(|e| e.epoch);
         ServingStats {
             queries_executed: self.queries_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -463,6 +607,7 @@ impl Shared {
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             pruning: *self.pruning.lock().expect("stats lock poisoned"),
+            latency_by_epoch,
         }
     }
 }
@@ -494,6 +639,7 @@ impl ServingRuntime {
             queries_failed: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             pruning: Mutex::new(PruningStats::new()),
+            latency: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -787,6 +933,67 @@ mod tests {
         // hits are epoch-2 entries — never epoch-1 leftovers (checked
         // bit-exactly against the reference above)
         assert!(hits_after_swap > 0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for micros in [0, 1, 3, 200_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max_micros, 200_000);
+        assert_eq!(h.total_micros, 200_004);
+        assert_eq!(h.buckets[0], 1); // the 0 µs serve
+        assert_eq!(h.buckets[1], 1); // 1 µs
+        assert_eq!(h.buckets[2], 1); // 3 µs → [2, 4)
+        assert_eq!(h.buckets[18], 1); // 200 ms → [2^17, 2^18) µs
+                                      // p50 (rank 2) lands in the 1 µs bucket, p99 in the 200 ms one
+        assert_eq!(h.quantile_upper_micros(0.5), 2);
+        assert_eq!(h.quantile_upper_micros(0.99), 1 << 18);
+        assert_eq!(LatencyHistogram::default().quantile_upper_micros(0.99), 0);
+        // a huge outlier saturates into the last bucket instead of indexing
+        // out of range
+        h.record(u64::MAX / 2);
+        assert_eq!(h.buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    /// The p99-vs-p50 diagnosis instrument: every publish lazily invalidates
+    /// the LRU, so hot queries re-execute the kernel once per epoch. The
+    /// per-epoch split must show those re-executions as epoch-2 *misses*
+    /// (kernel-speed) while epoch-2 *hits* stay at Arc-clone speed.
+    #[test]
+    fn per_epoch_latency_attributes_post_swap_reexecution() {
+        let (g, index) = build(23);
+        let runtime =
+            ServingRuntime::start(ServingConfig::with_workers(1), g.clone(), index.clone())
+                .unwrap();
+        let hot = query([0, 1, 2], 5);
+        // epoch 1: one miss, two hits
+        for _ in 0..3 {
+            runtime.submit(hot.clone()).wait().unwrap();
+        }
+        // the swap invalidates the cached answer …
+        runtime.publish(g, index).unwrap();
+        // … so the same hot query misses once more before hitting again
+        let reexecuted = runtime.submit(hot.clone()).wait().unwrap();
+        assert!(!reexecuted.cache_hit);
+        assert_eq!(reexecuted.epoch, 2);
+        let hit = runtime.submit(hot).wait().unwrap();
+        assert!(hit.cache_hit);
+
+        let stats = runtime.shutdown();
+        assert_eq!(stats.latency_by_epoch.len(), 2);
+        let (e1, e2) = (&stats.latency_by_epoch[0], &stats.latency_by_epoch[1]);
+        assert_eq!((e1.epoch, e1.misses.count, e1.hits.count), (1, 1, 2));
+        assert_eq!((e2.epoch, e2.misses.count, e2.hits.count), (2, 1, 1));
+        let overall = stats.overall_latency();
+        assert_eq!(overall.count, 5);
+        assert_eq!(
+            overall.count,
+            stats.cache_hits + stats.queries_executed,
+            "every answered serve is recorded exactly once"
+        );
     }
 
     #[test]

@@ -226,8 +226,9 @@ pub fn index_from_snapshot(snap: &Snapshot) -> SnapshotResult<CommunityIndex> {
         thresholds,
         signature_bits: usize_from(meta.signature_bits, "signature width")?,
         parallel: meta.parallel != 0,
-        // runtime knob, not data: never persisted in the binary format
+        // runtime knobs, not data: never persisted in the binary format
         num_threads: None,
+        num_shards: None,
     };
 
     let num_vertices = usize_from(meta.num_vertices, "vertex count")?;

@@ -29,6 +29,7 @@
 use crate::error::CoreResult;
 use crate::index::{CommunityIndex, IndexBuilder};
 use crate::maintenance::{affected_vertices, influence_slack_bound};
+use crate::precompute::MaintenanceArena;
 use crate::serving::{ServingRuntime, ServingSnapshot};
 use icde_graph::graph::DEFAULT_COMPACT_THRESHOLD;
 use icde_graph::{SocialNetwork, VertexId, Weight};
@@ -116,6 +117,11 @@ pub struct StreamingMaintainer {
     /// Removals may leave it stale-high, which only widens the refresh
     /// radius — still correct, just conservative.
     p_max: f64,
+    /// Ball-cover-sized recompute scratch reused across batches: the paged
+    /// workspaces and the sparse signature arena stay allocated (and the
+    /// signature rows stay warm — keywords never change under edge updates)
+    /// instead of being rebuilt per refresh.
+    arena: MaintenanceArena,
     stats: StreamStats,
 }
 
@@ -129,6 +135,7 @@ impl StreamingMaintainer {
             index: Some(index),
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
             p_max,
+            arena: MaintenanceArena::new(),
             stats: StreamStats::default(),
         }
     }
@@ -155,6 +162,12 @@ impl StreamingMaintainer {
     /// The lifetime counters.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+
+    /// The recompute scratch arena reused across batches (telemetry:
+    /// resident bytes and warm signature rows).
+    pub fn arena(&self) -> &MaintenanceArena {
+        &self.arena
     }
 
     /// Applies one batch of updates and refreshes the index; returns the
@@ -222,7 +235,10 @@ impl StreamingMaintainer {
 
         let mut batch: Vec<VertexId> = affected.into_iter().collect();
         batch.sort_unstable();
-        data.recompute_vertices(&self.graph, &batch);
+        // keywords are immutable under edge updates (and compaction remaps
+        // edge ids, not vertices), so the arena's cached signature rows stay
+        // valid across the maintainer's whole lifetime
+        data.recompute_vertices_with(&self.graph, &batch, &mut self.arena);
         self.stats.vertices_recomputed += batch.len() as u64;
         self.stats.batches += 1;
 
@@ -491,6 +507,62 @@ mod tests {
             maintainer.index().precomputed.edge_supports.as_slice(),
             scratch_index.precomputed.edge_supports.as_slice()
         );
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        let live = TopLProcessor::new(maintainer.graph(), maintainer.index())
+            .run(&query)
+            .unwrap();
+        let reference = TopLProcessor::new(&scratch, &scratch_index)
+            .run(&query)
+            .unwrap();
+        assert_eq!(answer_bits(&live), answer_bits(&reference));
+    }
+
+    /// Regression (issue 9 satellite): maintenance used to rebuild a full
+    /// `SignatureTable::for_graph` — an O(n·words) allocation — on every
+    /// refresh. The maintainer now owns a ball-cover-sized arena whose
+    /// signature rows survive across batches: a second batch over the same
+    /// region re-hashes nothing and allocates no new rows.
+    #[test]
+    fn recompute_arena_stays_warm_across_batches() {
+        let (g, index) = setup(150, 35);
+        let mut maintainer =
+            StreamingMaintainer::new(g.clone(), index).with_compact_threshold(f64::INFINITY);
+        assert_eq!(maintainer.arena().signature_rows_cached(), 0);
+
+        let (_, u, v) = g.edges().next().unwrap();
+        let cycle = [
+            vec![EdgeUpdate::Remove { u, v }],
+            vec![EdgeUpdate::Insert {
+                u,
+                v,
+                p_uv: 0.4,
+                p_vu: 0.35,
+            }],
+        ];
+        // first cycle saturates the arena's ball-cover capacity
+        for batch in &cycle {
+            maintainer.apply_batch(batch);
+        }
+        let rows_warm = maintainer.arena().signature_rows_cached();
+        let bytes_warm = maintainer.arena().resident_bytes();
+        assert!(rows_warm > 0, "first cycle warms the arena");
+
+        // the same balls again: every signature row is already cached, so the
+        // arena neither re-hashes nor grows
+        for batch in &cycle {
+            maintainer.apply_batch(batch);
+            assert_eq!(maintainer.arena().signature_rows_cached(), rows_warm);
+            assert_eq!(maintainer.arena().resident_bytes(), bytes_warm);
+        }
+
+        // and the refreshed pair is still exact
+        let scratch = rebuild_from_scratch(maintainer.graph());
+        let scratch_index = IndexBuilder::new(PrecomputeConfig {
+            parallel: false,
+            ..Default::default()
+        })
+        .with_leaf_capacity(8)
+        .build(&scratch);
         let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
         let live = TopLProcessor::new(maintainer.graph(), maintainer.index())
             .run(&query)

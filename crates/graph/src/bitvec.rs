@@ -349,6 +349,190 @@ impl SignatureTable {
     }
 }
 
+/// Log2 of the page size of the scratch's vertex→slot map: 256 entries.
+const SIG_PAGE_BITS: usize = 8;
+/// Entries per map page.
+const SIG_PAGE_LEN: usize = 1 << SIG_PAGE_BITS;
+/// Mask extracting the within-page slot from a vertex index.
+const SIG_PAGE_MASK: usize = SIG_PAGE_LEN - 1;
+
+/// One page of the sparse vertex→row-slot map: an epoch stamp plus the slot
+/// index the vertex's signature row occupies in the packed arena.
+#[derive(Debug)]
+struct SigMapPage {
+    stamp: [u32; SIG_PAGE_LEN],
+    slot: [u32; SIG_PAGE_LEN],
+}
+
+impl SigMapPage {
+    fn new_boxed() -> Box<SigMapPage> {
+        Box::new(SigMapPage {
+            stamp: [0; SIG_PAGE_LEN],
+            slot: [0; SIG_PAGE_LEN],
+        })
+    }
+}
+
+/// An epoch-stamped sparse signature arena: the shard-local replacement for
+/// a full-graph [`SignatureTable`].
+///
+/// A [`SignatureTable`] hashes *every* vertex of the graph up front —
+/// `n × ⌈bits/64⌉` words — which is the right trade for a build that will
+/// visit every vertex, but a shard worker only ever touches the vertices
+/// inside its shard's r_max ball cover, and the streaming maintainer only
+/// the balls around an update batch. This scratch hashes a vertex's keyword
+/// set on **first touch**, caches the row in a dense-packed grow-only arena
+/// (id-remapped through a lazily-paged vertex→slot map) and replays the
+/// cached row on every later touch, so resident bytes track the touched
+/// set, not `n`.
+///
+/// Rows go through the same [`keyword_bit_position`] hash as every other
+/// signature formulation, so aggregates built through the scratch are
+/// bit-identical to the table and on-the-fly paths.
+///
+/// Keyword sets are immutable under edge updates and compaction, so a
+/// scratch owned by a maintainer stays warm across update batches with no
+/// invalidation. Callers that reuse one scratch across *different graphs*
+/// (or widths) must call [`invalidate`] in between; [`ensure`] does so
+/// automatically when the width or vertex count changes.
+///
+/// [`invalidate`]: SignatureScratch::invalidate
+/// [`ensure`]: SignatureScratch::ensure
+#[derive(Debug)]
+pub struct SignatureScratch {
+    bits: u32,
+    words_per_row: usize,
+    /// Vertex count the map is sized for (cache key for [`ensure`]).
+    len: usize,
+    /// Map entries are valid iff their stamp equals this epoch.
+    epoch: u32,
+    /// Lazily-allocated pages of the vertex→slot map.
+    map: Vec<Option<Box<SigMapPage>>>,
+    /// Dense-packed row arena: slot `s` occupies
+    /// `rows[s * words_per_row ..][..words_per_row]`. Grow-only.
+    rows: Vec<u64>,
+    /// Next free slot in the arena.
+    next_slot: u32,
+}
+
+impl Default for SignatureScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SignatureScratch {
+    /// Creates an empty scratch; pages and rows grow on first use.
+    pub fn new() -> Self {
+        SignatureScratch {
+            bits: 0,
+            words_per_row: 0,
+            len: 0,
+            epoch: 1,
+            map: Vec::new(),
+            rows: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Prepares the scratch for an `n`-vertex graph with `bits`-wide
+    /// signatures. Cached rows stay warm when the shape is unchanged; a
+    /// width or vertex-count change invalidates them (a different shape
+    /// means a different graph).
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero.
+    pub fn ensure(&mut self, n: usize, bits: usize) {
+        assert!(bits > 0, "bit vector width must be positive");
+        if self.bits != bits as u32 || self.len != n {
+            self.bits = bits as u32;
+            self.words_per_row = bits.div_ceil(64);
+            self.len = n;
+            self.invalidate();
+        }
+        let num_pages = n.div_ceil(SIG_PAGE_LEN);
+        if self.map.len() < num_pages {
+            self.map.resize_with(num_pages, || None);
+        }
+    }
+
+    /// Drops every cached row (one epoch bump; no memory is released).
+    /// Required when reusing the scratch across graphs whose shape happens
+    /// to match, or after keyword sets change.
+    pub fn invalidate(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // wraparound: stamps from 2^32 invalidations ago would alias
+            for page in self.map.iter_mut().flatten() {
+                page.stamp = [0; SIG_PAGE_LEN];
+            }
+            self.epoch = 1;
+        }
+        self.next_slot = 0;
+    }
+
+    /// ORs vertex `v`'s signature row into `acc`, hashing the keyword set
+    /// only on the first touch since the last [`invalidate`] and replaying
+    /// the cached arena row afterwards.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the prepared vertex range or `acc` is
+    /// narrower than one row.
+    ///
+    /// [`invalidate`]: SignatureScratch::invalidate
+    #[inline]
+    pub fn or_row_into(&mut self, g: &crate::graph::SocialNetwork, v: VertexId, acc: &mut [u64]) {
+        let i = v.index();
+        let epoch = self.epoch;
+        let page: &mut SigMapPage =
+            self.map[i >> SIG_PAGE_BITS].get_or_insert_with(SigMapPage::new_boxed);
+        let s = i & SIG_PAGE_MASK;
+        let slot = if page.stamp[s] == epoch {
+            page.slot[s] as usize
+        } else {
+            let slot = self.next_slot as usize;
+            page.stamp[s] = epoch;
+            page.slot[s] = self.next_slot;
+            self.next_slot += 1;
+            let start = slot * self.words_per_row;
+            if self.rows.len() < start + self.words_per_row {
+                self.rows.resize(start + self.words_per_row, 0);
+            }
+            // the region may hold residue from before an invalidation (or a
+            // reshape that left a partially-stale prefix) — zero it always
+            self.rows[start..start + self.words_per_row].fill(0);
+            let bits = self.bits as usize;
+            let row = &mut self.rows[start..start + self.words_per_row];
+            for kw in g.keyword_set(v).iter() {
+                let pos = keyword_bit_position(bits, kw);
+                row[pos / 64] |= 1u64 << (pos % 64);
+            }
+            slot
+        };
+        let start = slot * self.words_per_row;
+        for (a, w) in acc
+            .iter_mut()
+            .zip(&self.rows[start..start + self.words_per_row])
+        {
+            *a |= *w;
+        }
+    }
+
+    /// Number of distinct vertices whose rows are cached this epoch.
+    pub fn rows_cached(&self) -> usize {
+        self.next_slot as usize
+    }
+
+    /// Resident bytes of the scratch: allocated map pages plus the row
+    /// arena. The bench compares this against the `n × ⌈bits/64⌉ × 8` a
+    /// full [`SignatureTable`] would pin per worker.
+    pub fn allocated_bytes(&self) -> usize {
+        self.map.iter().flatten().count() * std::mem::size_of::<SigMapPage>()
+            + self.map.capacity() * std::mem::size_of::<Option<Box<SigMapPage>>>()
+            + self.rows.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 /// The bit position keyword `kw` occupies in a `bits`-wide signature — the
 /// shared hash `f(w)` behind [`BitVector`], [`SignatureRef`] and
 /// [`SignatureTable`], exposed so callers that OR keyword sets into raw word
@@ -485,6 +669,89 @@ mod tests {
         let table = SignatureTable::for_graph(&g, 128);
         assert!(table.is_empty());
         assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn signature_scratch_matches_table_and_caches_rows() {
+        let mut b = crate::builder::GraphBuilder::new();
+        for ids in [vec![1u32, 2], vec![], vec![7, 99, 1000], vec![3], vec![42]] {
+            b.add_vertex(KeywordSet::from_ids(ids));
+        }
+        let g = b.build().unwrap();
+        for bits in [64usize, 128, 130] {
+            let table = SignatureTable::for_graph(&g, bits);
+            let mut scratch = SignatureScratch::new();
+            scratch.ensure(g.num_vertices(), bits);
+            let words = bits.div_ceil(64);
+            for v in g.vertices() {
+                // touch twice: first hashes, second replays the cached row
+                for _ in 0..2 {
+                    let mut via_scratch = vec![0u64; words];
+                    scratch.or_row_into(&g, v, &mut via_scratch);
+                    let mut via_table = vec![0u64; words];
+                    table.or_into(v, &mut via_table);
+                    assert_eq!(via_scratch, via_table, "vertex {v} bits {bits}");
+                }
+            }
+            assert_eq!(scratch.rows_cached(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn signature_scratch_only_pays_for_touched_vertices() {
+        let mut b = crate::builder::GraphBuilder::new();
+        for i in 0..(4 * SIG_PAGE_LEN as u32) {
+            b.add_vertex(KeywordSet::from_ids(vec![i]));
+        }
+        let g = b.build().unwrap();
+        let mut scratch = SignatureScratch::new();
+        scratch.ensure(g.num_vertices(), 128);
+        let mut acc = vec![0u64; 2];
+        scratch.or_row_into(&g, VertexId(0), &mut acc);
+        scratch.or_row_into(&g, VertexId(1), &mut acc);
+        assert_eq!(scratch.rows_cached(), 2);
+        // one map page + two 2-word rows, far below the full-table footprint
+        let full_table_bytes = g.num_vertices() * 2 * std::mem::size_of::<u64>();
+        assert!(scratch.allocated_bytes() < full_table_bytes);
+    }
+
+    #[test]
+    fn signature_scratch_invalidate_drops_cached_rows() {
+        let mut b = crate::builder::GraphBuilder::new();
+        b.add_vertex(KeywordSet::from_ids(vec![5]));
+        let g = b.build().unwrap();
+        let mut scratch = SignatureScratch::new();
+        scratch.ensure(1, 64);
+        let mut acc = vec![0u64; 1];
+        scratch.or_row_into(&g, VertexId(0), &mut acc);
+        assert_eq!(scratch.rows_cached(), 1);
+        scratch.invalidate();
+        assert_eq!(scratch.rows_cached(), 0);
+        // re-touch re-hashes and still matches the owned formulation
+        let mut acc2 = vec![0u64; 1];
+        scratch.or_row_into(&g, VertexId(0), &mut acc2);
+        let owned = BitVector::from_keywords(g.keyword_set(VertexId(0)), 64);
+        assert_eq!(&acc2, owned.words());
+        assert_eq!(acc, acc2);
+    }
+
+    #[test]
+    fn signature_scratch_reshape_invalidates_automatically() {
+        let mut b = crate::builder::GraphBuilder::new();
+        b.add_vertex(KeywordSet::from_ids(vec![9]));
+        b.add_vertex(KeywordSet::from_ids(vec![10]));
+        let g = b.build().unwrap();
+        let mut scratch = SignatureScratch::new();
+        scratch.ensure(2, 64);
+        let mut acc = vec![0u64; 1];
+        scratch.or_row_into(&g, VertexId(0), &mut acc);
+        assert_eq!(scratch.rows_cached(), 1);
+        scratch.ensure(2, 128); // width change → stale rows dropped
+        assert_eq!(scratch.rows_cached(), 0);
+        let mut wide = vec![0u64; 2];
+        scratch.or_row_into(&g, VertexId(1), &mut wide);
+        let owned = BitVector::from_keywords(g.keyword_set(VertexId(1)), 128);
+        assert_eq!(&wide, owned.words());
     }
 
     proptest! {

@@ -35,6 +35,20 @@ impl SmallWorldConfig {
             shortcut_probability: 0.167,
         }
     }
+
+    /// A locality-dominated variant for the million-vertex scaling runs:
+    /// the paper's ring degree (`m = 6`) but only `µ = 0.0002` shortcuts, so
+    /// an `r_max`-hop ball stays ring-sized instead of exploding through
+    /// shortcut hubs. At `n = 10⁶` this still sprinkles ~600 shortcuts —
+    /// enough to exercise the cross-shard edges of a sharded offline build
+    /// while keeping per-ball work (and thus per-worker scratch) bounded.
+    pub fn locality(num_vertices: usize) -> Self {
+        SmallWorldConfig {
+            num_vertices,
+            ring_neighbors: 6,
+            shortcut_probability: 0.0002,
+        }
+    }
 }
 
 /// Generates a Newman–Watts–Strogatz small-world graph. All edges carry a
@@ -155,6 +169,23 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(g.degree(v), 6);
         }
+    }
+
+    #[test]
+    fn locality_config_keeps_balls_ring_sized() {
+        let cfg = SmallWorldConfig::locality(20_000);
+        assert_eq!(cfg.ring_neighbors, 6);
+        let g = small_world(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g.num_vertices(), 20_000);
+        // ring contributes exactly n·m/2 edges; shortcuts add ~µ·n·m/2 ≈ 12
+        let ring_edges = 20_000 * 3;
+        assert!(g.num_edges() >= ring_edges);
+        assert!(
+            g.num_edges() <= ring_edges + 60,
+            "too many shortcuts: {}",
+            g.num_edges() - ring_edges
+        );
+        assert!(is_connected(&g));
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //! A [`TraversalWorkspace`] owns that scratch once and amortises it across
 //! calls:
 //!
-//! * **Epoch-stamped arrays** — `visited`/`distance`/`probability` state is
-//!   paired with a `Vec<u32>` of stamps; an entry is valid only when its
-//!   stamp equals the workspace's current epoch, so "clearing" the arrays
-//!   for the next traversal is a single counter bump ([`begin`]) instead of
-//!   an O(n) wipe. On the (astronomically rare) epoch wraparound the stamps
-//!   are hard-reset, so stale entries from 2³² traversals ago can never
-//!   alias.
+//! * **Epoch-stamped, lazily-paged lanes** — `visited`/`distance`/
+//!   `probability` state lives in 256-vertex pages allocated on first write;
+//!   an entry is valid only when its stamp equals the workspace's current
+//!   epoch, so "clearing" the lanes for the next traversal is a single
+//!   counter bump ([`begin`]) instead of an O(n) wipe, and a worker whose
+//!   traversals only ever touch a slice of a large graph only ever
+//!   materialises that slice's pages (reads of an absent page report
+//!   "unstamped", exactly like a dense array whose stamps are stale). On the
+//!   (astronomically rare) epoch wraparound the stamps of the allocated
+//!   pages are hard-reset, so stale entries from 2³² traversals ago can
+//!   never alias.
 //! * **A reusable queue buffer** — one grow-only `Vec` doubles as the BFS
 //!   ring buffer (FIFO via a head cursor) and the DFS stack (LIFO).
 //! * **A monotone bucket queue** for the max-product Dijkstra, keyed on a
@@ -57,6 +61,59 @@ use crate::types::VertexId;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Log2 of the page size of the per-vertex lanes: 256 vertices per page.
+/// Small enough that a BFS ball touching 2% of a large graph allocates ~2%
+/// of the pages, large enough that the page-table indirection amortises.
+const PAGE_BITS: usize = 8;
+
+/// Vertices per lane page.
+const PAGE_LEN: usize = 1 << PAGE_BITS;
+
+/// Mask extracting the within-page slot from a vertex index.
+const PAGE_MASK: usize = PAGE_LEN - 1;
+
+/// One lazily-allocated page of every per-vertex lane. The lanes are stored
+/// struct-of-arrays within the page so a stamp check touches one cache line
+/// of stamps rather than a 60-byte row. A page is materialised the first
+/// time any vertex in its range is *written*; reads of an absent page report
+/// "never stamped" (`None` / 0.0), which is exactly what a dense array whose
+/// stamps predate the current epoch would report.
+#[derive(Debug)]
+struct WorkspacePage {
+    /// Visited stamps (BFS/DFS visited set, Dijkstra reached set).
+    reached: [u32; PAGE_LEN],
+    /// Hop distances, valid iff `reached` is stamped.
+    dist: [u32; PAGE_LEN],
+    /// Best path probabilities, valid iff `reached` is stamped.
+    prob: [f64; PAGE_LEN],
+    /// Stamps for `expanded_at`.
+    expanded: [u32; PAGE_LEN],
+    /// Probability a vertex was last expanded at (settled-skip state).
+    expanded_at: [f64; PAGE_LEN],
+    /// Stamps for `parent`.
+    parented: [u32; PAGE_LEN],
+    /// Predecessor on the current best path.
+    parent: [VertexId; PAGE_LEN],
+}
+
+impl WorkspacePage {
+    fn new_boxed() -> Box<WorkspacePage> {
+        Box::new(WorkspacePage {
+            reached: [0; PAGE_LEN],
+            dist: [0; PAGE_LEN],
+            prob: [0.0; PAGE_LEN],
+            expanded: [0; PAGE_LEN],
+            expanded_at: [0.0; PAGE_LEN],
+            parented: [0; PAGE_LEN],
+            parent: [VertexId(0); PAGE_LEN],
+        })
+    }
+}
+
+/// Bytes of lane state per vertex — what a dense (unpaged) workspace pays
+/// for every vertex of the graph regardless of how many a traversal touches.
+pub const LANE_BYTES_PER_VERTEX: usize = std::mem::size_of::<WorkspacePage>() / PAGE_LEN;
 
 /// Number of buckets of the monotone queue. Keys are quantised at 16 buckets
 /// per halving of probability (see [`bucket_of`]), so 4096 buckets span
@@ -163,23 +220,13 @@ impl BucketQueue {
 /// [module docs]: self
 #[derive(Debug, Default)]
 pub struct TraversalWorkspace {
-    /// Current epoch; array entries are valid iff their stamp equals it.
+    /// Current epoch; lane entries are valid iff their stamp equals it.
     epoch: u32,
-    /// Visited stamps (BFS/DFS visited set, Dijkstra reached set).
-    reached: Vec<u32>,
-    /// Hop distances, valid iff `reached` is stamped.
-    dist: Vec<u32>,
-    /// Best path probabilities, valid iff `reached` is stamped (0.0
-    /// otherwise, matching the dense-array formulation).
-    prob: Vec<f64>,
-    /// Stamps for `expanded_at`.
-    expanded: Vec<u32>,
-    /// Probability a vertex was last expanded at (settled-skip state).
-    expanded_at: Vec<f64>,
-    /// Stamps for `parent`.
-    parented: Vec<u32>,
-    /// Predecessor on the current best path.
-    parent: Vec<VertexId>,
+    /// Lazily-allocated lane pages. `begin(n)` only grows this table of
+    /// `None` slots; a page is boxed the first time a vertex in its range is
+    /// written, so a worker whose traversals touch 2% of the graph allocates
+    /// ~2% of the lane bytes a dense workspace would.
+    pages: Vec<Option<Box<WorkspacePage>>>,
     /// Vertices stamped through [`set_prob`] this epoch, in first-touch
     /// order.
     ///
@@ -205,26 +252,24 @@ impl TraversalWorkspace {
         Self::default()
     }
 
-    /// Starts a new traversal over an `n`-vertex graph: grows the arrays if
-    /// needed, invalidates all previous stamps with one epoch bump and
-    /// clears the queue structures.
+    /// Starts a new traversal over an `n`-vertex graph: grows the page table
+    /// if needed (without allocating any pages), invalidates all previous
+    /// stamps with one epoch bump and clears the queue structures.
     pub fn begin(&mut self, n: usize) {
-        if self.reached.len() < n {
-            self.reached.resize(n, 0);
-            self.dist.resize(n, 0);
-            self.prob.resize(n, 0.0);
-            self.expanded.resize(n, 0);
-            self.expanded_at.resize(n, 0.0);
-            self.parented.resize(n, 0);
-            self.parent.resize(n, VertexId(0));
+        let num_pages = n.div_ceil(PAGE_LEN);
+        if self.pages.len() < num_pages {
+            self.pages.resize_with(num_pages, || None);
         }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // wraparound: stamps written 2^32 epochs ago would alias the new
-            // epoch; hard-reset them once and restart from epoch 1
-            self.reached.fill(0);
-            self.expanded.fill(0);
-            self.parented.fill(0);
+            // epoch; hard-reset the allocated pages once and restart from
+            // epoch 1 (absent pages hold no stamps to alias)
+            for page in self.pages.iter_mut().flatten() {
+                page.reached = [0; PAGE_LEN];
+                page.expanded = [0; PAGE_LEN];
+                page.parented = [0; PAGE_LEN];
+            }
             self.epoch = 1;
         }
         self.touched.clear();
@@ -247,26 +292,83 @@ impl TraversalWorkspace {
         self.epoch = epoch;
     }
 
+    // -- page plumbing -------------------------------------------------------
+
+    /// Read-side page lookup: `None` when the page was never written (its
+    /// vertices are unstamped by definition). Panics if `i` is beyond the
+    /// page table, preserving the dense-array bounds discipline.
+    #[inline]
+    fn page(&self, i: usize) -> Option<(&WorkspacePage, usize)> {
+        self.pages[i >> PAGE_BITS]
+            .as_deref()
+            .map(|page| (page, i & PAGE_MASK))
+    }
+
+    /// Write-side page lookup: allocates the page on first touch.
+    #[inline]
+    fn page_mut(&mut self, i: usize) -> (&mut WorkspacePage, usize) {
+        let page: &mut WorkspacePage =
+            self.pages[i >> PAGE_BITS].get_or_insert_with(WorkspacePage::new_boxed);
+        (page, i & PAGE_MASK)
+    }
+
+    /// Number of lane pages currently materialised.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.iter().flatten().count()
+    }
+
+    /// Bytes of lane pages currently materialised — the lazily-grown
+    /// fraction of the dense arrays an unpaged workspace would carry.
+    pub fn allocated_lane_bytes(&self) -> usize {
+        self.allocated_pages() * std::mem::size_of::<WorkspacePage>()
+    }
+
+    /// Bytes of lane state a dense (unpaged) workspace would allocate for an
+    /// `n`-vertex graph; the bench compares [`allocated_lane_bytes`] against
+    /// this projection.
+    ///
+    /// [`allocated_lane_bytes`]: TraversalWorkspace::allocated_lane_bytes
+    pub fn dense_lane_bytes(n: usize) -> usize {
+        n.div_ceil(PAGE_LEN) * std::mem::size_of::<WorkspacePage>()
+    }
+
+    /// Total resident scratch bytes: lane pages, the page table itself and
+    /// the grow-only queue buffers.
+    pub fn scratch_bytes(&self) -> usize {
+        self.allocated_lane_bytes()
+            + self.pages.capacity() * std::mem::size_of::<Option<Box<WorkspacePage>>>()
+            + self.touched.capacity() * std::mem::size_of::<VertexId>()
+            + self.queue.capacity() * std::mem::size_of::<(VertexId, u32)>()
+            + self
+                .buckets
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<(f64, VertexId)>())
+                .sum::<usize>()
+            + self.heap.capacity() * std::mem::size_of::<ProbEntry>()
+    }
+
     // -- visited / distance stamps (BFS, DFS) -------------------------------
 
     /// Marks `v` visited at hop distance `d`; returns `false` if `v` was
     /// already visited this epoch.
     #[inline]
     pub fn try_visit(&mut self, v: VertexId, d: u32) -> bool {
-        let i = v.index();
-        if self.reached[i] == self.epoch {
+        let epoch = self.epoch;
+        let (page, s) = self.page_mut(v.index());
+        if page.reached[s] == epoch {
             return false;
         }
-        self.reached[i] = self.epoch;
-        self.dist[i] = d;
+        page.reached[s] = epoch;
+        page.dist[s] = d;
         true
     }
 
     /// Hop distance recorded for `v` this epoch, if it was visited.
     #[inline]
     pub fn dist(&self, v: VertexId) -> Option<u32> {
-        let i = v.index();
-        (self.reached[i] == self.epoch).then(|| self.dist[i])
+        let (page, s) = self.page(v.index())?;
+        (page.reached[s] == self.epoch).then(|| page.dist[s])
     }
 
     // -- best-probability stamps (max-product Dijkstra) ---------------------
@@ -275,11 +377,9 @@ impl TraversalWorkspace {
     /// untouched, matching a dense `vec![0.0; n]`).
     #[inline]
     pub fn prob(&self, v: VertexId) -> f64 {
-        let i = v.index();
-        if self.reached[i] == self.epoch {
-            self.prob[i]
-        } else {
-            0.0
+        match self.page(v.index()) {
+            Some((page, s)) if page.reached[s] == self.epoch => page.prob[s],
+            _ => 0.0,
         }
     }
 
@@ -289,12 +389,16 @@ impl TraversalWorkspace {
     /// [`touched`]: TraversalWorkspace::touched
     #[inline]
     pub fn set_prob(&mut self, v: VertexId, p: f64) {
-        let i = v.index();
-        if self.reached[i] != self.epoch {
-            self.reached[i] = self.epoch;
+        let epoch = self.epoch;
+        let (page, s) = self.page_mut(v.index());
+        let first_touch = page.reached[s] != epoch;
+        if first_touch {
+            page.reached[s] = epoch;
+        }
+        page.prob[s] = p;
+        if first_touch {
             self.touched.push(v);
         }
-        self.prob[i] = p;
     }
 
     /// Vertices whose probability was set this epoch, in first-touch order.
@@ -310,12 +414,13 @@ impl TraversalWorkspace {
     /// bucket is admitted so the traversal stays exact.
     #[inline]
     pub fn try_expand(&mut self, v: VertexId, p: f64) -> bool {
-        let i = v.index();
-        if self.expanded[i] == self.epoch && p <= self.expanded_at[i] {
+        let epoch = self.epoch;
+        let (page, s) = self.page_mut(v.index());
+        if page.expanded[s] == epoch && p <= page.expanded_at[s] {
             return false;
         }
-        self.expanded[i] = self.epoch;
-        self.expanded_at[i] = p;
+        page.expanded[s] = epoch;
+        page.expanded_at[s] = p;
         self.expansions += 1;
         true
     }
@@ -332,16 +437,17 @@ impl TraversalWorkspace {
     /// Records `u` as the predecessor of `v` on the current best path.
     #[inline]
     pub fn set_parent(&mut self, v: VertexId, u: VertexId) {
-        let i = v.index();
-        self.parented[i] = self.epoch;
-        self.parent[i] = u;
+        let epoch = self.epoch;
+        let (page, s) = self.page_mut(v.index());
+        page.parented[s] = epoch;
+        page.parent[s] = u;
     }
 
     /// Predecessor of `v` recorded this epoch, if any.
     #[inline]
     pub fn parent(&self, v: VertexId) -> Option<VertexId> {
-        let i = v.index();
-        (self.parented[i] == self.epoch).then(|| self.parent[i])
+        let (page, s) = self.page(v.index())?;
+        (page.parented[s] == self.epoch).then(|| page.parent[s])
     }
 
     // -- shared queue buffer (FIFO for BFS, LIFO for DFS) -------------------
@@ -558,5 +664,56 @@ mod tests {
         ws.begin(10);
         assert_eq!(ws.dist(VertexId(1)), None);
         assert!(ws.try_visit(VertexId(9), 1));
+    }
+
+    #[test]
+    fn pages_allocate_lazily_on_write_only() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(100 * PAGE_LEN);
+        assert_eq!(ws.allocated_pages(), 0, "begin must not allocate pages");
+        // reads of absent pages report unstamped state without allocating
+        assert_eq!(ws.dist(VertexId(5_000)), None);
+        assert_eq!(ws.prob(VertexId(5_000)), 0.0);
+        assert_eq!(ws.parent(VertexId(5_000)), None);
+        assert_eq!(ws.allocated_pages(), 0);
+        // writes in two distinct pages materialise exactly those pages
+        ws.try_visit(VertexId(3), 1);
+        ws.set_prob(VertexId(17 * PAGE_LEN as u32 + 4), 0.5);
+        assert_eq!(ws.allocated_pages(), 2);
+        assert_eq!(
+            ws.allocated_lane_bytes(),
+            2 * PAGE_LEN * LANE_BYTES_PER_VERTEX
+        );
+        assert!(
+            ws.allocated_lane_bytes() * 4 < TraversalWorkspace::dense_lane_bytes(100 * PAGE_LEN)
+        );
+    }
+
+    #[test]
+    fn pages_survive_epoch_bump_without_reallocation() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(4 * PAGE_LEN);
+        ws.try_visit(VertexId(10), 1);
+        ws.try_expand(VertexId(10), 0.5);
+        assert_eq!(ws.allocated_pages(), 1);
+        ws.begin(4 * PAGE_LEN);
+        // same page is reused: state invalid, allocation count unchanged
+        assert_eq!(ws.allocated_pages(), 1);
+        assert_eq!(ws.dist(VertexId(10)), None);
+        assert!(ws.try_expand(VertexId(10), 0.5));
+    }
+
+    #[test]
+    fn wraparound_resets_only_allocated_pages_and_keeps_absent_ones_lazy() {
+        let mut ws = TraversalWorkspace::new();
+        ws.begin(8 * PAGE_LEN);
+        ws.try_visit(VertexId(0), 0);
+        ws.force_epoch(u32::MAX);
+        ws.begin(8 * PAGE_LEN);
+        assert_eq!(ws.epoch(), 1);
+        assert_eq!(ws.allocated_pages(), 1);
+        assert_eq!(ws.dist(VertexId(0)), None);
+        assert_eq!(ws.dist(VertexId(7 * PAGE_LEN as u32)), None);
+        assert_eq!(ws.allocated_pages(), 1, "reads after wraparound stay lazy");
     }
 }
