@@ -1104,6 +1104,27 @@ fn answer_fingerprint(answer: &icde_core::topl::TopLAnswer) -> u64 {
     digest
 }
 
+/// [`answer_fingerprint`] minus the reported center. Two centers inside one
+/// community can tie bit-exactly on score (the Top-L dedup keys on the vertex
+/// set for exactly this reason); which one gets credited depends on index
+/// traversal order, hence tree shape. Gates that compare a patched tree (old
+/// shape) against a freshly sorted rebuild must compare at the level where
+/// equality is guaranteed: score, reach and vertex set.
+fn centerless_fingerprint(answer: &icde_core::topl::TopLAnswer) -> u64 {
+    let mut digest = 0xcbf29ce484222325u64;
+    let mut fold = |x: u64| {
+        digest = (digest ^ x).wrapping_mul(0x100000001B3);
+    };
+    for c in &answer.communities {
+        fold(c.influential_score.to_bits());
+        fold(c.influenced_size as u64);
+        for &v in c.vertices.as_slice() {
+            fold(v.index() as u64);
+        }
+    }
+    digest
+}
+
 /// Runs the online-engine workloads and renders the `BENCH_6.json` document:
 /// the eager reference formulation of Algorithm 3 (refine-on-leaf-pop) vs
 /// the progressive bound-driven kernel (deferred refinement off one
@@ -2480,12 +2501,62 @@ pub fn bench9_snapshot_json(scale: usize, shards: usize) -> String {
     query_ns.sort_unstable();
     let qpct = |p: f64| query_ns[((query_ns.len() - 1) as f64 * p).round() as usize] as f64 / 1e6;
 
+    // --- leg 3 gate: patched maintenance is bit-identical to rebuilds -----
+    // Before timing anything, replay the same update-stream shape at the
+    // gate scale and assert every interleaved answer (patch path *and* a
+    // forced repack) bit-identical — modulo the tie-dependent center label —
+    // to a from-scratch rebuild at the same logical graph state: the BENCH_8
+    // exactness discipline.
+    let mut update_gate_answers = 0u64;
+    {
+        let gate_g = bench9_graph(gate_scale);
+        let gate_index = IndexBuilder::new(bench9_config(shards)).build(&gate_g);
+        let gate_stream = bench8_update_stream(&gate_g, BENCH9_UPDATES);
+        let mut gate_maintainer = StreamingMaintainer::new(gate_g.clone(), gate_index)
+            .with_repack_threshold(f64::INFINITY);
+        let gate_batches: Vec<&[EdgeUpdate]> = gate_stream.chunks(8).collect();
+        for (i, batch) in gate_batches.iter().enumerate() {
+            if i == gate_batches.len() / 2 {
+                // exercise the repack path mid-stream too
+                gate_maintainer.force_repack_next();
+            }
+            gate_maintainer.apply_batch(batch);
+            let scratch = bench8_rebuild_from_scratch(gate_maintainer.graph());
+            let scratch_index = IndexBuilder::new(bench9_config(shards)).build(&scratch);
+            let live = TopLProcessor::new(gate_maintainer.graph(), gate_maintainer.index());
+            let fresh = TopLProcessor::new(&scratch, &scratch_index);
+            for (qi, q) in pool.iter().enumerate() {
+                assert_eq!(
+                    centerless_fingerprint(&live.run(q).expect("gate live run")),
+                    centerless_fingerprint(&fresh.run(q).expect("gate scratch run")),
+                    "patched answer diverged from the from-scratch rebuild \
+                     (batch {i}, pool query {qi})"
+                );
+                update_gate_answers += 1;
+            }
+        }
+        let gs = gate_maintainer.stats();
+        assert!(gs.index_patches >= 1, "gate must exercise the patch path");
+        assert!(gs.repacks >= 1, "gate must exercise the repack path");
+    }
+
     // --- leg 3: streaming updates over the sharded-build index ------------
+    // Every batch ends in a structurally-shared publish through a serving
+    // runtime, so per_update_ms is the full epoch cost a live deployment
+    // pays: overlay apply + support patch + ball recompute + index patch +
+    // snapshot publish.
     let stream = bench8_update_stream(&g, BENCH9_UPDATES);
+    let update_runtime = Arc::new(
+        ServingRuntime::start(ServingConfig::with_workers(1), g.clone(), index.clone())
+            .expect("update-leg serving runtime starts"),
+    );
     let mut maintainer = StreamingMaintainer::new(g.clone(), index);
     let update_start = Instant::now();
     for batch in stream.chunks(8) {
         maintainer.apply_batch(batch);
+        maintainer
+            .publish_to(&update_runtime)
+            .expect("refreshed snapshot publishes");
     }
     let update_secs = update_start.elapsed().as_secs_f64();
     let stream_stats = maintainer.stats();
@@ -2493,6 +2564,17 @@ pub fn bench9_snapshot_json(scale: usize, shards: usize) -> String {
         stream_stats.updates_applied(),
         BENCH9_UPDATES as u64,
         "the generated stream must apply cleanly"
+    );
+    assert_eq!(
+        update_runtime.current().epoch() as usize,
+        1 + stream.chunks(8).len(),
+        "every batch must hot-swap a refreshed snapshot"
+    );
+    drop(
+        Arc::try_unwrap(update_runtime)
+            .ok()
+            .expect("no outstanding update-leg runtime references")
+            .shutdown(),
     );
     let arena_bytes = maintainer.arena().resident_bytes();
     let arena_rows = maintainer.arena().signature_rows_cached();
@@ -2518,7 +2600,11 @@ pub fn bench9_snapshot_json(scale: usize, shards: usize) -> String {
                  gate scale. Legs: the offline build with per-phase wall times, \
                  peak RSS and measured-vs-naive worker scratch; the bench8 query \
                  pool off the resulting index; a short Zipf update stream \
-                 through the streaming maintainer reusing its ball-sized arena."
+                 through the streaming maintainer reusing its ball-sized arena, \
+                 refreshing the index by in-place leaf/ancestor patching (gated \
+                 bit-identical against from-scratch rebuilds, patch and forced \
+                 repack paths both) and publishing each epoch as a structurally \
+                 shared snapshot with per-phase wall times."
                     .to_string(),
             ),
         ),
@@ -2654,12 +2740,54 @@ pub fn bench9_snapshot_json(scale: usize, shards: usize) -> String {
                     Value::UInt(stream_stats.updates_applied()),
                 ),
                 (
+                    "gate_answers_verified".to_string(),
+                    Value::UInt(update_gate_answers),
+                ),
+                (
                     "per_update_ms".to_string(),
                     Value::Float(round3(update_secs * 1e3 / BENCH9_UPDATES as f64)),
                 ),
                 (
                     "vertices_recomputed".to_string(),
                     Value::UInt(stream_stats.vertices_recomputed),
+                ),
+                (
+                    "ball_overlap".to_string(),
+                    Value::UInt(stream_stats.ball_overlap),
+                ),
+                (
+                    "index_patches".to_string(),
+                    Value::UInt(stream_stats.index_patches),
+                ),
+                ("repacks".to_string(), Value::UInt(stream_stats.repacks)),
+                (
+                    "phase_ms_per_update".to_string(),
+                    Value::Object(vec![
+                        (
+                            "support_patch".to_string(),
+                            Value::Float(round3(
+                                stream_stats.support_patch_secs * 1e3 / BENCH9_UPDATES as f64,
+                            )),
+                        ),
+                        (
+                            "ball_recompute".to_string(),
+                            Value::Float(round3(
+                                stream_stats.ball_recompute_secs * 1e3 / BENCH9_UPDATES as f64,
+                            )),
+                        ),
+                        (
+                            "index_patch".to_string(),
+                            Value::Float(round3(
+                                stream_stats.index_patch_secs * 1e3 / BENCH9_UPDATES as f64,
+                            )),
+                        ),
+                        (
+                            "publish".to_string(),
+                            Value::Float(round3(
+                                stream_stats.publish_secs * 1e3 / BENCH9_UPDATES as f64,
+                            )),
+                        ),
+                    ]),
                 ),
                 (
                     "arena_resident_bytes".to_string(),

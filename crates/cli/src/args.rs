@@ -17,9 +17,10 @@ usage:
                      [--theta X] [--l N] [--n N] [--json]
   topl-icde serve    --graph FILE --index FILE [--workers N] [--queries N]
                      [--seed N] [--k N] [--r N] [--theta X] [--l N] [--json]
-                     [--update-rate N] [--compact-threshold X]
+                     [--update-rate N] [--compact-threshold X] [--repack-threshold X]
   topl-icde update   --graph FILE --index FILE --updates FILE [--batch N]
-                     [--compact-threshold X] [--out-graph FILE] [--out-index FILE]
+                     [--compact-threshold X] [--repack-threshold X]
+                     [--out-graph FILE] [--out-index FILE]
                      [--keywords a,b,c [--k N] [--r N] [--theta X] [--l N]] [--json]
   topl-icde snapshot save --graph FILE --out FILE    (binary graph snapshot)
   topl-icde snapshot save --index FILE --out FILE    (binary index snapshot)
@@ -45,7 +46,10 @@ file against a graph + index pair through the same maintenance loop (lines:
 `+ u v p_uv p_vu` inserts, `- u v` removes, `#` comments) in --batch-sized
 batches, optionally writes the refreshed pair back out and answers a query
 on it. --compact-threshold X sets the overlay fraction that triggers folding
-the delta overlay back into the CSR base (default 0.125).";
+the delta overlay back into the CSR base (default 0.125). --repack-threshold X
+sets the dirty-vertex fraction above which a maintenance batch rebuilds the
+re-sorted index tree instead of patching it in place (default 0.25; 0 repacks
+every batch, inf never repacks).";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +177,9 @@ pub enum Command {
         /// Overlay fraction above which the maintainer compacts the delta
         /// overlay back into the CSR base.
         compact_threshold: f64,
+        /// Dirty-vertex fraction above which a maintenance batch repacks
+        /// (re-sorts and rebuilds) the index tree instead of patching it.
+        repack_threshold: f64,
     },
     /// Apply an edge-update stream file against a graph + index pair via the
     /// streaming maintenance loop.
@@ -187,6 +194,9 @@ pub enum Command {
         batch: usize,
         /// Overlay fraction above which a batch triggers compaction.
         compact_threshold: f64,
+        /// Dirty-vertex fraction above which a batch repacks the index tree
+        /// instead of patching it in place (0 = every batch, inf = never).
+        repack_threshold: f64,
         /// Optional output path for the refreshed graph.
         out_graph: Option<String>,
         /// Optional output path for the refreshed index.
@@ -307,6 +317,19 @@ fn parse_compact_threshold(flags: &Flags<'_>) -> Result<f64, String> {
     }
 }
 
+fn parse_repack_threshold(flags: &Flags<'_>) -> Result<f64, String> {
+    let threshold = flags.parse_or(
+        "--repack-threshold",
+        icde_core::streaming::DEFAULT_REPACK_THRESHOLD,
+    )?;
+    // 0 (repack every batch) and inf (never repack) are both meaningful.
+    if threshold >= 0.0 {
+        Ok(threshold)
+    } else {
+        Err("--repack-threshold must be a non-negative number".to_string())
+    }
+}
+
 fn parse_f64_list(value: &str) -> Result<Vec<f64>, String> {
     value
         .split(',')
@@ -389,6 +412,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 json: flags.has("--json"),
                 update_rate,
                 compact_threshold: parse_compact_threshold(&flags)?,
+                repack_threshold: parse_repack_threshold(&flags)?,
             })
         }
         "update" => {
@@ -402,6 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 updates: flags.required("--updates")?.to_string(),
                 batch,
                 compact_threshold: parse_compact_threshold(&flags)?,
+                repack_threshold: parse_repack_threshold(&flags)?,
                 out_graph: flags.get("--out-graph").map(str::to_string),
                 out_index: flags.get("--out-index").map(str::to_string),
                 keywords: match flags.get("--keywords") {
@@ -745,6 +770,7 @@ mod tests {
                 json: false,
                 update_rate: 0.0,
                 compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+                repack_threshold: icde_core::streaming::DEFAULT_REPACK_THRESHOLD,
             }
         );
         let cmd = parse(&argv(&[
@@ -843,6 +869,7 @@ mod tests {
                 updates: "u.txt".to_string(),
                 batch: 64,
                 compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+                repack_threshold: icde_core::streaming::DEFAULT_REPACK_THRESHOLD,
                 out_graph: None,
                 out_index: None,
                 keywords: Vec::new(),
@@ -865,6 +892,8 @@ mod tests {
             "16",
             "--compact-threshold",
             "0.01",
+            "--repack-threshold",
+            "0",
             "--out-graph",
             "g2.snap",
             "--out-index",
@@ -880,6 +909,7 @@ mod tests {
             Command::Update {
                 batch,
                 compact_threshold,
+                repack_threshold,
                 out_graph,
                 out_index,
                 keywords,
@@ -889,6 +919,7 @@ mod tests {
             } => {
                 assert_eq!(batch, 16);
                 assert_eq!(compact_threshold, 0.01);
+                assert_eq!(repack_threshold, 0.0);
                 assert_eq!(out_graph.as_deref(), Some("g2.snap"));
                 assert_eq!(out_index.as_deref(), Some("i2.snap"));
                 assert_eq!(keywords, vec![1, 2]);
@@ -911,6 +942,19 @@ mod tests {
         ]))
         .is_err());
         assert!(parse(&argv(&["update", "--graph", "g", "--index", "i"])).is_err());
+        // negative repack thresholds are rejected (0 and inf are valid)
+        assert!(parse(&argv(&[
+            "update",
+            "--graph",
+            "g",
+            "--index",
+            "i",
+            "--updates",
+            "u",
+            "--repack-threshold",
+            "-1"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use icde_core::precompute::PrecomputeConfig;
 use icde_core::query::TopLQuery;
 use icde_core::seed::SeedCommunity;
 use icde_core::serving::{EpochLatency, LatencyHistogram, ServingConfig, ServingRuntime};
-use icde_core::streaming::{EdgeUpdate, StreamStats, StreamingMaintainer};
+use icde_core::streaming::{EdgeUpdate, MaintainerStats, StreamingMaintainer};
 use icde_core::topl::TopLProcessor;
 use icde_graph::generators::DatasetSpec;
 use icde_graph::snapshot::{
@@ -189,6 +189,7 @@ pub fn run(command: Command) -> Result<(), String> {
             json,
             update_rate,
             compact_threshold,
+            repack_threshold,
         } => {
             let g = load_graph(&graph)?;
             let idx = persist::load_index_auto(&index).map_err(|e| e.to_string())?;
@@ -206,6 +207,7 @@ pub fn run(command: Command) -> Result<(), String> {
                     json,
                     update_rate,
                     compact_threshold,
+                    repack_threshold,
                 },
             )
         }
@@ -215,6 +217,7 @@ pub fn run(command: Command) -> Result<(), String> {
             updates,
             batch,
             compact_threshold,
+            repack_threshold,
             out_graph,
             out_index,
             keywords,
@@ -233,8 +236,9 @@ pub fn run(command: Command) -> Result<(), String> {
                 return Err(format!("{updates} contains no updates"));
             }
 
-            let mut maintainer =
-                StreamingMaintainer::new(g, idx).with_compact_threshold(compact_threshold);
+            let mut maintainer = StreamingMaintainer::new(g, idx)
+                .with_compact_threshold(compact_threshold)
+                .with_repack_threshold(repack_threshold);
             let started = std::time::Instant::now();
             let mut batches = 0u64;
             for chunk in stream.chunks(batch) {
@@ -293,6 +297,34 @@ pub fn run(command: Command) -> Result<(), String> {
                         serde_json::Value::UInt(stats.compactions),
                     ),
                     (
+                        "ball_overlap".to_string(),
+                        serde_json::Value::UInt(stats.ball_overlap),
+                    ),
+                    (
+                        "index_patches".to_string(),
+                        serde_json::Value::UInt(stats.index_patches),
+                    ),
+                    (
+                        "repacks".to_string(),
+                        serde_json::Value::UInt(stats.repacks),
+                    ),
+                    (
+                        "support_patch_secs".to_string(),
+                        serde_json::Value::Float(stats.support_patch_secs),
+                    ),
+                    (
+                        "ball_recompute_secs".to_string(),
+                        serde_json::Value::Float(stats.ball_recompute_secs),
+                    ),
+                    (
+                        "index_patch_secs".to_string(),
+                        serde_json::Value::Float(stats.index_patch_secs),
+                    ),
+                    (
+                        "publish_secs".to_string(),
+                        serde_json::Value::Float(stats.publish_secs),
+                    ),
+                    (
                         "wall_seconds".to_string(),
                         serde_json::Value::Float(wall.as_secs_f64()),
                     ),
@@ -327,12 +359,26 @@ pub fn run(command: Command) -> Result<(), String> {
                     updates_per_sec
                 );
                 println!(
-                    "refreshed {} vertices, {} compaction{}; graph now {} vertices, {} edges",
+                    "refreshed {} vertices ({} ball overlap), {} compaction{}; graph now {} \
+                     vertices, {} edges",
                     stats.vertices_recomputed,
+                    stats.ball_overlap,
                     stats.compactions,
                     if stats.compactions == 1 { "" } else { "s" },
                     maintainer.graph().num_vertices(),
                     maintainer.graph().num_edges()
+                );
+                println!(
+                    "index refreshes: {} patch{}, {} repack{}; phases: support patch {:.1} ms, \
+                     ball recompute {:.1} ms, index patch {:.1} ms, publish {:.1} ms",
+                    stats.index_patches,
+                    if stats.index_patches == 1 { "" } else { "es" },
+                    stats.repacks,
+                    if stats.repacks == 1 { "" } else { "s" },
+                    stats.support_patch_secs * 1e3,
+                    stats.ball_recompute_secs * 1e3,
+                    stats.index_patch_secs * 1e3,
+                    stats.publish_secs * 1e3
                 );
                 if let Some(out) = &out_graph {
                     println!("wrote refreshed graph {out}");
@@ -621,6 +667,7 @@ struct ServeOptions {
     /// thread while the queries run (0 = serving only).
     update_rate: f64,
     compact_threshold: f64,
+    repack_threshold: f64,
 }
 
 /// Generates the next batch of always-valid synthetic edge updates for the
@@ -677,6 +724,7 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
         json,
         update_rate,
         compact_threshold,
+        repack_threshold,
     } = options;
     let keywords = graph_keywords(&g);
     if keywords.is_empty() {
@@ -710,16 +758,17 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
     let started = std::time::Instant::now();
     let stop_updates = AtomicBool::new(false);
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(queries);
-    let mut update_stats = StreamStats::default();
+    let mut update_stats = MaintainerStats::default();
     let mut update_wall_s = 0.0f64;
     std::thread::scope(|scope| -> Result<(), String> {
         let updater = update_pair.map(|(g0, idx0)| {
             let runtime = Arc::clone(&runtime);
             let stop = &stop_updates;
             let mut churn_state = seed ^ 0x7d1e_55ab;
-            scope.spawn(move || -> (StreamStats, f64) {
+            scope.spawn(move || -> (MaintainerStats, f64) {
                 let feed = StreamingMaintainer::new(g0.clone(), idx0)
                     .with_compact_threshold(compact_threshold)
+                    .with_repack_threshold(repack_threshold)
                     .spawn(Arc::clone(&runtime));
                 // ~20 batches/sec pacing against the wall clock
                 let batch_size = ((update_rate / 20.0).round() as usize).max(1);
@@ -847,6 +896,38 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
                 serde_json::Value::UInt(update_stats.compactions),
             ),
             (
+                "index_patches".to_string(),
+                serde_json::Value::UInt(update_stats.index_patches),
+            ),
+            (
+                "repacks".to_string(),
+                serde_json::Value::UInt(update_stats.repacks),
+            ),
+            (
+                "publishes_skipped".to_string(),
+                serde_json::Value::UInt(update_stats.publishes_skipped),
+            ),
+            (
+                "ball_overlap".to_string(),
+                serde_json::Value::UInt(update_stats.ball_overlap),
+            ),
+            (
+                "support_patch_secs".to_string(),
+                serde_json::Value::Float(update_stats.support_patch_secs),
+            ),
+            (
+                "ball_recompute_secs".to_string(),
+                serde_json::Value::Float(update_stats.ball_recompute_secs),
+            ),
+            (
+                "index_patch_secs".to_string(),
+                serde_json::Value::Float(update_stats.index_patch_secs),
+            ),
+            (
+                "publish_secs".to_string(),
+                serde_json::Value::Float(update_stats.publish_secs),
+            ),
+            (
                 "snapshot_swaps".to_string(),
                 serde_json::Value::UInt(stats.swaps),
             ),
@@ -926,6 +1007,29 @@ fn run_serve(g: SocialNetwork, idx: CommunityIndex, options: ServeOptions) -> Re
                 },
                 stats.swaps,
                 if stats.swaps == 1 { "" } else { "s" }
+            );
+            println!(
+                "maintenance: {} index patch{}, {} repack{}, {} publish{} skipped; phases: \
+                 support patch {:.1}ms, ball recompute {:.1}ms, index patch {:.1}ms, \
+                 publish {:.1}ms",
+                update_stats.index_patches,
+                if update_stats.index_patches == 1 {
+                    ""
+                } else {
+                    "es"
+                },
+                update_stats.repacks,
+                if update_stats.repacks == 1 { "" } else { "s" },
+                update_stats.publishes_skipped,
+                if update_stats.publishes_skipped == 1 {
+                    ""
+                } else {
+                    "es"
+                },
+                update_stats.support_patch_secs * 1e3,
+                update_stats.ball_recompute_secs * 1e3,
+                update_stats.index_patch_secs * 1e3,
+                update_stats.publish_secs * 1e3
             );
         }
         println!(
@@ -1156,6 +1260,7 @@ mod tests {
             json: true,
             update_rate: 0.0,
             compact_threshold: icde_graph::graph::DEFAULT_COMPACT_THRESHOLD,
+            repack_threshold: icde_core::streaming::DEFAULT_REPACK_THRESHOLD,
         })
         .unwrap();
         // with churn: the updater streams edge updates through the
@@ -1173,6 +1278,7 @@ mod tests {
             json: true,
             update_rate: 400.0,
             compact_threshold: 0.02,
+            repack_threshold: 0.5,
         })
         .unwrap();
         let _ = std::fs::remove_file(graph_path);
@@ -1237,6 +1343,7 @@ mod tests {
             updates: updates_path.clone(),
             batch: 2,
             compact_threshold: 0.001, // tiny: force a compaction
+            repack_threshold: icde_core::streaming::DEFAULT_REPACK_THRESHOLD,
             out_graph: Some(out_graph.clone()),
             out_index: Some(out_index.clone()),
             keywords: vec![0, 1, 2],
@@ -1287,6 +1394,7 @@ mod tests {
             updates: updates_path.clone(),
             batch: 64,
             compact_threshold: 1000.0, // huge: no batch-triggered compaction
+            repack_threshold: 0.0,     // every batch repacks: exercise the rebuild path
             out_graph: Some(out_graph.clone()),
             out_index: Some(out_index.clone()),
             keywords: Vec::new(),
@@ -1316,6 +1424,7 @@ mod tests {
             updates: updates_path.clone(),
             batch: 64,
             compact_threshold: 0.125,
+            repack_threshold: f64::INFINITY, // never repack: pure patch path
             out_graph: None,
             out_index: None,
             keywords: Vec::new(),

@@ -21,7 +21,7 @@
 //! the four arrays verbatim.
 
 use crate::precompute::RadiusAggregate;
-use icde_graph::snapshot::FlatVec;
+use icde_graph::snapshot::{FlatVec, SectionShadow};
 use icde_graph::{BitVector, SignatureRef};
 use serde::{Deserialize, Serialize};
 
@@ -353,6 +353,54 @@ impl AggregateTable {
         )
     }
 
+    /// Splits the table into disjoint mutable chunks covering the given
+    /// ascending, non-overlapping `[start, end)` entity ranges (gaps between
+    /// ranges are simply not handed out). This is the parallel maintenance
+    /// analogue of [`AggregateTable::chunks_mut`]: the streaming refresh
+    /// partitions its *sorted* affected-vertex list into per-worker spans and
+    /// the borrow checker proves the concurrent scatter writes disjoint.
+    ///
+    /// # Panics
+    /// Panics if the ranges are out of order, overlapping or out of bounds.
+    pub fn ranges_mut(&mut self, ranges: &[(usize, usize)]) -> Vec<TableChunkMut<'_>> {
+        let r_max = self.r_max as usize;
+        let words = self.signature_bits.div_ceil(64);
+        let m = self.num_thresholds;
+        let mut sig = self.signatures.to_mut().as_mut_slice();
+        let mut sup = self.supports.to_mut().as_mut_slice();
+        let mut sco = self.scores.to_mut().as_mut_slice();
+        let mut reg = self.region_sizes.to_mut().as_mut_slice();
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut consumed = 0usize;
+        for &(start, end) in ranges {
+            assert!(
+                start >= consumed && end >= start && end <= self.entities,
+                "entity ranges must be ascending, disjoint and in bounds"
+            );
+            let gap = (start - consumed) * r_max;
+            let take = (end - start) * r_max;
+            fn split_rows<'s, T>(slice: &mut &'s mut [T], gap: usize, take: usize) -> &'s mut [T] {
+                let rest = std::mem::take(slice);
+                let (_, rest) = rest.split_at_mut(gap);
+                let (chunk, rest) = rest.split_at_mut(take);
+                *slice = rest;
+                chunk
+            }
+            out.push(TableChunkMut {
+                first_entity: start,
+                r_max,
+                words,
+                num_thresholds: m,
+                signatures: split_rows(&mut sig, gap * words, take * words),
+                supports: split_rows(&mut sup, gap, take),
+                scores: split_rows(&mut sco, gap * m, take * m),
+                region_sizes: split_rows(&mut reg, gap, take),
+            });
+            consumed = end;
+        }
+        out
+    }
+
     /// A single-entity mutable chunk view (the incremental-maintenance
     /// writer; the bulk path uses [`AggregateTable::chunks_mut`]).
     ///
@@ -509,6 +557,75 @@ impl TableChunkMut<'_> {
             score_upper_bounds: &mut self.scores
                 [row * self.num_thresholds..(row + 1) * self.num_thresholds],
             region_size: &mut self.region_sizes[row],
+        }
+    }
+}
+
+/// Publish shadow for one [`AggregateTable`] whose rows are mutated entity
+/// by entity between snapshot publishes (the streaming maintainer's vertex
+/// and node tables): one [`SectionShadow`] per column array, all marked with
+/// the same dirty-entity set. See [`SectionShadow`] for the double-buffer
+/// replay protocol.
+#[derive(Debug)]
+pub(crate) struct TableShadow {
+    signatures: SectionShadow<u64>,
+    supports: SectionShadow<u32>,
+    scores: SectionShadow<f64>,
+    region_sizes: SectionShadow<u32>,
+}
+
+impl TableShadow {
+    /// A shadow matching `table`'s row geometry (one logical row = one
+    /// entity = all its `r_max` radius rows).
+    pub(crate) fn new(table: &AggregateTable) -> Self {
+        let r_max = table.r_max as usize;
+        let words = table.signature_bits.div_ceil(64);
+        let m = table.num_thresholds;
+        TableShadow {
+            signatures: SectionShadow::new((r_max * words).max(1)),
+            supports: SectionShadow::new(r_max.max(1)),
+            scores: SectionShadow::new((r_max * m).max(1)),
+            region_sizes: SectionShadow::new(r_max.max(1)),
+        }
+    }
+
+    /// Records the entities whose rows were rewritten since the last publish.
+    pub(crate) fn mark_entities(&mut self, entities: &[u32]) {
+        self.signatures.mark_rows(entities);
+        self.supports.mark_rows(entities);
+        self.scores.mark_rows(entities);
+        self.region_sizes.mark_rows(entities);
+    }
+
+    /// Invalidates both buffers (wholesale rewrite, e.g. a repack).
+    pub(crate) fn mark_all(&mut self) {
+        self.signatures.mark_all();
+        self.supports.mark_all();
+        self.scores.mark_all();
+        self.region_sizes.mark_all();
+    }
+
+    /// Syncs both double-buffer slots with `table` so the first publishes
+    /// after construction replay dirty rows instead of full-copying.
+    pub(crate) fn prime(&mut self, table: &AggregateTable) {
+        self.signatures.prime(table.raw_signatures());
+        self.supports.prime(table.raw_supports());
+        self.scores.prime(table.raw_scores());
+        self.region_sizes.prime(table.raw_region_sizes());
+    }
+
+    /// Builds a structurally-shared snapshot copy of `table`: untouched rows
+    /// alias the shadow buffers, dirty rows are replayed from `table`.
+    pub(crate) fn publish(&mut self, table: &AggregateTable) -> AggregateTable {
+        AggregateTable {
+            entities: table.entities,
+            r_max: table.r_max,
+            signature_bits: table.signature_bits,
+            num_thresholds: table.num_thresholds,
+            signatures: self.signatures.publish(table.raw_signatures()),
+            supports: self.supports.publish(table.raw_supports()),
+            scores: self.scores.publish(table.raw_scores()),
+            region_sizes: self.region_sizes.publish(table.raw_region_sizes()),
         }
     }
 }

@@ -29,8 +29,8 @@
 //! Traversal borrows node views through [`NodeRef`] / [`AggregateRef`]; the
 //! binary snapshot writer (`crate::snapshot`) dumps the arrays verbatim.
 
-use crate::aggregate::{AggregateRef, AggregateTable};
-use crate::precompute::{PrecomputeConfig, PrecomputedData, RadiusAggregate};
+use crate::aggregate::{AggregateRef, AggregateTable, TableShadow};
+use crate::precompute::{PrecomputeConfig, PrecomputeShadow, PrecomputedData, RadiusAggregate};
 use icde_graph::snapshot::{fnv1a, fnv1a_extend, FlatVec};
 use icde_graph::{vertex_ids_from_raw, SocialNetwork, VertexId};
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,42 @@ impl NodeAggregate {
         for (mine, theirs) in self.per_radius.iter_mut().zip(&other.per_radius) {
             mine.merge_max(theirs);
         }
+    }
+}
+
+/// Maintainer-side scratch for [`CommunityIndex::patch_vertices`]: the
+/// vertex→leaf and child→parent maps plus the dirty-propagation workspace.
+///
+/// Both maps are fully derivable from the frozen tree arrays in O(n), so they
+/// are **never serialised** — a maintainer derives them once per tree shape
+/// ([`CommunityIndex::derive_placement`]) and re-derives after a repack
+/// changes vertex→leaf placement. The dirty bitset and level queues are
+/// allocated once and reused across batches, so a steady-state patch performs
+/// no O(n) work.
+#[derive(Debug, Clone)]
+pub struct IndexPlacement {
+    /// `vertex_leaf[v]` — id of the leaf holding vertex `v`.
+    vertex_leaf: Vec<u32>,
+    /// `parent[i]` — parent node id of node `i` (`u32::MAX` for the root).
+    parent: Vec<u32>,
+    /// Dirty-node bitset over node ids; always all-zero between patches.
+    dirty: Vec<u64>,
+    level: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl IndexPlacement {
+    /// The leaf node currently holding vertex `v`.
+    #[inline]
+    pub fn leaf_of(&self, v: VertexId) -> usize {
+        self.vertex_leaf[v.index()] as usize
+    }
+
+    /// Returns `true` if this placement was derived from a tree with the
+    /// given vertex and node counts (the cheap staleness check).
+    pub fn matches(&self, index: &CommunityIndex) -> bool {
+        self.vertex_leaf.len() == index.num_graph_vertices()
+            && self.parent.len() == index.node_count()
     }
 }
 
@@ -231,6 +267,119 @@ impl CommunityIndex {
         out
     }
 
+    /// Derives the [`IndexPlacement`] maps from the frozen tree arrays in
+    /// one O(n + node_count) pass. Call once per tree shape (after build or
+    /// repack); [`CommunityIndex::patch_vertices`] keeps the placement valid
+    /// because it never moves items between nodes.
+    pub fn derive_placement(&self) -> IndexPlacement {
+        let nodes = self.node_count();
+        let mut vertex_leaf = vec![u32::MAX; self.num_graph_vertices];
+        let mut parent = vec![u32::MAX; nodes];
+        for id in 0..nodes {
+            match self.node(id) {
+                NodeRef::Leaf { vertices } => {
+                    for &v in vertices {
+                        vertex_leaf[v.index()] = id as u32;
+                    }
+                }
+                NodeRef::Internal { children } => {
+                    for &c in children {
+                        parent[c as usize] = id as u32;
+                    }
+                }
+            }
+        }
+        IndexPlacement {
+            vertex_leaf,
+            parent,
+            dirty: vec![0u64; nodes.div_ceil(64)],
+            level: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Re-merges the aggregated bounds of exactly the leaves holding
+    /// `vertices` and their ancestor paths to the root, leaving the tree
+    /// shape (and therefore `placement`) untouched. Ids of every recomputed
+    /// node are appended to `patched_nodes` (for publish dirty tracking).
+    ///
+    /// Cost is O(|dirty leaves| · leaf_capacity + |dirty ancestors| · fanout)
+    /// row merges — proportional to the update footprint, not to `n`. The
+    /// patched bounds are *identical* to what a full re-merge of the same
+    /// tree would produce (max/OR folds are order-independent), so answers
+    /// match a from-scratch rebuild wherever answers are shape-independent.
+    ///
+    /// # Panics
+    /// Panics if `placement` was derived from a different tree shape.
+    pub fn patch_vertices(
+        &mut self,
+        vertices: &[VertexId],
+        placement: &mut IndexPlacement,
+        patched_nodes: &mut Vec<u32>,
+    ) {
+        assert!(
+            placement.matches(self),
+            "index placement is stale: derive_placement after build/repack"
+        );
+        let before = patched_nodes.len();
+        placement.level.clear();
+        for &v in vertices {
+            let leaf = placement.vertex_leaf[v.index()];
+            let (w, b) = (leaf as usize / 64, leaf as usize % 64);
+            if placement.dirty[w] >> b & 1 == 0 {
+                placement.dirty[w] |= 1 << b;
+                placement.level.push(leaf);
+            }
+        }
+        let r_max = self.precomputed.config.r_max as usize;
+        while !placement.level.is_empty() {
+            placement.next.clear();
+            for &id in &placement.level {
+                let id = id as usize;
+                let start = self.item_start[id] as usize;
+                let end = self.item_start[id + 1] as usize;
+                let mut agg = NodeAggregate::empty(&self.precomputed.config);
+                if self.is_leaf(id) {
+                    for &v in vertex_ids_from_raw(&self.item_pool[start..end]) {
+                        agg.merge_vertex(&self.precomputed, v);
+                    }
+                } else {
+                    for i in start..end {
+                        let child = self.item_pool[i] as usize;
+                        for r0 in 0..r_max {
+                            agg.per_radius[r0]
+                                .merge_max_ref(self.node_aggregates.row(child, (r0 + 1) as u32));
+                        }
+                    }
+                }
+                self.node_aggregates.set_entity(id, &agg.per_radius);
+                patched_nodes.push(id as u32);
+                let p = placement.parent[id];
+                if p != u32::MAX {
+                    let (w, b) = (p as usize / 64, p as usize % 64);
+                    if placement.dirty[w] >> b & 1 == 0 {
+                        placement.dirty[w] |= 1 << b;
+                        placement.next.push(p);
+                    }
+                }
+            }
+            std::mem::swap(&mut placement.level, &mut placement.next);
+        }
+        // restore the all-zero invariant without an O(nodes) sweep
+        for &id in &patched_nodes[before..] {
+            placement.dirty[id as usize / 64] &= !(1u64 << (id as usize % 64));
+        }
+    }
+
+    /// Converts the owned tree arrays to `Arc`-shared storage in place (the
+    /// streaming maintainer never mutates them between repacks, so snapshot
+    /// publishes can share them for free).
+    pub fn share_tree_sections(&mut self) {
+        self.item_start.share();
+        self.item_pool.share();
+        self.leaf_mask.share();
+    }
+
     /// An FNV-1a fingerprint of the complete index content (configuration,
     /// per-vertex table, edge supports, tree arrays, node table). Equal
     /// fingerprints mean byte-identical flat arrays — the bit-identity check
@@ -384,6 +533,79 @@ impl CommunityIndex {
             }
         }
         Ok(())
+    }
+}
+
+/// Publish shadow over a whole [`CommunityIndex`]: the per-vertex data
+/// shadow plus one for the node-aggregate table. The tree arrays are never
+/// mutated between repacks, so publishing clones them directly (an `Arc`
+/// bump once [`CommunityIndex::share_tree_sections`] has run). The published
+/// index is replayed row-for-row from an already-validated working index, so
+/// no O(n) re-validation runs per publish.
+#[derive(Debug)]
+pub(crate) struct IndexShadow {
+    data: PrecomputeShadow,
+    nodes: TableShadow,
+}
+
+impl IndexShadow {
+    pub(crate) fn new(index: &CommunityIndex) -> Self {
+        IndexShadow {
+            data: PrecomputeShadow::new(&index.precomputed),
+            nodes: TableShadow::new(&index.node_aggregates),
+        }
+    }
+
+    /// Marks vertices whose per-vertex rows (table + seed bounds) changed.
+    pub(crate) fn mark_vertices(&mut self, vertices: &[u32]) {
+        self.data.mark_vertices(vertices);
+    }
+
+    /// Marks edge ids whose support slots changed.
+    pub(crate) fn mark_edges(&mut self, edges: &[u32]) {
+        self.data.mark_edges(edges);
+    }
+
+    /// Invalidates the support shadow after an edge-id renumbering.
+    pub(crate) fn mark_all_edges(&mut self) {
+        self.data.mark_all_edges();
+    }
+
+    /// Marks index nodes whose aggregate rows were patched.
+    pub(crate) fn mark_nodes(&mut self, nodes: &[u32]) {
+        self.nodes.mark_entities(nodes);
+    }
+
+    /// Invalidates everything (a repack rebuilt the tree wholesale).
+    pub(crate) fn mark_all(&mut self) {
+        self.data.mark_all();
+        self.nodes.mark_all();
+    }
+
+    /// Syncs both double-buffer slots with `index` so the first publishes
+    /// after construction replay dirty rows instead of full-copying — the
+    /// one-time O(n) sync runs at maintainer construction, not on the
+    /// steady-state batch path.
+    pub(crate) fn prime(&mut self, index: &CommunityIndex) {
+        self.data.prime(&index.precomputed);
+        self.nodes.prime(&index.node_aggregates);
+    }
+
+    /// Builds a structurally-shared snapshot copy of `index`: untouched rows
+    /// alias the shadow buffers, dirty rows are replayed, tree arrays are
+    /// shared.
+    pub(crate) fn publish(&mut self, index: &CommunityIndex) -> CommunityIndex {
+        CommunityIndex {
+            precomputed: self.data.publish(&index.precomputed),
+            item_start: index.item_start.clone(),
+            item_pool: index.item_pool.clone(),
+            leaf_mask: index.leaf_mask.clone(),
+            node_aggregates: self.nodes.publish(&index.node_aggregates),
+            root: index.root,
+            num_graph_vertices: index.num_graph_vertices,
+            fanout: index.fanout,
+            leaf_capacity: index.leaf_capacity,
+        }
     }
 }
 

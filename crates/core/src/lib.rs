@@ -51,7 +51,7 @@ pub mod topl;
 pub use aggregate::{AggregateRef, AggregateTable};
 pub use dtopl::{DTopLAnswer, DTopLProcessor, DTopLQuery, DTopLStrategy};
 pub use error::CoreError;
-pub use index::{CommunityIndex, IndexBuilder, NodeRef};
+pub use index::{CommunityIndex, IndexBuilder, IndexPlacement, NodeRef};
 pub use precompute::{EngineStats, MaintenanceArena, PrecomputeConfig, PrecomputedData, ShardPlan};
 pub use query::TopLQuery;
 pub use seed::SeedCommunity;
@@ -60,5 +60,5 @@ pub use serving::{
     ServingSnapshot, ServingStats,
 };
 pub use stats::PruningStats;
-pub use streaming::{EdgeUpdate, StreamStats, StreamingMaintainer, UpdateFeed};
+pub use streaming::{EdgeUpdate, MaintainerStats, StreamStats, StreamingMaintainer, UpdateFeed};
 pub use topl::{TopLAnswer, TopLProcessor};

@@ -15,7 +15,7 @@
 //! for the vast majority of vertices.
 
 use crate::index::{CommunityIndex, IndexBuilder};
-use crate::precompute::{PrecomputeConfig, PrecomputedData};
+use crate::precompute::{MaintenanceArena, PrecomputeConfig, PrecomputedData};
 use icde_graph::traversal::hop_subgraph_with;
 use icde_graph::workspace::with_thread_workspace;
 use icde_graph::{SocialNetwork, VertexId};
@@ -78,16 +78,65 @@ pub fn affected_vertices(
     r_max: u32,
     influence_slack: u32,
 ) -> HashSet<VertexId> {
-    let radius = r_max + influence_slack;
-    let mut affected: HashSet<VertexId> = HashSet::new();
+    let mut buf = Vec::new();
+    affected_vertices_into(g, u, v, r_max, influence_slack, &mut buf);
+    buf.into_iter().collect()
+}
+
+/// [`affected_vertices`] with a caller-owned output buffer: the two endpoint
+/// balls are **appended** to `out` (which is *not* cleared and *not*
+/// deduplicated — the two balls usually overlap heavily, and batch callers
+/// sort-dedup once per batch, counting the overlap as a maintenance
+/// statistic). The traversal runs through the thread workspace, so the
+/// steady-state path performs no allocation beyond `out`'s growth.
+pub fn affected_vertices_into(
+    g: &SocialNetwork,
+    u: VertexId,
+    v: VertexId,
+    r_max: u32,
+    influence_slack: u32,
+    out: &mut Vec<VertexId>,
+) {
     with_thread_workspace(|ws| {
-        for endpoint in [u, v] {
-            for w in hop_subgraph_with(ws, g, endpoint, radius).iter() {
-                affected.insert(w);
-            }
-        }
+        endpoint_balls_into(ws, g, u, v, r_max + influence_slack, out);
     });
-    affected
+}
+
+/// [`affected_vertices_into`] through a caller-owned [`MaintenanceArena`]:
+/// the ball discovery reuses the arena's already-resident traversal pages
+/// (the same ones the recompute re-stamps per call), so the streaming
+/// maintainer touches no thread-local state and allocates nothing per
+/// update.
+pub fn affected_vertices_with(
+    arena: &mut MaintenanceArena,
+    g: &SocialNetwork,
+    u: VertexId,
+    v: VertexId,
+    r_max: u32,
+    influence_slack: u32,
+    out: &mut Vec<VertexId>,
+) {
+    endpoint_balls_into(
+        arena.traversal_workspace(),
+        g,
+        u,
+        v,
+        r_max + influence_slack,
+        out,
+    );
+}
+
+fn endpoint_balls_into(
+    ws: &mut icde_graph::workspace::TraversalWorkspace,
+    g: &SocialNetwork,
+    u: VertexId,
+    v: VertexId,
+    radius: u32,
+    out: &mut Vec<VertexId>,
+) {
+    for endpoint in [u, v] {
+        out.extend(hop_subgraph_with(ws, g, endpoint, radius).iter());
+    }
 }
 
 /// Patches `data` after the edge `{u, v}` has been inserted into `g`

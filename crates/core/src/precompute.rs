@@ -68,9 +68,9 @@
 //! and the region bound, which is what lets it refine tens of candidates
 //! instead of tens of thousands.
 
-use crate::aggregate::{AggregateRef, AggregateTable, TableChunkMut};
+use crate::aggregate::{AggregateRef, AggregateTable, TableChunkMut, TableShadow};
 use crate::seed::extract_unconstrained_seed_community_with;
-use icde_graph::snapshot::FlatVec;
+use icde_graph::snapshot::{FlatVec, SectionShadow};
 use icde_graph::traversal::bfs_within_into;
 use icde_graph::workspace::TraversalWorkspace;
 use icde_graph::{
@@ -888,6 +888,86 @@ impl PrecomputedData {
         self.recompute_vertices_into(g, vertices, &mut arena.scratch);
     }
 
+    /// [`recompute_vertices_with`](PrecomputedData::recompute_vertices_with)
+    /// fanned out over `std::thread::scope` workers, one per arena: the
+    /// **sorted, deduplicated** affected set is partitioned into contiguous
+    /// spans, each worker scatters its span's rows into a disjoint
+    /// [`AggregateTable::ranges_mut`] chunk (plus the matching seed-bound
+    /// slice), so the refresh is lock-free and the borrow checker proves the
+    /// writes disjoint — exactly the offline engine's scatter discipline.
+    /// Arenas stay warm across batches per worker. With zero or one arena
+    /// (or a batch smaller than the worker count) this degrades to the
+    /// sequential single-arena path.
+    ///
+    /// # Panics
+    /// Panics (debug) if `vertices` is not sorted and deduplicated.
+    pub fn recompute_vertices_parallel(
+        &mut self,
+        g: &SocialNetwork,
+        vertices: &[VertexId],
+        arenas: &mut [MaintenanceArena],
+    ) {
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "affected set must be sorted and deduplicated"
+        );
+        if vertices.is_empty() {
+            return;
+        }
+        if arenas.len() <= 1 || vertices.len() < arenas.len() {
+            match arenas.first_mut() {
+                Some(arena) => self.recompute_vertices_with(g, vertices, arena),
+                None => self.recompute_vertices(g, vertices),
+            }
+            return;
+        }
+        let per = vertices.len().div_ceil(arenas.len());
+        let parts: Vec<&[VertexId]> = vertices.chunks(per).collect();
+        let ranges: Vec<(usize, usize)> = parts
+            .iter()
+            .map(|p| (p[0].index(), p[p.len() - 1].index() + 1))
+            .collect();
+        let ctx = EngineCtx {
+            g,
+            config: &self.config,
+            edge_supports: &self.edge_supports,
+            signatures: SigSource::WorkerLocal {
+                bits: self.config.signature_bits,
+            },
+        };
+        let stride = self.config.r_max as usize * self.config.thresholds.len();
+        let chunks = self.table.ranges_mut(&ranges);
+        let mut seed_rest = self.seed_bounds.to_mut().as_mut_slice();
+        let mut seed_slices: Vec<&mut [f64]> = Vec::with_capacity(ranges.len());
+        let mut consumed = 0usize;
+        for &(start, end) in &ranges {
+            let rest = std::mem::take(&mut seed_rest);
+            let (_, rest) = rest.split_at_mut((start - consumed) * stride);
+            let (chunk, rest) = rest.split_at_mut((end - start) * stride);
+            seed_slices.push(chunk);
+            seed_rest = rest;
+            consumed = end;
+        }
+        let ctx = &ctx;
+        std::thread::scope(|scope| {
+            for ((part, mut chunk), (seed_slice, arena)) in parts
+                .into_iter()
+                .zip(chunks)
+                .zip(seed_slices.into_iter().zip(arenas.iter_mut()))
+            {
+                scope.spawn(move || {
+                    let base = chunk.first_entity();
+                    for &v in part {
+                        let local = v.index() - base;
+                        precompute_vertex_into(ctx, v, &mut arena.scratch, &mut chunk, local);
+                        let row = &mut seed_slice[local * stride..(local + 1) * stride];
+                        seed_bounds_vertex_into(ctx.g, ctx.config, &mut arena.scratch, v, row);
+                    }
+                });
+            }
+        });
+    }
+
     fn recompute_vertices_into(
         &mut self,
         g: &SocialNetwork,
@@ -971,6 +1051,57 @@ impl PrecomputedData {
         });
         if let Some(slot) = supports.get_mut(e.index()) {
             *slot = 0;
+        }
+    }
+
+    /// [`Self::patch_supports_after_insertion`], additionally appending the
+    /// id of every support slot it wrote (the new edge plus the two adjacent
+    /// edges of each closed triangle) to `touched`, so callers that publish
+    /// supports with structural sharing know exactly which rows went stale.
+    pub fn patch_supports_after_insertion_logged(
+        &mut self,
+        g: &SocialNetwork,
+        u: VertexId,
+        v: VertexId,
+        e: EdgeId,
+        touched: &mut Vec<u32>,
+    ) {
+        let supports = self.edge_supports.to_mut();
+        if supports.len() < g.edge_id_space() {
+            supports.resize(g.edge_id_space(), 0);
+        }
+        let mut sup = 0u32;
+        g.for_each_common_neighbor(u, v, |_w, e_uw, e_vw| {
+            sup += 1;
+            supports[e_uw.index()] += 1;
+            supports[e_vw.index()] += 1;
+            touched.push(e_uw.index() as u32);
+            touched.push(e_vw.index() as u32);
+        });
+        supports[e.index()] = sup;
+        touched.push(e.index() as u32);
+    }
+
+    /// [`Self::patch_supports_after_removal`], additionally appending every
+    /// touched support slot (including the zeroed tombstone) to `touched`.
+    pub fn patch_supports_after_removal_logged(
+        &mut self,
+        g: &SocialNetwork,
+        u: VertexId,
+        v: VertexId,
+        e: EdgeId,
+        touched: &mut Vec<u32>,
+    ) {
+        let supports = self.edge_supports.to_mut();
+        g.for_each_common_neighbor(u, v, |_w, e_uw, e_vw| {
+            supports[e_uw.index()] -= 1;
+            supports[e_vw.index()] -= 1;
+            touched.push(e_uw.index() as u32);
+            touched.push(e_vw.index() as u32);
+        });
+        if let Some(slot) = supports.get_mut(e.index()) {
+            *slot = 0;
+            touched.push(e.index() as u32);
         }
     }
 
@@ -1110,6 +1241,78 @@ impl MaintenanceArena {
     /// per batch.
     pub fn resident_bytes(&self) -> usize {
         self.scratch.resident_bytes()
+    }
+
+    /// The arena's BFS traversal workspace. The recompute engine re-stamps
+    /// its epochs on every call, so callers may freely run their own bounded
+    /// traversals (e.g. affected-ball discovery) through the same resident
+    /// pages between recomputes.
+    pub fn traversal_workspace(&mut self) -> &mut TraversalWorkspace {
+        &mut self.scratch.ws_bfs
+    }
+}
+
+/// Publish shadow over one [`PrecomputedData`]: the vertex aggregate table
+/// and seed bounds are marked per dirty *vertex*, the edge supports per
+/// dirty *edge id* (with a wholesale invalidation when compaction renumbers
+/// the id space). See [`SectionShadow`] for the replay protocol.
+#[derive(Debug)]
+pub(crate) struct PrecomputeShadow {
+    table: TableShadow,
+    seed_bounds: SectionShadow<f64>,
+    edge_supports: SectionShadow<u32>,
+}
+
+impl PrecomputeShadow {
+    pub(crate) fn new(data: &PrecomputedData) -> Self {
+        let stride = data.config.r_max as usize * data.config.thresholds.len();
+        PrecomputeShadow {
+            table: TableShadow::new(&data.table),
+            seed_bounds: SectionShadow::new(stride.max(1)),
+            edge_supports: SectionShadow::new(1),
+        }
+    }
+
+    /// Marks vertices whose table rows and seed bounds were recomputed.
+    pub(crate) fn mark_vertices(&mut self, vertices: &[u32]) {
+        self.table.mark_entities(vertices);
+        self.seed_bounds.mark_rows(vertices);
+    }
+
+    /// Marks edge ids whose support slots were patched.
+    pub(crate) fn mark_edges(&mut self, edges: &[u32]) {
+        self.edge_supports.mark_rows(edges);
+    }
+
+    /// Invalidates the support shadow (the edge-id space was renumbered by
+    /// compaction).
+    pub(crate) fn mark_all_edges(&mut self) {
+        self.edge_supports.mark_all();
+    }
+
+    /// Invalidates everything (full recompute / repack of the data).
+    pub(crate) fn mark_all(&mut self) {
+        self.table.mark_all();
+        self.seed_bounds.mark_all();
+        self.edge_supports.mark_all();
+    }
+
+    /// Syncs both double-buffer slots with `data` so the first publishes
+    /// after construction replay dirty rows instead of full-copying.
+    pub(crate) fn prime(&mut self, data: &PrecomputedData) {
+        self.table.prime(&data.table);
+        self.seed_bounds.prime(&data.seed_bounds);
+        self.edge_supports.prime(&data.edge_supports);
+    }
+
+    /// Builds a structurally-shared snapshot copy of `data`.
+    pub(crate) fn publish(&mut self, data: &PrecomputedData) -> PrecomputedData {
+        PrecomputedData {
+            config: data.config.clone(),
+            table: self.table.publish(&data.table),
+            edge_supports: self.edge_supports.publish(&data.edge_supports),
+            seed_bounds: self.seed_bounds.publish(&data.seed_bounds),
+        }
     }
 }
 

@@ -107,13 +107,22 @@ pub struct ServingSnapshot {
 
 impl ServingSnapshot {
     fn new(graph: SocialNetwork, index: CommunityIndex, epoch: u64) -> CoreResult<Self> {
+        let fingerprint = index.content_fingerprint();
+        Self::with_fingerprint(graph, index, epoch, fingerprint)
+    }
+
+    fn with_fingerprint(
+        graph: SocialNetwork,
+        index: CommunityIndex,
+        epoch: u64,
+        fingerprint: u64,
+    ) -> CoreResult<Self> {
         if graph.num_vertices() != index.num_graph_vertices() {
             return Err(CoreError::IndexGraphMismatch {
                 graph_vertices: graph.num_vertices(),
                 index_vertices: index.num_graph_vertices(),
             });
         }
-        let fingerprint = index.content_fingerprint();
         Ok(ServingSnapshot {
             graph,
             index,
@@ -673,6 +682,30 @@ impl ServingRuntime {
     ) -> CoreResult<Arc<ServingSnapshot>> {
         let epoch = self.shared.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snapshot = Arc::new(ServingSnapshot::new(graph, index, epoch)?);
+        *self.shared.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(snapshot)
+    }
+
+    /// [`publish`](Self::publish) with a caller-supplied content tag instead
+    /// of the O(n + m) [`CommunityIndex::content_fingerprint`] hash. The
+    /// streaming maintainer evolves its tag incrementally per applied
+    /// update, so each publish stays proportional to the update footprint;
+    /// cache keying only needs the tag to *change* whenever the content
+    /// does, which the maintainer guarantees.
+    pub fn publish_with_fingerprint(
+        &self,
+        graph: SocialNetwork,
+        index: CommunityIndex,
+        fingerprint: u64,
+    ) -> CoreResult<Arc<ServingSnapshot>> {
+        let epoch = self.shared.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Arc::new(ServingSnapshot::with_fingerprint(
+            graph,
+            index,
+            epoch,
+            fingerprint,
+        )?);
         *self.shared.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
         Ok(snapshot)

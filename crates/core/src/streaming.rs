@@ -9,34 +9,64 @@
 //!    overlay patch** ([`SocialNetwork::apply_edge_inserted`] /
 //!    [`SocialNetwork::apply_edge_removed`]) — no CSR rebuild,
 //! 2. patches the edge-indexed truss supports incrementally (only the
-//!    triangles the edge opens or closes change),
+//!    triangles the edge opens or closes change), logging every touched
+//!    support slot,
 //! 3. recomputes the per-vertex aggregates of the **affected balls only**
-//!    ([`PrecomputedData::recompute_vertices`] over
-//!    `hop(u, r_max + slack) ∪ hop(v, r_max + slack)` per update),
+//!    (`hop(u, r_max + slack) ∪ hop(v, r_max + slack)` per update) — fanned
+//!    out over a pool of warm [`MaintenanceArena`]s via
+//!    [`PrecomputedData::recompute_vertices_parallel`] once the deduplicated
+//!    ball grows past [`PARALLEL_BATCH_MIN`],
 //! 4. compacts the overlay back into a fresh CSR once it exceeds the
 //!    configured fraction of the base edge count, applying the returned
 //!    edge-id remap to the supports, and
-//! 5. re-aggregates the index tree over the patched data.
+//! 5. **patches** the index tree in place ([`CommunityIndex::patch_vertices`]):
+//!    only the leaves holding recomputed vertices and their ancestor paths
+//!    are re-merged, so the index refresh costs
+//!    O(|ball| · leaf_capacity · depth) instead of the O(n log n) sort +
+//!    full re-merge of a rebuild.
+//!
+//! # Patch vs. repack
+//!
+//! Patching keeps every vertex in the leaf the last full build placed it in.
+//! The bounds stay *exact* — a leaf's re-merged aggregate is identical to
+//! what a from-scratch re-merge of the same tree produces — but the tree's
+//! *pruning quality* decays as updates drift vertices away from the
+//! support/score order the builder packed them by. The maintainer therefore
+//! counts recomputed vertices since the last full build and, once they
+//! exceed [`DEFAULT_REPACK_THRESHOLD`] (configurable via
+//! [`StreamingMaintainer::with_repack_threshold`]) as a fraction of `n`,
+//! performs a **repack**: a full re-sorted rebuild that restores the packing
+//! invariant and resets the drift counter.
+//!
+//! # Footprint-proportional publishing
+//!
+//! [`StreamingMaintainer::publish_to`] does not deep-copy the pair. The
+//! graph's base CSR sections and the index's tree arrays are `Arc`-shared
+//! (O(1) clone); the mutable flat tables are published through double-
+//! buffered shadows that replay only the rows dirtied since the previous
+//! publish. The snapshot is tagged with an incrementally-evolved state tag
+//! instead of re-hashing the whole index, and a publish with nothing to
+//! say (no applied updates, no compaction) is skipped entirely.
 //!
 //! [`StreamingMaintainer::spawn`] moves the maintainer onto a dedicated
 //! maintenance thread that drains batches from a channel and hot-swaps each
-//! refreshed snapshot into a [`ServingRuntime`] via
-//! [`ServingRuntime::publish`], so queries keep draining on the previous
-//! snapshot while the next one is prepared. The refreshed index is *exact*:
-//! observationally identical to one rebuilt from scratch at the same logical
-//! graph state.
+//! refreshed snapshot into a [`ServingRuntime`], so queries keep draining on
+//! the previous snapshot while the next one is prepared. The refreshed index
+//! is *exact*: observationally identical to one rebuilt from scratch at the
+//! same logical graph state.
 
 use crate::error::CoreResult;
-use crate::index::{CommunityIndex, IndexBuilder};
-use crate::maintenance::{affected_vertices, influence_slack_bound};
+use crate::index::{CommunityIndex, IndexBuilder, IndexPlacement, IndexShadow};
+use crate::maintenance::{affected_vertices_with, influence_slack_bound};
 use crate::precompute::MaintenanceArena;
 use crate::serving::{ServingRuntime, ServingSnapshot};
 use icde_graph::graph::DEFAULT_COMPACT_THRESHOLD;
+use icde_graph::snapshot::fnv1a_extend;
 use icde_graph::{SocialNetwork, VertexId, Weight};
-use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// One edge update in a D-TopL stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,9 +92,10 @@ pub enum EdgeUpdate {
     },
 }
 
-/// Counters accumulated by a [`StreamingMaintainer`] over its lifetime.
+/// Counters and per-phase wall-clock accumulated by a
+/// [`StreamingMaintainer`] over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct StreamStats {
+pub struct MaintainerStats {
     /// Batches applied.
     pub batches: u64,
     /// Edge insertions applied.
@@ -73,24 +104,58 @@ pub struct StreamStats {
     pub removes_applied: u64,
     /// Updates skipped (duplicate inserts, removals of missing edges, …).
     pub updates_skipped: u64,
-    /// Vertices whose aggregates were recomputed.
+    /// Vertices whose aggregates were recomputed (after deduplication).
     pub vertices_recomputed: u64,
+    /// Ball-cover overlap: vertices discovered more than once within a
+    /// batch's endpoint balls (raw visits minus deduplicated set size). A
+    /// high ratio against `vertices_recomputed` means the batch's updates
+    /// land in overlapping neighbourhoods and batching is paying off.
+    pub ball_overlap: u64,
     /// Overlay compactions folded back into the CSR base.
     pub compactions: u64,
+    /// Index refreshes served by the in-place patch path.
+    pub index_patches: u64,
+    /// Index refreshes served by a full re-sorted rebuild (repack).
+    pub repacks: u64,
+    /// Publishes skipped because nothing changed since the last one.
+    pub publishes_skipped: u64,
+    /// Seconds spent applying overlay edits and patching edge supports.
+    pub support_patch_secs: f64,
+    /// Seconds spent discovering affected balls and recomputing their
+    /// per-vertex aggregates and seed bounds.
+    pub ball_recompute_secs: f64,
+    /// Seconds spent refreshing the index tree (patch or repack).
+    pub index_patch_secs: f64,
+    /// Seconds spent building structurally-shared snapshots for publishing.
+    pub publish_secs: f64,
 }
 
-impl StreamStats {
+impl MaintainerStats {
     /// Total updates applied (inserts + removes).
     pub fn updates_applied(&self) -> u64 {
         self.inserts_applied + self.removes_applied
     }
 }
 
+/// The pre-PR-10 name of [`MaintainerStats`].
+pub type StreamStats = MaintainerStats;
+
 /// Default bound on a spawned maintenance thread's pending-batch queue:
 /// [`UpdateFeed::push`] blocks once this many batches are queued, so a
 /// producer that outruns the maintainer is backpressured instead of growing
 /// the queue without limit.
 pub const DEFAULT_UPDATE_QUEUE_CAP: usize = 64;
+
+/// Deduplicated affected-ball size at which a batch refresh fans out over
+/// the arena pool (when the precompute config grants more than one worker).
+/// Below this the sequential single-arena path is both faster (no spawn
+/// overhead) and exactly reproducible arena-for-arena.
+pub const PARALLEL_BATCH_MIN: usize = 64;
+
+/// Default fraction of `n` that recomputed vertices may accumulate to since
+/// the last full build before the next refresh repacks the tree (see the
+/// module docs on patch vs. repack).
+pub const DEFAULT_REPACK_THRESHOLD: f64 = 0.25;
 
 /// Largest directed activation probability over the live edges (O(m) scan).
 fn scan_p_max(graph: &SocialNetwork) -> f64 {
@@ -107,36 +172,82 @@ fn scan_p_max(graph: &SocialNetwork) -> f64 {
 /// stream of edge updates (see the module docs for the per-batch pipeline).
 pub struct StreamingMaintainer {
     graph: SocialNetwork,
-    /// Always `Some` between batches; taken during a batch because
-    /// [`IndexBuilder::build_from_precomputed`] consumes the data.
+    /// Always `Some` between batches; taken during a batch because a repack
+    /// ([`IndexBuilder::build_from_precomputed`]) consumes the data.
     index: Option<CommunityIndex>,
     compact_threshold: f64,
+    repack_threshold: f64,
     /// Monotone upper bound on the largest directed edge weight of the
     /// working graph, maintained incrementally so small batches avoid an
     /// O(m) rescan: folded up on inserts, refreshed exactly on compaction.
     /// Removals may leave it stale-high, which only widens the refresh
     /// radius — still correct, just conservative.
     p_max: f64,
-    /// Ball-cover-sized recompute scratch reused across batches: the paged
-    /// workspaces and the sparse signature arena stay allocated (and the
-    /// signature rows stay warm — keywords never change under edge updates)
-    /// instead of being rebuilt per refresh.
-    arena: MaintenanceArena,
-    stats: StreamStats,
+    /// Pool of ball-cover-sized recompute scratches reused across batches
+    /// (paged workspaces + sparse signature rows stay warm — keywords never
+    /// change under edge updates). Small batches use only `arenas[0]`; large
+    /// batches partition the affected set across the whole pool, one scoped
+    /// worker thread per arena.
+    arenas: Vec<MaintenanceArena>,
+    /// Vertex → leaf placement of the current tree, kept stable by the patch
+    /// path and re-derived on repack.
+    placement: IndexPlacement,
+    /// Double-buffered publish shadow: tracks which rows changed since each
+    /// buffer's last publish so [`Self::publish_to`] copies only those.
+    shadow: IndexShadow,
+    /// Incrementally-evolved content tag for published snapshots (replaces
+    /// the O(n + m) `content_fingerprint` re-hash per epoch).
+    state_tag: u64,
+    /// Whether anything changed since the last publish.
+    dirty_since_publish: bool,
+    /// Recomputed vertices accumulated since the last full build; drives the
+    /// repack decision against `repack_threshold · n`.
+    dirty_since_repack: u64,
+    /// One-shot override: the next refresh repacks regardless of drift.
+    force_repack: bool,
+    stats: MaintainerStats,
+    // Reusable per-batch buffers (allocation-free steady state).
+    affected: Vec<VertexId>,
+    touched_edges: Vec<u32>,
+    patched_nodes: Vec<u32>,
+    dirty_vertices: Vec<u32>,
 }
 
 impl StreamingMaintainer {
     /// Wraps a graph and the index built over it. The pair is typically the
     /// same one published to a [`ServingRuntime`] as its initial snapshot.
-    pub fn new(graph: SocialNetwork, index: CommunityIndex) -> Self {
+    /// Converts both to `Arc`-shared section storage so every subsequent
+    /// publish clones the untouched bulk in O(1).
+    pub fn new(mut graph: SocialNetwork, mut index: CommunityIndex) -> Self {
         let p_max = scan_p_max(&graph);
+        graph.share_sections();
+        index.share_tree_sections();
+        let placement = index.derive_placement();
+        let mut shadow = IndexShadow::new(&index);
+        // pay the two full-buffer syncs once here, so even the first two
+        // publishes only replay dirty rows instead of copying O(n) arrays
+        shadow.prime(&index);
+        // the one full hash: every later publish evolves this tag
+        // incrementally instead of re-hashing O(n + m) content
+        let state_tag = index.content_fingerprint();
         StreamingMaintainer {
             graph,
             index: Some(index),
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            repack_threshold: DEFAULT_REPACK_THRESHOLD,
             p_max,
-            arena: MaintenanceArena::new(),
-            stats: StreamStats::default(),
+            arenas: vec![MaintenanceArena::new()],
+            placement,
+            shadow,
+            state_tag,
+            dirty_since_publish: true,
+            dirty_since_repack: 0,
+            force_repack: false,
+            stats: MaintainerStats::default(),
+            affected: Vec::new(),
+            touched_edges: Vec::new(),
+            patched_nodes: Vec::new(),
+            dirty_vertices: Vec::new(),
         }
     }
 
@@ -144,6 +255,15 @@ impl StreamingMaintainer {
     /// (default [`DEFAULT_COMPACT_THRESHOLD`]).
     pub fn with_compact_threshold(mut self, threshold: f64) -> Self {
         self.compact_threshold = threshold;
+        self
+    }
+
+    /// Sets the fraction of `n` that recomputed vertices may accumulate to
+    /// before a refresh repacks the tree instead of patching it (default
+    /// [`DEFAULT_REPACK_THRESHOLD`]). `0.0` repacks on every batch (the
+    /// pre-PR-10 behaviour); `f64::INFINITY` never repacks.
+    pub fn with_repack_threshold(mut self, threshold: f64) -> Self {
+        self.repack_threshold = threshold;
         self
     }
 
@@ -159,15 +279,22 @@ impl StreamingMaintainer {
             .expect("maintainer always holds an index")
     }
 
+    /// The vertex → leaf placement of the current tree (stable under the
+    /// patch path, re-derived on repack).
+    pub fn placement(&self) -> &IndexPlacement {
+        &self.placement
+    }
+
     /// The lifetime counters.
-    pub fn stats(&self) -> StreamStats {
+    pub fn stats(&self) -> MaintainerStats {
         self.stats
     }
 
-    /// The recompute scratch arena reused across batches (telemetry:
-    /// resident bytes and warm signature rows).
+    /// The primary recompute scratch arena reused across batches (telemetry:
+    /// resident bytes and warm signature rows). Large batches spread across
+    /// an internal pool; this is the arena small batches run on.
     pub fn arena(&self) -> &MaintenanceArena {
-        &self.arena
+        &self.arenas[0]
     }
 
     /// Applies one batch of updates and refreshes the index; returns the
@@ -175,16 +302,14 @@ impl StreamingMaintainer {
     /// (duplicate insert, removal of a missing edge, unknown vertex, …) are
     /// skipped and counted, so a noisy stream cannot wedge the maintainer.
     pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> usize {
-        let index = self.index.take().expect("maintainer always holds an index");
-        let fanout = index.fanout();
-        let leaf_capacity = index.leaf_capacity();
-        let mut data = index.precomputed;
-        let r_max = data.config.r_max;
+        let mut index = self.index.take().expect("maintainer always holds an index");
+        let r_max = index.precomputed.config.r_max;
 
         // The refresh radius bound must hold on every intermediate graph of
         // the batch, so fold the weights of pending insertions into the
         // running p_max bound before any of them is applied.
-        let theta_min = data
+        let theta_min = index
+            .precomputed
             .config
             .thresholds
             .iter()
@@ -197,14 +322,35 @@ impl StreamingMaintainer {
         }
         let slack = influence_slack_bound(theta_min, self.p_max).unwrap_or(u32::MAX / 2);
 
-        let mut affected: HashSet<VertexId> = HashSet::new();
+        self.affected.clear();
+        self.touched_edges.clear();
+        let applied_before = self.stats.updates_applied();
         for &update in updates {
             match update {
                 EdgeUpdate::Insert { u, v, p_uv, p_vu } => {
+                    let t = Instant::now();
                     match self.graph.apply_edge_inserted(u, v, p_uv, p_vu) {
                         Ok(e) => {
-                            data.patch_supports_after_insertion(&self.graph, u, v, e);
-                            affected.extend(affected_vertices(&self.graph, u, v, r_max, slack));
+                            index.precomputed.patch_supports_after_insertion_logged(
+                                &self.graph,
+                                u,
+                                v,
+                                e,
+                                &mut self.touched_edges,
+                            );
+                            self.stats.support_patch_secs += t.elapsed().as_secs_f64();
+                            let t = Instant::now();
+                            affected_vertices_with(
+                                &mut self.arenas[0],
+                                &self.graph,
+                                u,
+                                v,
+                                r_max,
+                                slack,
+                                &mut self.affected,
+                            );
+                            self.stats.ball_recompute_secs += t.elapsed().as_secs_f64();
+                            self.state_tag = tag_insert(self.state_tag, u, v, p_uv, p_vu);
                             self.stats.inserts_applied += 1;
                         }
                         Err(_) => self.stats.updates_skipped += 1,
@@ -214,75 +360,208 @@ impl StreamingMaintainer {
                     // measure the ball while the edge still exists: it may be
                     // a bridge, and the post-deletion ball would then no
                     // longer reach the far side
-                    let ball = affected_vertices(&self.graph, u, v, r_max, slack);
+                    let t = Instant::now();
+                    let mark = self.affected.len();
+                    affected_vertices_with(
+                        &mut self.arenas[0],
+                        &self.graph,
+                        u,
+                        v,
+                        r_max,
+                        slack,
+                        &mut self.affected,
+                    );
+                    self.stats.ball_recompute_secs += t.elapsed().as_secs_f64();
+                    let t = Instant::now();
                     match self.graph.apply_edge_removed(u, v) {
                         Ok(e) => {
-                            data.patch_supports_after_removal(&self.graph, u, v, e);
-                            affected.extend(ball);
+                            index.precomputed.patch_supports_after_removal_logged(
+                                &self.graph,
+                                u,
+                                v,
+                                e,
+                                &mut self.touched_edges,
+                            );
+                            self.stats.support_patch_secs += t.elapsed().as_secs_f64();
+                            self.state_tag = tag_remove(self.state_tag, u, v);
                             self.stats.removes_applied += 1;
                         }
-                        Err(_) => self.stats.updates_skipped += 1,
+                        Err(_) => {
+                            // discard the speculative ball of a skipped update
+                            self.affected.truncate(mark);
+                            self.stats.updates_skipped += 1;
+                        }
                     }
                 }
             }
         }
+        let applied = self.stats.updates_applied() > applied_before;
 
+        let mut compacted = false;
         if let Some(remap) = self.graph.maybe_compact(self.compact_threshold) {
-            data.apply_edge_id_remap(&remap);
+            index.precomputed.apply_edge_id_remap(&remap);
             self.p_max = scan_p_max(&self.graph);
+            // compaction rebuilt the CSR base: re-share the fresh sections
+            // and invalidate the support shadow (the edge-id space moved)
+            self.graph.share_sections();
+            self.shadow.mark_all_edges();
+            self.state_tag = fnv1a_extend(self.state_tag, b"compact");
             self.stats.compactions += 1;
+            compacted = true;
         }
 
-        let mut batch: Vec<VertexId> = affected.into_iter().collect();
-        batch.sort_unstable();
+        // Nothing applied and nothing compacted: the pair is untouched, so
+        // skip the recompute, the index refresh and the publish dirtying
+        // entirely — a batch of duplicates costs only its validation.
+        if !applied && !compacted {
+            self.stats.batches += 1;
+            self.index = Some(index);
+            return 0;
+        }
+
+        let t = Instant::now();
+        let raw_visits = self.affected.len();
+        self.affected.sort_unstable();
+        self.affected.dedup();
+        self.stats.ball_overlap += (raw_visits - self.affected.len()) as u64;
         // keywords are immutable under edge updates (and compaction remaps
-        // edge ids, not vertices), so the arena's cached signature rows stay
+        // edge ids, not vertices), so the arenas' cached signature rows stay
         // valid across the maintainer's whole lifetime
-        data.recompute_vertices_with(&self.graph, &batch, &mut self.arena);
-        self.stats.vertices_recomputed += batch.len() as u64;
+        let workers = index
+            .precomputed
+            .config
+            .worker_count(self.graph.num_vertices());
+        if self.affected.len() >= PARALLEL_BATCH_MIN && workers > 1 {
+            while self.arenas.len() < workers {
+                self.arenas.push(MaintenanceArena::new());
+            }
+            index.precomputed.recompute_vertices_parallel(
+                &self.graph,
+                &self.affected,
+                &mut self.arenas[..workers],
+            );
+        } else {
+            index.precomputed.recompute_vertices_with(
+                &self.graph,
+                &self.affected,
+                &mut self.arenas[0],
+            );
+        }
+        self.stats.ball_recompute_secs += t.elapsed().as_secs_f64();
+        self.stats.vertices_recomputed += self.affected.len() as u64;
         self.stats.batches += 1;
 
-        let rebuilt = IndexBuilder::new(data.config.clone())
+        let t = Instant::now();
+        self.patched_nodes.clear();
+        self.dirty_since_repack += self.affected.len() as u64;
+        let repack_due = self.force_repack
+            || self.dirty_since_repack as f64
+                >= self.repack_threshold * self.graph.num_vertices() as f64;
+        if repack_due {
+            index = self.repack(index);
+        } else {
+            index.patch_vertices(&self.affected, &mut self.placement, &mut self.patched_nodes);
+            self.stats.index_patches += 1;
+            // publish dirty tracking: recomputed vertex rows, touched
+            // support slots (stale pre-compaction ids are clamped away by
+            // the shadow when a compaction invalidated them above), and the
+            // re-merged tree nodes
+            self.dirty_vertices.clear();
+            self.dirty_vertices
+                .extend(self.affected.iter().map(|v| v.0));
+            self.shadow.mark_vertices(&self.dirty_vertices);
+            self.shadow.mark_edges(&self.touched_edges);
+            self.shadow.mark_nodes(&self.patched_nodes);
+        }
+        self.stats.index_patch_secs += t.elapsed().as_secs_f64();
+
+        self.dirty_since_publish = true;
+        self.index = Some(index);
+        self.affected.len()
+    }
+
+    /// Full re-sorted rebuild over the current precomputed data: restores
+    /// the builder's support/score packing order, re-derives the placement
+    /// and invalidates the whole publish shadow.
+    fn repack(&mut self, index: CommunityIndex) -> CommunityIndex {
+        let fanout = index.fanout();
+        let leaf_capacity = index.leaf_capacity();
+        let data = index.precomputed;
+        let mut rebuilt = IndexBuilder::new(data.config.clone())
             .with_fanout(fanout)
             .with_leaf_capacity(leaf_capacity)
             .build_from_precomputed(&self.graph, data);
-        self.index = Some(rebuilt);
-        batch.len()
+        rebuilt.share_tree_sections();
+        self.placement = rebuilt.derive_placement();
+        self.shadow.mark_all();
+        self.state_tag = fnv1a_extend(self.state_tag, b"repack");
+        self.stats.repacks += 1;
+        self.dirty_since_repack = 0;
+        self.force_repack = false;
+        rebuilt
     }
 
-    /// Folds any pending overlay back into the CSR base, applies the
-    /// resulting edge-id remap to the precomputed supports, and rebuilds the
-    /// index over the compacted graph. Snapshot writers serialize the *live*
-    /// edge table — implicitly renumbering edge ids past tombstone holes —
-    /// so anything persisting the maintainer's graph + index pair must call
-    /// this first, or the saved supports would stay keyed by the stale
-    /// pre-compaction id space and silently misalign after a reload. Returns
-    /// `true` when a compaction actually ran (no-op on an empty overlay).
+    /// Forces a repack on the next refresh regardless of accumulated drift
+    /// (one-shot; overrides even an infinite [`Self::with_repack_threshold`]).
+    pub fn force_repack_next(&mut self) {
+        self.force_repack = true;
+    }
+
+    /// Folds any pending overlay back into the CSR base and applies the
+    /// resulting edge-id remap to the precomputed supports. Snapshot writers
+    /// serialize the *live* edge table — implicitly renumbering edge ids
+    /// past tombstone holes — so anything persisting the maintainer's
+    /// graph + index pair must call this first, or the saved supports would
+    /// stay keyed by the stale pre-compaction id space and silently
+    /// misalign after a reload.
+    ///
+    /// Compaction renumbers edge ids only: no per-vertex aggregate, seed
+    /// bound or tree node changes, so (unlike the pre-PR-10 path) the index
+    /// is *not* rebuilt — a rebuild over the identical data would produce
+    /// the identical tree. Returns `true` when a compaction actually ran
+    /// (no-op on an empty overlay).
     pub fn compact_now(&mut self) -> bool {
         if !self.graph.has_overlay() {
             return false;
         }
-        let index = self.index.take().expect("maintainer always holds an index");
-        let fanout = index.fanout();
-        let leaf_capacity = index.leaf_capacity();
-        let mut data = index.precomputed;
         let remap = self.graph.compact();
-        data.apply_edge_id_remap(&remap);
+        self.index
+            .as_mut()
+            .expect("maintainer always holds an index")
+            .precomputed
+            .apply_edge_id_remap(&remap);
         self.p_max = scan_p_max(&self.graph);
+        self.graph.share_sections();
+        self.shadow.mark_all_edges();
+        self.state_tag = fnv1a_extend(self.state_tag, b"compact");
         self.stats.compactions += 1;
-        let rebuilt = IndexBuilder::new(data.config.clone())
-            .with_fanout(fanout)
-            .with_leaf_capacity(leaf_capacity)
-            .build_from_precomputed(&self.graph, data);
-        self.index = Some(rebuilt);
+        self.dirty_since_publish = true;
         true
     }
 
     /// Publishes the current working pair to a serving runtime as a fresh
-    /// snapshot (graph and index are cloned; the maintainer keeps mutating
-    /// its own copy).
-    pub fn publish_to(&self, runtime: &ServingRuntime) -> CoreResult<Arc<ServingSnapshot>> {
-        runtime.publish(self.graph.clone(), self.index().clone())
+    /// snapshot. The clone is structurally shared: base CSR sections, tree
+    /// arrays and every table row untouched since the previous publish are
+    /// `Arc`-aliased, only dirty rows are copied, and the snapshot carries
+    /// the incrementally-evolved state tag instead of a fresh O(n + m)
+    /// content hash. When nothing changed since the last publish, the
+    /// runtime's current snapshot is returned as-is (no epoch bump).
+    pub fn publish_to(&mut self, runtime: &ServingRuntime) -> CoreResult<Arc<ServingSnapshot>> {
+        if !self.dirty_since_publish {
+            self.stats.publishes_skipped += 1;
+            return Ok(runtime.current());
+        }
+        let t = Instant::now();
+        let index = self
+            .index
+            .as_ref()
+            .expect("maintainer always holds an index");
+        let shared_index = self.shadow.publish(index);
+        let snapshot =
+            runtime.publish_with_fingerprint(self.graph.clone(), shared_index, self.state_tag)?;
+        self.dirty_since_publish = false;
+        self.stats.publish_secs += t.elapsed().as_secs_f64();
+        Ok(snapshot)
     }
 
     /// Moves the maintainer onto a dedicated maintenance thread that applies
@@ -318,6 +597,22 @@ impl StreamingMaintainer {
             handle: Some(handle),
         }
     }
+}
+
+/// Folds one applied insertion into the running state tag.
+fn tag_insert(tag: u64, u: VertexId, v: VertexId, p_uv: f64, p_vu: f64) -> u64 {
+    let mut t = fnv1a_extend(tag, &[1u8]);
+    t = fnv1a_extend(t, &u.0.to_le_bytes());
+    t = fnv1a_extend(t, &v.0.to_le_bytes());
+    t = fnv1a_extend(t, &p_uv.to_bits().to_le_bytes());
+    fnv1a_extend(t, &p_vu.to_bits().to_le_bytes())
+}
+
+/// Folds one applied removal into the running state tag.
+fn tag_remove(tag: u64, u: VertexId, v: VertexId) -> u64 {
+    let mut t = fnv1a_extend(tag, &[2u8]);
+    t = fnv1a_extend(t, &u.0.to_le_bytes());
+    fnv1a_extend(t, &v.0.to_le_bytes())
 }
 
 /// Handle to a spawned maintenance thread (see [`StreamingMaintainer::spawn`]).
@@ -465,6 +760,147 @@ mod tests {
             stats.compactions >= 1,
             "low threshold must trigger compaction"
         );
+    }
+
+    /// The patch path (repack disabled) must stay exact too: answers after
+    /// in-place leaf/ancestor re-merges match a from-scratch rebuild at
+    /// every intermediate state, and the phase breakdown actually ticks.
+    #[test]
+    fn patched_index_stays_exact_without_repacks() {
+        let (g, index) = setup(150, 36);
+        let mut maintainer = StreamingMaintainer::new(g.clone(), index)
+            .with_compact_threshold(f64::INFINITY)
+            .with_repack_threshold(f64::INFINITY);
+
+        let removals: Vec<EdgeUpdate> = g
+            .edges()
+            .filter(|(e, _, _)| e.index() % 9 == 0)
+            .take(5)
+            .map(|(_, u, v)| EdgeUpdate::Remove { u, v })
+            .collect();
+        let reinserts: Vec<EdgeUpdate> = removals
+            .iter()
+            .map(|r| match *r {
+                EdgeUpdate::Remove { u, v } => EdgeUpdate::Insert {
+                    u,
+                    v,
+                    p_uv: 0.3,
+                    p_vu: 0.25,
+                },
+                _ => unreachable!(),
+            })
+            .collect();
+
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        for batch in [removals, reinserts] {
+            maintainer.apply_batch(&batch);
+            let scratch = rebuild_from_scratch(maintainer.graph());
+            let scratch_index = IndexBuilder::new(PrecomputeConfig {
+                parallel: false,
+                ..Default::default()
+            })
+            .with_leaf_capacity(8)
+            .build(&scratch);
+            let live = TopLProcessor::new(maintainer.graph(), maintainer.index())
+                .run(&query)
+                .unwrap();
+            let reference = TopLProcessor::new(&scratch, &scratch_index)
+                .run(&query)
+                .unwrap();
+            assert_eq!(answer_bits(&live), answer_bits(&reference));
+        }
+        let stats = maintainer.stats();
+        assert_eq!(stats.repacks, 0, "repack disabled: every refresh patches");
+        assert_eq!(stats.index_patches, 2);
+        assert!(stats.vertices_recomputed > 0);
+        assert!(stats.support_patch_secs >= 0.0);
+        assert!(stats.ball_recompute_secs > 0.0);
+        assert!(stats.index_patch_secs > 0.0);
+    }
+
+    /// A batch where every update is invalid leaves the pair untouched, so
+    /// the refresh and the next publish are skipped outright.
+    #[test]
+    fn no_op_batch_skips_refresh_and_publish() {
+        let (g, index) = setup(80, 37);
+        let runtime = Arc::new(
+            ServingRuntime::start(ServingConfig::with_workers(1), g.clone(), index.clone())
+                .unwrap(),
+        );
+        let mut maintainer = StreamingMaintainer::new(g.clone(), index);
+        let first = maintainer.publish_to(&runtime).unwrap();
+        assert_eq!(first.epoch(), 2);
+
+        let (_, u, v) = g.edges().next().unwrap();
+        let recomputed = maintainer.apply_batch(&[
+            // both invalid: a duplicate insert and a removal of a missing edge
+            EdgeUpdate::Insert {
+                u,
+                v,
+                p_uv: 0.5,
+                p_vu: 0.5,
+            },
+            EdgeUpdate::Remove {
+                u: VertexId(0),
+                v: VertexId(0),
+            },
+        ]);
+        assert_eq!(recomputed, 0);
+        let stats = maintainer.stats();
+        assert_eq!(stats.updates_skipped, 2);
+        assert_eq!(stats.vertices_recomputed, 0);
+        assert_eq!(stats.index_patches + stats.repacks, 0);
+
+        // nothing changed: publish returns the current snapshot, no epoch bump
+        let again = maintainer.publish_to(&runtime).unwrap();
+        assert_eq!(again.epoch(), first.epoch());
+        assert_eq!(maintainer.stats().publishes_skipped, 1);
+        assert_eq!(runtime.current().epoch(), first.epoch());
+    }
+
+    /// Published snapshots structurally share the maintainer's working pair:
+    /// the publish path must still produce answers identical to querying the
+    /// maintainer's own graph + index directly, across patches, repacks and
+    /// compactions.
+    #[test]
+    fn structurally_shared_publish_matches_working_pair() {
+        let (g, index) = setup(150, 38);
+        let runtime = Arc::new(
+            ServingRuntime::start(ServingConfig::with_workers(1), g.clone(), index.clone())
+                .unwrap(),
+        );
+        // repacks only when forced below, so both refresh paths are covered
+        let mut maintainer = StreamingMaintainer::new(g.clone(), index)
+            .with_compact_threshold(0.02)
+            .with_repack_threshold(f64::INFINITY);
+
+        let query = TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5);
+        let mut edges = g.edges();
+        for round in 0..3 {
+            let (_, u, v) = edges.next().unwrap();
+            if round == 2 {
+                maintainer.force_repack_next();
+            }
+            maintainer.apply_batch(&[EdgeUpdate::Remove { u, v }]);
+            let snapshot = maintainer.publish_to(&runtime).unwrap();
+            let published = TopLProcessor::new(&snapshot.graph, &snapshot.index)
+                .run(&query)
+                .unwrap();
+            let direct = TopLProcessor::new(maintainer.graph(), maintainer.index())
+                .run(&query)
+                .unwrap();
+            assert_eq!(answer_bits(&published), answer_bits(&direct));
+        }
+        let stats = maintainer.stats();
+        assert!(stats.repacks >= 1, "forced repack must run");
+        assert!(stats.index_patches >= 1, "earlier rounds patch");
+
+        // distinct content must carry distinct snapshot tags (cache keying)
+        let early = runtime.current().fingerprint();
+        let (_, u, v) = edges.next().unwrap();
+        maintainer.apply_batch(&[EdgeUpdate::Remove { u, v }]);
+        let late = maintainer.publish_to(&runtime).unwrap();
+        assert_ne!(late.fingerprint(), early);
     }
 
     /// Persisting a pair with a pending overlay is only safe after

@@ -1,0 +1,231 @@
+//! Equivalence property for the incremental index-patch path (PR 10): drive
+//! a [`StreamingMaintainer`] with random interleaved insert/delete batches —
+//! plus explicit compactions and a forced repack — across a sweep of
+//! `leaf_capacity × fanout` tree shapes, and at every sampled state demand:
+//!
+//! * **Top-L answers bit-identical** (modulo the tie-dependent center label,
+//!   see [`answer_bits`]) to a freshly built index over a from-scratch
+//!   rebuild of the same logical graph, and
+//! * every **leaf aggregate equal to a fresh re-merge** of its members'
+//!   per-vertex rows (radius by radius), so the in-place patch can never
+//!   leave a stale bound behind, and
+//! * **placement stability**: vertex → leaf assignments only move when a
+//!   repack rebuilds the tree, never under a patch.
+
+use icde_core::index::{IndexBuilder, NodeRef};
+use icde_core::precompute::{PrecomputeConfig, RadiusAggregate};
+use icde_core::query::TopLQuery;
+use icde_core::streaming::{EdgeUpdate, StreamingMaintainer};
+use icde_core::topl::{TopLAnswer, TopLProcessor};
+use icde_core::CommunityIndex;
+use icde_graph::generators::{DatasetKind, DatasetSpec};
+use icde_graph::{GraphBuilder, KeywordSet, SocialNetwork, VertexId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn build_index(g: &SocialNetwork, leaf_capacity: usize, fanout: usize) -> CommunityIndex {
+    IndexBuilder::new(PrecomputeConfig {
+        parallel: false,
+        ..Default::default()
+    })
+    .with_leaf_capacity(leaf_capacity)
+    .with_fanout(fanout)
+    .build(g)
+}
+
+/// Rebuilds the logical graph from scratch: fresh builder over the live
+/// edge table, dense CSR, no overlay, edge ids repacked.
+fn rebuild_from_scratch(g: &SocialNetwork) -> SocialNetwork {
+    let mut b = GraphBuilder::with_vertices(g.num_vertices());
+    for v in g.vertices() {
+        b.set_keywords(v, g.keyword_set(v).clone()).unwrap();
+    }
+    for (u, v, wf, wb) in g.edge_table_iter() {
+        b.add_edge(u, v, wf, wb);
+    }
+    b.build().unwrap()
+}
+
+/// Bit-level view of an answer, minus the reported center: two centers in
+/// one community can tie bit-exactly on score (the Top-L dedup keys on the
+/// vertex set for exactly this reason), and which one gets credited depends
+/// on index traversal order — i.e. tree shape, which a patched index keeps
+/// and a fresh build re-sorts. Score bits, reach and vertex set are the
+/// shape-independent part of the answer.
+fn answer_bits(a: &TopLAnswer) -> Vec<(u64, u64, Vec<u32>)> {
+    a.communities
+        .iter()
+        .map(|c| {
+            (
+                c.influential_score.to_bits(),
+                c.influenced_size as u64,
+                c.vertices.iter().map(|v| v.0).collect(),
+            )
+        })
+        .collect()
+}
+
+fn query_pool() -> Vec<TopLQuery> {
+    vec![
+        TopLQuery::new(KeywordSet::from_ids([0, 1, 2, 3]), 3, 2, 0.2, 5),
+        TopLQuery::new(KeywordSet::from_ids([1, 4, 7]), 2, 2, 0.3, 3),
+        TopLQuery::new(KeywordSet::from_ids([0, 2, 5, 8, 9]), 4, 1, 0.25, 8),
+    ]
+}
+
+/// Every leaf's stored aggregate must equal a fresh max/OR re-merge of its
+/// members' per-vertex rows — the invariant `patch_vertices` maintains.
+fn assert_leaf_aggregates_fresh(index: &CommunityIndex) {
+    let data = &index.precomputed;
+    let num_thresholds = data.config.thresholds.len();
+    for id in 0..index.node_count() {
+        if let NodeRef::Leaf { vertices } = index.node(id) {
+            for r in 1..=index.r_max() {
+                let mut fresh = RadiusAggregate::empty(index.signature_bits(), num_thresholds);
+                for &v in vertices {
+                    fresh.merge_max_ref(data.aggregate(v, r));
+                }
+                assert_eq!(
+                    index.aggregate(id, r).to_owned_aggregate(),
+                    fresh,
+                    "leaf {id} radius {r} aggregate is stale"
+                );
+            }
+        }
+    }
+}
+
+/// The vertex → leaf map the maintainer's placement currently encodes.
+fn leaf_assignment(maintainer: &StreamingMaintainer) -> Vec<usize> {
+    (0..maintainer.graph().num_vertices())
+        .map(|v| maintainer.placement().leaf_of(VertexId(v as u32)))
+        .collect()
+}
+
+/// Generates one conflict-free batch against `live` (the canonical live
+/// edge set, updated as the batch is generated so every update applies).
+fn random_batch(
+    next: &mut impl FnMut() -> u64,
+    n: u32,
+    live: &mut Vec<(u32, u32)>,
+    live_set: &mut HashSet<(u32, u32)>,
+    size: usize,
+) -> Vec<EdgeUpdate> {
+    let mut batch = Vec::with_capacity(size);
+    while batch.len() < size {
+        if next() % 8 < 3 && !live.is_empty() {
+            let pick = (next() % live.len() as u64) as usize;
+            let (lo, hi) = live.swap_remove(pick);
+            live_set.remove(&(lo, hi));
+            batch.push(EdgeUpdate::Remove {
+                u: VertexId(lo),
+                v: VertexId(hi),
+            });
+        } else {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo == hi || live_set.contains(&(lo, hi)) {
+                continue;
+            }
+            let p_uv = (1 + next() % 999) as f64 / 1000.0;
+            let p_vu = (1 + next() % 999) as f64 / 1000.0;
+            live.push((lo, hi));
+            live_set.insert((lo, hi));
+            batch.push(EdgeUpdate::Insert {
+                u: VertexId(lo),
+                v: VertexId(hi),
+                p_uv,
+                p_vu,
+            });
+        }
+    }
+    batch
+}
+
+proptest! {
+    // Each case pays for several from-scratch index builds across the
+    // leaf_capacity × fanout sweep — keep the case count modest.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn patched_index_is_equivalent_to_fresh_build(
+        n in 40usize..90,
+        seed in any::<u64>(),
+        leaf_capacity in prop_oneof![Just(4usize), Just(8usize), Just(16usize)],
+        fanout in prop_oneof![Just(2usize), Just(4usize), Just(8usize)],
+        // Straddle the compaction threshold: 0.01 folds the overlay after
+        // nearly every batch (patching across remapped edge ids), infinity
+        // leaves compaction to the explicit compact_now round.
+        threshold in prop_oneof![Just(0.01), Just(f64::INFINITY)],
+    ) {
+        let g = DatasetSpec::new(DatasetKind::Uniform, n, seed)
+            .with_keyword_domain(12)
+            .generate();
+        // repack only when forced below: every other refresh takes the
+        // in-place patch path under test
+        let mut maintainer =
+            StreamingMaintainer::new(g.clone(), build_index(&g, leaf_capacity, fanout))
+                .with_compact_threshold(threshold)
+                .with_repack_threshold(f64::INFINITY);
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut live: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let mut live_set: HashSet<(u32, u32)> = live.iter().copied().collect();
+        let pool = query_pool();
+        let mut assignment = leaf_assignment(&maintainer);
+        let mut repacks_seen = 0u64;
+
+        for round in 0..4 {
+            if round == 2 {
+                maintainer.force_repack_next();
+            }
+            let batch = random_batch(&mut next, n as u32, &mut live, &mut live_set, 6);
+            maintainer.apply_batch(&batch);
+            prop_assert_eq!(maintainer.stats().updates_skipped, 0, "batches are conflict-free");
+            if round == 1 {
+                // interleave an explicit compaction (edge-id renumbering)
+                maintainer.compact_now();
+            }
+
+            // placement only moves across a repack, never under a patch
+            let repacks = maintainer.stats().repacks;
+            if repacks > repacks_seen {
+                repacks_seen = repacks;
+                assignment = leaf_assignment(&maintainer);
+            } else {
+                prop_assert_eq!(
+                    &leaf_assignment(&maintainer),
+                    &assignment,
+                    "patching moved a vertex between leaves"
+                );
+            }
+
+            assert_leaf_aggregates_fresh(maintainer.index());
+
+            // Top-L through the patched index vs a fresh index (same tree
+            // parameters) over a from-scratch rebuild: bit-identical answers.
+            let scratch = rebuild_from_scratch(maintainer.graph());
+            let scratch_index = build_index(&scratch, leaf_capacity, fanout);
+            for q in &pool {
+                let served =
+                    TopLProcessor::new(maintainer.graph(), maintainer.index()).run(q).unwrap();
+                let reference = TopLProcessor::new(&scratch, &scratch_index).run(q).unwrap();
+                prop_assert_eq!(
+                    answer_bits(&served),
+                    answer_bits(&reference),
+                    "Top-L diverged for {:?}",
+                    q
+                );
+            }
+        }
+        prop_assert!(maintainer.stats().repacks >= 1, "round 2 forces a repack");
+        prop_assert!(maintainer.stats().index_patches >= 1, "other rounds patch in place");
+    }
+}

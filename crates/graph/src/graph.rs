@@ -50,6 +50,7 @@ use crate::snapshot::{fnv1a, fnv1a_extend, FlatVec};
 use crate::types::{is_valid_probability, EdgeId, VertexId, Weight};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Default overlay-size trigger for [`SocialNetwork::maybe_compact`]: fold
 /// the overlay back into the CSR once tombstones + inserted edges exceed
@@ -89,8 +90,10 @@ pub struct SocialNetwork {
     weight_forward: FlatVec<Weight>,
     /// Directed activation probability `p_{v,u}` for the reverse direction.
     weight_backward: FlatVec<Weight>,
-    /// Per-vertex keyword sets `v_i.W` (owned: variable-length and tiny).
-    keywords: Vec<KeywordSet>,
+    /// Per-vertex keyword sets `v_i.W`. `Arc`-shared so snapshot clones are
+    /// O(1); the rare mutation ([`SocialNetwork::set_keyword_set`]) detaches
+    /// a uniquely-referenced vector for free via `Arc::make_mut`.
+    keywords: Arc<Vec<KeywordSet>>,
     /// The delta overlay holding structural updates since the base was
     /// frozen: `None` (the common case) means every reader takes the raw
     /// slice fast path. Boxed so the frozen store stays lean.
@@ -106,7 +109,7 @@ impl Default for SocialNetwork {
             edges: FlatVec::default(),
             weight_forward: FlatVec::default(),
             weight_backward: FlatVec::default(),
-            keywords: Vec::new(),
+            keywords: Arc::new(Vec::new()),
             overlay: None,
         }
     }
@@ -221,7 +224,7 @@ impl SocialNetwork {
             edges: edges.into(),
             weight_forward: weight_forward.into(),
             weight_backward: weight_backward.into(),
-            keywords,
+            keywords: Arc::new(keywords),
             overlay: None,
         };
         network.refresh_csr_out_weights();
@@ -247,7 +250,7 @@ impl SocialNetwork {
             edges,
             weight_forward,
             weight_backward,
-            keywords,
+            keywords: Arc::new(keywords),
             overlay: None,
         }
     }
@@ -264,8 +267,23 @@ impl SocialNetwork {
             edges: &self.edges,
             weight_forward: &self.weight_forward,
             weight_backward: &self.weight_backward,
-            keywords: &self.keywords,
+            keywords: &self.keywords[..],
         }
+    }
+
+    /// Converts every owned base array to `Arc`-shared storage in place
+    /// (O(1) per array), so [`Clone`] copies nothing but refcounts. Streamed
+    /// structural updates only touch the overlay — the base arrays stay
+    /// frozen until [`compact`](SocialNetwork::compact) rebuilds them as
+    /// owned vectors, after which callers re-share. Mapped (snapshot-backed)
+    /// arrays are already cheap to clone and are left untouched.
+    pub fn share_sections(&mut self) {
+        self.offsets.share();
+        self.csr.share();
+        self.csr_out_weight.share();
+        self.edges.share();
+        self.weight_forward.share();
+        self.weight_backward.share();
     }
 
     /// Returns `true` if any flat array is a zero-copy view into a loaded
@@ -318,7 +336,7 @@ impl SocialNetwork {
         for &w in self.weight_backward.iter() {
             h = word(h, w.to_bits());
         }
-        for set in &self.keywords {
+        for set in self.keywords.iter() {
             h = word(h, set.len() as u64);
             for kw in set.iter() {
                 h = word(h, u64::from(kw.0));
@@ -604,7 +622,7 @@ impl SocialNetwork {
     /// keywords are assigned after the topology is frozen; attribute-only,
     /// the CSR structure is untouched).
     pub fn set_keyword_set(&mut self, v: VertexId, keywords: KeywordSet) {
-        self.keywords[v.index()] = keywords;
+        Arc::make_mut(&mut self.keywords)[v.index()] = keywords;
     }
 
     /// Overwrites both directed weights of an existing edge (attribute-only,
@@ -806,6 +824,9 @@ impl SocialNetwork {
         }
         let live = table.len();
         let keywords = std::mem::take(&mut self.keywords);
+        // A snapshot may still hold the keyword Arc; compaction is already
+        // O(n + m), so falling back to one clone is fine.
+        let keywords = Arc::try_unwrap(keywords).unwrap_or_else(|arc| (*arc).clone());
         *self = Self::assemble(keywords, table)
             .expect("live edges of a valid graph re-assemble cleanly");
         EdgeIdRemap::from_map(map, live)

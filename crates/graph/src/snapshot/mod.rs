@@ -43,7 +43,7 @@ pub use graph_io::{
     KIND_GRAPH,
 };
 pub use region::{LoadMode, MappedRegion, REGION_ALIGN};
-pub use storage::{FlatVec, SectionElement};
+pub use storage::{FlatVec, SectionElement, SectionShadow};
 
 use std::fs::File;
 use std::path::Path;
